@@ -1,0 +1,195 @@
+//! Top-level declarations: programs and classes.
+
+use crate::expr::{Expr, Ident, Literal};
+use crate::span::Span;
+use crate::stmt::Block;
+use crate::types::TypeExpr;
+use sgl_storage::Combinator;
+
+/// A whole SGL source file: a sequence of class declarations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Declared classes, in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+impl Program {
+    /// Find a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name.name == name)
+    }
+}
+
+/// A `class` declaration (paper Fig. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: Ident,
+    /// `state:` section — read-only during a tick.
+    pub state: Vec<StateVarDecl>,
+    /// `effects:` section — write-only during a tick, each with a ⊕
+    /// combinator.
+    pub effects: Vec<EffectVarDecl>,
+    /// `update:` section — expression rules and ownership assignments
+    /// (§2.2).
+    pub updates: Vec<UpdateRule>,
+    /// `constraint e;` declarations — invariants enforced by the
+    /// transaction engine (§3.1).
+    pub constraints: Vec<Expr>,
+    /// `script name { … }` declarations — all run every tick.
+    pub scripts: Vec<ScriptDecl>,
+    /// `when (c) { … }` reactive handlers (§3.2).
+    pub handlers: Vec<HandlerDecl>,
+    /// Full span.
+    pub span: Span,
+}
+
+impl ClassDecl {
+    /// An empty class (used by builders and tests).
+    pub fn empty(name: Ident) -> Self {
+        ClassDecl {
+            name,
+            state: Vec::new(),
+            effects: Vec::new(),
+            updates: Vec::new(),
+            constraints: Vec::new(),
+            scripts: Vec::new(),
+            handlers: Vec::new(),
+            span: Span::dummy(),
+        }
+    }
+
+    /// Find a state variable declaration by name.
+    pub fn state_var(&self, name: &str) -> Option<&StateVarDecl> {
+        self.state.iter().find(|v| v.name.name == name)
+    }
+
+    /// Find an effect variable declaration by name.
+    pub fn effect_var(&self, name: &str) -> Option<&EffectVarDecl> {
+        self.effects.iter().find(|v| v.name.name == name)
+    }
+}
+
+/// One state variable: `number x = 0;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVarDecl {
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Name.
+    pub name: Ident,
+    /// Optional initializer (defaults to the type's zero).
+    pub init: Option<Literal>,
+    /// Full span.
+    pub span: Span,
+}
+
+/// One effect variable: `number damage : sum;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectVarDecl {
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Name.
+    pub name: Ident,
+    /// ⊕ combinator.
+    pub comb: Combinator,
+    /// Value seen by update rules when nothing was assigned this tick
+    /// (needed for `min`/`max`/`avg`; defaults to the combinator
+    /// identity where one exists).
+    pub default: Option<Literal>,
+    /// Full span.
+    pub span: Span,
+}
+
+/// How a state variable is updated at the end of each tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateKind {
+    /// `health = health - damage;` — a compiled expression over old state
+    /// and combined effects.
+    Expr(Expr),
+    /// `x by physics;` — the named update component owns this variable.
+    Owner(Ident),
+}
+
+/// One entry of the `update:` section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRule {
+    /// The state variable being updated.
+    pub target: Ident,
+    /// Rule body.
+    pub kind: UpdateKind,
+    /// Full span.
+    pub span: Span,
+}
+
+/// A `script` declaration. Every script of a class runs (conceptually in
+/// parallel across entities) every tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptDecl {
+    /// Script name (for debugging and plan naming).
+    pub name: Ident,
+    /// Body.
+    pub body: Block,
+    /// Full span.
+    pub span: Span,
+}
+
+/// A reactive handler: `when (cond) { effects… }` (§3.2). Evaluated on
+/// the *new* state at the end of the update phase; its effect assignments
+/// are applied at the start of the next tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandlerDecl {
+    /// Trigger condition over state attributes.
+    pub cond: Expr,
+    /// Effect assignments to seed into the next tick.
+    pub body: Block,
+    /// Optional `restart …;` clause: interrupt multi-tick scripts by
+    /// resetting their program counter (§3.2's "mechanism to interrupt
+    /// multi-tick scripts and reset the program counter").
+    pub restart: Option<RestartClause>,
+    /// Full span.
+    pub span: Span,
+}
+
+/// The `restart` clause of a handler. Without it, a firing handler
+/// leaves the program counter alone — the paper's *resumption* model of
+/// the resumable-exception analogy; with it, the matched entities'
+/// multi-tick scripts are restarted from the top — the *termination*
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartClause {
+    /// `restart name;` interrupts only that script; bare `restart;`
+    /// interrupts every multi-tick script of the class.
+    pub script: Option<Ident>,
+    /// Clause span.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_lookup_helpers() {
+        let mut c = ClassDecl::empty(Ident::synthetic("Unit"));
+        c.state.push(StateVarDecl {
+            ty: TypeExpr::Number,
+            name: Ident::synthetic("x"),
+            init: None,
+            span: Span::dummy(),
+        });
+        c.effects.push(EffectVarDecl {
+            ty: TypeExpr::Number,
+            name: Ident::synthetic("damage"),
+            comb: Combinator::Sum,
+            default: None,
+            span: Span::dummy(),
+        });
+        assert!(c.state_var("x").is_some());
+        assert!(c.state_var("damage").is_none());
+        assert!(c.effect_var("damage").is_some());
+
+        let p = Program { classes: vec![c] };
+        assert!(p.class("Unit").is_some());
+        assert!(p.class("Item").is_none());
+    }
+}

@@ -1,0 +1,228 @@
+//! Expressions.
+
+use crate::span::Span;
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Construct (convenience for tests and synthesized nodes).
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident {
+            name: name.into(),
+            span,
+        }
+    }
+
+    /// A synthesized identifier with a dummy span.
+    pub fn synthetic(name: impl Into<String>) -> Self {
+        Ident::new(name, Span::dummy())
+    }
+}
+
+/// A literal in a declaration default.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A `number` literal.
+    Number(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null` (the null reference).
+    Null,
+}
+
+/// Binary operators, in SGL surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=` (in expression position; the lexer disambiguates from the
+    /// set-insert effect statement)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Surface syntax token.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+
+    /// Whether this operator yields a `bool`.
+    pub fn is_boolean(&self) -> bool {
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An SGL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A `number` literal.
+    Number(f64, Span),
+    /// A `bool` literal.
+    Bool(bool, Span),
+    /// The `null` reference literal.
+    Null(Span),
+    /// `self` — a reference to the executing entity.
+    SelfRef(Span),
+    /// A bare name: a local, accum variable, or attribute of `self`.
+    Var(Ident),
+    /// Attribute access through a reference: `u.x`, `self.x`,
+    /// `target.owner.gold`.
+    Field {
+        /// The reference-valued base expression.
+        base: Box<Expr>,
+        /// Attribute name.
+        field: Ident,
+        /// Full span.
+        span: Span,
+    },
+    /// Prefix operator application.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Infix operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Full span.
+        span: Span,
+    },
+    /// Builtin function call (`abs`, `min`, `dist`, `contains`, …).
+    Call {
+        /// Function name.
+        func: Ident,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Full span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Number(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Null(s)
+            | Expr::SelfRef(s) => *s,
+            Expr::Var(id) => id.span,
+            Expr::Field { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Call { span, .. } => *span,
+        }
+    }
+
+    /// Walk the expression tree, visiting every node (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Field { base, .. } => base.walk(f),
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_symbols() {
+        assert_eq!(BinOp::Add.symbol(), "+");
+        assert_eq!(BinOp::Ne.symbol(), "!=");
+        assert!(BinOp::Lt.is_boolean());
+        assert!(!BinOp::Mul.is_boolean());
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Number(1.0, Span::dummy())),
+            rhs: Box::new(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(Expr::Var(Ident::synthetic("x"))),
+                span: Span::dummy(),
+            }),
+            span: Span::dummy(),
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sgl-ast
+//!
+//! Abstract syntax tree for the **Scalable Games Language** (SGL) as
+//! described in *"From Declarative Languages to Declarative Processing in
+//! Computer Games"* (CIDR 2009).
+//!
+//! SGL is deliberately *imperative* — the paper's central observation is
+//! that game developers "want to think sequentially in terms of the
+//! sequence of observations and actions performed by individual NPCs",
+//! while the *processing* stays declarative because the compiler lowers
+//! these scripts to relational algebra. The AST therefore models:
+//!
+//! * class declarations with `state:` / `effects:` sections (paper Fig. 1),
+//! * `update:` rules and update-component ownership (§2.2),
+//! * class-level `constraint` declarations for the transaction engine (§3.1),
+//! * scripts with effect assignments (`<-`, `<=`), conditionals,
+//!   **accum-loops** (paper Fig. 2), `waitNextTick` (§3.2) and `atomic`
+//!   regions (§3.1),
+//! * reactive `when` handlers (§3.2).
+
+pub mod decl;
+pub mod expr;
+pub mod pretty;
+pub mod span;
+pub mod stmt;
+pub mod types;
+
+pub use decl::{
+    ClassDecl, EffectVarDecl, HandlerDecl, Program, RestartClause, ScriptDecl, StateVarDecl,
+    UpdateKind, UpdateRule,
+};
+pub use expr::{BinOp, Expr, Ident, Literal, UnOp};
+pub use span::Span;
+pub use stmt::{AccumStmt, Block, EffectOp, LValue, Stmt};
+pub use types::TypeExpr;
+
+// Re-export the shared language primitives defined in the base crate.
+pub use sgl_storage::Combinator;

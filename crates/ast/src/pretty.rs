@@ -1,0 +1,264 @@
+//! Pretty printer: renders an AST back to canonical SGL source.
+//!
+//! Used by the parser round-trip property test (parse ∘ print ∘ parse is
+//! the identity on ASTs modulo spans) and by the Fig. 1 reproduction,
+//! which prints the parsed `Unit` class next to the paper's figure.
+
+use crate::decl::{ClassDecl, Program, UpdateKind};
+use crate::expr::{BinOp, Expr, Literal};
+use crate::stmt::{Block, EffectOp, LValue, Stmt};
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, c) in p.classes.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_class(c, &mut out);
+    }
+    out
+}
+
+/// Render one class declaration.
+pub fn print_class(c: &ClassDecl, out: &mut String) {
+    out.push_str(&format!("class {} {{\n", c.name.name));
+    if !c.state.is_empty() {
+        out.push_str("state:\n");
+        for v in &c.state {
+            out.push_str(&format!("  {} {}", v.ty.to_sgl(), v.name.name));
+            if let Some(init) = &v.init {
+                out.push_str(&format!(" = {}", print_literal(init)));
+            }
+            out.push_str(";\n");
+        }
+    }
+    if !c.effects.is_empty() {
+        out.push_str("effects:\n");
+        for v in &c.effects {
+            out.push_str(&format!(
+                "  {} {} : {}",
+                v.ty.to_sgl(),
+                v.name.name,
+                v.comb.name()
+            ));
+            if let Some(d) = &v.default {
+                out.push_str(&format!(" = {}", print_literal(d)));
+            }
+            out.push_str(";\n");
+        }
+    }
+    if !c.updates.is_empty() {
+        out.push_str("update:\n");
+        for u in &c.updates {
+            match &u.kind {
+                UpdateKind::Expr(e) => {
+                    out.push_str(&format!("  {} = {};\n", u.target.name, print_expr(e)))
+                }
+                UpdateKind::Owner(o) => {
+                    out.push_str(&format!("  {} by {};\n", u.target.name, o.name))
+                }
+            }
+        }
+    }
+    for con in &c.constraints {
+        out.push_str(&format!("constraint {};\n", print_expr(con)));
+    }
+    for s in &c.scripts {
+        out.push_str(&format!("script {} ", s.name.name));
+        print_block(&s.body, 0, out);
+        out.push('\n');
+    }
+    for h in &c.handlers {
+        out.push_str(&format!("when ({}) ", print_expr(&h.cond)));
+        let restart = h.restart.as_ref().map(|r| match &r.script {
+            Some(s) => format!("restart {};", s.name),
+            None => "restart;".to_string(),
+        });
+        match (&restart, h.body.stmts.is_empty()) {
+            // Bare interrupt form: `when (c) restart;`.
+            (Some(r), true) => out.push_str(r),
+            _ => {
+                print_block(&h.body, 0, out);
+                if let Some(r) = &restart {
+                    out.push(' ');
+                    out.push_str(r);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+}
+
+fn print_literal(l: &Literal) -> String {
+    match l {
+        Literal::Number(x) => format_number(*x),
+        Literal::Bool(b) => b.to_string(),
+        Literal::Null => "null".into(),
+    }
+}
+
+fn format_number(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Render a block with the given indentation depth.
+pub fn print_block(b: &Block, depth: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        print_stmt(s, depth + 1, out);
+    }
+    indent(depth, out);
+    out.push('}');
+}
+
+fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Name(id) => id.name.clone(),
+        LValue::Field { base, field } => format!("{}.{}", print_expr(base), field.name),
+    }
+}
+
+/// Render one statement.
+pub fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match s {
+        Stmt::Let { name, value, .. } => {
+            out.push_str(&format!("let {} = {};\n", name.name, print_expr(value)));
+        }
+        Stmt::Effect {
+            target, op, value, ..
+        } => {
+            let sym = match op {
+                EffectOp::Assign => "<-",
+                EffectOp::Insert => "<=",
+            };
+            out.push_str(&format!(
+                "{} {} {};\n",
+                print_lvalue(target),
+                sym,
+                print_expr(value)
+            ));
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            out.push_str(&format!("if ({}) ", print_expr(cond)));
+            print_block(then_block, depth, out);
+            if let Some(e) = else_block {
+                out.push_str(" else ");
+                print_block(e, depth, out);
+            }
+            out.push('\n');
+        }
+        Stmt::Accum(a) => {
+            out.push_str(&format!(
+                "accum {} {} with {} over {} {} from {} ",
+                a.acc_ty.to_sgl(),
+                a.acc_name.name,
+                a.comb.name(),
+                a.elem_ty.name,
+                a.elem_name.name,
+                print_expr(&a.source)
+            ));
+            print_block(&a.body, depth, out);
+            out.push_str(" in ");
+            print_block(&a.rest, depth, out);
+            out.push('\n');
+        }
+        Stmt::Wait { .. } => out.push_str("waitNextTick;\n"),
+        Stmt::Atomic { body, .. } => {
+            out.push_str("atomic ");
+            print_block(body, depth, out);
+            out.push('\n');
+        }
+        Stmt::Block(b) => {
+            print_block(b, depth, out);
+            out.push('\n');
+        }
+    }
+}
+
+/// Render an expression with minimal parentheses (every binary expression
+/// is parenthesized, which is unambiguous and reparses to the same tree).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Number(x, _) => format_number(*x),
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Null(_) => "null".into(),
+        Expr::SelfRef(_) => "self".into(),
+        Expr::Var(id) => id.name.clone(),
+        Expr::Field { base, field, .. } => format!("{}.{}", print_expr(base), field.name),
+        Expr::Unary { op, expr, .. } => {
+            let sym = match op {
+                crate::expr::UnOp::Neg => "-",
+                crate::expr::UnOp::Not => "!",
+            };
+            format!("{sym}({})", print_expr(expr))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {} {})", print_expr(lhs), bin_symbol(*op), print_expr(rhs))
+        }
+        Expr::Call { func, args, .. } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{}({})", func.name, args.join(", "))
+        }
+    }
+}
+
+fn bin_symbol(op: BinOp) -> &'static str {
+    op.symbol()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Ident;
+    use crate::span::Span;
+
+    #[test]
+    fn prints_expression_with_parens() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Var(Ident::synthetic("x"))),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::Number(2.0, Span::dummy())),
+                rhs: Box::new(Expr::Var(Ident::synthetic("y"))),
+                span: Span::dummy(),
+            }),
+            span: Span::dummy(),
+        };
+        assert_eq!(print_expr(&e), "(x + (2 * y))");
+    }
+
+    #[test]
+    fn prints_field_chain() {
+        let e = Expr::Field {
+            base: Box::new(Expr::Var(Ident::synthetic("u"))),
+            field: Ident::synthetic("x"),
+            span: Span::dummy(),
+        };
+        assert_eq!(print_expr(&e), "u.x");
+    }
+
+    #[test]
+    fn integers_print_without_decimal() {
+        assert_eq!(print_expr(&Expr::Number(3.0, Span::dummy())), "3");
+        assert_eq!(print_expr(&Expr::Number(3.5, Span::dummy())), "3.5");
+    }
+}

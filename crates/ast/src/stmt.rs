@@ -1,0 +1,196 @@
+//! Statements: the imperative surface of SGL.
+
+use crate::expr::{Expr, Ident};
+use crate::span::Span;
+use crate::types::TypeExpr;
+use sgl_storage::Combinator;
+
+/// A brace-delimited statement sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source span of the braces.
+    pub span: Span,
+}
+
+/// The two effect-assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectOp {
+    /// `x <- e;` — combine `e` into effect `x` with its ⊕ combinator.
+    Assign,
+    /// `x <= e;` — insert reference `e` into set effect `x` (§2.1's
+    /// `itemsAcquired <= i`).
+    Insert,
+}
+
+/// The target of an effect assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Bare name: an effect variable of `self` (or the accum variable
+    /// inside an accum body).
+    Name(Ident),
+    /// `u.damage` — an effect variable of another entity reached through
+    /// a reference-valued expression.
+    Field {
+        /// The reference expression (`u`, `self.target`, …).
+        base: Expr,
+        /// The effect variable name.
+        field: Ident,
+    },
+}
+
+impl LValue {
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            LValue::Name(id) => id.span,
+            LValue::Field { base, field } => base.span().merge(field.span),
+        }
+    }
+}
+
+/// The accum-loop (paper Fig. 2): bounded iteration whose body writes a
+/// write-only accumulator combined with a ⊕ combinator; the result is
+/// readable in the `in` block. "One can think of accum-loops as using the
+/// state-effect pattern 'locally' within a script."
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumStmt {
+    /// Declared type of the accumulator.
+    pub acc_ty: TypeExpr,
+    /// Accumulator name (write-only in `body`, read-only in `rest`).
+    pub acc_name: Ident,
+    /// The ⊕ combinator.
+    pub comb: Combinator,
+    /// Declared element type (a class name, e.g. `unit`).
+    pub elem_ty: Ident,
+    /// Loop variable bound to each element.
+    pub elem_name: Ident,
+    /// The iterated collection: a class extent name (`Unit`) or any
+    /// set-valued expression.
+    pub source: Expr,
+    /// ⟨BLOCK⟩₁ — runs once per element, in no guaranteed order.
+    pub body: Block,
+    /// ⟨BLOCK⟩₂ — runs after combination; accumulator is readable.
+    pub rest: Block,
+    /// Full span.
+    pub span: Span,
+}
+
+/// An SGL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let t = e;` — read-only local binding.
+    Let {
+        /// Binding name.
+        name: Ident,
+        /// Bound expression.
+        value: Expr,
+        /// Full span.
+        span: Span,
+    },
+    /// `x <- e;` / `x <= e;` — effect assignment.
+    Effect {
+        /// Target effect variable.
+        target: LValue,
+        /// `<-` or `<=`.
+        op: EffectOp,
+        /// Assigned value.
+        value: Expr,
+        /// Full span.
+        span: Span,
+    },
+    /// `if (c) { … } else { … }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Optional else branch.
+        else_block: Option<Block>,
+        /// Full span.
+        span: Span,
+    },
+    /// An accum-loop.
+    Accum(Box<AccumStmt>),
+    /// `waitNextTick;` — suspend until the next tick (§3.2).
+    Wait {
+        /// Source span.
+        span: Span,
+    },
+    /// `atomic { … }` — transactional region (§3.1). Constraints come
+    /// from class-level `constraint` declarations.
+    Atomic {
+        /// The transactional body.
+        body: Block,
+        /// Full span.
+        span: Span,
+    },
+    /// A nested bare block.
+    Block(Block),
+}
+
+impl Stmt {
+    /// Source span.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let { span, .. }
+            | Stmt::Effect { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Wait { span }
+            | Stmt::Atomic { span, .. } => *span,
+            Stmt::Accum(a) => a.span,
+            Stmt::Block(b) => b.span,
+        }
+    }
+
+    /// Whether this statement (recursively) contains a `waitNextTick`.
+    pub fn contains_wait(&self) -> bool {
+        match self {
+            Stmt::Wait { .. } => true,
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                then_block.stmts.iter().any(|s| s.contains_wait())
+                    || else_block
+                        .as_ref()
+                        .is_some_and(|b| b.stmts.iter().any(|s| s.contains_wait()))
+            }
+            Stmt::Block(b) => b.stmts.iter().any(|s| s.contains_wait()),
+            Stmt::Accum(a) => {
+                a.body.stmts.iter().any(|s| s.contains_wait())
+                    || a.rest.stmts.iter().any(|s| s.contains_wait())
+            }
+            Stmt::Atomic { body, .. } => body.stmts.iter().any(|s| s.contains_wait()),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_wait_finds_nested() {
+        let wait = Stmt::Wait { span: Span::dummy() };
+        let s = Stmt::If {
+            cond: Expr::Bool(true, Span::dummy()),
+            then_block: Block {
+                stmts: vec![wait],
+                span: Span::dummy(),
+            },
+            else_block: None,
+            span: Span::dummy(),
+        };
+        assert!(s.contains_wait());
+        let s2 = Stmt::Let {
+            name: Ident::synthetic("t"),
+            value: Expr::Number(1.0, Span::dummy()),
+            span: Span::dummy(),
+        };
+        assert!(!s2.contains_wait());
+    }
+}

@@ -1,0 +1,50 @@
+//! Syntactic type expressions (class names not yet resolved).
+
+use crate::span::Span;
+
+/// A type as written in the source. Class names inside `ref<…>`/`set<…>`
+/// are resolved to `ClassId`s by the frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `number`
+    Number,
+    /// `bool`
+    Bool,
+    /// `ref<Class>`
+    Ref(String),
+    /// `set<Class>`
+    Set(String),
+}
+
+impl TypeExpr {
+    /// Render as SGL source.
+    pub fn to_sgl(&self) -> String {
+        match self {
+            TypeExpr::Number => "number".into(),
+            TypeExpr::Bool => "bool".into(),
+            TypeExpr::Ref(c) => format!("ref<{c}>"),
+            TypeExpr::Set(c) => format!("set<{c}>"),
+        }
+    }
+}
+
+/// A type annotation with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedType {
+    /// The type expression.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_source_syntax() {
+        assert_eq!(TypeExpr::Number.to_sgl(), "number");
+        assert_eq!(TypeExpr::Ref("Unit".into()).to_sgl(), "ref<Unit>");
+        assert_eq!(TypeExpr::Set("Item".into()).to_sgl(), "set<Item>");
+    }
+}

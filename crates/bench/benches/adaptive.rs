@@ -1,0 +1,37 @@
+//! E2: static plans vs the adaptive planner on one regime each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl::{ExecMode, IndexKind, JoinMethod};
+use sgl_bench::fig2_sim;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive");
+    g.sample_size(10);
+    // Sparse regime (NL-friendly) and dense regime (index-friendly).
+    for (regime, n) in [("sparse", 200usize), ("dense", 20_000)] {
+        for (label, method) in [
+            ("static-nl", Some(JoinMethod::NL)),
+            ("static-grid", Some(JoinMethod::Index(IndexKind::Grid))),
+            ("adaptive", None),
+        ] {
+            if label == "static-nl" && n > 200 {
+                continue; // quadratic: excluded from the dense regime
+            }
+            let mut sim = fig2_sim(n, 8.0, ExecMode::Compiled, method, 1);
+            sim.tick();
+            g.bench_with_input(
+                BenchmarkId::new(format!("{regime}/{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        sim.tick();
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E12: distributed tick cost vs node count (wall-clock of the whole
+//! simulated cluster step, and of the slowest node's compute).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl::{Simulation, Value};
+use sgl_bench::{crowd_points, CROWD_GAME};
+use sgl_dist::{DistConfig, DistSim};
+
+fn cluster(nodes: usize, n: usize, span: f64) -> DistSim {
+    let game = Simulation::builder()
+        .source(CROWD_GAME)
+        .build()
+        .unwrap()
+        .game()
+        .clone();
+    let mut sim =
+        DistSim::new(game, DistConfig::new(nodes, "x", (0.0, span), 12.0)).unwrap();
+    for (x, y) in crowd_points(n, span, 0xD157) {
+        sim.spawn("Unit", &[("x", Value::Number(x)), ("y", Value::Number(y))])
+            .unwrap();
+    }
+    sim.step(); // warm plans
+    sim
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist");
+    g.sample_size(10);
+    let n = 8_000;
+    let span = 1_200.0;
+    for nodes in [1usize, 2, 4, 8] {
+        let mut sim = cluster(nodes, n, span);
+        g.bench_with_input(BenchmarkId::new("crowd8k_step", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                sim.step();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! F2: the Fig. 2 accum-loop tick under every execution strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl::{ExecMode, IndexKind, JoinMethod};
+use sgl_bench::fig2_sim;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_accum");
+    g.sample_size(10);
+    for &n in &[1024usize, 8192] {
+        for (label, mode, method) in [
+            ("interpreted", ExecMode::Interpreted, None),
+            ("compiled-nl", ExecMode::Compiled, Some(JoinMethod::NL)),
+            (
+                "compiled-grid",
+                ExecMode::Compiled,
+                Some(JoinMethod::Index(IndexKind::Grid)),
+            ),
+            (
+                "compiled-rangetree",
+                ExecMode::Compiled,
+                Some(JoinMethod::Index(IndexKind::RangeTree)),
+            ),
+            ("compiled-adaptive", ExecMode::Compiled, None),
+        ] {
+            if label == "interpreted" && n > 1024 {
+                continue; // quadratic scalar baseline: keep bench time sane
+            }
+            let mut sim = fig2_sim(n, 8.0, mode, method, 1);
+            sim.tick();
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    sim.tick();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

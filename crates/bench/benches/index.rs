@@ -1,0 +1,52 @@
+//! E4: spatial index build + probe microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_index::{build_index, IndexKind, PointSet};
+
+fn points(n: usize, d: usize) -> PointSet {
+    let mut pts = PointSet::new(d);
+    let mut s = 0x5EEDu64 | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64 * 1000.0
+    };
+    for _ in 0..n {
+        let c: Vec<f64> = (0..d).map(|_| next()).collect();
+        pts.push(&c);
+    }
+    pts
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index");
+    g.sample_size(10);
+    let n = 20_000;
+    let pts = points(n, 2);
+    for kind in [IndexKind::Grid, IndexKind::KdTree, IndexKind::RangeTree] {
+        g.bench_with_input(BenchmarkId::new("build_2d", kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                let idx = build_index(k, &pts);
+                std::hint::black_box(idx.memory_bytes());
+            })
+        });
+        let idx = build_index(kind, &pts);
+        let mut out = Vec::new();
+        g.bench_with_input(BenchmarkId::new("probe_2d", kind.name()), &kind, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(131);
+                let cx = (i % 1000) as f64;
+                let cy = ((i * 7) % 1000) as f64;
+                out.clear();
+                idx.query(&[cx - 15.0, cy - 15.0], &[cx + 15.0, cy + 15.0], &mut out);
+                std::hint::black_box(out.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E3: effect-phase thread scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_workloads::rts::{build, RtsParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        let mut sim = build(&RtsParams {
+            units_per_side: 4000,
+            arena: 500.0,
+            threads,
+            ..RtsParams::default()
+        });
+        sim.run(2);
+        g.bench_with_input(BenchmarkId::new("rts8k_tick", threads), &threads, |b, _| {
+            b.iter(|| {
+                sim.tick();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

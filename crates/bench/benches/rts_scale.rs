@@ -1,0 +1,36 @@
+//! E1: end-to-end RTS tick, compiled vs interpreted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl::ExecMode;
+use sgl_workloads::rts::{build, RtsParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rts_scale");
+    g.sample_size(10);
+    for &per_side in &[200usize, 800] {
+        for (label, mode) in [
+            ("compiled", ExecMode::Compiled),
+            ("interpreted", ExecMode::Interpreted),
+        ] {
+            if label == "interpreted" && per_side > 200 {
+                continue;
+            }
+            let mut sim = build(&RtsParams {
+                units_per_side: per_side,
+                arena: 150.0,
+                mode,
+                ..RtsParams::default()
+            });
+            sim.run(3);
+            g.bench_with_input(BenchmarkId::new(label, per_side * 2), &per_side, |b, _| {
+                b.iter(|| {
+                    sim.tick();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! E10: columnar vs row-store access patterns.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgl_storage::{Column, ColumnSpec, EntityId, RowTable, ScalarType, Schema, Table};
+
+fn schema(width: usize) -> Schema {
+    Schema::from_cols(
+        (0..width)
+            .map(|i| ColumnSpec::new(format!("a{i}"), ScalarType::Number))
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 50_000usize;
+    let width = 32usize;
+
+    let mut col_table = Table::new(schema(width));
+    for i in 0..n {
+        col_table.insert(EntityId(i as u64 + 1), &[]).unwrap();
+    }
+    for k in 0..width {
+        col_table.replace_column(
+            k,
+            Column::from_f64((0..n).map(|i| (i * (k + 1)) as f64).collect()),
+        );
+    }
+    let mut row_table = RowTable::new(schema(width)).unwrap();
+    for i in 0..n {
+        let row: Vec<f64> = (0..width).map(|k| (i * (k + 1)) as f64).collect();
+        row_table.insert(EntityId(i as u64 + 1), &row).unwrap();
+    }
+
+    let mut g = c.benchmark_group("schema_layout");
+    g.sample_size(20);
+    g.bench_function("columnar/scan4of32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in [0usize, 5, 9, 13] {
+                for v in col_table.column(k).f64() {
+                    acc += v;
+                }
+            }
+            std::hint::black_box(acc);
+        })
+    });
+    g.bench_function("rowstore/scan4of32", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in [0usize, 5, 9, 13] {
+                row_table.scan_column(k, &mut buf);
+                for v in &buf {
+                    acc += v;
+                }
+            }
+            std::hint::black_box(acc);
+        })
+    });
+    g.bench_function("columnar/fullrows", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..n {
+                for k in 0..width {
+                    acc += col_table.column(k).f64()[r];
+                }
+            }
+            std::hint::black_box(acc);
+        })
+    });
+    g.bench_function("rowstore/fullrows", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for r in 0..n {
+                for v in row_table.row(r) {
+                    acc += v;
+                }
+            }
+            std::hint::black_box(acc);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

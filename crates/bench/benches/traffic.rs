@@ -1,0 +1,33 @@
+//! E8: traffic tick rate at two scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_workloads::traffic::{build, TrafficParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic");
+    g.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        for &threads in &[1usize, 4] {
+            let mut sim = build(&TrafficParams {
+                vehicles: n,
+                blocks: 12,
+                threads,
+                ..TrafficParams::default()
+            });
+            sim.run(2);
+            g.bench_with_input(
+                BenchmarkId::new(format!("tick/t{threads}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        sim.tick();
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

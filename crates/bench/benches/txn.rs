@@ -1,0 +1,29 @@
+//! E5: marketplace tick cost per transaction mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl_workloads::market::{build, MarketMode, MarketParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("txn");
+    g.sample_size(10);
+    for mode in [MarketMode::Naive, MarketMode::MultiTick, MarketMode::Atomic] {
+        let mut market = build(&MarketParams {
+            buyers: 500,
+            items: 50,
+            robbers: 20,
+            gold: 1e9, // keep buying forever
+            mode,
+            ..MarketParams::default()
+        });
+        market.sim.tick();
+        g.bench_with_input(BenchmarkId::new("tick", mode.name()), &mode, |b, _| {
+            b.iter(|| {
+                market.sim.tick();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1266 @@
+//! The experiment harness: regenerates every figure and quantified claim
+//! of the CIDR 2009 paper (see DESIGN.md §5 for the index).
+//!
+//! ```sh
+//! cargo run -p sgl-bench --release --bin experiments           # all
+//! cargo run -p sgl-bench --release --bin experiments -- f2 e3  # some
+//! ```
+//!
+//! Output is printed as markdown tables; EXPERIMENTS.md records a full
+//! run with commentary.
+
+use std::time::Instant;
+
+use sgl::{ExecMode, IndexKind, JoinMethod, Simulation, Value};
+use sgl_bench::{fig2_sim, time_median, FIG2_GAME};
+use sgl_workloads::market::{self, MarketMode, MarketParams};
+use sgl_workloads::rts::{self, RtsParams};
+use sgl_workloads::traffic::{self, TrafficParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let want = |id: &str| all || args.iter().any(|a| a == id);
+
+    println!("# SGL experiment harness");
+    println!("# build: {} | host threads: {}", profile(), threads_avail());
+    println!();
+
+    if want("f1") {
+        f1_schema_generation();
+    }
+    if want("f2") {
+        f2_accum_scaling();
+    }
+    if want("e1") {
+        e1_rts_end_to_end();
+    }
+    if want("e2") {
+        e2_adaptive_plans();
+    }
+    if want("e3") {
+        e3_multicore();
+    }
+    if want("e4") {
+        e4_index_structures();
+    }
+    if want("e5") {
+        e5_transactions();
+    }
+    if want("e6") {
+        e6_multitick();
+    }
+    if want("e7") {
+        e7_reactive();
+    }
+    if want("e8") {
+        e8_traffic();
+    }
+    if want("e9") {
+        e9_checkpoints();
+    }
+    if want("e10") {
+        e10_schema_layout();
+    }
+    if want("e11") {
+        e11_partitioned_indexes();
+    }
+    if want("e12") {
+        e12_cluster();
+    }
+    if want("e13") {
+        e13_interrupts();
+    }
+    if want("a1") {
+        a1_grid_cell_size();
+    }
+    if want("a2") {
+        a2_hysteresis();
+    }
+    if want("a3") {
+        a3_parallel_threshold();
+    }
+}
+
+fn profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug (use --release for meaningful numbers)"
+    } else {
+        "release"
+    }
+}
+
+fn threads_avail() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+// ---------------------------------------------------------------- F1 --
+
+fn f1_schema_generation() {
+    println!("## F1 — Fig. 1: class declaration → compiler-generated schema\n");
+    let src = r#"
+class Unit {
+state:
+  number player = 0;
+  number x = 0;
+  number y = 0;
+  number health = 0;
+effects:
+  number vx : avg;
+  number vy : avg;
+  number damage : sum;
+}
+"#;
+    let sim = Simulation::builder().source(src).build().unwrap();
+    let def = sim.game().catalog.class_by_name("Unit").unwrap();
+    println!("state extent : Unit{}", def.state);
+    println!("effect table : (entity, var, value) combined per tick with ⊕:");
+    println!();
+    println!("| effect | type | ⊕ combinator | identity |");
+    println!("|--------|------|--------------|----------|");
+    for e in &def.effects {
+        println!(
+            "| {} | number | {} | {} |",
+            e.name,
+            e.comb.name(),
+            e.default
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------- F2 --
+
+fn f2_accum_scaling() {
+    println!("## F2 — Fig. 2 accum-loop: set-at-a-time vs object-at-a-time\n");
+    println!("Workload: n units uniform in 1000², range tuned for ~8 neighbours each;");
+    println!("one tick = one full neighbour-count query. Times are per tick (median of 5).\n");
+    println!("| n | interpreted | compiled NL | compiled grid | compiled rangetree | best speedup |");
+    println!("|---|-------------|-------------|---------------|--------------------|--------------|");
+    for &n in &[256usize, 1024, 4096, 16384, 65536] {
+        let interp = if n <= 4096 {
+            let reps = if n >= 4096 { 1 } else { 5 };
+            Some(tick_time_reps(
+                fig2_sim(n, 8.0, ExecMode::Interpreted, None, 1),
+                reps,
+            ))
+        } else {
+            None // O(n²) scalar interpretation: minutes per tick
+        };
+        let nl = if n <= 16384 {
+            Some(tick_time(fig2_sim(
+                n,
+                8.0,
+                ExecMode::Compiled,
+                Some(JoinMethod::NL),
+                1,
+            )))
+        } else {
+            None
+        };
+        let grid = tick_time(fig2_sim(
+            n,
+            8.0,
+            ExecMode::Compiled,
+            Some(JoinMethod::Index(IndexKind::Grid)),
+            1,
+        ));
+        let rt = tick_time(fig2_sim(
+            n,
+            8.0,
+            ExecMode::Compiled,
+            Some(JoinMethod::Index(IndexKind::RangeTree)),
+            1,
+        ));
+        let best = grid.min(rt);
+        let speedup = interp.map(|i| i / best);
+        println!(
+            "| {n} | {} | {} | {} | {} | {} |",
+            opt_ms(interp),
+            opt_ms(nl),
+            ms(grid),
+            ms(rt),
+            speedup.map_or("—".into(), |s| format!("{s:.0}×")),
+        );
+    }
+    println!();
+}
+
+fn tick_time(sim: Simulation) -> f64 {
+    tick_time_reps(sim, 5)
+}
+
+fn tick_time_reps(mut sim: Simulation, reps: usize) -> f64 {
+    sim.tick(); // warm up (plans, caches)
+    time_median(reps, || {
+        sim.tick();
+    })
+}
+
+fn ms(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.0} µs", s * 1e6)
+    }
+}
+
+fn opt_ms(s: Option<f64>) -> String {
+    s.map_or("—".into(), ms)
+}
+
+// ---------------------------------------------------------------- E1 --
+
+fn e1_rts_end_to_end() {
+    println!("## E1 — §2: full RTS skirmish, compiled vs interpreted\n");
+    println!("Two armies fight (move + band-join attack + physics + despawn).");
+    println!("Times are per tick (median of 5) after 5 warm-up ticks.\n");
+    println!("| units | interpreted | compiled (adaptive) | speedup |");
+    println!("|-------|-------------|---------------------|---------|");
+    for &per_side in &[100usize, 400, 1600, 6400] {
+        let t_c = rts_tick_time(per_side, ExecMode::Compiled);
+        let t_i = if per_side <= 400 {
+            Some(rts_tick_time(per_side, ExecMode::Interpreted))
+        } else {
+            None // object-at-a-time accum is O(n²) scalar: minutes/tick
+        };
+        println!(
+            "| {} | {} | {} | {} |",
+            per_side * 2,
+            opt_ms(t_i),
+            ms(t_c),
+            t_i.map_or("—".into(), |i| format!("{:.0}×", i / t_c)),
+        );
+    }
+    println!();
+}
+
+fn rts_tick_time(per_side: usize, mode: ExecMode) -> f64 {
+    let mut sim = rts::build(&RtsParams {
+        units_per_side: per_side,
+        arena: (per_side as f64 * 30.0).sqrt().max(60.0) * 2.0,
+        mode,
+        ..RtsParams::default()
+    });
+    sim.run(5);
+    time_median(5, || {
+        sim.tick();
+    })
+}
+
+// ---------------------------------------------------------------- E2 --
+
+fn e2_adaptive_plans() {
+    println!("## E2 — §4.1: adaptive plan selection across workload regimes\n");
+    println!("The game alternates between an *exploring* regime (48 scouts) and a");
+    println!("*fighting* regime (6000 reinforcements) every 30 ticks. Per-regime mean");
+    println!("tick time for two static plans and the adaptive engine:\n");
+
+    let run_regimes = |label: &str, method: Option<JoinMethod>| {
+        let mut b = Simulation::builder().source(FIG2_GAME);
+        if let Some(m) = method {
+            b = b.fixed_method(m);
+        }
+        let mut sim = b.build().unwrap();
+        let mut explore_time = 0.0;
+        let mut fight_time = 0.0;
+        let mut switches = 0usize;
+        let mut reinforcements: Vec<sgl::EntityId> = Vec::new();
+        for phase in 0..4 {
+            let fighting = phase % 2 == 1;
+            if fighting {
+                for k in 0..6000 {
+                    let x = (k % 80) as f64 * 1.0 + 100.0;
+                    let y = (k / 80) as f64 * 1.0 + 100.0;
+                    reinforcements.push(
+                        sim.spawn(
+                            "Unit",
+                            &[
+                                ("x", Value::Number(x)),
+                                ("y", Value::Number(y)),
+                                ("range", Value::Number(3.0)),
+                            ],
+                        )
+                        .unwrap(),
+                    );
+                }
+            } else if phase == 0 {
+                for k in 0..48 {
+                    sim.spawn(
+                        "Unit",
+                        &[
+                            ("x", Value::Number((k * 13 % 997) as f64)),
+                            ("y", Value::Number((k * 31 % 997) as f64)),
+                            ("range", Value::Number(40.0)),
+                        ],
+                    )
+                    .unwrap();
+                }
+            }
+            let t0 = Instant::now();
+            for _ in 0..30 {
+                let stats = sim.tick();
+                switches += stats.joins.iter().filter(|j| j.switched).count();
+            }
+            let dt = t0.elapsed().as_secs_f64() / 30.0;
+            if fighting {
+                fight_time += dt / 2.0;
+                for id in reinforcements.drain(..) {
+                    sim.despawn(id);
+                }
+            } else {
+                explore_time += dt / 2.0;
+            }
+        }
+        println!(
+            "| {label} | {} | {} | {switches} |",
+            ms(explore_time),
+            ms(fight_time)
+        );
+    };
+
+    println!("| plan | explore tick | fight tick | plan switches |");
+    println!("|------|--------------|------------|---------------|");
+    run_regimes("static NL", Some(JoinMethod::NL));
+    run_regimes("static grid-index", Some(JoinMethod::Index(IndexKind::Grid)));
+    run_regimes("adaptive", None);
+    println!();
+    println!("Expected shape: NL wins the sparse explore regime, the index wins the");
+    println!("fight regime, and the adaptive engine tracks the better plan in both,");
+    println!("switching a handful of times at regime boundaries.\n");
+}
+
+// ---------------------------------------------------------------- E3 --
+
+fn e3_multicore() {
+    println!("## E3 — §4.2: multi-core scaling of the effect phase\n");
+    println!("RTS with 2×10000 units; effect-phase time per tick vs worker threads.\n");
+    if threads_avail() <= 1 {
+        println!("> **Host limitation:** this container exposes a single CPU, so wall-clock");
+        println!("> speedup cannot exceed ~1× here. The partitioned execution path itself is");
+        println!("> exercised (per-thread ⊕ accumulators, deterministic merge — see the");
+        println!("> equality tests in `tests/equivalence.rs` and `tests/determinism.rs`);");
+        println!("> on a multi-core host the table below shows the §4.2 scaling.\n");
+    }
+    println!("| threads | effect phase | speedup |");
+    println!("|---------|--------------|---------|");
+    let mut base = 0.0;
+    for &threads in &[1usize, 2, 4, 8] {
+        let mut sim = rts::build(&RtsParams {
+            units_per_side: 10_000,
+            arena: 800.0,
+            threads,
+            ..RtsParams::default()
+        });
+        sim.run(3);
+        let mut effect = Vec::new();
+        for _ in 0..5 {
+            let s = sim.tick();
+            effect.push(s.effect_nanos as f64 / 1e9);
+        }
+        effect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let t = effect[effect.len() / 2];
+        if threads == 1 {
+            base = t;
+        }
+        println!("| {threads} | {} | {:.2}× |", ms(t), base / t);
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------- E4 --
+
+fn e4_index_structures() {
+    use sgl_index::build_index;
+    println!("## E4 — §4.2: orthogonal range trees vs baselines\n");
+    println!("Build time, probe time (1000 boxes, ~0.1% selectivity each) and memory.");
+    println!("The paper's point: range trees answer in O(log^d n + k) but take");
+    println!("Θ(n·log^(d−1) n) space — \"a tree with 100,000 entries … about 2 GB\".\n");
+    println!("| n | d | index | build | 1000 probes | memory |");
+    println!("|---|---|-------|-------|-------------|--------|");
+    for &d in &[1usize, 2, 3] {
+        for &n in &[1_000usize, 10_000, 100_000] {
+            let pts = random_points(n, d, 0xFEED ^ n as u64);
+            let side = 1000.0f64;
+            let frac: f64 = 0.001; // target selectivity
+            let half = 0.5 * side * frac.powf(1.0 / d as f64);
+            for kind in [
+                IndexKind::Scan,
+                IndexKind::Grid,
+                IndexKind::KdTree,
+                IndexKind::RangeTree,
+            ] {
+                if kind == IndexKind::RangeTree && d == 3 && n > 30_000 {
+                    println!(
+                        "| {n} | {d} | rangetree | — | — | (skipped: n·log²n entries exhaust memory — the paper's point) |"
+                    );
+                    continue;
+                }
+                if kind == IndexKind::Scan && n > 10_000 {
+                    // Scan probe times at 100k are just n×1000 work; keep one row.
+                }
+                let t_build = time_median(3, || {
+                    let idx = build_index(kind, &pts);
+                    std::hint::black_box(idx.len());
+                });
+                let idx = build_index(kind, &pts);
+                let mut out = Vec::new();
+                let t_probe = time_median(3, || {
+                    let mut s = 0xABCDu64;
+                    for _ in 0..1000 {
+                        s ^= s << 13;
+                        s ^= s >> 7;
+                        s ^= s << 17;
+                        let cx = (s >> 11) as f64 / (1u64 << 53) as f64 * side;
+                        let lo: Vec<f64> = (0..d).map(|k| cx - half - k as f64).collect();
+                        let hi: Vec<f64> = (0..d).map(|k| cx + half - k as f64).collect();
+                        out.clear();
+                        idx.query(&lo, &hi, &mut out);
+                        std::hint::black_box(out.len());
+                    }
+                });
+                println!(
+                    "| {n} | {d} | {} | {} | {} | {} |",
+                    kind.name(),
+                    ms(t_build),
+                    ms(t_probe),
+                    mem(idx.memory_bytes())
+                );
+            }
+        }
+    }
+    println!();
+    println!("Range-tree entry growth (space analysis):\n");
+    println!("| n | d | entries | n·log₂^(d−1) n |");
+    println!("|---|---|---------|-----------------|");
+    for &(n, d) in &[(10_000usize, 2usize), (100_000, 2), (10_000, 3)] {
+        let pts = random_points(n, d, 7);
+        let tree = sgl_index::RangeTree::build(&pts);
+        let lg = (n as f64).log2();
+        println!(
+            "| {n} | {d} | {} | {:.0} |",
+            tree.entry_count(),
+            n as f64 * lg.powi(d as i32 - 1)
+        );
+    }
+    println!();
+}
+
+fn random_points(n: usize, d: usize, seed: u64) -> sgl_index::PointSet {
+    let mut pts = sgl_index::PointSet::new(d);
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64 * 1000.0
+    };
+    for _ in 0..n {
+        let c: Vec<f64> = (0..d).map(|_| next()).collect();
+        pts.push(&c);
+    }
+    pts
+}
+
+fn mem(bytes: usize) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2} GB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.1} MB", bytes as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.0} KB", bytes as f64 / 1024.0)
+    }
+}
+
+// ---------------------------------------------------------------- E5 --
+
+fn e5_transactions() {
+    println!("## E5 — §3.1: duping and the transaction engine\n");
+    println!("120 buyers contend for 10 items; 8 robbers steal every tick; 15 ticks.\n");
+    println!("| mode | transfers | duping (paid, not received) | negative balances | tick cost |");
+    println!("|------|-----------|------------------------------|-------------------|-----------|");
+    for mode in [MarketMode::Naive, MarketMode::MultiTick, MarketMode::Atomic] {
+        let params = MarketParams {
+            buyers: 120,
+            items: 10,
+            robbers: 8,
+            mode,
+            ..MarketParams::default()
+        };
+        let price = params.price;
+        let mut market = market::build(&params);
+        let t0 = Instant::now();
+        let audit = market::run_and_audit(&mut market, 15, price);
+        let per_tick = t0.elapsed().as_secs_f64() / 15.0;
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            mode.name(),
+            audit.transfers,
+            audit.duping,
+            audit.negative_balances,
+            ms(per_tick)
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------- E6 --
+
+fn e6_multitick() {
+    println!("## E6 — §3.2: waitNextTick vs hand-written state machine\n");
+    let sugared = r#"
+class Npc {
+state:
+  number acted = 0;
+effects:
+  number act : sum;
+update:
+  acted = acted + act;
+script quest {
+  act <- 1;
+  waitNextTick;
+  act <- 2;
+  waitNextTick;
+  act <- 3;
+}
+}
+"#;
+    let manual = r#"
+class Npc {
+state:
+  number acted = 0;
+  number pc = 0;
+effects:
+  number act : sum;
+  number pcNext : max = 0;
+update:
+  acted = acted + act;
+  pc = pcNext;
+script quest {
+  if (pc == 0) {
+    act <- 1;
+    pcNext <- 1;
+  } else if (pc == 1) {
+    act <- 2;
+    pcNext <- 2;
+  } else {
+    act <- 3;
+    pcNext <- 0;
+  }
+}
+}
+"#;
+    let measure = |src: &str| {
+        let mut sim = Simulation::builder().source(src).build().unwrap();
+        for _ in 0..20_000 {
+            sim.spawn("Npc", &[]).unwrap();
+        }
+        sim.run(3);
+        let t = time_median(5, || {
+            sim.tick();
+        });
+        let total: f64 = {
+            let w = sim.world();
+            let c = w.class_id("Npc").unwrap();
+            w.table(c).column_by_name("acted").unwrap().f64().iter().sum()
+        };
+        (t, total)
+    };
+    let (t_sugar, sum_sugar) = measure(sugared);
+    let (t_manual, sum_manual) = measure(manual);
+    println!("| variant | tick time (20k NPCs) | Σ acted after 8 ticks |");
+    println!("|---------|----------------------|------------------------|");
+    println!("| waitNextTick (compiled pc) | {} | {sum_sugar} |", ms(t_sugar));
+    println!("| hand-written state machine | {} | {sum_manual} |", ms(t_manual));
+    println!(
+        "\noverhead ratio: {:.2}× — the lowering is the same state machine (§3.2:\n\"a direct translation\"); behaviour is identical: {}.\n",
+        t_sugar / t_manual,
+        if sum_sugar == sum_manual { "Σ equal" } else { "MISMATCH" }
+    );
+}
+
+// ---------------------------------------------------------------- E7 --
+
+fn e7_reactive() {
+    println!("## E7 — §3.2: reactive handlers vs leading conditionals\n");
+    let with_handlers = r#"
+class Npc {
+state:
+  number hp = 50;
+  number alerts = 0;
+effects:
+  number damage : sum;
+  number alert : sum;
+update:
+  hp = hp - damage;
+  alerts = alerts + alert;
+script bleed {
+  damage <- 1;
+}
+when (hp < 45) { alert <- 1; }
+when (hp < 40) { alert <- 1; }
+when (hp < 35) { alert <- 1; }
+when (hp < 30) { alert <- 1; }
+}
+"#;
+    let inlined = r#"
+class Npc {
+state:
+  number hp = 50;
+  number alerts = 0;
+effects:
+  number damage : sum;
+  number alert : sum;
+update:
+  hp = hp - damage;
+  alerts = alerts + alert;
+script bleed {
+  damage <- 1;
+}
+script check {
+  if (hp < 45) { alert <- 1; }
+  if (hp < 40) { alert <- 1; }
+  if (hp < 35) { alert <- 1; }
+  if (hp < 30) { alert <- 1; }
+}
+}
+"#;
+    let measure = |src: &str, label: &str| {
+        let mut sim = Simulation::builder().source(src).build().unwrap();
+        for _ in 0..20_000 {
+            sim.spawn("Npc", &[]).unwrap();
+        }
+        sim.run(3);
+        let t = time_median(5, || {
+            sim.tick();
+        });
+        let s = sim.last_stats();
+        println!(
+            "| {label} | {} | {} | {} |",
+            ms(t),
+            ms(s.effect_nanos as f64 / 1e9),
+            ms(s.reactive_nanos as f64 / 1e9)
+        );
+        sim.run(12); // let the alert thresholds trip
+        let w = sim.world();
+        let c = w.class_id("Npc").unwrap();
+        let total: f64 = w.table(c).column_by_name("alerts").unwrap().f64().iter().sum();
+        total
+    };
+    println!("| variant | tick (20k NPCs) | effect phase | reactive phase |");
+    println!("|---------|------------------|--------------|----------------|");
+    let a = measure(with_handlers, "4 when-handlers");
+    let b = measure(inlined, "4 inlined ifs");
+    println!();
+    println!(
+        "behavioural check: Σ alerts {} (handlers) vs {} (inlined) — handlers fire one\n\
+         tick later by design (they run after update and seed the next tick), which\n\
+         accounts for the constant offset of one tick's worth of alerts.\n",
+        a, b
+    );
+}
+
+// ---------------------------------------------------------------- E8 --
+
+fn e8_traffic() {
+    println!("## E8 — §4.2: traffic-network scaling\n");
+    println!("Vehicles circulating city blocks with car-following; 10 measured ticks.");
+    if threads_avail() <= 1 {
+        println!("(single-CPU host: the 8-thread column cannot beat serial here — see E3)");
+    }
+    println!();
+    println!("| vehicles | serial ticks/s | 8-thread ticks/s | memory |");
+    println!("|----------|----------------|------------------|--------|");
+    for &n in &[10_000usize, 50_000, 100_000, 200_000] {
+        let rate = |threads: usize| {
+            let mut sim = traffic::build(&TrafficParams {
+                vehicles: n,
+                blocks: ((n as f64).sqrt() / 10.0).ceil() as usize + 4,
+                threads,
+                ..TrafficParams::default()
+            });
+            sim.run(2);
+            let t0 = Instant::now();
+            sim.run(10);
+            let r = 10.0 / t0.elapsed().as_secs_f64();
+            (r, sim.world().memory_bytes())
+        };
+        let (serial, mem_b) = rate(1);
+        let (par, _) = rate(8);
+        println!("| {n} | {serial:.1} | {par:.1} | {} |", mem(mem_b));
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------- E9 --
+
+fn e9_checkpoints() {
+    println!("## E9 — §3.3: resumable checkpoints\n");
+    println!("| units | snapshot size | encode | restore | replay divergence |");
+    println!("|-------|---------------|--------|---------|--------------------|");
+    for &per_side in &[500usize, 5000] {
+        let mut sim = rts::build(&RtsParams {
+            units_per_side: per_side,
+            arena: 400.0,
+            ..RtsParams::default()
+        });
+        sim.run(5);
+        let t0 = Instant::now();
+        let snap = sim.checkpoint();
+        let t_enc = t0.elapsed().as_secs_f64();
+
+        // Fingerprint a replayed future twice.
+        sim.run(10);
+        let a = fingerprint(&sim);
+        let t1 = Instant::now();
+        sim.restore(&snap).unwrap();
+        let t_dec = t1.elapsed().as_secs_f64();
+        sim.run(10);
+        let b = fingerprint(&sim);
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            per_side * 2,
+            mem(snap.len()),
+            ms(t_enc),
+            ms(t_dec),
+            if a == b { "0 (exact)" } else { "NONZERO" }
+        );
+    }
+    println!();
+}
+
+fn fingerprint(sim: &Simulation) -> Vec<(u64, String)> {
+    let w = sim.world();
+    let c = w.class_id("Unit").unwrap();
+    let mut v: Vec<(u64, String)> = w
+        .table(c)
+        .ids()
+        .iter()
+        .map(|id| (id.0, format!("{:?}", sim.state_of(*id).unwrap())))
+        .collect();
+    v.sort();
+    v
+}
+
+// --------------------------------------------------------------- E10 --
+
+fn e10_schema_layout() {
+    use sgl_storage::{Column, ColumnSpec, EntityId, RowTable, ScalarType, Schema, Table, Value as V};
+    println!("## E10 — §2.1: schema representation (columnar vs row layout)\n");
+    println!("A 32-attribute class, 100k entities. The paper: \"we have discovered that");
+    println!("it is often best to break a class up into multiple tables containing those");
+    println!("attributes that commonly appear in expressions together.\"\n");
+
+    let n = 100_000usize;
+    let width = 32usize;
+    let schema = |k: usize| {
+        Schema::from_cols(
+            (0..k)
+                .map(|i| ColumnSpec::new(format!("a{i}"), ScalarType::Number))
+                .collect(),
+        )
+    };
+
+    // Columnar extent.
+    let mut col_table = Table::new(schema(width));
+    for i in 0..n {
+        col_table.insert(EntityId(i as u64 + 1), &[]).unwrap();
+    }
+    for c in 0..width {
+        let data: Vec<f64> = (0..n).map(|i| (i * (c + 1)) as f64).collect();
+        col_table.replace_column(c, Column::from_f64(data));
+    }
+
+    // Row-store extent.
+    let mut row_table = RowTable::new(schema(width)).unwrap();
+    for i in 0..n {
+        let row: Vec<f64> = (0..width).map(|c| (i * (c + 1)) as f64).collect();
+        row_table.insert(EntityId(i as u64 + 1), &row).unwrap();
+    }
+
+    // Pattern A: scan 4 of 32 attributes (the script access pattern).
+    let t_col_scan = time_median(5, || {
+        let mut acc = 0.0;
+        for c in [0usize, 5, 9, 13] {
+            for v in col_table.column(c).f64() {
+                acc += v;
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let t_row_scan = time_median(5, || {
+        let mut acc = 0.0;
+        let mut buf = Vec::new();
+        for c in [0usize, 5, 9, 13] {
+            row_table.scan_column(c, &mut buf);
+            for v in &buf {
+                acc += v;
+            }
+        }
+        std::hint::black_box(acc);
+    });
+
+    // Pattern B: read whole rows (the object-at-a-time access pattern).
+    let t_col_row = time_median(5, || {
+        let mut acc = 0.0;
+        for r in 0..n {
+            for c in 0..width {
+                acc += col_table.column(c).f64()[r];
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let t_row_row = time_median(5, || {
+        let mut acc = 0.0;
+        for r in 0..n {
+            for v in row_table.row(r) {
+                acc += v;
+            }
+        }
+        std::hint::black_box(acc);
+    });
+
+    let _ = V::Number(0.0);
+    println!("| access pattern | columnar (ours) | row store | winner |");
+    println!("|----------------|-----------------|-----------|--------|");
+    println!(
+        "| scan 4/32 attributes (set-at-a-time scripts) | {} | {} | {} |",
+        ms(t_col_scan),
+        ms(t_row_scan),
+        if t_col_scan < t_row_scan { "columnar" } else { "row" }
+    );
+    println!(
+        "| read whole rows (object-at-a-time) | {} | {} | {} |",
+        ms(t_col_row),
+        ms(t_row_row),
+        if t_col_row < t_row_row { "columnar" } else { "row" }
+    );
+    println!();
+    println!("The compiled engine's scripts touch few attributes per expression, which");
+    println!("is exactly the pattern the columnar (vertically partitioned) layout wins.\n");
+}
+
+// --------------------------------------------------------------- E11 --
+
+fn e11_partitioned_indexes() {
+    use sgl_index::{PartitionedRangeTree, RangeTree, SpatialIndex};
+    println!("## E11 — §4.2: partitioning range trees across nodes\n");
+    println!("\"Thus an interesting research question is to consider techniques to");
+    println!("partition indices across multiple nodes.\" Spatial range partitioning on");
+    println!("the first dimension; shards simulate shared-nothing nodes.\n");
+    println!("| n | nodes | max bytes/node | total bytes | fanout (0.1% box) | fanout (full) |");
+    println!("|---|-------|----------------|-------------|--------------------|---------------|");
+    for &n in &[10_000usize, 100_000] {
+        let pts = random_points(n, 2, 0xA11CE ^ n as u64);
+        let whole = RangeTree::build(&pts);
+        println!(
+            "| {n} | 1 | {} | {} | 1 | 1 |",
+            mem(whole.memory_bytes()),
+            mem(whole.memory_bytes())
+        );
+        for &k in &[4usize, 16] {
+            let part = PartitionedRangeTree::build(&pts, k);
+            // A selective box: ~0.1% of the key range in each dim.
+            let fan_small = part.fanout(500.0, 500.0 + 1000.0 * 0.032);
+            let fan_full = part.fanout(f64::NEG_INFINITY, f64::INFINITY);
+            println!(
+                "| {n} | {k} | {} | {} | {fan_small} | {fan_full} |",
+                mem(part.max_shard_bytes()),
+                mem(part.memory_bytes())
+            );
+        }
+    }
+    println!();
+    println!("Partitioning divides the per-node footprint by ~k *and* shrinks the total");
+    println!("(each shard pays log of a smaller n) while selective queries touch only one");
+    println!("or two nodes — the property a cluster deployment needs.\n");
+}
+
+// --------------------------------------------------------------- E12 --
+
+fn e12_cluster() {
+    use sgl_bench::{crowd_points, CROWD_GAME};
+    use sgl_dist::{DistConfig, DistSim};
+
+    println!("## E12 — §4.2: shared-nothing cluster execution (simulated)\n");
+    println!(
+        "Crowd workload (accum band join with cross-entity nudges) range-\n\
+         partitioned on x. Nodes are simulated shared-nothing engines; the\n\
+         interconnect is a BSP model (50 µs/round, 10 Gbit/s). `sim tick` is\n\
+         max-node compute + 3 rounds + traffic/bandwidth; equality with the\n\
+         single-node engine is asserted by `tests/distributed.rs`.\n"
+    );
+    let n = 20_000;
+    let span = 2_000.0;
+    let points = crowd_points(n, span, 0xC1D2);
+    println!("| nodes | max node pop | ghosts | KB/tick | max node compute | sim tick | sim speedup |");
+    println!("|-------|--------------|--------|---------|------------------|----------|-------------|");
+    let mut base_sim_tick = None;
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let game = {
+            let sim = Simulation::builder().source(CROWD_GAME).build().unwrap();
+            sim.game().clone()
+        };
+        let mut cluster =
+            DistSim::new(game, DistConfig::new(nodes, "x", (0.0, span), 12.0)).unwrap();
+        for &(x, y) in &points {
+            cluster
+                .spawn("Unit", &[("x", Value::Number(x)), ("y", Value::Number(y))])
+                .unwrap();
+        }
+        // Warm-up, then measure a few ticks.
+        cluster.step();
+        let reps = 3;
+        let mut ghosts = 0usize;
+        let mut bytes = 0u64;
+        let mut max_compute = 0u64;
+        let mut sim_secs = 0.0f64;
+        for _ in 0..reps {
+            cluster.step();
+            let s = cluster.last_stats();
+            ghosts += s.ghosts;
+            bytes += s.total_bytes();
+            max_compute += s.node_compute_nanos.iter().copied().max().unwrap_or(0);
+            sim_secs += s.simulated_seconds;
+        }
+        let ghosts = ghosts / reps;
+        let bytes = bytes / reps as u64;
+        let max_compute = max_compute / reps as u64;
+        let sim_secs = sim_secs / reps as f64;
+        let max_pop = (0..nodes).map(|k| cluster.node_population(k)).max().unwrap();
+        let speedup = match base_sim_tick {
+            None => {
+                base_sim_tick = Some(sim_secs);
+                1.0
+            }
+            Some(base) => base / sim_secs,
+        };
+        println!(
+            "| {nodes} | {max_pop} | {ghosts} | {:.1} | {} | {} | {speedup:.2}× |",
+            bytes as f64 / 1024.0,
+            ms(max_compute as f64 / 1e9),
+            ms(sim_secs),
+        );
+    }
+    println!();
+    println!(
+        "Expected shape: per-node population (and with it the per-node join)\n\
+         shrinks ~linearly with nodes, so simulated tick time falls until ghost\n\
+         replication and partial routing — which grow with the number of stripe\n\
+         boundaries — eat the gains; communication-bound beyond that point.\n"
+    );
+}
+
+// --------------------------------------------------------------- E13 --
+
+fn e13_interrupts() {
+    println!("## E13 — §3.2: interruptible intentions (`restart` handlers)\n");
+    println!(
+        "20k guards on a three-step patrol; raiders wound ~5% of them per\n\
+         tick. The `restart` handler abandons the patrol and heals; the\n\
+         hand-written variant threads an explicit pc and replicates the\n\
+         threat conditional at every tick entry point — exactly the state-\n\
+         machine boilerplate §3.2 wants to remove.\n"
+    );
+    const SUGARED: &str = r#"
+class Guard {
+state:
+  number id = 0;
+  number hp = 100;
+  number atStep = 0;
+  number heals = 0;
+  number clock = 0;
+effects:
+  number step : max = 0;
+  number dmg : sum;
+  number cured : sum;
+  number tickc : sum;
+update:
+  hp = hp - dmg + cured;
+  atStep = step;
+  heals = heals + cured;
+  clock = clock + tickc;
+script wound {
+  tickc <- 1;
+  if (id - floor(id / 20) * 20 == clock - floor(clock / 20) * 20) {
+    dmg <- 60;
+  }
+}
+script patrol {
+  step <- 1;
+  waitNextTick;
+  step <- 2;
+  waitNextTick;
+  step <- 3;
+}
+when (hp < 50) { cured <- 100; } restart patrol;
+}
+"#;
+    const HAND_WRITTEN: &str = r#"
+class Guard {
+state:
+  number id = 0;
+  number hp = 100;
+  number atStep = 0;
+  number heals = 0;
+  number clock = 0;
+  number pc = 0;
+effects:
+  number step : max = 0;
+  number dmg : sum;
+  number cured : sum;
+  number tickc : sum;
+  number pcN : max = 0;
+update:
+  hp = hp - dmg + cured;
+  atStep = step;
+  heals = heals + cured;
+  clock = clock + tickc;
+  pc = pcN;
+script wound {
+  tickc <- 1;
+  if (id - floor(id / 20) * 20 == clock - floor(clock / 20) * 20) {
+    dmg <- 60;
+  }
+}
+script patrol {
+  if (hp < 50) {
+    cured <- 100;
+    step <- 1;
+    pcN <- 1;
+  } else {
+    if (pc == 0) {
+      step <- 1;
+      pcN <- 1;
+    }
+    if (pc == 1) {
+      step <- 2;
+      pcN <- 2;
+    }
+    if (pc == 2) {
+      step <- 3;
+      pcN <- 0;
+    }
+  }
+}
+}
+"#;
+    let measure = |src: &str, label: &str| -> (f64, f64) {
+        let mut sim = Simulation::builder().source(src).build().unwrap();
+        for i in 0..20_000 {
+            sim.spawn("Guard", &[("id", Value::Number(i as f64))]).unwrap();
+        }
+        sim.run(3);
+        let mut interrupts = 0u64;
+        let t = time_median(5, || {
+            sim.tick();
+        });
+        for _ in 0..10 {
+            sim.tick();
+            interrupts += sim.last_stats().interrupts;
+        }
+        let w = sim.world();
+        let c = w.class_id("Guard").unwrap();
+        let heals: f64 = w.table(c).column_by_name("heals").unwrap().f64().iter().sum();
+        println!(
+            "| {label} | {} | {:.0} | {} |",
+            ms(t),
+            interrupts as f64 / 10.0,
+            heals
+        );
+        (t, heals)
+    };
+    println!("| variant | tick (20k guards) | interrupts/tick | Σ heals after run |");
+    println!("|---------|-------------------|-----------------|--------------------|");
+    let (a, _) = measure(SUGARED, "restart handler");
+    let (b, _) = measure(HAND_WRITTEN, "hand-written pc + threat checks");
+    println!();
+    println!(
+        "overhead ratio: {:.2}× — the handler pays one extra post-update scan;\n\
+         the hand-written script replicates the threat conditional in every\n\
+         segment and reacts one tick earlier (it reads pre-update state), which\n\
+         is exactly the subtle-divergence trap §3.2's construct removes.\n",
+        a / b
+    );
+}
+
+// ---------------------------------------------------------- ablations --
+
+/// A1 — grid cell sizing (DESIGN §7: broadphase granularity).
+fn a1_grid_cell_size() {
+    use sgl_index::{SpatialIndex, UniformGrid};
+    println!("## A1 — ablation: uniform-grid cell count\n");
+    println!("20k uniform points, 1000 probes of ~8 expected matches each.\n");
+    println!("| cells/axis | build | 1000 probes | note |");
+    println!("|------------|-------|-------------|------|");
+    let pts = random_points(20_000, 2, 77);
+    let auto = (20_000f64).powf(0.5).ceil() as usize;
+    for &cells in &[8usize, 32, 141, 512, 2048] {
+        let t_build = time_median(3, || {
+            let g = UniformGrid::build_with_cells(&pts, cells);
+            std::hint::black_box(g.memory_bytes());
+        });
+        let g = UniformGrid::build_with_cells(&pts, cells);
+        let mut out = Vec::new();
+        let t_probe = time_median(3, || {
+            let mut s = 0x1234u64;
+            for _ in 0..1000 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let cx = (s >> 11) as f64 / (1u64 << 53) as f64 * 1000.0;
+                out.clear();
+                g.query(&[cx - 10.0, cx - 10.0], &[cx + 10.0, cx + 10.0], &mut out);
+                std::hint::black_box(out.len());
+            }
+        });
+        let note = if cells == 141 || cells == auto {
+            "≈ auto (⌈√n⌉)"
+        } else if cells <= 8 {
+            "too coarse: scans"
+        } else if cells >= 2048 {
+            "too fine: cell overhead"
+        } else {
+            ""
+        };
+        println!("| {cells} | {} | {} | {note} |", ms(t_build), ms(t_probe));
+    }
+    println!();
+}
+
+/// A2 — adaptive hysteresis (DESIGN §7: re-optimization trigger).
+fn a2_hysteresis() {
+    use sgl::PlannerConfig;
+    println!("## A2 — ablation: plan-switch hysteresis\n");
+    println!("Alternating 48/6000-unit regimes (as E2), 20 ticks per phase, 6 phases.");
+    println!("Too little damping ⇒ thrashing; too much ⇒ the planner gets stuck.\n");
+    println!("| hysteresis | plan switches | total time |");
+    println!("|------------|---------------|------------|");
+    for &h in &[1.0f64, 0.85, 0.5, 0.1] {
+        let mut config = sgl::EngineConfig::default();
+        config.exec.adaptive = true;
+        config.exec.planner = PlannerConfig {
+            hysteresis: h,
+            ..PlannerConfig::default()
+        };
+        let mut sim = Simulation::builder()
+            .source(FIG2_GAME)
+            .engine_config(config)
+            .build()
+            .unwrap();
+        for k in 0..48 {
+            sim.spawn(
+                "Unit",
+                &[
+                    ("x", Value::Number((k * 13 % 997) as f64)),
+                    ("y", Value::Number((k * 31 % 997) as f64)),
+                    ("range", Value::Number(40.0)),
+                ],
+            )
+            .unwrap();
+        }
+        let mut switches = 0usize;
+        let mut reinforcements: Vec<sgl::EntityId> = Vec::new();
+        let t0 = Instant::now();
+        for phase in 0..6 {
+            let fighting = phase % 2 == 1;
+            if fighting {
+                for k in 0..6000 {
+                    reinforcements.push(
+                        sim.spawn(
+                            "Unit",
+                            &[
+                                ("x", Value::Number(100.0 + (k % 80) as f64)),
+                                ("y", Value::Number(100.0 + (k / 80) as f64)),
+                                ("range", Value::Number(3.0)),
+                            ],
+                        )
+                        .unwrap(),
+                    );
+                }
+            }
+            for _ in 0..20 {
+                let stats = sim.tick();
+                switches += stats.joins.iter().filter(|j| j.switched).count();
+            }
+            if fighting {
+                for id in reinforcements.drain(..) {
+                    sim.despawn(id);
+                }
+            }
+        }
+        println!("| {h} | {switches} | {} |", ms(t0.elapsed().as_secs_f64()));
+    }
+    println!();
+}
+
+/// A3 — parallel fan-out threshold (DESIGN §7: partitioning grain).
+fn a3_parallel_threshold() {
+    println!("## A3 — ablation: parallel fan-out threshold\n");
+    println!("8 threads; vary the minimum extent size that triggers fan-out. Small");
+    println!("worlds must not pay thread overhead; large worlds must fan out.");
+    if threads_avail() <= 1 {
+        println!("(single-CPU host: fan-out can only add overhead here, so the infinite");
+        println!("threshold wins both columns; on a multi-core host the middle row wins");
+        println!("the right column.)");
+    }
+    println!();
+    println!("| threshold | tick @ n=500 | tick @ n=20000 |");
+    println!("|-----------|--------------|-----------------|");
+    for &thr in &[0usize, 1024, 1_000_000] {
+        let t_small = {
+            let mut config = sgl::EngineConfig::default();
+            config.exec.threads = 8;
+            config.exec.parallel_threshold = thr;
+            let mut sim = Simulation::builder()
+                .source(FIG2_GAME)
+                .engine_config(config)
+                .build()
+                .unwrap();
+            for k in 0..500 {
+                sim.spawn(
+                    "Unit",
+                    &[
+                        ("x", Value::Number((k * 17 % 997) as f64)),
+                        ("y", Value::Number((k * 29 % 997) as f64)),
+                        ("range", Value::Number(20.0)),
+                    ],
+                )
+                .unwrap();
+            }
+            sim.tick();
+            time_median(5, || {
+                sim.tick();
+            })
+        };
+        let t_big = {
+            let mut config = sgl::EngineConfig::default();
+            config.exec.threads = 8;
+            config.exec.parallel_threshold = thr;
+            let mut sim = Simulation::builder()
+                .source(FIG2_GAME)
+                .engine_config(config)
+                .build()
+                .unwrap();
+            for k in 0..20_000 {
+                sim.spawn(
+                    "Unit",
+                    &[
+                        ("x", Value::Number((k * 17 % 997) as f64)),
+                        ("y", Value::Number((k * 29 % 997) as f64)),
+                        ("range", Value::Number(5.0)),
+                    ],
+                )
+                .unwrap();
+            }
+            sim.tick();
+            time_median(5, || {
+                sim.tick();
+            })
+        };
+        println!("| {thr} | {} | {} |", ms(t_small), ms(t_big));
+    }
+    println!();
+}

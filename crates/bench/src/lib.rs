@@ -1,0 +1,133 @@
+//! Shared helpers for the experiment harness and benches.
+
+use std::time::Instant;
+
+use sgl::{ExecMode, JoinMethod, Simulation, Value};
+
+/// Median wall time of `f` over `reps` runs, in seconds.
+pub fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// The Fig. 2 neighbour-count game (range parameterized at spawn).
+pub const FIG2_GAME: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number y = 0;
+  number range = 1;
+  number seen = 0;
+effects:
+  number near : sum;
+update:
+  seen = near;
+script count_neighbors {
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - range && u.x <= x + range &&
+        u.y >= y - range && u.y <= y + range) {
+      cnt <- 1;
+    }
+  } in {
+    near <- cnt;
+  }
+}
+}
+"#;
+
+/// Build the Fig. 2 world: `n` units uniform on a `side × side` square,
+/// with `range` chosen so each unit sees ~`target_neighbors` others.
+pub fn fig2_sim(
+    n: usize,
+    target_neighbors: f64,
+    mode: ExecMode,
+    method: Option<JoinMethod>,
+    threads: usize,
+) -> Simulation {
+    let side = 1000.0f64;
+    // Expected matches in a (2r)² box on a uniform field: n·(2r)²/side².
+    let r = 0.5 * side * (target_neighbors / n as f64).sqrt();
+    let mut b = Simulation::builder()
+        .source(FIG2_GAME)
+        .mode(mode)
+        .threads(threads);
+    if let Some(m) = method {
+        b = b.fixed_method(m);
+    }
+    let mut sim = b.build().unwrap();
+    let mut state = 0xC0FFEE ^ n as u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * side
+    };
+    for _ in 0..n {
+        let x = next();
+        let y = next();
+        sim.spawn(
+            "Unit",
+            &[
+                ("x", Value::Number(x)),
+                ("y", Value::Number(y)),
+                ("range", Value::Number(r)),
+            ],
+        )
+        .unwrap();
+    }
+    sim
+}
+
+/// The §4.2 cluster workload: units drift, count neighbours, and nudge
+/// every neighbour they see — the nudge lands on the *other* entity, so
+/// it crosses nodes when that neighbour is a ghost. Interaction radius
+/// 12 (the halo the cluster must replicate).
+pub const CROWD_GAME: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number y = 0;
+  number vx = 2;
+  number crowding = 0;
+effects:
+  number near : sum;
+  number nudge : sum;
+  number push : avg;
+update:
+  crowding = near + nudge;
+  x = x + vx - push;
+script sense {
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - 12 && u.x <= x + 12 &&
+        u.y >= y - 12 && u.y <= y + 12) {
+      cnt <- 1;
+      u.nudge <- 1;
+    }
+  } in {
+    near <- cnt;
+    if (cnt > 3) {
+      push <- 1;
+    }
+  }
+}
+}
+"#;
+
+/// Deterministic scatter of `n` crowd units over a `span × span` square,
+/// spawned into any sink that accepts `(class, values)` pairs.
+pub fn crowd_points(n: usize, span: f64, seed: u64) -> Vec<(f64, f64)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * span
+    };
+    (0..n).map(|_| (next(), next())).collect()
+}

@@ -1,0 +1,367 @@
+//! AST expression → physical expression compilation.
+//!
+//! Typing mirrors the frontend's `TypeEnv` (which has already validated
+//! the program); this pass additionally resolves every name to a batch
+//! slot and picks typed physical operators.
+
+use sgl_ast::{BinOp, Expr, UnOp};
+use sgl_frontend::Diagnostics;
+use sgl_relalg::{Func, PBinOp, PExpr, PUnOp};
+use sgl_storage::{Catalog, ClassId, EntityId, ScalarType};
+
+/// Where the expression's bare names resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileMode {
+    /// Script/handler/constraint batch: slot 0 = id, slots 1.. = state.
+    Script,
+    /// Update batch: id, old state, then combined effects.
+    Update,
+}
+
+/// A named slot binding (a `let` local or a readable accum result).
+#[derive(Debug, Clone)]
+pub struct SlotBinding {
+    /// Variable name.
+    pub name: String,
+    /// Batch slot holding its value.
+    pub slot: usize,
+    /// Value type.
+    pub ty: ScalarType,
+}
+
+/// Pair (accum-body) context.
+#[derive(Debug, Clone)]
+pub struct PairCtx {
+    /// The accum element variable name (`u`).
+    pub elem_name: String,
+    /// Its class.
+    pub elem_class: ClassId,
+    /// Left batch width — right slots start here.
+    pub left_width: usize,
+    /// Inlined `let` bindings from the accum body: `(name, expr, type)`.
+    pub inline: Vec<(String, PExpr, ScalarType)>,
+}
+
+/// Expression compilation context.
+pub struct ExprCtx<'a> {
+    /// Class metadata.
+    pub catalog: &'a Catalog,
+    /// The executing class.
+    pub class: ClassId,
+    /// Name resolution mode.
+    pub mode: CompileMode,
+    /// In-scope slot bindings (locals + readable accum results),
+    /// innermost last.
+    pub bindings: Vec<SlotBinding>,
+    /// Pair context when compiling inside an accum body.
+    pub pair: Option<PairCtx>,
+}
+
+impl<'a> ExprCtx<'a> {
+    /// A fresh scalar context.
+    pub fn new(catalog: &'a Catalog, class: ClassId, mode: CompileMode) -> Self {
+        ExprCtx {
+            catalog,
+            class,
+            mode,
+            bindings: Vec::new(),
+            pair: None,
+        }
+    }
+
+    fn state_slot(&self, col: usize) -> usize {
+        1 + col
+    }
+
+    fn effect_slot(&self, eidx: usize) -> usize {
+        1 + self.catalog.class(self.class).state.len() + eidx
+    }
+
+    /// Compile `e`; on failure a diagnostic is recorded and `None`
+    /// returned.
+    pub fn compile(&self, e: &Expr, diags: &mut Diagnostics) -> Option<(PExpr, ScalarType)> {
+        match e {
+            Expr::Number(x, _) => Some((PExpr::ConstF(*x), ScalarType::Number)),
+            Expr::Bool(b, _) => Some((PExpr::ConstB(*b), ScalarType::Bool)),
+            Expr::Null(_) => Some((
+                PExpr::ConstRef(EntityId::NULL),
+                ScalarType::Ref(self.class),
+            )),
+            Expr::SelfRef(_) => Some((PExpr::Col(0), ScalarType::Ref(self.class))),
+            Expr::Var(id) => self.resolve_var(&id.name, id.span, diags),
+            Expr::Field { base, field, span } => {
+                // Fast paths: elem.field → right slot, self.field → left
+                // state slot. General: Gather through the ref.
+                if let (Some(pair), Expr::Var(b)) = (&self.pair, base.as_ref()) {
+                    if b.name == pair.elem_name {
+                        let cdef = self.catalog.class(pair.elem_class);
+                        let Some(col) = cdef.state.index_of(&field.name) else {
+                            diags.error(
+                                format!("class `{}` has no attribute `{}`", cdef.name, field.name),
+                                field.span,
+                            );
+                            return None;
+                        };
+                        return Some((
+                            PExpr::Col(pair.left_width + 1 + col),
+                            cdef.state.col(col).ty,
+                        ));
+                    }
+                }
+                if matches!(base.as_ref(), Expr::SelfRef(_)) {
+                    let cdef = self.catalog.class(self.class);
+                    if let Some(col) = cdef.state.index_of(&field.name) {
+                        return Some((PExpr::Col(self.state_slot(col)), cdef.state.col(col).ty));
+                    }
+                }
+                let (bexpr, bty) = self.compile(base, diags)?;
+                let ScalarType::Ref(cid) = bty else {
+                    diags.error(format!("`.` access requires a ref, got {bty}"), *span);
+                    return None;
+                };
+                let cdef = self.catalog.class(cid);
+                let Some(col) = cdef.state.index_of(&field.name) else {
+                    diags.error(
+                        format!("class `{}` has no attribute `{}`", cdef.name, field.name),
+                        field.span,
+                    );
+                    return None;
+                };
+                Some((
+                    PExpr::Gather {
+                        class: cid,
+                        col,
+                        base: Box::new(bexpr),
+                    },
+                    cdef.state.col(col).ty,
+                ))
+            }
+            Expr::Unary { op, expr, span } => {
+                let (inner, ty) = self.compile(expr, diags)?;
+                match op {
+                    UnOp::Neg if ty == ScalarType::Number => {
+                        Some((PExpr::Un(PUnOp::Neg, Box::new(inner)), ScalarType::Number))
+                    }
+                    UnOp::Not if ty == ScalarType::Bool => {
+                        Some((PExpr::Un(PUnOp::Not, Box::new(inner)), ScalarType::Bool))
+                    }
+                    _ => {
+                        diags.error(format!("invalid unary operand type {ty}"), *span);
+                        None
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let (le, lt) = self.compile(lhs, diags)?;
+                let (re, rt) = self.compile(rhs, diags)?;
+                let pop = match (op, lt, rt) {
+                    (BinOp::Add, _, _) => PBinOp::Add,
+                    (BinOp::Sub, _, _) => PBinOp::Sub,
+                    (BinOp::Mul, _, _) => PBinOp::Mul,
+                    (BinOp::Div, _, _) => PBinOp::Div,
+                    (BinOp::Mod, _, _) => PBinOp::Mod,
+                    (BinOp::Lt, _, _) => PBinOp::Lt,
+                    (BinOp::Le, _, _) => PBinOp::Le,
+                    (BinOp::Gt, _, _) => PBinOp::Gt,
+                    (BinOp::Ge, _, _) => PBinOp::Ge,
+                    (BinOp::And, _, _) => PBinOp::And,
+                    (BinOp::Or, _, _) => PBinOp::Or,
+                    (BinOp::Eq, ScalarType::Number, _) => PBinOp::EqF,
+                    (BinOp::Eq, ScalarType::Bool, _) => PBinOp::EqB,
+                    (BinOp::Eq, ScalarType::Ref(_), _) => PBinOp::EqR,
+                    (BinOp::Ne, ScalarType::Number, _) => PBinOp::NeF,
+                    (BinOp::Ne, ScalarType::Bool, _) => PBinOp::NeB,
+                    (BinOp::Ne, ScalarType::Ref(_), _) => PBinOp::NeR,
+                    (op, lt, _) => {
+                        diags.error(
+                            format!("operator {} not defined for {lt}", op.symbol()),
+                            *span,
+                        );
+                        return None;
+                    }
+                };
+                let ty = if op.is_boolean() {
+                    ScalarType::Bool
+                } else {
+                    ScalarType::Number
+                };
+                Some((PExpr::bin(pop, le, re), ty))
+            }
+            Expr::Call { func, args, span } => {
+                let mut compiled = Vec::with_capacity(args.len());
+                let mut types = Vec::with_capacity(args.len());
+                for a in args {
+                    let (e, t) = self.compile(a, diags)?;
+                    compiled.push(e);
+                    types.push(t);
+                }
+                let (f, ty) = match (func.name.as_str(), types.as_slice()) {
+                    ("abs", [ScalarType::Number]) => (Func::Abs, ScalarType::Number),
+                    ("sqrt", [ScalarType::Number]) => (Func::Sqrt, ScalarType::Number),
+                    ("floor", [ScalarType::Number]) => (Func::Floor, ScalarType::Number),
+                    ("ceil", [ScalarType::Number]) => (Func::Ceil, ScalarType::Number),
+                    ("min", [ScalarType::Number, ScalarType::Number]) => {
+                        (Func::Min2, ScalarType::Number)
+                    }
+                    ("max", [ScalarType::Number, ScalarType::Number]) => {
+                        (Func::Max2, ScalarType::Number)
+                    }
+                    ("clamp", [ScalarType::Number, ScalarType::Number, ScalarType::Number]) => {
+                        (Func::Clamp, ScalarType::Number)
+                    }
+                    ("dist", [ScalarType::Number, ScalarType::Number, ScalarType::Number, ScalarType::Number]) => {
+                        (Func::Dist, ScalarType::Number)
+                    }
+                    ("id", [ScalarType::Ref(_)]) => (Func::Id, ScalarType::Number),
+                    ("size", [ScalarType::Set(_)]) => (Func::Size, ScalarType::Number),
+                    ("contains", [ScalarType::Set(_), ScalarType::Ref(_)]) => {
+                        (Func::Contains, ScalarType::Bool)
+                    }
+                    ("union", [ScalarType::Set(c), ScalarType::Set(_)]) => {
+                        (Func::Union2, ScalarType::Set(*c))
+                    }
+                    (name, _) => {
+                        diags.error(format!("unknown function `{name}`"), *span);
+                        return None;
+                    }
+                };
+                Some((PExpr::Call(f, compiled), ty))
+            }
+        }
+    }
+
+    fn resolve_var(
+        &self,
+        name: &str,
+        span: sgl_ast::Span,
+        diags: &mut Diagnostics,
+    ) -> Option<(PExpr, ScalarType)> {
+        if let Some(pair) = &self.pair {
+            for (n, e, t) in pair.inline.iter().rev() {
+                if n == name {
+                    return Some((e.clone(), *t));
+                }
+            }
+        }
+        for b in self.bindings.iter().rev() {
+            if b.name == name {
+                return Some((PExpr::Col(b.slot), b.ty));
+            }
+        }
+        if let Some(pair) = &self.pair {
+            if pair.elem_name == name {
+                return Some((
+                    PExpr::Col(pair.left_width),
+                    ScalarType::Ref(pair.elem_class),
+                ));
+            }
+        }
+        let def = self.catalog.class(self.class);
+        if let Some(col) = def.state.index_of(name) {
+            return Some((PExpr::Col(self.state_slot(col)), def.state.col(col).ty));
+        }
+        if self.mode == CompileMode::Update {
+            if let Some(eidx) = def.effect_index(name) {
+                return Some((PExpr::Col(self.effect_slot(eidx)), def.effects[eidx].ty));
+            }
+        }
+        diags.error(
+            format!(
+                "cannot resolve `{name}` here (locals do not survive waitNextTick; \
+                 store values in state variables instead)"
+            ),
+            span,
+        );
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_frontend::check;
+
+    fn unit_catalog() -> Catalog {
+        check(
+            r#"
+class Unit {
+state:
+  number x = 0;
+  number y = 0;
+  ref<Unit> target = null;
+effects:
+  number damage : sum;
+}
+"#,
+        )
+        .unwrap()
+        .catalog
+    }
+
+    #[test]
+    fn state_vars_resolve_to_slots() {
+        let cat = unit_catalog();
+        let mut diags = Diagnostics::new();
+        let ctx = ExprCtx::new(&cat, ClassId(0), CompileMode::Script);
+        let e = sgl_frontend::parse_expr("x + y").unwrap();
+        let (p, t) = ctx.compile(&e, &mut diags).unwrap();
+        assert_eq!(t, ScalarType::Number);
+        assert_eq!(p, PExpr::bin(PBinOp::Add, PExpr::Col(1), PExpr::Col(2)));
+    }
+
+    #[test]
+    fn field_through_ref_becomes_gather() {
+        let cat = unit_catalog();
+        let mut diags = Diagnostics::new();
+        let ctx = ExprCtx::new(&cat, ClassId(0), CompileMode::Script);
+        let e = sgl_frontend::parse_expr("target.x").unwrap();
+        let (p, _) = ctx.compile(&e, &mut diags).unwrap();
+        assert!(matches!(p, PExpr::Gather { class: ClassId(0), col: 0, .. }));
+    }
+
+    #[test]
+    fn update_mode_reads_effects() {
+        let cat = unit_catalog();
+        let mut diags = Diagnostics::new();
+        let ctx = ExprCtx::new(&cat, ClassId(0), CompileMode::Update);
+        let e = sgl_frontend::parse_expr("x - damage").unwrap();
+        let (p, _) = ctx.compile(&e, &mut diags).unwrap();
+        // damage is effect 0 → slot 1 + 3 state cols + 0 = 4.
+        assert_eq!(p, PExpr::bin(PBinOp::Sub, PExpr::Col(1), PExpr::Col(4)));
+    }
+
+    #[test]
+    fn pair_ctx_resolves_elem_fields() {
+        let cat = unit_catalog();
+        let mut diags = Diagnostics::new();
+        let mut ctx = ExprCtx::new(&cat, ClassId(0), CompileMode::Script);
+        ctx.pair = Some(PairCtx {
+            elem_name: "u".into(),
+            elem_class: ClassId(0),
+            left_width: 4,
+            inline: vec![],
+        });
+        let e = sgl_frontend::parse_expr("u.x >= x - 1").unwrap();
+        let (p, _) = ctx.compile(&e, &mut diags).unwrap();
+        // u.x → slot 4 + 1 + 0 = 5; x → slot 1.
+        assert_eq!(
+            p,
+            PExpr::bin(
+                PBinOp::Ge,
+                PExpr::Col(5),
+                PExpr::bin(PBinOp::Sub, PExpr::Col(1), PExpr::ConstF(1.0))
+            )
+        );
+    }
+
+    #[test]
+    fn ref_equality_uses_typed_op() {
+        let cat = unit_catalog();
+        let mut diags = Diagnostics::new();
+        let ctx = ExprCtx::new(&cat, ClassId(0), CompileMode::Script);
+        let e = sgl_frontend::parse_expr("target == null").unwrap();
+        let (p, t) = ctx.compile(&e, &mut diags).unwrap();
+        assert_eq!(t, ScalarType::Bool);
+        assert!(matches!(p, PExpr::Bin(PBinOp::EqR, _, _)));
+    }
+}

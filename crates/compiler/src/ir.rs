@@ -1,0 +1,256 @@
+//! The compiled intermediate representation executed by the engine.
+//!
+//! Batch slot layout (shared convention with `sgl-relalg`):
+//!
+//! * script/handler/constraint batches: slot 0 = entity id,
+//!   slots `1..=S` = state columns, further slots = computed columns;
+//! * update batches: slot 0 = entity id, slots `1..=S` = *old* state,
+//!   slots `S+1..=S+E` = combined effect values;
+//! * pair (join) contexts: left slots as above, right slots shifted by
+//!   the left batch width recorded in [`AccumStep::left_width`].
+
+use sgl_frontend::CheckedProgram;
+use sgl_relalg::{JoinSpec, PExpr};
+use sgl_storage::{Catalog, ClassId, Combinator, ScalarType};
+
+/// A fully compiled game: catalog (including compiler-generated hidden
+/// program-counter columns) plus per-class plans.
+#[derive(Debug, Clone)]
+pub struct CompiledGame {
+    /// The validated program (AST + original catalog), kept for the
+    /// object-at-a-time interpreter baseline.
+    pub checked: CheckedProgram,
+    /// The execution catalog: the checked catalog extended with hidden
+    /// `__pc_*` columns for multi-tick scripts.
+    pub catalog: Catalog,
+    /// Per-class compiled artifacts, indexed by `ClassId`.
+    pub classes: Vec<CompiledClass>,
+}
+
+impl CompiledGame {
+    /// The compiled plans for `class`.
+    pub fn class(&self, id: ClassId) -> &CompiledClass {
+        &self.classes[id.0 as usize]
+    }
+}
+
+/// Compiled artifacts of one class.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledClass {
+    /// Compiled scripts, in declaration order.
+    pub scripts: Vec<CompiledScript>,
+    /// Expression update rules: `(state column, expression over the
+    /// update batch)`. Includes compiler-generated `__pc_*` rules.
+    pub updates: Vec<UpdatePlan>,
+    /// Compiled class constraints (bool expressions over the script
+    /// batch layout restricted to state slots).
+    pub constraints: Vec<PExpr>,
+    /// Compiled reactive handlers.
+    pub handlers: Vec<CompiledHandler>,
+    /// `(state column, effect index)` pairs of transaction-owned
+    /// variables with a same-named delta effect.
+    pub txn_pairs: Vec<(usize, usize)>,
+}
+
+/// One expression update rule.
+#[derive(Debug, Clone)]
+pub struct UpdatePlan {
+    /// Target state column.
+    pub state_col: usize,
+    /// New value, over the update batch layout.
+    pub expr: PExpr,
+}
+
+/// One compiled script.
+#[derive(Debug, Clone)]
+pub struct CompiledScript {
+    /// Script name (for plans, stats and debugging).
+    pub name: String,
+    /// Hidden program-counter state column, if the script has waits.
+    pub pc_col: Option<usize>,
+    /// Hidden program-counter effect index, if the script has waits.
+    pub pc_effect: Option<usize>,
+    /// Execution segments. Segment 0 runs when pc = 0 (fresh entities);
+    /// segment `i > 0` resumes after wait `i−1` (pc = `i`).
+    pub segments: Vec<Segment>,
+}
+
+/// One per-tick execution segment: a pipeline of steps over the class
+/// extent.
+#[derive(Debug, Clone, Default)]
+pub struct Segment {
+    /// Steps in execution order.
+    pub steps: Vec<Step>,
+}
+
+/// One pipeline step.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Evaluate an expression over the current batch and append the
+    /// result as a new column (locals, condition masks, accum results).
+    Compute {
+        /// The expression.
+        expr: PExpr,
+    },
+    /// Emit effect values for (a guarded subset of) the batch rows.
+    Emit(EmitStep),
+    /// Execute an accum-loop: θ-join + grouped ⊕ aggregation. Appends
+    /// the combined accumulator as a new column.
+    Accum(Box<AccumStep>),
+    /// Emit transaction intents (an `atomic` region).
+    EmitTxn(TxnStep),
+    /// Emit the hidden program-counter effect: rows where `guard` holds
+    /// resume at segment `next` at the next tick.
+    SetPc {
+        /// Path condition.
+        guard: Option<PExpr>,
+        /// The pc value to store (wait id + 1).
+        next: f64,
+    },
+}
+
+/// Where an effect lands.
+#[derive(Debug, Clone)]
+pub enum EmitTarget {
+    /// The batch row's own entity.
+    SelfRow,
+    /// An entity addressed by a ref-valued expression over the batch.
+    Ref(PExpr),
+}
+
+/// One vectorized effect emission.
+#[derive(Debug, Clone)]
+pub struct EmitStep {
+    /// Emit only for rows where this bool expression holds (`None` =
+    /// all rows).
+    pub guard: Option<PExpr>,
+    /// Target entity.
+    pub target: EmitTarget,
+    /// Class owning the effect variable.
+    pub class: ClassId,
+    /// Effect index within that class.
+    pub effect: usize,
+    /// The assigned value.
+    pub value: PExpr,
+    /// `true` for `<=` (set insert), `false` for `<-`.
+    pub insert: bool,
+}
+
+/// The collection an accum-loop iterates.
+#[derive(Debug, Clone)]
+pub enum AccumSource {
+    /// The full extent of the element class (`from UNIT`).
+    Extent,
+    /// A `set<C>`-valued expression over the left batch.
+    SetExpr(PExpr),
+}
+
+/// A per-pair effect emission inside an accum body (e.g. `u.damage <- 1`
+/// or `near <- 1`). Value/guard are pair expressions.
+#[derive(Debug, Clone)]
+pub struct PairEmit {
+    /// Pair-context guard (`None` = every joined pair).
+    pub guard: Option<PExpr>,
+    /// Target entity of the emission.
+    pub target: PairEmitTarget,
+    /// Class owning the effect.
+    pub class: ClassId,
+    /// Effect index within that class.
+    pub effect: usize,
+    /// Pair-context value expression.
+    pub value: PExpr,
+    /// `true` for `<=`.
+    pub insert: bool,
+}
+
+/// Effect target inside an accum body.
+#[derive(Debug, Clone)]
+pub enum PairEmitTarget {
+    /// The left (self) row.
+    LeftRow,
+    /// The joined right row (the accum element).
+    RightRow,
+    /// An arbitrary entity via a ref-valued pair expression.
+    Ref(PExpr),
+}
+
+/// A compiled accum-loop.
+#[derive(Debug, Clone)]
+pub struct AccumStep {
+    /// The element class being iterated.
+    pub over: ClassId,
+    /// Extent or set-valued source.
+    pub source: AccumSource,
+    /// The accumulator's ⊕ combinator.
+    pub comb: Combinator,
+    /// The accumulator's type.
+    pub acc_ty: ScalarType,
+    /// Join predicate (bands extracted from the body's outer condition;
+    /// the residual covers everything else). For `SetExpr` sources all
+    /// conjuncts are residual.
+    pub spec: JoinSpec,
+    /// Accumulator contributions: `(pair guard, pair value, insert)`.
+    pub acc_emits: Vec<(Option<PExpr>, PExpr, bool)>,
+    /// Other effect emissions from the body.
+    pub body_emits: Vec<PairEmit>,
+    /// Left batch width at this step (for pair slot mapping); the
+    /// combined accumulator is appended at exactly this slot.
+    pub left_width: usize,
+    /// Band dimensionality (for the optimizer's cost model).
+    pub dims: usize,
+}
+
+/// Target of a transactional write.
+#[derive(Debug, Clone)]
+pub enum TxnTarget {
+    /// The initiating row's own entity.
+    SelfRow,
+    /// An entity via a ref-valued expression over the batch.
+    Ref(PExpr),
+}
+
+/// One write inside an atomic region.
+#[derive(Debug, Clone)]
+pub struct TxnWrite {
+    /// Inner guard within the atomic region (`None` = unconditional).
+    pub guard: Option<PExpr>,
+    /// Target entity.
+    pub target: TxnTarget,
+    /// Class of the transaction-owned variable.
+    pub class: ClassId,
+    /// The transaction-owned state column.
+    pub state_col: usize,
+    /// Delta (numbers), new value (refs), or inserted member (sets with
+    /// `insert = true`).
+    pub value: PExpr,
+    /// `true` for `<=`.
+    pub insert: bool,
+}
+
+/// A compiled atomic region: rows where `guard` holds issue one intent
+/// containing all (inner-guarded) writes.
+#[derive(Debug, Clone)]
+pub struct TxnStep {
+    /// Path condition for issuing the intent.
+    pub guard: Option<PExpr>,
+    /// The intent's writes.
+    pub writes: Vec<TxnWrite>,
+}
+
+/// A compiled reactive handler (§3.2): evaluated on the *new* state at
+/// the end of the update phase; matching rows seed effects for the next
+/// tick.
+#[derive(Debug, Clone)]
+pub struct CompiledHandler {
+    /// Trigger condition over the state batch.
+    pub cond: PExpr,
+    /// Effects to seed (guards are relative to `cond` already holding).
+    pub emits: Vec<EmitStep>,
+    /// Computed columns needed by `cond`/`emits` (evaluated first).
+    pub computes: Vec<PExpr>,
+    /// Scripts to interrupt for matching rows: their hidden pc state
+    /// columns are reset to 0, so the next tick re-enters segment 0
+    /// (§3.2's interruptible intentions). Entries are pc state-column
+    /// indices of this class.
+    pub restart_pc_cols: Vec<usize>,
+}

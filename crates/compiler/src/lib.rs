@@ -1,0 +1,40 @@
+//! # sgl-compiler
+//!
+//! The SGL-to-relational-algebra compiler — the core contribution of
+//! *"From Declarative Languages to Declarative Processing in Computer
+//! Games"* (CIDR 2009): game developers write imperative, per-NPC
+//! scripts; this compiler turns them into set-at-a-time query pipelines
+//! so the engine can apply database execution techniques without any
+//! database expertise from the designer.
+//!
+//! What gets compiled, per class:
+//!
+//! * **Scripts** → [`ir::CompiledScript`]: straight-line code becomes
+//!   vectorized [`ir::Step::Compute`]/[`ir::Step::Emit`] steps over the
+//!   class extent; `if` branches become guard masks (no control-flow
+//!   divergence — both sides are evaluated set-at-a-time);
+//! * **Accum-loops** (paper Fig. 2) → [`ir::Step::Accum`]: a θ-join of
+//!   the self extent against the iterated extent plus a grouped ⊕
+//!   aggregation; rectangle conditions (`u.x >= x-r && …`) are
+//!   recognized as **band predicates**, giving the optimizer an
+//!   index-join access path (§4.2);
+//! * **`waitNextTick`** (§3.2) → segmentation: the compiler materializes
+//!   a hidden `__pc_<script>` state/effect pair and splits the script
+//!   into per-tick segments — the "direct translation between multi-tick
+//!   programs … and standard single-tick SGL programs";
+//! * **`atomic` regions** (§3.1) → [`ir::Step::EmitTxn`]: vectorized
+//!   emission of transaction intents checked by the engine's transaction
+//!   component against the class's `constraint`s;
+//! * **Update rules, constraints, handlers** → compiled [`sgl_relalg`]
+//!   expressions over the update-phase batch layout.
+
+pub mod exprc;
+pub mod ir;
+pub mod lower;
+
+pub use ir::{
+    AccumSource, AccumStep, CompiledClass, CompiledGame, CompiledHandler, CompiledScript,
+    EmitStep, EmitTarget, PairEmit, PairEmitTarget, Segment, Step, TxnStep, TxnTarget,
+    TxnWrite, UpdatePlan,
+};
+pub use lower::compile;

@@ -1,0 +1,1533 @@
+//! Script lowering: AST statements → segment pipelines.
+//!
+//! Control flow disappears in three different ways:
+//!
+//! * `if` → **guard masks**: both branches lower to steps whose guards
+//!   carry the (mutually exclusive) path conditions; expressions under a
+//!   false guard still evaluate (vectorized execution is total — IEEE
+//!   numbers absorb division by zero, gathers treat dangling refs as
+//!   zero), only *emissions* are masked;
+//! * `waitNextTick` → **segmentation** with tail duplication: the
+//!   continuation of each wait compiles into its own segment; a hidden
+//!   `__pc_*` state/effect pair dispatches entities to the segment they
+//!   suspended in. A wait's continuation is a syntactic suffix, so
+//!   segments are memoized by wait identity and the pc values agree with
+//!   the interpreter's;
+//! * accum bodies → **join predicates**: the body's outer `if` condition
+//!   is split into band conjuncts (`u.x >= x-r`) that drive index
+//!   access paths, and a residual applied per candidate pair.
+
+use sgl_ast::{AccumStmt, Block, EffectOp, Expr, LValue, Stmt, UpdateKind};
+use sgl_frontend::{CheckedProgram, Diagnostics};
+use sgl_relalg::{BandCond, JoinSpec, PBinOp, PExpr, PUnOp};
+use sgl_storage::{
+    Catalog, ClassId, ColumnSpec, Combinator, EffectSpec, FxHashMap, Owner, ScalarType, Value,
+};
+
+use crate::exprc::{CompileMode, ExprCtx, PairCtx, SlotBinding};
+use crate::ir::*;
+
+/// Compile a checked program into executable plans.
+pub fn compile(checked: CheckedProgram) -> Result<CompiledGame, Diagnostics> {
+    let mut diags = Diagnostics::new();
+
+    // Extend the catalog with hidden pc columns for multi-tick scripts.
+    let mut catalog = checked.catalog.clone();
+    // (class, script index) → (pc state col, pc effect idx, wait count)
+    let mut pc_info: FxHashMap<(u32, usize), (usize, usize, usize)> = FxHashMap::default();
+    for (ci, cdecl) in checked.ast.classes.iter().enumerate() {
+        for (si, script) in cdecl.scripts.iter().enumerate() {
+            let waits = count_waits(&script.body);
+            if waits == 0 {
+                continue;
+            }
+            let name = format!("__pc_{si}");
+            let class_def = catalog.class_mut(ClassId(ci as u32));
+            let col = class_def.state.push(ColumnSpec::with_default(
+                name.clone(),
+                ScalarType::Number,
+                Value::Number(0.0),
+            ));
+            class_def.owners.push(Owner::Expression);
+            let eidx = class_def.effects.len();
+            class_def.effects.push(EffectSpec {
+                name,
+                ty: ScalarType::Number,
+                comb: Combinator::Max,
+                default: Value::Number(0.0),
+            });
+            pc_info.insert((ci as u32, si), (col, eidx, waits));
+        }
+    }
+
+    let mut classes = Vec::with_capacity(checked.ast.classes.len());
+    for (ci, cdecl) in checked.ast.classes.iter().enumerate() {
+        let class = ClassId(ci as u32);
+        let mut compiled = CompiledClass {
+            txn_pairs: checked.txn_pairs(class),
+            ..CompiledClass::default()
+        };
+
+        // Scripts.
+        for (si, script) in cdecl.scripts.iter().enumerate() {
+            let pc = pc_info.get(&(ci as u32, si)).copied();
+            let mut lowerer = ScriptLowerer {
+                catalog: &catalog,
+                class,
+                segments: vec![Segment::default()],
+                wait_segment: FxHashMap::default(),
+                wait_ids: collect_wait_ids(&script.body),
+                diags: &mut diags,
+            };
+            lowerer.lower_script(&script.body);
+            compiled.scripts.push(CompiledScript {
+                name: script.name.name.clone(),
+                pc_col: pc.map(|p| p.0),
+                pc_effect: pc.map(|p| p.1),
+                segments: lowerer.segments,
+            });
+        }
+
+        // Update rules (expression-owned) + hidden pc rules.
+        let def = catalog.class(class);
+        let n_state = def.state.len();
+        for u in &cdecl.updates {
+            if let UpdateKind::Expr(e) = &u.kind {
+                let Some(col) = def.state.index_of(&u.target.name) else {
+                    continue;
+                };
+                let ctx = ExprCtx::new(&catalog, class, CompileMode::Update);
+                if let Some((p, _)) = ctx.compile(e, &mut diags) {
+                    compiled.updates.push(UpdatePlan { state_col: col, expr: p });
+                }
+            }
+        }
+        for (si, _) in cdecl.scripts.iter().enumerate() {
+            if let Some(&(col, eidx, _)) = pc_info.get(&(ci as u32, si)) {
+                compiled.updates.push(UpdatePlan {
+                    state_col: col,
+                    expr: PExpr::Col(1 + n_state + eidx),
+                });
+            }
+        }
+
+        // Constraints.
+        for con in &cdecl.constraints {
+            let ctx = ExprCtx::new(&catalog, class, CompileMode::Script);
+            if let Some((p, _)) = ctx.compile(con, &mut diags) {
+                compiled.constraints.push(p);
+            }
+        }
+
+        // Handlers. Restart clauses resolve to the hidden pc columns of
+        // the interrupted scripts (typeck guarantees the targets exist
+        // and are multi-tick).
+        for h in &cdecl.handlers {
+            if let Some(mut ch) = lower_handler(&catalog, class, h, &mut diags) {
+                if let Some(r) = &h.restart {
+                    for (si, script) in cdecl.scripts.iter().enumerate() {
+                        let wanted = r
+                            .script
+                            .as_ref()
+                            .is_none_or(|n| n.name == script.name.name);
+                        if !wanted {
+                            continue;
+                        }
+                        if let Some(&(col, _, _)) = pc_info.get(&(ci as u32, si)) {
+                            ch.restart_pc_cols.push(col);
+                        }
+                    }
+                }
+                compiled.handlers.push(ch);
+            }
+        }
+
+        classes.push(compiled);
+    }
+
+    diags.into_result(CompiledGame {
+        checked,
+        catalog,
+        classes,
+    })
+}
+
+fn count_waits(b: &Block) -> usize {
+    b.stmts.iter().map(count_waits_stmt).sum()
+}
+
+fn count_waits_stmt(s: &Stmt) -> usize {
+    match s {
+        Stmt::Wait { .. } => 1,
+        Stmt::If {
+            then_block,
+            else_block,
+            ..
+        } => {
+            count_waits(then_block)
+                + else_block.as_ref().map_or(0, count_waits)
+        }
+        Stmt::Block(b) => count_waits(b),
+        _ => 0,
+    }
+}
+
+/// Assign wait ids in DFS order, keyed by span (unique per statement).
+fn collect_wait_ids(b: &Block) -> FxHashMap<(u32, u32), usize> {
+    fn walk(stmts: &[Stmt], out: &mut FxHashMap<(u32, u32), usize>) {
+        for s in stmts {
+            match s {
+                Stmt::Wait { span } => {
+                    let id = out.len();
+                    out.insert((span.start, span.end), id);
+                }
+                Stmt::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    walk(&then_block.stmts, out);
+                    if let Some(e) = else_block {
+                        walk(&e.stmts, out);
+                    }
+                }
+                Stmt::Block(b) => walk(&b.stmts, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = FxHashMap::default();
+    walk(&b.stmts, &mut out);
+    out
+}
+
+/// An item in a lowering worklist: a statement or a scope-end marker.
+#[derive(Clone)]
+enum Item<'a> {
+    Stmt(&'a Stmt),
+    /// Truncate bindings back to this length (block scope end).
+    PopScope(usize),
+}
+
+struct SegCtx {
+    seg: usize,
+    /// Current batch width (next computed column slot).
+    next_slot: usize,
+    bindings: Vec<SlotBinding>,
+}
+
+struct ScriptLowerer<'a> {
+    catalog: &'a Catalog,
+    class: ClassId,
+    segments: Vec<Segment>,
+    /// wait span → segment index holding its continuation.
+    wait_segment: FxHashMap<(u32, u32), usize>,
+    wait_ids: FxHashMap<(u32, u32), usize>,
+    diags: &'a mut Diagnostics,
+}
+
+impl<'a> ScriptLowerer<'a> {
+    fn base_width(&self) -> usize {
+        1 + self.catalog.class(self.class).state.len()
+    }
+
+    fn lower_script(&mut self, body: &'a Block) {
+        let items: Vec<Item<'_>> = body.stmts.iter().map(Item::Stmt).collect();
+        let mut cx = SegCtx {
+            seg: 0,
+            next_slot: self.base_width(),
+            bindings: Vec::new(),
+        };
+        self.compile_seq(&mut cx, &items, None);
+    }
+
+    fn expr_ctx(&self, cx: &SegCtx) -> ExprCtx<'a> {
+        ExprCtx {
+            catalog: self.catalog,
+            class: self.class,
+            mode: CompileMode::Script,
+            bindings: cx.bindings.clone(),
+            pair: None,
+        }
+    }
+
+    fn push_step(&mut self, seg: usize, step: Step) {
+        self.segments[seg].steps.push(step);
+    }
+
+    /// Compile a worklist under a path guard. Consumes the whole list;
+    /// encountering a wait redirects the remainder into (memoized)
+    /// continuation segments.
+    fn compile_seq(&mut self, cx: &mut SegCtx, items: &[Item<'a>], guard: Option<PExpr>) {
+        let mut i = 0;
+        while i < items.len() {
+            match &items[i] {
+                Item::PopScope(mark) => {
+                    let m = (*mark).min(cx.bindings.len());
+                    cx.bindings.truncate(m);
+                }
+                Item::Stmt(sref) => {
+                    let stmt: &'a Stmt = sref;
+                    match stmt {
+                    Stmt::Let { name, value, .. } => {
+                        let ctx = self.expr_ctx(cx);
+                        if let Some((p, ty)) = ctx.compile(value, self.diags) {
+                            self.push_step(cx.seg, Step::Compute { expr: p });
+                            cx.bindings.push(SlotBinding {
+                                name: name.name.clone(),
+                                slot: cx.next_slot,
+                                ty,
+                            });
+                            cx.next_slot += 1;
+                        }
+                    }
+                    Stmt::Effect {
+                        target, op, value, ..
+                    } => {
+                        self.lower_effect(cx, target, *op, value, guard.clone());
+                    }
+                    Stmt::If {
+                        cond,
+                        then_block,
+                        else_block,
+                        ..
+                    } => {
+                        let has_wait = stmt.contains_wait();
+                        let ctx = self.expr_ctx(cx);
+                        let Some((cond_p, _)) = ctx.compile(cond, self.diags) else {
+                            i += 1;
+                            continue;
+                        };
+                        self.push_step(cx.seg, Step::Compute { expr: cond_p });
+                        let cond_slot = cx.next_slot;
+                        cx.next_slot += 1;
+                        let g_then = conj(guard.clone(), PExpr::Col(cond_slot));
+                        let g_else = conj(
+                            guard.clone(),
+                            PExpr::Un(PUnOp::Not, Box::new(PExpr::Col(cond_slot))),
+                        );
+                        if !has_wait {
+                            let mark = cx.bindings.len();
+                            let then_items: Vec<Item<'a>> =
+                                then_block.stmts.iter().map(Item::Stmt).collect();
+                            self.compile_seq(cx, &then_items, Some(g_then));
+                            cx.bindings.truncate(mark);
+                            if let Some(e) = else_block {
+                                let else_items: Vec<Item<'a>> =
+                                    e.stmts.iter().map(Item::Stmt).collect();
+                                self.compile_seq(cx, &else_items, Some(g_else));
+                                cx.bindings.truncate(mark);
+                            }
+                        } else {
+                            // Tail duplication: both arms consume the rest.
+                            let rest = &items[i + 1..];
+                            let mark = cx.bindings.len();
+                            let mut then_items: Vec<Item<'a>> =
+                                then_block.stmts.iter().map(Item::Stmt).collect();
+                            then_items.push(Item::PopScope(mark));
+                            then_items.extend_from_slice(rest);
+                            self.compile_seq(cx, &then_items, Some(g_then));
+                            cx.bindings.truncate(mark);
+                            let mut else_items: Vec<Item<'a>> = else_block
+                                .as_ref()
+                                .map(|e| e.stmts.iter().map(Item::Stmt).collect())
+                                .unwrap_or_default();
+                            else_items.push(Item::PopScope(mark));
+                            else_items.extend_from_slice(rest);
+                            self.compile_seq(cx, &else_items, Some(g_else));
+                            cx.bindings.truncate(mark);
+                            return;
+                        }
+                    }
+                    Stmt::Wait { span } => {
+                        let key = (span.start, span.end);
+                        let wait_id = self.wait_ids[&key];
+                        let next_seg = wait_id + 1;
+                        self.push_step(
+                            cx.seg,
+                            Step::SetPc {
+                                guard: guard.clone(),
+                                next: next_seg as f64,
+                            },
+                        );
+                        if let std::collections::hash_map::Entry::Vacant(e) =
+                            self.wait_segment.entry(key)
+                        {
+                            e.insert(next_seg);
+                            while self.segments.len() <= next_seg {
+                                self.segments.push(Segment::default());
+                            }
+                            // Fresh env: locals do not survive ticks.
+                            let mut cont_cx = SegCtx {
+                                seg: next_seg,
+                                next_slot: self.base_width(),
+                                bindings: Vec::new(),
+                            };
+                            let rest: Vec<Item<'a>> = items[i + 1..].to_vec();
+                            self.compile_seq(&mut cont_cx, &rest, None);
+                        }
+                        return;
+                    }
+                    Stmt::Accum(a) => {
+                        self.lower_accum(cx, a, guard.clone());
+                    }
+                    Stmt::Atomic { body, .. } => {
+                        self.lower_atomic(cx, body, guard.clone());
+                    }
+                    Stmt::Block(b) => {
+                        let has_wait = stmt.contains_wait();
+                        let mark = cx.bindings.len();
+                        if !has_wait {
+                            let inner: Vec<Item<'a>> = b.stmts.iter().map(Item::Stmt).collect();
+                            self.compile_seq(cx, &inner, guard.clone());
+                            cx.bindings.truncate(mark);
+                        } else {
+                            let mut inner: Vec<Item<'a>> =
+                                b.stmts.iter().map(Item::Stmt).collect();
+                            inner.push(Item::PopScope(mark));
+                            inner.extend_from_slice(&items[i + 1..]);
+                            self.compile_seq(cx, &inner, guard.clone());
+                            return;
+                        }
+                    }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn lower_effect(
+        &mut self,
+        cx: &mut SegCtx,
+        target: &LValue,
+        op: EffectOp,
+        value: &Expr,
+        guard: Option<PExpr>,
+    ) {
+        let ctx = self.expr_ctx(cx);
+        let Some((value_p, _)) = ctx.compile(value, self.diags) else {
+            return;
+        };
+        let insert = op == EffectOp::Insert;
+        match target {
+            LValue::Name(id) => {
+                let def = self.catalog.class(self.class);
+                let Some(eidx) = def.effect_index(&id.name) else {
+                    self.diags.error(
+                        format!("unknown effect `{}` during lowering", id.name),
+                        id.span,
+                    );
+                    return;
+                };
+                self.push_step(
+                    cx.seg,
+                    Step::Emit(EmitStep {
+                        guard,
+                        target: EmitTarget::SelfRow,
+                        class: self.class,
+                        effect: eidx,
+                        value: value_p,
+                        insert,
+                    }),
+                );
+            }
+            LValue::Field { base, field } => {
+                let Some((base_p, bty)) = ctx.compile(base, self.diags) else {
+                    return;
+                };
+                let ScalarType::Ref(cid) = bty else {
+                    self.diags
+                        .error("effect target base must be a ref".to_string(), base.span());
+                    return;
+                };
+                let cdef = self.catalog.class(cid);
+                let Some(eidx) = cdef.effect_index(&field.name) else {
+                    self.diags.error(
+                        format!("unknown effect `{}` during lowering", field.name),
+                        field.span,
+                    );
+                    return;
+                };
+                let target = if matches!(base, Expr::SelfRef(_)) {
+                    EmitTarget::SelfRow
+                } else {
+                    EmitTarget::Ref(base_p)
+                };
+                self.push_step(
+                    cx.seg,
+                    Step::Emit(EmitStep {
+                        guard,
+                        target,
+                        class: cid,
+                        effect: eidx,
+                        value: value_p,
+                        insert,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn lower_accum(&mut self, cx: &mut SegCtx, a: &'a AccumStmt, guard: Option<PExpr>) {
+        let Some(elem_class) = resolve_class_ci(self.catalog, &a.elem_ty.name) else {
+            self.diags.error(
+                format!("unknown class `{}` during lowering", a.elem_ty.name),
+                a.elem_ty.span,
+            );
+            return;
+        };
+
+        // Source: extent or set expression.
+        let source_is_extent = matches!(
+            &a.source,
+            Expr::Var(v) if resolve_class_ci(self.catalog, &v.name) == Some(elem_class)
+        );
+        let scalar_ctx = self.expr_ctx(cx);
+        let source = if source_is_extent {
+            AccumSource::Extent
+        } else {
+            let Some((p, _)) = scalar_ctx.compile(&a.source, self.diags) else {
+                return;
+            };
+            AccumSource::SetExpr(p)
+        };
+
+        let acc_ty = resolve_acc_ty(self.catalog, &a.acc_ty, self.class);
+        let left_width = cx.next_slot;
+
+        // Band extraction: the body must be a single `if` (no else) to
+        // treat its condition as the join predicate.
+        let mut bands: Vec<BandCond> = Vec::new();
+        let mut residual_parts: Vec<PExpr> = Vec::new();
+        let mut body_stmts: &[Stmt] = &a.body.stmts;
+        let mut consumed_if = false;
+        if source_is_extent && a.body.stmts.len() == 1 {
+            if let Stmt::If {
+                cond,
+                then_block,
+                else_block: None,
+                ..
+            } = &a.body.stmts[0]
+            {
+                let conjuncts = flatten_conjuncts(cond);
+                let pair_ctx = ExprCtx {
+                    catalog: self.catalog,
+                    class: self.class,
+                    mode: CompileMode::Script,
+                    bindings: cx.bindings.clone(),
+                    pair: Some(PairCtx {
+                        elem_name: a.elem_name.name.clone(),
+                        elem_class,
+                        left_width,
+                        inline: vec![],
+                    }),
+                };
+                let mut lo_seen: FxHashMap<usize, ()> = FxHashMap::default();
+                let mut hi_seen: FxHashMap<usize, ()> = FxHashMap::default();
+                let mut col_bounds: Vec<(usize, Option<PExpr>, Option<PExpr>)> = Vec::new();
+                for c in conjuncts {
+                    let classified = classify_band(
+                        c,
+                        &a.elem_name.name,
+                        elem_class,
+                        self.catalog,
+                        &scalar_ctx,
+                        self.diags,
+                    );
+                    match classified {
+                        Some(bounds) => {
+                            let mut all_taken = true;
+                            for (col, is_lo, bound) in bounds {
+                            let entry = col_bounds.iter_mut().find(|(cc, _, _)| *cc == col);
+                            let entry = match entry {
+                                Some(e) => e,
+                                None => {
+                                    col_bounds.push((col, None, None));
+                                    col_bounds.last_mut().unwrap()
+                                }
+                            };
+                                let taken = if is_lo {
+                                    if lo_seen.insert(col, ()).is_none() {
+                                        entry.1 = Some(bound);
+                                        true
+                                    } else {
+                                        false
+                                    }
+                                } else if hi_seen.insert(col, ()).is_none() {
+                                    entry.2 = Some(bound);
+                                    true
+                                } else {
+                                    false
+                                };
+                                all_taken &= taken;
+                            }
+                            if !all_taken {
+                                // Duplicate bound → keep the conjunct as
+                                // a residual for correctness.
+                                if let Some((p, _)) = pair_ctx.compile(c, self.diags) {
+                                    residual_parts.push(p);
+                                }
+                            }
+                        }
+                        None => {
+                            if let Some((p, _)) = pair_ctx.compile(c, self.diags) {
+                                residual_parts.push(p);
+                            }
+                        }
+                    }
+                }
+                for (col, lo, hi) in col_bounds {
+                    bands.push(BandCond {
+                        right_slot: 1 + col,
+                        lo: lo.unwrap_or(PExpr::ConstF(f64::NEG_INFINITY)),
+                        hi: hi.unwrap_or(PExpr::ConstF(f64::INFINITY)),
+                    });
+                }
+                body_stmts = &then_block.stmts;
+                consumed_if = true;
+            }
+        }
+
+        // Lower the (remaining) body statements into pair emissions.
+        let mut pair_ctx = ExprCtx {
+            catalog: self.catalog,
+            class: self.class,
+            mode: CompileMode::Script,
+            bindings: cx.bindings.clone(),
+            pair: Some(PairCtx {
+                elem_name: a.elem_name.name.clone(),
+                elem_class,
+                left_width,
+                inline: vec![],
+            }),
+        };
+        let mut acc_emits = Vec::new();
+        let mut body_emits = Vec::new();
+        // The enclosing scalar guard applies to every pair emission.
+        self.lower_pair_block(
+            body_stmts,
+            guard.clone(),
+            &mut pair_ctx,
+            &a.acc_name.name,
+            elem_class,
+            &mut acc_emits,
+            &mut body_emits,
+        );
+        let _ = consumed_if;
+
+        let dims = bands.len();
+        let spec = JoinSpec {
+            bands,
+            residual: if residual_parts.is_empty() {
+                None
+            } else {
+                Some(PExpr::conj(residual_parts))
+            },
+        };
+
+        self.push_step(
+            cx.seg,
+            Step::Accum(Box::new(AccumStep {
+                over: elem_class,
+                source,
+                comb: a.comb,
+                acc_ty,
+                spec,
+                acc_emits,
+                body_emits,
+                left_width,
+                dims,
+            })),
+        );
+        // The combined accumulator lands in slot `left_width`.
+        let mark = cx.bindings.len();
+        cx.bindings.push(SlotBinding {
+            name: a.acc_name.name.clone(),
+            slot: left_width,
+            ty: acc_ty,
+        });
+        cx.next_slot = left_width + 1;
+
+        // The `in` block (no waits inside, per typeck).
+        let rest_items: Vec<Item<'a>> = a.rest.stmts.iter().map(Item::Stmt).collect();
+        self.compile_seq(cx, &rest_items, guard);
+        cx.bindings.truncate(mark);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_pair_block(
+        &mut self,
+        stmts: &[Stmt],
+        guard: Option<PExpr>,
+        pair_ctx: &mut ExprCtx<'a>,
+        acc_name: &str,
+        elem_class: ClassId,
+        acc_emits: &mut Vec<(Option<PExpr>, PExpr, bool)>,
+        body_emits: &mut Vec<PairEmit>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Let { name, value, .. } => {
+                    if let Some((p, ty)) = pair_ctx.compile(value, self.diags) {
+                        pair_ctx
+                            .pair
+                            .as_mut()
+                            .unwrap()
+                            .inline
+                            .push((name.name.clone(), p, ty));
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    let Some((c, _)) = pair_ctx.compile(cond, self.diags) else {
+                        continue;
+                    };
+                    let g_then = conj(guard.clone(), c.clone());
+                    let g_else = conj(guard.clone(), PExpr::Un(PUnOp::Not, Box::new(c)));
+                    let mark = pair_ctx.pair.as_ref().unwrap().inline.len();
+                    self.lower_pair_block(
+                        &then_block.stmts,
+                        Some(g_then),
+                        pair_ctx,
+                        acc_name,
+                        elem_class,
+                        acc_emits,
+                        body_emits,
+                    );
+                    pair_ctx.pair.as_mut().unwrap().inline.truncate(mark);
+                    if let Some(e) = else_block {
+                        self.lower_pair_block(
+                            &e.stmts,
+                            Some(g_else),
+                            pair_ctx,
+                            acc_name,
+                            elem_class,
+                            acc_emits,
+                            body_emits,
+                        );
+                        pair_ctx.pair.as_mut().unwrap().inline.truncate(mark);
+                    }
+                }
+                Stmt::Effect {
+                    target, op, value, ..
+                } => {
+                    let Some((v, _)) = pair_ctx.compile(value, self.diags) else {
+                        continue;
+                    };
+                    let insert = *op == EffectOp::Insert;
+                    match target {
+                        LValue::Name(id) if id.name == acc_name => {
+                            acc_emits.push((guard.clone(), v, insert));
+                        }
+                        LValue::Name(id) => {
+                            let def = self.catalog.class(self.class);
+                            let Some(eidx) = def.effect_index(&id.name) else {
+                                self.diags.error(
+                                    format!("unknown effect `{}` during lowering", id.name),
+                                    id.span,
+                                );
+                                continue;
+                            };
+                            body_emits.push(PairEmit {
+                                guard: guard.clone(),
+                                target: PairEmitTarget::LeftRow,
+                                class: self.class,
+                                effect: eidx,
+                                value: v,
+                                insert,
+                            });
+                        }
+                        LValue::Field { base, field } => {
+                            let elem_name =
+                                pair_ctx.pair.as_ref().unwrap().elem_name.clone();
+                            let is_elem =
+                                matches!(base, Expr::Var(b) if b.name == elem_name);
+                            let (tclass, ttarget) = if is_elem {
+                                (elem_class, PairEmitTarget::RightRow)
+                            } else {
+                                let Some((bp, bty)) = pair_ctx.compile(base, self.diags)
+                                else {
+                                    continue;
+                                };
+                                let ScalarType::Ref(cid) = bty else {
+                                    self.diags.error(
+                                        "effect target base must be a ref".to_string(),
+                                        base.span(),
+                                    );
+                                    continue;
+                                };
+                                if matches!(base, Expr::SelfRef(_)) {
+                                    (cid, PairEmitTarget::LeftRow)
+                                } else {
+                                    (cid, PairEmitTarget::Ref(bp))
+                                }
+                            };
+                            let cdef = self.catalog.class(tclass);
+                            let Some(eidx) = cdef.effect_index(&field.name) else {
+                                self.diags.error(
+                                    format!("unknown effect `{}` during lowering", field.name),
+                                    field.span,
+                                );
+                                continue;
+                            };
+                            body_emits.push(PairEmit {
+                                guard: guard.clone(),
+                                target: ttarget,
+                                class: tclass,
+                                effect: eidx,
+                                value: v,
+                                insert,
+                            });
+                        }
+                    }
+                }
+                Stmt::Block(b) => {
+                    self.lower_pair_block(
+                        &b.stmts,
+                        guard.clone(),
+                        pair_ctx,
+                        acc_name,
+                        elem_class,
+                        acc_emits,
+                        body_emits,
+                    );
+                }
+                other => {
+                    self.diags.error(
+                        "unsupported statement inside accum body".to_string(),
+                        other.span(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn lower_atomic(&mut self, cx: &mut SegCtx, body: &Block, guard: Option<PExpr>) {
+        let mut writes = Vec::new();
+        self.lower_atomic_block(cx, &body.stmts, None, &mut writes);
+        self.push_step(cx.seg, Step::EmitTxn(TxnStep { guard, writes }));
+    }
+
+    fn lower_atomic_block(
+        &mut self,
+        cx: &mut SegCtx,
+        stmts: &[Stmt],
+        inner_guard: Option<PExpr>,
+        writes: &mut Vec<TxnWrite>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Let { name, value, .. } => {
+                    let ctx = self.expr_ctx(cx);
+                    if let Some((p, ty)) = ctx.compile(value, self.diags) {
+                        self.push_step(cx.seg, Step::Compute { expr: p });
+                        cx.bindings.push(SlotBinding {
+                            name: name.name.clone(),
+                            slot: cx.next_slot,
+                            ty,
+                        });
+                        cx.next_slot += 1;
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    let ctx = self.expr_ctx(cx);
+                    let Some((c, _)) = ctx.compile(cond, self.diags) else {
+                        continue;
+                    };
+                    self.push_step(cx.seg, Step::Compute { expr: c });
+                    let slot = cx.next_slot;
+                    cx.next_slot += 1;
+                    let g_then = conj(inner_guard.clone(), PExpr::Col(slot));
+                    let g_else = conj(
+                        inner_guard.clone(),
+                        PExpr::Un(PUnOp::Not, Box::new(PExpr::Col(slot))),
+                    );
+                    let mark = cx.bindings.len();
+                    self.lower_atomic_block(cx, &then_block.stmts, Some(g_then), writes);
+                    cx.bindings.truncate(mark);
+                    if let Some(e) = else_block {
+                        self.lower_atomic_block(cx, &e.stmts, Some(g_else), writes);
+                        cx.bindings.truncate(mark);
+                    }
+                }
+                Stmt::Effect {
+                    target, op, value, ..
+                } => {
+                    let ctx = self.expr_ctx(cx);
+                    let Some((v, _)) = ctx.compile(value, self.diags) else {
+                        continue;
+                    };
+                    let insert = *op == EffectOp::Insert;
+                    let (tclass, ttarget, name, span) = match target {
+                        LValue::Name(id) => {
+                            (self.class, TxnTarget::SelfRow, id.name.clone(), id.span)
+                        }
+                        LValue::Field { base, field } => {
+                            let Some((bp, bty)) = ctx.compile(base, self.diags) else {
+                                continue;
+                            };
+                            let ScalarType::Ref(cid) = bty else {
+                                self.diags.error(
+                                    "effect target base must be a ref".to_string(),
+                                    base.span(),
+                                );
+                                continue;
+                            };
+                            let t = if matches!(base, Expr::SelfRef(_)) {
+                                TxnTarget::SelfRow
+                            } else {
+                                TxnTarget::Ref(bp)
+                            };
+                            (cid, t, field.name.clone(), field.span)
+                        }
+                    };
+                    let cdef = self.catalog.class(tclass);
+                    let Some(state_col) = cdef.state.index_of(&name) else {
+                        self.diags.error(
+                            format!("`{name}` is not a transaction-owned variable"),
+                            span,
+                        );
+                        continue;
+                    };
+                    writes.push(TxnWrite {
+                        guard: inner_guard.clone(),
+                        target: ttarget,
+                        class: tclass,
+                        state_col,
+                        value: v,
+                        insert,
+                    });
+                }
+                Stmt::Block(b) => {
+                    let mark = cx.bindings.len();
+                    self.lower_atomic_block(cx, &b.stmts, inner_guard.clone(), writes);
+                    cx.bindings.truncate(mark);
+                }
+                other => {
+                    self.diags.error(
+                        "unsupported statement inside atomic region".to_string(),
+                        other.span(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn lower_handler(
+    catalog: &Catalog,
+    class: ClassId,
+    h: &sgl_ast::HandlerDecl,
+    diags: &mut Diagnostics,
+) -> Option<CompiledHandler> {
+    let mut ctx = ExprCtx::new(catalog, class, CompileMode::Script);
+    let (cond, _) = ctx.compile(&h.cond, diags)?;
+    let mut computes = Vec::new();
+    let mut emits = Vec::new();
+    let base_width = 1 + catalog.class(class).state.len();
+    let mut next_slot = base_width;
+    lower_handler_block(
+        catalog,
+        class,
+        &h.body.stmts,
+        Some(cond.clone()),
+        &mut ctx,
+        &mut computes,
+        &mut emits,
+        &mut next_slot,
+        diags,
+    );
+    Some(CompiledHandler {
+        cond,
+        emits,
+        computes,
+        restart_pc_cols: Vec::new(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_handler_block(
+    catalog: &Catalog,
+    class: ClassId,
+    stmts: &[Stmt],
+    guard: Option<PExpr>,
+    ctx: &mut ExprCtx<'_>,
+    computes: &mut Vec<PExpr>,
+    emits: &mut Vec<EmitStep>,
+    next_slot: &mut usize,
+    diags: &mut Diagnostics,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Let { name, value, .. } => {
+                if let Some((p, ty)) = ctx.compile(value, diags) {
+                    computes.push(p);
+                    ctx.bindings.push(SlotBinding {
+                        name: name.name.clone(),
+                        slot: *next_slot,
+                        ty,
+                    });
+                    *next_slot += 1;
+                }
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                let Some((c, _)) = ctx.compile(cond, diags) else {
+                    continue;
+                };
+                let g_then = conj(guard.clone(), c.clone());
+                let g_else = conj(guard.clone(), PExpr::Un(PUnOp::Not, Box::new(c)));
+                let mark = ctx.bindings.len();
+                lower_handler_block(
+                    catalog, class, &then_block.stmts, Some(g_then), ctx, computes, emits,
+                    next_slot, diags,
+                );
+                ctx.bindings.truncate(mark);
+                if let Some(e) = else_block {
+                    lower_handler_block(
+                        catalog, class, &e.stmts, Some(g_else), ctx, computes, emits, next_slot,
+                        diags,
+                    );
+                    ctx.bindings.truncate(mark);
+                }
+            }
+            Stmt::Effect {
+                target, op, value, ..
+            } => {
+                let Some((v, _)) = ctx.compile(value, diags) else {
+                    continue;
+                };
+                let name = match target {
+                    LValue::Name(id) => &id.name,
+                    LValue::Field { field, .. } => &field.name,
+                };
+                let def = catalog.class(class);
+                let Some(eidx) = def.effect_index(name) else {
+                    diags.error(format!("unknown effect `{name}` during lowering"), s.span());
+                    continue;
+                };
+                emits.push(EmitStep {
+                    guard: guard.clone(),
+                    target: EmitTarget::SelfRow,
+                    class,
+                    effect: eidx,
+                    value: v,
+                    insert: *op == EffectOp::Insert,
+                });
+            }
+            Stmt::Block(b) => {
+                let mark = ctx.bindings.len();
+                lower_handler_block(
+                    catalog,
+                    class,
+                    &b.stmts,
+                    guard.clone(),
+                    ctx,
+                    computes,
+                    emits,
+                    next_slot,
+                    diags,
+                );
+                ctx.bindings.truncate(mark);
+            }
+            other => {
+                diags.error(
+                    "unsupported statement in handler body".to_string(),
+                    other.span(),
+                );
+            }
+        }
+    }
+}
+
+fn conj(guard: Option<PExpr>, extra: PExpr) -> PExpr {
+    match guard {
+        Some(g) => PExpr::bin(PBinOp::And, g, extra),
+        None => extra,
+    }
+}
+
+/// Resolve a class name tolerating Fig. 2 casing (`unit`/`UNIT` → `Unit`).
+pub fn resolve_class_ci(catalog: &Catalog, name: &str) -> Option<ClassId> {
+    if let Some(c) = catalog.class_by_name(name) {
+        return Some(c.id);
+    }
+    let lower = name.to_lowercase();
+    catalog
+        .classes()
+        .iter()
+        .find(|c| c.name.to_lowercase() == lower)
+        .map(|c| c.id)
+}
+
+fn resolve_acc_ty(
+    catalog: &Catalog,
+    ty: &sgl_ast::TypeExpr,
+    fallback_class: ClassId,
+) -> ScalarType {
+    match ty {
+        sgl_ast::TypeExpr::Number => ScalarType::Number,
+        sgl_ast::TypeExpr::Bool => ScalarType::Bool,
+        sgl_ast::TypeExpr::Ref(c) => ScalarType::Ref(
+            resolve_class_ci(catalog, c).unwrap_or(fallback_class),
+        ),
+        sgl_ast::TypeExpr::Set(c) => ScalarType::Set(
+            resolve_class_ci(catalog, c).unwrap_or(fallback_class),
+        ),
+    }
+}
+
+/// Flatten a `&&` tree into conjuncts.
+fn flatten_conjuncts(e: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+        if let Expr::Binary {
+            op: sgl_ast::BinOp::And,
+            lhs,
+            rhs,
+            ..
+        } = e
+        {
+            walk(lhs, out);
+            walk(rhs, out);
+        } else {
+            out.push(e);
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Does `e` mention the accum element variable?
+fn mentions_elem(e: &Expr, elem: &str) -> bool {
+    let mut found = false;
+    e.walk(&mut |n| {
+        if let Expr::Var(id) = n {
+            if id.name == elem {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Try to classify a conjunct as band bound(s):
+/// each entry is `(right state col, is_lower_bound, bound expr over left)`.
+/// `>=`/`<=` give one bound; `==` gives the degenerate band `[e, e]`
+/// (a point query — the equi-join access path).
+fn classify_band(
+    c: &Expr,
+    elem: &str,
+    elem_class: ClassId,
+    catalog: &Catalog,
+    left_ctx: &ExprCtx<'_>,
+    diags: &mut Diagnostics,
+) -> Option<Vec<(usize, bool, PExpr)>> {
+    use sgl_ast::BinOp::*;
+    let Expr::Binary { op, lhs, rhs, .. } = c else {
+        return None;
+    };
+    // Which side is `elem.field`?
+    let elem_field = |e: &Expr| -> Option<usize> {
+        if let Expr::Field { base, field, .. } = e {
+            if let Expr::Var(b) = base.as_ref() {
+                if b.name == elem {
+                    let cdef = catalog.class(elem_class);
+                    let col = cdef.state.index_of(&field.name)?;
+                    if cdef.state.col(col).ty == ScalarType::Number {
+                        return Some(col);
+                    }
+                }
+            }
+        }
+        None
+    };
+    let (col, bound_ast, kind) = match op {
+        // elem.f >= e  → lo;   elem.f <= e → hi
+        Ge | Le => {
+            if let Some(col) = elem_field(lhs) {
+                (col, rhs.as_ref(), Some(*op == Ge))
+            } else if let Some(col) = elem_field(rhs) {
+                // e >= elem.f → hi;  e <= elem.f → lo
+                (col, lhs.as_ref(), Some(*op == Le))
+            } else {
+                return None;
+            }
+        }
+        // elem.f == e → point band [e, e].
+        Eq => {
+            if let Some(col) = elem_field(lhs) {
+                (col, rhs.as_ref(), None)
+            } else if let Some(col) = elem_field(rhs) {
+                (col, lhs.as_ref(), None)
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    };
+    // The bound must not reference the element (it is evaluated on the
+    // left side only).
+    if mentions_elem(bound_ast, elem) {
+        return None;
+    }
+    let (p, ty) = left_ctx.compile(bound_ast, diags)?;
+    if ty != ScalarType::Number {
+        return None;
+    }
+    Some(match kind {
+        Some(is_lo) => vec![(col, is_lo, p)],
+        None => vec![(col, true, p.clone()), (col, false, p)],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_frontend::check;
+
+    fn compile_src(src: &str) -> CompiledGame {
+        let checked = check(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        compile(checked).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    const FIG2: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number y = 0;
+  number range = 1;
+effects:
+  number near : sum;
+script count_neighbors {
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - range && u.x <= x + range &&
+        u.y >= y - range && u.y <= y + range) {
+      cnt <- 1;
+    }
+  } in {
+    near <- cnt;
+  }
+}
+}
+"#;
+
+    #[test]
+    fn fig2_compiles_to_two_band_join() {
+        let game = compile_src(FIG2);
+        let script = &game.classes[0].scripts[0];
+        assert_eq!(script.segments.len(), 1);
+        let steps = &script.segments[0].steps;
+        let Step::Accum(a) = &steps[0] else {
+            panic!("expected accum step, got {steps:?}");
+        };
+        assert_eq!(a.spec.bands.len(), 2, "x and y bands");
+        assert!(a.spec.residual.is_none());
+        assert_eq!(a.acc_emits.len(), 1);
+        assert!(a.acc_emits[0].0.is_none(), "guard consumed by the join");
+        assert_eq!(a.dims, 2);
+        // Followed by the `near <- cnt` emission from the rest block.
+        assert!(matches!(steps[1], Step::Emit(_)));
+    }
+
+    #[test]
+    fn equality_becomes_point_band() {
+        let src = r#"
+class Unit {
+state:
+  number player = 0;
+  number x = 0;
+effects:
+  number near : sum;
+script s {
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - 1 && u.x <= x + 1 && u.player == player) {
+      cnt <- 1;
+    }
+  } in {
+    near <- cnt;
+  }
+}
+}
+"#;
+        let game = compile_src(src);
+        let Step::Accum(a) = &game.classes[0].scripts[0].segments[0].steps[0] else {
+            panic!()
+        };
+        // x band + player point-band; nothing left as residual.
+        assert_eq!(a.spec.bands.len(), 2);
+        assert!(a.spec.residual.is_none());
+        assert_eq!(a.dims, 2);
+        // The player band is degenerate: identical lo/hi expressions.
+        let pb = a
+            .spec
+            .bands
+            .iter()
+            .find(|b| b.right_slot == 1)
+            .expect("player band");
+        assert_eq!(pb.lo, pb.hi);
+    }
+
+    #[test]
+    fn strict_comparisons_stay_residual() {
+        let src = r#"
+class Unit {
+state:
+  number x = 0;
+effects:
+  number near : sum;
+script s {
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - 1 && u.x < x + 1) {
+      cnt <- 1;
+    }
+  } in {
+    near <- cnt;
+  }
+}
+}
+"#;
+        let game = compile_src(src);
+        let Step::Accum(a) = &game.classes[0].scripts[0].segments[0].steps[0] else {
+            panic!()
+        };
+        // One band (>= gives the lo bound, hi defaults to +inf); the
+        // strict `<` lands in the residual.
+        assert_eq!(a.spec.bands.len(), 1);
+        assert!(a.spec.residual.is_some());
+    }
+
+    #[test]
+    fn multi_tick_script_segments_and_pc() {
+        let src = r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  d <- 1;
+  waitNextTick;
+  d <- 2;
+  waitNextTick;
+  d <- 3;
+}
+}
+"#;
+        let game = compile_src(src);
+        let script = &game.classes[0].scripts[0];
+        assert_eq!(script.segments.len(), 3);
+        assert!(script.pc_col.is_some());
+        // Hidden pc column exists in the execution catalog but not in the
+        // checked (source-level) catalog.
+        let exec_def = game.catalog.class(ClassId(0));
+        assert!(exec_def.state.index_of("__pc_0").is_some());
+        assert!(game
+            .checked
+            .catalog
+            .class(ClassId(0))
+            .state
+            .index_of("__pc_0")
+            .is_none());
+        // Segment 0 emits d and sets pc to 1.
+        let s0 = &script.segments[0].steps;
+        assert!(matches!(s0[0], Step::Emit(_)));
+        assert!(matches!(s0[1], Step::SetPc { next, .. } if next == 1.0));
+        // pc update rule present.
+        assert!(game.classes[0]
+            .updates
+            .iter()
+            .any(|u| u.state_col == script.pc_col.unwrap()));
+    }
+
+    #[test]
+    fn conditional_wait_duplicates_tail() {
+        let src = r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  if (x > 0) {
+    waitNextTick;
+  }
+  d <- 1;
+  waitNextTick;
+  d <- 2;
+}
+}
+"#;
+        let game = compile_src(src);
+        let script = &game.classes[0].scripts[0];
+        // wait ids: 0 (in if), 1 (after) → 3 segments.
+        assert_eq!(script.segments.len(), 3);
+        // Segment 0: the `d <- 1` tail is duplicated under ¬(x>0) and the
+        // second wait is reachable from both segment 0 and segment 1.
+        let set_pcs = |seg: &Segment| {
+            seg.steps
+                .iter()
+                .filter(|s| matches!(s, Step::SetPc { .. }))
+                .count()
+        };
+        assert_eq!(set_pcs(&script.segments[0]), 2); // to wait 0 and wait 1
+        assert_eq!(set_pcs(&script.segments[1]), 1); // to wait 1
+        assert_eq!(set_pcs(&script.segments[2]), 0);
+    }
+
+    #[test]
+    fn locals_do_not_survive_waits() {
+        let src = r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  let t = x + 1;
+  waitNextTick;
+  d <- t;
+}
+}
+"#;
+        let checked = check(src).unwrap();
+        let err = compile(checked).unwrap_err();
+        assert!(
+            err.items
+                .iter()
+                .any(|d| d.message.contains("waitNextTick")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn atomic_lowers_to_txn_step() {
+        let src = r#"
+class Trader {
+state:
+  number gold = 100;
+  ref<Trader> seller = null;
+effects:
+  number gold : sum;
+update:
+  gold by transactions;
+constraint gold >= 0;
+script buy {
+  if (seller != null) {
+    atomic {
+      gold <- -10;
+      seller.gold <- 10;
+    }
+  }
+}
+}
+"#;
+        let game = compile_src(src);
+        let steps = &game.classes[0].scripts[0].segments[0].steps;
+        let txn = steps
+            .iter()
+            .find_map(|s| match s {
+                Step::EmitTxn(t) => Some(t),
+                _ => None,
+            })
+            .expect("txn step");
+        assert!(txn.guard.is_some(), "carries the if guard");
+        assert_eq!(txn.writes.len(), 2);
+        assert!(matches!(txn.writes[0].target, TxnTarget::SelfRow));
+        assert!(matches!(txn.writes[1].target, TxnTarget::Ref(_)));
+        assert_eq!(game.classes[0].constraints.len(), 1);
+        assert_eq!(game.classes[0].txn_pairs.len(), 1);
+    }
+
+    #[test]
+    fn handler_compiles_with_guards() {
+        let src = r#"
+class A {
+state:
+  number hp = 10;
+effects:
+  bool fleeing : or;
+when (hp < 3) {
+  fleeing <- true;
+}
+}
+"#;
+        let game = compile_src(src);
+        assert_eq!(game.classes[0].handlers.len(), 1);
+        let h = &game.classes[0].handlers[0];
+        assert_eq!(h.emits.len(), 1);
+        assert!(h.emits[0].guard.is_some(), "cond folded into guard");
+    }
+
+    #[test]
+    fn set_source_accum_has_no_bands() {
+        let src = r#"
+class A {
+state:
+  set<A> friends;
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  accum number c with sum over A u from friends {
+    if (u.x >= x - 1 && u.x <= x + 1) { c <- 1; }
+  } in {
+    d <- c;
+  }
+}
+}
+"#;
+        let game = compile_src(src);
+        let Step::Accum(a) = &game.classes[0].scripts[0].segments[0].steps[0] else {
+            panic!()
+        };
+        assert!(matches!(a.source, AccumSource::SetExpr(_)));
+        assert!(a.spec.bands.is_empty());
+        // The condition became a per-pair guard on the acc emission.
+        assert!(a.acc_emits[0].0.is_some());
+    }
+
+    #[test]
+    fn guarded_accum_lifts_guard_into_emissions() {
+        let src = r#"
+class A {
+state:
+  number x = 0;
+  number mode = 0;
+effects:
+  number d : sum;
+script s {
+  if (mode > 0) {
+    accum number c with sum over A u from A {
+      if (u.x >= x - 1 && u.x <= x + 1) { c <- 1; }
+    } in {
+      d <- c;
+    }
+  }
+}
+}
+"#;
+        let game = compile_src(src);
+        let steps = &game.classes[0].scripts[0].segments[0].steps;
+        // Compute(mode>0), then Accum whose acc emission carries the guard.
+        let Step::Accum(a) = &steps[1] else { panic!("{steps:?}") };
+        assert!(a.acc_emits[0].0.is_some());
+        // And the rest-block emit is guarded too.
+        let Step::Emit(e) = &steps[2] else { panic!() };
+        assert!(e.guard.is_some());
+    }
+}

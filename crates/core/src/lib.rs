@@ -1,0 +1,411 @@
+//! # SGL — declarative processing for computer games
+//!
+//! A full reproduction of *"From Declarative Languages to Declarative
+//! Processing in Computer Games"* (Sowell, Demers, Gehrke, Gupta, Li,
+//! White — CIDR 2009).
+//!
+//! Game designers script characters **imperatively** (the Scalable Games
+//! Language); the engine compiles those scripts to **relational algebra**
+//! and executes them set-at-a-time like a main-memory database — the
+//! paper's "declarative processing without declarative programming".
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sgl::{Simulation, Value};
+//!
+//! // Paper Fig. 1 + Fig. 2: a Unit class whose script counts neighbours.
+//! let src = r#"
+//! class Unit {
+//! state:
+//!   number x = 0;
+//!   number y = 0;
+//!   number range = 1;
+//!   number seen = 0;
+//! effects:
+//!   number near : sum;
+//! update:
+//!   seen = near;
+//! script count_neighbors {
+//!   accum number cnt with sum over Unit u from Unit {
+//!     if (u.x >= x - range && u.x <= x + range &&
+//!         u.y >= y - range && u.y <= y + range) {
+//!       cnt <- 1;
+//!     }
+//!   } in {
+//!     near <- cnt;
+//!   }
+//! }
+//! }
+//! "#;
+//!
+//! let mut sim = Simulation::builder().source(src).build().unwrap();
+//! let a = sim.spawn("Unit", &[("x", Value::Number(0.0))]).unwrap();
+//! let b = sim.spawn("Unit", &[("x", Value::Number(0.5))]).unwrap();
+//! sim.tick();
+//! assert_eq!(sim.get(a, "seen").unwrap(), Value::Number(2.0));
+//! assert_eq!(sim.get(b, "seen").unwrap(), Value::Number(2.0));
+//! ```
+//!
+//! ## Execution modes
+//!
+//! * [`ExecMode::Compiled`] — scripts run as vectorized relational query
+//!   pipelines; accum-loops become band joins with adaptive access-path
+//!   selection (§4.1) and optional multi-core execution (§4.2);
+//! * [`ExecMode::Interpreted`] — the conventional object-at-a-time
+//!   baseline (per-NPC tree walking), sharing all other machinery.
+//!
+//! ## Architecture (crate map)
+//!
+//! | layer | crate |
+//! |-------|-------|
+//! | language front end | `sgl-frontend` (lexer/parser/typeck), `sgl-ast` |
+//! | compiler to relational algebra | `sgl-compiler` |
+//! | columnar storage | `sgl-storage` |
+//! | spatial indexes (range tree, kd, grid) | `sgl-index` |
+//! | vectorized operators (exprs, band joins, ⊕) | `sgl-relalg` |
+//! | adaptive optimizer | `sgl-opt` |
+//! | tick runtime + update components | `sgl-engine` |
+//! | object-at-a-time baseline | `sgl-interp` |
+//! | simulated shared-nothing cluster (§4.2) | `sgl-dist` |
+
+use std::sync::Arc;
+
+pub use sgl_ast as ast;
+pub use sgl_compiler::CompiledGame;
+pub use sgl_engine::{
+    astar, debug, EngineConfig, EngineError, ExecConfig, JoinObs, ObstacleGrid, PathfindSpec,
+    PhysicsSpec, TickStats, TxnReport, World,
+};
+pub use sgl_frontend::Diagnostics;
+pub use sgl_index::IndexKind;
+pub use sgl_opt::PlannerConfig;
+pub use sgl_relalg::JoinMethod;
+pub use sgl_storage::{Combinator, EntityId, RefSet, ScalarType, Value};
+
+/// How the effect phase executes (the paper's central comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Set-at-a-time compiled query plans (the paper's engine).
+    #[default]
+    Compiled,
+    /// Object-at-a-time script interpretation (the conventional
+    /// baseline).
+    Interpreted,
+}
+
+/// Errors from building a simulation.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Lex/parse/type/compile errors, pre-rendered against the source.
+    Compile(String),
+    /// Engine configuration errors.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Compile(msg) => write!(f, "{msg}"),
+            BuildError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for a [`Simulation`].
+#[derive(Default)]
+pub struct SimulationBuilder {
+    source: String,
+    mode: ExecMode,
+    config: EngineConfig,
+}
+
+impl SimulationBuilder {
+    /// SGL source text (class declarations + scripts).
+    pub fn source(mut self, src: impl Into<String>) -> Self {
+        self.source = src.into();
+        self
+    }
+
+    /// Effect-phase execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Worker threads for the effect phase (compiled mode).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.exec.threads = threads.max(1);
+        self
+    }
+
+    /// Enable/disable adaptive plan selection (§4.1). When disabled, the
+    /// `fixed_method` is used for every accum join.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.config.exec.adaptive = on;
+        self
+    }
+
+    /// Pin the join method (implies `adaptive(false)`).
+    pub fn fixed_method(mut self, method: JoinMethod) -> Self {
+        self.config.exec.adaptive = false;
+        self.config.exec.fixed_method = method;
+        self
+    }
+
+    /// Calibrate the optimizer's cost model at startup.
+    pub fn calibrate(mut self, on: bool) -> Self {
+        self.config.exec.calibrate = on;
+        self
+    }
+
+    /// Record raw effect assignments for per-NPC debugging (§3.3).
+    pub fn effect_trace(mut self, on: bool) -> Self {
+        self.config.effect_trace = on;
+        self
+    }
+
+    /// Attach a physics component (§2.2).
+    pub fn physics(mut self, spec: PhysicsSpec) -> Self {
+        self.config.physics.push(spec);
+        self
+    }
+
+    /// Attach a pathfinding component (§2.2).
+    pub fn pathfind(mut self, spec: PathfindSpec) -> Self {
+        self.config.pathfind.push(spec);
+        self
+    }
+
+    /// Auto-despawn entities of `class` whose bool `var` is false after
+    /// each tick.
+    pub fn auto_despawn(mut self, class: &str, var: &str) -> Self {
+        self.config
+            .auto_despawn
+            .push((class.to_string(), var.to_string()));
+        self
+    }
+
+    /// Full engine-config override (advanced).
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Compile the source and assemble the engine.
+    pub fn build(self) -> Result<Simulation, BuildError> {
+        let checked = sgl_frontend::check(&self.source)
+            .map_err(|d| BuildError::Compile(d.render(&self.source)))?;
+        let game = sgl_compiler::compile(checked)
+            .map_err(|d| BuildError::Compile(d.render(&self.source)))?;
+        let game = Arc::new(game);
+        let engine = match self.mode {
+            ExecMode::Compiled => {
+                sgl_engine::Engine::new((*game).clone(), self.config)
+                    .map_err(BuildError::Engine)?
+            }
+            ExecMode::Interpreted => sgl_engine::Engine::with_executor(
+                game.clone(),
+                self.config,
+                Box::new(sgl_interp::Interpreter::new(game.clone())),
+            )
+            .map_err(BuildError::Engine)?,
+        };
+        Ok(Simulation {
+            engine,
+            mode: self.mode,
+        })
+    }
+}
+
+/// A running SGL game/simulation.
+pub struct Simulation {
+    engine: sgl_engine::Engine,
+    mode: ExecMode,
+}
+
+impl Simulation {
+    /// Start building a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Spawn an entity of `class`, overriding the listed attributes.
+    pub fn spawn(
+        &mut self,
+        class: &str,
+        values: &[(&str, Value)],
+    ) -> Result<EntityId, EngineError> {
+        self.engine.spawn(class, values)
+    }
+
+    /// Despawn an entity.
+    pub fn despawn(&mut self, id: EntityId) -> bool {
+        self.engine.despawn(id)
+    }
+
+    /// Read one attribute (tick-boundary state inspection, §3.3).
+    pub fn get(&self, id: EntityId, attr: &str) -> Result<Value, EngineError> {
+        self.engine.get(id, attr)
+    }
+
+    /// Write one attribute (host API, between ticks).
+    pub fn set(&mut self, id: EntityId, attr: &str, v: &Value) -> Result<(), EngineError> {
+        self.engine.set(id, attr, v)
+    }
+
+    /// Execute one tick; returns its statistics.
+    pub fn tick(&mut self) -> &TickStats {
+        self.engine.tick()
+    }
+
+    /// Execute `n` ticks.
+    pub fn run(&mut self, n: usize) -> &TickStats {
+        self.engine.run(n)
+    }
+
+    /// Statistics of the last tick.
+    pub fn last_stats(&self) -> &TickStats {
+        self.engine.last_stats()
+    }
+
+    /// The world (read access).
+    pub fn world(&self) -> &World {
+        self.engine.world()
+    }
+
+    /// Mutable world access (host setup between ticks).
+    pub fn world_mut(&mut self) -> &mut World {
+        self.engine.world_mut()
+    }
+
+    /// The compiled game (plans + catalog).
+    pub fn game(&self) -> &CompiledGame {
+        self.engine.game()
+    }
+
+    /// All state attributes of one entity (§3.3 debugging).
+    pub fn state_of(&self, id: EntityId) -> Option<Vec<(String, Value)>> {
+        sgl_engine::debug::state_of(self.engine.world(), id)
+    }
+
+    /// Raw effect assignments targeting `id` last tick (requires
+    /// `effect_trace(true)`).
+    pub fn effects_of(&self, id: EntityId) -> Vec<String> {
+        sgl_engine::debug::effects_of(self.engine.last_trace(), id)
+            .into_iter()
+            .map(|t| sgl_engine::debug::format_trace(self.engine.world(), t))
+            .collect()
+    }
+
+    /// Serialize a resumable checkpoint (§3.3).
+    pub fn checkpoint(&self) -> sgl_engine::Bytes {
+        self.engine.checkpoint()
+    }
+
+    /// Restore a checkpoint.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        self.engine.restore(bytes)
+    }
+
+    /// Executor name ("compiled" / "interpreted").
+    pub fn executor_name(&self) -> &'static str {
+        self.engine.executor_name()
+    }
+
+    /// Total live entities.
+    pub fn population(&self) -> usize {
+        self.engine.world().population()
+    }
+}
+
+/// Direct engine access for advanced embedding scenarios.
+pub use sgl_engine::Engine as RawEngine;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GAME: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number seen = 0;
+effects:
+  number near : sum;
+update:
+  seen = near;
+script s {
+  accum number c with sum over Unit u from Unit {
+    if (u.x >= x - 1 && u.x <= x + 1) { c <- 1; }
+  } in {
+    near <- c;
+  }
+}
+}
+"#;
+
+    #[test]
+    fn builder_compiles_and_ticks() {
+        let mut sim = Simulation::builder().source(GAME).build().unwrap();
+        let a = sim.spawn("Unit", &[("x", Value::Number(0.0))]).unwrap();
+        sim.tick();
+        assert_eq!(sim.get(a, "seen").unwrap(), Value::Number(1.0));
+        assert_eq!(sim.executor_name(), "compiled");
+    }
+
+    #[test]
+    fn interpreted_mode_matches() {
+        let mut c = Simulation::builder().source(GAME).build().unwrap();
+        let mut i = Simulation::builder()
+            .source(GAME)
+            .mode(ExecMode::Interpreted)
+            .build()
+            .unwrap();
+        assert_eq!(i.executor_name(), "interpreted");
+        for x in [0.0, 0.5, 3.0] {
+            c.spawn("Unit", &[("x", Value::Number(x))]).unwrap();
+            i.spawn("Unit", &[("x", Value::Number(x))]).unwrap();
+        }
+        c.run(2);
+        i.run(2);
+        let class = c.world().class_id("Unit").unwrap();
+        for id in c.world().table(class).ids() {
+            assert_eq!(c.get(*id, "seen").unwrap(), i.get(*id, "seen").unwrap());
+        }
+    }
+
+    #[test]
+    fn compile_errors_are_rendered() {
+        let err = match Simulation::builder()
+            .source("class A { state: number x = 0; script s { x <- 1; } }")
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("expected a compile error"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("read-only"), "{msg}");
+    }
+
+    #[test]
+    fn fixed_method_pins_the_plan() {
+        let mut sim = Simulation::builder()
+            .source(GAME)
+            .fixed_method(JoinMethod::NL)
+            .build()
+            .unwrap();
+        for x in 0..10 {
+            sim.spawn("Unit", &[("x", Value::Number(x as f64))]).unwrap();
+        }
+        sim.tick();
+        assert_eq!(sim.last_stats().joins[0].method, JoinMethod::NL);
+    }
+}

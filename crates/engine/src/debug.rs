@@ -1,0 +1,124 @@
+//! Debugging support (§3.3).
+//!
+//! The paper's desiderata, implemented here and on [`Engine`]:
+//!
+//! * *"Developers should be able to inspect the value of state attributes
+//!   at tick boundaries"* → [`state_of`] (engine API: between ticks, by
+//!   construction);
+//! * *"SGL should include support for logging, including resumable
+//!   checkpoints"* → the [`crate::checkpoint`] module;
+//! * *"Developers should be able to select an individual NPC and view the
+//!   effects assigned to it"* → [`effects_of`] over the raw effect trace
+//!   kept when tracing is enabled.
+//!
+//! [`Engine`]: crate::engine::Engine
+
+use sgl_storage::{EntityId, Value};
+
+use crate::effects::TraceEntry;
+use crate::world::World;
+
+/// All state attributes of one entity, by name (tick-boundary
+/// inspection).
+pub fn state_of(world: &World, id: EntityId) -> Option<Vec<(String, Value)>> {
+    let class = world.class_of(id)?;
+    let table = world.table(class);
+    let row = table.row_of(id)? as usize;
+    let schema = table.schema();
+    Some(
+        (0..schema.len())
+            .map(|i| (schema.col(i).name.clone(), table.column(i).get(row)))
+            .collect(),
+    )
+}
+
+/// The raw effect assignments targeted at one entity last tick
+/// (per-NPC effect inspection). Requires effect tracing to be enabled.
+pub fn effects_of(trace: &[TraceEntry], id: EntityId) -> Vec<&TraceEntry> {
+    trace.iter().filter(|t| t.target == id).collect()
+}
+
+/// Render a trace entry for logs.
+pub fn format_trace(world: &World, t: &TraceEntry) -> String {
+    let cdef = world.catalog().class(t.class);
+    let op = if t.insert { "<=" } else { "<-" };
+    format!(
+        "{}.{} {} {}",
+        t.target,
+        cdef.effect(t.effect).name,
+        op,
+        t.value
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_storage::{
+        Catalog, ClassDef, ClassId, ColumnSpec, Combinator, EffectSpec, Owner, ScalarType,
+        Schema,
+    };
+
+    fn world() -> World {
+        let mut cat = Catalog::new();
+        cat.add(ClassDef {
+            id: ClassId(0),
+            name: "U".into(),
+            state: Schema::from_cols(vec![ColumnSpec::new("hp", ScalarType::Number)]),
+            effects: vec![EffectSpec {
+                name: "damage".into(),
+                ty: ScalarType::Number,
+                comb: Combinator::Sum,
+                default: Value::Number(0.0),
+            }],
+            owners: vec![Owner::Expression],
+        });
+        World::new(cat)
+    }
+
+    #[test]
+    fn state_of_lists_attributes() {
+        let mut w = world();
+        let id = w.spawn(ClassId(0), &[("hp", Value::Number(5.0))]).unwrap();
+        let st = state_of(&w, id).unwrap();
+        assert_eq!(st, vec![("hp".to_string(), Value::Number(5.0))]);
+        assert!(state_of(&w, EntityId(999)).is_none());
+    }
+
+    #[test]
+    fn effects_of_filters_by_target() {
+        let entries = vec![
+            TraceEntry {
+                class: ClassId(0),
+                effect: 0,
+                target: EntityId(1),
+                value: Value::Number(1.0),
+                insert: false,
+            },
+            TraceEntry {
+                class: ClassId(0),
+                effect: 0,
+                target: EntityId(2),
+                value: Value::Number(2.0),
+                insert: false,
+            },
+        ];
+        let hits = effects_of(&entries, EntityId(2));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].value, Value::Number(2.0));
+    }
+
+    #[test]
+    fn format_is_readable() {
+        let mut w = world();
+        let id = w.spawn(ClassId(0), &[]).unwrap();
+        let t = TraceEntry {
+            class: ClassId(0),
+            effect: 0,
+            target: id,
+            value: Value::Number(3.0),
+            insert: false,
+        };
+        assert_eq!(format_trace(&w, &t), format!("{id}.damage <- 3"));
+    }
+}

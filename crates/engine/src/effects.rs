@@ -1,0 +1,521 @@
+//! The effect store: per-(class, effect variable) dense ⊕ accumulators.
+//!
+//! During the effect phase every `<-`/`<=` assignment folds into these
+//! accumulators; [`EffectStore::finalize`] produces the combined values
+//! consumed by the update phase. Parallel partitions fold into private
+//! stores merged in partition order (deterministic, lock-free — §4.2).
+
+use sgl_relalg::{AggPartial, DenseAgg};
+use sgl_storage::{Catalog, ClassId, Column, EntityId, RefSet, Value};
+
+use crate::world::World;
+
+/// A raw partial aggregate addressed to a remote-owned entity — the unit
+/// of cross-node effect routing in shared-nothing execution (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectPartial {
+    /// Target class.
+    pub class: ClassId,
+    /// Effect index within that class.
+    pub effect: usize,
+    /// Target entity (owned by another node).
+    pub target: EntityId,
+    /// The raw ⊕ partial.
+    pub partial: AggPartial,
+}
+
+/// One raw (pre-⊕) effect assignment, recorded when tracing is enabled —
+/// the "view the effects assigned to an NPC" debugging feature of §3.3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Target class.
+    pub class: ClassId,
+    /// Effect index in that class.
+    pub effect: usize,
+    /// Target entity.
+    pub target: EntityId,
+    /// The assigned value.
+    pub value: Value,
+    /// Whether this was a set insert (`<=`).
+    pub insert: bool,
+}
+
+/// An effect seeded by a reactive handler for the *next* tick (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Seed {
+    /// Target class.
+    pub class: ClassId,
+    /// Effect index.
+    pub effect: usize,
+    /// Target entity (resolved at fold time; skipped if despawned).
+    pub target: EntityId,
+    /// Value.
+    pub value: Value,
+    /// Set insert?
+    pub insert: bool,
+}
+
+/// Dense ⊕ accumulators for every effect variable of every class.
+pub struct EffectStore {
+    /// `aggs[class][effect]`, lazily initialized.
+    aggs: Vec<Vec<Option<DenseAgg>>>,
+    /// Extent lengths at store creation.
+    lens: Vec<usize>,
+    /// Raw assignment trace (debugging).
+    pub trace: Option<Vec<TraceEntry>>,
+    /// Total assignments folded.
+    pub emitted: u64,
+}
+
+impl EffectStore {
+    /// A fresh store sized for the current extents.
+    pub fn new(world: &World, trace: bool) -> Self {
+        let catalog = world.catalog();
+        let aggs = catalog
+            .classes()
+            .iter()
+            .map(|c| (0..c.effects.len()).map(|_| None).collect())
+            .collect();
+        let lens = catalog
+            .classes()
+            .iter()
+            .map(|c| world.table(c.id).len())
+            .collect();
+        EffectStore {
+            aggs,
+            lens,
+            trace: if trace { Some(Vec::new()) } else { None },
+            emitted: 0,
+        }
+    }
+
+    /// An empty clone with the same shape (for thread-local partitions;
+    /// tracing stays on the main store only when enabled there).
+    pub fn fork(&self) -> EffectStore {
+        EffectStore {
+            aggs: self
+                .aggs
+                .iter()
+                .map(|v| (0..v.len()).map(|_| None).collect())
+                .collect(),
+            lens: self.lens.clone(),
+            trace: self.trace.as_ref().map(|_| Vec::new()),
+            emitted: 0,
+        }
+    }
+
+    fn agg_mut(&mut self, catalog: &Catalog, class: ClassId, effect: usize) -> &mut DenseAgg {
+        let slot = &mut self.aggs[class.0 as usize][effect];
+        if slot.is_none() {
+            let spec = catalog.class(class).effect(effect);
+            *slot = Some(DenseAgg::new(
+                self.lens[class.0 as usize],
+                spec.comb,
+                spec.ty,
+            ));
+        }
+        slot.as_mut().unwrap()
+    }
+
+    /// Fold one value for the entity at `row` of `class`'s extent.
+    /// Hot path; the wide explicit signature is deliberate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_row(
+        &mut self,
+        catalog: &Catalog,
+        class: ClassId,
+        effect: usize,
+        row: u32,
+        value: &Value,
+        insert: bool,
+        target_id: EntityId,
+    ) {
+        self.emitted += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEntry {
+                class,
+                effect,
+                target: target_id,
+                value: value.clone(),
+                insert,
+            });
+        }
+        let agg = self.agg_mut(catalog, class, effect);
+        if insert {
+            if let Value::Ref(r) = value {
+                agg.fold_insert(row as usize, *r);
+                return;
+            }
+        }
+        agg.fold_value(row as usize, value);
+    }
+
+    /// Vectorized fold: `values[i]` goes to the entity at extent row
+    /// `rows(i)` when `mask(i)`. `rows` is an indirection so callers can
+    /// pass identity (self rows) or resolved targets. The wide signature
+    /// is deliberate: this is the single hot entry point of the ⊕ phase.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_column(
+        &mut self,
+        catalog: &Catalog,
+        class: ClassId,
+        effect: usize,
+        rows: &[u32],
+        ids: &[EntityId],
+        values: &Column,
+        mask: Option<&[bool]>,
+        insert: bool,
+    ) {
+        let tracing = self.trace.is_some();
+        if tracing {
+            for (i, &row) in rows.iter().enumerate() {
+                if mask.is_some_and(|m| !m[i]) {
+                    continue;
+                }
+                let v = values.get(i);
+                self.emit_row(catalog, class, effect, row, &v, insert, ids[i]);
+            }
+            return;
+        }
+        let agg = self.agg_mut(catalog, class, effect);
+        let mut n = 0u64;
+        match values {
+            Column::F64(vs) => {
+                for (i, &row) in rows.iter().enumerate() {
+                    if mask.is_some_and(|m| !m[i]) {
+                        continue;
+                    }
+                    agg.fold_f64(row as usize, vs[i]);
+                    n += 1;
+                }
+            }
+            Column::Bool(vs) => {
+                for (i, &row) in rows.iter().enumerate() {
+                    if mask.is_some_and(|m| !m[i]) {
+                        continue;
+                    }
+                    agg.fold_bool(row as usize, vs[i]);
+                    n += 1;
+                }
+            }
+            Column::Ref(vs) => {
+                for (i, &row) in rows.iter().enumerate() {
+                    if mask.is_some_and(|m| !m[i]) {
+                        continue;
+                    }
+                    if insert {
+                        agg.fold_insert(row as usize, vs[i]);
+                    } else {
+                        agg.fold_ref(row as usize, vs[i]);
+                    }
+                    n += 1;
+                }
+            }
+            Column::Set(vs) => {
+                for (i, &row) in rows.iter().enumerate() {
+                    if mask.is_some_and(|m| !m[i]) {
+                        continue;
+                    }
+                    agg.fold_set(row as usize, &vs[i]);
+                    n += 1;
+                }
+            }
+            Column::U32(_) => panic!("cannot emit internal u32 column"),
+        }
+        self.emitted += n;
+    }
+
+    /// Extract the raw partial aggregates of the given extent rows of
+    /// `class` (resetting them locally). The distributed runtime (§4.2)
+    /// calls this with its ghost rows: the partials travel to the owner
+    /// node, whose [`EffectStore::fold_partial`] reproduces the exact
+    /// single-node ⊕ result.
+    pub fn take_row_partials(
+        &mut self,
+        class: ClassId,
+        rows: &[(u32, EntityId)],
+    ) -> Vec<EffectPartial> {
+        let mut out = Vec::new();
+        for (effect, slot) in self.aggs[class.0 as usize].iter_mut().enumerate() {
+            let Some(agg) = slot else { continue };
+            for &(row, target) in rows {
+                if let Some(p) = agg.take_partial(row as usize) {
+                    out.push(EffectPartial {
+                        class,
+                        effect,
+                        target,
+                        partial: p,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Fold a partial received from another node into the entity's
+    /// accumulator (the receiving half of [`Self::take_row_partials`]).
+    pub fn fold_partial(
+        &mut self,
+        catalog: &Catalog,
+        world: &World,
+        p: &EffectPartial,
+    ) -> bool {
+        let Some(row) = world.row_of_class(p.class, p.target) else {
+            return false;
+        };
+        self.emitted += p.partial.count as u64;
+        let agg = self.agg_mut(catalog, p.class, p.effect);
+        agg.fold_partial(row as usize, &p.partial);
+        true
+    }
+
+    /// Merge another store (same shape) in deterministic order.
+    pub fn merge(&mut self, other: EffectStore) {
+        for (ci, class_aggs) in other.aggs.into_iter().enumerate() {
+            for (ei, agg) in class_aggs.into_iter().enumerate() {
+                if let Some(agg) = agg {
+                    match &mut self.aggs[ci][ei] {
+                        Some(mine) => mine.merge(&agg),
+                        slot @ None => *slot = Some(agg),
+                    }
+                }
+            }
+        }
+        if let (Some(mine), Some(theirs)) = (&mut self.trace, other.trace) {
+            mine.extend(theirs);
+        }
+        self.emitted += other.emitted;
+    }
+
+    /// Finalize into combined per-effect columns + assignment counts.
+    pub fn finalize(self, catalog: &Catalog) -> CombinedEffects {
+        let mut classes = Vec::with_capacity(self.aggs.len());
+        for (ci, class_aggs) in self.aggs.into_iter().enumerate() {
+            let cdef = catalog.class(ClassId(ci as u32));
+            let len = self.lens[ci];
+            let mut effects = Vec::with_capacity(class_aggs.len());
+            for (ei, agg) in class_aggs.into_iter().enumerate() {
+                let spec = cdef.effect(ei);
+                let agg =
+                    agg.unwrap_or_else(|| DenseAgg::new(len, spec.comb, spec.ty));
+                let (col, counts) = agg.finalize(&spec.default);
+                effects.push((col, counts));
+            }
+            classes.push(effects);
+        }
+        CombinedEffects {
+            classes,
+            trace: self.trace,
+        }
+    }
+}
+
+/// The ⊕-combined effect values of one tick.
+pub struct CombinedEffects {
+    /// `classes[class][effect] = (combined column, assignment counts)`.
+    pub classes: Vec<Vec<(Column, Vec<u32>)>>,
+    /// Raw trace carried through for the debugger.
+    pub trace: Option<Vec<TraceEntry>>,
+}
+
+impl CombinedEffects {
+    /// The combined column of one effect variable.
+    pub fn column(&self, class: ClassId, effect: usize) -> &Column {
+        &self.classes[class.0 as usize][effect].0
+    }
+
+    /// Per-row assignment counts of one effect variable.
+    pub fn counts(&self, class: ClassId, effect: usize) -> &[u32] {
+        &self.classes[class.0 as usize][effect].1
+    }
+}
+
+/// Fold handler seeds into a fresh store (start of tick).
+pub fn fold_seeds(
+    store: &mut EffectStore,
+    catalog: &Catalog,
+    world: &World,
+    seeds: &[Seed],
+) {
+    for s in seeds {
+        if let Some(row) = world.row_of_class(s.class, s.target) {
+            store.emit_row(catalog, s.class, s.effect, row, &s.value, s.insert, s.target);
+        }
+    }
+}
+
+impl World {
+    /// Row of `id` in `class`'s extent (helper for seed folding).
+    pub fn row_of_class(&self, class: ClassId, id: EntityId) -> Option<u32> {
+        self.table(class).row_of(id)
+    }
+}
+
+/// Convenience constructor for set values in tests and workloads.
+pub fn set_value(ids: &[EntityId]) -> Value {
+    Value::Set(RefSet::from_ids(ids.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_storage::{
+        ClassDef, ColumnSpec, Combinator, EffectSpec, ScalarType, Schema,
+    };
+
+    fn test_world() -> World {
+        let mut cat = Catalog::new();
+        cat.add(ClassDef {
+            id: ClassId(0),
+            name: "U".into(),
+            state: Schema::from_cols(vec![ColumnSpec::new("x", ScalarType::Number)]),
+            effects: vec![
+                EffectSpec {
+                    name: "damage".into(),
+                    ty: ScalarType::Number,
+                    comb: Combinator::Sum,
+                    default: Value::Number(0.0),
+                },
+                EffectSpec {
+                    name: "vx".into(),
+                    ty: ScalarType::Number,
+                    comb: Combinator::Avg,
+                    default: Value::Number(0.0),
+                },
+            ],
+            owners: vec![sgl_storage::Owner::Expression],
+        });
+        let mut w = World::new(cat);
+        let c = ClassId(0);
+        for i in 0..3 {
+            w.spawn(c, &[("x", Value::Number(i as f64))]).unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn emit_and_finalize_sum() {
+        let w = test_world();
+        let cat = w.catalog().clone();
+        let mut s = EffectStore::new(&w, false);
+        s.emit_row(&cat, ClassId(0), 0, 0, &Value::Number(2.0), false, EntityId(1));
+        s.emit_row(&cat, ClassId(0), 0, 0, &Value::Number(3.0), false, EntityId(1));
+        s.emit_row(&cat, ClassId(0), 0, 2, &Value::Number(1.0), false, EntityId(3));
+        let combined = s.finalize(&cat);
+        assert_eq!(combined.column(ClassId(0), 0).f64(), &[5.0, 0.0, 1.0]);
+        assert_eq!(combined.counts(ClassId(0), 0), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn avg_combines() {
+        let w = test_world();
+        let cat = w.catalog().clone();
+        let mut s = EffectStore::new(&w, false);
+        s.emit_row(&cat, ClassId(0), 1, 1, &Value::Number(2.0), false, EntityId(2));
+        s.emit_row(&cat, ClassId(0), 1, 1, &Value::Number(6.0), false, EntityId(2));
+        let combined = s.finalize(&cat);
+        assert_eq!(combined.column(ClassId(0), 1).f64()[1], 4.0);
+    }
+
+    #[test]
+    fn fork_merge_matches_serial() {
+        let w = test_world();
+        let cat = w.catalog().clone();
+        let mut serial = EffectStore::new(&w, false);
+        for i in 0..30u32 {
+            serial.emit_row(&cat, ClassId(0), 0, i % 3, &Value::Number(i as f64), false, EntityId(1));
+        }
+        let mut main = EffectStore::new(&w, false);
+        let mut p0 = main.fork();
+        let mut p1 = main.fork();
+        for i in 0..15u32 {
+            p0.emit_row(&cat, ClassId(0), 0, i % 3, &Value::Number(i as f64), false, EntityId(1));
+        }
+        for i in 15..30u32 {
+            p1.emit_row(&cat, ClassId(0), 0, i % 3, &Value::Number(i as f64), false, EntityId(1));
+        }
+        main.merge(p0);
+        main.merge(p1);
+        let a = serial.finalize(&cat);
+        let b = main.finalize(&cat);
+        assert_eq!(a.column(ClassId(0), 0).f64(), b.column(ClassId(0), 0).f64());
+    }
+
+    /// Ghost partials taken on one store and folded into another give
+    /// the exact single-store combined value (the §4.2 routing
+    /// invariant).
+    #[test]
+    fn row_partials_route_exactly() {
+        let w = test_world(); // 3 entities, effects: damage(sum), vx(avg)
+        let cat = w.catalog().clone();
+        let c = ClassId(0);
+
+        // Reference: all assignments folded into one store.
+        let mut reference = EffectStore::new(&w, false);
+        for (eff, row, v) in [(0, 0, 2.0), (0, 0, 3.0), (1, 0, 4.0), (1, 0, 8.0)] {
+            reference.emit_row(&cat, c, eff, row, &Value::Number(v), false, EntityId(1));
+        }
+        let want = reference.finalize(&cat);
+
+        // Distributed: the "remote" store saw the same assignments
+        // against a ghost of entity 1 (here at the same row index), the
+        // "owner" store saw none; partials route across.
+        let mut remote = EffectStore::new(&w, false);
+        for (eff, v) in [(0usize, 2.0), (0, 3.0), (1, 4.0), (1, 8.0)] {
+            remote.emit_row(&cat, c, eff, 0, &Value::Number(v), false, EntityId(1));
+        }
+        let partials = remote.take_row_partials(c, &[(0, EntityId(1))]);
+        assert_eq!(partials.len(), 2); // one per touched effect var
+        let mut owner = EffectStore::new(&w, false);
+        for p in &partials {
+            assert!(owner.fold_partial(&cat, &w, p));
+        }
+        let got = owner.finalize(&cat);
+        assert_eq!(want.column(c, 0).f64(), got.column(c, 0).f64());
+        assert_eq!(want.column(c, 1).f64(), got.column(c, 1).f64());
+        assert_eq!(want.counts(c, 1), got.counts(c, 1));
+
+        // The remote store is drained: finalizing it yields defaults.
+        let drained = remote.finalize(&cat);
+        assert_eq!(drained.counts(c, 0), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn trace_records_assignments() {
+        let w = test_world();
+        let cat = w.catalog().clone();
+        let mut s = EffectStore::new(&w, true);
+        s.emit_row(&cat, ClassId(0), 0, 0, &Value::Number(1.0), false, EntityId(1));
+        let combined = s.finalize(&cat);
+        let trace = combined.trace.unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].target, EntityId(1));
+    }
+
+    #[test]
+    fn seeds_fold_and_skip_despawned() {
+        let mut w = test_world();
+        let cat = w.catalog().clone();
+        let dead = EntityId(2);
+        w.despawn(ClassId(0), dead);
+        let mut s = EffectStore::new(&w, false);
+        let seeds = vec![
+            Seed {
+                class: ClassId(0),
+                effect: 0,
+                target: EntityId(1),
+                value: Value::Number(5.0),
+                insert: false,
+            },
+            Seed {
+                class: ClassId(0),
+                effect: 0,
+                target: dead,
+                value: Value::Number(9.0),
+                insert: false,
+            },
+        ];
+        fold_seeds(&mut s, &cat, &w, &seeds);
+        assert_eq!(s.emitted, 1);
+    }
+}

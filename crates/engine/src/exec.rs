@@ -1,0 +1,784 @@
+//! The set-at-a-time effect-phase executor.
+//!
+//! Executes compiled script pipelines: vectorized `Compute`/`Emit` steps
+//! over whole extents, and `Accum` steps as band joins with grouped ⊕
+//! aggregation. Joins choose their access path through an
+//! [`AdaptiveJoinPlanner`] per step (§4.1) and can fan out over threads
+//! with per-thread accumulators merged in partition order (§4.2's
+//! synchronization-free effect computation).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgl_compiler::{
+    AccumSource, AccumStep, CompiledGame, CompiledScript, EmitStep, EmitTarget, PairEmitTarget,
+    Segment, Step, TxnTarget,
+};
+use sgl_opt::{AdaptiveJoinPlanner, CostModel, GridHistogram, PlannerConfig};
+use sgl_relalg::{
+    band_join_partition, eval, eval_pair, Batch, DenseAgg, JoinMethod, PExpr, PreparedJoin,
+    StateSource,
+};
+use sgl_storage::{ClassId, Column, Combinator, EntityId, FxHashMap, RefSet, ScalarType, Value};
+
+use crate::effects::EffectStore;
+use crate::stats::{JoinObs, TickStats};
+use crate::txn::{IntentWrite, TxnIntent};
+use crate::world::World;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads for accum joins (1 = serial).
+    pub threads: usize,
+    /// Enable adaptive plan selection; `false` pins the method below.
+    pub adaptive: bool,
+    /// Fixed join method when `adaptive` is off.
+    pub fixed_method: JoinMethod,
+    /// Planner configuration (repertoire, hysteresis, …).
+    pub planner: PlannerConfig,
+    /// Calibrate the cost model at executor construction.
+    pub calibrate: bool,
+    /// Minimum left rows before fanning out to threads.
+    pub parallel_threshold: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: 1,
+            adaptive: true,
+            fixed_method: JoinMethod::Index(sgl_index::IndexKind::Grid),
+            planner: PlannerConfig::default(),
+            calibrate: false,
+            parallel_threshold: 1024,
+        }
+    }
+}
+
+/// The effect phase abstraction: the compiled executor and the
+/// object-at-a-time interpreter both implement this.
+pub trait EffectPhase: Send {
+    /// Run all scripts against the (read-only) world, folding effect
+    /// assignments into `store` and transaction intents into `intents`.
+    fn run(
+        &mut self,
+        world: &World,
+        store: &mut EffectStore,
+        intents: &mut Vec<TxnIntent>,
+        stats: &mut TickStats,
+    );
+
+    /// A short name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// The compiled, set-at-a-time executor.
+pub struct CompiledExecutor {
+    game: Arc<CompiledGame>,
+    config: ExecConfig,
+    cost: CostModel,
+    planners: FxHashMap<(u32, usize, usize, usize), AdaptiveJoinPlanner>,
+}
+
+impl CompiledExecutor {
+    /// Build an executor over a compiled game.
+    pub fn new(game: Arc<CompiledGame>, config: ExecConfig) -> Self {
+        let cost = if config.calibrate {
+            CostModel::calibrate()
+        } else {
+            CostModel::default()
+        };
+        CompiledExecutor {
+            game,
+            config,
+            cost,
+            planners: FxHashMap::default(),
+        }
+    }
+
+    /// Plan-switch log of one accum step (experiment E2).
+    pub fn switches(
+        &self,
+        class: u32,
+        script: usize,
+        segment: usize,
+        step: usize,
+    ) -> Vec<sgl_opt::PlanSwitch> {
+        self.planners
+            .get(&(class, script, segment, step))
+            .map(|p| p.switches().to_vec())
+            .unwrap_or_default()
+    }
+
+    fn planner<'p>(
+        planners: &'p mut FxHashMap<(u32, usize, usize, usize), AdaptiveJoinPlanner>,
+        key: (u32, usize, usize, usize),
+        config: &ExecConfig,
+        cost: &CostModel,
+    ) -> &'p mut AdaptiveJoinPlanner {
+        planners.entry(key).or_insert_with(|| {
+            if config.adaptive {
+                AdaptiveJoinPlanner::with_cost_model(config.planner.clone(), cost.clone())
+            } else {
+                AdaptiveJoinPlanner::fixed(config.fixed_method)
+            }
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_segment(
+        &mut self,
+        world: &World,
+        class: ClassId,
+        script: &CompiledScript,
+        si: usize,
+        gi: usize,
+        segment: &Segment,
+        base: &Batch,
+        seg_mask: Option<&[bool]>,
+        store: &mut EffectStore,
+        intents: &mut Vec<TxnIntent>,
+        stats: &mut TickStats,
+    ) {
+        let catalog = world.catalog();
+        let mut batch = base.clone();
+        let n = batch.len();
+        let identity_rows: Vec<u32> = (0..n as u32).collect();
+
+        for (step_idx, step) in segment.steps.iter().enumerate() {
+            match step {
+                Step::Compute { expr } => {
+                    let col = eval(expr, &batch, world);
+                    batch.push_col(col);
+                }
+                Step::Emit(e) => {
+                    self.exec_emit(world, e, &batch, seg_mask, &identity_rows, store);
+                }
+                Step::SetPc { guard, next } => {
+                    let Some(pc_effect) = script.pc_effect else {
+                        continue;
+                    };
+                    let mask = build_mask(guard.as_ref(), &batch, world, seg_mask);
+                    let values = Column::from_f64(vec![*next; n]);
+                    store.emit_column(
+                        catalog,
+                        class,
+                        pc_effect,
+                        &identity_rows,
+                        batch.ids(),
+                        &values,
+                        mask.as_deref(),
+                        false,
+                    );
+                }
+                Step::EmitTxn(t) => {
+                    let mask = build_mask(t.guard.as_ref(), &batch, world, seg_mask);
+                    // Pre-evaluate all write columns.
+                    let mut write_vals = Vec::with_capacity(t.writes.len());
+                    for w in &t.writes {
+                        let vals = eval(&w.value, &batch, world);
+                        let gmask = w.guard.as_ref().map(|g| {
+                            eval(g, &batch, world).bool().to_vec()
+                        });
+                        let targets = match &w.target {
+                            TxnTarget::SelfRow => None,
+                            TxnTarget::Ref(e) => {
+                                Some(eval(e, &batch, world).refs().to_vec())
+                            }
+                        };
+                        write_vals.push((vals, gmask, targets));
+                    }
+                    for row in 0..n {
+                        if mask.as_ref().is_some_and(|m| !m[row]) {
+                            continue;
+                        }
+                        let initiator = batch.ids()[row];
+                        let mut writes = Vec::new();
+                        for (wi, w) in t.writes.iter().enumerate() {
+                            let (vals, gmask, targets) = &write_vals[wi];
+                            if gmask.as_ref().is_some_and(|m| !m[row]) {
+                                continue;
+                            }
+                            let target = match targets {
+                                Some(ids) => ids[row],
+                                None => initiator,
+                            };
+                            if target.is_null() {
+                                continue;
+                            }
+                            writes.push(IntentWrite {
+                                target,
+                                class: w.class,
+                                state_col: w.state_col,
+                                value: vals.get(row),
+                                insert: w.insert,
+                            });
+                        }
+                        if !writes.is_empty() {
+                            intents.push(TxnIntent { initiator, writes });
+                            stats.txn.issued += 1;
+                        }
+                    }
+                }
+                Step::Accum(a) => {
+                    self.exec_accum(
+                        world,
+                        class,
+                        (si, gi, step_idx),
+                        a,
+                        &mut batch,
+                        seg_mask,
+                        store,
+                        stats,
+                    );
+                }
+            }
+        }
+    }
+
+    fn exec_emit(
+        &self,
+        world: &World,
+        e: &EmitStep,
+        batch: &Batch,
+        seg_mask: Option<&[bool]>,
+        identity_rows: &[u32],
+        store: &mut EffectStore,
+    ) {
+        let catalog = world.catalog();
+        let values = eval(&e.value, batch, world);
+        let mask = build_mask(e.guard.as_ref(), batch, world, seg_mask);
+        match &e.target {
+            EmitTarget::SelfRow => {
+                store.emit_column(
+                    catalog,
+                    e.class,
+                    e.effect,
+                    identity_rows,
+                    batch.ids(),
+                    &values,
+                    mask.as_deref(),
+                    e.insert,
+                );
+            }
+            EmitTarget::Ref(rexpr) => {
+                let ids = eval(rexpr, batch, world);
+                let ids = ids.refs();
+                // Resolve target rows; unresolved / null targets drop out.
+                let mut rows = Vec::with_capacity(ids.len());
+                let mut final_mask = Vec::with_capacity(ids.len());
+                for (i, id) in ids.iter().enumerate() {
+                    let visible = mask.as_ref().is_none_or(|m| m[i]);
+                    match world.row_of(e.class, *id) {
+                        Some(r) if visible && !id.is_null() => {
+                            rows.push(r);
+                            final_mask.push(true);
+                        }
+                        _ => {
+                            rows.push(0);
+                            final_mask.push(false);
+                        }
+                    }
+                }
+                store.emit_column(
+                    catalog,
+                    e.class,
+                    e.effect,
+                    &rows,
+                    ids,
+                    &values,
+                    Some(&final_mask),
+                    e.insert,
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_accum(
+        &mut self,
+        world: &World,
+        class: ClassId,
+        key3: (usize, usize, usize),
+        a: &AccumStep,
+        batch: &mut Batch,
+        seg_mask: Option<&[bool]>,
+        store: &mut EffectStore,
+        stats: &mut TickStats,
+    ) {
+        let n_left = batch.len();
+        debug_assert_eq!(batch.width(), a.left_width, "accum slot layout mismatch");
+        let right = world.base_batch(a.over);
+        let n_right = right.len();
+
+        let acc_default = combinator_identity(a.comb, a.acc_ty);
+        let mut acc = DenseAgg::new(n_left, a.comb, a.acc_ty);
+
+        let t0 = Instant::now();
+        let mut pairs = 0u64;
+        let mut index_bytes = 0usize;
+        let mut method_used = JoinMethod::NL;
+        let mut switched = false;
+
+        match &a.source {
+            AccumSource::Extent => {
+                // Plan selection.
+                let key = (class.0, key3.0, key3.1, key3.2);
+                // Histogram prediction costs ~O(n_right/4 + 32 probes);
+                // below a few hundred rows the EWMA alone is cheaper and
+                // the plan choice is obvious anyway.
+                let predicted = if self.config.adaptive
+                    && !a.spec.bands.is_empty()
+                    && n_right >= 256
+                {
+                    Some(predict_pairs(&a.spec, batch, &right, n_left, world))
+                } else {
+                    None
+                };
+                let planner =
+                    Self::planner(&mut self.planners, key, &self.config, &self.cost);
+                let before = planner.switches().len();
+                let method =
+                    planner.choose(stats.tick, n_left, n_right, predicted, a.dims.max(1));
+                switched = planner.switches().len() > before;
+                let prep = PreparedJoin::prepare(method, &right, &a.spec);
+                method_used = prep.method();
+                index_bytes = prep.index_bytes();
+
+                let threads = self.config.threads.max(1);
+                if threads == 1 || n_left < self.config.parallel_threshold {
+                    let mut consumer = AccumConsumer {
+                        world,
+                        a,
+                        batch,
+                        right: &right,
+                        seg_mask,
+                        acc: &mut acc,
+                        store,
+                    };
+                    pairs = band_join_partition(
+                        &prep,
+                        batch,
+                        0..n_left,
+                        world,
+                        &mut |l, rs| consumer.consume(l, rs),
+                    );
+                } else {
+                    // Parallel: contiguous chunks, merged in order.
+                    let chunk = n_left.div_ceil(threads);
+                    let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+                        .map(|t| (t * chunk).min(n_left)..((t + 1) * chunk).min(n_left))
+                        .filter(|r| !r.is_empty())
+                        .collect();
+                    let results: Vec<(DenseAgg, EffectStore, u64)> = std::thread::scope(|s| {
+                        let handles: Vec<_> = ranges
+                            .iter()
+                            .map(|range| {
+                                let range = range.clone();
+                                let prep = &prep;
+                                let right = &right;
+                                let batch: &Batch = batch;
+                                let store_proto = store.fork();
+                                let mut local_acc =
+                                    DenseAgg::new(n_left, a.comb, a.acc_ty);
+                                s.spawn(move || {
+                                    let mut local_store = store_proto;
+                                    let mut consumer = AccumConsumer {
+                                        world,
+                                        a,
+                                        batch,
+                                        right,
+                                        seg_mask,
+                                        acc: &mut local_acc,
+                                        store: &mut local_store,
+                                    };
+                                    let p = band_join_partition(
+                                        prep,
+                                        batch,
+                                        range,
+                                        world,
+                                        &mut |l, rs| consumer.consume(l, rs),
+                                    );
+                                    (local_acc, local_store, p)
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    });
+                    for (local_acc, local_store, p) in results {
+                        acc.merge(&local_acc);
+                        store.merge(local_store);
+                        pairs += p;
+                    }
+                }
+                let planner =
+                    Self::planner(&mut self.planners, key, &self.config, &self.cost);
+                planner.observe(pairs);
+            }
+            AccumSource::SetExpr(se) => {
+                let sets_col = eval(se, batch, world);
+                let sets = sets_col.sets();
+                let mut consumer = AccumConsumer {
+                    world,
+                    a,
+                    batch,
+                    right: &right,
+                    seg_mask,
+                    acc: &mut acc,
+                    store,
+                };
+                let mut rsel: Vec<u32> = Vec::new();
+                for (lrow, set) in sets.iter().enumerate().take(n_left) {
+                    rsel.clear();
+                    for id in set.iter() {
+                        if let Some(r) = world.row_of(a.over, id) {
+                            rsel.push(r);
+                        }
+                    }
+                    // Residual filter.
+                    if let Some(res) = &a.spec.residual {
+                        if !rsel.is_empty() {
+                            let mask = eval_pair(res, batch, lrow, &right, &rsel, world);
+                            let mask = mask.bool();
+                            let mut keep = Vec::with_capacity(rsel.len());
+                            for (i, &r) in rsel.iter().enumerate() {
+                                if mask[i] {
+                                    keep.push(r);
+                                }
+                            }
+                            rsel = keep;
+                        }
+                    }
+                    pairs += rsel.len() as u64;
+                    consumer.consume(lrow, &rsel);
+                }
+            }
+        }
+
+        let nanos = t0.elapsed().as_nanos() as u64;
+        stats.joins.push(JoinObs {
+            class: class.0,
+            script: key3.0,
+            segment: key3.1,
+            step: key3.2,
+            method: method_used,
+            pairs,
+            nanos,
+            index_bytes,
+            switched,
+        });
+
+        let (col, _counts) = acc.finalize(&acc_default);
+        batch.push_col(col);
+    }
+}
+
+/// Per-left-row consumer shared by serial and parallel paths.
+struct AccumConsumer<'a> {
+    world: &'a World,
+    a: &'a AccumStep,
+    batch: &'a Batch,
+    right: &'a Batch,
+    seg_mask: Option<&'a [bool]>,
+    acc: &'a mut DenseAgg,
+    store: &'a mut EffectStore,
+}
+
+impl AccumConsumer<'_> {
+    fn consume(&mut self, lrow: usize, rsel: &[u32]) {
+        if self.seg_mask.is_some_and(|m| !m[lrow]) {
+            return;
+        }
+        if rsel.is_empty() {
+            return;
+        }
+        let catalog = self.world.catalog();
+        // Accumulator contributions.
+        for (guard, value, insert) in &self.a.acc_emits {
+            // Fast path: unguarded constant numeric emission.
+            if guard.is_none() && !insert {
+                if let PExpr::ConstF(c) = value {
+                    if matches!(
+                        self.a.comb,
+                        Combinator::Sum | Combinator::Avg | Combinator::Count
+                            | Combinator::Min
+                            | Combinator::Max
+                    ) {
+                        self.acc.fold_repeat_f64(lrow, *c, rsel.len() as u32);
+                        continue;
+                    }
+                }
+            }
+            let mask = guard.as_ref().map(|g| {
+                eval_pair(g, self.batch, lrow, self.right, rsel, self.world)
+            });
+            let vals = eval_pair(value, self.batch, lrow, self.right, rsel, self.world);
+            fold_column(self.acc, lrow, &vals, mask.as_ref().map(|m| m.bool()), *insert);
+        }
+        // Other effect emissions from the body.
+        for pe in &self.a.body_emits {
+            let mask = pe.guard.as_ref().map(|g| {
+                eval_pair(g, self.batch, lrow, self.right, rsel, self.world)
+            });
+            let mask_bools = mask.as_ref().map(|m| m.bool());
+            let vals = eval_pair(&pe.value, self.batch, lrow, self.right, rsel, self.world);
+            match &pe.target {
+                PairEmitTarget::LeftRow => {
+                    let id = self.batch.ids()[lrow];
+                    for i in 0..rsel.len() {
+                        if mask_bools.is_some_and(|m| !m[i]) {
+                            continue;
+                        }
+                        self.store.emit_row(
+                            catalog,
+                            pe.class,
+                            pe.effect,
+                            lrow as u32,
+                            &vals.get(i),
+                            pe.insert,
+                            id,
+                        );
+                    }
+                }
+                PairEmitTarget::RightRow => {
+                    for (i, &r) in rsel.iter().enumerate() {
+                        if mask_bools.is_some_and(|m| !m[i]) {
+                            continue;
+                        }
+                        let id = self.right.ids()[r as usize];
+                        self.store.emit_row(
+                            catalog,
+                            pe.class,
+                            pe.effect,
+                            r,
+                            &vals.get(i),
+                            pe.insert,
+                            id,
+                        );
+                    }
+                }
+                PairEmitTarget::Ref(re) => {
+                    let ids =
+                        eval_pair(re, self.batch, lrow, self.right, rsel, self.world);
+                    let ids = ids.refs();
+                    for (i, id) in ids.iter().enumerate() {
+                        if mask_bools.is_some_and(|m| !m[i]) || id.is_null() {
+                            continue;
+                        }
+                        if let Some(r) = self.world.row_of(pe.class, *id) {
+                            self.store.emit_row(
+                                catalog,
+                                pe.class,
+                                pe.effect,
+                                r,
+                                &vals.get(i),
+                                pe.insert,
+                                *id,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn fold_column(
+    acc: &mut DenseAgg,
+    lrow: usize,
+    vals: &Column,
+    mask: Option<&[bool]>,
+    insert: bool,
+) {
+    match vals {
+        Column::F64(vs) => {
+            for (i, &v) in vs.iter().enumerate() {
+                if mask.is_some_and(|m| !m[i]) {
+                    continue;
+                }
+                acc.fold_f64(lrow, v);
+            }
+        }
+        Column::Bool(vs) => {
+            for (i, &v) in vs.iter().enumerate() {
+                if mask.is_some_and(|m| !m[i]) {
+                    continue;
+                }
+                acc.fold_bool(lrow, v);
+            }
+        }
+        Column::Ref(vs) => {
+            for (i, &v) in vs.iter().enumerate() {
+                if mask.is_some_and(|m| !m[i]) {
+                    continue;
+                }
+                if insert {
+                    acc.fold_insert(lrow, v);
+                } else {
+                    acc.fold_ref(lrow, v);
+                }
+            }
+        }
+        Column::Set(vs) => {
+            for (i, v) in vs.iter().enumerate() {
+                if mask.is_some_and(|m| !m[i]) {
+                    continue;
+                }
+                acc.fold_set(lrow, v);
+            }
+        }
+        Column::U32(_) => unreachable!("u32 accum values"),
+    }
+}
+
+/// Evaluate an optional guard and intersect it with the segment mask.
+fn build_mask(
+    guard: Option<&PExpr>,
+    batch: &Batch,
+    world: &World,
+    seg_mask: Option<&[bool]>,
+) -> Option<Vec<bool>> {
+    match (guard, seg_mask) {
+        (None, None) => None,
+        (Some(g), None) => Some(eval(g, batch, world).bool().to_vec()),
+        (None, Some(m)) => Some(m.to_vec()),
+        (Some(g), Some(m)) => {
+            let mut gm = eval(g, batch, world).bool().to_vec();
+            for (a, b) in gm.iter_mut().zip(m) {
+                *a = *a && *b;
+            }
+            Some(gm)
+        }
+    }
+}
+
+/// Histogram-based prediction of the join cardinality: build a sampled
+/// multi-dimensional histogram over the right band columns and probe it
+/// with a sample of the actual left query boxes (§4.1).
+fn predict_pairs(
+    spec: &sgl_relalg::JoinSpec,
+    left: &Batch,
+    right: &Batch,
+    n_left: usize,
+    world: &World,
+) -> f64 {
+    let cols: Vec<&[f64]> = spec
+        .bands
+        .iter()
+        .map(|b| right.col(b.right_slot).f64())
+        .collect();
+    let hist = GridHistogram::build(&cols, 12, 4);
+    let lo_cols: Vec<Column> = spec.bands.iter().map(|b| eval(&b.lo, left, world)).collect();
+    let hi_cols: Vec<Column> = spec.bands.iter().map(|b| eval(&b.hi, left, world)).collect();
+    let samples = 32.min(n_left);
+    if samples == 0 {
+        return 0.0;
+    }
+    let stride = (n_left / samples).max(1);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    let mut lo = vec![0.0; spec.bands.len()];
+    let mut hi = vec![0.0; spec.bands.len()];
+    let mut row = 0;
+    while row < n_left {
+        for (k, _) in spec.bands.iter().enumerate() {
+            lo[k] = lo_cols[k].f64()[row];
+            hi[k] = hi_cols[k].f64()[row];
+        }
+        total += hist.estimate_box(&lo, &hi);
+        count += 1;
+        row += stride;
+    }
+    total / count as f64 * n_left as f64
+}
+
+/// Identity value of a combinator (what an accum variable reads when no
+/// element matched).
+pub fn combinator_identity(comb: Combinator, ty: ScalarType) -> Value {
+    match comb {
+        Combinator::Sum | Combinator::Count | Combinator::Avg => Value::Number(0.0),
+        Combinator::Min => match ty {
+            ScalarType::Ref(_) => Value::Ref(EntityId::NULL),
+            _ => Value::Number(f64::INFINITY),
+        },
+        Combinator::Max => match ty {
+            ScalarType::Ref(_) => Value::Ref(EntityId::NULL),
+            _ => Value::Number(f64::NEG_INFINITY),
+        },
+        Combinator::Or => Value::Bool(false),
+        Combinator::And => Value::Bool(true),
+        Combinator::Union => Value::Set(RefSet::new()),
+    }
+}
+
+impl EffectPhase for CompiledExecutor {
+    fn run(
+        &mut self,
+        world: &World,
+        store: &mut EffectStore,
+        intents: &mut Vec<TxnIntent>,
+        stats: &mut TickStats,
+    ) {
+        let game = self.game.clone();
+        for cdef in game.catalog.classes() {
+            let class = cdef.id;
+            if world.table(class).is_empty() {
+                continue;
+            }
+            let compiled = game.class(class);
+            if compiled.scripts.is_empty() {
+                continue;
+            }
+            let base = world.base_batch(class);
+            // Ghost rows (§4.2 distributed replication) are readable by
+            // joins/refs but never drive scripts — their owner runs the
+            // script authoritatively.
+            let owned = world.driving_mask(class);
+            for (si, script) in compiled.scripts.iter().enumerate() {
+                for (gi, segment) in script.segments.iter().enumerate() {
+                    let pc_mask: Option<Vec<bool>> = script.pc_col.map(|col| {
+                        base.col(1 + col)
+                            .f64()
+                            .iter()
+                            .map(|&v| v == gi as f64)
+                            .collect()
+                    });
+                    let seg_mask: Option<Vec<bool>> = match (pc_mask, &owned) {
+                        (None, None) => None,
+                        (Some(m), None) => Some(m),
+                        (None, Some(o)) => Some(o.clone()),
+                        (Some(mut m), Some(o)) => {
+                            for (a, b) in m.iter_mut().zip(o) {
+                                *a = *a && *b;
+                            }
+                            Some(m)
+                        }
+                    };
+                    if let Some(m) = &seg_mask {
+                        if !m.iter().any(|&b| b) {
+                            continue;
+                        }
+                    }
+                    self.run_segment(
+                        world,
+                        class,
+                        script,
+                        si,
+                        gi,
+                        segment,
+                        &base,
+                        seg_mask.as_deref(),
+                        store,
+                        intents,
+                        stats,
+                    );
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "compiled"
+    }
+}

@@ -1,0 +1,59 @@
+//! # sgl-engine
+//!
+//! The SGL tick runtime — "an extensible game engine" whose "core … is a
+//! main memory specialized query engine" (§4 of the CIDR 2009 paper).
+//!
+//! One [`Engine::tick`] executes the state-effect pattern (§2):
+//!
+//! 1. **Query + effect phase** — an [`exec::EffectPhase`] executor runs
+//!    every compiled script pipeline against the read-only state
+//!    snapshot. The default executor is the set-at-a-time
+//!    [`exec::CompiledExecutor`] (optionally parallel across cores and
+//!    adaptive in its join-method choices, §4.1–4.2); the
+//!    object-at-a-time interpreter from `sgl-interp` plugs into the same
+//!    trait as the baseline.
+//! 2. **⊕ combine** — the [`effects::EffectStore`]'s dense accumulators
+//!    finalize into one combined value per (entity, effect variable).
+//! 3. **Update phase** — each update component updates the state
+//!    variables it owns (§2.2): compiled expression rules, the
+//!    [`physics`] engine, the [`pathfind`] planner, and the [`txn`]
+//!    transaction manager (§3.1) which admits a constraint-respecting
+//!    subset of the tick's atomic intents.
+//! 4. **Reactive phase** — compiled `when` handlers run on the new state
+//!    and seed effects for the next tick (§3.2); handlers carrying a
+//!    `restart` clause interrupt multi-tick scripts by resetting their
+//!    hidden program counters ([`reactive::PcReset`]).
+//!
+//! Debugging support (§3.3): per-NPC effect traces, tick-boundary state
+//! inspection, and resumable binary [`checkpoint`]s.
+//!
+//! Shared-nothing execution (§4.2) lives in the `sgl-dist` crate, built
+//! on three hooks here: ghost rows ([`World::mark_ghost`] — join-visible
+//! but never script-driving), raw ⊕ partial extraction/folding
+//! ([`EffectStore::take_row_partials`] / [`EffectStore::fold_partial`]),
+//! and id-preserving spawns ([`World::spawn_with_id`]).
+
+pub mod checkpoint;
+pub mod debug;
+pub mod effects;
+pub mod engine;
+pub mod exec;
+pub mod pathfind;
+pub mod physics;
+pub mod reactive;
+pub mod scalar;
+pub mod stats;
+pub mod txn;
+pub mod update;
+pub mod world;
+
+pub use bytes::Bytes;
+pub use effects::{CombinedEffects, EffectPartial, EffectStore, Seed};
+pub use engine::{Engine, EngineConfig, EngineError};
+pub use exec::{CompiledExecutor, EffectPhase, ExecConfig};
+pub use pathfind::{astar, ObstacleGrid, PathfindSpec};
+pub use physics::PhysicsSpec;
+pub use reactive::{PcReset, ReactiveOut};
+pub use stats::{JoinObs, TickStats, TxnReport};
+pub use txn::TxnIntent;
+pub use world::World;

@@ -1,0 +1,301 @@
+//! The pathfinding / AI-planning update component (§2.2).
+//!
+//! The paper lists "AI planning, such as pathfinding" among the
+//! subsystems that "behave like the physics engine": opaque update
+//! components owning state variables. Scripts express a movement *goal*
+//! through effect variables; this component plans a route on an
+//! occupancy grid with A* and writes the next waypoint into the state
+//! variables it owns. Paths are memoized by (start cell, goal cell).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use sgl_storage::{ClassId, FxHashMap, Owner};
+
+use crate::effects::CombinedEffects;
+use crate::world::World;
+
+/// A static occupancy grid (true = blocked).
+#[derive(Debug, Clone)]
+pub struct ObstacleGrid {
+    w: i32,
+    h: i32,
+    blocked: Vec<bool>,
+}
+
+impl ObstacleGrid {
+    /// An open `w × h` grid.
+    pub fn open(w: i32, h: i32) -> Self {
+        assert!(w > 0 && h > 0);
+        ObstacleGrid {
+            w,
+            h,
+            blocked: vec![false; (w * h) as usize],
+        }
+    }
+
+    /// Width in cells.
+    pub fn width(&self) -> i32 {
+        self.w
+    }
+
+    /// Height in cells.
+    pub fn height(&self) -> i32 {
+        self.h
+    }
+
+    /// Mark a cell blocked.
+    pub fn block(&mut self, x: i32, y: i32) {
+        if self.in_bounds(x, y) {
+            self.blocked[(y * self.w + x) as usize] = true;
+        }
+    }
+
+    /// Whether a cell is inside the grid.
+    pub fn in_bounds(&self, x: i32, y: i32) -> bool {
+        x >= 0 && y >= 0 && x < self.w && y < self.h
+    }
+
+    /// Whether a cell is blocked (out of bounds counts as blocked).
+    pub fn is_blocked(&self, x: i32, y: i32) -> bool {
+        !self.in_bounds(x, y) || self.blocked[(y * self.w + x) as usize]
+    }
+}
+
+/// 4-connected A* between grid cells; returns the cell path including
+/// both endpoints, or `None` if unreachable.
+pub fn astar(
+    grid: &ObstacleGrid,
+    start: (i32, i32),
+    goal: (i32, i32),
+) -> Option<Vec<(i32, i32)>> {
+    if grid.is_blocked(start.0, start.1) || grid.is_blocked(goal.0, goal.1) {
+        return None;
+    }
+    if start == goal {
+        return Some(vec![start]);
+    }
+    let idx = |x: i32, y: i32| (y * grid.w + x) as usize;
+    let h = |x: i32, y: i32| ((x - goal.0).abs() + (y - goal.1).abs()) as u32;
+    let size = (grid.w * grid.h) as usize;
+    let mut g = vec![u32::MAX; size];
+    let mut parent = vec![u32::MAX; size];
+    let mut heap: BinaryHeap<Reverse<(u32, u32, i32, i32)>> = BinaryHeap::new();
+    g[idx(start.0, start.1)] = 0;
+    heap.push(Reverse((h(start.0, start.1), 0, start.0, start.1)));
+    while let Some(Reverse((_f, gc, x, y))) = heap.pop() {
+        if (x, y) == goal {
+            // Reconstruct.
+            let mut path = vec![(x, y)];
+            let mut cur = idx(x, y);
+            while parent[cur] != u32::MAX {
+                cur = parent[cur] as usize;
+                let cx = cur as i32 % grid.w;
+                let cy = cur as i32 / grid.w;
+                path.push((cx, cy));
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if gc > g[idx(x, y)] {
+            continue;
+        }
+        for (dx, dy) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let (nx, ny) = (x + dx, y + dy);
+            if grid.is_blocked(nx, ny) {
+                continue;
+            }
+            let ng = gc + 1;
+            let ni = idx(nx, ny);
+            if ng < g[ni] {
+                g[ni] = ng;
+                parent[ni] = idx(x, y) as u32;
+                heap.push(Reverse((ng + h(nx, ny), ng, nx, ny)));
+            }
+        }
+    }
+    None
+}
+
+/// Host-side configuration binding a class to the pathfinding component.
+#[derive(Debug, Clone)]
+pub struct PathfindSpec {
+    /// Class name.
+    pub class: String,
+    /// Position state variables (read-only here; may be physics-owned).
+    pub pos: (String, String),
+    /// Goal effect variables scripts assign (`gx <- …`).
+    pub goal_effect: (String, String),
+    /// Waypoint state variables owned by this component
+    /// (`wx by pathfind;`).
+    pub waypoint: (String, String),
+    /// World units per grid cell.
+    pub cell_size: f64,
+    /// The occupancy grid.
+    pub grid: ObstacleGrid,
+}
+
+/// A memoized cell path (None = unreachable).
+type CachedPath = Option<Arc<Vec<(i32, i32)>>>;
+/// Cache key: (start cell, goal cell).
+type PathKey = ((i32, i32), (i32, i32));
+
+/// Resolved bindings + path cache.
+pub struct ResolvedPathfind {
+    /// Bound class.
+    pub class: ClassId,
+    pos: (usize, usize),
+    goal: (usize, usize),
+    waypoint: (usize, usize),
+    cell_size: f64,
+    grid: ObstacleGrid,
+    cache: FxHashMap<PathKey, CachedPath>,
+}
+
+/// Validate a spec against the catalog.
+pub fn resolve(
+    spec: &PathfindSpec,
+    catalog: &sgl_storage::Catalog,
+) -> Result<ResolvedPathfind, String> {
+    let def = catalog
+        .class_by_name(&spec.class)
+        .ok_or_else(|| format!("pathfind: unknown class `{}`", spec.class))?;
+    let state = |name: &str| {
+        def.state
+            .index_of(name)
+            .ok_or_else(|| format!("pathfind: class `{}` has no state `{name}`", spec.class))
+    };
+    let owned = |name: &str| -> Result<usize, String> {
+        let c = state(name)?;
+        if def.owners[c] != Owner::Pathfind {
+            return Err(format!(
+                "pathfind: `{name}` must be declared `{name} by pathfind;`"
+            ));
+        }
+        Ok(c)
+    };
+    let eff = |name: &str| {
+        def.effect_index(name)
+            .ok_or_else(|| format!("pathfind: class `{}` has no effect `{name}`", spec.class))
+    };
+    Ok(ResolvedPathfind {
+        class: def.id,
+        pos: (state(&spec.pos.0)?, state(&spec.pos.1)?),
+        goal: (eff(&spec.goal_effect.0)?, eff(&spec.goal_effect.1)?),
+        waypoint: (owned(&spec.waypoint.0)?, owned(&spec.waypoint.1)?),
+        cell_size: spec.cell_size.max(f64::MIN_POSITIVE),
+        grid: spec.grid.clone(),
+        cache: FxHashMap::default(),
+    })
+}
+
+impl ResolvedPathfind {
+    /// The waypoint state columns this component owns (for staging).
+    pub(crate) fn waypoint_cols(&self) -> (usize, usize) {
+        self.waypoint
+    }
+}
+
+/// Plan routes for entities with goal intents; returns the staged new
+/// waypoint columns.
+pub fn run(
+    world: &World,
+    combined: &CombinedEffects,
+    p: &mut ResolvedPathfind,
+) -> (Vec<f64>, Vec<f64>) {
+    let table = world.table(p.class);
+    let n = table.len();
+    let xs = table.column(p.pos.0).f64();
+    let ys = table.column(p.pos.1).f64();
+    let old_wx = table.column(p.waypoint.0).f64();
+    let old_wy = table.column(p.waypoint.1).f64();
+    let gx = combined.column(p.class, p.goal.0).f64();
+    let gy = combined.column(p.class, p.goal.1).f64();
+    let cgx = combined.counts(p.class, p.goal.0);
+
+    let cell = p.cell_size;
+    let to_cell = |v: f64| (v / cell).floor() as i32;
+    let mut wx = old_wx.to_vec();
+    let mut wy = old_wy.to_vec();
+    for i in 0..n {
+        if cgx[i] == 0 {
+            continue; // no goal intent this tick: waypoint unchanged
+        }
+        let start = (to_cell(xs[i]), to_cell(ys[i]));
+        let goal = (to_cell(gx[i]), to_cell(gy[i]));
+        let path = p
+            .cache
+            .entry((start, goal))
+            .or_insert_with(|| astar(&p.grid, start, goal).map(Arc::new))
+            .clone();
+        match path {
+            Some(path) if path.len() > 1 => {
+                let next = path[1];
+                wx[i] = (next.0 as f64 + 0.5) * cell;
+                wy[i] = (next.1 as f64 + 0.5) * cell;
+            }
+            Some(_) => {
+                // Already at the goal cell: waypoint = goal.
+                wx[i] = gx[i];
+                wy[i] = gy[i];
+            }
+            None => {
+                // Unreachable: hold position (the component "produces
+                // unexpected results" — scripts observe this next tick).
+                wx[i] = xs[i];
+                wy[i] = ys[i];
+            }
+        }
+    }
+    (wx, wy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astar_straight_line() {
+        let g = ObstacleGrid::open(10, 10);
+        let p = astar(&g, (0, 0), (3, 0)).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], (0, 0));
+        assert_eq!(p[3], (3, 0));
+    }
+
+    #[test]
+    fn astar_routes_around_wall() {
+        let mut g = ObstacleGrid::open(10, 10);
+        for y in 0..9 {
+            g.block(5, y);
+        }
+        let p = astar(&g, (0, 0), (9, 0)).unwrap();
+        assert!(p.len() > 10, "must detour: {}", p.len());
+        assert!(p.iter().all(|&(x, y)| !g.is_blocked(x, y)));
+        // Consecutive cells are 4-adjacent.
+        for w in p.windows(2) {
+            let d = (w[0].0 - w[1].0).abs() + (w[0].1 - w[1].1).abs();
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn astar_unreachable() {
+        let mut g = ObstacleGrid::open(5, 5);
+        for y in 0..5 {
+            g.block(2, y);
+        }
+        assert!(astar(&g, (0, 0), (4, 0)).is_none());
+    }
+
+    #[test]
+    fn astar_degenerate_cases() {
+        let g = ObstacleGrid::open(3, 3);
+        assert_eq!(astar(&g, (1, 1), (1, 1)).unwrap(), vec![(1, 1)]);
+        let mut g2 = ObstacleGrid::open(3, 3);
+        g2.block(0, 0);
+        assert!(astar(&g2, (0, 0), (2, 2)).is_none());
+        assert!(astar(&g, (0, 0), (5, 5)).is_none()); // out of bounds goal
+    }
+}

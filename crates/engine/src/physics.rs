@@ -1,0 +1,232 @@
+//! The physics update component (§2.2).
+//!
+//! The paper: *"most games include a dedicated physics engine that
+//! examines forces and uses them to update the positions and velocities
+//! of game objects … the output of the physics engine often does not
+//! correspond exactly to the effect assignments (or 'intentions') of any
+//! individual script. For example, if two characters try to move to the
+//! same position, the physics engine may move them to adjacent
+//! locations."*
+//!
+//! This component owns the position columns of its class (declared
+//! `x by physics;`), integrates the ⊕-combined velocity intents, and
+//! resolves circle collisions by positional separation — deliberately
+//! overriding script intentions, which scripts observe next tick (§3.2).
+
+use sgl_index::{PointSet, SpatialIndex, UniformGrid};
+use sgl_storage::{ClassId, Owner};
+
+use crate::effects::CombinedEffects;
+use crate::world::World;
+
+/// Host-side configuration binding a class to the physics component.
+#[derive(Debug, Clone)]
+pub struct PhysicsSpec {
+    /// Class name.
+    pub class: String,
+    /// Position state variables (must be `by physics`).
+    pub pos: (String, String),
+    /// Velocity-intent effect variables (typically `avg`-combined).
+    pub vel_effect: (String, String),
+    /// World bounds `(xmin, ymin, xmax, ymax)`; positions are clamped.
+    pub bounds: Option<(f64, f64, f64, f64)>,
+    /// Collision radius per entity (0 disables collision).
+    pub radius: f64,
+    /// Positional-resolution iterations.
+    pub iterations: usize,
+    /// Integration step per tick.
+    pub dt: f64,
+}
+
+impl PhysicsSpec {
+    /// A spec with conventional names (`x`/`y`, `vx`/`vy`) and collisions
+    /// disabled.
+    pub fn simple(class: &str) -> Self {
+        PhysicsSpec {
+            class: class.to_string(),
+            pos: ("x".into(), "y".into()),
+            vel_effect: ("vx".into(), "vy".into()),
+            bounds: None,
+            radius: 0.0,
+            iterations: 2,
+            dt: 1.0,
+        }
+    }
+}
+
+/// Resolved column/effect bindings.
+#[derive(Debug, Clone)]
+pub struct ResolvedPhysics {
+    /// Bound class.
+    pub class: ClassId,
+    /// Position state columns.
+    pub pos: (usize, usize),
+    /// Velocity effect indexes.
+    pub vel: (usize, usize),
+    /// Copied from the spec.
+    pub bounds: Option<(f64, f64, f64, f64)>,
+    /// Copied from the spec.
+    pub radius: f64,
+    /// Copied from the spec.
+    pub iterations: usize,
+    /// Copied from the spec.
+    pub dt: f64,
+}
+
+/// Validate a spec against the catalog (ownership partition of §2.2).
+pub fn resolve(
+    spec: &PhysicsSpec,
+    catalog: &sgl_storage::Catalog,
+) -> Result<ResolvedPhysics, String> {
+    let def = catalog
+        .class_by_name(&spec.class)
+        .ok_or_else(|| format!("physics: unknown class `{}`", spec.class))?;
+    let col = |name: &str| -> Result<usize, String> {
+        let c = def
+            .state
+            .index_of(name)
+            .ok_or_else(|| format!("physics: class `{}` has no state `{name}`", spec.class))?;
+        if def.owners[c] != Owner::Physics {
+            return Err(format!(
+                "physics: `{name}` of `{}` is owned by `{}`; declare `{name} by physics;`",
+                spec.class,
+                def.owners[c].name()
+            ));
+        }
+        Ok(c)
+    };
+    let eff = |name: &str| -> Result<usize, String> {
+        def.effect_index(name)
+            .ok_or_else(|| format!("physics: class `{}` has no effect `{name}`", spec.class))
+    };
+    Ok(ResolvedPhysics {
+        class: def.id,
+        pos: (col(&spec.pos.0)?, col(&spec.pos.1)?),
+        vel: (eff(&spec.vel_effect.0)?, eff(&spec.vel_effect.1)?),
+        bounds: spec.bounds,
+        radius: spec.radius,
+        iterations: spec.iterations.max(1),
+        dt: spec.dt,
+    })
+}
+
+/// Integrate intents and resolve collisions; returns the staged new
+/// position columns `(x, y)`.
+pub fn run(
+    world: &World,
+    combined: &CombinedEffects,
+    p: &ResolvedPhysics,
+) -> (Vec<f64>, Vec<f64>) {
+    let table = world.table(p.class);
+    let n = table.len();
+    let old_x = table.column(p.pos.0).f64();
+    let old_y = table.column(p.pos.1).f64();
+    let vx = combined.column(p.class, p.vel.0).f64();
+    let vy = combined.column(p.class, p.vel.1).f64();
+    let cx = combined.counts(p.class, p.vel.0);
+    let cy = combined.counts(p.class, p.vel.1);
+
+    let mut x: Vec<f64> = Vec::with_capacity(n);
+    let mut y: Vec<f64> = Vec::with_capacity(n);
+    for i in 0..n {
+        let dx = if cx[i] > 0 { vx[i] } else { 0.0 };
+        let dy = if cy[i] > 0 { vy[i] } else { 0.0 };
+        x.push(old_x[i] + dx * p.dt);
+        y.push(old_y[i] + dy * p.dt);
+    }
+
+    if p.radius > 0.0 && n > 1 {
+        resolve_collisions(&mut x, &mut y, p.radius, p.iterations);
+    }
+
+    if let Some((x0, y0, x1, y1)) = p.bounds {
+        for i in 0..n {
+            x[i] = x[i].clamp(x0, x1);
+            y[i] = y[i].clamp(y0, y1);
+        }
+    }
+    (x, y)
+}
+
+/// Separate overlapping circles of radius `r` (positional correction,
+/// deterministic order).
+fn resolve_collisions(x: &mut [f64], y: &mut [f64], r: f64, iterations: usize) {
+    let n = x.len();
+    let min_dist = 2.0 * r;
+    for _ in 0..iterations {
+        let points = PointSet::from_columns(&[x, y]);
+        let grid = UniformGrid::build(&points);
+        let mut moved = false;
+        let mut candidates = Vec::new();
+        for i in 0..n {
+            candidates.clear();
+            grid.query(
+                &[x[i] - min_dist, y[i] - min_dist],
+                &[x[i] + min_dist, y[i] + min_dist],
+                &mut candidates,
+            );
+            candidates.sort_unstable();
+            for &j in &candidates {
+                let j = j as usize;
+                if j <= i {
+                    continue;
+                }
+                let dx = x[j] - x[i];
+                let dy = y[j] - y[i];
+                let d2 = dx * dx + dy * dy;
+                if d2 >= min_dist * min_dist {
+                    continue;
+                }
+                let d = d2.sqrt();
+                let (nx, ny) = if d > 1e-12 {
+                    (dx / d, dy / d)
+                } else {
+                    // Coincident: separate along x (deterministic).
+                    (1.0, 0.0)
+                };
+                let push = (min_dist - d) / 2.0;
+                x[i] -= nx * push;
+                y[i] -= ny * push;
+                x[j] += nx * push;
+                y[j] += ny * push;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_separates_coincident_points() {
+        let mut x = vec![5.0, 5.0];
+        let mut y = vec![5.0, 5.0];
+        resolve_collisions(&mut x, &mut y, 0.5, 4);
+        let d = ((x[0] - x[1]).powi(2) + (y[0] - y[1]).powi(2)).sqrt();
+        assert!(d >= 0.99, "still overlapping: d={d}");
+    }
+
+    #[test]
+    fn collision_pushes_apart_partially_overlapping() {
+        let mut x = vec![0.0, 0.6];
+        let mut y = vec![0.0, 0.0];
+        resolve_collisions(&mut x, &mut y, 0.5, 4);
+        assert!(x[0] < 0.0 && x[1] > 0.6);
+        let d = (x[1] - x[0]).abs();
+        assert!(d >= 0.99, "d={d}");
+    }
+
+    #[test]
+    fn non_overlapping_untouched() {
+        let mut x = vec![0.0, 10.0];
+        let mut y = vec![0.0, 0.0];
+        resolve_collisions(&mut x, &mut y, 0.5, 4);
+        assert_eq!(x, vec![0.0, 10.0]);
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! The reactive phase (§3.2).
+//!
+//! "Scripts could register handlers with the engine that include a
+//! condition and some effect assignments. At the end of the update
+//! phase, those handlers with conditions that evaluate to true would be
+//! executed and set some effects for the next tick."
+//!
+//! Handlers with a `restart` clause additionally interrupt multi-tick
+//! scripts: matching entities' hidden program counters reset to 0, so
+//! the next tick re-enters the script from the top — §3.2's
+//! "mechanism to interrupt multi-tick scripts and reset the program
+//! counter" (the termination model of the resumable-exception analogy;
+//! a handler without `restart` is the resumption model).
+
+use sgl_compiler::CompiledGame;
+use sgl_relalg::eval;
+use sgl_storage::{ClassId, EntityId};
+
+use crate::effects::Seed;
+use crate::world::World;
+
+/// One batch of program-counter interrupts produced by a `restart`
+/// handler: the pc state column of every listed entity resets to 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcReset {
+    /// Class whose extent holds the column.
+    pub class: ClassId,
+    /// The hidden pc state column.
+    pub pc_col: usize,
+    /// Entities to interrupt.
+    pub targets: Vec<EntityId>,
+}
+
+/// Everything the reactive phase produces.
+#[derive(Debug, Default)]
+pub struct ReactiveOut {
+    /// Effect seeds for the next tick.
+    pub seeds: Vec<Seed>,
+    /// Program-counter interrupts to apply before the next tick.
+    pub resets: Vec<PcReset>,
+}
+
+/// Apply pc interrupts: the hidden pc state column of every targeted
+/// entity resets to 0, so the next tick re-enters the script's first
+/// segment.
+pub fn apply_resets(world: &mut World, resets: &[PcReset]) {
+    for r in resets {
+        let table = world.table_mut(r.class);
+        for id in &r.targets {
+            if let Some(row) = table.row_of(*id) {
+                table
+                    .column_mut(r.pc_col)
+                    .set(row as usize, &sgl_storage::Value::Number(0.0));
+            }
+        }
+    }
+}
+
+/// Evaluate all handlers against the (new) state; returns the effect
+/// seeds and pc interrupts for the next tick. Ghost rows (§4.2
+/// distributed replication) never fire handlers — their owner evaluates
+/// the same condition authoritatively.
+pub fn run_handlers(world: &World, game: &CompiledGame) -> ReactiveOut {
+    let mut out = ReactiveOut::default();
+    for cdef in world.catalog().classes() {
+        let class = cdef.id;
+        if world.table(class).is_empty() {
+            continue;
+        }
+        let compiled = game.class(class);
+        if compiled.handlers.is_empty() {
+            continue;
+        }
+        let owned = world.driving_mask(class);
+        let mut batch = world.base_batch(class);
+        for h in &compiled.handlers {
+            // Handler-local computed columns (lets in the body).
+            let base_width = batch.width();
+            for c in &h.computes {
+                let col = eval(c, &batch, world);
+                batch.push_col(col);
+            }
+            for e in &h.emits {
+                let mask = e
+                    .guard
+                    .as_ref()
+                    .map(|g| eval(g, &batch, world));
+                let values = eval(&e.value, &batch, world);
+                for row in 0..batch.len() {
+                    if mask.as_ref().is_some_and(|m| !m.bool()[row])
+                        || owned.as_ref().is_some_and(|m| !m[row])
+                    {
+                        continue;
+                    }
+                    out.seeds.push(Seed {
+                        class,
+                        effect: e.effect,
+                        target: batch.ids()[row],
+                        value: values.get(row),
+                        insert: e.insert,
+                    });
+                }
+            }
+            if !h.restart_pc_cols.is_empty() {
+                let cond = eval(&h.cond, &batch, world);
+                let cond = cond.bool();
+                let mut targets = Vec::new();
+                for row in 0..batch.len() {
+                    if cond[row] && owned.as_ref().is_none_or(|m| m[row]) {
+                        targets.push(batch.ids()[row]);
+                    }
+                }
+                if !targets.is_empty() {
+                    for &pc_col in &h.restart_pc_cols {
+                        out.resets.push(PcReset {
+                            class,
+                            pc_col,
+                            targets: targets.clone(),
+                        });
+                    }
+                }
+            }
+            batch.truncate_cols(base_width);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_frontend::check;
+    use sgl_storage::Value;
+
+    #[test]
+    fn handler_seeds_fire_for_matching_rows() {
+        let src = r#"
+class A {
+state:
+  number hp = 10;
+effects:
+  bool fleeing : or;
+when (hp < 3) {
+  fleeing <- true;
+}
+}
+"#;
+        let game = sgl_compiler::compile(check(src).unwrap()).unwrap();
+        let mut world = World::new(game.catalog.clone());
+        let c = world.class_id("A").unwrap();
+        let _healthy = world.spawn(c, &[("hp", Value::Number(10.0))]).unwrap();
+        let hurt = world.spawn(c, &[("hp", Value::Number(1.0))]).unwrap();
+        let out = run_handlers(&world, &game);
+        let seeds = out.seeds;
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].target, hurt);
+        assert_eq!(seeds[0].value, Value::Bool(true));
+        assert!(out.resets.is_empty());
+    }
+
+    #[test]
+    fn handler_with_let_and_nested_if() {
+        let src = r#"
+class A {
+state:
+  number hp = 10;
+  number maxhp = 20;
+effects:
+  number heal : sum;
+when (hp < maxhp) {
+  let deficit = maxhp - hp;
+  if (deficit > 5) {
+    heal <- deficit / 2;
+  }
+}
+}
+"#;
+        let game = sgl_compiler::compile(check(src).unwrap()).unwrap();
+        let mut world = World::new(game.catalog.clone());
+        let c = world.class_id("A").unwrap();
+        let a = world.spawn(c, &[("hp", Value::Number(19.0))]).unwrap(); // deficit 1: no
+        let b = world.spawn(c, &[("hp", Value::Number(4.0))]).unwrap(); // deficit 16: yes
+        let seeds = run_handlers(&world, &game).seeds;
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(seeds[0].target, b);
+        assert_eq!(seeds[0].value, Value::Number(8.0));
+        let _ = a;
+    }
+
+    /// A `restart` handler resets the hidden pc of matching rows only.
+    #[test]
+    fn restart_handler_produces_pc_resets() {
+        let src = r#"
+class Npc {
+state:
+  number hp = 10;
+  number step = 0;
+effects:
+  number go : sum;
+script patrol {
+  go <- 1;
+  waitNextTick;
+  go <- 2;
+  waitNextTick;
+  go <- 3;
+}
+when (hp < 3) restart;
+}
+"#;
+        let game = sgl_compiler::compile(check(src).unwrap()).unwrap();
+        let mut world = World::new(game.catalog.clone());
+        let c = world.class_id("Npc").unwrap();
+        let hurt = world.spawn(c, &[("hp", Value::Number(1.0))]).unwrap();
+        let fine = world.spawn(c, &[("hp", Value::Number(9.0))]).unwrap();
+        let out = run_handlers(&world, &game);
+        assert!(out.seeds.is_empty(), "bare restart seeds no effects");
+        assert_eq!(out.resets.len(), 1);
+        let reset = &out.resets[0];
+        assert_eq!(reset.class, c);
+        assert_eq!(reset.targets, vec![hurt]);
+        assert_eq!(
+            reset.pc_col,
+            game.class(c).scripts[0].pc_col.expect("patrol has a pc"),
+        );
+        let _ = fine;
+    }
+
+    /// Ghost rows neither seed effects nor fire restarts.
+    #[test]
+    fn ghosts_do_not_fire_handlers() {
+        let src = r#"
+class A {
+state:
+  number hp = 10;
+effects:
+  bool fleeing : or;
+when (hp < 3) {
+  fleeing <- true;
+}
+}
+"#;
+        let game = sgl_compiler::compile(check(src).unwrap()).unwrap();
+        let mut world = World::new(game.catalog.clone());
+        let c = world.class_id("A").unwrap();
+        let hurt_ghost = world.spawn(c, &[("hp", Value::Number(1.0))]).unwrap();
+        world.mark_ghost(c, hurt_ghost);
+        let hurt_owned = world.spawn(c, &[("hp", Value::Number(2.0))]).unwrap();
+        let out = run_handlers(&world, &game);
+        assert_eq!(out.seeds.len(), 1);
+        assert_eq!(out.seeds[0].target, hurt_owned);
+    }
+}

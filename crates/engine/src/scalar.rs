@@ -1,0 +1,155 @@
+//! Scalar (single-row) evaluation of physical expressions.
+//!
+//! The transaction manager evaluates class constraints per affected
+//! entity on *working state* — a handful of rows, so a scalar evaluator
+//! is the right tool (the vectorized path would recompute whole
+//! columns).
+
+use sgl_relalg::{Func, PBinOp, PExpr, PUnOp};
+use sgl_storage::{EntityId, Value};
+
+/// Resolves a batch slot to a scalar value for one logical row.
+pub trait SlotReader {
+    /// The value at `slot` for the row being evaluated.
+    fn slot(&self, slot: usize) -> Value;
+    /// Gather `class.col` for entity `id` (for `Gather` expressions).
+    fn gather(&self, class: sgl_storage::ClassId, col: usize, id: EntityId) -> Value;
+}
+
+/// Evaluate `e` for one row.
+pub fn eval_scalar(e: &PExpr, r: &dyn SlotReader) -> Value {
+    match e {
+        PExpr::ConstF(x) => Value::Number(*x),
+        PExpr::ConstB(b) => Value::Bool(*b),
+        PExpr::ConstRef(id) => Value::Ref(*id),
+        PExpr::Col(s) => r.slot(*s),
+        PExpr::Un(op, inner) => {
+            let v = eval_scalar(inner, r);
+            match op {
+                PUnOp::Neg => Value::Number(-v.as_number().unwrap_or(0.0)),
+                PUnOp::Not => Value::Bool(!v.as_bool().unwrap_or(false)),
+            }
+        }
+        PExpr::Bin(op, a, b) => {
+            let av = eval_scalar(a, r);
+            let bv = eval_scalar(b, r);
+            eval_bin(*op, &av, &bv)
+        }
+        PExpr::Call(f, args) => {
+            let vals: Vec<Value> = args.iter().map(|a| eval_scalar(a, r)).collect();
+            eval_call(*f, &vals)
+        }
+        PExpr::Gather { class, col, base } => {
+            let id = eval_scalar(base, r).as_ref_id().unwrap_or(EntityId::NULL);
+            r.gather(*class, *col, id)
+        }
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    v.as_number().unwrap_or(0.0)
+}
+
+fn eval_bin(op: PBinOp, a: &Value, b: &Value) -> Value {
+    use PBinOp::*;
+    match op {
+        Add => Value::Number(num(a) + num(b)),
+        Sub => Value::Number(num(a) - num(b)),
+        Mul => Value::Number(num(a) * num(b)),
+        Div => Value::Number(num(a) / num(b)),
+        Mod => Value::Number(num(a) % num(b)),
+        Lt => Value::Bool(num(a) < num(b)),
+        Le => Value::Bool(num(a) <= num(b)),
+        Gt => Value::Bool(num(a) > num(b)),
+        Ge => Value::Bool(num(a) >= num(b)),
+        EqF => Value::Bool(num(a) == num(b)),
+        NeF => Value::Bool(num(a) != num(b)),
+        EqB => Value::Bool(a.as_bool() == b.as_bool()),
+        NeB => Value::Bool(a.as_bool() != b.as_bool()),
+        EqR => Value::Bool(a.as_ref_id() == b.as_ref_id()),
+        NeR => Value::Bool(a.as_ref_id() != b.as_ref_id()),
+        And => Value::Bool(a.as_bool().unwrap_or(false) && b.as_bool().unwrap_or(false)),
+        Or => Value::Bool(a.as_bool().unwrap_or(false) || b.as_bool().unwrap_or(false)),
+    }
+}
+
+fn eval_call(f: Func, args: &[Value]) -> Value {
+    match f {
+        Func::Abs => Value::Number(num(&args[0]).abs()),
+        Func::Sqrt => Value::Number(num(&args[0]).sqrt()),
+        Func::Floor => Value::Number(num(&args[0]).floor()),
+        Func::Ceil => Value::Number(num(&args[0]).ceil()),
+        Func::Min2 => Value::Number(num(&args[0]).min(num(&args[1]))),
+        Func::Max2 => Value::Number(num(&args[0]).max(num(&args[1]))),
+        Func::Clamp => Value::Number(num(&args[0]).max(num(&args[1])).min(num(&args[2]))),
+        Func::Dist => {
+            let dx = num(&args[0]) - num(&args[2]);
+            let dy = num(&args[1]) - num(&args[3]);
+            Value::Number((dx * dx + dy * dy).sqrt())
+        }
+        Func::Id => Value::Number(args[0].as_ref_id().map_or(0.0, |r| r.0 as f64)),
+        Func::Size => Value::Number(args[0].as_set().map_or(0.0, |s| s.len() as f64)),
+        Func::Contains => Value::Bool(
+            args[0]
+                .as_set()
+                .zip(args[1].as_ref_id())
+                .is_some_and(|(s, id)| s.contains(id)),
+        ),
+        Func::Union2 => {
+            let mut a = args[0].as_set().cloned().unwrap_or_default();
+            if let Some(b) = args[1].as_set() {
+                a.union_with(b);
+            }
+            Value::Set(a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_storage::ClassId;
+
+    struct Fixed(Vec<Value>);
+
+    impl SlotReader for Fixed {
+        fn slot(&self, slot: usize) -> Value {
+            self.0[slot].clone()
+        }
+        fn gather(&self, _class: ClassId, _col: usize, _id: EntityId) -> Value {
+            Value::Number(42.0)
+        }
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_compare() {
+        let r = Fixed(vec![Value::Number(10.0)]);
+        let e = PExpr::bin(
+            PBinOp::Ge,
+            PExpr::bin(PBinOp::Add, PExpr::Col(0), PExpr::ConstF(5.0)),
+            PExpr::ConstF(15.0),
+        );
+        assert_eq!(eval_scalar(&e, &r), Value::Bool(true));
+    }
+
+    #[test]
+    fn scalar_gather() {
+        let r = Fixed(vec![Value::Ref(EntityId(3))]);
+        let e = PExpr::Gather {
+            class: ClassId(0),
+            col: 0,
+            base: Box::new(PExpr::Col(0)),
+        };
+        assert_eq!(eval_scalar(&e, &r), Value::Number(42.0));
+    }
+
+    #[test]
+    fn scalar_builtins() {
+        let r = Fixed(vec![]);
+        let e = PExpr::Call(
+            Func::Clamp,
+            vec![PExpr::ConstF(5.0), PExpr::ConstF(0.0), PExpr::ConstF(3.0)],
+        );
+        assert_eq!(eval_scalar(&e, &r), Value::Number(3.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-tick execution statistics, consumed by the experiment harness.
+
+use sgl_relalg::JoinMethod;
+
+/// Observation of one executed accum join.
+#[derive(Debug, Clone)]
+pub struct JoinObs {
+    /// Class whose script ran.
+    pub class: u32,
+    /// Script index.
+    pub script: usize,
+    /// Segment index.
+    pub segment: usize,
+    /// Step index within the segment.
+    pub step: usize,
+    /// The join method used this tick.
+    pub method: JoinMethod,
+    /// Result pairs produced.
+    pub pairs: u64,
+    /// Wall time of the join (build + probe + emit), nanoseconds.
+    pub nanos: u64,
+    /// Bytes held by the per-tick index (0 for NL).
+    pub index_bytes: usize,
+    /// Whether the adaptive planner switched plans this tick.
+    pub switched: bool,
+}
+
+/// Transaction-manager outcome of one tick (§3.1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnReport {
+    /// Intents issued during the effect phase.
+    pub issued: u64,
+    /// Intents committed.
+    pub committed: u64,
+    /// Intents aborted due to write-write conflicts.
+    pub aborted_conflict: u64,
+    /// Intents aborted due to constraint violations.
+    pub aborted_constraint: u64,
+}
+
+/// Timings and counters for one tick.
+#[derive(Debug, Clone, Default)]
+pub struct TickStats {
+    /// Tick number.
+    pub tick: u64,
+    /// Query + effect phase wall time (ns).
+    pub effect_nanos: u64,
+    /// ⊕ combine wall time (ns).
+    pub combine_nanos: u64,
+    /// Update phase wall time (ns).
+    pub update_nanos: u64,
+    /// Reactive phase wall time (ns).
+    pub reactive_nanos: u64,
+    /// Raw effect assignments folded.
+    pub effects_emitted: u64,
+    /// Entities whose multi-tick scripts were interrupted by `restart`
+    /// handlers this tick (§3.2).
+    pub interrupts: u64,
+    /// Join observations (one per executed accum step).
+    pub joins: Vec<JoinObsRecord>,
+    /// Transaction outcomes.
+    pub txn: TxnReport,
+}
+
+/// `JoinObs` without the default problem (kept separate so `TickStats`
+/// can derive `Default`).
+pub type JoinObsRecord = JoinObs;
+
+impl TickStats {
+    /// Total tick wall time (sum of phases), nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.effect_nanos + self.combine_nanos + self.update_nanos + self.reactive_nanos
+    }
+
+    /// Total join pairs across all accum steps this tick.
+    pub fn total_pairs(&self) -> u64 {
+        self.joins.iter().map(|j| j.pairs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum() {
+        let mut s = TickStats {
+            effect_nanos: 10,
+            combine_nanos: 5,
+            update_nanos: 3,
+            reactive_nanos: 2,
+            ..TickStats::default()
+        };
+        assert_eq!(s.total_nanos(), 20);
+        s.joins.push(JoinObs {
+            class: 0,
+            script: 0,
+            segment: 0,
+            step: 0,
+            method: JoinMethod::NL,
+            pairs: 7,
+            nanos: 1,
+            index_bytes: 0,
+            switched: false,
+        });
+        assert_eq!(s.total_pairs(), 7);
+    }
+}

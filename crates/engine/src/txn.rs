@@ -1,0 +1,378 @@
+//! The transaction update component (§3.1).
+//!
+//! The paper: *"a transaction is a region of code that is marked atomic,
+//! along with some constraints over state attributes … the game engine is
+//! then responsible for choosing a subset of the transactions issued
+//! during the tick that do not violate any constraints. The remaining
+//! transactions abort, and their effect assignments are not applied."*
+//!
+//! Semantics implemented here:
+//!
+//! * Transaction-owned **number** variables are *delta channels*: plain
+//!   (non-atomic) effect writes sum into a working value first — "all
+//!   writes succeed" (§3.1) — then intents apply their deltas under
+//!   constraint checks.
+//! * Transaction-owned **ref** variables: plain writes combine with the
+//!   declared ⊕ (the duping bug the paper describes!); intent writes
+//!   additionally conflict-abort when an earlier committed intent already
+//!   wrote the same cell this tick — which is what prevents duping.
+//! * Transaction-owned **set** variables: inserts union in.
+//! * Intents are processed in deterministic `(initiator id, issue order)`
+//!   order; aborts roll back all of the intent's writes.
+//! * A `bool` state variable owned by `transactions` *without* a
+//!   same-named effect acts as the commit flag: it becomes `true` iff the
+//!   entity issued at least one intent and all of them committed — the
+//!   "scripts … determine … which transactions committed" channel (§3.2).
+
+use sgl_compiler::CompiledGame;
+use sgl_relalg::StateSource;
+use sgl_storage::{ClassId, Column, EntityId, FxHashMap, FxHashSet, Owner, ScalarType, Value};
+
+use crate::effects::CombinedEffects;
+use crate::scalar::{eval_scalar, SlotReader};
+use crate::stats::TxnReport;
+use crate::world::World;
+
+/// One transaction intent (an executed `atomic` region instance).
+#[derive(Debug, Clone)]
+pub struct TxnIntent {
+    /// The entity whose script issued the intent (priority order).
+    pub initiator: EntityId,
+    /// The writes.
+    pub writes: Vec<IntentWrite>,
+}
+
+/// One write inside an intent.
+#[derive(Debug, Clone)]
+pub struct IntentWrite {
+    /// Target entity.
+    pub target: EntityId,
+    /// Class of the transaction-owned variable.
+    pub class: ClassId,
+    /// State column.
+    pub state_col: usize,
+    /// Delta / new ref / inserted member.
+    pub value: Value,
+    /// Set insert?
+    pub insert: bool,
+}
+
+/// Working state: staged columns for transaction-owned variables.
+pub struct TxnWorking {
+    /// `(class, state_col)` → staged column.
+    pub cols: FxHashMap<(u32, usize), Column>,
+    /// Commit-flag columns: `(class, state_col)` → flags.
+    pub flags: FxHashMap<(u32, usize), Vec<bool>>,
+}
+
+/// Initialize working values: old state ⊕ plain (non-atomic) writes.
+pub fn init_working(world: &World, game: &CompiledGame, combined: &CombinedEffects) -> TxnWorking {
+    let catalog = world.catalog();
+    let mut cols = FxHashMap::default();
+    let mut flags = FxHashMap::default();
+    for cdef in catalog.classes() {
+        let class = cdef.id;
+        let table = world.table(class);
+        let n = table.len();
+        let compiled = game.class(class);
+        for &(state_col, effect) in &compiled.txn_pairs {
+            let old = table.column(state_col);
+            let comb_col = combined.column(class, effect);
+            let counts = combined.counts(class, effect);
+            let spec = cdef.effect(effect);
+            let working = match (old, spec.ty) {
+                (Column::F64(ov), ScalarType::Number) => {
+                    // Numbers: delta channel (sum of plain writes).
+                    let deltas = comb_col.f64();
+                    Column::from_f64(
+                        (0..n).map(|i| ov[i] + deltas[i]).collect(),
+                    )
+                }
+                (Column::Ref(ov), ScalarType::Ref(_)) => {
+                    // Refs: plain writes win via ⊕ where present.
+                    let vals = comb_col.refs();
+                    Column::from_ref(
+                        (0..n)
+                            .map(|i| if counts[i] > 0 { vals[i] } else { ov[i] })
+                            .collect(),
+                    )
+                }
+                (Column::Set(ov), ScalarType::Set(_)) => {
+                    let vals = comb_col.sets();
+                    Column::from_set(
+                        (0..n)
+                            .map(|i| {
+                                let mut s = ov[i].clone();
+                                if counts[i] > 0 {
+                                    s.union_with(&vals[i]);
+                                }
+                                s
+                            })
+                            .collect(),
+                    )
+                }
+                (old, _) => old.clone(),
+            };
+            cols.insert((class.0, state_col), working);
+        }
+        // Commit-flag columns: transactions-owned bool without a
+        // same-named effect.
+        for (ci, colspec) in cdef.state.cols().iter().enumerate() {
+            if cdef.owners[ci] == Owner::Transactions
+                && colspec.ty == ScalarType::Bool
+                && cdef.effect_index(&colspec.name).is_none()
+            {
+                flags.insert((class.0, ci), vec![false; n]);
+            }
+        }
+    }
+    TxnWorking { cols, flags }
+}
+
+struct WorkingReader<'a> {
+    world: &'a World,
+    working: &'a TxnWorking,
+    class: ClassId,
+    row: usize,
+}
+
+impl SlotReader for WorkingReader<'_> {
+    fn slot(&self, slot: usize) -> Value {
+        if slot == 0 {
+            return Value::Ref(self.world.table(self.class).id_at(self.row));
+        }
+        let col = slot - 1;
+        if let Some(c) = self.working.cols.get(&(self.class.0, col)) {
+            return c.get(self.row);
+        }
+        self.world.table(self.class).column(col).get(self.row)
+    }
+
+    fn gather(&self, class: ClassId, col: usize, id: EntityId) -> Value {
+        match self.world.row_of(class, id) {
+            Some(r) => {
+                if let Some(c) = self.working.cols.get(&(class.0, col)) {
+                    c.get(r as usize)
+                } else {
+                    self.world.table(class).column(col).get(r as usize)
+                }
+            }
+            None => self
+                .world
+                .catalog()
+                .class(class)
+                .state
+                .col(col)
+                .ty
+                .zero(),
+        }
+    }
+}
+
+/// Process the tick's intents against working state; returns the report.
+/// Committed writes stay in `working`; aborted intents are rolled back.
+pub fn run(
+    world: &World,
+    game: &CompiledGame,
+    working: &mut TxnWorking,
+    mut intents: Vec<TxnIntent>,
+    report: &mut TxnReport,
+) {
+    // Deterministic order: initiator id, then issue order (stable sort).
+    intents.sort_by_key(|i| i.initiator);
+
+    // Ref cells already written by a committed intent this tick.
+    let mut ref_written: FxHashSet<(u32, usize, u32)> = FxHashSet::default();
+    // Per-initiator outcome for the commit flags.
+    let mut initiator_ok: FxHashMap<EntityId, bool> = FxHashMap::default();
+
+    'intents: for intent in intents {
+        // Resolve rows; an intent touching a despawned entity aborts.
+        let mut resolved: Vec<(u32, &IntentWrite)> = Vec::with_capacity(intent.writes.len());
+        for w in &intent.writes {
+            match world.row_of(w.class, w.target) {
+                Some(r) => resolved.push((r, w)),
+                None => {
+                    report.aborted_constraint += 1;
+                    initiator_ok.entry(intent.initiator).or_insert(true);
+                    initiator_ok.insert(intent.initiator, false);
+                    continue 'intents;
+                }
+            }
+        }
+        // Conflict check (refs) before applying anything.
+        for (row, w) in &resolved {
+            if matches!(w.value, Value::Ref(_))
+                && !w.insert
+                && ref_written.contains(&(w.class.0, w.state_col, *row))
+            {
+                report.aborted_conflict += 1;
+                initiator_ok.insert(intent.initiator, false);
+                continue 'intents;
+            }
+        }
+        // Tentatively apply, remembering undo values.
+        let mut undo: Vec<(u32, usize, u32, Value)> = Vec::with_capacity(resolved.len());
+        for (row, w) in &resolved {
+            let key = (w.class.0, w.state_col);
+            let Some(col) = working.cols.get_mut(&key) else {
+                // Not a registered txn pair (e.g. flag var targeted
+                // directly) — treat as constraint violation.
+                for (c, sc, r, v) in undo.into_iter().rev() {
+                    working.cols.get_mut(&(c, sc)).unwrap().set(r as usize, &v);
+                }
+                report.aborted_constraint += 1;
+                initiator_ok.insert(intent.initiator, false);
+                continue 'intents;
+            };
+            let old = col.get(*row as usize);
+            undo.push((w.class.0, w.state_col, *row, old.clone()));
+            let new = match (&old, &w.value) {
+                (Value::Number(a), Value::Number(d)) => Value::Number(a + d),
+                (Value::Set(s), Value::Ref(r)) if w.insert => {
+                    let mut s = s.clone();
+                    s.insert(*r);
+                    Value::Set(s)
+                }
+                (Value::Set(s), Value::Set(other)) => {
+                    let mut s = s.clone();
+                    s.union_with(other);
+                    Value::Set(s)
+                }
+                (_, v) => (*v).clone(),
+            };
+            col.set(*row as usize, &new);
+        }
+        // Constraint check on every affected entity.
+        let mut affected: Vec<(ClassId, u32)> = resolved
+            .iter()
+            .map(|(r, w)| (w.class, *r))
+            .collect();
+        affected.sort_unstable_by_key(|(c, r)| (c.0, *r));
+        affected.dedup();
+        let mut ok = true;
+        'check: for (class, row) in &affected {
+            let constraints = &game.class(*class).constraints;
+            if constraints.is_empty() {
+                continue;
+            }
+            let reader = WorkingReader {
+                world,
+                working,
+                class: *class,
+                row: *row as usize,
+            };
+            for con in constraints {
+                if eval_scalar(con, &reader) != Value::Bool(true) {
+                    ok = false;
+                    break 'check;
+                }
+            }
+        }
+        if ok {
+            report.committed += 1;
+            initiator_ok.entry(intent.initiator).or_insert(true);
+            for (row, w) in &resolved {
+                if matches!(w.value, Value::Ref(_)) && !w.insert {
+                    ref_written.insert((w.class.0, w.state_col, *row));
+                }
+            }
+        } else {
+            report.aborted_constraint += 1;
+            initiator_ok.insert(intent.initiator, false);
+            for (c, sc, r, v) in undo.into_iter().rev() {
+                working.cols.get_mut(&(c, sc)).unwrap().set(r as usize, &v);
+            }
+        }
+    }
+
+    // Commit flags.
+    for ((class, col), flags) in working.flags.iter_mut() {
+        let table = world.table(ClassId(*class));
+        for (row, flag) in flags.iter_mut().enumerate() {
+            let id = table.id_at(row);
+            *flag = initiator_ok.get(&id).copied().unwrap_or(false);
+        }
+        let _ = col;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The transaction component is exercised end-to-end through the
+    // engine tests (see `engine.rs` and the integration suite); unit
+    // tests here cover the working-state initialization rules.
+    use super::*;
+    use sgl_frontend::check;
+
+    fn game_and_world() -> (CompiledGame, World) {
+        let src = r#"
+class Trader {
+state:
+  number gold = 100;
+effects:
+  number gold : sum;
+update:
+  gold by transactions;
+constraint gold >= 0;
+}
+"#;
+        let game = sgl_compiler::compile(check(src).unwrap()).unwrap();
+        let world = World::new(game.catalog.clone());
+        (game, world)
+    }
+
+    #[test]
+    fn plain_deltas_fold_into_working() {
+        let (game, mut world) = game_and_world();
+        let c = world.class_id("Trader").unwrap();
+        let id = world.spawn(c, &[]).unwrap();
+        let mut store = crate::effects::EffectStore::new(&world, false);
+        let cat = world.catalog().clone();
+        store.emit_row(&cat, c, 0, 0, &Value::Number(-30.0), false, id);
+        let combined = store.finalize(&cat);
+        let working = init_working(&world, &game, &combined);
+        let col = working.cols.get(&(c.0, 0)).unwrap();
+        assert_eq!(col.get(0), Value::Number(70.0));
+    }
+
+    #[test]
+    fn intent_commits_and_respects_constraint() {
+        let (game, mut world) = game_and_world();
+        let c = world.class_id("Trader").unwrap();
+        let a = world.spawn(c, &[]).unwrap();
+        let store = crate::effects::EffectStore::new(&world, false);
+        let cat = world.catalog().clone();
+        let combined = store.finalize(&cat);
+        let mut working = init_working(&world, &game, &combined);
+        let mut report = TxnReport::default();
+        let intents = vec![
+            TxnIntent {
+                initiator: a,
+                writes: vec![IntentWrite {
+                    target: a,
+                    class: c,
+                    state_col: 0,
+                    value: Value::Number(-60.0),
+                    insert: false,
+                }],
+            },
+            TxnIntent {
+                initiator: a,
+                writes: vec![IntentWrite {
+                    target: a,
+                    class: c,
+                    state_col: 0,
+                    value: Value::Number(-60.0),
+                    insert: false,
+                }],
+            },
+        ];
+        run(&world, &game, &mut working, intents, &mut report);
+        // First commits (100→40), second would go negative → aborts.
+        assert_eq!(report.committed, 1);
+        assert_eq!(report.aborted_constraint, 1);
+        let col = working.cols.get(&(c.0, 0)).unwrap();
+        assert_eq!(col.get(0), Value::Number(40.0));
+    }
+}

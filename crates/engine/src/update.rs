@@ -1,0 +1,180 @@
+//! The update phase: "compute new values for state variables from the
+//! effect values and the previous state values" (§2, step 3).
+//!
+//! Every state variable is updated by exactly one component (§2.2's
+//! strict partition): compiled expression rules, the physics engine, the
+//! pathfinding planner, or the transaction manager. All components read
+//! the *old* state snapshot plus the ⊕-combined effects and stage new
+//! columns; the staged columns are written back at the end, so component
+//! order does not matter (no ordering constraints — exactly why the
+//! paper demands the partition).
+
+use sgl_compiler::CompiledGame;
+use sgl_relalg::{eval, Batch};
+use sgl_storage::{ClassId, Column, FxHashMap};
+
+use crate::effects::CombinedEffects;
+use crate::pathfind::ResolvedPathfind;
+use crate::physics::ResolvedPhysics;
+use crate::stats::TxnReport;
+use crate::txn::{self, TxnIntent};
+use crate::world::World;
+
+/// Staged new columns: `(class, state col)` → column.
+pub type Staged = FxHashMap<(u32, usize), Column>;
+
+/// Run the full update phase.
+pub fn run_update(
+    world: &mut World,
+    game: &CompiledGame,
+    combined: &CombinedEffects,
+    intents: Vec<TxnIntent>,
+    physics: &[ResolvedPhysics],
+    pathfind: &mut [ResolvedPathfind],
+    report: &mut TxnReport,
+) {
+    let mut staged: Staged = Staged::default();
+
+    // 1. Expression rules (includes compiler-generated pc rules).
+    for cdef in world.catalog().classes() {
+        let class = cdef.id;
+        let table = world.table(class);
+        if table.is_empty() {
+            continue;
+        }
+        let compiled = game.class(class);
+        if compiled.updates.is_empty() {
+            continue;
+        }
+        // Update batch: id, old state, combined effects.
+        let mut cols = table.snapshot_columns();
+        for ei in 0..cdef.effects.len() {
+            cols.push(combined.column(class, ei).clone());
+        }
+        let batch = Batch::from_extent(table.ids().to_vec(), cols);
+        for plan in &compiled.updates {
+            let new_col = eval(&plan.expr, &batch, world);
+            staged.insert((class.0, plan.state_col), new_col);
+        }
+    }
+
+    // 2. Physics.
+    for p in physics {
+        if world.table(p.class).is_empty() {
+            continue;
+        }
+        let (x, y) = crate::physics::run(world, combined, p);
+        staged.insert((p.class.0, p.pos.0), Column::from_f64(x));
+        staged.insert((p.class.0, p.pos.1), Column::from_f64(y));
+    }
+
+    // 3. Pathfinding.
+    for p in pathfind.iter_mut() {
+        if world.table(p.class).is_empty() {
+            continue;
+        }
+        let (wx, wy) = crate::pathfind::run(world, combined, p);
+        let (cx, cy) = pathfind_cols(p);
+        staged.insert((p.class.0, cx), Column::from_f64(wx));
+        staged.insert((p.class.0, cy), Column::from_f64(wy));
+    }
+
+    // 4. Transactions.
+    let mut working = txn::init_working(world, game, combined);
+    txn::run(world, game, &mut working, intents, report);
+    for ((class, col), column) in working.cols {
+        staged.insert((class, col), column);
+    }
+    for ((class, col), flags) in working.flags {
+        staged.insert((class, col), Column::from_bool(flags));
+    }
+
+    // 5. Write back.
+    for ((class, col), column) in staged {
+        world
+            .table_mut(ClassId(class))
+            .replace_column(col, column);
+    }
+}
+
+// ResolvedPathfind keeps its waypoint columns private; expose them for
+// staging through a crate-internal accessor.
+fn pathfind_cols(p: &ResolvedPathfind) -> (usize, usize) {
+    p.waypoint_cols()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::EffectStore;
+    use sgl_frontend::check;
+    use sgl_storage::Value;
+
+    #[test]
+    fn expression_rules_apply_effects() {
+        let src = r#"
+class Unit {
+state:
+  number health = 10;
+effects:
+  number damage : sum;
+update:
+  health = health - damage;
+}
+"#;
+        let game = sgl_compiler::compile(check(src).unwrap()).unwrap();
+        let mut world = World::new(game.catalog.clone());
+        let c = world.class_id("Unit").unwrap();
+        let id = world.spawn(c, &[]).unwrap();
+        let cat = world.catalog().clone();
+        let mut store = EffectStore::new(&world, false);
+        store.emit_row(&cat, c, 0, 0, &Value::Number(3.0), false, id);
+        store.emit_row(&cat, c, 0, 0, &Value::Number(4.0), false, id);
+        let combined = store.finalize(&cat);
+        let mut report = TxnReport::default();
+        run_update(
+            &mut world,
+            &game,
+            &combined,
+            Vec::new(),
+            &[],
+            &mut [],
+            &mut report,
+        );
+        assert_eq!(world.get(id, "health").unwrap(), Value::Number(3.0));
+    }
+
+    #[test]
+    fn unruled_state_keeps_value() {
+        let src = r#"
+class A {
+state:
+  number keep = 7;
+  number bump = 0;
+effects:
+  number d : sum;
+update:
+  bump = bump + d;
+}
+"#;
+        let game = sgl_compiler::compile(check(src).unwrap()).unwrap();
+        let mut world = World::new(game.catalog.clone());
+        let c = world.class_id("A").unwrap();
+        let id = world.spawn(c, &[]).unwrap();
+        let cat = world.catalog().clone();
+        let store = EffectStore::new(&world, false);
+        let combined = store.finalize(&cat);
+        let mut report = TxnReport::default();
+        run_update(
+            &mut world,
+            &game,
+            &combined,
+            Vec::new(),
+            &[],
+            &mut [],
+            &mut report,
+        );
+        assert_eq!(world.get(id, "keep").unwrap(), Value::Number(7.0));
+        assert_eq!(world.get(id, "bump").unwrap(), Value::Number(0.0));
+    }
+}

@@ -1,0 +1,343 @@
+//! The world: one extent per class, all memory-resident.
+
+use sgl_relalg::{Batch, StateSource};
+use sgl_storage::{
+    Catalog, ClassId, Column, EntityId, FxHashSet, IdGen, StorageError, Table, Value,
+};
+
+/// All live game state.
+#[derive(Debug, Clone)]
+pub struct World {
+    catalog: Catalog,
+    tables: Vec<Table>,
+    idgen: IdGen,
+    tick: u64,
+    /// Per-class ghost entities (§4.2 shared-nothing execution): rows
+    /// replicated from a remote owner. Ghosts are visible to reads
+    /// (joins, refs) but never *drive* scripts, handlers, or
+    /// constraints, and their effects are routed back to the owner.
+    /// Empty in single-node execution.
+    ghosts: Vec<FxHashSet<EntityId>>,
+}
+
+impl World {
+    /// An empty world for the given (execution) catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        let tables = catalog
+            .classes()
+            .iter()
+            .map(|c| Table::new(c.state.clone()))
+            .collect();
+        let ghosts = vec![FxHashSet::default(); catalog.classes().len()];
+        World {
+            catalog,
+            tables,
+            idgen: IdGen::new(),
+            tick: 0,
+            ghosts,
+        }
+    }
+
+    /// The catalog this world was built from.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Current tick number.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advance the tick counter (called by the engine).
+    pub fn advance_tick(&mut self) {
+        self.tick += 1;
+    }
+
+    /// The extent of `class`.
+    pub fn table(&self, class: ClassId) -> &Table {
+        &self.tables[class.0 as usize]
+    }
+
+    /// Mutable extent access (update phase only).
+    pub fn table_mut(&mut self, class: ClassId) -> &mut Table {
+        &mut self.tables[class.0 as usize]
+    }
+
+    /// Resolve a class name.
+    pub fn class_id(&self, name: &str) -> Result<ClassId, StorageError> {
+        self.catalog
+            .class_by_name(name)
+            .map(|c| c.id)
+            .ok_or_else(|| StorageError::NoSuchClass(name.to_string()))
+    }
+
+    /// Spawn an entity of `class` with the given attribute overrides.
+    pub fn spawn(
+        &mut self,
+        class: ClassId,
+        values: &[(&str, Value)],
+    ) -> Result<EntityId, StorageError> {
+        let id = self.idgen.alloc();
+        self.tables[class.0 as usize].insert(id, values)?;
+        Ok(id)
+    }
+
+    /// Spawn an entity under a caller-chosen id (checkpoint restore and
+    /// §4.2 distributed ghost/migration replication, where ids must stay
+    /// globally consistent across nodes).
+    pub fn spawn_with_id(
+        &mut self,
+        class: ClassId,
+        id: EntityId,
+        values: &[(&str, Value)],
+    ) -> Result<(), StorageError> {
+        self.tables[class.0 as usize].insert(id, values)?;
+        Ok(())
+    }
+
+    /// Remove an entity from `class`'s extent. Returns whether it was
+    /// present. Dangling refs to it resolve as null from now on.
+    pub fn despawn(&mut self, class: ClassId, id: EntityId) -> bool {
+        self.ghosts[class.0 as usize].remove(&id);
+        self.tables[class.0 as usize].remove(id)
+    }
+
+    /// Mark an already-spawned entity as a ghost (replica of a remote
+    /// owner). Ghosts never drive scripts/handlers/constraints.
+    pub fn mark_ghost(&mut self, class: ClassId, id: EntityId) {
+        self.ghosts[class.0 as usize].insert(id);
+    }
+
+    /// Is `id` a ghost of `class`?
+    pub fn is_ghost(&self, class: ClassId, id: EntityId) -> bool {
+        self.ghosts[class.0 as usize].contains(&id)
+    }
+
+    /// Number of ghosts in `class`'s extent.
+    pub fn ghost_count(&self, class: ClassId) -> usize {
+        self.ghosts[class.0 as usize].len()
+    }
+
+    /// Despawn every ghost of `class` (start-of-tick halo rebuild).
+    pub fn despawn_ghosts(&mut self, class: ClassId) {
+        let ids: Vec<EntityId> = self.ghosts[class.0 as usize].drain().collect();
+        for id in ids {
+            self.tables[class.0 as usize].remove(id);
+        }
+    }
+
+    /// Per-row mask of rows allowed to *drive* computation: `None` when
+    /// the class has no ghosts (the single-node fast path), otherwise
+    /// `mask[row] = true` iff the row is locally owned.
+    pub fn driving_mask(&self, class: ClassId) -> Option<Vec<bool>> {
+        let ghosts = &self.ghosts[class.0 as usize];
+        if ghosts.is_empty() {
+            return None;
+        }
+        Some(
+            self.table(class)
+                .ids()
+                .iter()
+                .map(|id| !ghosts.contains(id))
+                .collect(),
+        )
+    }
+
+    /// Find the class containing `id` (linear in the number of classes).
+    pub fn class_of(&self, id: EntityId) -> Option<ClassId> {
+        self.tables
+            .iter()
+            .position(|t| t.row_of(id).is_some())
+            .map(|i| ClassId(i as u32))
+    }
+
+    /// Read one attribute of one entity (searching all classes).
+    pub fn get(&self, id: EntityId, attr: &str) -> Result<Value, StorageError> {
+        let class = self
+            .class_of(id)
+            .ok_or(StorageError::NoSuchEntity(id))?;
+        self.table(class).get(id, attr)
+    }
+
+    /// Write one attribute of one entity (host API, between ticks).
+    pub fn set(&mut self, id: EntityId, attr: &str, v: &Value) -> Result<(), StorageError> {
+        let class = self
+            .class_of(id)
+            .ok_or(StorageError::NoSuchEntity(id))?;
+        self.table_mut(class).set(id, attr, v)
+    }
+
+    /// A columnar batch over `class`'s extent (cheap: Arc clones).
+    pub fn base_batch(&self, class: ClassId) -> Batch {
+        let t = self.table(class);
+        Batch::from_extent(t.ids().to_vec(), t.snapshot_columns())
+    }
+
+    /// Total live entities.
+    pub fn population(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Approximate heap footprint of all extents.
+    pub fn memory_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.memory_bytes()).sum()
+    }
+
+    /// Internal: rebuild lookup structures after deserialization.
+    pub fn rebuild_indexes(&mut self) {
+        self.catalog.rebuild_index();
+        for t in &mut self.tables {
+            t.rebuild_index();
+        }
+    }
+
+    /// Internal: deconstruct for checkpointing.
+    pub(crate) fn parts(&self) -> (&Catalog, &[Table], &IdGen, u64) {
+        (&self.catalog, &self.tables, &self.idgen, self.tick)
+    }
+
+    /// Internal: reconstruct from checkpoint parts. Ghosts are transient
+    /// replication state and deliberately not checkpointed — a restored
+    /// world is single-node until a distributed runtime re-replicates.
+    pub(crate) fn from_parts(
+        catalog: Catalog,
+        tables: Vec<Table>,
+        idgen: IdGen,
+        tick: u64,
+    ) -> World {
+        let ghosts = vec![FxHashSet::default(); catalog.classes().len()];
+        let mut w = World {
+            catalog,
+            tables,
+            idgen,
+            tick,
+            ghosts,
+        };
+        w.rebuild_indexes();
+        w
+    }
+}
+
+impl StateSource for World {
+    fn state_column(&self, class: ClassId, col: usize) -> &Column {
+        self.tables[class.0 as usize].column(col)
+    }
+
+    fn row_of(&self, class: ClassId, id: EntityId) -> Option<u32> {
+        self.tables[class.0 as usize].row_of(id)
+    }
+
+    fn extent_len(&self, class: ClassId) -> usize {
+        self.tables[class.0 as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_storage::{ClassDef, ColumnSpec, ScalarType, Schema};
+
+    fn world_one_class() -> World {
+        let mut cat = Catalog::new();
+        cat.add(ClassDef {
+            id: ClassId(0),
+            name: "Unit".into(),
+            state: Schema::from_cols(vec![
+                ColumnSpec::new("x", ScalarType::Number),
+                ColumnSpec::new("alive", ScalarType::Bool),
+            ]),
+            effects: vec![],
+            owners: vec![sgl_storage::Owner::Expression; 2],
+        });
+        World::new(cat)
+    }
+
+    #[test]
+    fn spawn_get_set_despawn() {
+        let mut w = world_one_class();
+        let c = w.class_id("Unit").unwrap();
+        let id = w.spawn(c, &[("x", Value::Number(4.0))]).unwrap();
+        assert_eq!(w.get(id, "x").unwrap(), Value::Number(4.0));
+        w.set(id, "alive", &Value::Bool(true)).unwrap();
+        assert_eq!(w.class_of(id), Some(c));
+        assert!(w.despawn(c, id));
+        assert!(w.class_of(id).is_none());
+        assert!(w.get(id, "x").is_err());
+    }
+
+    #[test]
+    fn base_batch_layout() {
+        let mut w = world_one_class();
+        let c = w.class_id("Unit").unwrap();
+        let a = w.spawn(c, &[("x", Value::Number(1.0))]).unwrap();
+        let b = w.spawn(c, &[("x", Value::Number(2.0))]).unwrap();
+        let batch = w.base_batch(c);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.ids(), &[a, b]);
+        assert_eq!(batch.col(1).f64(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn state_source_gathers() {
+        let mut w = world_one_class();
+        let c = w.class_id("Unit").unwrap();
+        let id = w.spawn(c, &[("x", Value::Number(7.0))]).unwrap();
+        assert_eq!(w.row_of(c, id), Some(0));
+        assert_eq!(w.state_column(c, 0).f64(), &[7.0]);
+        assert_eq!(w.extent_len(c), 1);
+    }
+
+    #[test]
+    fn unknown_class_errors() {
+        let w = world_one_class();
+        assert!(w.class_id("Nope").is_err());
+    }
+
+    #[test]
+    fn spawn_with_id_preserves_ids_and_rejects_duplicates() {
+        let mut w = world_one_class();
+        let c = w.class_id("Unit").unwrap();
+        w.spawn_with_id(c, EntityId(42), &[("x", Value::Number(7.0))])
+            .unwrap();
+        assert_eq!(w.get(EntityId(42), "x").unwrap(), Value::Number(7.0));
+        assert!(w.spawn_with_id(c, EntityId(42), &[]).is_err());
+    }
+
+    #[test]
+    fn ghost_lifecycle() {
+        let mut w = world_one_class();
+        let c = w.class_id("Unit").unwrap();
+        let owned = w.spawn(c, &[]).unwrap();
+        // No ghosts: the fast path returns no mask.
+        assert!(w.driving_mask(c).is_none());
+
+        let ghost = w.spawn(c, &[]).unwrap();
+        w.mark_ghost(c, ghost);
+        assert!(w.is_ghost(c, ghost));
+        assert!(!w.is_ghost(c, owned));
+        assert_eq!(w.ghost_count(c), 1);
+        let mask = w.driving_mask(c).unwrap();
+        let row_owned = w.table(c).row_of(owned).unwrap() as usize;
+        let row_ghost = w.table(c).row_of(ghost).unwrap() as usize;
+        assert!(mask[row_owned]);
+        assert!(!mask[row_ghost]);
+
+        w.despawn_ghosts(c);
+        assert_eq!(w.ghost_count(c), 0);
+        assert_eq!(w.table(c).len(), 1);
+        assert!(w.driving_mask(c).is_none());
+    }
+
+    #[test]
+    fn despawn_clears_ghost_mark() {
+        let mut w = world_one_class();
+        let c = w.class_id("Unit").unwrap();
+        let g = w.spawn(c, &[]).unwrap();
+        w.mark_ghost(c, g);
+        assert!(w.despawn(c, g));
+        assert_eq!(w.ghost_count(c), 0);
+        // Respawning the same id (migration return) is not a ghost.
+        w.spawn_with_id(c, g, &[]).unwrap();
+        assert!(!w.is_ghost(c, g));
+    }
+}

@@ -1,0 +1,102 @@
+//! Compiler diagnostics with source positions.
+
+use sgl_ast::Span;
+
+/// One error or warning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Human-readable message.
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+/// A non-empty collection of diagnostics — the error type of the
+/// frontend.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    /// All collected diagnostics, in source order of detection.
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Record an error.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.items.push(Diagnostic::new(message, span));
+    }
+
+    /// Whether any error was recorded.
+    pub fn has_errors(&self) -> bool {
+        !self.items.is_empty()
+    }
+
+    /// Turn the collector into a `Result`.
+    pub fn into_result<T>(self, ok: T) -> Result<T, Diagnostics> {
+        if self.has_errors() {
+            Err(self)
+        } else {
+            Ok(ok)
+        }
+    }
+
+    /// Render all diagnostics with 1-based line/column positions
+    /// resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            let (line, col) = d.span.line_col(src);
+            out.push_str(&format!("error at {line}:{col}: {}\n", d.message));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.items {
+            writeln!(f, "error: {} (bytes {}..{})", d.message, d.span.start, d.span.end)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_resolves_positions() {
+        let src = "class X {\nbad\n}";
+        let mut d = Diagnostics::new();
+        d.error("unexpected token", Span::new(10, 13));
+        let msg = d.render(src);
+        assert!(msg.contains("2:1"), "{msg}");
+        assert!(msg.contains("unexpected token"));
+    }
+
+    #[test]
+    fn into_result_behaviour() {
+        let d = Diagnostics::new();
+        assert_eq!(d.into_result(5), Ok(5));
+        let mut d = Diagnostics::new();
+        d.error("x", Span::dummy());
+        assert!(d.into_result(5).is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! Hand-written lexer.
+//!
+//! One subtlety: SGL's effect-assignment operator `<-` collides with the
+//! expression `a < -b`. The lexer always produces [`Tok::Arrow`] for the
+//! adjacent character pair; the *parser* reinterprets an `Arrow` in
+//! expression position as `<` followed by unary minus, so both readings
+//! parse correctly. (Effect statements never occur in expression position
+//! and vice versa, so this is unambiguous.)
+
+use crate::diag::Diagnostics;
+use sgl_ast::Span;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `<-`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Short display used in "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Number(x) => format!("number {x}"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Percent => "`%`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Ne => "`!=`".into(),
+            Tok::Bang => "`!`".into(),
+            Tok::AndAnd => "`&&`".into(),
+            Tok::OrOr => "`||`".into(),
+            Tok::Arrow => "`<-`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Tokenize `src`. Comments (`//` and `/* */`) and whitespace are
+/// skipped. Errors (stray characters, malformed numbers, unterminated
+/// comments) are collected; the returned stream is still usable for
+/// best-effort parsing.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, Diagnostics> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut diags = Diagnostics::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($tok:expr, $start:expr, $end:expr) => {
+            toks.push(SpannedTok {
+                tok: $tok,
+                span: Span::new($start as u32, $end as u32),
+            })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                let mut closed = false;
+                while i + 1 < n {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        closed = true;
+                        break;
+                    }
+                    i += 1;
+                }
+                if !closed {
+                    diags.error("unterminated block comment", Span::new(start as u32, n as u32));
+                    i = n;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()), start, i);
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < n && bytes[i] == b'.' && i + 1 < n && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < n && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < n && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < n && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                match src[start..i].parse::<f64>() {
+                    Ok(x) => push!(Tok::Number(x), start, i),
+                    Err(_) => diags.error(
+                        format!("malformed number `{}`", &src[start..i]),
+                        Span::new(start as u32, i as u32),
+                    ),
+                }
+            }
+            '(' => {
+                push!(Tok::LParen, i, i + 1);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen, i, i + 1);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace, i, i + 1);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace, i, i + 1);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma, i, i + 1);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semi, i, i + 1);
+                i += 1;
+            }
+            ':' => {
+                push!(Tok::Colon, i, i + 1);
+                i += 1;
+            }
+            '.' => {
+                push!(Tok::Dot, i, i + 1);
+                i += 1;
+            }
+            '+' => {
+                push!(Tok::Plus, i, i + 1);
+                i += 1;
+            }
+            '-' => {
+                push!(Tok::Minus, i, i + 1);
+                i += 1;
+            }
+            '*' => {
+                push!(Tok::Star, i, i + 1);
+                i += 1;
+            }
+            '/' => {
+                push!(Tok::Slash, i, i + 1);
+                i += 1;
+            }
+            '%' => {
+                push!(Tok::Percent, i, i + 1);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Tok::Le, i, i + 2);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == b'-' {
+                    push!(Tok::Arrow, i, i + 2);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt, i, i + 1);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge, i, i + 2);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt, i, i + 1);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Tok::EqEq, i, i + 2);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign, i, i + 1);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Tok::Ne, i, i + 2);
+                    i += 2;
+                } else {
+                    push!(Tok::Bang, i, i + 1);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < n && bytes[i + 1] == b'&' {
+                    push!(Tok::AndAnd, i, i + 2);
+                    i += 2;
+                } else {
+                    diags.error("expected `&&`", Span::new(i as u32, i as u32 + 1));
+                    i += 1;
+                }
+            }
+            '|' => {
+                if i + 1 < n && bytes[i + 1] == b'|' {
+                    push!(Tok::OrOr, i, i + 2);
+                    i += 2;
+                } else {
+                    diags.error("expected `||`", Span::new(i as u32, i as u32 + 1));
+                    i += 1;
+                }
+            }
+            other => {
+                diags.error(
+                    format!("unexpected character `{other}`"),
+                    Span::new(i as u32, i as u32 + 1),
+                );
+                i += 1;
+            }
+        }
+    }
+    push!(Tok::Eof, n, n);
+    diags.into_result(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_figure_two_fragment() {
+        let toks = kinds("cnt <- 1;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("cnt".into()),
+                Tok::Arrow,
+                Tok::Number(1.0),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("a <= b >= c == d != e && f || !g");
+        assert!(toks.contains(&Tok::Le));
+        assert!(toks.contains(&Tok::Ge));
+        assert!(toks.contains(&Tok::EqEq));
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::AndAnd));
+        assert!(toks.contains(&Tok::OrOr));
+        assert!(toks.contains(&Tok::Bang));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("3")[0], Tok::Number(3.0));
+        assert_eq!(kinds("3.25")[0], Tok::Number(3.25));
+        assert_eq!(kinds("1e3")[0], Tok::Number(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], Tok::Number(0.25));
+        // `3.` is number then dot (field access style), not a malformed number.
+        assert_eq!(kinds("3 .x")[0], Tok::Number(3.0));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = kinds("a // line\n /* block\n still */ b");
+        assert_eq!(
+            toks,
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn reports_unexpected_chars() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.items[0].message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn reports_unterminated_comment() {
+        let err = lex("/* nope").unwrap_err();
+        assert!(err.items[0].message.contains("unterminated"));
+    }
+
+    #[test]
+    fn arrow_vs_less_minus() {
+        // Both lex to Arrow; the parser disambiguates by position.
+        assert_eq!(kinds("x <- y")[1], Tok::Arrow);
+        assert_eq!(kinds("x < - y")[1], Tok::Lt);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

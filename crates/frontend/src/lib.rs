@@ -1,0 +1,47 @@
+//! # sgl-frontend
+//!
+//! Lexer, parser and semantic analysis for the Scalable Games Language.
+//!
+//! The frontend enforces the rules that make the state-effect pattern
+//! compilable to relational algebra (§2 of the CIDR 2009 paper):
+//!
+//! * state variables are **read-only** during a tick; effect variables are
+//!   **write-only** (`x <- e`),
+//! * inside an accum body the accumulator is write-only; in the `in`
+//!   block it is read-only,
+//! * `waitNextTick` is forbidden inside accum bodies and atomic regions,
+//! * state variables are strictly partitioned among update components.
+//!
+//! The result of [`check`] is a [`CheckedProgram`]: the validated AST plus
+//! the compiler-generated [`Catalog`](sgl_storage::Catalog) of relational
+//! schemas — the "declarative scripting without SQL" of §2.1.
+//!
+//! ```
+//! let src = r#"
+//! class Unit {
+//! state:
+//!   number x = 0;
+//! effects:
+//!   number damage : sum;
+//! update:
+//!   x = x + 1;
+//! }
+//! "#;
+//! let checked = sgl_frontend::check(src).unwrap();
+//! assert_eq!(checked.catalog.classes().len(), 1);
+//! ```
+
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod typeck;
+
+pub use diag::{Diagnostic, Diagnostics};
+pub use parser::{parse, parse_expr};
+pub use typeck::{check_program, CheckedProgram, TypeEnv};
+
+/// Parse and type-check SGL source in one call.
+pub fn check(src: &str) -> Result<CheckedProgram, Diagnostics> {
+    let program = parse(src)?;
+    check_program(program)
+}

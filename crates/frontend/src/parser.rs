@@ -1,0 +1,1137 @@
+//! Recursive-descent parser for SGL.
+//!
+//! Produces the [`sgl_ast`] tree. The grammar is LL(2); the only
+//! subtlety is the `<-` token, which in expression position is
+//! reinterpreted as `<` followed by unary minus (see the lexer docs).
+
+use crate::diag::Diagnostics;
+use crate::lexer::{lex, SpannedTok, Tok};
+use sgl_ast::{
+    AccumStmt, BinOp, Block, ClassDecl, Combinator, EffectOp, EffectVarDecl, Expr, HandlerDecl,
+    Ident, LValue, Literal, Program, RestartClause, ScriptDecl, Span, StateVarDecl, Stmt,
+    TypeExpr, UnOp, UpdateKind, UpdateRule,
+};
+
+/// Words that cannot be used as identifiers.
+pub const RESERVED: &[&str] = &[
+    "class", "state", "effects", "update", "constraint", "script", "when", "let", "if", "else",
+    "accum", "with", "over", "from", "in", "waitNextTick", "atomic", "by", "true", "false",
+    "null", "self", "number", "bool", "ref", "set",
+];
+
+/// Parse a standalone expression (tooling/testing helper).
+pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        diags: Diagnostics::new(),
+    };
+    match p.expr() {
+        Ok(e) => {
+            if !matches!(p.peek(), Tok::Eof) {
+                let span = p.span();
+                p.diags.error("trailing tokens after expression".to_string(), span);
+            }
+            p.diags.into_result(e)
+        }
+        Err(ParseAbort) => Err(p.diags),
+    }
+}
+
+/// Parse SGL source into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, Diagnostics> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        diags: Diagnostics::new(),
+    };
+    let program = p.program();
+    p.diags.into_result(program)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    diags: Diagnostics,
+}
+
+/// Signals an unrecoverable local parse error; the catcher re-syncs.
+struct ParseAbort;
+
+type PResult<T> = Result<T, ParseAbort>;
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> SpannedTok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> PResult<Span> {
+        if self.at_kw(kw) {
+            Ok(self.bump().span)
+        } else {
+            self.err_here(format!("expected `{kw}`, found {}", self.peek().describe()))
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> PResult<Span> {
+        if *self.peek() == tok {
+            Ok(self.bump().span)
+        } else {
+            self.err_here(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            ))
+        }
+    }
+
+    fn err_here<T>(&mut self, msg: String) -> PResult<T> {
+        let span = self.span();
+        self.diags.error(msg, span);
+        Err(ParseAbort)
+    }
+
+    fn ident(&mut self) -> PResult<Ident> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                if RESERVED.contains(&name.as_str()) {
+                    return self.err_here(format!("`{name}` is a reserved word"));
+                }
+                let span = self.bump().span;
+                Ok(Ident { name, span })
+            }
+            other => self.err_here(format!("expected identifier, found {}", other.describe())),
+        }
+    }
+
+    /// Skip tokens until a likely statement/declaration boundary.
+    fn sync(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Semi if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                Tok::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::RBrace => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // ---- declarations -------------------------------------------------
+
+    fn program(&mut self) -> Program {
+        let mut classes = Vec::new();
+        while !matches!(self.peek(), Tok::Eof) {
+            if self.at_kw("class") {
+                match self.class_decl() {
+                    Ok(c) => classes.push(c),
+                    Err(ParseAbort) => self.sync(),
+                }
+            } else {
+                let span = self.span();
+                self.diags.error(
+                    format!("expected `class`, found {}", self.peek().describe()),
+                    span,
+                );
+                self.sync();
+            }
+        }
+        Program { classes }
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let start = self.expect_kw("class")?;
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut class = ClassDecl::empty(name);
+        loop {
+            if matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+                break;
+            }
+            if self.at_kw("state") && *self.peek2() == Tok::Colon {
+                self.bump();
+                self.bump();
+                self.state_section(&mut class);
+            } else if self.at_kw("effects") && *self.peek2() == Tok::Colon {
+                self.bump();
+                self.bump();
+                self.effects_section(&mut class);
+            } else if self.at_kw("update") && *self.peek2() == Tok::Colon {
+                self.bump();
+                self.bump();
+                self.update_section(&mut class);
+            } else if self.at_kw("constraint") {
+                self.bump();
+                match self.expr().and_then(|e| {
+                    self.expect(Tok::Semi)?;
+                    Ok(e)
+                }) {
+                    Ok(e) => class.constraints.push(e),
+                    Err(ParseAbort) => self.sync(),
+                }
+            } else if self.at_kw("script") {
+                match self.script_decl() {
+                    Ok(s) => class.scripts.push(s),
+                    Err(ParseAbort) => self.sync(),
+                }
+            } else if self.at_kw("when") {
+                match self.handler_decl() {
+                    Ok(h) => class.handlers.push(h),
+                    Err(ParseAbort) => self.sync(),
+                }
+            } else {
+                let span = self.span();
+                self.diags.error(
+                    format!(
+                        "expected a class section (state:/effects:/update:/constraint/script/when), found {}",
+                        self.peek().describe()
+                    ),
+                    span,
+                );
+                self.sync();
+            }
+        }
+        let end = self.expect(Tok::RBrace)?;
+        class.span = start.merge(end);
+        Ok(class)
+    }
+
+    fn is_type_start(&self) -> bool {
+        self.at_kw("number") || self.at_kw("bool") || self.at_kw("ref") || self.at_kw("set")
+    }
+
+    fn state_section(&mut self, class: &mut ClassDecl) {
+        while self.is_type_start() {
+            match self.state_var() {
+                Ok(v) => class.state.push(v),
+                Err(ParseAbort) => self.sync(),
+            }
+        }
+    }
+
+    fn effects_section(&mut self, class: &mut ClassDecl) {
+        while self.is_type_start() {
+            match self.effect_var() {
+                Ok(v) => class.effects.push(v),
+                Err(ParseAbort) => self.sync(),
+            }
+        }
+    }
+
+    fn update_section(&mut self, class: &mut ClassDecl) {
+        loop {
+            // An update rule starts with a plain identifier that is not a
+            // section opener.
+            let is_rule_start = matches!(self.peek(), Tok::Ident(s)
+                if !RESERVED.contains(&s.as_str()));
+            if !is_rule_start {
+                break;
+            }
+            match self.update_rule() {
+                Ok(r) => class.updates.push(r),
+                Err(ParseAbort) => self.sync(),
+            }
+        }
+    }
+
+    fn type_expr(&mut self) -> PResult<TypeExpr> {
+        if self.eat_kw("number") {
+            Ok(TypeExpr::Number)
+        } else if self.eat_kw("bool") {
+            Ok(TypeExpr::Bool)
+        } else if self.eat_kw("ref") {
+            self.expect(Tok::Lt)?;
+            let c = self.ident()?;
+            self.expect(Tok::Gt)?;
+            Ok(TypeExpr::Ref(c.name))
+        } else if self.eat_kw("set") {
+            self.expect(Tok::Lt)?;
+            let c = self.ident()?;
+            self.expect(Tok::Gt)?;
+            Ok(TypeExpr::Set(c.name))
+        } else {
+            self.err_here(format!("expected a type, found {}", self.peek().describe()))
+        }
+    }
+
+    fn literal(&mut self) -> PResult<Literal> {
+        match self.peek().clone() {
+            Tok::Number(x) => {
+                self.bump();
+                Ok(Literal::Number(x))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Number(x) => {
+                        self.bump();
+                        Ok(Literal::Number(-x))
+                    }
+                    _ => self.err_here("expected number after `-`".into()),
+                }
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Literal::Bool(true))
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Literal::Bool(false))
+            }
+            Tok::Ident(s) if s == "null" => {
+                self.bump();
+                Ok(Literal::Null)
+            }
+            other => self.err_here(format!("expected literal, found {}", other.describe())),
+        }
+    }
+
+    fn state_var(&mut self) -> PResult<StateVarDecl> {
+        let start = self.span();
+        let ty = self.type_expr()?;
+        let name = self.ident()?;
+        let init = if *self.peek() == Tok::Assign {
+            self.bump();
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        let end = self.expect(Tok::Semi)?;
+        Ok(StateVarDecl {
+            ty,
+            name,
+            init,
+            span: start.merge(end),
+        })
+    }
+
+    fn effect_var(&mut self) -> PResult<EffectVarDecl> {
+        let start = self.span();
+        let ty = self.type_expr()?;
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+        let comb_id = match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                s
+            }
+            other => {
+                return self.err_here(format!(
+                    "expected combinator name, found {}",
+                    other.describe()
+                ))
+            }
+        };
+        let Some(comb) = Combinator::parse(&comb_id) else {
+            return self.err_here(format!(
+                "unknown combinator `{comb_id}` (expected sum/avg/min/max/count/or/and/union)"
+            ));
+        };
+        let default = if *self.peek() == Tok::Assign {
+            self.bump();
+            Some(self.literal()?)
+        } else {
+            None
+        };
+        let end = self.expect(Tok::Semi)?;
+        Ok(EffectVarDecl {
+            ty,
+            name,
+            comb,
+            default,
+            span: start.merge(end),
+        })
+    }
+
+    fn update_rule(&mut self) -> PResult<UpdateRule> {
+        let target = self.ident()?;
+        let kind = if *self.peek() == Tok::Assign {
+            self.bump();
+            UpdateKind::Expr(self.expr()?)
+        } else if self.at_kw("by") {
+            self.bump();
+            let owner = match self.peek().clone() {
+                Tok::Ident(s) => {
+                    let span = self.bump().span;
+                    Ident { name: s, span }
+                }
+                other => {
+                    return self.err_here(format!(
+                        "expected update component name, found {}",
+                        other.describe()
+                    ))
+                }
+            };
+            UpdateKind::Owner(owner)
+        } else {
+            return self.err_here(format!(
+                "expected `=` or `by` in update rule, found {}",
+                self.peek().describe()
+            ));
+        };
+        let end = self.expect(Tok::Semi)?;
+        Ok(UpdateRule {
+            span: target.span.merge(end),
+            target,
+            kind,
+        })
+    }
+
+    fn script_decl(&mut self) -> PResult<ScriptDecl> {
+        let start = self.expect_kw("script")?;
+        let name = self.ident()?;
+        let body = self.block()?;
+        Ok(ScriptDecl {
+            span: start.merge(body.span),
+            name,
+            body,
+        })
+    }
+
+    fn handler_decl(&mut self) -> PResult<HandlerDecl> {
+        let start = self.expect_kw("when")?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        let rparen = self.expect(Tok::RParen)?;
+        // Bare interrupt form: `when (c) restart [name];` (§3.2) — no
+        // effect body, just a program-counter reset.
+        if self.at_kw("restart") {
+            let restart = self.restart_clause()?;
+            return Ok(HandlerDecl {
+                span: start.merge(restart.span),
+                cond,
+                body: Block {
+                    stmts: Vec::new(),
+                    span: rparen,
+                },
+                restart: Some(restart),
+            });
+        }
+        let body = self.block()?;
+        // Optional trailing `restart [name];` after the effect body.
+        let restart = if self.at_kw("restart") {
+            Some(self.restart_clause()?)
+        } else {
+            None
+        };
+        Ok(HandlerDecl {
+            span: start.merge(restart.as_ref().map_or(body.span, |r| r.span)),
+            cond,
+            body,
+            restart,
+        })
+    }
+
+    /// `restart;` or `restart scriptName;` — `restart` is a contextual
+    /// keyword (only recognized in handler position), so existing
+    /// programs may still use it as an ordinary identifier.
+    fn restart_clause(&mut self) -> PResult<RestartClause> {
+        let start = self.expect_kw("restart")?;
+        let script = if matches!(self.peek(), Tok::Ident(_)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let end = self.expect(Tok::Semi)?;
+        Ok(RestartClause {
+            script,
+            span: start.merge(end),
+        })
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn block(&mut self) -> PResult<Block> {
+        let start = self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+            match self.stmt() {
+                Ok(s) => stmts.push(s),
+                Err(ParseAbort) => self.sync(),
+            }
+        }
+        let end = self.expect(Tok::RBrace)?;
+        Ok(Block {
+            stmts,
+            span: start.merge(end),
+        })
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        if self.at_kw("let") {
+            let start = self.bump().span;
+            let name = self.ident()?;
+            self.expect(Tok::Assign)?;
+            let value = self.expr()?;
+            let end = self.expect(Tok::Semi)?;
+            return Ok(Stmt::Let {
+                name,
+                value,
+                span: start.merge(end),
+            });
+        }
+        if self.at_kw("if") {
+            return self.if_stmt();
+        }
+        if self.at_kw("accum") {
+            return self.accum_stmt();
+        }
+        if self.at_kw("waitNextTick") {
+            let start = self.bump().span;
+            let end = self.expect(Tok::Semi)?;
+            return Ok(Stmt::Wait {
+                span: start.merge(end),
+            });
+        }
+        if self.at_kw("atomic") {
+            let start = self.bump().span;
+            let body = self.block()?;
+            return Ok(Stmt::Atomic {
+                span: start.merge(body.span),
+                body,
+            });
+        }
+        if *self.peek() == Tok::LBrace {
+            let b = self.block()?;
+            return Ok(Stmt::Block(b));
+        }
+        // Effect assignment: lvalue (<-|<=) expr ;
+        let start = self.span();
+        let target = self.lvalue()?;
+        let op = match self.peek() {
+            Tok::Arrow => {
+                self.bump();
+                EffectOp::Assign
+            }
+            Tok::Le => {
+                self.bump();
+                EffectOp::Insert
+            }
+            other => {
+                let msg = format!("expected `<-` or `<=` after effect target, found {}", other.describe());
+                return self.err_here(msg);
+            }
+        };
+        let value = self.expr()?;
+        let end = self.expect(Tok::Semi)?;
+        Ok(Stmt::Effect {
+            target,
+            op,
+            value,
+            span: start.merge(end),
+        })
+    }
+
+    fn if_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.expect_kw("if")?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then_block = self.block()?;
+        let mut span = start.merge(then_block.span);
+        let else_block = if self.eat_kw("else") {
+            if self.at_kw("if") {
+                let nested = self.if_stmt()?;
+                let b_span = nested.span();
+                span = span.merge(b_span);
+                Some(Block {
+                    stmts: vec![nested],
+                    span: b_span,
+                })
+            } else {
+                let b = self.block()?;
+                span = span.merge(b.span);
+                Some(b)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            span,
+        })
+    }
+
+    fn accum_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.expect_kw("accum")?;
+        let acc_ty = self.type_expr()?;
+        let acc_name = self.ident()?;
+        self.expect_kw("with")?;
+        let comb_id = match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                s
+            }
+            other => {
+                return self.err_here(format!(
+                    "expected combinator name, found {}",
+                    other.describe()
+                ))
+            }
+        };
+        let Some(comb) = Combinator::parse(&comb_id) else {
+            return self.err_here(format!("unknown combinator `{comb_id}`"));
+        };
+        self.expect_kw("over")?;
+        let elem_ty = self.ident()?;
+        let elem_name = self.ident()?;
+        self.expect_kw("from")?;
+        let source = self.expr()?;
+        let body = self.block()?;
+        self.expect_kw("in")?;
+        let rest = self.block()?;
+        let span = start.merge(rest.span);
+        Ok(Stmt::Accum(Box::new(AccumStmt {
+            acc_ty,
+            acc_name,
+            comb,
+            elem_ty,
+            elem_name,
+            source,
+            body,
+            rest,
+            span,
+        })))
+    }
+
+    fn lvalue(&mut self) -> PResult<LValue> {
+        let base = self.postfix_expr()?;
+        match base {
+            Expr::Var(id) => Ok(LValue::Name(id)),
+            Expr::Field { base, field, .. } => Ok(LValue::Field {
+                base: *base,
+                field,
+            }),
+            other => {
+                let msg = format!(
+                    "invalid effect target `{}`",
+                    sgl_ast::pretty::print_expr(&other)
+                );
+                let span = other.span();
+                self.diags.error(msg, span);
+                Err(ParseAbort)
+            }
+        }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Ge => Some(BinOp::Ge),
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            // `a <- b` in expression position means `a < -b`.
+            Tok::Arrow => {
+                self.bump();
+                let inner = self.add_expr()?;
+                let ispan = inner.span();
+                let rhs = Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(inner),
+                    span: ispan,
+                };
+                let span = lhs.span().merge(rhs.span());
+                return Ok(Expr::Binary {
+                    op: BinOp::Lt,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    span,
+                });
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        match self.peek() {
+            Tok::Minus => {
+                let start = self.bump().span;
+                let e = self.unary_expr()?;
+                let span = start.merge(e.span());
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                    span,
+                })
+            }
+            Tok::Bang => {
+                let start = self.bump().span;
+                let e = self.unary_expr()?;
+                let span = start.merge(e.span());
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                    span,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.primary_expr()?;
+        while *self.peek() == Tok::Dot {
+            self.bump();
+            let field = self.ident()?;
+            let span = e.span().merge(field.span);
+            e = Expr::Field {
+                base: Box::new(e),
+                field,
+                span,
+            };
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            Tok::Number(x) => {
+                let span = self.bump().span;
+                Ok(Expr::Number(x, span))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "true" => {
+                        let span = self.bump().span;
+                        return Ok(Expr::Bool(true, span));
+                    }
+                    "false" => {
+                        let span = self.bump().span;
+                        return Ok(Expr::Bool(false, span));
+                    }
+                    "null" => {
+                        let span = self.bump().span;
+                        return Ok(Expr::Null(span));
+                    }
+                    "self" => {
+                        let span = self.bump().span;
+                        return Ok(Expr::SelfRef(span));
+                    }
+                    _ => {}
+                }
+                if RESERVED.contains(&name.as_str()) {
+                    return self.err_here(format!("`{name}` is a reserved word"));
+                }
+                let span = self.bump().span;
+                let id = Ident { name, span };
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(Tok::RParen)?;
+                    let span = id.span.merge(end);
+                    Ok(Expr::Call {
+                        func: id,
+                        args,
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Var(id))
+                }
+            }
+            other => {
+                let _ = self.prev_span();
+                self.err_here(format!("expected expression, found {}", other.describe()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_ast::pretty;
+
+    /// The paper's Figure 1 class declaration fragment (completed).
+    pub const FIG1: &str = r#"
+class Unit {
+state:
+  number player = 0;
+  number x = 0;
+  number y = 0;
+  number health = 0;
+effects:
+  number vx : avg;
+  number vy : avg;
+  number damage : sum;
+}
+"#;
+
+    /// The paper's Figure 2 accum-loop, inside a host script.
+    pub const FIG2: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number y = 0;
+  number range = 1;
+effects:
+  number near : sum;
+script count_neighbors {
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - range && u.x <= x + range &&
+        u.y >= y - range && u.y <= y + range) {
+      cnt <- 1;
+    }
+  } in {
+    near <- cnt;
+  }
+}
+}
+"#;
+
+    #[test]
+    fn parses_figure_one() {
+        let p = parse(FIG1).unwrap();
+        let c = p.class("Unit").unwrap();
+        assert_eq!(c.state.len(), 4);
+        assert_eq!(c.effects.len(), 3);
+        assert_eq!(c.effects[0].comb, Combinator::Avg);
+        assert_eq!(c.effects[2].comb, Combinator::Sum);
+    }
+
+    #[test]
+    fn parses_figure_two() {
+        let p = parse(FIG2).unwrap();
+        let c = p.class("Unit").unwrap();
+        assert_eq!(c.scripts.len(), 1);
+        let Stmt::Accum(a) = &c.scripts[0].body.stmts[0] else {
+            panic!("expected accum");
+        };
+        assert_eq!(a.acc_name.name, "cnt");
+        assert_eq!(a.comb, Combinator::Sum);
+        assert_eq!(a.elem_name.name, "u");
+        // The body is a single if with a conjunction of 4 range conditions.
+        let Stmt::If { cond, .. } = &a.body.stmts[0] else {
+            panic!("expected if");
+        };
+        let mut ands = 0;
+        cond.walk(&mut |e| {
+            if let Expr::Binary { op: BinOp::And, .. } = e {
+                ands += 1;
+            }
+        });
+        assert_eq!(ands, 3);
+    }
+
+    #[test]
+    fn parses_update_rules_and_constraints() {
+        let src = r#"
+class Bank {
+state:
+  number gold = 10;
+effects:
+  number goldDelta : sum;
+update:
+  gold by transactions;
+constraint gold >= 0;
+}
+"#;
+        let p = parse(src).unwrap();
+        let c = p.class("Bank").unwrap();
+        assert_eq!(c.updates.len(), 1);
+        assert!(matches!(c.updates[0].kind, UpdateKind::Owner(_)));
+        assert_eq!(c.constraints.len(), 1);
+    }
+
+    #[test]
+    fn parses_wait_and_atomic() {
+        let src = r#"
+class A {
+effects:
+  number d : sum;
+script s {
+  d <- 1;
+  waitNextTick;
+  atomic {
+    d <- 2;
+  }
+}
+}
+"#;
+        let p = parse(src).unwrap();
+        let body = &p.class("A").unwrap().scripts[0].body;
+        assert!(matches!(body.stmts[1], Stmt::Wait { .. }));
+        assert!(matches!(body.stmts[2], Stmt::Atomic { .. }));
+    }
+
+    #[test]
+    fn arrow_in_expression_means_less_than_minus() {
+        let src = r#"
+class A {
+state:
+  number x = 0;
+effects:
+  bool b : or;
+script s {
+  if (x <- 3) {
+    b <- true;
+  }
+}
+}
+"#;
+        let p = parse(src).unwrap();
+        let Stmt::If { cond, .. } = &p.class("A").unwrap().scripts[0].body.stmts[0] else {
+            panic!()
+        };
+        // x < -3
+        let Expr::Binary { op, rhs, .. } = cond else { panic!() };
+        assert_eq!(*op, BinOp::Lt);
+        assert!(matches!(**rhs, Expr::Unary { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn set_insert_statement() {
+        let src = r#"
+class A {
+state:
+  ref<A> target = null;
+effects:
+  set<A> friends : union;
+script s {
+  friends <= target;
+}
+}
+"#;
+        let p = parse(src).unwrap();
+        let Stmt::Effect { op, .. } = &p.class("A").unwrap().scripts[0].body.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*op, EffectOp::Insert);
+    }
+
+    #[test]
+    fn field_effect_target() {
+        let src = r#"
+class A {
+state:
+  ref<A> target = null;
+effects:
+  number damage : sum;
+script s {
+  target.damage <- 5;
+}
+}
+"#;
+        let p = parse(src).unwrap();
+        let Stmt::Effect { target, .. } = &p.class("A").unwrap().scripts[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(target, LValue::Field { .. }));
+    }
+
+    #[test]
+    fn reserved_words_rejected_as_idents() {
+        let err = parse("class class { }").unwrap_err();
+        assert!(err.items[0].message.contains("reserved"));
+    }
+
+    #[test]
+    fn error_recovery_reports_multiple() {
+        let src = "class A { state: number ; } class B { state: number y = ; }";
+        let err = parse(src).unwrap_err();
+        assert!(err.items.len() >= 2, "{err}");
+    }
+
+    #[test]
+    fn pretty_print_roundtrip() {
+        for src in [FIG1, FIG2] {
+            let p1 = parse(src).unwrap();
+            let printed = pretty::print_program(&p1);
+            let p2 = parse(&printed).unwrap_or_else(|e| panic!("{}", e.render(&printed)));
+            // Compare re-printed forms (spans differ between p1 and p2).
+            assert_eq!(printed, pretty::print_program(&p2));
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  if (x > 2) {
+    d <- 1;
+  } else if (x > 1) {
+    d <- 2;
+  } else {
+    d <- 3;
+  }
+}
+}
+"#;
+        let p = parse(src).unwrap();
+        let Stmt::If { else_block, .. } = &p.class("A").unwrap().scripts[0].body.stmts[0] else {
+            panic!()
+        };
+        let inner = else_block.as_ref().unwrap();
+        assert!(matches!(inner.stmts[0], Stmt::If { .. }));
+    }
+}

@@ -1,0 +1,1432 @@
+//! Semantic analysis: name resolution, typing, and the state-effect
+//! access rules that make SGL compilable to relational algebra.
+//!
+//! The checks implemented here come straight from the paper:
+//!
+//! * state is read-only, effects are write-only during a tick (§2);
+//! * the accum variable is write-only in ⟨BLOCK⟩₁ and read-only in
+//!   ⟨BLOCK⟩₂ (§2.1);
+//! * `waitNextTick` is forbidden inside accum bodies and atomic regions
+//!   (§3.2);
+//! * state variables are strictly partitioned among update components
+//!   (§2.2) — at most one update rule or owner per variable;
+//! * atomic regions may only write transaction-owned variables, and
+//!   constraints range over the class's own state (§3.1).
+//!
+//! Successful analysis yields a [`CheckedProgram`] containing the
+//! [`Catalog`] of generated relational schemas.
+
+use sgl_ast::{
+    Block, ClassDecl, EffectOp, Expr, LValue, Literal, Program, Stmt, TypeExpr, UnOp,
+};
+use sgl_storage::{
+    Catalog, ClassDef, ClassId, ColumnSpec, Combinator, EffectSpec, FxHashMap, Owner, RefSet,
+    ScalarType, Schema, Value,
+};
+
+use crate::diag::Diagnostics;
+
+/// A validated program: AST plus generated schemas.
+#[derive(Debug, Clone)]
+pub struct CheckedProgram {
+    /// The (unchanged) syntax tree.
+    pub ast: Program,
+    /// Compiler-generated relational schemas (§2.1).
+    pub catalog: Catalog,
+}
+
+impl CheckedProgram {
+    /// The `(state column, effect index)` pairs of transaction-owned
+    /// variables with a same-named delta effect, for `class`.
+    pub fn txn_pairs(&self, class: ClassId) -> Vec<(usize, usize)> {
+        let def = self.catalog.class(class);
+        let mut out = Vec::new();
+        for (si, col) in def.state.cols().iter().enumerate() {
+            if def.owners[si] == Owner::Transactions {
+                if let Some(ei) = def.effect_index(&col.name) {
+                    out.push((si, ei));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Where an expression appears; controls which names are readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprMode {
+    /// Inside a script: self state readable, effects write-only.
+    Script,
+    /// Inside an `update:` rule: state (old) and effects (combined) readable.
+    Update,
+    /// Inside a `constraint`: bare state variables of the class only.
+    Constraint,
+    /// Inside a `when (…)` condition or handler body: new state readable.
+    Handler,
+}
+
+/// A resolvable scope for typing expressions. Reused by the compiler and
+/// the interpreter so that typing logic lives in exactly one place.
+#[derive(Debug, Clone)]
+pub struct TypeEnv<'a> {
+    /// All class metadata.
+    pub catalog: &'a Catalog,
+    /// The class whose script/rule is being typed.
+    pub class: ClassId,
+    /// Expression context.
+    pub mode: ExprMode,
+    /// Lexical locals (`let`), innermost last.
+    pub locals: Vec<(String, ScalarType)>,
+    /// Accum variables readable in the current scope (the `in` block).
+    pub accum_read: Vec<(String, ScalarType)>,
+    /// Accum element variables in scope: `(name, class)`.
+    pub elem_vars: Vec<(String, ClassId)>,
+}
+
+impl<'a> TypeEnv<'a> {
+    /// A fresh environment for `class` in `mode`.
+    pub fn new(catalog: &'a Catalog, class: ClassId, mode: ExprMode) -> Self {
+        TypeEnv {
+            catalog,
+            class,
+            mode,
+            locals: Vec::new(),
+            accum_read: Vec::new(),
+            elem_vars: Vec::new(),
+        }
+    }
+
+    fn class_def(&self) -> &ClassDef {
+        self.catalog.class(self.class)
+    }
+
+    /// Resolve a bare variable name to its type, or an error message.
+    pub fn resolve_var(&self, name: &str) -> Result<ScalarType, String> {
+        for (n, t) in self.locals.iter().rev() {
+            if n == name {
+                return Ok(*t);
+            }
+        }
+        for (n, t) in self.accum_read.iter().rev() {
+            if n == name {
+                return Ok(*t);
+            }
+        }
+        for (n, c) in self.elem_vars.iter().rev() {
+            if n == name {
+                return Ok(ScalarType::Ref(*c));
+            }
+        }
+        let def = self.class_def();
+        if let Some(idx) = def.state.index_of(name) {
+            return Ok(def.state.col(idx).ty);
+        }
+        if self.mode == ExprMode::Update {
+            if let Some(ei) = def.effect_index(name) {
+                return Ok(def.effects[ei].ty);
+            }
+        }
+        if def.effect_index(name).is_some() {
+            return Err(format!(
+                "effect variable `{name}` is write-only during a tick (readable only in update rules)"
+            ));
+        }
+        Err(format!("unknown variable `{name}`"))
+    }
+
+    /// Type an expression, reporting problems into `diags`. Returns
+    /// `None` when the expression is ill-typed (an error has been
+    /// reported).
+    pub fn type_of(&self, e: &Expr, diags: &mut Diagnostics) -> Option<ScalarType> {
+        match e {
+            Expr::Number(..) => Some(ScalarType::Number),
+            Expr::Bool(..) => Some(ScalarType::Bool),
+            Expr::Null(_) => Some(ScalarType::Ref(self.class)), // null unifies with any ref
+            Expr::SelfRef(_) => Some(ScalarType::Ref(self.class)),
+            Expr::Var(id) => match self.resolve_var(&id.name) {
+                Ok(t) => Some(t),
+                Err(msg) => {
+                    diags.error(msg, id.span);
+                    None
+                }
+            },
+            Expr::Field { base, field, span } => {
+                let bt = self.type_of(base, diags)?;
+                let ScalarType::Ref(cid) = bt else {
+                    diags.error(
+                        format!("`.` access requires a ref value, got {bt}"),
+                        *span,
+                    );
+                    return None;
+                };
+                let cdef = self.catalog.class(cid);
+                if let Some(idx) = cdef.state.index_of(&field.name) {
+                    Some(cdef.state.col(idx).ty)
+                } else if cdef.effect_index(&field.name).is_some() {
+                    diags.error(
+                        format!(
+                            "effect variable `{}` of class `{}` is write-only",
+                            field.name, cdef.name
+                        ),
+                        field.span,
+                    );
+                    None
+                } else {
+                    diags.error(
+                        format!("class `{}` has no attribute `{}`", cdef.name, field.name),
+                        field.span,
+                    );
+                    None
+                }
+            }
+            Expr::Unary { op, expr, span } => {
+                let t = self.type_of(expr, diags)?;
+                match op {
+                    UnOp::Neg if t == ScalarType::Number => Some(ScalarType::Number),
+                    UnOp::Not if t == ScalarType::Bool => Some(ScalarType::Bool),
+                    _ => {
+                        diags.error(format!("invalid operand type {t} for unary operator"), *span);
+                        None
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let lt = self.type_of(lhs, diags)?;
+                let rt = self.type_of(rhs, diags)?;
+                use sgl_ast::BinOp::*;
+                match op {
+                    Add | Sub | Mul | Div | Mod => {
+                        if lt == ScalarType::Number && rt == ScalarType::Number {
+                            Some(ScalarType::Number)
+                        } else {
+                            diags.error(
+                                format!("arithmetic requires numbers, got {lt} and {rt}"),
+                                *span,
+                            );
+                            None
+                        }
+                    }
+                    Lt | Le | Gt | Ge => {
+                        if lt == ScalarType::Number && rt == ScalarType::Number {
+                            Some(ScalarType::Bool)
+                        } else {
+                            diags.error(
+                                format!("ordering comparison requires numbers, got {lt} and {rt}"),
+                                *span,
+                            );
+                            None
+                        }
+                    }
+                    Eq | Ne => {
+                        let compatible = matches!(
+                            (lt, rt),
+                            (ScalarType::Number, ScalarType::Number)
+                                | (ScalarType::Bool, ScalarType::Bool)
+                                | (ScalarType::Ref(_), ScalarType::Ref(_))
+                        );
+                        if compatible {
+                            Some(ScalarType::Bool)
+                        } else {
+                            diags.error(
+                                format!("cannot compare {lt} with {rt}"),
+                                *span,
+                            );
+                            None
+                        }
+                    }
+                    And | Or => {
+                        if lt == ScalarType::Bool && rt == ScalarType::Bool {
+                            Some(ScalarType::Bool)
+                        } else {
+                            diags.error(
+                                format!("logical operator requires bools, got {lt} and {rt}"),
+                                *span,
+                            );
+                            None
+                        }
+                    }
+                }
+            }
+            Expr::Call { func, args, span } => {
+                let tys: Vec<Option<ScalarType>> =
+                    args.iter().map(|a| self.type_of(a, diags)).collect();
+                if tys.iter().any(|t| t.is_none()) {
+                    return None;
+                }
+                let tys: Vec<ScalarType> = tys.into_iter().map(|t| t.unwrap()).collect();
+                self.type_builtin(&func.name, &tys, *span, diags)
+            }
+        }
+    }
+
+    fn type_builtin(
+        &self,
+        name: &str,
+        tys: &[ScalarType],
+        span: sgl_ast::Span,
+        diags: &mut Diagnostics,
+    ) -> Option<ScalarType> {
+        use ScalarType::*;
+        let numbers = |n: usize| tys.len() == n && tys.iter().all(|t| *t == Number);
+        match name {
+            "abs" | "sqrt" | "floor" | "ceil" if numbers(1) => Some(Number),
+            "min" | "max" if numbers(2) => Some(Number),
+            "clamp" if numbers(3) => Some(Number),
+            "dist" if numbers(4) => Some(Number),
+            "id" if tys.len() == 1 && matches!(tys[0], Ref(_)) => Some(Number),
+            "size" if tys.len() == 1 && matches!(tys[0], Set(_)) => Some(Number),
+            "contains"
+                if tys.len() == 2 && matches!(tys[0], Set(_)) && matches!(tys[1], Ref(_)) =>
+            {
+                Some(Bool)
+            }
+            "union" if tys.len() == 2 => match (tys[0], tys[1]) {
+                (Set(a), Set(_)) => Some(Set(a)),
+                _ => {
+                    diags.error("union() requires two sets".to_string(), span);
+                    None
+                }
+            },
+            "abs" | "sqrt" | "floor" | "ceil" | "min" | "max" | "clamp" | "dist" | "id"
+            | "size" | "contains" => {
+                diags.error(
+                    format!("wrong argument types for builtin `{name}`"),
+                    span,
+                );
+                None
+            }
+            _ => {
+                diags.error(format!("unknown function `{name}`"), span);
+                None
+            }
+        }
+    }
+
+    /// Resolve a class name, tolerating Fig. 2 style casing (`unit` /
+    /// `UNIT` both resolve to class `Unit`).
+    pub fn resolve_class_ci(&self, name: &str) -> Option<ClassId> {
+        if let Some(c) = self.catalog.class_by_name(name) {
+            return Some(c.id);
+        }
+        let lower = name.to_lowercase();
+        self.catalog
+            .classes()
+            .iter()
+            .find(|c| c.name.to_lowercase() == lower)
+            .map(|c| c.id)
+    }
+}
+
+/// Resolve a syntactic type against the catalog.
+fn resolve_type(
+    ty: &TypeExpr,
+    names: &FxHashMap<String, ClassId>,
+    span: sgl_ast::Span,
+    diags: &mut Diagnostics,
+) -> Option<ScalarType> {
+    match ty {
+        TypeExpr::Number => Some(ScalarType::Number),
+        TypeExpr::Bool => Some(ScalarType::Bool),
+        TypeExpr::Ref(c) => match names.get(c) {
+            Some(id) => Some(ScalarType::Ref(*id)),
+            None => {
+                diags.error(format!("unknown class `{c}` in ref<…>"), span);
+                None
+            }
+        },
+        TypeExpr::Set(c) => match names.get(c) {
+            Some(id) => Some(ScalarType::Set(*id)),
+            None => {
+                diags.error(format!("unknown class `{c}` in set<…>"), span);
+                None
+            }
+        },
+    }
+}
+
+fn literal_value(lit: &Literal, ty: ScalarType) -> Result<Value, String> {
+    match (lit, ty) {
+        (Literal::Number(x), ScalarType::Number) => Ok(Value::Number(*x)),
+        (Literal::Bool(b), ScalarType::Bool) => Ok(Value::Bool(*b)),
+        (Literal::Null, ScalarType::Ref(_)) => Ok(Value::Ref(sgl_storage::EntityId::NULL)),
+        (l, t) => Err(format!("literal {l:?} does not match type {t}")),
+    }
+}
+
+/// Default value an update rule observes when no assignment happened.
+fn effect_identity(comb: Combinator, ty: ScalarType) -> Value {
+    match comb {
+        Combinator::Sum | Combinator::Count => Value::Number(0.0),
+        Combinator::Avg => Value::Number(0.0),
+        Combinator::Min => Value::Number(f64::INFINITY),
+        Combinator::Max => Value::Number(f64::NEG_INFINITY),
+        Combinator::Or => Value::Bool(false),
+        Combinator::And => Value::Bool(true),
+        Combinator::Union => Value::Set(RefSet::new()),
+        #[allow(unreachable_patterns)]
+        _ => ty.zero(),
+    }
+}
+
+/// Type-check a parsed program and generate its catalog.
+pub fn check_program(ast: Program) -> Result<CheckedProgram, Diagnostics> {
+    let mut diags = Diagnostics::new();
+
+    // Pass 1: class name table.
+    let mut names: FxHashMap<String, ClassId> = FxHashMap::default();
+    for (i, c) in ast.classes.iter().enumerate() {
+        if names
+            .insert(c.name.name.clone(), ClassId(i as u32))
+            .is_some()
+        {
+            diags.error(
+                format!("duplicate class `{}`", c.name.name),
+                c.name.span,
+            );
+        }
+    }
+
+    // Pass 2: schemas.
+    let mut catalog = Catalog::new();
+    for c in &ast.classes {
+        let def = build_class_def(c, &names, &mut diags);
+        catalog.add(def);
+    }
+    if diags.has_errors() {
+        return Err(diags);
+    }
+
+    // Pass 3: update rules, constraints, scripts, handlers.
+    for (i, c) in ast.classes.iter().enumerate() {
+        check_class_bodies(c, ClassId(i as u32), &catalog, &mut diags);
+    }
+
+    diags.into_result(CheckedProgram { ast, catalog })
+}
+
+fn build_class_def(
+    c: &ClassDecl,
+    names: &FxHashMap<String, ClassId>,
+    diags: &mut Diagnostics,
+) -> ClassDef {
+    let mut state = Schema::new();
+    let mut owners = Vec::new();
+    let mut seen: FxHashMap<&str, ()> = FxHashMap::default();
+    for v in &c.state {
+        if seen.insert(&v.name.name, ()).is_some() {
+            diags.error(
+                format!("duplicate state variable `{}`", v.name.name),
+                v.name.span,
+            );
+            continue;
+        }
+        let Some(ty) = resolve_type(&v.ty, names, v.span, diags) else {
+            continue;
+        };
+        let default = match &v.init {
+            Some(lit) => match literal_value(lit, ty) {
+                Ok(v) => v,
+                Err(msg) => {
+                    diags.error(msg, v.span);
+                    ty.zero()
+                }
+            },
+            None => ty.zero(),
+        };
+        state.push(ColumnSpec::with_default(v.name.name.clone(), ty, default));
+        owners.push(Owner::Expression);
+    }
+
+    // Apply ownership assignments from the update section.
+    for u in &c.updates {
+        if let sgl_ast::UpdateKind::Owner(o) = &u.kind {
+            let Some(idx) = state.index_of(&u.target.name) else {
+                diags.error(
+                    format!("update rule targets unknown state variable `{}`", u.target.name),
+                    u.target.span,
+                );
+                continue;
+            };
+            match Owner::parse(&o.name) {
+                Some(owner) => owners[idx] = owner,
+                None => diags.error(
+                    format!(
+                        "unknown update component `{}` (expected physics/pathfind/transactions/expression)",
+                        o.name
+                    ),
+                    o.span,
+                ),
+            }
+        }
+    }
+
+    let mut effects = Vec::new();
+    let mut eseen: FxHashMap<&str, ()> = FxHashMap::default();
+    for v in &c.effects {
+        if eseen.insert(&v.name.name, ()).is_some() {
+            diags.error(
+                format!("duplicate effect variable `{}`", v.name.name),
+                v.name.span,
+            );
+            continue;
+        }
+        let Some(ty) = resolve_type(&v.ty, names, v.span, diags) else {
+            continue;
+        };
+        if !v.comb.accepts(ty) {
+            diags.error(
+                format!("combinator `{}` does not accept type {ty}", v.comb.name()),
+                v.span,
+            );
+        }
+        // A state/effect name collision is the transaction delta-channel
+        // convention (§3.1): allowed only when the state variable is
+        // transaction-owned.
+        if let Some(sidx) = state.index_of(&v.name.name) {
+            if owners[sidx] != Owner::Transactions {
+                diags.error(
+                    format!(
+                        "effect `{}` shadows a state variable; this is only allowed for \
+                         transaction-owned variables (declare `{} by transactions;`)",
+                        v.name.name, v.name.name
+                    ),
+                    v.name.span,
+                );
+            }
+        }
+        let default = match &v.default {
+            Some(lit) => match literal_value(lit, ty) {
+                Ok(val) => val,
+                Err(msg) => {
+                    diags.error(msg, v.span);
+                    effect_identity(v.comb, ty)
+                }
+            },
+            None => effect_identity(v.comb, ty),
+        };
+        effects.push(EffectSpec {
+            name: v.name.name.clone(),
+            ty,
+            comb: v.comb,
+            default,
+        });
+    }
+
+    ClassDef {
+        id: ClassId(0), // assigned by Catalog::add
+        name: c.name.name.clone(),
+        state,
+        effects,
+        owners,
+    }
+}
+
+fn check_class_bodies(
+    c: &ClassDecl,
+    id: ClassId,
+    catalog: &Catalog,
+    diags: &mut Diagnostics,
+) {
+    let def = catalog.class(id);
+
+    // Update rules: one per variable, expression-owned targets only.
+    let mut ruled: FxHashMap<&str, ()> = FxHashMap::default();
+    for u in &c.updates {
+        if ruled.insert(&u.target.name, ()).is_some() {
+            diags.error(
+                format!(
+                    "state variable `{}` has more than one update rule (§2.2 requires a strict partition)",
+                    u.target.name
+                ),
+                u.target.span,
+            );
+        }
+        let Some(idx) = def.state.index_of(&u.target.name) else {
+            // Already reported in build_class_def for Owner rules; report
+            // for Expr rules here.
+            if matches!(u.kind, sgl_ast::UpdateKind::Expr(_)) {
+                diags.error(
+                    format!("update rule targets unknown state variable `{}`", u.target.name),
+                    u.target.span,
+                );
+            }
+            continue;
+        };
+        if let sgl_ast::UpdateKind::Expr(e) = &u.kind {
+            if def.owners[idx] != Owner::Expression {
+                diags.error(
+                    format!(
+                        "state variable `{}` is owned by `{}`; it cannot also have an expression rule",
+                        u.target.name,
+                        def.owners[idx].name()
+                    ),
+                    u.target.span,
+                );
+            }
+            let env = TypeEnv::new(catalog, id, ExprMode::Update);
+            if let Some(t) = env.type_of(e, diags) {
+                let expect = def.state.col(idx).ty;
+                if t != expect {
+                    diags.error(
+                        format!(
+                            "update rule for `{}` has type {t}, expected {expect}",
+                            u.target.name
+                        ),
+                        u.span,
+                    );
+                }
+            }
+        }
+    }
+
+    // Constraints: bool over bare state variables.
+    for con in &c.constraints {
+        let env = TypeEnv::new(catalog, id, ExprMode::Constraint);
+        if let Some(t) = env.type_of(con, diags) {
+            if t != ScalarType::Bool {
+                diags.error(format!("constraint must be bool, got {t}"), con.span());
+            }
+        }
+        // Restrict to bare state variables: no field access.
+        con.walk(&mut |e| {
+            if let Expr::Field { span, .. } = e {
+                diags.error(
+                    "constraints may only reference the class's own state variables".to_string(),
+                    *span,
+                );
+            }
+        });
+    }
+
+    // Scripts.
+    for s in &c.scripts {
+        let mut env = TypeEnv::new(catalog, id, ExprMode::Script);
+        let mut cx = BodyCx {
+            in_accum_body: false,
+            in_accum_rest: false,
+            in_atomic: false,
+            in_handler: false,
+            accum_write: Vec::new(),
+        };
+        check_block(&s.body, &mut env, &mut cx, catalog, diags);
+    }
+
+    // Handlers.
+    for h in &c.handlers {
+        let env = TypeEnv::new(catalog, id, ExprMode::Handler);
+        if let Some(t) = env.type_of(&h.cond, diags) {
+            if t != ScalarType::Bool {
+                diags.error(format!("handler condition must be bool, got {t}"), h.cond.span());
+            }
+        }
+        let mut env = TypeEnv::new(catalog, id, ExprMode::Handler);
+        let mut cx = BodyCx {
+            in_accum_body: false,
+            in_accum_rest: false,
+            in_atomic: false,
+            in_handler: true,
+            accum_write: Vec::new(),
+        };
+        check_block(&h.body, &mut env, &mut cx, catalog, diags);
+        if let Some(r) = &h.restart {
+            check_restart(c, r, diags);
+        }
+    }
+}
+
+/// Validate a handler's `restart` clause (§3.2 interrupts): a named
+/// target must be a multi-tick script of the class; a bare `restart;`
+/// needs at least one multi-tick script to interrupt.
+fn check_restart(c: &ClassDecl, r: &sgl_ast::RestartClause, diags: &mut Diagnostics) {
+    let is_multi_tick =
+        |s: &sgl_ast::ScriptDecl| s.body.stmts.iter().any(|st| st.contains_wait());
+    match &r.script {
+        Some(name) => match c.scripts.iter().find(|s| s.name.name == name.name) {
+            None => diags.error(
+                format!(
+                    "restart target `{}` is not a script of class `{}`",
+                    name.name, c.name.name
+                ),
+                name.span,
+            ),
+            Some(s) if !is_multi_tick(s) => diags.error(
+                format!(
+                    "script `{}` has no waitNextTick — restarting it has no effect",
+                    name.name
+                ),
+                name.span,
+            ),
+            Some(_) => {}
+        },
+        None => {
+            if !c.scripts.iter().any(is_multi_tick) {
+                diags.error(
+                    format!(
+                        "class `{}` has no multi-tick script to restart",
+                        c.name.name
+                    ),
+                    r.span,
+                );
+            }
+        }
+    }
+}
+
+/// Statement-context flags threaded through body checking.
+struct BodyCx {
+    in_accum_body: bool,
+    in_accum_rest: bool,
+    in_atomic: bool,
+    in_handler: bool,
+    /// Write-only accum variables in scope: `(name, type, combinator)`.
+    accum_write: Vec<(String, ScalarType, Combinator)>,
+}
+
+fn check_block(
+    b: &Block,
+    env: &mut TypeEnv<'_>,
+    cx: &mut BodyCx,
+    catalog: &Catalog,
+    diags: &mut Diagnostics,
+) {
+    let locals_mark = env.locals.len();
+    for s in &b.stmts {
+        check_stmt(s, env, cx, catalog, diags);
+    }
+    env.locals.truncate(locals_mark);
+}
+
+fn check_stmt(
+    s: &Stmt,
+    env: &mut TypeEnv<'_>,
+    cx: &mut BodyCx,
+    catalog: &Catalog,
+    diags: &mut Diagnostics,
+) {
+    match s {
+        Stmt::Let { name, value, .. } => {
+            if let Some(t) = env.type_of(value, diags) {
+                env.locals.push((name.name.clone(), t));
+            } else {
+                // Recovery: bind as number so later uses don't cascade.
+                env.locals.push((name.name.clone(), ScalarType::Number));
+            }
+        }
+        Stmt::Effect {
+            target,
+            op,
+            value,
+            span,
+        } => check_effect_stmt(target, *op, value, *span, env, cx, catalog, diags),
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            if let Some(t) = env.type_of(cond, diags) {
+                if t != ScalarType::Bool {
+                    diags.error(format!("if condition must be bool, got {t}"), cond.span());
+                }
+            }
+            check_block(then_block, env, cx, catalog, diags);
+            if let Some(e) = else_block {
+                check_block(e, env, cx, catalog, diags);
+            }
+        }
+        Stmt::Accum(a) => {
+            if cx.in_handler {
+                diags.error("accum-loops are not allowed in handlers".to_string(), a.span);
+                return;
+            }
+            if cx.in_atomic {
+                diags.error("accum-loops are not allowed in atomic regions".to_string(), a.span);
+                return;
+            }
+            if cx.in_accum_body {
+                diags.error(
+                    "nested accum-loops inside an accum body are not supported".to_string(),
+                    a.span,
+                );
+                return;
+            }
+            // Resolve element class and the source collection.
+            let Some(elem_class) = env.resolve_class_ci(&a.elem_ty.name) else {
+                diags.error(
+                    format!("unknown class `{}` in accum element type", a.elem_ty.name),
+                    a.elem_ty.span,
+                );
+                return;
+            };
+            // Source: either the class extent (by name, any casing) or a
+            // set<elem_class> expression.
+            let source_is_extent = matches!(
+                &a.source,
+                Expr::Var(v) if env.resolve_class_ci(&v.name) == Some(elem_class)
+            );
+            if !source_is_extent {
+                match env.type_of(&a.source, diags) {
+                    Some(ScalarType::Set(c)) if c == elem_class => {}
+                    Some(t) => diags.error(
+                        format!(
+                            "accum source must be the `{}` extent or a set<{}>, got {t}",
+                            a.elem_ty.name, a.elem_ty.name
+                        ),
+                        a.source.span(),
+                    ),
+                    None => {}
+                }
+            }
+            // Accumulator type.
+            let names: FxHashMap<String, ClassId> = catalog
+                .classes()
+                .iter()
+                .map(|c| (c.name.clone(), c.id))
+                .collect();
+            let Some(acc_ty) = resolve_type(&a.acc_ty, &names, a.span, diags) else {
+                return;
+            };
+            if !a.comb.accepts(acc_ty) {
+                diags.error(
+                    format!(
+                        "combinator `{}` does not accept accumulator type {acc_ty}",
+                        a.comb.name()
+                    ),
+                    a.span,
+                );
+            }
+            // Body: elem var + write-only accumulator in scope.
+            env.elem_vars.push((a.elem_name.name.clone(), elem_class));
+            cx.accum_write
+                .push((a.acc_name.name.clone(), acc_ty, a.comb));
+            let was_body = cx.in_accum_body;
+            cx.in_accum_body = true;
+            check_block(&a.body, env, cx, catalog, diags);
+            cx.in_accum_body = was_body;
+            env.elem_vars.pop();
+            // Rest: accumulator readable, elem var out of scope. The
+            // accumulator stays in `accum_write` so that a write in the
+            // rest block gets the specific "write-only in body" error.
+            env.accum_read.push((a.acc_name.name.clone(), acc_ty));
+            let was_rest = cx.in_accum_rest;
+            cx.in_accum_rest = true;
+            check_block(&a.rest, env, cx, catalog, diags);
+            cx.in_accum_rest = was_rest;
+            env.accum_read.pop();
+            cx.accum_write.pop();
+        }
+        Stmt::Wait { span } => {
+            if cx.in_accum_body {
+                diags.error(
+                    "waitNextTick is forbidden inside the first block of an accum-loop (§3.2)"
+                        .to_string(),
+                    *span,
+                );
+            } else if cx.in_accum_rest {
+                diags.error(
+                    "waitNextTick is not supported inside an accum `in` block".to_string(),
+                    *span,
+                );
+            } else if cx.in_atomic {
+                diags.error(
+                    "waitNextTick is forbidden inside atomic regions (§3.2)".to_string(),
+                    *span,
+                );
+            } else if cx.in_handler {
+                diags.error("waitNextTick is not allowed in handlers".to_string(), *span);
+            }
+        }
+        Stmt::Atomic { body, span } => {
+            if cx.in_atomic {
+                diags.error("atomic regions cannot be nested".to_string(), *span);
+                return;
+            }
+            if cx.in_handler {
+                diags.error("atomic regions are not allowed in handlers".to_string(), *span);
+                return;
+            }
+            if cx.in_accum_body || cx.in_accum_rest {
+                diags.error(
+                    "atomic regions are not allowed inside accum-loops".to_string(),
+                    *span,
+                );
+                return;
+            }
+            let was = cx.in_atomic;
+            cx.in_atomic = true;
+            check_block(body, env, cx, catalog, diags);
+            cx.in_atomic = was;
+        }
+        Stmt::Block(b) => check_block(b, env, cx, catalog, diags),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_effect_stmt(
+    target: &LValue,
+    op: EffectOp,
+    value: &Expr,
+    span: sgl_ast::Span,
+    env: &mut TypeEnv<'_>,
+    cx: &mut BodyCx,
+    catalog: &Catalog,
+    diags: &mut Diagnostics,
+) {
+    let vt = env.type_of(value, diags);
+
+    // Resolve the target: accum variable, self effect, or field effect.
+    let (eff_ty, comb, target_class, target_name): (ScalarType, Combinator, ClassId, String) =
+        match target {
+            LValue::Name(id) => {
+                // Accum accumulator (write-only, innermost first).
+                if let Some((_, t, comb)) = cx
+                    .accum_write
+                    .iter()
+                    .rev()
+                    .find(|(n, _, _)| *n == id.name)
+                {
+                    if !cx.in_accum_body {
+                        diags.error(
+                            format!("accum variable `{}` is only writable inside the accum body", id.name),
+                            id.span,
+                        );
+                        return;
+                    }
+                    (*t, *comb, env.class, id.name.clone())
+                } else {
+                    let def = catalog.class(env.class);
+                    let Some(ei) = def.effect_index(&id.name) else {
+                        if def.state.index_of(&id.name).is_some() {
+                            diags.error(
+                                format!(
+                                    "`{}` is a state variable; state is read-only during a tick (§2)",
+                                    id.name
+                                ),
+                                id.span,
+                            );
+                        } else {
+                            diags.error(format!("unknown effect variable `{}`", id.name), id.span);
+                        }
+                        return;
+                    };
+                    let e = &def.effects[ei];
+                    (e.ty, e.comb, env.class, id.name.clone())
+                }
+            }
+            LValue::Field { base, field } => {
+                let Some(bt) = env.type_of(base, diags) else {
+                    return;
+                };
+                let ScalarType::Ref(cid) = bt else {
+                    diags.error(
+                        format!("effect target base must be a ref, got {bt}"),
+                        base.span(),
+                    );
+                    return;
+                };
+                let cdef = catalog.class(cid);
+                let Some(ei) = cdef.effect_index(&field.name) else {
+                    diags.error(
+                        format!(
+                            "class `{}` has no effect variable `{}`",
+                            cdef.name, field.name
+                        ),
+                        field.span,
+                    );
+                    return;
+                };
+                let e = &cdef.effects[ei];
+                (e.ty, e.comb, cid, field.name.clone())
+            }
+        };
+
+    // Handlers may only write self effects.
+    if cx.in_handler {
+        if let LValue::Field { base, .. } = target {
+            if !matches!(base, Expr::SelfRef(_)) {
+                diags.error(
+                    "handlers may only assign effects of `self`".to_string(),
+                    span,
+                );
+            }
+        }
+    }
+
+    // Atomic regions may only write transaction-delta effects.
+    if cx.in_atomic {
+        let cdef = catalog.class(target_class);
+        let txn_ok = cdef
+            .state
+            .index_of(&target_name)
+            .is_some_and(|si| cdef.owners[si] == Owner::Transactions);
+        if !txn_ok {
+            diags.error(
+                format!(
+                    "atomic regions may only write transaction-owned variables; `{}` of class `{}` is not (§3.1)",
+                    target_name, cdef.name
+                ),
+                span,
+            );
+        }
+    }
+
+    // Operator/type agreement.
+    let Some(vt) = vt else { return };
+    match op {
+        EffectOp::Assign => {
+            let ok = comb == Combinator::Count // value ignored for count
+                || matches!(
+                    (eff_ty, vt),
+                    (ScalarType::Number, ScalarType::Number)
+                        | (ScalarType::Bool, ScalarType::Bool)
+                        | (ScalarType::Ref(_), ScalarType::Ref(_))
+                        | (ScalarType::Set(_), ScalarType::Set(_))
+                );
+            if !ok {
+                diags.error(
+                    format!("cannot assign {vt} to effect of type {eff_ty}"),
+                    span,
+                );
+            }
+        }
+        EffectOp::Insert => match (eff_ty, vt) {
+            (ScalarType::Set(_), ScalarType::Ref(_)) => {}
+            _ => diags.error(
+                format!("`<=` inserts a ref into a set effect; got {vt} into {eff_ty}"),
+                span,
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn check_src(src: &str) -> Result<CheckedProgram, Diagnostics> {
+        check_program(parse(src).unwrap())
+    }
+
+    fn expect_err(src: &str, needle: &str) {
+        match check_src(src) {
+            Ok(_) => panic!("expected error containing {needle:?}"),
+            Err(d) => {
+                assert!(
+                    d.items.iter().any(|i| i.message.contains(needle)),
+                    "no diagnostic contains {needle:?}; got: {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_one_class_checks_and_generates_schema() {
+        let src = r#"
+class Unit {
+state:
+  number player = 0;
+  number x = 0;
+  number y = 0;
+  number health = 0;
+effects:
+  number vx : avg;
+  number vy : avg;
+  number damage : sum;
+update:
+  health = health - damage;
+}
+"#;
+        let checked = check_src(src).unwrap();
+        let def = checked.catalog.class_by_name("Unit").unwrap();
+        assert_eq!(def.state.len(), 4);
+        assert_eq!(def.effects.len(), 3);
+        assert_eq!(def.effects[2].comb, Combinator::Sum);
+        assert_eq!(def.effects[2].default, Value::Number(0.0));
+    }
+
+    #[test]
+    fn state_is_read_only() {
+        expect_err(
+            r#"
+class A {
+state:
+  number x = 0;
+script s { x <- 1; }
+}
+"#,
+            "read-only",
+        );
+    }
+
+    #[test]
+    fn effects_are_write_only() {
+        expect_err(
+            r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  let t = d + 1;
+  d <- t;
+}
+}
+"#,
+            "write-only",
+        );
+    }
+
+    #[test]
+    fn update_rules_may_read_effects() {
+        let src = r#"
+class A {
+state:
+  number hp = 10;
+effects:
+  number d : sum;
+update:
+  hp = hp - d;
+}
+"#;
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn wait_forbidden_in_accum_body_and_atomic() {
+        expect_err(
+            r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  accum number c with sum over A u from A {
+    waitNextTick;
+  } in { }
+}
+}
+"#,
+            "forbidden inside the first block",
+        );
+        expect_err(
+            r#"
+class A {
+state:
+  number gold = 0;
+effects:
+  number gold : sum;
+update:
+  gold by transactions;
+script s {
+  atomic {
+    waitNextTick;
+  }
+}
+}
+"#,
+            "forbidden inside atomic",
+        );
+    }
+
+    #[test]
+    fn accum_var_write_only_in_body_read_only_in_rest() {
+        expect_err(
+            r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  accum number c with sum over A u from A {
+    let t = c;
+    c <- 1;
+  } in { }
+}
+}
+"#,
+            "unknown variable `c`",
+        );
+        // Writing in the rest block is rejected.
+        expect_err(
+            r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  accum number c with sum over A u from A {
+    c <- 1;
+  } in {
+    c <- 2;
+  }
+}
+}
+"#,
+            "only writable inside the accum body",
+        );
+    }
+
+    #[test]
+    fn accum_rest_can_read_accumulator() {
+        let src = r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  accum number c with sum over A u from A {
+    c <- 1;
+  } in {
+    d <- c * 2;
+  }
+}
+}
+"#;
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn atomic_requires_txn_owned_targets() {
+        expect_err(
+            r#"
+class A {
+state:
+  number gold = 0;
+effects:
+  number d : sum;
+script s {
+  atomic { d <- 1; }
+}
+}
+"#,
+            "transaction-owned",
+        );
+    }
+
+    #[test]
+    fn txn_delta_channel_allows_same_name() {
+        let src = r#"
+class Trader {
+state:
+  number gold = 100;
+effects:
+  number gold : sum;
+update:
+  gold by transactions;
+constraint gold >= 0;
+script buy {
+  atomic { gold <- -10; }
+}
+}
+"#;
+        let checked = check_src(src).unwrap();
+        let pairs = checked.txn_pairs(ClassId(0));
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn effect_shadowing_state_requires_txn_owner() {
+        expect_err(
+            r#"
+class A {
+state:
+  number gold = 0;
+effects:
+  number gold : sum;
+}
+"#,
+            "shadows a state variable",
+        );
+    }
+
+    #[test]
+    fn strict_partition_one_rule_per_var() {
+        expect_err(
+            r#"
+class A {
+state:
+  number x = 0;
+update:
+  x = x + 1;
+  x = x + 2;
+}
+"#,
+            "more than one update rule",
+        );
+        expect_err(
+            r#"
+class A {
+state:
+  number x = 0;
+update:
+  x by physics;
+  x = x + 1;
+}
+"#,
+            "owned by",
+        );
+    }
+
+    #[test]
+    fn field_access_types_through_refs() {
+        let src = r#"
+class Item {
+state:
+  number weight = 1;
+}
+class A {
+state:
+  ref<Item> held = null;
+effects:
+  number load : sum;
+script s {
+  load <- held.weight;
+}
+}
+"#;
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn unknown_field_reported() {
+        expect_err(
+            r#"
+class A {
+state:
+  ref<A> other = null;
+effects:
+  number d : sum;
+script s {
+  d <- other.nope;
+}
+}
+"#,
+            "no attribute",
+        );
+    }
+
+    #[test]
+    fn builtins_typed() {
+        let src = r#"
+class A {
+state:
+  number x = 0;
+  number y = 0;
+  set<A> friends;
+  ref<A> target = null;
+effects:
+  number d : sum;
+  bool seen : or;
+script s {
+  d <- dist(x, y, 0, 0) + min(x, y) + clamp(x, 0, 1) + size(friends) + id(self);
+  seen <- contains(friends, target);
+}
+}
+"#;
+        assert!(check_src(src).is_ok());
+        expect_err(
+            r#"
+class A {
+effects:
+  number d : sum;
+script s { d <- frob(1); }
+}
+"#,
+            "unknown function",
+        );
+    }
+
+    #[test]
+    fn handler_restrictions() {
+        expect_err(
+            r#"
+class A {
+state:
+  number hp = 1;
+effects:
+  number d : sum;
+when (hp < 0) {
+  waitNextTick;
+}
+}
+"#,
+            "not allowed in handlers",
+        );
+        let ok = r#"
+class A {
+state:
+  number hp = 1;
+effects:
+  number d : sum;
+when (hp < 1) {
+  d <- 1;
+}
+}
+"#;
+        assert!(check_src(ok).is_ok());
+    }
+
+    #[test]
+    fn constraint_must_be_bool_over_state() {
+        expect_err(
+            r#"
+class A {
+state:
+  number gold = 0;
+update:
+  gold by transactions;
+constraint gold + 1;
+}
+"#,
+            "must be bool",
+        );
+    }
+
+    #[test]
+    fn accum_source_set_expression() {
+        let src = r#"
+class A {
+state:
+  set<A> friends;
+  number x = 0;
+effects:
+  number d : sum;
+script s {
+  accum number c with sum over A u from friends {
+    if (u.x > x) { c <- 1; }
+  } in {
+    d <- c;
+  }
+}
+}
+"#;
+        assert!(check_src(src).is_ok());
+    }
+
+    #[test]
+    fn fig2_casing_resolves() {
+        // `over unit w from UNIT` resolves both to class `Unit`.
+        let src = r#"
+class Unit {
+state:
+  number x = 0;
+effects:
+  number near : sum;
+script s {
+  accum number cnt with sum over unit w from UNIT {
+    if (w.x >= x - 1 && w.x <= x + 1) { cnt <- 1; }
+  } in {
+    near <- cnt;
+  }
+}
+}
+"#;
+        assert!(check_src(src).is_ok());
+    }
+}

@@ -1,0 +1,276 @@
+//! Uniform grid index — the classic game-engine broadphase.
+//!
+//! Points are bucketed into uniform cells (CSR layout: one offsets array,
+//! one ids array — cache-friendly, no per-cell Vec). Queries enumerate the
+//! overlapping cell block and filter candidates exactly.
+
+use crate::points::PointSet;
+use crate::{IndexKind, SpatialIndex};
+
+/// Uniform grid over the bounding box of the build-time points, with
+/// roughly one point per cell on average (cells-per-axis chosen as
+/// ⌈n^(1/d)⌉, clamped).
+pub struct UniformGrid {
+    points: PointSet,
+    lo: Vec<f64>,
+    cell_size: Vec<f64>,
+    cells_per_axis: Vec<usize>,
+    /// CSR offsets: `cell_count + 1` entries.
+    offsets: Vec<u32>,
+    /// Row ids grouped by cell.
+    ids: Vec<u32>,
+}
+
+impl UniformGrid {
+    /// Build over `points` with automatic cell sizing.
+    pub fn build(points: &PointSet) -> Self {
+        let dims = points.dims();
+        let n = points.len();
+        let per_axis = if n == 0 {
+            1
+        } else {
+            ((n as f64).powf(1.0 / dims as f64).ceil() as usize).clamp(1, 1 << 12)
+        };
+        Self::build_with_cells(points, per_axis)
+    }
+
+    /// Build with an explicit cells-per-axis count (exposed for the index
+    /// ablation benchmark).
+    pub fn build_with_cells(points: &PointSet, per_axis: usize) -> Self {
+        let dims = points.dims();
+        let n = points.len();
+        let per_axis = per_axis.max(1);
+        let mut lo = vec![f64::INFINITY; dims];
+        let mut hi = vec![f64::NEG_INFINITY; dims];
+        for i in 0..n as u32 {
+            let p = points.point(i);
+            for d in 0..dims {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        if n == 0 {
+            lo.iter_mut().for_each(|v| *v = 0.0);
+            hi.iter_mut().for_each(|v| *v = 1.0);
+        }
+        let cells_per_axis = vec![per_axis; dims];
+        let cell_size: Vec<f64> = (0..dims)
+            .map(|d| {
+                let w = (hi[d] - lo[d]).max(f64::MIN_POSITIVE);
+                w / per_axis as f64
+            })
+            .collect();
+        let cell_count: usize = cells_per_axis.iter().product();
+
+        // Counting sort into CSR.
+        let mut counts = vec![0u32; cell_count + 1];
+        let grid = UniformGridShape {
+            lo: &lo,
+            cell_size: &cell_size,
+            cells_per_axis: &cells_per_axis,
+        };
+        for i in 0..n as u32 {
+            let c = grid.cell_of(points.point(i));
+            counts[c + 1] += 1;
+        }
+        for c in 0..cell_count {
+            counts[c + 1] += counts[c];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut ids = vec![0u32; n];
+        for i in 0..n as u32 {
+            let c = grid.cell_of(points.point(i));
+            ids[cursor[c] as usize] = i;
+            cursor[c] += 1;
+        }
+
+        UniformGrid {
+            points: points.clone(),
+            lo,
+            cell_size,
+            cells_per_axis,
+            offsets,
+            ids,
+        }
+    }
+
+    #[inline]
+    fn shape(&self) -> UniformGridShape<'_> {
+        UniformGridShape {
+            lo: &self.lo,
+            cell_size: &self.cell_size,
+            cells_per_axis: &self.cells_per_axis,
+        }
+    }
+
+    /// Cells per axis (uniform across axes).
+    pub fn cells_per_axis(&self) -> usize {
+        self.cells_per_axis[0]
+    }
+}
+
+struct UniformGridShape<'a> {
+    lo: &'a [f64],
+    cell_size: &'a [f64],
+    cells_per_axis: &'a [usize],
+}
+
+impl UniformGridShape<'_> {
+    /// Clamped per-axis cell coordinate.
+    #[inline]
+    fn axis_cell(&self, d: usize, v: f64) -> usize {
+        let c = ((v - self.lo[d]) / self.cell_size[d]).floor();
+        let max = self.cells_per_axis[d] - 1;
+        if c.is_nan() || c < 0.0 {
+            0
+        } else {
+            (c as usize).min(max)
+        }
+    }
+
+    /// Flat cell index of a point.
+    #[inline]
+    fn cell_of(&self, p: &[f64]) -> usize {
+        let mut idx = 0;
+        for (d, &v) in p.iter().enumerate() {
+            idx = idx * self.cells_per_axis[d] + self.axis_cell(d, v);
+        }
+        idx
+    }
+}
+
+impl SpatialIndex for UniformGrid {
+    fn dims(&self) -> usize {
+        self.points.dims()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn query(&self, lo: &[f64], hi: &[f64], out: &mut Vec<u32>) {
+        if self.points.is_empty() {
+            return;
+        }
+        let dims = self.dims();
+        let shape = self.shape();
+        let c_lo: Vec<usize> = (0..dims).map(|d| shape.axis_cell(d, lo[d])).collect();
+        let c_hi: Vec<usize> = (0..dims).map(|d| shape.axis_cell(d, hi[d])).collect();
+
+        // Enumerate the d-dimensional block of cells [c_lo, c_hi].
+        let mut cursor = c_lo.clone();
+        loop {
+            let mut flat = 0;
+            for (d, &c) in cursor.iter().enumerate() {
+                flat = flat * self.cells_per_axis[d] + c;
+            }
+            let (s, e) = (self.offsets[flat] as usize, self.offsets[flat + 1] as usize);
+            for &i in &self.ids[s..e] {
+                if self.points.contains(i, lo, hi) {
+                    out.push(i);
+                }
+            }
+            // Odometer increment over the cell block.
+            let mut d = dims;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                if cursor[d] < c_hi[d] {
+                    cursor[d] += 1;
+                    for (dd, c) in cursor.iter_mut().enumerate().skip(d + 1) {
+                        *c = c_lo[dd];
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.points.memory_bytes() + self.offsets.capacity() * 4 + self.ids.capacity() * 4
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_3x3() -> (PointSet, UniformGrid) {
+        let mut p = PointSet::new(2);
+        for y in 0..10 {
+            for x in 0..10 {
+                p.push(&[x as f64, y as f64]);
+            }
+        }
+        let g = UniformGrid::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn grid_matches_scan() {
+        let (p, g) = grid_3x3();
+        let scan = crate::scan::ScanIndex::build(&p);
+        for (lo, hi) in [
+            ([2.0, 3.0], [5.0, 7.0]),
+            ([0.0, 0.0], [9.0, 9.0]),
+            ([4.5, 4.5], [4.6, 4.6]),
+            ([-5.0, -5.0], [-1.0, -1.0]),
+        ] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            g.query(&lo, &hi, &mut a);
+            scan.query(&lo, &hi, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "box {lo:?}..{hi:?}");
+        }
+    }
+
+    #[test]
+    fn all_points_in_one_cell() {
+        // Degenerate: identical points must all land in a valid cell.
+        let mut p = PointSet::new(2);
+        for _ in 0..5 {
+            p.push(&[3.0, 3.0]);
+        }
+        let g = UniformGrid::build(&p);
+        let mut out = Vec::new();
+        g.query(&[3.0, 3.0], &[3.0, 3.0], &mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn one_dimensional_grid() {
+        let mut p = PointSet::new(1);
+        for i in 0..100 {
+            p.push(&[i as f64]);
+        }
+        let g = UniformGrid::build(&p);
+        let mut out = Vec::new();
+        g.query(&[10.0], &[19.0], &mut out);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn three_dimensional_grid() {
+        let mut p = PointSet::new(3);
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    p.push(&[i as f64, j as f64, k as f64]);
+                }
+            }
+        }
+        let g = UniformGrid::build(&p);
+        let mut out = Vec::new();
+        g.query(&[1.0, 1.0, 1.0], &[2.0, 2.0, 2.0], &mut out);
+        assert_eq!(out.len(), 8);
+    }
+}

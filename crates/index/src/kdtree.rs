@@ -1,0 +1,213 @@
+//! Static k-d tree with median splits and leaf buckets.
+//!
+//! O(n log n) build, O(n^(1−1/d) + k) worst-case range query, exactly
+//! O(n) space — the space-frugal alternative to the range tree that the
+//! index experiment (E4) contrasts against the paper's
+//! Θ(n·log^(d−1) n) structure.
+
+use crate::points::PointSet;
+use crate::{IndexKind, SpatialIndex};
+
+const LEAF_SIZE: usize = 16;
+
+enum Node {
+    Leaf {
+        /// Range into `KdTree::ids`.
+        start: u32,
+        end: u32,
+    },
+    Inner {
+        dim: u8,
+        split: f64,
+        /// Index of the left child in `KdTree::nodes`; right = left + 1
+        /// is *not* guaranteed, so both are stored.
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A static median-split k-d tree over a [`PointSet`].
+pub struct KdTree {
+    points: PointSet,
+    nodes: Vec<Node>,
+    ids: Vec<u32>,
+    root: u32,
+}
+
+impl KdTree {
+    /// Build over `points`.
+    pub fn build(points: &PointSet) -> Self {
+        let n = points.len();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * (n / LEAF_SIZE + 1));
+        let points = points.clone();
+        let root = if n == 0 {
+            nodes.push(Node::Leaf { start: 0, end: 0 });
+            0
+        } else {
+            build_rec(&points, &mut nodes, &mut ids, 0, n, 0)
+        };
+        KdTree {
+            points,
+            nodes,
+            ids,
+            root,
+        }
+    }
+
+    fn query_rec(&self, node: u32, lo: &[f64], hi: &[f64], out: &mut Vec<u32>) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                for &i in &self.ids[*start as usize..*end as usize] {
+                    if self.points.contains(i, lo, hi) {
+                        out.push(i);
+                    }
+                }
+            }
+            Node::Inner {
+                dim,
+                split,
+                left,
+                right,
+            } => {
+                let d = *dim as usize;
+                if lo[d] <= *split {
+                    self.query_rec(*left, lo, hi, out);
+                }
+                if hi[d] >= *split {
+                    self.query_rec(*right, lo, hi, out);
+                }
+            }
+        }
+    }
+}
+
+fn build_rec(
+    points: &PointSet,
+    nodes: &mut Vec<Node>,
+    ids: &mut Vec<u32>,
+    start: usize,
+    end: usize,
+    depth: usize,
+) -> u32 {
+    let len = end - start;
+    if len <= LEAF_SIZE {
+        nodes.push(Node::Leaf {
+            start: start as u32,
+            end: end as u32,
+        });
+        return (nodes.len() - 1) as u32;
+    }
+    let dim = depth % points.dims();
+    let mid = start + len / 2;
+    ids[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+        points
+            .coord(a, dim)
+            .partial_cmp(&points.coord(b, dim))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let split = points.coord(ids[mid], dim);
+    // Reserve our slot before recursing so child indexes are stable.
+    nodes.push(Node::Leaf { start: 0, end: 0 });
+    let me = (nodes.len() - 1) as u32;
+    let left = build_rec(points, nodes, ids, start, mid, depth + 1);
+    let right = build_rec(points, nodes, ids, mid, end, depth + 1);
+    nodes[me as usize] = Node::Inner {
+        dim: dim as u8,
+        split,
+        left,
+        right,
+    };
+    me
+}
+
+impl SpatialIndex for KdTree {
+    fn dims(&self) -> usize {
+        self.points.dims()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn query(&self, lo: &[f64], hi: &[f64], out: &mut Vec<u32>) {
+        if self.points.is_empty() {
+            return;
+        }
+        self.query_rec(self.root, lo, hi, out);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.points.memory_bytes()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.ids.capacity() * 4
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::KdTree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanIndex;
+
+    fn pseudo_random_points(n: usize, dims: usize, seed: u64) -> PointSet {
+        // Tiny LCG so the test needs no external RNG.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        };
+        let mut p = PointSet::new(dims);
+        for _ in 0..n {
+            let coords: Vec<f64> = (0..dims).map(|_| next()).collect();
+            p.push(&coords);
+        }
+        p
+    }
+
+    #[test]
+    fn matches_scan_on_random_points() {
+        for dims in 1..=3 {
+            let p = pseudo_random_points(500, dims, 42 + dims as u64);
+            let kd = KdTree::build(&p);
+            let scan = ScanIndex::build(&p);
+            let lo: Vec<f64> = vec![20.0; dims];
+            let hi: Vec<f64> = vec![60.0; dims];
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            kd.query(&lo, &hi, &mut a);
+            scan.query(&lo, &hi, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "dims={dims}");
+        }
+    }
+
+    #[test]
+    fn handles_small_inputs() {
+        for n in 0..=3 {
+            let p = pseudo_random_points(n, 2, 7);
+            let kd = KdTree::build(&p);
+            let mut out = Vec::new();
+            kd.query(&[0.0, 0.0], &[100.0, 100.0], &mut out);
+            assert_eq!(out.len(), n);
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates() {
+        let mut p = PointSet::new(2);
+        for _ in 0..100 {
+            p.push(&[5.0, 5.0]);
+        }
+        let kd = KdTree::build(&p);
+        let mut out = Vec::new();
+        kd.query(&[5.0, 5.0], &[5.0, 5.0], &mut out);
+        assert_eq!(out.len(), 100);
+    }
+}

@@ -1,0 +1,167 @@
+//! # sgl-index
+//!
+//! Spatial index library for the SGL engine, reproducing §4.2 of
+//! *"From Declarative Languages to Declarative Processing in Computer
+//! Games"* (CIDR 2009).
+//!
+//! The paper's engine "makes extensive use of large multi-dimensional
+//! orthogonal range tree indices", each taking Θ(n·log^(d−1) n) space.
+//! This crate implements that structure ([`range_tree::RangeTree`])
+//! together with the baselines the optimizer chooses between:
+//!
+//! * [`scan::ScanIndex`] — no index, linear filter (the NL-join access path),
+//! * [`sorted::SortedIndex`] — 1-D sorted array with binary search,
+//! * [`grid::UniformGrid`] — uniform cell grid (the classic game-engine
+//!   broadphase structure),
+//! * [`kdtree::KdTree`] — static median-split k-d tree,
+//! * [`range_tree::RangeTree`] — the paper's layered orthogonal range tree.
+//!
+//! All indexes answer inclusive axis-aligned box queries over a
+//! [`PointSet`] and report *row indexes* (`u32`), which the engine maps
+//! back to entities. Indexes are static: the paper observes that O(n)
+//! attributes change every tick, so the engine rebuilds per tick and the
+//! optimizer weighs build cost against probe cost ([`IndexKind`]).
+
+pub mod grid;
+pub mod kdtree;
+pub mod partitioned;
+pub mod points;
+pub mod range_tree;
+pub mod scan;
+pub mod sorted;
+
+pub use grid::UniformGrid;
+pub use kdtree::KdTree;
+pub use partitioned::PartitionedRangeTree;
+pub use points::PointSet;
+pub use range_tree::RangeTree;
+pub use scan::ScanIndex;
+pub use sorted::SortedIndex;
+
+/// An inclusive axis-aligned box query over `dims()` dimensions.
+///
+/// Implementations append the row indexes of all points `p` with
+/// `lo[k] <= p[k] <= hi[k]` for every dimension `k` to `out`, in
+/// unspecified order.
+pub trait SpatialIndex: Send + Sync {
+    /// Dimensionality of the indexed points.
+    fn dims(&self) -> usize;
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+    /// Whether the index holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Append all row ids inside the inclusive box `[lo, hi]` to `out`.
+    fn query(&self, lo: &[f64], hi: &[f64], out: &mut Vec<u32>);
+    /// Approximate heap footprint in bytes (the quantity the paper's
+    /// Θ(n·log^(d−1) n) analysis is about).
+    fn memory_bytes(&self) -> usize;
+    /// Short name for plans and experiment output.
+    fn kind(&self) -> IndexKind;
+}
+
+/// The access-path repertoire the adaptive optimizer (§4.1) picks from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Linear scan (no build cost, O(n) probes).
+    Scan,
+    /// 1-D sorted array.
+    Sorted,
+    /// Uniform grid.
+    Grid,
+    /// k-d tree.
+    KdTree,
+    /// Orthogonal range tree.
+    RangeTree,
+}
+
+impl IndexKind {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Scan => "scan",
+            IndexKind::Sorted => "sorted",
+            IndexKind::Grid => "grid",
+            IndexKind::KdTree => "kdtree",
+            IndexKind::RangeTree => "rangetree",
+        }
+    }
+
+    /// All kinds applicable to `dims` dimensions.
+    pub fn applicable(dims: usize) -> Vec<IndexKind> {
+        let mut v = vec![IndexKind::Scan];
+        if dims == 1 {
+            v.push(IndexKind::Sorted);
+        }
+        v.push(IndexKind::Grid);
+        v.push(IndexKind::KdTree);
+        v.push(IndexKind::RangeTree);
+        v
+    }
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Build an index of the requested kind over `points`.
+///
+/// `Sorted` falls back to `RangeTree` (identical query semantics) when
+/// `points.dims() > 1`.
+pub fn build_index(kind: IndexKind, points: &PointSet) -> Box<dyn SpatialIndex> {
+    match kind {
+        IndexKind::Scan => Box::new(ScanIndex::build(points)),
+        IndexKind::Sorted if points.dims() == 1 => Box::new(SortedIndex::build(points)),
+        IndexKind::Sorted => Box::new(RangeTree::build(points)),
+        IndexKind::Grid => Box::new(UniformGrid::build(points)),
+        IndexKind::KdTree => Box::new(KdTree::build(points)),
+        IndexKind::RangeTree => Box::new(RangeTree::build(points)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts_2d() -> PointSet {
+        let mut p = PointSet::new(2);
+        for i in 0..20 {
+            p.push(&[(i % 5) as f64, (i / 5) as f64]);
+        }
+        p
+    }
+
+    #[test]
+    fn build_index_all_kinds_agree_with_scan() {
+        let p = pts_2d();
+        let lo = [1.0, 1.0];
+        let hi = [3.0, 2.0];
+        let mut expect = Vec::new();
+        build_index(IndexKind::Scan, &p).query(&lo, &hi, &mut expect);
+        expect.sort_unstable();
+        for kind in [IndexKind::Grid, IndexKind::KdTree, IndexKind::RangeTree] {
+            let idx = build_index(kind, &p);
+            let mut got = Vec::new();
+            idx.query(&lo, &hi, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, expect, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn applicable_kinds_by_dim() {
+        assert!(IndexKind::applicable(1).contains(&IndexKind::Sorted));
+        assert!(!IndexKind::applicable(2).contains(&IndexKind::Sorted));
+        assert!(IndexKind::applicable(3).contains(&IndexKind::RangeTree));
+    }
+
+    #[test]
+    fn sorted_falls_back_for_multidim() {
+        let p = pts_2d();
+        let idx = build_index(IndexKind::Sorted, &p);
+        assert_eq!(idx.kind(), IndexKind::RangeTree);
+    }
+}

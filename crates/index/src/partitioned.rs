@@ -1,0 +1,223 @@
+//! Partitioned range trees — the paper's shared-nothing question.
+//!
+//! §4.2: *"a tree with 100,000 entries of 16 bytes each takes about 2 GB
+//! to store. As the dimensionality and number of characters increase,
+//! this will quickly exhaust the main memory of a single machine. Thus an
+//! interesting research question is to consider techniques to partition
+//! indices across multiple nodes."*
+//!
+//! This module prototypes the obvious technique: spatial range
+//! partitioning on the first dimension. Points are split into `k`
+//! contiguous shards (balanced by count); each shard builds its own
+//! range tree ("node-local index"); a box query fans out only to the
+//! shards whose key range intersects the box. The per-shard memory
+//! figures quantify how partitioning divides the Θ(n·log^(d−1) n) space —
+//! and, because log is applied to a smaller n, the *total* memory also
+//! drops. Experiment E11 prints the table.
+
+use crate::points::PointSet;
+use crate::range_tree::RangeTree;
+use crate::{IndexKind, SpatialIndex};
+
+/// A range tree sharded over `k` simulated shared-nothing nodes.
+pub struct PartitionedRangeTree {
+    /// Shard split keys: shard `i` covers first-dim keys
+    /// `[splits[i], splits[i+1])` (±∞ at the ends).
+    splits: Vec<f64>,
+    shards: Vec<Shard>,
+    dims: usize,
+    len: usize,
+}
+
+struct Shard {
+    /// Node-local tree over the shard's points.
+    tree: RangeTree,
+    /// Mapping from shard-local row ids back to global row ids.
+    global_ids: Vec<u32>,
+}
+
+impl PartitionedRangeTree {
+    /// Build over `points`, sharded into `k` nodes by the first
+    /// dimension (balanced by point count).
+    pub fn build(points: &PointSet, k: usize) -> Self {
+        let n = points.len();
+        let dims = points.dims();
+        let k = k.max(1).min(n.max(1));
+
+        // Sort global ids by the first dimension and cut into k runs.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            points
+                .coord(a, 0)
+                .partial_cmp(&points.coord(b, 0))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut shards = Vec::with_capacity(k);
+        let mut splits = Vec::with_capacity(k.saturating_sub(1));
+        let chunk = n.div_ceil(k);
+        for s in 0..k {
+            let lo = s * chunk;
+            let hi = ((s + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let global_ids: Vec<u32> = order[lo..hi].to_vec();
+            if s > 0 {
+                splits.push(points.coord(order[lo], 0));
+            }
+            let mut local = PointSet::with_capacity(dims, global_ids.len());
+            for &g in &global_ids {
+                local.push(points.point(g));
+            }
+            shards.push(Shard {
+                tree: RangeTree::build(&local),
+                global_ids,
+            });
+        }
+        PartitionedRangeTree {
+            splits,
+            shards,
+            dims,
+            len: n,
+        }
+    }
+
+    /// Number of shards ("nodes").
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard (points, bytes) — the quantity a cluster deployment
+    /// provisions per node.
+    pub fn shard_stats(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| (s.tree.len(), s.tree.memory_bytes()))
+            .collect()
+    }
+
+    /// Largest shard footprint in bytes.
+    pub fn max_shard_bytes(&self) -> usize {
+        self.shard_stats().iter().map(|s| s.1).max().unwrap_or(0)
+    }
+
+    /// How many shards a box query touches (fan-out).
+    pub fn fanout(&self, lo0: f64, hi0: f64) -> usize {
+        self.shard_range(lo0, hi0).len()
+    }
+
+    fn shard_range(&self, lo0: f64, hi0: f64) -> std::ops::Range<usize> {
+        // First shard whose upper split exceeds lo0 … last shard whose
+        // lower split is ≤ hi0.
+        let start = self.splits.partition_point(|&s| s <= lo0);
+        let end = self.splits.partition_point(|&s| s <= hi0) + 1;
+        start..end.min(self.shards.len())
+    }
+}
+
+impl SpatialIndex for PartitionedRangeTree {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn query(&self, lo: &[f64], hi: &[f64], out: &mut Vec<u32>) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let mut local = Vec::new();
+        for si in self.shard_range(lo[0], hi[0]) {
+            let shard = &self.shards[si];
+            local.clear();
+            shard.tree.query(lo, hi, &mut local);
+            out.extend(local.iter().map(|&l| shard.global_ids[l as usize]));
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tree.memory_bytes() + s.global_ids.capacity() * 4)
+            .sum()
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::RangeTree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanIndex;
+
+    fn random_points(n: usize, seed: u64) -> PointSet {
+        let mut pts = PointSet::new(2);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        };
+        for _ in 0..n {
+            let x = next();
+            let y = next();
+            pts.push(&[x, y]);
+        }
+        pts
+    }
+
+    #[test]
+    fn partitioned_matches_scan() {
+        let pts = random_points(500, 3);
+        let scan = ScanIndex::build(&pts);
+        for k in [1usize, 2, 4, 7] {
+            let part = PartitionedRangeTree::build(&pts, k);
+            assert_eq!(part.shard_count(), k);
+            for (lo, hi) in [([10.0, 10.0], [40.0, 60.0]), ([0.0, 0.0], [100.0, 100.0])] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                part.query(&lo, &hi, &mut a);
+                scan.query(&lo, &hi, &mut b);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "k={k} box={lo:?}..{hi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_divides_memory() {
+        let pts = random_points(4096, 9);
+        let whole = RangeTree::build(&pts);
+        let part = PartitionedRangeTree::build(&pts, 8);
+        // Each node holds far less than the monolithic tree…
+        assert!(part.max_shard_bytes() * 4 < whole.memory_bytes());
+        // …and the total also shrinks (smaller log factor per shard).
+        assert!(part.memory_bytes() < whole.memory_bytes());
+    }
+
+    #[test]
+    fn selective_queries_have_small_fanout() {
+        let pts = random_points(4096, 1);
+        let part = PartitionedRangeTree::build(&pts, 8);
+        assert!(part.fanout(10.0, 12.0) <= 2);
+        assert_eq!(part.fanout(f64::NEG_INFINITY, f64::INFINITY), 8);
+    }
+
+    #[test]
+    fn degenerate_shard_counts() {
+        let pts = random_points(10, 4);
+        let one = PartitionedRangeTree::build(&pts, 1);
+        assert_eq!(one.shard_count(), 1);
+        let many = PartitionedRangeTree::build(&pts, 50);
+        assert!(many.shard_count() <= 10);
+        let mut out = Vec::new();
+        many.query(&[0.0, 0.0], &[100.0, 100.0], &mut out);
+        assert_eq!(out.len(), 10);
+    }
+}

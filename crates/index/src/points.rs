@@ -1,0 +1,146 @@
+//! The build input shared by all indexes: a flat, row-major point buffer.
+
+/// A set of `len` points in `dims` dimensions, stored row-major in one
+/// contiguous buffer. Row index `i` (a `u32`) is the identifier indexes
+/// report back.
+#[derive(Debug, Clone, Default)]
+pub struct PointSet {
+    dims: usize,
+    coords: Vec<f64>,
+}
+
+impl PointSet {
+    /// An empty point set of the given dimensionality.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims >= 1, "PointSet requires at least one dimension");
+        PointSet {
+            dims,
+            coords: Vec::new(),
+        }
+    }
+
+    /// An empty point set with capacity for `n` points.
+    pub fn with_capacity(dims: usize, n: usize) -> Self {
+        let mut p = PointSet::new(dims);
+        p.coords.reserve(n * dims);
+        p
+    }
+
+    /// Build directly from column slices (one slice per dimension, equal
+    /// lengths) — the shape extents hand the engine.
+    pub fn from_columns(cols: &[&[f64]]) -> Self {
+        assert!(!cols.is_empty());
+        let n = cols[0].len();
+        for c in cols {
+            assert_eq!(c.len(), n, "column length mismatch");
+        }
+        let dims = cols.len();
+        let mut coords = Vec::with_capacity(n * dims);
+        for i in 0..n {
+            for c in cols {
+                coords.push(c[i]);
+            }
+        }
+        PointSet { dims, coords }
+    }
+
+    /// Append one point; returns its row index.
+    #[inline]
+    pub fn push(&mut self, p: &[f64]) -> u32 {
+        assert_eq!(p.len(), self.dims, "point dimensionality mismatch");
+        let id = self.len() as u32;
+        self.coords.extend_from_slice(p);
+        id
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len().checked_div(self.dims).unwrap_or(0)
+    }
+
+    /// Whether there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Coordinates of point `i`.
+    #[inline]
+    pub fn point(&self, i: u32) -> &[f64] {
+        let i = i as usize;
+        &self.coords[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// One coordinate of point `i`.
+    #[inline]
+    pub fn coord(&self, i: u32, dim: usize) -> f64 {
+        self.coords[i as usize * self.dims + dim]
+    }
+
+    /// The raw row-major buffer.
+    pub fn raw(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Whether point `i` lies inside the inclusive box `[lo, hi]`.
+    #[inline]
+    pub fn contains(&self, i: u32, lo: &[f64], hi: &[f64]) -> bool {
+        let p = self.point(i);
+        for d in 0..self.dims {
+            if p[d] < lo[d] || p[d] > hi[d] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.coords.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut p = PointSet::new(3);
+        let a = p.push(&[1.0, 2.0, 3.0]);
+        let b = p.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.point(a), &[1.0, 2.0, 3.0]);
+        assert_eq!(p.coord(b, 1), 5.0);
+    }
+
+    #[test]
+    fn from_columns_interleaves() {
+        let xs = [1.0, 2.0];
+        let ys = [10.0, 20.0];
+        let p = PointSet::from_columns(&[&xs, &ys]);
+        assert_eq!(p.point(0), &[1.0, 10.0]);
+        assert_eq!(p.point(1), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let mut p = PointSet::new(2);
+        p.push(&[1.0, 1.0]);
+        assert!(p.contains(0, &[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!p.contains(0, &[1.1, 0.0], &[2.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dims_panics() {
+        let mut p = PointSet::new(2);
+        p.push(&[1.0]);
+    }
+}

@@ -1,0 +1,302 @@
+//! The multi-dimensional **orthogonal range tree** of §4.2.
+//!
+//! The paper: *"SGL makes extensive use of large multi-dimensional
+//! orthogonal range tree indices. Each of these trees takes
+//! Θ(n·log^(d−1) n) space"* (citing de Berg et al., the paper's ref 3).
+//!
+//! Layered construction: dimension `k` is indexed by a balanced binary
+//! tree (here: an implicit heap-layout segment tree over the points
+//! sorted by coordinate `k`); every tree node owns an *associated
+//! structure* — a range tree over the node's subtree on dimensions
+//! `k+1..d`. The last dimension is a plain sorted array. A box query
+//! decomposes the first-dimension interval into O(log n) canonical nodes
+//! and recurses into their associated structures, giving
+//! O(log^d n + k) query time and the advertised super-linear space —
+//! which experiment E4 measures directly.
+
+use crate::points::PointSet;
+use crate::{IndexKind, SpatialIndex};
+
+enum Level {
+    /// Final dimension: ids sorted by coordinate.
+    Last { keys: Vec<f64>, ids: Vec<u32> },
+    /// One indexed dimension with associated structures per tree node.
+    Inner {
+        /// Coordinate of this dimension, sorted ascending (leaf order).
+        keys: Vec<f64>,
+        /// Heap-layout segment tree over the `keys` order; entry 0 unused,
+        /// root at 1, node `v` has children `2v`/`2v+1`. Leaves are the
+        /// first power of two ≥ `keys.len()`; nodes whose range lies
+        /// entirely past `keys.len()` are `None`.
+        assoc: Vec<Option<Box<Level>>>,
+        /// Number of leaf slots (power of two).
+        width: usize,
+    },
+}
+
+/// The layered orthogonal range tree.
+pub struct RangeTree {
+    dims: usize,
+    len: usize,
+    root: Option<Level>,
+}
+
+impl RangeTree {
+    /// Build over `points` (any dimensionality ≥ 1).
+    pub fn build(points: &PointSet) -> Self {
+        let n = points.len();
+        let dims = points.dims();
+        let root = if n == 0 {
+            None
+        } else {
+            let ids: Vec<u32> = (0..n as u32).collect();
+            Some(build_level(points, ids, 0))
+        };
+        RangeTree {
+            dims,
+            len: n,
+            root,
+        }
+    }
+
+    /// Count of tree *entries* (point copies across all levels) — the
+    /// quantity that grows as n·log^(d−1) n. Used by experiment E4.
+    pub fn entry_count(&self) -> usize {
+        fn count(level: &Level) -> usize {
+            match level {
+                Level::Last { ids, .. } => ids.len(),
+                Level::Inner { keys, assoc, .. } => {
+                    keys.len()
+                        + assoc
+                            .iter()
+                            .flatten()
+                            .map(|l| count(l))
+                            .sum::<usize>()
+                }
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+}
+
+fn sort_ids_by_dim(points: &PointSet, ids: &mut [u32], dim: usize) {
+    ids.sort_unstable_by(|&a, &b| {
+        points
+            .coord(a, dim)
+            .partial_cmp(&points.coord(b, dim))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+fn build_level(points: &PointSet, mut ids: Vec<u32>, dim: usize) -> Level {
+    sort_ids_by_dim(points, &mut ids, dim);
+    let keys: Vec<f64> = ids.iter().map(|&i| points.coord(i, dim)).collect();
+    if dim + 1 == points.dims() {
+        return Level::Last { keys, ids };
+    }
+    let n = ids.len();
+    let width = n.next_power_of_two();
+    let mut assoc: Vec<Option<Box<Level>>> = Vec::new();
+    assoc.resize_with(2 * width, || None);
+    build_assoc(points, &ids, dim, 1, 0, width, &mut assoc);
+    Level::Inner { keys, assoc, width }
+}
+
+fn build_assoc(
+    points: &PointSet,
+    sorted_ids: &[u32],
+    dim: usize,
+    node: usize,
+    lo: usize,
+    hi: usize,
+    assoc: &mut Vec<Option<Box<Level>>>,
+) {
+    let clip_hi = hi.min(sorted_ids.len());
+    if lo >= clip_hi {
+        return;
+    }
+    let slice = sorted_ids[lo..clip_hi].to_vec();
+    assoc[node] = Some(Box::new(build_level(points, slice, dim + 1)));
+    if hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        build_assoc(points, sorted_ids, dim, 2 * node, lo, mid, assoc);
+        build_assoc(points, sorted_ids, dim, 2 * node + 1, mid, hi, assoc);
+    }
+}
+
+fn query_level(level: &Level, dim: usize, lo: &[f64], hi: &[f64], out: &mut Vec<u32>) {
+    match level {
+        Level::Last { keys, ids } => {
+            let i0 = keys.partition_point(|&k| k < lo[dim]);
+            let i1 = keys.partition_point(|&k| k <= hi[dim]);
+            if i0 < i1 {
+                out.extend_from_slice(&ids[i0..i1]);
+            }
+        }
+        Level::Inner { keys, assoc, width } => {
+            let i0 = keys.partition_point(|&k| k < lo[dim]);
+            let i1 = keys.partition_point(|&k| k <= hi[dim]);
+            if i0 >= i1 {
+                return;
+            }
+            decompose(assoc, dim, lo, hi, 1, 0, *width, i0, i1, out);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decompose(
+    assoc: &[Option<Box<Level>>],
+    dim: usize,
+    lo: &[f64],
+    hi: &[f64],
+    node: usize,
+    node_lo: usize,
+    node_hi: usize,
+    q_lo: usize,
+    q_hi: usize,
+    out: &mut Vec<u32>,
+) {
+    if q_hi <= node_lo || node_hi <= q_lo {
+        return;
+    }
+    if q_lo <= node_lo && node_hi <= q_hi {
+        if let Some(level) = &assoc[node] {
+            query_level(level, dim + 1, lo, hi, out);
+        }
+        return;
+    }
+    let mid = (node_lo + node_hi) / 2;
+    decompose(assoc, dim, lo, hi, 2 * node, node_lo, mid, q_lo, q_hi, out);
+    decompose(assoc, dim, lo, hi, 2 * node + 1, mid, node_hi, q_lo, q_hi, out);
+}
+
+fn level_bytes(level: &Level) -> usize {
+    match level {
+        Level::Last { keys, ids } => keys.capacity() * 8 + ids.capacity() * 4,
+        Level::Inner { keys, assoc, .. } => {
+            keys.capacity() * 8
+                + assoc.capacity() * std::mem::size_of::<Option<Box<Level>>>()
+                + assoc
+                    .iter()
+                    .flatten()
+                    .map(|l| std::mem::size_of::<Level>() + level_bytes(l))
+                    .sum::<usize>()
+        }
+    }
+}
+
+impl SpatialIndex for RangeTree {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn query(&self, lo: &[f64], hi: &[f64], out: &mut Vec<u32>) {
+        if let Some(root) = &self.root {
+            query_level(root, 0, lo, hi, out);
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<RangeTree>() + self.root.as_ref().map_or(0, level_bytes)
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::RangeTree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanIndex;
+
+    fn pseudo_random_points(n: usize, dims: usize, seed: u64) -> PointSet {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        };
+        let mut p = PointSet::new(dims);
+        for _ in 0..n {
+            let coords: Vec<f64> = (0..dims).map(|_| next()).collect();
+            p.push(&coords);
+        }
+        p
+    }
+
+    #[test]
+    fn matches_scan_on_random_points() {
+        for dims in 1..=3 {
+            let p = pseudo_random_points(400, dims, 11 * dims as u64);
+            let rt = RangeTree::build(&p);
+            let scan = ScanIndex::build(&p);
+            for (a, b) in [(10.0, 30.0), (0.0, 100.0), (49.9, 50.1), (90.0, 10.0)] {
+                let lo = vec![a; dims];
+                let hi = vec![b; dims];
+                let mut x = Vec::new();
+                let mut y = Vec::new();
+                rt.query(&lo, &hi, &mut x);
+                scan.query(&lo, &hi, &mut y);
+                x.sort_unstable();
+                y.sort_unstable();
+                assert_eq!(x, y, "dims={dims} box=({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let p = PointSet::new(2);
+        let rt = RangeTree::build(&p);
+        let mut out = Vec::new();
+        rt.query(&[0.0, 0.0], &[1.0, 1.0], &mut out);
+        assert!(out.is_empty());
+
+        let mut p = PointSet::new(2);
+        p.push(&[5.0, 5.0]);
+        let rt = RangeTree::build(&p);
+        rt.query(&[5.0, 5.0], &[5.0, 5.0], &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let mut p = PointSet::new(2);
+        for _ in 0..50 {
+            p.push(&[1.0, 2.0]);
+        }
+        let rt = RangeTree::build(&p);
+        let mut out = Vec::new();
+        rt.query(&[1.0, 2.0], &[1.0, 2.0], &mut out);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn entry_count_grows_superlinearly_with_dims() {
+        // For fixed n, a 2-D tree stores ~log n copies of each point in
+        // the first-level associated structures; 1-D stores each once.
+        let n = 1024;
+        let p1 = pseudo_random_points(n, 1, 3);
+        let p2 = pseudo_random_points(n, 2, 3);
+        let e1 = RangeTree::build(&p1).entry_count();
+        let e2 = RangeTree::build(&p2).entry_count();
+        assert_eq!(e1, n);
+        // n (first level) + sum over tree nodes ≈ n + n*(log2(n)+1)
+        assert!(e2 > n * 10, "expected ~n log n entries, got {e2}");
+    }
+
+    #[test]
+    fn memory_reflects_entries() {
+        let p = pseudo_random_points(2000, 2, 9);
+        let rt = RangeTree::build(&p);
+        // At least 12 bytes per entry (f64 key + u32 id).
+        assert!(rt.memory_bytes() >= rt.entry_count() * 12);
+    }
+}

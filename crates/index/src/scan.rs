@@ -1,0 +1,75 @@
+//! Linear-scan "index": the no-index baseline / NL-join access path.
+
+use crate::points::PointSet;
+use crate::{IndexKind, SpatialIndex};
+
+/// Keeps the point buffer and filters it on every query. Zero build cost,
+/// O(n) probe cost — the access path an object-at-a-time engine is stuck
+/// with, and the right choice for tiny extents or very unselective boxes.
+pub struct ScanIndex {
+    points: PointSet,
+}
+
+impl ScanIndex {
+    /// Build by cloning the point buffer.
+    pub fn build(points: &PointSet) -> Self {
+        ScanIndex {
+            points: points.clone(),
+        }
+    }
+}
+
+impl SpatialIndex for ScanIndex {
+    fn dims(&self) -> usize {
+        self.points.dims()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn query(&self, lo: &[f64], hi: &[f64], out: &mut Vec<u32>) {
+        debug_assert_eq!(lo.len(), self.dims());
+        let n = self.points.len() as u32;
+        for i in 0..n {
+            if self.points.contains(i, lo, hi) {
+                out.push(i);
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.points.memory_bytes()
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Scan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_filters_inclusively() {
+        let mut p = PointSet::new(1);
+        for x in [0.0, 1.0, 2.0, 3.0] {
+            p.push(&[x]);
+        }
+        let idx = ScanIndex::build(&p);
+        let mut out = Vec::new();
+        idx.query(&[1.0], &[2.0], &mut out);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_pointset() {
+        let p = PointSet::new(2);
+        let idx = ScanIndex::build(&p);
+        let mut out = Vec::new();
+        idx.query(&[0.0, 0.0], &[1.0, 1.0], &mut out);
+        assert!(out.is_empty());
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! 1-D sorted-array index: binary search + contiguous range report.
+
+use crate::points::PointSet;
+use crate::{IndexKind, SpatialIndex};
+
+/// Points sorted by their single coordinate. O(n log n) build,
+/// O(log n + k) query, exactly n entries of space — the degenerate
+/// (d = 1) case of the orthogonal range tree.
+pub struct SortedIndex {
+    keys: Vec<f64>,
+    ids: Vec<u32>,
+}
+
+impl SortedIndex {
+    /// Build from a 1-D point set.
+    pub fn build(points: &PointSet) -> Self {
+        assert_eq!(points.dims(), 1, "SortedIndex requires 1-D points");
+        let n = points.len();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.sort_unstable_by(|&a, &b| {
+            points
+                .coord(a, 0)
+                .partial_cmp(&points.coord(b, 0))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let keys = ids.iter().map(|&i| points.coord(i, 0)).collect();
+        SortedIndex { keys, ids }
+    }
+
+    /// The index range `[i0, i1)` of keys within `[lo, hi]`.
+    #[inline]
+    pub fn key_range(&self, lo: f64, hi: f64) -> (usize, usize) {
+        let i0 = self.keys.partition_point(|&k| k < lo);
+        let i1 = self.keys.partition_point(|&k| k <= hi);
+        (i0, i1)
+    }
+}
+
+impl SpatialIndex for SortedIndex {
+    fn dims(&self) -> usize {
+        1
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn query(&self, lo: &[f64], hi: &[f64], out: &mut Vec<u32>) {
+        let (i0, i1) = self.key_range(lo[0], hi[0]);
+        out.extend_from_slice(&self.ids[i0..i1]);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.keys.capacity() * 8 + self.ids.capacity() * 4
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::Sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(xs: &[f64]) -> SortedIndex {
+        let mut p = PointSet::new(1);
+        for &x in xs {
+            p.push(&[x]);
+        }
+        SortedIndex::build(&p)
+    }
+
+    #[test]
+    fn range_reports_original_ids() {
+        let idx = build(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        let mut out = Vec::new();
+        idx.query(&[2.0], &[4.0], &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 3, 4]); // values 3.0, 2.0, 4.0
+    }
+
+    #[test]
+    fn duplicates_all_reported() {
+        let idx = build(&[2.0, 2.0, 2.0]);
+        let mut out = Vec::new();
+        idx.query(&[2.0], &[2.0], &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn empty_range() {
+        let idx = build(&[1.0, 10.0]);
+        let mut out = Vec::new();
+        idx.query(&[2.0], &[9.0], &mut out);
+        assert!(out.is_empty());
+    }
+}

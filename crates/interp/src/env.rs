@@ -1,0 +1,214 @@
+//! Scalar AST evaluation environment for one entity.
+
+use sgl_ast::{BinOp, Expr, UnOp};
+use sgl_engine::World;
+use sgl_storage::{Catalog, ClassId, EntityId, RefSet, Value};
+
+/// A local binding.
+#[derive(Debug, Clone)]
+pub struct Local {
+    /// Name.
+    pub name: String,
+    /// Value.
+    pub value: Value,
+}
+
+/// One in-flight accumulator (write-only while iterating).
+pub struct AccumFrame {
+    /// Accumulator name.
+    pub name: String,
+    /// ⊕ combinator.
+    pub comb: sgl_storage::Combinator,
+    /// Folded value (None before first assignment).
+    pub acc: Option<Value>,
+    /// Assignment count (for `avg`).
+    pub count: u32,
+}
+
+/// Evaluation environment for one (entity, script) execution.
+pub struct Env<'a> {
+    /// The world (read-only state).
+    pub world: &'a World,
+    /// Catalog.
+    pub catalog: &'a Catalog,
+    /// The executing entity's class.
+    pub class: ClassId,
+    /// Its extent row.
+    pub row: u32,
+    /// Its id.
+    pub id: EntityId,
+    /// Lexical locals, innermost last.
+    pub locals: Vec<Local>,
+    /// Readable accum results (the `in` blocks).
+    pub accum_read: Vec<Local>,
+    /// Write-only accumulators (accum bodies), innermost last.
+    pub accum_write: Vec<AccumFrame>,
+    /// Element bindings of enclosing accum bodies: `(name, class, id)`.
+    pub elems: Vec<(String, ClassId, EntityId)>,
+}
+
+impl<'a> Env<'a> {
+    /// Fresh environment for one entity.
+    pub fn new(world: &'a World, class: ClassId, row: u32) -> Self {
+        let id = world.table(class).id_at(row as usize);
+        Env {
+            world,
+            catalog: world.catalog(),
+            class,
+            row,
+            id,
+            locals: Vec::new(),
+            accum_read: Vec::new(),
+            accum_write: Vec::new(),
+            elems: Vec::new(),
+        }
+    }
+
+    fn read_state(&self, class: ClassId, row: u32, name: &str) -> Option<Value> {
+        let def = self.catalog.class(class);
+        let col = def.state.index_of(name)?;
+        Some(self.world.table(class).column(col).get(row as usize))
+    }
+
+    /// Resolve a bare variable.
+    pub fn resolve(&self, name: &str) -> Option<Value> {
+        for l in self.locals.iter().rev() {
+            if l.name == name {
+                return Some(l.value.clone());
+            }
+        }
+        for l in self.accum_read.iter().rev() {
+            if l.name == name {
+                return Some(l.value.clone());
+            }
+        }
+        for (n, _, id) in self.elems.iter().rev() {
+            if n == name {
+                return Some(Value::Ref(*id));
+            }
+        }
+        self.read_state(self.class, self.row, name)
+    }
+
+    /// Evaluate an expression for this entity.
+    pub fn eval(&self, e: &Expr) -> Value {
+        match e {
+            Expr::Number(x, _) => Value::Number(*x),
+            Expr::Bool(b, _) => Value::Bool(*b),
+            Expr::Null(_) => Value::Ref(EntityId::NULL),
+            Expr::SelfRef(_) => Value::Ref(self.id),
+            Expr::Var(id) => self
+                .resolve(&id.name)
+                .unwrap_or_else(|| panic!("interp: unresolved `{}`", id.name)),
+            Expr::Field { base, field, .. } => {
+                let b = self.eval(base);
+                let Some(rid) = b.as_ref_id() else {
+                    panic!("interp: field access on non-ref");
+                };
+                if rid.is_null() {
+                    return Value::Number(0.0);
+                }
+                // Which class? The ref's static class is known to the
+                // typechecker; dynamically we search (ids are globally
+                // unique, so this is unambiguous).
+                match self.world.class_of(rid) {
+                    Some(c) => {
+                        let row = self.world.row_of_class(c, rid).unwrap();
+                        self.read_state(c, row, &field.name).unwrap_or_else(|| {
+                            self.catalog
+                                .class(c)
+                                .state
+                                .index_of(&field.name)
+                                .map(|i| self.catalog.class(c).state.col(i).ty.zero())
+                                .unwrap_or(Value::Number(0.0))
+                        })
+                    }
+                    None => Value::Number(0.0), // dangling ref → zero
+                }
+            }
+            Expr::Unary { op, expr, .. } => {
+                let v = self.eval(expr);
+                match op {
+                    UnOp::Neg => Value::Number(-v.as_number().unwrap_or(0.0)),
+                    UnOp::Not => Value::Bool(!v.as_bool().unwrap_or(false)),
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.eval(lhs);
+                let b = self.eval(rhs);
+                eval_bin(*op, &a, &b)
+            }
+            Expr::Call { func, args, .. } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a)).collect();
+                eval_builtin(&func.name, &vals)
+            }
+        }
+    }
+}
+
+fn num(v: &Value) -> f64 {
+    v.as_number().unwrap_or(0.0)
+}
+
+/// Scalar binary operators with SGL semantics.
+pub fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Value {
+    use BinOp::*;
+    match op {
+        Add => Value::Number(num(a) + num(b)),
+        Sub => Value::Number(num(a) - num(b)),
+        Mul => Value::Number(num(a) * num(b)),
+        Div => Value::Number(num(a) / num(b)),
+        Mod => Value::Number(num(a) % num(b)),
+        Lt => Value::Bool(num(a) < num(b)),
+        Le => Value::Bool(num(a) <= num(b)),
+        Gt => Value::Bool(num(a) > num(b)),
+        Ge => Value::Bool(num(a) >= num(b)),
+        Eq => Value::Bool(values_eq(a, b)),
+        Ne => Value::Bool(!values_eq(a, b)),
+        And => Value::Bool(a.as_bool().unwrap_or(false) && b.as_bool().unwrap_or(false)),
+        Or => Value::Bool(a.as_bool().unwrap_or(false) || b.as_bool().unwrap_or(false)),
+    }
+}
+
+fn values_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Ref(x), Value::Ref(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Scalar builtins with SGL semantics.
+pub fn eval_builtin(name: &str, args: &[Value]) -> Value {
+    match name {
+        "abs" => Value::Number(num(&args[0]).abs()),
+        "sqrt" => Value::Number(num(&args[0]).sqrt()),
+        "floor" => Value::Number(num(&args[0]).floor()),
+        "ceil" => Value::Number(num(&args[0]).ceil()),
+        "min" => Value::Number(num(&args[0]).min(num(&args[1]))),
+        "max" => Value::Number(num(&args[0]).max(num(&args[1]))),
+        "clamp" => Value::Number(num(&args[0]).max(num(&args[1])).min(num(&args[2]))),
+        "dist" => {
+            let dx = num(&args[0]) - num(&args[2]);
+            let dy = num(&args[1]) - num(&args[3]);
+            Value::Number((dx * dx + dy * dy).sqrt())
+        }
+        "id" => Value::Number(args[0].as_ref_id().map_or(0.0, |r| r.0 as f64)),
+        "size" => Value::Number(args[0].as_set().map_or(0.0, |s| s.len() as f64)),
+        "contains" => Value::Bool(
+            args[0]
+                .as_set()
+                .zip(args[1].as_ref_id())
+                .is_some_and(|(s, id)| s.contains(id)),
+        ),
+        "union" => {
+            let mut s = args[0].as_set().cloned().unwrap_or_else(RefSet::new);
+            if let Some(b) = args[1].as_set() {
+                s.union_with(b);
+            }
+            Value::Set(s)
+        }
+        other => panic!("interp: unknown builtin `{other}`"),
+    }
+}

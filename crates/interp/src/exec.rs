@@ -1,0 +1,693 @@
+//! Tree-walking, per-NPC script execution.
+
+use std::sync::Arc;
+
+use sgl_ast::{AccumStmt, Block, EffectOp, Expr, LValue, ScriptDecl, Stmt};
+use sgl_compiler::CompiledGame;
+use sgl_engine::{
+    effects::EffectStore,
+    exec::EffectPhase,
+    stats::TickStats,
+    txn::{IntentWrite, TxnIntent},
+    World,
+};
+use sgl_storage::{ClassId, EntityId, FxHashMap, Value};
+
+use crate::env::{AccumFrame, Env, Local};
+
+/// A path from the script root to a wait statement: alternating
+/// statement index and (for `if`) branch selector.
+type WaitPath = Vec<PathStep>;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PathStep {
+    /// Statement index within the current block.
+    Stmt(usize),
+    /// Branch of an `if` (0 = then, 1 = else).
+    Branch(u8),
+}
+
+struct ScriptMeta {
+    pc_col: Option<usize>,
+    /// wait id → path to the wait statement.
+    wait_paths: Vec<WaitPath>,
+    /// wait span → wait id (mirrors the compiler's DFS numbering).
+    wait_ids: FxHashMap<(u32, u32), usize>,
+}
+
+/// The object-at-a-time interpreter (implements
+/// [`EffectPhase`]).
+pub struct Interpreter {
+    game: Arc<CompiledGame>,
+    /// Per class, per script: resume metadata.
+    meta: Vec<Vec<ScriptMeta>>,
+}
+
+impl Interpreter {
+    /// Build an interpreter over the same compiled game the engine uses
+    /// (shared catalog, including hidden pc columns).
+    pub fn new(game: Arc<CompiledGame>) -> Self {
+        let mut meta = Vec::new();
+        for (ci, cdecl) in game.checked.ast.classes.iter().enumerate() {
+            let mut scripts = Vec::new();
+            for (si, script) in cdecl.scripts.iter().enumerate() {
+                let mut wait_ids = FxHashMap::default();
+                let mut wait_paths = Vec::new();
+                collect_waits(
+                    &script.body.stmts,
+                    &mut Vec::new(),
+                    &mut wait_ids,
+                    &mut wait_paths,
+                );
+                let pc_col = game.classes[ci].scripts[si].pc_col;
+                scripts.push(ScriptMeta {
+                    pc_col,
+                    wait_paths,
+                    wait_ids,
+                });
+            }
+            meta.push(scripts);
+        }
+        Interpreter { game, meta }
+    }
+}
+
+/// DFS wait numbering — must match `sgl-compiler`'s `collect_wait_ids`.
+fn collect_waits(
+    stmts: &[Stmt],
+    path: &mut Vec<PathStep>,
+    ids: &mut FxHashMap<(u32, u32), usize>,
+    paths: &mut Vec<WaitPath>,
+) {
+    for (i, s) in stmts.iter().enumerate() {
+        match s {
+            Stmt::Wait { span } => {
+                let id = ids.len();
+                ids.insert((span.start, span.end), id);
+                let mut p = path.clone();
+                p.push(PathStep::Stmt(i));
+                paths.push(p);
+            }
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                path.push(PathStep::Stmt(i));
+                path.push(PathStep::Branch(0));
+                collect_waits(&then_block.stmts, path, ids, paths);
+                path.pop();
+                if let Some(e) = else_block {
+                    path.push(PathStep::Branch(1));
+                    collect_waits(&e.stmts, path, ids, paths);
+                    path.pop();
+                }
+                path.pop();
+            }
+            Stmt::Block(b) => {
+                path.push(PathStep::Stmt(i));
+                collect_waits(&b.stmts, path, ids, paths);
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Control flow outcome of executing (part of) a script.
+enum Flow {
+    Done,
+    Waited(usize),
+}
+
+struct Ctx<'a> {
+    store: &'a mut EffectStore,
+    intents: &'a mut Vec<TxnIntent>,
+    stats: &'a mut TickStats,
+    meta: &'a ScriptMeta,
+}
+
+impl EffectPhase for Interpreter {
+    fn run(
+        &mut self,
+        world: &World,
+        store: &mut EffectStore,
+        intents: &mut Vec<TxnIntent>,
+        stats: &mut TickStats,
+    ) {
+        let game = self.game.clone();
+        for (ci, cdecl) in game.checked.ast.classes.iter().enumerate() {
+            let class = ClassId(ci as u32);
+            let n = world.table(class).len();
+            if n == 0 || cdecl.scripts.is_empty() {
+                continue;
+            }
+            // Snapshot ids: scripts must see frozen membership. Ghost
+            // rows (§4.2) never drive scripts — matches the compiled
+            // executor's driving mask.
+            let owned = world.driving_mask(class);
+            for row in 0..n as u32 {
+                if owned.as_ref().is_some_and(|m| !m[row as usize]) {
+                    continue;
+                }
+                for (si, script) in cdecl.scripts.iter().enumerate() {
+                    let meta = &self.meta[ci][si];
+                    let mut env = Env::new(world, class, row);
+                    let mut ctx = Ctx {
+                        store,
+                        intents,
+                        stats,
+                        meta,
+                    };
+                    run_script(script, &mut env, &mut ctx);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "interpreted"
+    }
+}
+
+fn run_script(script: &ScriptDecl, env: &mut Env<'_>, ctx: &mut Ctx<'_>) {
+    // Resume from the hidden pc.
+    let resume: Option<&WaitPath> = match ctx.meta.pc_col {
+        Some(col) => {
+            let pc = env
+                .world
+                .table(env.class)
+                .column(col)
+                .f64()[env.row as usize];
+            if pc > 0.0 {
+                ctx.meta.wait_paths.get(pc as usize - 1)
+            } else {
+                None
+            }
+        }
+        None => None,
+    };
+    let flow = exec_block(&script.body.stmts, resume.map(|p| p.as_slice()), env, ctx);
+    if let Flow::Waited(wait_id) = flow {
+        // Emit the pc effect exactly like the compiled SetPc step.
+        let class_plans = &ctx
+            .meta;
+        let _ = class_plans;
+        emit_pc(env, ctx, wait_id + 1);
+    }
+}
+
+fn emit_pc(env: &mut Env<'_>, ctx: &mut Ctx<'_>, next: usize) {
+    // The pc effect has the same name as the pc column; find its index.
+    let Some(col) = ctx.meta.pc_col else { return };
+    let def = env.catalog.class(env.class);
+    let name = &def.state.col(col).name;
+    let Some(eidx) = def.effect_index(name) else {
+        return;
+    };
+    ctx.store.emit_row(
+        env.catalog,
+        env.class,
+        eidx,
+        env.row,
+        &Value::Number(next as f64),
+        false,
+        env.id,
+    );
+}
+
+/// Execute a block, optionally resuming *after* the wait reached by
+/// `resume` (a path into this block).
+fn exec_block(
+    stmts: &[Stmt],
+    resume: Option<&[PathStep]>,
+    env: &mut Env<'_>,
+    ctx: &mut Ctx<'_>,
+) -> Flow {
+    let locals_mark = env.locals.len();
+    let mut start = 0;
+    if let Some(path) = resume {
+        let PathStep::Stmt(idx) = path[0] else {
+            unreachable!("paths start with a statement index");
+        };
+        // Re-enter the statement containing the wait.
+        if path.len() > 1 {
+            match &stmts[idx] {
+                Stmt::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    let PathStep::Branch(b) = path[1] else {
+                        unreachable!()
+                    };
+                    let inner = if b == 0 {
+                        then_block
+                    } else {
+                        else_block.as_ref().expect("resume into missing else")
+                    };
+                    if let Flow::Waited(w) = exec_block(&inner.stmts, Some(&path[2..]), env, ctx)
+                    {
+                        env.locals.truncate(locals_mark);
+                        return Flow::Waited(w);
+                    }
+                }
+                Stmt::Block(b) => {
+                    if let Flow::Waited(w) = exec_block(&b.stmts, Some(&path[1..]), env, ctx) {
+                        env.locals.truncate(locals_mark);
+                        return Flow::Waited(w);
+                    }
+                }
+                _ => unreachable!("resume path into non-block statement"),
+            }
+        }
+        // else: the wait itself is stmts[idx]; resuming means skipping it.
+        start = idx + 1;
+    }
+    for s in &stmts[start..] {
+        match exec_stmt(s, env, ctx) {
+            Flow::Done => {}
+            Flow::Waited(w) => {
+                env.locals.truncate(locals_mark);
+                return Flow::Waited(w);
+            }
+        }
+    }
+    env.locals.truncate(locals_mark);
+    Flow::Done
+}
+
+fn exec_stmt(s: &Stmt, env: &mut Env<'_>, ctx: &mut Ctx<'_>) -> Flow {
+    match s {
+        Stmt::Let { name, value, .. } => {
+            let v = env.eval(value);
+            env.locals.push(Local {
+                name: name.name.clone(),
+                value: v,
+            });
+            Flow::Done
+        }
+        Stmt::Effect {
+            target, op, value, ..
+        } => {
+            let v = env.eval(value);
+            emit_effect(target, *op, v, env, ctx);
+            Flow::Done
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            let c = env.eval(cond).as_bool().unwrap_or(false);
+            if c {
+                exec_block(&then_block.stmts, None, env, ctx)
+            } else if let Some(e) = else_block {
+                exec_block(&e.stmts, None, env, ctx)
+            } else {
+                Flow::Done
+            }
+        }
+        Stmt::Accum(a) => {
+            exec_accum(a, env, ctx);
+            Flow::Done
+        }
+        Stmt::Wait { span } => {
+            let id = ctx.meta.wait_ids[&(span.start, span.end)];
+            Flow::Waited(id)
+        }
+        Stmt::Atomic { body, .. } => {
+            exec_atomic(body, env, ctx);
+            Flow::Done
+        }
+        Stmt::Block(b) => exec_block(&b.stmts, None, env, ctx),
+    }
+}
+
+fn emit_effect(target: &LValue, op: EffectOp, v: Value, env: &mut Env<'_>, ctx: &mut Ctx<'_>) {
+    let insert = op == EffectOp::Insert;
+    match target {
+        LValue::Name(id) => {
+            // Accum accumulator?
+            if let Some(frame) = env
+                .accum_write
+                .iter_mut()
+                .rev()
+                .find(|f| f.name == id.name)
+            {
+                frame.acc = Some(frame.comb.fold(frame.acc.take(), &normalize_insert(v, insert)));
+                frame.count += 1;
+                return;
+            }
+            let def = env.catalog.class(env.class);
+            let eidx = def
+                .effect_index(&id.name)
+                .unwrap_or_else(|| panic!("interp: unknown effect `{}`", id.name));
+            ctx.store
+                .emit_row(env.catalog, env.class, eidx, env.row, &v, insert, env.id);
+        }
+        LValue::Field { base, field } => {
+            let b = env.eval(base);
+            let Some(rid) = b.as_ref_id() else { return };
+            if rid.is_null() {
+                return;
+            }
+            let Some(tclass) = env.world.class_of(rid) else {
+                return; // dangling ref: effect evaporates
+            };
+            let Some(trow) = env.world.row_of_class(tclass, rid) else {
+                return;
+            };
+            let def = env.catalog.class(tclass);
+            let eidx = def
+                .effect_index(&field.name)
+                .unwrap_or_else(|| panic!("interp: unknown effect `{}`", field.name));
+            ctx.store
+                .emit_row(env.catalog, tclass, eidx, trow, &v, insert, rid);
+        }
+    }
+}
+
+/// `x <= r` wraps the ref into a singleton set before folding into a
+/// union accumulator.
+fn normalize_insert(v: Value, insert: bool) -> Value {
+    if insert {
+        if let Value::Ref(r) = v {
+            let mut s = sgl_storage::RefSet::new();
+            s.insert(r);
+            return Value::Set(s);
+        }
+    }
+    v
+}
+
+fn exec_accum(a: &AccumStmt, env: &mut Env<'_>, ctx: &mut Ctx<'_>) {
+    // Resolve the element class (case-insensitively, Fig. 2 style).
+    let elem_class = resolve_class_ci(env.catalog, &a.elem_ty.name)
+        .unwrap_or_else(|| panic!("interp: unknown class `{}`", a.elem_ty.name));
+
+    // The iterated ids: the extent (snapshot) or a set expression.
+    let source_is_extent = matches!(
+        &a.source,
+        Expr::Var(v) if resolve_class_ci(env.catalog, &v.name) == Some(elem_class)
+    );
+    let ids: Vec<EntityId> = if source_is_extent {
+        env.world.table(elem_class).ids().to_vec()
+    } else {
+        match env.eval(&a.source) {
+            Value::Set(s) => s.iter().collect(),
+            other => panic!("interp: accum source must be a set, got {other}"),
+        }
+    };
+
+    env.accum_write.push(AccumFrame {
+        name: a.acc_name.name.clone(),
+        comb: a.comb,
+        acc: None,
+        count: 0,
+    });
+    for id in ids {
+        if env.world.row_of_class(elem_class, id).is_none() {
+            continue; // dangling member of a set
+        }
+        env.elems
+            .push((a.elem_name.name.clone(), elem_class, id));
+        // Body is write-only wrt the accumulator; waits are banned.
+        let _ = exec_block(&a.body.stmts, None, env, ctx);
+        env.elems.pop();
+    }
+    let frame = env.accum_write.pop().unwrap();
+    let combined = match frame.acc {
+        Some(acc) => frame.comb.finalize(acc, frame.count),
+        None => sgl_engine::exec::combinator_identity(frame.comb, acc_scalar_ty(a, env)),
+    };
+    env.accum_read.push(Local {
+        name: a.acc_name.name.clone(),
+        value: combined,
+    });
+    let _ = exec_block(&a.rest.stmts, None, env, ctx);
+    env.accum_read.pop();
+}
+
+fn acc_scalar_ty(a: &AccumStmt, env: &Env<'_>) -> sgl_storage::ScalarType {
+    match &a.acc_ty {
+        sgl_ast::TypeExpr::Number => sgl_storage::ScalarType::Number,
+        sgl_ast::TypeExpr::Bool => sgl_storage::ScalarType::Bool,
+        sgl_ast::TypeExpr::Ref(c) => sgl_storage::ScalarType::Ref(
+            resolve_class_ci(env.catalog, c).unwrap_or(env.class),
+        ),
+        sgl_ast::TypeExpr::Set(c) => sgl_storage::ScalarType::Set(
+            resolve_class_ci(env.catalog, c).unwrap_or(env.class),
+        ),
+    }
+}
+
+fn exec_atomic(body: &Block, env: &mut Env<'_>, ctx: &mut Ctx<'_>) {
+    let mut writes = Vec::new();
+    collect_atomic_writes(&body.stmts, env, &mut writes);
+    if !writes.is_empty() {
+        ctx.intents.push(TxnIntent {
+            initiator: env.id,
+            writes,
+        });
+        ctx.stats.txn.issued += 1;
+    }
+}
+
+fn collect_atomic_writes(stmts: &[Stmt], env: &mut Env<'_>, out: &mut Vec<IntentWrite>) {
+    let mark = env.locals.len();
+    for s in stmts {
+        match s {
+            Stmt::Let { name, value, .. } => {
+                let v = env.eval(value);
+                env.locals.push(Local {
+                    name: name.name.clone(),
+                    value: v,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                if env.eval(cond).as_bool().unwrap_or(false) {
+                    collect_atomic_writes(&then_block.stmts, env, out);
+                } else if let Some(e) = else_block {
+                    collect_atomic_writes(&e.stmts, env, out);
+                }
+            }
+            Stmt::Effect {
+                target, op, value, ..
+            } => {
+                let v = env.eval(value);
+                let insert = *op == EffectOp::Insert;
+                let (tid, name) = match target {
+                    LValue::Name(id) => (env.id, id.name.clone()),
+                    LValue::Field { base, field } => {
+                        let b = env.eval(base);
+                        let Some(rid) = b.as_ref_id() else { continue };
+                        (rid, field.name.clone())
+                    }
+                };
+                if tid.is_null() {
+                    continue;
+                }
+                let Some(tclass) = env.world.class_of(tid) else {
+                    continue;
+                };
+                let def = env.catalog.class(tclass);
+                let Some(state_col) = def.state.index_of(&name) else {
+                    continue;
+                };
+                out.push(IntentWrite {
+                    target: tid,
+                    class: tclass,
+                    state_col,
+                    value: v,
+                    insert,
+                });
+            }
+            Stmt::Block(b) => collect_atomic_writes(&b.stmts, env, out),
+            _ => {}
+        }
+    }
+    env.locals.truncate(mark);
+}
+
+fn resolve_class_ci(catalog: &sgl_storage::Catalog, name: &str) -> Option<ClassId> {
+    if let Some(c) = catalog.class_by_name(name) {
+        return Some(c.id);
+    }
+    let lower = name.to_lowercase();
+    catalog
+        .classes()
+        .iter()
+        .find(|c| c.name.to_lowercase() == lower)
+        .map(|c| c.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_engine::{Engine, EngineConfig};
+    use sgl_frontend::check;
+
+    fn engines(src: &str) -> (Engine, Engine) {
+        let game =
+            sgl_compiler::compile(check(src).unwrap_or_else(|e| panic!("{}", e.render(src))))
+                .unwrap();
+        let game = Arc::new(game);
+        let compiled = Engine::new((*game).clone(), EngineConfig::default()).unwrap();
+        let interp = Engine::with_executor(
+            game.clone(),
+            EngineConfig::default(),
+            Box::new(Interpreter::new(game)),
+        )
+        .unwrap();
+        (compiled, interp)
+    }
+
+    const ACCUM_GAME: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number y = 0;
+  number range = 1;
+  number seen = 0;
+effects:
+  number near : sum;
+update:
+  seen = near;
+script count {
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - range && u.x <= x + range &&
+        u.y >= y - range && u.y <= y + range) {
+      cnt <- 1;
+    }
+  } in {
+    near <- cnt;
+  }
+}
+}
+"#;
+
+    #[test]
+    fn interpreter_matches_compiled_on_fig2() {
+        let (mut c, mut i) = engines(ACCUM_GAME);
+        let xs = [0.0, 0.7, 1.9, 5.0, 5.5, -3.0];
+        for &x in &xs {
+            c.spawn("Unit", &[("x", Value::Number(x))]).unwrap();
+            i.spawn("Unit", &[("x", Value::Number(x))]).unwrap();
+        }
+        c.run(3);
+        i.run(3);
+        let cw = c.world();
+        let iw = i.world();
+        let class = cw.class_id("Unit").unwrap();
+        for id in cw.table(class).ids() {
+            assert_eq!(
+                cw.get(*id, "seen").unwrap(),
+                iw.get(*id, "seen").unwrap(),
+                "entity {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn interpreter_multi_tick_pc_matches_compiled() {
+        let src = r#"
+class A {
+state:
+  number step = 0;
+effects:
+  number mark : max;
+update:
+  step = mark;
+script s {
+  mark <- 1;
+  waitNextTick;
+  if (step > 0) {
+    mark <- 2;
+    waitNextTick;
+  }
+  mark <- 3;
+}
+}
+"#;
+        let (mut c, mut i) = engines(src);
+        let a = c.spawn("A", &[]).unwrap();
+        let b = i.spawn("A", &[]).unwrap();
+        for t in 0..6 {
+            c.tick();
+            i.tick();
+            let cv = c.get(a, "step").unwrap();
+            let iv = i.get(b, "step").unwrap();
+            assert_eq!(cv, iv, "tick {t}");
+            // Hidden pc agrees too.
+            let cpc = c.get(a, "__pc_0").unwrap();
+            let ipc = i.get(b, "__pc_0").unwrap();
+            assert_eq!(cpc, ipc, "pc at tick {t}");
+        }
+    }
+
+    #[test]
+    fn interpreter_txn_matches_compiled() {
+        let src = r#"
+class Trader {
+state:
+  number gold = 100;
+effects:
+  number gold : sum;
+update:
+  gold by transactions;
+constraint gold >= 0;
+script spend {
+  atomic {
+    gold <- -60;
+  }
+}
+}
+"#;
+        let (mut c, mut i) = engines(src);
+        let a = c.spawn("Trader", &[]).unwrap();
+        let b = i.spawn("Trader", &[]).unwrap();
+        for _ in 0..3 {
+            c.tick();
+            i.tick();
+        }
+        assert_eq!(c.get(a, "gold").unwrap(), i.get(b, "gold").unwrap());
+        assert_eq!(c.get(a, "gold").unwrap(), Value::Number(40.0));
+    }
+
+    #[test]
+    fn interpreter_ref_effects_match() {
+        let src = r#"
+class U {
+state:
+  ref<U> target = null;
+  number hp = 10;
+effects:
+  number damage : sum;
+update:
+  hp = hp - damage;
+script attack {
+  if (target != null) {
+    target.damage <- 2;
+  }
+}
+}
+"#;
+        let (mut c, mut i) = engines(src);
+        let a1 = c.spawn("U", &[]).unwrap();
+        let a2 = c.spawn("U", &[("target", Value::Ref(a1))]).unwrap();
+        let b1 = i.spawn("U", &[]).unwrap();
+        let b2 = i.spawn("U", &[("target", Value::Ref(b1))]).unwrap();
+        c.run(2);
+        i.run(2);
+        assert_eq!(c.get(a1, "hp").unwrap(), Value::Number(6.0));
+        assert_eq!(i.get(b1, "hp").unwrap(), Value::Number(6.0));
+        assert_eq!(c.get(a2, "hp").unwrap(), i.get(b2, "hp").unwrap());
+    }
+}

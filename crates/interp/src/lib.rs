@@ -1,0 +1,24 @@
+//! # sgl-interp
+//!
+//! The **object-at-a-time** script interpreter: the baseline execution
+//! model the paper's declarative processing replaces.
+//!
+//! "Game developers program at the object level and design behavior for
+//! each individual object in the game" (§1) — a conventional engine
+//! therefore walks each NPC's script AST once per tick. This crate does
+//! exactly that (tree-walking evaluation, accum-loops as nested loops
+//! over the extent) while plugging into the same
+//! [`EffectPhase`](sgl_engine::EffectPhase) slot as the compiled
+//! executor, so the two models share the ⊕/update/reactive machinery and
+//! differ *only* in how the query+effect phase runs — the comparison the
+//! paper's headline claim is about (experiments F2/E1).
+//!
+//! Semantics match the compiled path exactly: same hidden `__pc_*`
+//! program-counter values for `waitNextTick` (wait ids are assigned in
+//! the same DFS order as the compiler's segmentation), same transaction
+//! intents, same ⊕ combination.
+
+mod env;
+mod exec;
+
+pub use exec::Interpreter;

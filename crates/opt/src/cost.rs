@@ -1,0 +1,166 @@
+//! The cost model for band-join method selection.
+//!
+//! Costs are in abstract "work units" (roughly nanoseconds on a 2020s
+//! laptop core). Absolute accuracy does not matter — only the *ordering*
+//! of methods and the location of crossovers, which is what the adaptive
+//! planner needs. Constants can be recalibrated with
+//! [`CostModel::calibrate`], which times a small probe workload.
+
+use sgl_index::IndexKind;
+use sgl_relalg::JoinMethod;
+
+/// Per-operation cost constants (work units ≈ ns).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Cost of one NL pair band-check.
+    pub nl_pair: f64,
+    /// Per-point build cost of a uniform grid.
+    pub grid_build_point: f64,
+    /// Per-probe overhead of a grid query.
+    pub grid_probe: f64,
+    /// Per-point build cost factor of a k-d tree (× log₂ n).
+    pub kd_build_point_log: f64,
+    /// Per-probe overhead of a k-d query (× n^(1−1/d)-ish, simplified to
+    /// × log₂ n · this).
+    pub kd_probe_log: f64,
+    /// Per-entry build cost of a range tree (entries = n·log^(d−1) n).
+    pub rt_build_entry: f64,
+    /// Per-probe overhead of a range-tree query (× log₂ᵈ n).
+    pub rt_probe_logd: f64,
+    /// Cost of emitting one result pair (shared by all methods).
+    pub emit_pair: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            nl_pair: 1.0,
+            grid_build_point: 25.0,
+            grid_probe: 120.0,
+            kd_build_point_log: 10.0,
+            kd_probe_log: 30.0,
+            rt_build_entry: 60.0,
+            rt_probe_logd: 20.0,
+            emit_pair: 3.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimated cost (work units) of executing one tick's join:
+    /// `left` probe rows, `right` build rows, `est_pairs` expected result
+    /// pairs, `dims` band dimensions.
+    pub fn join_cost(
+        &self,
+        method: JoinMethod,
+        left: usize,
+        right: usize,
+        est_pairs: f64,
+        dims: usize,
+    ) -> f64 {
+        let l = left as f64;
+        let r = right as f64;
+        let lg = (r.max(2.0)).log2();
+        let emit = est_pairs * self.emit_pair;
+        match method {
+            JoinMethod::NL => self.nl_pair * l * r + emit,
+            JoinMethod::Index(IndexKind::Grid) => {
+                self.grid_build_point * r + self.grid_probe * l + emit
+            }
+            JoinMethod::Index(IndexKind::KdTree) => {
+                self.kd_build_point_log * r * lg + self.kd_probe_log * l * lg + emit
+            }
+            JoinMethod::Index(IndexKind::RangeTree) => {
+                let entries = r * lg.powi(dims.saturating_sub(1) as i32).max(1.0);
+                let probe = lg.powi(dims as i32).max(1.0);
+                self.rt_build_entry * entries + self.rt_probe_logd * l * probe + emit
+            }
+            JoinMethod::Index(IndexKind::Sorted) => {
+                // Same asymptotics as a 1-D range tree.
+                self.kd_build_point_log * r * lg + self.kd_probe_log * l * lg + emit
+            }
+            JoinMethod::Index(IndexKind::Scan) => self.nl_pair * l * r + emit,
+        }
+    }
+
+    /// Re-derive the NL and grid constants by timing a tiny synthetic
+    /// workload (used at engine start when calibration is enabled).
+    /// Keeps the relative structure of the other constants.
+    pub fn calibrate() -> CostModel {
+        use std::time::Instant;
+        let n = 512usize;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 37.0) % 1000.0).collect();
+
+        // Time NL pair checks.
+        let t0 = Instant::now();
+        let mut hits = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                if (xs[j] - xs[i]).abs() <= 5.0 {
+                    hits += 1;
+                }
+            }
+        }
+        let nl_nanos = t0.elapsed().as_nanos() as f64 / (n * n) as f64;
+        std::hint::black_box(hits);
+
+        // Time grid build.
+        let t1 = Instant::now();
+        let mut points = sgl_index::PointSet::new(1);
+        for &x in &xs {
+            points.push(&[x]);
+        }
+        let grid = sgl_index::UniformGrid::build(&points);
+        let build_nanos = t1.elapsed().as_nanos() as f64 / n as f64;
+        std::hint::black_box(sgl_index::SpatialIndex::len(&grid));
+
+        let mut m = CostModel::default();
+        if nl_nanos.is_finite() && nl_nanos > 0.0 {
+            m.nl_pair = nl_nanos.clamp(0.2, 20.0);
+        }
+        if build_nanos.is_finite() && build_nanos > 0.0 {
+            m.grid_build_point = build_nanos.clamp(2.0, 200.0);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nl_wins_small_index_wins_large() {
+        let m = CostModel::default();
+        let small_nl = m.join_cost(JoinMethod::NL, 32, 32, 10.0, 2);
+        let small_grid = m.join_cost(JoinMethod::Index(IndexKind::Grid), 32, 32, 10.0, 2);
+        assert!(small_nl < small_grid, "{small_nl} vs {small_grid}");
+
+        let big_nl = m.join_cost(JoinMethod::NL, 50_000, 50_000, 100_000.0, 2);
+        let big_grid = m.join_cost(JoinMethod::Index(IndexKind::Grid), 50_000, 50_000, 100_000.0, 2);
+        assert!(big_grid < big_nl, "{big_grid} vs {big_nl}");
+    }
+
+    #[test]
+    fn range_tree_costs_grow_with_dims() {
+        let m = CostModel::default();
+        let d2 = m.join_cost(JoinMethod::Index(IndexKind::RangeTree), 1000, 1000, 100.0, 2);
+        let d3 = m.join_cost(JoinMethod::Index(IndexKind::RangeTree), 1000, 1000, 100.0, 3);
+        assert!(d3 > d2);
+    }
+
+    #[test]
+    fn emit_cost_counts_pairs() {
+        let m = CostModel::default();
+        let sparse = m.join_cost(JoinMethod::Index(IndexKind::Grid), 1000, 1000, 10.0, 2);
+        let dense = m.join_cost(JoinMethod::Index(IndexKind::Grid), 1000, 1000, 1_000_000.0, 2);
+        assert!(dense > sparse);
+    }
+
+    #[test]
+    fn calibrate_produces_sane_constants() {
+        let m = CostModel::calibrate();
+        assert!(m.nl_pair > 0.0 && m.nl_pair <= 20.0);
+        assert!(m.grid_build_point > 0.0 && m.grid_build_point <= 200.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # sgl-opt
+//!
+//! Adaptive query optimization for the SGL engine (§4.1 of the CIDR 2009
+//! paper).
+//!
+//! The paper's observations about the SGL workload:
+//!
+//! 1. *"the same query is executed repeatedly at every tick"* — so the
+//!    optimizer can afford per-query feedback structures;
+//! 2. *"we expect a large fraction of the data to change at every tick"* —
+//!    so indexes are rebuilt per tick and build cost must be weighed
+//!    against probe savings;
+//! 3. *"games will transition periodically between a small number of
+//!    different states (or workloads)"* (exploring vs fighting) — so the
+//!    engine compiles **several plans** and **switches** between them as
+//!    the game progresses (Cole & Graefe-style dynamic plans, the paper's ref 2);
+//! 4. *"since many of our joins involve multi-dimensional range
+//!    predicates, a histogram is not sufficient"* — so selectivity is
+//!    estimated with a multi-dimensional [`GridHistogram`] probed with
+//!    sampled query boxes.
+//!
+//! [`AdaptiveJoinPlanner`] packages this: a repertoire of
+//! [`sgl_relalg::JoinMethod`]s, a calibrated [`CostModel`], histogram-based
+//! selectivity prediction, observation feedback, and hysteresis-damped
+//! plan switching with a switch log (consumed by experiment E2).
+
+pub mod adaptive;
+pub mod cost;
+pub mod histogram;
+
+pub use adaptive::{AdaptiveJoinPlanner, PlanSwitch, PlannerConfig};
+pub use cost::CostModel;
+pub use histogram::GridHistogram;

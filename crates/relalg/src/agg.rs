@@ -1,0 +1,679 @@
+//! Dense grouped aggregation with the ⊕ combinators.
+//!
+//! Effect combination and accum-loops both reduce many assigned values
+//! into one per entity. Because group keys are extent row indexes, the
+//! accumulator is a dense array rather than a hash table. Partitioned
+//! executions fold into private accumulators and [`DenseAgg::merge`] them
+//! in partition order — the "effect computation can occur without
+//! synchronization" of §4.2, with deterministic results.
+
+use sgl_storage::{Column, Combinator, EntityId, RefSet, ScalarType, Value};
+
+enum AggData {
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+    Ref(Vec<EntityId>),
+    Set(Vec<RefSet>),
+}
+
+/// A dense per-row ⊕ accumulator for one effect variable (or one accum
+/// variable) over an extent of fixed length.
+pub struct DenseAgg {
+    comb: Combinator,
+    counts: Vec<u32>,
+    data: AggData,
+}
+
+/// The raw partial state of one accumulator group, exchanged between
+/// shared-nothing nodes (§4.2). `value` uses the combinator's internal
+/// representation: the running sum for `sum`/`avg`, the running count
+/// for `count`, the current extremum for `min`/`max`, etc.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggPartial {
+    /// Raw partial value.
+    pub value: Value,
+    /// Assignments folded into it.
+    pub count: u32,
+}
+
+impl DenseAgg {
+    /// A fresh accumulator of `len` groups for values of type `ty`.
+    pub fn new(len: usize, comb: Combinator, ty: ScalarType) -> Self {
+        let data = match (comb, ty) {
+            (Combinator::Count, _) => AggData::F64(vec![0.0; len]),
+            (_, ScalarType::Number) => {
+                let init = match comb {
+                    Combinator::Min => f64::INFINITY,
+                    Combinator::Max => f64::NEG_INFINITY,
+                    _ => 0.0,
+                };
+                AggData::F64(vec![init; len])
+            }
+            (_, ScalarType::Bool) => {
+                AggData::Bool(vec![comb == Combinator::And; len])
+            }
+            (_, ScalarType::Ref(_)) => AggData::Ref(vec![EntityId::NULL; len]),
+            (_, ScalarType::Set(_)) => AggData::Set(vec![RefSet::new(); len]),
+        };
+        DenseAgg {
+            comb,
+            counts: vec![0; len],
+            data,
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// How many values were folded into group `idx`.
+    #[inline]
+    pub fn count(&self, idx: usize) -> u32 {
+        self.counts[idx]
+    }
+
+    /// Fold a number into group `idx`.
+    #[inline]
+    pub fn fold_f64(&mut self, idx: usize, v: f64) {
+        self.counts[idx] += 1;
+        let AggData::F64(data) = &mut self.data else {
+            panic!("fold_f64 into non-numeric accumulator");
+        };
+        match self.comb {
+            Combinator::Sum | Combinator::Avg => data[idx] += v,
+            Combinator::Min => data[idx] = data[idx].min(v),
+            Combinator::Max => data[idx] = data[idx].max(v),
+            Combinator::Count => data[idx] += 1.0,
+            other => panic!("combinator {other} cannot fold numbers"),
+        }
+    }
+
+    /// Bulk-fold `n` copies of the number `v` into group `idx` (fast
+    /// path for unguarded constant accum emissions such as Fig. 2's
+    /// `cnt <- 1`).
+    #[inline]
+    pub fn fold_repeat_f64(&mut self, idx: usize, v: f64, n: u32) {
+        if n == 0 {
+            return;
+        }
+        self.counts[idx] += n;
+        let AggData::F64(data) = &mut self.data else {
+            panic!("fold_repeat_f64 into non-numeric accumulator");
+        };
+        match self.comb {
+            Combinator::Sum | Combinator::Avg => data[idx] += v * n as f64,
+            Combinator::Min => data[idx] = data[idx].min(v),
+            Combinator::Max => data[idx] = data[idx].max(v),
+            Combinator::Count => data[idx] += n as f64,
+            other => panic!("combinator {other} cannot fold numbers"),
+        }
+    }
+
+    /// Fold a bool into group `idx`.
+    #[inline]
+    pub fn fold_bool(&mut self, idx: usize, v: bool) {
+        self.counts[idx] += 1;
+        match (&mut self.data, self.comb) {
+            (AggData::F64(data), Combinator::Count) => data[idx] += 1.0,
+            (AggData::Bool(data), Combinator::Or) => data[idx] = data[idx] || v,
+            (AggData::Bool(data), Combinator::And) => data[idx] = data[idx] && v,
+            (_, other) => panic!("combinator {other} cannot fold bools"),
+        }
+    }
+
+    /// Fold a ref into group `idx` (`min`/`max` order by entity id;
+    /// null refs are ignored for `min`/`max`).
+    #[inline]
+    pub fn fold_ref(&mut self, idx: usize, v: EntityId) {
+        self.counts[idx] += 1;
+        match (&mut self.data, self.comb) {
+            (AggData::F64(data), Combinator::Count) => data[idx] += 1.0,
+            (AggData::Ref(data), Combinator::Min) => {
+                if !v.is_null() && (data[idx].is_null() || v < data[idx]) {
+                    data[idx] = v;
+                }
+            }
+            (AggData::Ref(data), Combinator::Max) => {
+                if !v.is_null() && v > data[idx] {
+                    data[idx] = v;
+                }
+            }
+            (_, other) => panic!("combinator {other} cannot fold refs"),
+        }
+    }
+
+    /// Union a whole set into group `idx`.
+    #[inline]
+    pub fn fold_set(&mut self, idx: usize, v: &RefSet) {
+        self.counts[idx] += 1;
+        match (&mut self.data, self.comb) {
+            (AggData::F64(data), Combinator::Count) => data[idx] += 1.0,
+            (AggData::Set(data), Combinator::Union) => data[idx].union_with(v),
+            (_, other) => panic!("combinator {other} cannot fold sets"),
+        }
+    }
+
+    /// Insert one ref into a set group (`x <= r`).
+    #[inline]
+    pub fn fold_insert(&mut self, idx: usize, v: EntityId) {
+        self.counts[idx] += 1;
+        match (&mut self.data, self.comb) {
+            (AggData::F64(data), Combinator::Count) => data[idx] += 1.0,
+            (AggData::Set(data), Combinator::Union) => {
+                data[idx].insert(v);
+            }
+            (_, other) => panic!("combinator {other} cannot insert refs"),
+        }
+    }
+
+    /// Fold a dynamically typed value (slow path used by the
+    /// interpreter).
+    pub fn fold_value(&mut self, idx: usize, v: &Value) {
+        if self.comb == Combinator::Count {
+            self.counts[idx] += 1;
+            let AggData::F64(data) = &mut self.data else {
+                unreachable!()
+            };
+            data[idx] += 1.0;
+            return;
+        }
+        match v {
+            Value::Number(x) => self.fold_f64(idx, *x),
+            Value::Bool(b) => self.fold_bool(idx, *b),
+            Value::Ref(r) => self.fold_ref(idx, *r),
+            Value::Set(s) => self.fold_set(idx, s),
+        }
+    }
+
+    /// Merge another accumulator (same shape) into this one. Partitioned
+    /// executors call this in ascending partition order for determinism.
+    pub fn merge(&mut self, other: &DenseAgg) {
+        assert_eq!(self.comb, other.comb, "combinator mismatch");
+        assert_eq!(self.len(), other.len(), "group count mismatch");
+        match (&mut self.data, &other.data) {
+            (AggData::F64(a), AggData::F64(b)) => {
+                for i in 0..a.len() {
+                    if other.counts[i] == 0 {
+                        continue;
+                    }
+                    match self.comb {
+                        Combinator::Sum | Combinator::Avg | Combinator::Count => a[i] += b[i],
+                        Combinator::Min => a[i] = a[i].min(b[i]),
+                        Combinator::Max => a[i] = a[i].max(b[i]),
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            (AggData::Bool(a), AggData::Bool(b)) => {
+                for i in 0..a.len() {
+                    if other.counts[i] == 0 {
+                        continue;
+                    }
+                    match self.comb {
+                        Combinator::Or => a[i] = a[i] || b[i],
+                        Combinator::And => a[i] = a[i] && b[i],
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            (AggData::Ref(a), AggData::Ref(b)) => {
+                for i in 0..a.len() {
+                    if other.counts[i] == 0 || b[i].is_null() {
+                        continue;
+                    }
+                    match self.comb {
+                        Combinator::Min => {
+                            if a[i].is_null() || b[i] < a[i] {
+                                a[i] = b[i];
+                            }
+                        }
+                        Combinator::Max => {
+                            if b[i] > a[i] {
+                                a[i] = b[i];
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            (AggData::Set(a), AggData::Set(b)) => {
+                for i in 0..a.len() {
+                    if other.counts[i] > 0 {
+                        a[i].union_with(&b[i]);
+                    }
+                }
+            }
+            _ => panic!("accumulator type mismatch"),
+        }
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Extract the *raw* partial aggregate of group `idx` and reset the
+    /// group to the combinator identity. Returns `None` when nothing was
+    /// folded. The value is the internal representation (for `avg` the
+    /// running *sum*, for `count` the running count), so
+    /// [`DenseAgg::fold_partial`] on another accumulator reproduces the
+    /// exact single-accumulator result — the contract the shared-nothing
+    /// runtime (§4.2) relies on to route ghost-row effects to their
+    /// owner without loss.
+    pub fn take_partial(&mut self, idx: usize) -> Option<AggPartial> {
+        let count = self.counts[idx];
+        if count == 0 {
+            return None;
+        }
+        self.counts[idx] = 0;
+        let value = match &mut self.data {
+            AggData::F64(data) => {
+                let v = data[idx];
+                data[idx] = match self.comb {
+                    Combinator::Min => f64::INFINITY,
+                    Combinator::Max => f64::NEG_INFINITY,
+                    _ => 0.0,
+                };
+                Value::Number(v)
+            }
+            AggData::Bool(data) => {
+                let v = data[idx];
+                data[idx] = self.comb == Combinator::And;
+                Value::Bool(v)
+            }
+            AggData::Ref(data) => {
+                let v = data[idx];
+                data[idx] = EntityId::NULL;
+                Value::Ref(v)
+            }
+            AggData::Set(data) => Value::Set(std::mem::take(&mut data[idx])),
+        };
+        Some(AggPartial { value, count })
+    }
+
+    /// Fold a partial extracted by [`DenseAgg::take_partial`] into group
+    /// `idx`. Exact for every combinator: raw sums add, counts add,
+    /// min/max/or/and/union combine their partials directly.
+    pub fn fold_partial(&mut self, idx: usize, p: &AggPartial) {
+        if p.count == 0 {
+            return;
+        }
+        self.counts[idx] += p.count;
+        match (&mut self.data, &p.value) {
+            (AggData::F64(data), Value::Number(v)) => match self.comb {
+                Combinator::Sum | Combinator::Avg | Combinator::Count => data[idx] += v,
+                Combinator::Min => data[idx] = data[idx].min(*v),
+                Combinator::Max => data[idx] = data[idx].max(*v),
+                other => panic!("combinator {other} cannot fold numeric partials"),
+            },
+            (AggData::Bool(data), Value::Bool(v)) => match self.comb {
+                Combinator::Or => data[idx] = data[idx] || *v,
+                Combinator::And => data[idx] = data[idx] && *v,
+                other => panic!("combinator {other} cannot fold bool partials"),
+            },
+            (AggData::Ref(data), Value::Ref(v)) => match self.comb {
+                Combinator::Min => {
+                    if !v.is_null() && (data[idx].is_null() || *v < data[idx]) {
+                        data[idx] = *v;
+                    }
+                }
+                Combinator::Max => {
+                    if !v.is_null() && *v > data[idx] {
+                        data[idx] = *v;
+                    }
+                }
+                other => panic!("combinator {other} cannot fold ref partials"),
+            },
+            (AggData::Set(data), Value::Set(s)) => data[idx].union_with(s),
+            _ => panic!("partial type mismatch"),
+        }
+    }
+
+    /// Finalize into a combined column plus the per-group assignment
+    /// counts. Groups with no assignments receive `default` (the effect's
+    /// declared default / combinator identity); `avg` divides by count.
+    pub fn finalize(self, default: &Value) -> (Column, Vec<u32>) {
+        let counts = self.counts;
+        let col = match self.data {
+            AggData::F64(mut data) => {
+                if self.comb == Combinator::Avg {
+                    for (i, v) in data.iter_mut().enumerate() {
+                        if counts[i] > 0 {
+                            *v /= counts[i] as f64;
+                        }
+                    }
+                }
+                let d = default.as_number().unwrap_or(0.0);
+                for (i, v) in data.iter_mut().enumerate() {
+                    if counts[i] == 0 {
+                        *v = d;
+                    }
+                }
+                Column::from_f64(data)
+            }
+            AggData::Bool(mut data) => {
+                let d = default.as_bool().unwrap_or(false);
+                for (i, v) in data.iter_mut().enumerate() {
+                    if counts[i] == 0 {
+                        *v = d;
+                    }
+                }
+                Column::from_bool(data)
+            }
+            AggData::Ref(mut data) => {
+                let d = default.as_ref_id().unwrap_or(EntityId::NULL);
+                for (i, v) in data.iter_mut().enumerate() {
+                    if counts[i] == 0 {
+                        *v = d;
+                    }
+                }
+                Column::from_ref(data)
+            }
+            AggData::Set(mut data) => {
+                if let Some(d) = default.as_set() {
+                    if !d.is_empty() {
+                        for (i, v) in data.iter_mut().enumerate() {
+                            if counts[i] == 0 {
+                                *v = d.clone();
+                            }
+                        }
+                    }
+                }
+                Column::from_set(data)
+            }
+        };
+        (col, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgl_storage::ClassId;
+
+    #[test]
+    fn sum_and_default() {
+        let mut a = DenseAgg::new(3, Combinator::Sum, ScalarType::Number);
+        a.fold_f64(0, 2.0);
+        a.fold_f64(0, 3.0);
+        a.fold_f64(2, 1.0);
+        let (col, counts) = a.finalize(&Value::Number(0.0));
+        assert_eq!(col.f64(), &[5.0, 0.0, 1.0]);
+        assert_eq!(counts, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn avg_divides() {
+        let mut a = DenseAgg::new(2, Combinator::Avg, ScalarType::Number);
+        a.fold_f64(0, 2.0);
+        a.fold_f64(0, 4.0);
+        let (col, _) = a.finalize(&Value::Number(-1.0));
+        assert_eq!(col.f64(), &[3.0, -1.0]);
+    }
+
+    #[test]
+    fn min_max_with_defaults() {
+        let mut a = DenseAgg::new(2, Combinator::Min, ScalarType::Number);
+        a.fold_f64(0, 5.0);
+        a.fold_f64(0, 2.0);
+        let (col, _) = a.finalize(&Value::Number(99.0));
+        assert_eq!(col.f64(), &[2.0, 99.0]);
+    }
+
+    #[test]
+    fn count_ignores_value_type() {
+        let mut a = DenseAgg::new(1, Combinator::Count, ScalarType::Ref(ClassId(0)));
+        a.fold_value(0, &Value::Ref(EntityId(9)));
+        a.fold_value(0, &Value::Ref(EntityId(9)));
+        let (col, _) = a.finalize(&Value::Number(0.0));
+        assert_eq!(col.f64(), &[2.0]);
+    }
+
+    #[test]
+    fn bool_or_and() {
+        let mut o = DenseAgg::new(2, Combinator::Or, ScalarType::Bool);
+        o.fold_bool(0, false);
+        o.fold_bool(0, true);
+        let (col, _) = o.finalize(&Value::Bool(false));
+        assert_eq!(col.bool(), &[true, false]);
+
+        let mut a = DenseAgg::new(1, Combinator::And, ScalarType::Bool);
+        a.fold_bool(0, true);
+        a.fold_bool(0, false);
+        let (col, _) = a.finalize(&Value::Bool(true));
+        assert_eq!(col.bool(), &[false]);
+    }
+
+    #[test]
+    fn ref_min_selects_lowest_id() {
+        let mut a = DenseAgg::new(1, Combinator::Min, ScalarType::Ref(ClassId(0)));
+        a.fold_ref(0, EntityId(42));
+        a.fold_ref(0, EntityId(7));
+        a.fold_ref(0, EntityId::NULL); // ignored
+        let (col, counts) = a.finalize(&Value::Ref(EntityId::NULL));
+        assert_eq!(col.refs(), &[EntityId(7)]);
+        assert_eq!(counts, vec![3]);
+    }
+
+    #[test]
+    fn set_union_and_insert() {
+        let mut a = DenseAgg::new(1, Combinator::Union, ScalarType::Set(ClassId(0)));
+        a.fold_insert(0, EntityId(3));
+        let mut s = RefSet::new();
+        s.insert(EntityId(1));
+        a.fold_set(0, &s);
+        let (col, _) = a.finalize(&Value::Set(RefSet::new()));
+        assert_eq!(col.sets()[0].as_slice(), &[EntityId(1), EntityId(3)]);
+    }
+
+    #[test]
+    fn merge_equals_serial_for_exact_values() {
+        // Serial fold.
+        let mut serial = DenseAgg::new(4, Combinator::Sum, ScalarType::Number);
+        for i in 0..100 {
+            serial.fold_f64(i % 4, i as f64);
+        }
+        // Two partitions merged in order.
+        let mut p0 = DenseAgg::new(4, Combinator::Sum, ScalarType::Number);
+        let mut p1 = DenseAgg::new(4, Combinator::Sum, ScalarType::Number);
+        for i in 0..50 {
+            p0.fold_f64(i % 4, i as f64);
+        }
+        for i in 50..100 {
+            p1.fold_f64(i % 4, i as f64);
+        }
+        p0.merge(&p1);
+        let (a, ca) = serial.finalize(&Value::Number(0.0));
+        let (b, cb) = p0.finalize(&Value::Number(0.0));
+        assert_eq!(a.f64(), b.f64());
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn fold_repeat_matches_loop() {
+        let mut a = DenseAgg::new(1, Combinator::Sum, ScalarType::Number);
+        let mut b = DenseAgg::new(1, Combinator::Sum, ScalarType::Number);
+        for _ in 0..7 {
+            a.fold_f64(0, 2.5);
+        }
+        b.fold_repeat_f64(0, 2.5, 7);
+        let (ca, na) = a.finalize(&Value::Number(0.0));
+        let (cb, nb) = b.finalize(&Value::Number(0.0));
+        assert_eq!(ca.f64(), cb.f64());
+        assert_eq!(na, nb);
+    }
+
+    /// Folding a taken partial into a fresh accumulator reproduces the
+    /// exact single-accumulator result for every combinator.
+    #[test]
+    fn partial_roundtrip_is_exact() {
+        // avg: raw sum must be carried, not the divided mean.
+        let mut remote = DenseAgg::new(1, Combinator::Avg, ScalarType::Number);
+        remote.fold_f64(0, 1.0);
+        remote.fold_f64(0, 2.0);
+        let p = remote.take_partial(0).unwrap();
+        assert_eq!(p.value, Value::Number(3.0)); // raw sum
+        assert_eq!(p.count, 2);
+        let mut owner = DenseAgg::new(1, Combinator::Avg, ScalarType::Number);
+        owner.fold_f64(0, 6.0);
+        owner.fold_partial(0, &p);
+        let (col, counts) = owner.finalize(&Value::Number(0.0));
+        assert_eq!(col.f64(), &[3.0]); // (6+1+2)/3
+        assert_eq!(counts, vec![3]);
+
+        // min: extremum carries.
+        let mut remote = DenseAgg::new(1, Combinator::Min, ScalarType::Number);
+        remote.fold_f64(0, 5.0);
+        remote.fold_f64(0, 2.0);
+        let p = remote.take_partial(0).unwrap();
+        let mut owner = DenseAgg::new(1, Combinator::Min, ScalarType::Number);
+        owner.fold_f64(0, 3.0);
+        owner.fold_partial(0, &p);
+        let (col, _) = owner.finalize(&Value::Number(0.0));
+        assert_eq!(col.f64(), &[2.0]);
+
+        // count: counts add regardless of value.
+        let mut remote = DenseAgg::new(1, Combinator::Count, ScalarType::Number);
+        remote.fold_f64(0, 9.0);
+        remote.fold_f64(0, 9.0);
+        let p = remote.take_partial(0).unwrap();
+        let mut owner = DenseAgg::new(1, Combinator::Count, ScalarType::Number);
+        owner.fold_f64(0, 1.0);
+        owner.fold_partial(0, &p);
+        let (col, _) = owner.finalize(&Value::Number(0.0));
+        assert_eq!(col.f64(), &[3.0]);
+
+        // union: sets merge.
+        let mut remote = DenseAgg::new(1, Combinator::Union, ScalarType::Set(ClassId(0)));
+        remote.fold_insert(0, EntityId(4));
+        let p = remote.take_partial(0).unwrap();
+        let mut owner = DenseAgg::new(1, Combinator::Union, ScalarType::Set(ClassId(0)));
+        owner.fold_insert(0, EntityId(2));
+        owner.fold_partial(0, &p);
+        let (col, _) = owner.finalize(&Value::Set(RefSet::new()));
+        assert_eq!(col.sets()[0].as_slice(), &[EntityId(2), EntityId(4)]);
+    }
+
+    /// take_partial resets the group: a second take returns None and
+    /// finalize sees the default.
+    #[test]
+    fn take_partial_resets_group() {
+        let mut a = DenseAgg::new(2, Combinator::Sum, ScalarType::Number);
+        a.fold_f64(0, 7.0);
+        assert!(a.take_partial(0).is_some());
+        assert!(a.take_partial(0).is_none());
+        assert!(a.take_partial(1).is_none());
+        let (col, counts) = a.finalize(&Value::Number(-1.0));
+        assert_eq!(col.f64(), &[-1.0, -1.0]);
+        assert_eq!(counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn merge_respects_min_identity() {
+        let mut p0 = DenseAgg::new(1, Combinator::Min, ScalarType::Number);
+        let p1 = DenseAgg::new(1, Combinator::Min, ScalarType::Number);
+        p0.fold_f64(0, 3.0);
+        p0.merge(&p1); // empty partition must not clobber with +inf... it skips count==0
+        let (col, _) = p0.finalize(&Value::Number(0.0));
+        assert_eq!(col.f64(), &[3.0]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn any_comb() -> impl Strategy<Value = Combinator> {
+            prop_oneof![
+                Just(Combinator::Sum),
+                Just(Combinator::Avg),
+                Just(Combinator::Min),
+                Just(Combinator::Max),
+                Just(Combinator::Count),
+            ]
+        }
+
+        proptest! {
+            /// Splitting a fold sequence across a "remote" accumulator
+            /// whose partial is routed into the "owner" (the §4.2 path)
+            /// equals folding everything into one accumulator — for
+            /// every numeric combinator, any split point, any group.
+            /// Integer-valued inputs keep f64 addition exact, so the
+            /// property can demand bit equality.
+            #[test]
+            fn partial_routing_equals_direct_fold(
+                comb in any_comb(),
+                values in prop::collection::vec((-100i32..100, 0usize..4), 1..40),
+                split in 0usize..40,
+            ) {
+                let split = split.min(values.len());
+                let groups = 4;
+                let mut direct = DenseAgg::new(groups, comb, ScalarType::Number);
+                // Owner folds the tail first, then receives the head as
+                // a routed partial — the order the distributed runtime
+                // actually produces.
+                let mut owner = DenseAgg::new(groups, comb, ScalarType::Number);
+                let mut remote = DenseAgg::new(groups, comb, ScalarType::Number);
+                for (i, &(v, g)) in values.iter().enumerate() {
+                    direct.fold_f64(g, v as f64);
+                    if i < split {
+                        remote.fold_f64(g, v as f64);
+                    } else {
+                        owner.fold_f64(g, v as f64);
+                    }
+                }
+                for g in 0..groups {
+                    if let Some(p) = remote.take_partial(g) {
+                        owner.fold_partial(g, &p);
+                    }
+                }
+                let (want, want_counts) = direct.finalize(&Value::Number(0.0));
+                let (got, got_counts) = owner.finalize(&Value::Number(0.0));
+                prop_assert_eq!(want.f64(), got.f64());
+                prop_assert_eq!(want_counts, got_counts);
+            }
+
+            /// merge() is associative with respect to grouping of
+            /// partitions: ((a ⊕ b) ⊕ c) = (a ⊕ (b ⊕ c)) for
+            /// integer-valued folds.
+            #[test]
+            fn merge_grouping_irrelevant(
+                comb in any_comb(),
+                values in prop::collection::vec((-50i32..50, 0usize..3), 0..30),
+                cut1 in 0usize..30,
+                cut2 in 0usize..30,
+            ) {
+                let n = values.len();
+                let (c1, c2) = {
+                    let a = cut1.min(n);
+                    let b = cut2.min(n);
+                    (a.min(b), a.max(b))
+                };
+                let groups = 3;
+                let fold_range = |lo: usize, hi: usize| {
+                    let mut agg = DenseAgg::new(groups, comb, ScalarType::Number);
+                    for &(v, g) in &values[lo..hi] {
+                        agg.fold_f64(g, v as f64);
+                    }
+                    agg
+                };
+                // Left grouping.
+                let mut left = fold_range(0, c1);
+                left.merge(&fold_range(c1, c2));
+                left.merge(&fold_range(c2, n));
+                // Right grouping.
+                let mut bc = fold_range(c1, c2);
+                bc.merge(&fold_range(c2, n));
+                let mut right = fold_range(0, c1);
+                right.merge(&bc);
+                let (a, ca) = left.finalize(&Value::Number(0.0));
+                let (b, cb) = right.finalize(&Value::Number(0.0));
+                prop_assert_eq!(a.f64(), b.f64());
+                prop_assert_eq!(ca, cb);
+            }
+        }
+    }
+}

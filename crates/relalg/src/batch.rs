@@ -1,0 +1,142 @@
+//! Columnar batches: the unit of set-at-a-time processing.
+
+use sgl_storage::{ClassId, Column, EntityId};
+
+/// A columnar view of (part of) a class extent during a tick.
+///
+/// Slot layout convention (shared with the compiler):
+/// * slot 0 — the entity id column (`Column::Ref`),
+/// * slots `1..=n_state` — the state snapshot columns,
+/// * slots beyond — computed columns appended by `Map` steps.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    cols: Vec<Column>,
+    len: usize,
+}
+
+/// Slot of the entity id column in every batch.
+pub const SLOT_ID: usize = 0;
+
+impl Batch {
+    /// Build from an id column and state snapshot columns.
+    pub fn from_extent(ids: Vec<EntityId>, state: Vec<Column>) -> Batch {
+        let len = ids.len();
+        let mut cols = Vec::with_capacity(state.len() + 1);
+        cols.push(Column::from_ref(ids));
+        for c in &state {
+            assert_eq!(c.len(), len, "state column length mismatch");
+        }
+        cols.extend(state);
+        Batch { cols, len }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of column slots.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Borrow a column slot.
+    #[inline]
+    pub fn col(&self, slot: usize) -> &Column {
+        &self.cols[slot]
+    }
+
+    /// The entity ids.
+    #[inline]
+    pub fn ids(&self) -> &[EntityId] {
+        self.cols[SLOT_ID].refs()
+    }
+
+    /// Append a computed column; returns its slot.
+    pub fn push_col(&mut self, col: Column) -> usize {
+        assert_eq!(col.len(), self.len, "computed column length mismatch");
+        self.cols.push(col);
+        self.cols.len() - 1
+    }
+
+    /// Drop computed columns beyond `width` slots (used when re-running a
+    /// pipeline segment over the same base batch).
+    pub fn truncate_cols(&mut self, width: usize) {
+        self.cols.truncate(width);
+    }
+}
+
+/// Read access to the state snapshots of *other* extents, used by
+/// vectorized `Gather` expressions (`u.target.x`) and effect scattering.
+pub trait StateSource: Sync {
+    /// The state snapshot column `col` of `class` (state column index,
+    /// not batch slot).
+    fn state_column(&self, class: ClassId, col: usize) -> &Column;
+    /// Resolve an entity id to its row in `class`'s extent.
+    fn row_of(&self, class: ClassId, id: EntityId) -> Option<u32>;
+    /// Number of rows in `class`'s extent.
+    fn extent_len(&self, class: ClassId) -> usize;
+}
+
+/// A trivial [`StateSource`] over explicit columns — used by unit tests
+/// and by the bench harness for isolated operator measurements.
+pub struct TestSource {
+    /// Per class: (ids, state columns).
+    pub extents: Vec<(Vec<EntityId>, Vec<Column>)>,
+}
+
+impl StateSource for TestSource {
+    fn state_column(&self, class: ClassId, col: usize) -> &Column {
+        &self.extents[class.0 as usize].1[col]
+    }
+
+    fn row_of(&self, class: ClassId, id: EntityId) -> Option<u32> {
+        self.extents[class.0 as usize]
+            .0
+            .iter()
+            .position(|&i| i == id)
+            .map(|p| p as u32)
+    }
+
+    fn extent_len(&self, class: ClassId) -> usize {
+        self.extents[class.0 as usize].0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_extent_layout() {
+        let ids = vec![EntityId(1), EntityId(2)];
+        let state = vec![Column::from_f64(vec![1.0, 2.0])];
+        let b = Batch::from_extent(ids, state);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.ids(), &[EntityId(1), EntityId(2)]);
+        assert_eq!(b.col(1).f64(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn push_and_truncate_computed_columns() {
+        let b0 = Batch::from_extent(vec![EntityId(1)], vec![]);
+        let mut b = b0.clone();
+        let slot = b.push_col(Column::from_f64(vec![7.0]));
+        assert_eq!(slot, 1);
+        b.truncate_cols(1);
+        assert_eq!(b.width(), b0.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_columns_panic() {
+        Batch::from_extent(vec![EntityId(1)], vec![Column::from_f64(vec![1.0, 2.0])]);
+    }
+}

@@ -1,0 +1,639 @@
+//! Vectorized scalar expressions.
+//!
+//! A [`PExpr`] is a *physical* expression: every column reference is a
+//! resolved batch slot and every comparison is typed. Evaluation
+//! processes a whole column per operator — the set-at-a-time execution
+//! model that gives the compiled engine its edge over object-at-a-time
+//! script interpretation.
+
+use sgl_storage::{ClassId, Column, EntityId, RefSet};
+
+use crate::batch::{Batch, StateSource};
+
+/// Typed binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PBinOp {
+    /// `+` on numbers.
+    Add,
+    /// `-` on numbers.
+    Sub,
+    /// `*` on numbers.
+    Mul,
+    /// `/` on numbers (IEEE semantics; ÷0 → ±∞/NaN).
+    Div,
+    /// `%` on numbers (Rust `%` semantics).
+    Mod,
+    /// `<` on numbers.
+    Lt,
+    /// `<=` on numbers.
+    Le,
+    /// `>` on numbers.
+    Gt,
+    /// `>=` on numbers.
+    Ge,
+    /// `==` on numbers.
+    EqF,
+    /// `!=` on numbers.
+    NeF,
+    /// `==` on bools.
+    EqB,
+    /// `!=` on bools.
+    NeB,
+    /// `==` on refs.
+    EqR,
+    /// `!=` on refs.
+    NeR,
+    /// `&&`.
+    And,
+    /// `||`.
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PUnOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean not.
+    Not,
+}
+
+/// Builtin functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `abs(n)`
+    Abs,
+    /// `sqrt(n)`
+    Sqrt,
+    /// `floor(n)`
+    Floor,
+    /// `ceil(n)`
+    Ceil,
+    /// `min(a, b)`
+    Min2,
+    /// `max(a, b)`
+    Max2,
+    /// `clamp(x, lo, hi)`
+    Clamp,
+    /// `dist(x1, y1, x2, y2)` — Euclidean distance.
+    Dist,
+    /// `id(ref)` — the entity id as a number (deterministic tie-breaks).
+    Id,
+    /// `size(set)`
+    Size,
+    /// `contains(set, ref)`
+    Contains,
+    /// `union(a, b)` on sets.
+    Union2,
+}
+
+/// A physical expression over batch slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    /// Number constant.
+    ConstF(f64),
+    /// Bool constant.
+    ConstB(bool),
+    /// Ref constant (`null`, or a pinned entity).
+    ConstRef(EntityId),
+    /// A batch column. In pair (join) contexts, slots below the left
+    /// batch's width address the left row; higher slots address
+    /// `slot - left_width` in the right batch.
+    Col(usize),
+    /// Unary operator.
+    Un(PUnOp, Box<PExpr>),
+    /// Binary operator.
+    Bin(PBinOp, Box<PExpr>, Box<PExpr>),
+    /// Builtin call.
+    Call(Func, Vec<PExpr>),
+    /// Vectorized read of another extent's state through a ref column:
+    /// `base.field`. Dangling/null refs yield the column type's zero.
+    Gather {
+        /// Target class.
+        class: ClassId,
+        /// State column index in the target class (not a batch slot).
+        col: usize,
+        /// Ref-valued base expression.
+        base: Box<PExpr>,
+    },
+}
+
+impl PExpr {
+    /// Convenience: `Bin(op, a, b)`.
+    pub fn bin(op: PBinOp, a: PExpr, b: PExpr) -> PExpr {
+        PExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Convenience: `a && b` folded over a list (empty → `true`).
+    pub fn conj(mut parts: Vec<PExpr>) -> PExpr {
+        match parts.len() {
+            0 => PExpr::ConstB(true),
+            1 => parts.pop().unwrap(),
+            _ => {
+                let mut it = parts.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, p| PExpr::bin(PBinOp::And, acc, p))
+            }
+        }
+    }
+
+    /// Maximum batch slot referenced (for validation); `None` if no
+    /// column is referenced.
+    pub fn max_slot(&self) -> Option<usize> {
+        match self {
+            PExpr::Col(s) => Some(*s),
+            PExpr::Un(_, e) => e.max_slot(),
+            PExpr::Bin(_, a, b) => a.max_slot().into_iter().chain(b.max_slot()).max(),
+            PExpr::Call(_, args) => args.iter().filter_map(|a| a.max_slot()).max(),
+            PExpr::Gather { base, .. } => base.max_slot(),
+            _ => None,
+        }
+    }
+}
+
+enum Operand {
+    Owned(Column),
+    BroadcastF(f64),
+    BroadcastB(bool),
+    BroadcastR(EntityId),
+}
+
+/// Evaluate `e` over every row of `batch`.
+pub fn eval(e: &PExpr, batch: &Batch, src: &dyn StateSource) -> Column {
+    eval_inner(e, &mut |slot| SlotRef::Whole(batch.col(slot)), batch.len(), src)
+}
+
+/// Evaluate `e` in a join-pair context: the left row `lrow` of `lbatch`
+/// paired with the selected right rows `rsel` of `rbatch`. Slots below
+/// `lbatch.width()` broadcast the left row's value; the rest index the
+/// right batch.
+pub fn eval_pair(
+    e: &PExpr,
+    lbatch: &Batch,
+    lrow: usize,
+    rbatch: &Batch,
+    rsel: &[u32],
+    src: &dyn StateSource,
+) -> Column {
+    let lwidth = lbatch.width();
+    eval_inner(
+        e,
+        &mut |slot| {
+            if slot < lwidth {
+                SlotRef::Scalar(lbatch.col(slot), lrow)
+            } else {
+                SlotRef::Selected(rbatch.col(slot - lwidth), rsel)
+            }
+        },
+        rsel.len(),
+        src,
+    )
+}
+
+enum SlotRef<'a> {
+    /// The whole column, row i ↦ col[i].
+    Whole(&'a Column),
+    /// One fixed row broadcast to every output row.
+    Scalar(&'a Column, usize),
+    /// A selection: row i ↦ col[sel[i]].
+    Selected(&'a Column, &'a [u32]),
+}
+
+fn materialize(s: SlotRef<'_>, len: usize) -> Operand {
+    match s {
+        SlotRef::Whole(c) => Operand::Owned(c.clone()),
+        SlotRef::Scalar(c, row) => match c {
+            Column::F64(v) => Operand::BroadcastF(v[row]),
+            Column::Bool(v) => Operand::BroadcastB(v[row]),
+            Column::Ref(v) => Operand::BroadcastR(v[row]),
+            Column::Set(v) => Operand::Owned(Column::from_set(vec![v[row].clone(); len])),
+            Column::U32(v) => Operand::BroadcastF(v[row] as f64),
+        },
+        SlotRef::Selected(c, sel) => Operand::Owned(match c {
+            Column::F64(v) => Column::from_f64(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Bool(v) => Column::from_bool(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Ref(v) => Column::from_ref(sel.iter().map(|&i| v[i as usize]).collect()),
+            Column::Set(v) => {
+                Column::from_set(sel.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            Column::U32(v) => {
+                Column::from_f64(sel.iter().map(|&i| v[i as usize] as f64).collect())
+            }
+        }),
+    }
+}
+
+fn to_f64s(op: Operand, len: usize) -> Vec<f64> {
+    match op {
+        Operand::Owned(Column::F64(v)) => v.as_ref().clone(),
+        Operand::BroadcastF(x) => vec![x; len],
+        other => panic!("expected number operand, got {:?}", kind_of(&other)),
+    }
+}
+
+fn to_bools(op: Operand, len: usize) -> Vec<bool> {
+    match op {
+        Operand::Owned(Column::Bool(v)) => v.as_ref().clone(),
+        Operand::BroadcastB(x) => vec![x; len],
+        other => panic!("expected bool operand, got {:?}", kind_of(&other)),
+    }
+}
+
+fn to_refs(op: Operand, len: usize) -> Vec<EntityId> {
+    match op {
+        Operand::Owned(Column::Ref(v)) => v.as_ref().clone(),
+        Operand::BroadcastR(x) => vec![x; len],
+        other => panic!("expected ref operand, got {:?}", kind_of(&other)),
+    }
+}
+
+fn to_sets(op: Operand) -> Vec<RefSet> {
+    match op {
+        Operand::Owned(Column::Set(v)) => v.as_ref().clone(),
+        other => panic!("expected set operand, got {:?}", kind_of(&other)),
+    }
+}
+
+fn kind_of(op: &Operand) -> &'static str {
+    match op {
+        Operand::Owned(c) => c.type_name(),
+        Operand::BroadcastF(_) => "number",
+        Operand::BroadcastB(_) => "bool",
+        Operand::BroadcastR(_) => "ref",
+    }
+}
+
+fn eval_operand<'a>(
+    e: &PExpr,
+    slots: &mut dyn FnMut(usize) -> SlotRef<'a>,
+    len: usize,
+    src: &dyn StateSource,
+) -> Operand {
+    match e {
+        PExpr::ConstF(x) => Operand::BroadcastF(*x),
+        PExpr::ConstB(b) => Operand::BroadcastB(*b),
+        PExpr::ConstRef(r) => Operand::BroadcastR(*r),
+        PExpr::Col(s) => materialize(slots(*s), len),
+        _ => Operand::Owned(eval_inner(e, slots, len, src)),
+    }
+}
+
+fn eval_inner<'a>(
+    e: &PExpr,
+    slots: &mut dyn FnMut(usize) -> SlotRef<'a>,
+    len: usize,
+    src: &dyn StateSource,
+) -> Column {
+    match e {
+        PExpr::ConstF(x) => Column::from_f64(vec![*x; len]),
+        PExpr::ConstB(b) => Column::from_bool(vec![*b; len]),
+        PExpr::ConstRef(r) => Column::from_ref(vec![*r; len]),
+        PExpr::Col(s) => match materialize(slots(*s), len) {
+            Operand::Owned(c) => c,
+            Operand::BroadcastF(x) => Column::from_f64(vec![x; len]),
+            Operand::BroadcastB(b) => Column::from_bool(vec![b; len]),
+            Operand::BroadcastR(r) => Column::from_ref(vec![r; len]),
+        },
+        PExpr::Un(op, inner) => {
+            let v = eval_operand(inner, slots, len, src);
+            match op {
+                PUnOp::Neg => {
+                    let mut xs = to_f64s(v, len);
+                    for x in &mut xs {
+                        *x = -*x;
+                    }
+                    Column::from_f64(xs)
+                }
+                PUnOp::Not => {
+                    let mut bs = to_bools(v, len);
+                    for b in &mut bs {
+                        *b = !*b;
+                    }
+                    Column::from_bool(bs)
+                }
+            }
+        }
+        PExpr::Bin(op, a, b) => {
+            let av = eval_operand(a, slots, len, src);
+            let bv = eval_operand(b, slots, len, src);
+            eval_bin(*op, av, bv, len)
+        }
+        PExpr::Call(f, args) => eval_call(*f, args, slots, len, src),
+        PExpr::Gather { class, col, base } => {
+            let ids = to_refs(eval_operand(base, slots, len, src), len);
+            gather(src, *class, *col, &ids)
+        }
+    }
+}
+
+fn eval_bin(op: PBinOp, a: Operand, b: Operand, len: usize) -> Column {
+    use PBinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => {
+            let xs = to_f64s(a, len);
+            let ys = to_f64s(b, len);
+            let mut out = Vec::with_capacity(len);
+            match op {
+                Add => out.extend(xs.iter().zip(&ys).map(|(x, y)| x + y)),
+                Sub => out.extend(xs.iter().zip(&ys).map(|(x, y)| x - y)),
+                Mul => out.extend(xs.iter().zip(&ys).map(|(x, y)| x * y)),
+                Div => out.extend(xs.iter().zip(&ys).map(|(x, y)| x / y)),
+                Mod => out.extend(xs.iter().zip(&ys).map(|(x, y)| x % y)),
+                _ => unreachable!(),
+            }
+            Column::from_f64(out)
+        }
+        Lt | Le | Gt | Ge | EqF | NeF => {
+            let xs = to_f64s(a, len);
+            let ys = to_f64s(b, len);
+            let mut out = Vec::with_capacity(len);
+            match op {
+                Lt => out.extend(xs.iter().zip(&ys).map(|(x, y)| x < y)),
+                Le => out.extend(xs.iter().zip(&ys).map(|(x, y)| x <= y)),
+                Gt => out.extend(xs.iter().zip(&ys).map(|(x, y)| x > y)),
+                Ge => out.extend(xs.iter().zip(&ys).map(|(x, y)| x >= y)),
+                EqF => out.extend(xs.iter().zip(&ys).map(|(x, y)| x == y)),
+                NeF => out.extend(xs.iter().zip(&ys).map(|(x, y)| x != y)),
+                _ => unreachable!(),
+            }
+            Column::from_bool(out)
+        }
+        EqB | NeB | And | Or => {
+            let xs = to_bools(a, len);
+            let ys = to_bools(b, len);
+            let mut out = Vec::with_capacity(len);
+            match op {
+                EqB => out.extend(xs.iter().zip(&ys).map(|(x, y)| x == y)),
+                NeB => out.extend(xs.iter().zip(&ys).map(|(x, y)| x != y)),
+                And => out.extend(xs.iter().zip(&ys).map(|(x, y)| *x && *y)),
+                Or => out.extend(xs.iter().zip(&ys).map(|(x, y)| *x || *y)),
+                _ => unreachable!(),
+            }
+            Column::from_bool(out)
+        }
+        EqR | NeR => {
+            let xs = to_refs(a, len);
+            let ys = to_refs(b, len);
+            let mut out = Vec::with_capacity(len);
+            match op {
+                EqR => out.extend(xs.iter().zip(&ys).map(|(x, y)| x == y)),
+                NeR => out.extend(xs.iter().zip(&ys).map(|(x, y)| x != y)),
+                _ => unreachable!(),
+            }
+            Column::from_bool(out)
+        }
+    }
+}
+
+fn eval_call<'a>(
+    f: Func,
+    args: &[PExpr],
+    slots: &mut dyn FnMut(usize) -> SlotRef<'a>,
+    len: usize,
+    src: &dyn StateSource,
+) -> Column {
+    let num = |i: usize, slots: &mut dyn FnMut(usize) -> SlotRef<'a>| {
+        to_f64s(eval_operand(&args[i], slots, len, src), len)
+    };
+    match f {
+        Func::Abs => Column::from_f64(num(0, slots).iter().map(|x| x.abs()).collect()),
+        Func::Sqrt => Column::from_f64(num(0, slots).iter().map(|x| x.sqrt()).collect()),
+        Func::Floor => Column::from_f64(num(0, slots).iter().map(|x| x.floor()).collect()),
+        Func::Ceil => Column::from_f64(num(0, slots).iter().map(|x| x.ceil()).collect()),
+        Func::Min2 => {
+            let a = num(0, slots);
+            let b = num(1, slots);
+            Column::from_f64(a.iter().zip(&b).map(|(x, y)| x.min(*y)).collect())
+        }
+        Func::Max2 => {
+            let a = num(0, slots);
+            let b = num(1, slots);
+            Column::from_f64(a.iter().zip(&b).map(|(x, y)| x.max(*y)).collect())
+        }
+        Func::Clamp => {
+            let x = num(0, slots);
+            let lo = num(1, slots);
+            let hi = num(2, slots);
+            Column::from_f64(
+                x.iter()
+                    .zip(&lo)
+                    .zip(&hi)
+                    .map(|((x, lo), hi)| x.max(*lo).min(*hi))
+                    .collect(),
+            )
+        }
+        Func::Dist => {
+            let x1 = num(0, slots);
+            let y1 = num(1, slots);
+            let x2 = num(2, slots);
+            let y2 = num(3, slots);
+            Column::from_f64(
+                (0..len)
+                    .map(|i| ((x1[i] - x2[i]).powi(2) + (y1[i] - y2[i]).powi(2)).sqrt())
+                    .collect(),
+            )
+        }
+        Func::Id => {
+            let ids = to_refs(eval_operand(&args[0], slots, len, src), len);
+            Column::from_f64(ids.iter().map(|r| r.0 as f64).collect())
+        }
+        Func::Size => {
+            let sets = to_sets(eval_operand(&args[0], slots, len, src));
+            Column::from_f64(sets.iter().map(|s| s.len() as f64).collect())
+        }
+        Func::Contains => {
+            let sets = to_sets(eval_operand(&args[0], slots, len, src));
+            let ids = to_refs(eval_operand(&args[1], slots, len, src), len);
+            Column::from_bool(
+                sets.iter()
+                    .zip(&ids)
+                    .map(|(s, id)| s.contains(*id))
+                    .collect(),
+            )
+        }
+        Func::Union2 => {
+            let mut a = to_sets(eval_operand(&args[0], slots, len, src));
+            let b = to_sets(eval_operand(&args[1], slots, len, src));
+            for (x, y) in a.iter_mut().zip(&b) {
+                x.union_with(y);
+            }
+            Column::from_set(a)
+        }
+    }
+}
+
+/// Vectorized gather: `out[i] = state(class, col)[row_of(ids[i])]`, with
+/// the column type's zero for null/dangling refs.
+pub fn gather(src: &dyn StateSource, class: ClassId, col: usize, ids: &[EntityId]) -> Column {
+    let column = src.state_column(class, col);
+    match column {
+        Column::F64(v) => Column::from_f64(
+            ids.iter()
+                .map(|id| src.row_of(class, *id).map_or(0.0, |r| v[r as usize]))
+                .collect(),
+        ),
+        Column::Bool(v) => Column::from_bool(
+            ids.iter()
+                .map(|id| src.row_of(class, *id).is_some_and(|r| v[r as usize]))
+                .collect(),
+        ),
+        Column::Ref(v) => Column::from_ref(
+            ids.iter()
+                .map(|id| {
+                    src.row_of(class, *id)
+                        .map_or(EntityId::NULL, |r| v[r as usize])
+                })
+                .collect(),
+        ),
+        Column::Set(v) => Column::from_set(
+            ids.iter()
+                .map(|id| {
+                    src.row_of(class, *id)
+                        .map_or_else(RefSet::new, |r| v[r as usize].clone())
+                })
+                .collect(),
+        ),
+        Column::U32(_) => panic!("cannot gather from internal u32 column"),
+    }
+}
+
+/// Indexes of the `true` rows of a mask.
+pub fn collect_true(mask: &[bool]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, &b) in mask.iter().enumerate() {
+        if b {
+            out.push(i as u32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::TestSource;
+
+    fn test_batch() -> Batch {
+        Batch::from_extent(
+            vec![EntityId(1), EntityId(2), EntityId(3)],
+            vec![
+                Column::from_f64(vec![1.0, 2.0, 3.0]),
+                Column::from_bool(vec![true, false, true]),
+            ],
+        )
+    }
+
+    fn empty_src() -> TestSource {
+        TestSource { extents: vec![] }
+    }
+
+    #[test]
+    fn arithmetic_vectorizes() {
+        let b = test_batch();
+        let e = PExpr::bin(
+            PBinOp::Add,
+            PExpr::Col(1),
+            PExpr::bin(PBinOp::Mul, PExpr::Col(1), PExpr::ConstF(10.0)),
+        );
+        let out = eval(&e, &b, &empty_src());
+        assert_eq!(out.f64(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let b = test_batch();
+        // x >= 2 && flag
+        let e = PExpr::bin(
+            PBinOp::And,
+            PExpr::bin(PBinOp::Ge, PExpr::Col(1), PExpr::ConstF(2.0)),
+            PExpr::Col(2),
+        );
+        let out = eval(&e, &b, &empty_src());
+        assert_eq!(out.bool(), &[false, false, true]);
+    }
+
+    #[test]
+    fn builtins_compute() {
+        let b = test_batch();
+        let e = PExpr::Call(
+            Func::Clamp,
+            vec![PExpr::Col(1), PExpr::ConstF(1.5), PExpr::ConstF(2.5)],
+        );
+        assert_eq!(eval(&e, &b, &empty_src()).f64(), &[1.5, 2.0, 2.5]);
+        let d = PExpr::Call(
+            Func::Dist,
+            vec![
+                PExpr::ConstF(0.0),
+                PExpr::ConstF(0.0),
+                PExpr::ConstF(3.0),
+                PExpr::ConstF(4.0),
+            ],
+        );
+        assert_eq!(eval(&d, &b, &empty_src()).f64(), &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn id_of_self_column() {
+        let b = test_batch();
+        let e = PExpr::Call(Func::Id, vec![PExpr::Col(0)]);
+        assert_eq!(eval(&e, &b, &empty_src()).f64(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn gather_reads_other_extent() {
+        let src = TestSource {
+            extents: vec![(
+                vec![EntityId(10), EntityId(20)],
+                vec![Column::from_f64(vec![100.0, 200.0])],
+            )],
+        };
+        let b = Batch::from_extent(
+            vec![EntityId(1), EntityId(2), EntityId(3)],
+            vec![Column::from_ref(vec![
+                EntityId(20),
+                EntityId::NULL,
+                EntityId(10),
+            ])],
+        );
+        let e = PExpr::Gather {
+            class: ClassId(0),
+            col: 0,
+            base: Box::new(PExpr::Col(1)),
+        };
+        assert_eq!(eval(&e, &b, &src).f64(), &[200.0, 0.0, 100.0]);
+    }
+
+    #[test]
+    fn pair_eval_broadcasts_left() {
+        let left = test_batch();
+        let right = Batch::from_extent(
+            vec![EntityId(7), EntityId(8)],
+            vec![Column::from_f64(vec![10.0, 20.0])],
+        );
+        // left.x + right.x, left row 1 (x=2), right selection [1, 0]
+        let e = PExpr::bin(PBinOp::Add, PExpr::Col(1), PExpr::Col(left.width() + 1));
+        let out = eval_pair(&e, &left, 1, &right, &[1, 0], &empty_src());
+        assert_eq!(out.f64(), &[22.0, 12.0]);
+    }
+
+    #[test]
+    fn collect_true_indexes() {
+        assert_eq!(collect_true(&[true, false, true]), vec![0, 2]);
+        assert!(collect_true(&[]).is_empty());
+    }
+
+    #[test]
+    fn conj_folds() {
+        assert_eq!(PExpr::conj(vec![]), PExpr::ConstB(true));
+        let e = PExpr::conj(vec![PExpr::ConstB(true), PExpr::ConstB(false)]);
+        let b = test_batch();
+        assert_eq!(eval(&e, &b, &empty_src()).bool(), &[false, false, false]);
+    }
+
+    #[test]
+    fn max_slot_reports() {
+        let e = PExpr::bin(PBinOp::Add, PExpr::Col(3), PExpr::Col(7));
+        assert_eq!(e.max_slot(), Some(7));
+        assert_eq!(PExpr::ConstF(1.0).max_slot(), None);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sgl-relalg
+//!
+//! Vectorized relational algebra primitives for the SGL engine — the
+//! "special games engine with features similar to a main memory database
+//! system" of the CIDR 2009 paper.
+//!
+//! The compiler (see `sgl-compiler`) lowers SGL scripts to pipelines over
+//! class extents built from these primitives:
+//!
+//! * [`Batch`] — a columnar slice of an extent (entity ids + state
+//!   columns + computed columns),
+//! * [`expr::PExpr`] — vectorized scalar expressions evaluated a column
+//!   at a time (the set-at-a-time advantage over per-object
+//!   interpretation),
+//! * [`join::band_join_partition`] — the θ-join with multidimensional range
+//!   predicates that accum-loops compile to (paper Fig. 2), executable
+//!   as a nested loop or through any [`sgl_index`] access path,
+//! * [`agg::DenseAgg`] — grouped ⊕ aggregation into dense per-row
+//!   accumulators, mergeable across partitions for the parallel effect
+//!   phase (§4.2).
+
+pub mod agg;
+pub mod batch;
+pub mod expr;
+pub mod join;
+
+pub use agg::{AggPartial, DenseAgg};
+pub use batch::{Batch, StateSource};
+pub use expr::{eval, eval_pair, Func, PBinOp, PExpr, PUnOp};
+pub use join::{band_join_partition, BandCond, JoinMethod, JoinSpec, PreparedJoin};

@@ -1,0 +1,220 @@
+//! The class catalog: compiler-generated schema metadata.
+//!
+//! A [`ClassDef`] records, for one SGL class: the state schema, the effect
+//! variable specifications (type + ⊕ combinator + identity default), and
+//! the update-component *owner* of every state variable. The paper (§2.2)
+//! requires state variables to be **strictly partitioned** among update
+//! components; [`Owner`] encodes that partition and the engine enforces it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fx::FxHashMap;
+use crate::schema::Schema;
+use crate::value::{Combinator, ScalarType, Value};
+
+/// Dense class identifier (index into the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+/// Which update component owns a state variable (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Owner {
+    /// Updated by a compiled update-rule expression (the default; a state
+    /// variable without a rule keeps its previous value).
+    Expression,
+    /// Owned by the physics engine (integration + collision resolution).
+    Physics,
+    /// Owned by the pathfinding/AI-planning component.
+    Pathfind,
+    /// Owned by the transaction engine (constraint-checked deltas).
+    Transactions,
+}
+
+impl Owner {
+    /// Parse an owner keyword as used in `update: x by physics;`.
+    pub fn parse(s: &str) -> Option<Owner> {
+        Some(match s {
+            "expression" => Owner::Expression,
+            "physics" => Owner::Physics,
+            "pathfind" => Owner::Pathfind,
+            "transactions" => Owner::Transactions,
+            _ => return None,
+        })
+    }
+
+    /// The keyword for this owner.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Owner::Expression => "expression",
+            Owner::Physics => "physics",
+            Owner::Pathfind => "pathfind",
+            Owner::Transactions => "transactions",
+        }
+    }
+}
+
+/// One effect variable of a class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EffectSpec {
+    /// Effect variable name.
+    pub name: String,
+    /// Value type.
+    pub ty: ScalarType,
+    /// ⊕ combinator.
+    pub comb: Combinator,
+    /// Value observed by the update step when *no* assignment happened
+    /// this tick (e.g. `0` for `sum`, a declared default for `min`).
+    pub default: Value,
+}
+
+/// Compiler-generated metadata for one SGL class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Dense id (index in the catalog).
+    pub id: ClassId,
+    /// Class name as written in the source.
+    pub name: String,
+    /// State schema (read-only during a tick).
+    pub state: Schema,
+    /// Effect variables (write-only during a tick).
+    pub effects: Vec<EffectSpec>,
+    /// Owner of each state column, parallel to `state` columns.
+    pub owners: Vec<Owner>,
+}
+
+impl ClassDef {
+    /// Index of an effect variable by name.
+    pub fn effect_index(&self, name: &str) -> Option<usize> {
+        self.effects.iter().position(|e| e.name == name)
+    }
+
+    /// Spec of an effect variable by index.
+    pub fn effect(&self, idx: usize) -> &EffectSpec {
+        &self.effects[idx]
+    }
+}
+
+/// The set of classes in a compiled game.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    classes: Vec<ClassDef>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, ClassId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a class; its `id` field is overwritten with the assigned
+    /// dense id, which is returned.
+    pub fn add(&mut self, mut def: ClassDef) -> ClassId {
+        let id = ClassId(self.classes.len() as u32);
+        def.id = id;
+        self.by_name.insert(def.name.clone(), id);
+        self.classes.push(def);
+        id
+    }
+
+    /// Lookup by name.
+    pub fn class_by_name(&self, name: &str) -> Option<&ClassDef> {
+        if self.by_name.is_empty() && !self.classes.is_empty() {
+            return self.classes.iter().find(|c| c.name == name);
+        }
+        self.by_name.get(name).map(|id| &self.classes[id.0 as usize])
+    }
+
+    /// Lookup by id.
+    #[inline]
+    pub fn class(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Mutable lookup by id (used by the compiler to append hidden
+    /// program-counter columns). The class name must not be changed.
+    pub fn class_mut(&mut self, id: ClassId) -> &mut ClassDef {
+        &mut self.classes[id.0 as usize]
+    }
+
+    /// All classes in id order.
+    pub fn classes(&self) -> &[ClassDef] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Rebuild name lookup after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .classes
+            .iter()
+            .map(|c| (c.name.clone(), c.id))
+            .collect();
+        for c in &mut self.classes {
+            c.state.rebuild_index();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSpec;
+
+    fn demo_class(name: &str) -> ClassDef {
+        ClassDef {
+            id: ClassId(0),
+            name: name.to_string(),
+            state: Schema::from_cols(vec![ColumnSpec::new("x", ScalarType::Number)]),
+            effects: vec![EffectSpec {
+                name: "damage".into(),
+                ty: ScalarType::Number,
+                comb: Combinator::Sum,
+                default: Value::Number(0.0),
+            }],
+            owners: vec![Owner::Expression],
+        }
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut cat = Catalog::new();
+        let a = cat.add(demo_class("Unit"));
+        let b = cat.add(demo_class("Item"));
+        assert_ne!(a, b);
+        assert_eq!(cat.class_by_name("Unit").unwrap().id, a);
+        assert_eq!(cat.class(b).name, "Item");
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn effect_index_lookup() {
+        let c = demo_class("Unit");
+        assert_eq!(c.effect_index("damage"), Some(0));
+        assert_eq!(c.effect_index("nope"), None);
+        assert_eq!(c.effect(0).comb, Combinator::Sum);
+    }
+
+    #[test]
+    fn owner_keywords_roundtrip() {
+        for o in [
+            Owner::Expression,
+            Owner::Physics,
+            Owner::Pathfind,
+            Owner::Transactions,
+        ] {
+            assert_eq!(Owner::parse(o.name()), Some(o));
+        }
+        assert_eq!(Owner::parse("gpu"), None);
+    }
+}

@@ -1,0 +1,422 @@
+//! Copy-on-write typed columns.
+//!
+//! The query step of the state-effect pattern reads a *snapshot* of state
+//! while the update step writes the next state. Columns wrap their buffers
+//! in [`Arc`] so a per-tick snapshot is a handful of refcount increments;
+//! the update step mutates through [`Arc::make_mut`], which only copies if
+//! a snapshot is still alive (it normally is not once the effect phase
+//! finishes).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::EntityId;
+use crate::value::{ScalarType, Value};
+
+/// A sorted, deduplicated set of entity references — the representation of
+/// SGL `set<Class>` values.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefSet {
+    ids: Vec<EntityId>,
+}
+
+impl RefSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        RefSet { ids: Vec::new() }
+    }
+
+    /// Build from an arbitrary id list (sorted + deduplicated).
+    pub fn from_ids(mut ids: Vec<EntityId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        ids.retain(|id| !id.is_null());
+        RefSet { ids }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Insert a member; returns true if it was new. Null refs are ignored.
+    pub fn insert(&mut self, id: EntityId) -> bool {
+        if id.is_null() {
+            return false;
+        }
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Remove a member; returns true if it was present.
+    pub fn remove(&mut self, id: EntityId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &RefSet) {
+        if other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            use std::cmp::Ordering::*;
+            match self.ids[i].cmp(&other.ids[j]) {
+                Less => {
+                    merged.push(self.ids[i]);
+                    i += 1;
+                }
+                Greater => {
+                    merged.push(other.ids[j]);
+                    j += 1;
+                }
+                Equal => {
+                    merged.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.ids[i..]);
+        merged.extend_from_slice(&other.ids[j..]);
+        self.ids = merged;
+    }
+
+    /// Iterate members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Members as a slice.
+    pub fn as_slice(&self) -> &[EntityId] {
+        &self.ids
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<EntityId>()
+    }
+}
+
+impl FromIterator<EntityId> for RefSet {
+    fn from_iter<T: IntoIterator<Item = EntityId>>(iter: T) -> Self {
+        RefSet::from_ids(iter.into_iter().collect())
+    }
+}
+
+/// A typed column of values. Cloning a column is O(1) (shared buffer).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Column {
+    /// `number` data.
+    F64(Arc<Vec<f64>>),
+    /// `bool` data.
+    Bool(Arc<Vec<bool>>),
+    /// `ref<Class>` data (null = `EntityId::NULL`).
+    Ref(Arc<Vec<EntityId>>),
+    /// `set<Class>` data.
+    Set(Arc<Vec<RefSet>>),
+    /// Internal dense row indexes (produced by joins/aggregations; never a
+    /// schema column type).
+    U32(Arc<Vec<u32>>),
+}
+
+impl Column {
+    /// An empty column of the given SGL type.
+    pub fn empty(ty: ScalarType) -> Column {
+        match ty {
+            ScalarType::Number => Column::F64(Arc::new(Vec::new())),
+            ScalarType::Bool => Column::Bool(Arc::new(Vec::new())),
+            ScalarType::Ref(_) => Column::Ref(Arc::new(Vec::new())),
+            ScalarType::Set(_) => Column::Set(Arc::new(Vec::new())),
+        }
+    }
+
+    /// A column of `len` copies of `v`.
+    pub fn repeat(v: &Value, len: usize) -> Column {
+        match v {
+            Value::Number(x) => Column::F64(Arc::new(vec![*x; len])),
+            Value::Bool(b) => Column::Bool(Arc::new(vec![*b; len])),
+            Value::Ref(id) => Column::Ref(Arc::new(vec![*id; len])),
+            Value::Set(s) => Column::Set(Arc::new(vec![s.clone(); len])),
+        }
+    }
+
+    /// Wrap an owned f64 buffer.
+    pub fn from_f64(v: Vec<f64>) -> Column {
+        Column::F64(Arc::new(v))
+    }
+
+    /// Wrap an owned bool buffer.
+    pub fn from_bool(v: Vec<bool>) -> Column {
+        Column::Bool(Arc::new(v))
+    }
+
+    /// Wrap an owned ref buffer.
+    pub fn from_ref(v: Vec<EntityId>) -> Column {
+        Column::Ref(Arc::new(v))
+    }
+
+    /// Wrap an owned u32 buffer.
+    pub fn from_u32(v: Vec<u32>) -> Column {
+        Column::U32(Arc::new(v))
+    }
+
+    /// Wrap an owned set buffer.
+    pub fn from_set(v: Vec<RefSet>) -> Column {
+        Column::Set(Arc::new(v))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::F64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Ref(v) => v.len(),
+            Column::Set(v) => v.len(),
+            Column::U32(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read the value at `row`.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::F64(v) => Value::Number(v[row]),
+            Column::Bool(v) => Value::Bool(v[row]),
+            Column::Ref(v) => Value::Ref(v[row]),
+            Column::Set(v) => Value::Set(v[row].clone()),
+            Column::U32(v) => Value::Number(v[row] as f64),
+        }
+    }
+
+    /// Write `v` at `row` (copy-on-write). The value type must match.
+    pub fn set(&mut self, row: usize, v: &Value) {
+        match (self, v) {
+            (Column::F64(c), Value::Number(x)) => Arc::make_mut(c)[row] = *x,
+            (Column::Bool(c), Value::Bool(b)) => Arc::make_mut(c)[row] = *b,
+            (Column::Ref(c), Value::Ref(id)) => Arc::make_mut(c)[row] = *id,
+            (Column::Set(c), Value::Set(s)) => Arc::make_mut(c)[row] = s.clone(),
+            (col, v) => panic!("column/value type mismatch: {:?} <- {v}", col.type_name()),
+        }
+    }
+
+    /// Append `v` (copy-on-write). The value type must match.
+    pub fn push(&mut self, v: &Value) {
+        match (self, v) {
+            (Column::F64(c), Value::Number(x)) => Arc::make_mut(c).push(*x),
+            (Column::Bool(c), Value::Bool(b)) => Arc::make_mut(c).push(*b),
+            (Column::Ref(c), Value::Ref(id)) => Arc::make_mut(c).push(*id),
+            (Column::Set(c), Value::Set(s)) => Arc::make_mut(c).push(s.clone()),
+            (col, v) => panic!("column/value type mismatch: {:?} <- {v}", col.type_name()),
+        }
+    }
+
+    /// Remove row `row` by swapping in the last row (O(1)).
+    pub fn swap_remove(&mut self, row: usize) {
+        match self {
+            Column::F64(c) => {
+                Arc::make_mut(c).swap_remove(row);
+            }
+            Column::Bool(c) => {
+                Arc::make_mut(c).swap_remove(row);
+            }
+            Column::Ref(c) => {
+                Arc::make_mut(c).swap_remove(row);
+            }
+            Column::Set(c) => {
+                Arc::make_mut(c).swap_remove(row);
+            }
+            Column::U32(c) => {
+                Arc::make_mut(c).swap_remove(row);
+            }
+        }
+    }
+
+    /// Borrow as `&[f64]`; panics on type mismatch.
+    pub fn f64(&self) -> &[f64] {
+        match self {
+            Column::F64(v) => v,
+            other => panic!("expected f64 column, got {}", other.type_name()),
+        }
+    }
+
+    /// Borrow as `&[bool]`; panics on type mismatch.
+    pub fn bool(&self) -> &[bool] {
+        match self {
+            Column::Bool(v) => v,
+            other => panic!("expected bool column, got {}", other.type_name()),
+        }
+    }
+
+    /// Borrow as `&[EntityId]`; panics on type mismatch.
+    pub fn refs(&self) -> &[EntityId] {
+        match self {
+            Column::Ref(v) => v,
+            other => panic!("expected ref column, got {}", other.type_name()),
+        }
+    }
+
+    /// Borrow as `&[RefSet]`; panics on type mismatch.
+    pub fn sets(&self) -> &[RefSet] {
+        match self {
+            Column::Set(v) => v,
+            other => panic!("expected set column, got {}", other.type_name()),
+        }
+    }
+
+    /// Borrow as `&[u32]`; panics on type mismatch.
+    pub fn u32s(&self) -> &[u32] {
+        match self {
+            Column::U32(v) => v,
+            other => panic!("expected u32 column, got {}", other.type_name()),
+        }
+    }
+
+    /// Mutable f64 buffer (copy-on-write); panics on type mismatch.
+    pub fn f64_mut(&mut self) -> &mut Vec<f64> {
+        match self {
+            Column::F64(v) => Arc::make_mut(v),
+            other => panic!("expected f64 column, got {}", other.type_name()),
+        }
+    }
+
+    /// Mutable bool buffer (copy-on-write); panics on type mismatch.
+    pub fn bool_mut(&mut self) -> &mut Vec<bool> {
+        match self {
+            Column::Bool(v) => Arc::make_mut(v),
+            other => panic!("expected bool column, got {}", other.type_name()),
+        }
+    }
+
+    /// Mutable ref buffer (copy-on-write); panics on type mismatch.
+    pub fn refs_mut(&mut self) -> &mut Vec<EntityId> {
+        match self {
+            Column::Ref(v) => Arc::make_mut(v),
+            other => panic!("expected ref column, got {}", other.type_name()),
+        }
+    }
+
+    /// Mutable set buffer (copy-on-write); panics on type mismatch.
+    pub fn sets_mut(&mut self) -> &mut Vec<RefSet> {
+        match self {
+            Column::Set(v) => Arc::make_mut(v),
+            other => panic!("expected set column, got {}", other.type_name()),
+        }
+    }
+
+    /// A short name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Column::F64(_) => "number",
+            Column::Bool(_) => "bool",
+            Column::Ref(_) => "ref",
+            Column::Set(_) => "set",
+            Column::U32(_) => "u32",
+        }
+    }
+
+    /// Approximate heap footprint in bytes (buffers only).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Column::F64(v) => v.capacity() * 8,
+            Column::Bool(v) => v.capacity(),
+            Column::Ref(v) => v.capacity() * 8,
+            Column::Set(v) => {
+                v.capacity() * std::mem::size_of::<RefSet>()
+                    + v.iter().map(|s| s.memory_bytes()).sum::<usize>()
+            }
+            Column::U32(v) => v.capacity() * 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refset_insert_remove_contains() {
+        let mut s = RefSet::new();
+        assert!(s.insert(EntityId(5)));
+        assert!(s.insert(EntityId(2)));
+        assert!(!s.insert(EntityId(5)));
+        assert!(!s.insert(EntityId::NULL));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(EntityId(2)));
+        assert!(s.remove(EntityId(2)));
+        assert!(!s.remove(EntityId(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn refset_union_is_sorted_dedup() {
+        let a = RefSet::from_ids(vec![EntityId(3), EntityId(1)]);
+        let mut b = RefSet::from_ids(vec![EntityId(2), EntityId(3)]);
+        b.union_with(&a);
+        assert_eq!(
+            b.as_slice(),
+            &[EntityId(1), EntityId(2), EntityId(3)]
+        );
+    }
+
+    #[test]
+    fn column_snapshot_is_copy_on_write() {
+        let mut c = Column::from_f64(vec![1.0, 2.0]);
+        let snap = c.clone();
+        c.set(0, &Value::Number(9.0));
+        assert_eq!(snap.f64(), &[1.0, 2.0]);
+        assert_eq!(c.f64(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn column_push_and_swap_remove() {
+        let mut c = Column::empty(ScalarType::Number);
+        c.push(&Value::Number(1.0));
+        c.push(&Value::Number(2.0));
+        c.push(&Value::Number(3.0));
+        c.swap_remove(0);
+        assert_eq!(c.f64(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn column_set_type_mismatch_panics() {
+        let mut c = Column::from_f64(vec![0.0]);
+        c.set(0, &Value::Bool(true));
+    }
+
+    #[test]
+    fn repeat_builds_defaults() {
+        let c = Column::repeat(&Value::Bool(true), 3);
+        assert_eq!(c.bool(), &[true, true, true]);
+        let c = Column::repeat(&Value::Set(RefSet::new()), 2);
+        assert_eq!(c.sets().len(), 2);
+    }
+}

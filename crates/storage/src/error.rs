@@ -1,0 +1,40 @@
+//! Storage-layer errors.
+
+use crate::entity::EntityId;
+use crate::value::ScalarType;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A column name was not found in a schema.
+    NoSuchColumn(String),
+    /// A class name or id was not found in the catalog.
+    NoSuchClass(String),
+    /// An entity id was not present in the extent it was looked up in.
+    NoSuchEntity(EntityId),
+    /// A value of the wrong type was supplied for a column.
+    TypeMismatch {
+        /// The type the column expects.
+        expected: ScalarType,
+        /// The type that was supplied.
+        got: ScalarType,
+    },
+    /// An entity was inserted twice into the same extent.
+    DuplicateEntity(EntityId),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NoSuchColumn(n) => write!(f, "no such column: {n}"),
+            StorageError::NoSuchClass(n) => write!(f, "no such class: {n}"),
+            StorageError::NoSuchEntity(id) => write!(f, "no such entity: {id}"),
+            StorageError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            StorageError::DuplicateEntity(id) => write!(f, "duplicate entity: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

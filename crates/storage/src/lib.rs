@@ -1,0 +1,41 @@
+//! # sgl-storage
+//!
+//! Columnar main-memory storage layer for the SGL engine, reproducing the
+//! storage substrate of *"From Declarative Languages to Declarative
+//! Processing in Computer Games"* (CIDR 2009).
+//!
+//! The paper's engine keeps all game state memory-resident in relational
+//! tables generated from SGL class declarations. This crate provides:
+//!
+//! * [`Value`] / [`ScalarType`] — the SGL value domain (`number`, `bool`,
+//!   `ref<Class>`, `set<Class>`),
+//! * [`Combinator`] — the ⊕ effect-combination functions (`sum`, `avg`,
+//!   `min`, `max`, `count`, `or`, `and`, `union`),
+//! * [`Column`] — copy-on-write typed columns (cheap per-tick snapshots),
+//! * [`Table`] — an extent: one row per live entity of a class,
+//! * [`RowTable`] — a row-oriented alternative layout used by the schema
+//!   representation experiment (E10),
+//! * [`Catalog`] / [`ClassDef`] — compiler-generated schema metadata,
+//! * [`fx`] — a small FxHash implementation (the perf guide recommends
+//!   `rustc-hash`, which is outside the allowed dependency set, so we
+//!   vendor the ~40-line algorithm here).
+
+pub mod catalog;
+pub mod column;
+pub mod entity;
+pub mod error;
+pub mod fx;
+pub mod row_table;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Catalog, ClassDef, ClassId, EffectSpec, Owner};
+pub use column::{Column, RefSet};
+pub use entity::{EntityId, IdGen};
+pub use error::StorageError;
+pub use fx::{FxHashMap, FxHashSet};
+pub use row_table::RowTable;
+pub use schema::{ColumnSpec, Schema};
+pub use table::Table;
+pub use value::{Combinator, ScalarType, Value};

@@ -1,0 +1,163 @@
+//! Row-oriented alternative layout (experiment E10).
+//!
+//! §2.1 of the paper reports that the authors "experimented with the best
+//! schema representation for a given class". This module provides the
+//! row-store (array-of-structs) alternative to the default columnar
+//! [`Table`](crate::table::Table): all attributes of an entity stored
+//! contiguously. The schema-layout benchmark compares the two on
+//! narrow-scan vs whole-row workloads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::EntityId;
+use crate::error::StorageError;
+use crate::fx::FxHashMap;
+use crate::schema::Schema;
+use crate::value::{ScalarType, Value};
+
+/// A row-store extent: numbers only (sufficient for the layout
+/// experiment), `width` f64 attributes per row stored contiguously.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RowTable {
+    schema: Schema,
+    width: usize,
+    data: Vec<f64>,
+    ids: Vec<EntityId>,
+    #[serde(skip)]
+    row_of: FxHashMap<EntityId, u32>,
+}
+
+impl RowTable {
+    /// Build from a schema; every column must be `number`.
+    pub fn new(schema: Schema) -> Result<Self, StorageError> {
+        for c in schema.cols() {
+            if c.ty != ScalarType::Number {
+                return Err(StorageError::TypeMismatch {
+                    expected: ScalarType::Number,
+                    got: c.ty,
+                });
+            }
+        }
+        let width = schema.len();
+        Ok(RowTable {
+            schema,
+            width,
+            data: Vec::new(),
+            ids: Vec::new(),
+            row_of: FxHashMap::default(),
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Attributes per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Insert a row of `width` numbers.
+    pub fn insert(&mut self, id: EntityId, row: &[f64]) -> Result<u32, StorageError> {
+        if self.row_of.contains_key(&id) {
+            return Err(StorageError::DuplicateEntity(id));
+        }
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        let idx = self.ids.len() as u32;
+        self.ids.push(id);
+        self.row_of.insert(id, idx);
+        self.data.extend_from_slice(row);
+        Ok(idx)
+    }
+
+    /// Borrow one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Mutably borrow one row.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        &mut self.data[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Read one attribute.
+    pub fn get(&self, id: EntityId, col: &str) -> Result<Value, StorageError> {
+        let r = *self
+            .row_of
+            .get(&id)
+            .ok_or(StorageError::NoSuchEntity(id))? as usize;
+        let c = self
+            .schema
+            .index_of(col)
+            .ok_or_else(|| StorageError::NoSuchColumn(col.to_string()))?;
+        Ok(Value::Number(self.row(r)[c]))
+    }
+
+    /// Gather one attribute across all rows (strided scan — the access
+    /// pattern the columnar layout avoids).
+    pub fn scan_column(&self, col: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.len());
+        let w = self.width;
+        for r in 0..self.len() {
+            out.push(self.data[r * w + col]);
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.capacity() * 8 + self.ids.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSpec;
+
+    fn schema(n: usize) -> Schema {
+        Schema::from_cols(
+            (0..n)
+                .map(|i| ColumnSpec::new(format!("c{i}"), ScalarType::Number))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = RowTable::new(schema(3)).unwrap();
+        t.insert(EntityId(1), &[1.0, 2.0, 3.0]).unwrap();
+        t.insert(EntityId(2), &[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(t.get(EntityId(2), "c1").unwrap(), Value::Number(5.0));
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn rejects_non_number_schema() {
+        let s = Schema::from_cols(vec![ColumnSpec::new("b", ScalarType::Bool)]);
+        assert!(RowTable::new(s).is_err());
+    }
+
+    #[test]
+    fn scan_column_strides() {
+        let mut t = RowTable::new(schema(2)).unwrap();
+        t.insert(EntityId(1), &[1.0, 10.0]).unwrap();
+        t.insert(EntityId(2), &[2.0, 20.0]).unwrap();
+        let mut out = Vec::new();
+        t.scan_column(1, &mut out);
+        assert_eq!(out, vec![10.0, 20.0]);
+    }
+}

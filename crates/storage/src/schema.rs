@@ -1,0 +1,161 @@
+//! Relational schemas generated from SGL class declarations.
+//!
+//! The paper's key point (§2.1): the *compiler* generates the relational
+//! schema from class declarations, so the programmer never designs tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fx::FxHashMap;
+use crate::value::{ScalarType, Value};
+
+/// One column of a generated schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnSpec {
+    /// SGL attribute name.
+    pub name: String,
+    /// Resolved type.
+    pub ty: ScalarType,
+    /// Default value for new rows.
+    pub default: Value,
+}
+
+impl ColumnSpec {
+    /// A column with the type's zero default.
+    pub fn new(name: impl Into<String>, ty: ScalarType) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            ty,
+            default: ty.zero(),
+        }
+    }
+
+    /// A column with an explicit default.
+    pub fn with_default(name: impl Into<String>, ty: ScalarType, default: Value) -> Self {
+        ColumnSpec {
+            name: name.into(),
+            ty,
+            default,
+        }
+    }
+}
+
+/// An ordered list of columns with O(1) name lookup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    cols: Vec<ColumnSpec>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Build from a column list.
+    pub fn from_cols(cols: Vec<ColumnSpec>) -> Self {
+        let mut s = Schema::new();
+        for c in cols {
+            s.push(c);
+        }
+        s
+    }
+
+    /// Append a column. Panics on duplicate names (the frontend rejects
+    /// duplicates before schemas are built).
+    pub fn push(&mut self, col: ColumnSpec) -> usize {
+        assert!(
+            !self.by_name.contains_key(&col.name),
+            "duplicate column {}",
+            col.name
+        );
+        let idx = self.cols.len();
+        self.by_name.insert(col.name.clone(), idx);
+        self.cols.push(col);
+        idx
+    }
+
+    /// Column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if self.by_name.is_empty() && !self.cols.is_empty() {
+            // Deserialized schema: fall back to linear scan.
+            return self.cols.iter().position(|c| c.name == name);
+        }
+        self.by_name.get(name).copied()
+    }
+
+    /// Column spec by index.
+    pub fn col(&self, idx: usize) -> &ColumnSpec {
+        &self.cols[idx]
+    }
+
+    /// All columns in order.
+    pub fn cols(&self) -> &[ColumnSpec] {
+        &self.cols
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Rebuild the name index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), i))
+            .collect();
+    }
+}
+
+impl std::fmt::Display for Schema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup_by_name() {
+        let s = Schema::from_cols(vec![
+            ColumnSpec::new("x", ScalarType::Number),
+            ColumnSpec::new("alive", ScalarType::Bool),
+        ]);
+        assert_eq!(s.index_of("x"), Some(0));
+        assert_eq!(s.index_of("alive"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_column_panics() {
+        let mut s = Schema::new();
+        s.push(ColumnSpec::new("x", ScalarType::Number));
+        s.push(ColumnSpec::new("x", ScalarType::Number));
+    }
+
+    #[test]
+    fn display_formats_schema() {
+        let s = Schema::from_cols(vec![ColumnSpec::new("hp", ScalarType::Number)]);
+        assert_eq!(s.to_string(), "(hp: number)");
+    }
+}

@@ -1,0 +1,281 @@
+//! Extents: one table per class, one row per live entity.
+//!
+//! Rows are stored columnar. Removal is `swap_remove` (O(1)), so row order
+//! is not stable across removals — all engine-visible iteration happens
+//! within a tick, during which membership is frozen.
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::entity::EntityId;
+use crate::error::StorageError;
+use crate::fx::FxHashMap;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A class extent: columnar rows keyed by entity id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    ids: Vec<EntityId>,
+    #[serde(skip)]
+    row_of: FxHashMap<EntityId, u32>,
+}
+
+impl Table {
+    /// An empty extent with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema.cols().iter().map(|c| Column::empty(c.ty)).collect();
+        Table {
+            schema,
+            columns,
+            ids: Vec::new(),
+            row_of: FxHashMap::default(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the extent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Entity ids in row order.
+    pub fn ids(&self) -> &[EntityId] {
+        &self.ids
+    }
+
+    /// The row index of `id`, if present.
+    #[inline]
+    pub fn row_of(&self, id: EntityId) -> Option<u32> {
+        self.row_of.get(&id).copied()
+    }
+
+    /// The entity id at `row`.
+    #[inline]
+    pub fn id_at(&self, row: usize) -> EntityId {
+        self.ids[row]
+    }
+
+    /// Insert a new row for `id` with schema defaults, then overwrite the
+    /// named columns from `values`.
+    pub fn insert(&mut self, id: EntityId, values: &[(&str, Value)]) -> Result<u32, StorageError> {
+        if self.row_of.contains_key(&id) {
+            return Err(StorageError::DuplicateEntity(id));
+        }
+        let row = self.ids.len() as u32;
+        self.ids.push(id);
+        self.row_of.insert(id, row);
+        for (i, spec) in self.schema.cols().iter().enumerate() {
+            self.columns[i].push(&spec.default);
+        }
+        for (name, v) in values {
+            let col = self
+                .schema
+                .index_of(name)
+                .ok_or_else(|| StorageError::NoSuchColumn(name.to_string()))?;
+            let expected = self.schema.col(col).ty;
+            let got = v.scalar_type();
+            if std::mem::discriminant(&expected) != std::mem::discriminant(&got) {
+                return Err(StorageError::TypeMismatch { expected, got });
+            }
+            self.columns[col].set(row as usize, v);
+        }
+        Ok(row)
+    }
+
+    /// Remove `id`'s row (swap-remove). Returns true if it was present.
+    pub fn remove(&mut self, id: EntityId) -> bool {
+        let Some(row) = self.row_of.remove(&id) else {
+            return false;
+        };
+        let row = row as usize;
+        let last = self.ids.len() - 1;
+        self.ids.swap_remove(row);
+        for c in &mut self.columns {
+            c.swap_remove(row);
+        }
+        if row != last {
+            let moved = self.ids[row];
+            self.row_of.insert(moved, row as u32);
+        }
+        true
+    }
+
+    /// Read one attribute of one entity.
+    pub fn get(&self, id: EntityId, col_name: &str) -> Result<Value, StorageError> {
+        let row = self
+            .row_of(id)
+            .ok_or(StorageError::NoSuchEntity(id))?;
+        let col = self
+            .schema
+            .index_of(col_name)
+            .ok_or_else(|| StorageError::NoSuchColumn(col_name.to_string()))?;
+        Ok(self.columns[col].get(row as usize))
+    }
+
+    /// Write one attribute of one entity.
+    pub fn set(&mut self, id: EntityId, col_name: &str, v: &Value) -> Result<(), StorageError> {
+        let row = self
+            .row_of(id)
+            .ok_or(StorageError::NoSuchEntity(id))?;
+        let col = self
+            .schema
+            .index_of(col_name)
+            .ok_or_else(|| StorageError::NoSuchColumn(col_name.to_string()))?;
+        self.columns[col].set(row as usize, v);
+        Ok(())
+    }
+
+    /// Borrow a column by index.
+    #[inline]
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Borrow a column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Mutably borrow a column by index (copy-on-write).
+    #[inline]
+    pub fn column_mut(&mut self, idx: usize) -> &mut Column {
+        &mut self.columns[idx]
+    }
+
+    /// Cheap snapshot of all columns (Arc clones) in schema order.
+    pub fn snapshot_columns(&self) -> Vec<Column> {
+        self.columns.clone()
+    }
+
+    /// Replace a whole column (used by vectorized update components). The
+    /// new column must have exactly `len()` rows.
+    pub fn replace_column(&mut self, idx: usize, col: Column) {
+        assert_eq!(col.len(), self.len(), "replacement column length mismatch");
+        self.columns[idx] = col;
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.memory_bytes()).sum::<usize>()
+            + self.ids.capacity() * std::mem::size_of::<EntityId>()
+    }
+
+    /// Reconstruct a table from checkpoint parts. Column count/lengths
+    /// must match the schema and id count.
+    pub fn from_parts(schema: Schema, ids: Vec<EntityId>, columns: Vec<Column>) -> Table {
+        assert_eq!(columns.len(), schema.len(), "column count mismatch");
+        for c in &columns {
+            assert_eq!(c.len(), ids.len(), "column length mismatch");
+        }
+        let mut t = Table {
+            schema,
+            columns,
+            ids,
+            row_of: FxHashMap::default(),
+        };
+        t.rebuild_index();
+        t
+    }
+
+    /// Rebuild the id→row map (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.schema.rebuild_index();
+        self.row_of = self
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i as u32))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnSpec;
+    use crate::value::ScalarType;
+
+    fn unit_schema() -> Schema {
+        Schema::from_cols(vec![
+            ColumnSpec::new("x", ScalarType::Number),
+            ColumnSpec::new("y", ScalarType::Number),
+            ColumnSpec::new("alive", ScalarType::Bool),
+        ])
+    }
+
+    #[test]
+    fn insert_get_set_roundtrip() {
+        let mut t = Table::new(unit_schema());
+        let id = EntityId(1);
+        t.insert(id, &[("x", Value::Number(3.0))]).unwrap();
+        assert_eq!(t.get(id, "x").unwrap(), Value::Number(3.0));
+        assert_eq!(t.get(id, "y").unwrap(), Value::Number(0.0));
+        t.set(id, "alive", &Value::Bool(true)).unwrap();
+        assert_eq!(t.get(id, "alive").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = Table::new(unit_schema());
+        t.insert(EntityId(1), &[]).unwrap();
+        assert_eq!(
+            t.insert(EntityId(1), &[]),
+            Err(StorageError::DuplicateEntity(EntityId(1)))
+        );
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = Table::new(unit_schema());
+        let err = t.insert(EntityId(1), &[("x", Value::Bool(true))]).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn swap_remove_fixes_row_map() {
+        let mut t = Table::new(unit_schema());
+        for i in 1..=4u64 {
+            t.insert(EntityId(i), &[("x", Value::Number(i as f64))])
+                .unwrap();
+        }
+        assert!(t.remove(EntityId(2)));
+        assert!(!t.remove(EntityId(2)));
+        assert_eq!(t.len(), 3);
+        // #4 moved into row 1; lookups must still agree.
+        for id in [1u64, 3, 4] {
+            let row = t.row_of(EntityId(id)).unwrap() as usize;
+            assert_eq!(t.id_at(row), EntityId(id));
+            assert_eq!(t.get(EntityId(id), "x").unwrap(), Value::Number(id as f64));
+        }
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = Table::new(unit_schema());
+        t.insert(EntityId(9), &[("y", Value::Number(1.5))]).unwrap();
+        t.row_of.clear(); // simulate deserialization
+        t.rebuild_index();
+        assert_eq!(t.get(EntityId(9), "y").unwrap(), Value::Number(1.5));
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        let mut t = Table::new(unit_schema());
+        for i in 1..=100u64 {
+            t.insert(EntityId(i), &[]).unwrap();
+        }
+        assert!(t.memory_bytes() >= 100 * (8 + 8 + 1));
+    }
+}

@@ -1,0 +1,369 @@
+//! The SGL value domain and effect combinators.
+//!
+//! SGL has four data types (§2.1 of the paper): `number`, `bool`,
+//! `ref<Class>` and (unordered) `set<Class>`. Effect variables additionally
+//! declare an aggregate *combinator* — the ⊕ operator of the state-effect
+//! pattern — that merges all values assigned during a tick.
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::ClassId;
+use crate::column::RefSet;
+use crate::entity::EntityId;
+
+/// A resolved SGL type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarType {
+    /// `number` — IEEE-754 double.
+    Number,
+    /// `bool`.
+    Bool,
+    /// `ref<Class>` — nullable reference to an entity of the class.
+    Ref(ClassId),
+    /// `set<Class>` — unordered set of entity references.
+    Set(ClassId),
+}
+
+impl ScalarType {
+    /// The default value for a column of this type when no explicit
+    /// default is declared.
+    pub fn zero(&self) -> Value {
+        match self {
+            ScalarType::Number => Value::Number(0.0),
+            ScalarType::Bool => Value::Bool(false),
+            ScalarType::Ref(_) => Value::Ref(EntityId::NULL),
+            ScalarType::Set(_) => Value::Set(RefSet::new()),
+        }
+    }
+
+    /// Whether values of this type can be compared with `<`, `<=` etc.
+    pub fn is_ordered(&self) -> bool {
+        matches!(self, ScalarType::Number)
+    }
+}
+
+impl std::fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalarType::Number => write!(f, "number"),
+            ScalarType::Bool => write!(f, "bool"),
+            ScalarType::Ref(c) => write!(f, "ref<class#{}>", c.0),
+            ScalarType::Set(c) => write!(f, "set<class#{}>", c.0),
+        }
+    }
+}
+
+/// A dynamically typed SGL value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A `number`.
+    Number(f64),
+    /// A `bool`.
+    Bool(bool),
+    /// A `ref<Class>` (possibly null).
+    Ref(EntityId),
+    /// A `set<Class>`.
+    Set(RefSet),
+}
+
+impl Value {
+    /// The runtime type of this value. `Ref`/`Set` report class id 0
+    /// because dynamic values do not carry their class; use schema
+    /// information for exact typing.
+    pub fn scalar_type(&self) -> ScalarType {
+        match self {
+            Value::Number(_) => ScalarType::Number,
+            Value::Bool(_) => ScalarType::Bool,
+            Value::Ref(_) => ScalarType::Ref(ClassId(0)),
+            Value::Set(_) => ScalarType::Set(ClassId(0)),
+        }
+    }
+
+    /// Extract a number, if this is one.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Extract a bool, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extract a reference, if this is one.
+    pub fn as_ref_id(&self) -> Option<EntityId> {
+        match self {
+            Value::Ref(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Extract a set, if this is one.
+    pub fn as_set(&self) -> Option<&RefSet> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<EntityId> for Value {
+    fn from(id: EntityId) -> Self {
+        Value::Ref(id)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Number(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Ref(id) => write!(f, "{id}"),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, id) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{id}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// The ⊕ effect combinators of the state-effect pattern (§2).
+///
+/// All writes to an effect variable during a tick are merged with its
+/// declared combinator. Combinators are associative and commutative so
+/// the merge can happen in any order — including in parallel (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Combinator {
+    /// Arithmetic sum; identity 0.
+    Sum,
+    /// Arithmetic mean (tracked as sum + count).
+    Avg,
+    /// Minimum; identity +∞.
+    Min,
+    /// Maximum; identity −∞.
+    Max,
+    /// Number of assignments; identity 0. The assigned value is ignored.
+    Count,
+    /// Boolean or; identity `false`.
+    Or,
+    /// Boolean and; identity `true`.
+    And,
+    /// Set union; identity ∅.
+    Union,
+}
+
+impl Combinator {
+    /// Parse a combinator keyword as it appears in an SGL class body.
+    pub fn parse(s: &str) -> Option<Combinator> {
+        Some(match s {
+            "sum" => Combinator::Sum,
+            "avg" => Combinator::Avg,
+            "min" => Combinator::Min,
+            "max" => Combinator::Max,
+            "count" => Combinator::Count,
+            "or" => Combinator::Or,
+            "and" => Combinator::And,
+            "union" => Combinator::Union,
+            _ => return None,
+        })
+    }
+
+    /// The keyword for this combinator.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Combinator::Sum => "sum",
+            Combinator::Avg => "avg",
+            Combinator::Min => "min",
+            Combinator::Max => "max",
+            Combinator::Count => "count",
+            Combinator::Or => "or",
+            Combinator::And => "and",
+            Combinator::Union => "union",
+        }
+    }
+
+    /// Whether this combinator accepts values of `ty`.
+    pub fn accepts(&self, ty: ScalarType) -> bool {
+        match self {
+            Combinator::Sum | Combinator::Avg => ty == ScalarType::Number,
+            // min/max also order refs by entity id — the deterministic
+            // "⊕ picks one of the conflicting writers" of §3.1.
+            Combinator::Min | Combinator::Max => {
+                matches!(ty, ScalarType::Number | ScalarType::Ref(_))
+            }
+            Combinator::Count => true,
+            Combinator::Or | Combinator::And => ty == ScalarType::Bool,
+            Combinator::Union => matches!(ty, ScalarType::Set(_)),
+        }
+    }
+
+    /// Scalar fold of one assigned value into an accumulator. `acc` is
+    /// `None` for the first assignment. `Avg` accumulates the running sum
+    /// here; the caller divides by the assignment count at finalization.
+    pub fn fold(&self, acc: Option<Value>, v: &Value) -> Value {
+        match (self, acc) {
+            (Combinator::Count, None) => Value::Number(1.0),
+            (Combinator::Count, Some(Value::Number(n))) => Value::Number(n + 1.0),
+            (_, None) => v.clone(),
+            (Combinator::Sum, Some(Value::Number(a))) | (Combinator::Avg, Some(Value::Number(a))) => {
+                Value::Number(a + v.as_number().unwrap_or(0.0))
+            }
+            (Combinator::Min, Some(Value::Number(a))) => {
+                Value::Number(a.min(v.as_number().unwrap_or(f64::INFINITY)))
+            }
+            (Combinator::Max, Some(Value::Number(a))) => {
+                Value::Number(a.max(v.as_number().unwrap_or(f64::NEG_INFINITY)))
+            }
+            (Combinator::Min, Some(Value::Ref(a))) => {
+                let b = v.as_ref_id().unwrap_or(EntityId::NULL);
+                if a.is_null() || (!b.is_null() && b < a) {
+                    Value::Ref(b)
+                } else {
+                    Value::Ref(a)
+                }
+            }
+            (Combinator::Max, Some(Value::Ref(a))) => {
+                let b = v.as_ref_id().unwrap_or(EntityId::NULL);
+                if b > a {
+                    Value::Ref(b)
+                } else {
+                    Value::Ref(a)
+                }
+            }
+            (Combinator::Or, Some(Value::Bool(a))) => Value::Bool(a || v.as_bool().unwrap_or(false)),
+            (Combinator::And, Some(Value::Bool(a))) => Value::Bool(a && v.as_bool().unwrap_or(true)),
+            (Combinator::Union, Some(Value::Set(mut a))) => {
+                if let Value::Set(b) = v {
+                    a.union_with(b);
+                }
+                Value::Set(a)
+            }
+            (_, Some(acc)) => acc, // type errors are caught by the frontend
+        }
+    }
+
+    /// Finalize a folded accumulator given the number of assignments.
+    pub fn finalize(&self, acc: Value, count: u32) -> Value {
+        match self {
+            Combinator::Avg => {
+                if count == 0 {
+                    acc
+                } else {
+                    Value::Number(acc.as_number().unwrap_or(0.0) / count as f64)
+                }
+            }
+            _ => acc,
+        }
+    }
+}
+
+impl std::fmt::Display for Combinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinator_roundtrip_names() {
+        for c in [
+            Combinator::Sum,
+            Combinator::Avg,
+            Combinator::Min,
+            Combinator::Max,
+            Combinator::Count,
+            Combinator::Or,
+            Combinator::And,
+            Combinator::Union,
+        ] {
+            assert_eq!(Combinator::parse(c.name()), Some(c));
+        }
+        assert_eq!(Combinator::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let c = Combinator::Sum;
+        let acc = c.fold(None, &Value::Number(2.0));
+        let acc = c.fold(Some(acc), &Value::Number(3.5));
+        assert_eq!(c.finalize(acc, 2), Value::Number(5.5));
+    }
+
+    #[test]
+    fn avg_divides_by_count() {
+        let c = Combinator::Avg;
+        let acc = c.fold(None, &Value::Number(2.0));
+        let acc = c.fold(Some(acc), &Value::Number(4.0));
+        assert_eq!(c.finalize(acc, 2), Value::Number(3.0));
+    }
+
+    #[test]
+    fn count_ignores_values() {
+        let c = Combinator::Count;
+        let acc = c.fold(None, &Value::Bool(true));
+        let acc = c.fold(Some(acc), &Value::Number(99.0));
+        assert_eq!(c.finalize(acc, 2), Value::Number(2.0));
+    }
+
+    #[test]
+    fn min_max_fold() {
+        let mn = Combinator::Min;
+        let acc = mn.fold(None, &Value::Number(3.0));
+        let acc = mn.fold(Some(acc), &Value::Number(-1.0));
+        assert_eq!(acc, Value::Number(-1.0));
+        let mx = Combinator::Max;
+        let acc = mx.fold(None, &Value::Number(3.0));
+        let acc = mx.fold(Some(acc), &Value::Number(-1.0));
+        assert_eq!(acc, Value::Number(3.0));
+    }
+
+    #[test]
+    fn union_folds_sets() {
+        let c = Combinator::Union;
+        let mut a = RefSet::new();
+        a.insert(EntityId(1));
+        let mut b = RefSet::new();
+        b.insert(EntityId(2));
+        b.insert(EntityId(1));
+        let acc = c.fold(None, &Value::Set(a));
+        let acc = c.fold(Some(acc), &Value::Set(b));
+        let s = acc.as_set().unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(EntityId(1)) && s.contains(EntityId(2)));
+    }
+
+    #[test]
+    fn accepts_checks_types() {
+        assert!(Combinator::Sum.accepts(ScalarType::Number));
+        assert!(!Combinator::Sum.accepts(ScalarType::Bool));
+        assert!(Combinator::Or.accepts(ScalarType::Bool));
+        assert!(Combinator::Union.accepts(ScalarType::Set(ClassId(3))));
+        assert!(Combinator::Count.accepts(ScalarType::Ref(ClassId(1))));
+    }
+}

@@ -1,0 +1,33 @@
+//! # sgl-workloads
+//!
+//! Workload generators for the SGL reproduction, mirroring the domains
+//! the paper motivates:
+//!
+//! * [`rts`] — a Warcraft-III-style skirmish (§2.1: the initial SGL
+//!   "emulated most of the script-level behavior from … Warcraft III");
+//!   two armies seek, engage and damage each other through accum range
+//!   queries. Drives experiments F2/E1/E2/E3.
+//! * [`traffic`] — the §4.2 traffic-network simulation ("millions of
+//!   vehicles", scaled to laptop sizes): vehicles circulate city blocks
+//!   with car-following behaviour. Drives E8.
+//! * [`market`] — the §3.1 financial-exchange scenario in three
+//!   variants (naive ⊕ effects, multi-tick protocol, atomic
+//!   transactions) with a host-side audit that counts duping and
+//!   negative-balance violations. Drives E5.
+//! * [`boids`] — flocking with `avg` combinators, the paper Fig. 1
+//!   effect pattern (`vx : avg`). Demo/example workload.
+//! * [`particles`] — the particle system §2 credits with inspiring the
+//!   state-effect pattern: a pure expression-update workload with heavy
+//!   spawn/despawn churn.
+//!
+//! All generators are deterministic for a given seed.
+
+pub mod boids;
+pub mod market;
+pub mod particles;
+pub mod rts;
+pub mod traffic;
+
+pub use market::{MarketAudit, MarketMode, MarketParams};
+pub use rts::RtsParams;
+pub use traffic::TrafficParams;

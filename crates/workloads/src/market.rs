@@ -1,0 +1,445 @@
+//! The §3.1 marketplace: financial exchanges, duping, and transactions.
+//!
+//! "Money should be deducted from my account only if I receive the
+//! appropriate items … Such duplication (or 'duping') bugs are very
+//! common." Three variants reproduce the paper's argument:
+//!
+//! * [`MarketMode::Naive`] — the exchange is written with plain effect
+//!   assignments. All writes succeed (⊕ combines conflicting ownership
+//!   writes with `min`), so **every** contending buyer pays while only
+//!   one receives the item, and balances can go negative: duping.
+//! * [`MarketMode::MultiTick`] — the paper's two-phase protocol: buyers
+//!   propose in tick t (⊕ `min` picks the winner), the exchange happens
+//!   in tick t+1. Payment is exact, but a robbery landing in the
+//!   exchange tick can still drive the buyer negative — the paper's
+//!   "if b is robbed during the same tick as the exchange" failure.
+//! * [`MarketMode::Atomic`] — `atomic` regions + `constraint gold >= 0`:
+//!   write-write conflicts and constraint violations abort, so audits
+//!   find zero violations.
+//!
+//! The host-side [`run_and_audit`] counts payments vs. ownership transfers
+//! (duping = paid-but-not-received) and negative balances.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use sgl::{EntityId, ExecMode, Simulation, Value};
+
+/// Which exchange implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketMode {
+    /// Plain effects: "all writes succeed — even those that conflict".
+    Naive,
+    /// Propose in tick t, exchange in tick t+1.
+    MultiTick,
+    /// Atomic regions with constraints (§3.1's solution).
+    Atomic,
+}
+
+impl MarketMode {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MarketMode::Naive => "naive-effects",
+            MarketMode::MultiTick => "multi-tick",
+            MarketMode::Atomic => "atomic-txn",
+        }
+    }
+}
+
+const COMMON: &str = r#"
+class Item {
+state:
+  ref<Trader> owner = null;
+  number price = 10;
+effects:
+  ref<Trader> owner : min;
+update:
+  owner by transactions;
+}
+"#;
+
+/// Naive: direct effect writes; conflicting purchases all "succeed".
+const NAIVE_TRADER: &str = r#"
+class Trader {
+state:
+  number gold = 0;
+  number paidCount = 0;
+  ref<Item> want = null;
+  number role = 0;
+  ref<Trader> victim = null;
+effects:
+  number gold : sum;
+  number paidCount : sum;
+update:
+  gold by transactions;
+  paidCount by transactions;
+script buy {
+  if (role == 0 && want != null) {
+    if (want.owner != self && want.owner != null) {
+      gold <- 0 - want.price;
+      paidCount <- 1;
+      want.owner.gold <- want.price;
+      want.owner <- self;
+    }
+  }
+}
+script rob {
+  if (role == 1 && victim != null) {
+    gold <- 20;
+    victim.gold <- -20;
+  }
+}
+}
+"#;
+
+/// Multi-tick: propose (⊕ min picks winner), exchange next tick.
+const MULTITICK_TRADER: &str = r#"
+class Trader {
+state:
+  number gold = 0;
+  number paidCount = 0;
+  ref<Item> want = null;
+  number role = 0;
+  ref<Trader> victim = null;
+effects:
+  number gold : sum;
+  number paidCount : sum;
+update:
+  gold by transactions;
+  paidCount by transactions;
+script buy {
+  if (role == 0 && want != null) {
+    if (want.owner != self && want.owner != null) {
+      want.winner <- self;
+    }
+    waitNextTick;
+    if (want != null && want.winnerIs == self && want.owner != self && want.owner != null) {
+      gold <- 0 - want.price;
+      paidCount <- 1;
+      want.owner.gold <- want.price;
+      want.owner <- self;
+    }
+  }
+}
+script rob {
+  if (role == 1 && victim != null) {
+    gold <- 20;
+    victim.gold <- -20;
+  }
+}
+}
+"#;
+
+const MULTITICK_ITEM: &str = r#"
+class Item {
+state:
+  ref<Trader> owner = null;
+  number price = 10;
+  ref<Trader> winnerIs = null;
+effects:
+  ref<Trader> owner : min;
+  ref<Trader> winner : min;
+update:
+  owner by transactions;
+  winnerIs = winner;
+}
+"#;
+
+/// Atomic: the §3.1 solution.
+const ATOMIC_TRADER: &str = r#"
+class Trader {
+state:
+  number gold = 0;
+  number paidCount = 0;
+  ref<Item> want = null;
+  number role = 0;
+  ref<Trader> victim = null;
+  bool txnOk = false;
+effects:
+  number gold : sum;
+  number paidCount : sum;
+update:
+  gold by transactions;
+  paidCount by transactions;
+  txnOk by transactions;
+constraint gold >= 0;
+script buy {
+  if (role == 0 && want != null) {
+    if (want.owner != self && want.owner != null) {
+      atomic {
+        gold <- 0 - want.price;
+        paidCount <- 1;
+        want.owner.gold <- want.price;
+        want.owner <- self;
+      }
+    }
+  }
+}
+script rob {
+  if (role == 1 && victim != null) {
+    atomic {
+      gold <- 20;
+      victim.gold <- -20;
+    }
+  }
+}
+}
+"#;
+
+/// Full source for a mode.
+pub fn source(mode: MarketMode) -> String {
+    match mode {
+        MarketMode::Naive => format!("{COMMON}{NAIVE_TRADER}"),
+        MarketMode::MultiTick => format!("{MULTITICK_ITEM}{MULTITICK_TRADER}"),
+        MarketMode::Atomic => format!("{COMMON}{ATOMIC_TRADER}"),
+    }
+}
+
+/// Marketplace scenario parameters.
+#[derive(Debug, Clone)]
+pub struct MarketParams {
+    /// Buyers contending for items.
+    pub buyers: usize,
+    /// Items for sale (fewer items = more contention).
+    pub items: usize,
+    /// Robbers (steal plain/atomic deltas from random buyers).
+    pub robbers: usize,
+    /// Starting gold per buyer.
+    pub gold: f64,
+    /// Item price.
+    pub price: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Exchange implementation.
+    pub mode: MarketMode,
+    /// Execution mode.
+    pub exec: ExecMode,
+}
+
+impl Default for MarketParams {
+    fn default() -> Self {
+        MarketParams {
+            buyers: 40,
+            items: 8,
+            robbers: 4,
+            gold: 25.0,
+            price: 10.0,
+            seed: 11,
+            mode: MarketMode::Atomic,
+            exec: ExecMode::Compiled,
+        }
+    }
+}
+
+/// A built marketplace with the handles the audit needs.
+pub struct Market {
+    /// The simulation.
+    pub sim: Simulation,
+    /// All trader ids (buyers + sellers + robbers).
+    pub traders: Vec<EntityId>,
+    /// All item ids.
+    pub items: Vec<EntityId>,
+    /// Initial total gold (conservation baseline).
+    pub initial_gold: f64,
+}
+
+/// Build and populate a marketplace.
+pub fn build(params: &MarketParams) -> Market {
+    let mut sim = Simulation::builder()
+        .source(source(params.mode))
+        .mode(params.exec)
+        .build()
+        .expect("market source must compile");
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+
+    // Sellers (one per item) own the items; they run no scripts (role 2).
+    let mut traders = Vec::new();
+    let mut items = Vec::new();
+    let mut sellers = Vec::new();
+    for _ in 0..params.items {
+        let seller = sim
+            .spawn(
+                "Trader",
+                &[("gold", Value::Number(0.0)), ("role", Value::Number(2.0))],
+            )
+            .expect("spawn seller");
+        sellers.push(seller);
+        traders.push(seller);
+    }
+    for &seller in &sellers {
+        let item = sim
+            .spawn(
+                "Item",
+                &[
+                    ("owner", Value::Ref(seller)),
+                    ("price", Value::Number(params.price)),
+                ],
+            )
+            .expect("spawn item");
+        items.push(item);
+    }
+    let mut buyers = Vec::new();
+    for _ in 0..params.buyers {
+        let want = items[rng.gen_range(0..items.len())];
+        let buyer = sim
+            .spawn(
+                "Trader",
+                &[
+                    ("gold", Value::Number(params.gold)),
+                    ("want", Value::Ref(want)),
+                    ("role", Value::Number(0.0)),
+                ],
+            )
+            .expect("spawn buyer");
+        buyers.push(buyer);
+        traders.push(buyer);
+    }
+    for _ in 0..params.robbers {
+        let victim = buyers[rng.gen_range(0..buyers.len())];
+        let robber = sim
+            .spawn(
+                "Trader",
+                &[
+                    ("gold", Value::Number(0.0)),
+                    ("role", Value::Number(1.0)),
+                    ("victim", Value::Ref(victim)),
+                ],
+            )
+            .expect("spawn robber");
+        traders.push(robber);
+    }
+
+    let initial_gold = total_gold(&sim, &traders);
+    Market {
+        sim,
+        traders,
+        items,
+        initial_gold,
+    }
+}
+
+fn total_gold(sim: &Simulation, traders: &[EntityId]) -> f64 {
+    traders
+        .iter()
+        .map(|&t| sim.get(t, "gold").unwrap().as_number().unwrap())
+        .sum()
+}
+
+/// Violation counts after a run (§3.1's correctness criteria).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MarketAudit {
+    /// Traders with negative balances (constraint violations).
+    pub negative_balances: usize,
+    /// Total gold delta vs. the start (≠ 0 ⇒ money created/destroyed).
+    pub gold_conservation_error: f64,
+    /// Payments made minus ownership transfers received (> 0 ⇒ duping:
+    /// someone paid without receiving).
+    pub duping: f64,
+    /// Ownership transfers observed.
+    pub transfers: usize,
+}
+
+/// Run `ticks` ticks, tracking transfers each tick; payments come from
+/// the in-language `paidCount` counter, which commits/aborts together
+/// with each purchase (so the audit is exact).
+pub fn run_and_audit(market: &mut Market, ticks: usize, _price: f64) -> MarketAudit {
+    let mut transfers = 0usize;
+    let mut owners: Vec<EntityId> = market
+        .items
+        .iter()
+        .map(|&i| market.sim.get(i, "owner").unwrap().as_ref_id().unwrap())
+        .collect();
+
+    for _ in 0..ticks {
+        market.sim.tick();
+        for (k, &item) in market.items.iter().enumerate() {
+            let now = market.sim.get(item, "owner").unwrap().as_ref_id().unwrap();
+            if now != owners[k] {
+                transfers += 1;
+                owners[k] = now;
+            }
+        }
+    }
+    let payments: f64 = market
+        .traders
+        .iter()
+        .map(|&t| {
+            market
+                .sim
+                .get(t, "paidCount")
+                .unwrap()
+                .as_number()
+                .unwrap()
+        })
+        .sum();
+
+    let negative_balances = market
+        .traders
+        .iter()
+        .filter(|&&t| market.sim.get(t, "gold").unwrap().as_number().unwrap() < 0.0)
+        .count();
+    let final_gold = total_gold(&market.sim, &market.traders);
+    MarketAudit {
+        negative_balances,
+        gold_conservation_error: final_gold - market.initial_gold,
+        duping: payments - transfers as f64,
+        transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mode: MarketMode) -> MarketAudit {
+        let params = MarketParams {
+            mode,
+            buyers: 30,
+            items: 5,
+            robbers: 3,
+            ..MarketParams::default()
+        };
+        let price = params.price;
+        let mut market = build(&params);
+        run_and_audit(&mut market, 10, price)
+    }
+
+    #[test]
+    fn naive_mode_dupes() {
+        let audit = run(MarketMode::Naive);
+        assert!(
+            audit.duping > 0.0,
+            "plain ⊕ effects must show paid-but-not-received: {audit:?}"
+        );
+    }
+
+    #[test]
+    fn naive_mode_goes_negative() {
+        let audit = run(MarketMode::Naive);
+        assert!(
+            audit.negative_balances > 0,
+            "robbery + uncontrolled purchases must overdraw: {audit:?}"
+        );
+    }
+
+    #[test]
+    fn atomic_mode_is_clean() {
+        let audit = run(MarketMode::Atomic);
+        assert_eq!(audit.duping, 0.0, "{audit:?}");
+        assert_eq!(audit.negative_balances, 0, "{audit:?}");
+        assert!(audit.transfers > 0, "exchanges must still happen: {audit:?}");
+        assert!(audit.gold_conservation_error.abs() < 1e-9, "{audit:?}");
+    }
+
+    #[test]
+    fn multitick_reduces_duping_but_can_go_negative() {
+        let audit = run(MarketMode::MultiTick);
+        assert_eq!(
+            audit.duping, 0.0,
+            "the winner protocol serializes purchases: {audit:?}"
+        );
+        assert!(
+            audit.negative_balances > 0,
+            "robbery during the exchange tick overdraws: {audit:?}"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Traffic-network simulation (§4.2).
+//!
+//! "We are currently working on a project to simulate traffic networks
+//! with millions of vehicles" — here scaled to laptop sizes with the
+//! same per-vehicle behaviour: every vehicle circulates its city block
+//! (four corner waypoints) and brakes when other vehicles crowd the road
+//! ahead (an accum range query — car following). Positions are owned by
+//! the physics component.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use sgl::{ExecMode, PhysicsSpec, Simulation, Value};
+
+/// The Vehicle class + driving scripts.
+pub const SOURCE: &str = r#"
+class Vehicle {
+state:
+  number x = 0;
+  number y = 0;
+  number homeX = 0;
+  number homeY = 0;
+  number blockw = 20;
+  number lap = 0;
+  number speed = 1;
+  number ahead = 0;
+effects:
+  number vx : avg;
+  number vy : avg;
+  number lapNext : max = 0;
+  number nearv : sum;
+update:
+  lap = lapNext;
+  ahead = nearv;
+  x by physics;
+  y by physics;
+
+script sense {
+  accum number c with sum over Vehicle v from Vehicle {
+    if (v.x >= x - 2 && v.x <= x + 2 && v.y >= y - 2 && v.y <= y + 2) {
+      c <- 1;
+    }
+  } in {
+    nearv <- c - 1;
+  }
+}
+
+script drive {
+  lapNext <- lap;
+  let phase = lap % 4;
+  let brake = max(1, ahead);
+  let eff = speed / brake;
+  if (phase < 1) {
+    let tx = homeX + blockw;
+    let ty = homeY;
+    let dx = tx - x;
+    let dy = ty - y;
+    let d = max(dist(0, 0, dx, dy), 0.001);
+    vx <- eff * dx / d;
+    vy <- eff * dy / d;
+    if (d < 1) { lapNext <- lap + 1; }
+  } else if (phase < 2) {
+    let tx = homeX + blockw;
+    let ty = homeY + blockw;
+    let dx = tx - x;
+    let dy = ty - y;
+    let d = max(dist(0, 0, dx, dy), 0.001);
+    vx <- eff * dx / d;
+    vy <- eff * dy / d;
+    if (d < 1) { lapNext <- lap + 1; }
+  } else if (phase < 3) {
+    let tx = homeX;
+    let ty = homeY + blockw;
+    let dx = tx - x;
+    let dy = ty - y;
+    let d = max(dist(0, 0, dx, dy), 0.001);
+    vx <- eff * dx / d;
+    vy <- eff * dy / d;
+    if (d < 1) { lapNext <- lap + 1; }
+  } else {
+    let dx = homeX - x;
+    let dy = homeY - y;
+    let d = max(dist(0, 0, dx, dy), 0.001);
+    vx <- eff * dx / d;
+    vy <- eff * dy / d;
+    if (d < 1) { lapNext <- lap + 1; }
+  }
+}
+}
+"#;
+
+/// Traffic scenario parameters.
+#[derive(Debug, Clone)]
+pub struct TrafficParams {
+    /// Number of vehicles.
+    pub vehicles: usize,
+    /// City grid: `blocks × blocks` blocks.
+    pub blocks: usize,
+    /// Block side length (world units).
+    pub block_w: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Effect-phase threads.
+    pub threads: usize,
+}
+
+impl Default for TrafficParams {
+    fn default() -> Self {
+        TrafficParams {
+            vehicles: 2000,
+            blocks: 8,
+            block_w: 20.0,
+            seed: 99,
+            mode: ExecMode::Compiled,
+            threads: 1,
+        }
+    }
+}
+
+/// Build the simulation and spawn the fleet.
+pub fn build(params: &TrafficParams) -> Simulation {
+    let city = params.blocks as f64 * params.block_w;
+    let mut physics = PhysicsSpec::simple("Vehicle");
+    physics.bounds = Some((0.0, 0.0, city + params.block_w, city + params.block_w));
+
+    let mut sim = Simulation::builder()
+        .source(SOURCE)
+        .mode(params.mode)
+        .threads(params.threads)
+        .physics(physics)
+        .build()
+        .expect("traffic source must compile");
+    populate(&mut sim, params);
+    sim
+}
+
+/// Spawn vehicles at random block corners.
+pub fn populate(sim: &mut Simulation, params: &TrafficParams) {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    for _ in 0..params.vehicles {
+        let bxi = rng.gen_range(0..params.blocks) as f64;
+        let byi = rng.gen_range(0..params.blocks) as f64;
+        let bx = bxi * params.block_w;
+        let by = byi * params.block_w;
+        let lap = rng.gen_range(0..4) as f64;
+        // Jitter the start position along the block edge.
+        let jitter = rng.gen_range(0.0..params.block_w);
+        sim.spawn(
+            "Vehicle",
+            &[
+                ("x", Value::Number(bx + jitter)),
+                ("y", Value::Number(by)),
+                ("homeX", Value::Number(bx)),
+                ("homeY", Value::Number(by)),
+                ("blockw", Value::Number(params.block_w)),
+                ("lap", Value::Number(lap)),
+                ("speed", Value::Number(rng.gen_range(0.8..1.4))),
+            ],
+        )
+        .expect("spawn vehicle");
+    }
+}
+
+/// Mean laps completed — the simulation's progress metric.
+pub fn mean_progress(sim: &Simulation) -> f64 {
+    let world = sim.world();
+    let class = world.class_id("Vehicle").expect("Vehicle class");
+    let laps = world
+        .table(class)
+        .column_by_name("lap")
+        .expect("lap column")
+        .f64();
+    if laps.is_empty() {
+        return 0.0;
+    }
+    laps.iter().sum::<f64>() / laps.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vehicles_make_progress() {
+        let params = TrafficParams {
+            vehicles: 50,
+            blocks: 3,
+            ..TrafficParams::default()
+        };
+        let mut sim = build(&params);
+        let before = mean_progress(&sim);
+        sim.run(120);
+        let after = mean_progress(&sim);
+        assert!(
+            after > before + 0.5,
+            "vehicles should complete corners: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn braking_reports_neighbours() {
+        // Two vehicles on the same corner must see each other.
+        let params = TrafficParams {
+            vehicles: 0,
+            blocks: 2,
+            ..TrafficParams::default()
+        };
+        let mut sim = build(&params);
+        for _ in 0..2 {
+            sim.spawn(
+                "Vehicle",
+                &[
+                    ("x", Value::Number(5.0)),
+                    ("y", Value::Number(0.0)),
+                ],
+            )
+            .unwrap();
+        }
+        sim.tick();
+        let class = sim.world().class_id("Vehicle").unwrap();
+        let ids: Vec<_> = sim.world().table(class).ids().to_vec();
+        for id in ids {
+            assert_eq!(sim.get(id, "ahead").unwrap(), Value::Number(1.0));
+        }
+    }
+}

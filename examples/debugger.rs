@@ -1,0 +1,403 @@
+//! An interactive tick debugger — the "development environment with
+//! debugger" the paper promises in §5, built on the §3.3 hooks:
+//! tick-boundary state inspection, per-NPC effect traces, resumable
+//! checkpoints, watchpoints, and live query-plan observation.
+//!
+//! ```sh
+//! cargo run -p sgl-examples --bin debugger            # REPL on stdin
+//! cargo run -p sgl-examples --bin debugger -- --demo  # scripted session
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! tick [n]            run n ticks (default 1) and print phase timings
+//! ls [limit]          list entities with their class
+//! inspect <id>        all state attributes of one entity
+//! effects <id>        raw ⊕ assignments targeting <id> last tick
+//! watch <class> <attr> <op> <value>
+//!                     report entities matching the predicate after
+//!                     every tick (op: < <= > >= == !=)
+//! unwatch <k>         drop watch number k
+//! plan                join methods chosen by the adaptive optimizer
+//! stats               last tick's phase breakdown
+//! checkpoint <name>   snapshot the world
+//! restore <name>      roll back to a snapshot
+//! help | quit
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+use sgl::{EntityId, Simulation, Value};
+
+/// A besieged castle: guards patrol (multi-tick intention), wolves roam
+/// and bite, wounded guards interrupt their patrol to heal (§3.2
+/// `restart`).
+const SOURCE: &str = r#"
+class Guard {
+state:
+  number x = 0;
+  number y = 0;
+  number hp = 100;
+  number atStep = 0;
+  number heals = 0;
+effects:
+  number step : max = 0;
+  number bite : sum;
+  number cured : sum;
+update:
+  hp = hp - bite + cured;
+  atStep = step;
+  heals = heals + cured;
+script patrol {
+  step <- 1;
+  waitNextTick;
+  step <- 2;
+  waitNextTick;
+  step <- 3;
+}
+when (hp < 60) { cured <- 50; } restart patrol;
+}
+
+class Wolf {
+state:
+  number x = 0;
+  number y = 0;
+  number vx = 3;
+  number hunger = 15;
+effects:
+  number dx : avg;
+update:
+  x = x + dx;
+script hunt {
+  dx <- vx;
+  accum number bitten with sum over Guard g from Guard {
+    if (g.x >= x - 6 && g.x <= x + 6 &&
+        g.y >= y - 6 && g.y <= y + 6) {
+      g.bite <- hunger;
+      bitten <- 1;
+    }
+  } in {
+    if (bitten > 0) {
+      dx <- 0 - vx;
+    }
+  }
+}
+}
+"#;
+
+/// One registered watchpoint: `class.attr op value`.
+struct Watch {
+    class: String,
+    attr: String,
+    op: String,
+    value: f64,
+}
+
+impl Watch {
+    fn matches(&self, v: f64) -> bool {
+        match self.op.as_str() {
+            "<" => v < self.value,
+            "<=" => v <= self.value,
+            ">" => v > self.value,
+            ">=" => v >= self.value,
+            "==" => v == self.value,
+            "!=" => v != self.value,
+            _ => false,
+        }
+    }
+}
+
+struct Debugger {
+    sim: Simulation,
+    watches: Vec<Watch>,
+    snapshots: HashMap<String, Vec<u8>>,
+}
+
+impl Debugger {
+    fn new() -> Debugger {
+        let mut sim = Simulation::builder()
+            .source(SOURCE)
+            .effect_trace(true) // per-NPC effect inspection (§3.3)
+            .build()
+            .expect("demo game compiles");
+        // Castle wall: guards at x = 40..56; wolves approaching from 0.
+        for i in 0..8 {
+            sim.spawn(
+                "Guard",
+                &[
+                    ("x", Value::Number(40.0 + 2.0 * i as f64)),
+                    ("y", Value::Number((i % 4) as f64)),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..3 {
+            sim.spawn(
+                "Wolf",
+                &[
+                    ("x", Value::Number(28.0 + 4.0 * i as f64)),
+                    ("y", Value::Number((i % 4) as f64)),
+                ],
+            )
+            .unwrap();
+        }
+        Debugger {
+            sim,
+            watches: Vec::new(),
+            snapshots: HashMap::new(),
+        }
+    }
+
+    fn command(&mut self, line: &str) -> bool {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] | ["q"] => return false,
+            ["help"] | ["h"] => print_help(),
+            ["tick"] => self.tick(1),
+            ["tick", n] => self.tick(n.parse().unwrap_or(1)),
+            ["ls"] => self.list(usize::MAX),
+            ["ls", n] => self.list(n.parse().unwrap_or(usize::MAX)),
+            ["inspect", id] => self.inspect(id),
+            ["effects", id] => self.effects(id),
+            ["watch", class, attr, op, value] => {
+                match value.parse::<f64>() {
+                    Ok(v) => {
+                        self.watches.push(Watch {
+                            class: class.to_string(),
+                            attr: attr.to_string(),
+                            op: op.to_string(),
+                            value: v,
+                        });
+                        println!(
+                            "watch #{}: {class}.{attr} {op} {value}",
+                            self.watches.len() - 1
+                        );
+                    }
+                    Err(_) => println!("watch: value must be a number"),
+                }
+            }
+            ["unwatch", k] => {
+                match k.parse::<usize>() {
+                    Ok(k) if k < self.watches.len() => {
+                        self.watches.remove(k);
+                        println!("removed watch #{k}");
+                    }
+                    _ => println!("no such watch"),
+                }
+            }
+            ["plan"] => self.plan(),
+            ["stats"] => self.stats(),
+            ["checkpoint", name] => {
+                let bytes = self.sim.checkpoint();
+                println!("checkpoint `{name}`: {} bytes", bytes.len());
+                self.snapshots.insert(name.to_string(), bytes.to_vec());
+            }
+            ["restore", name] => match self.snapshots.get(*name) {
+                Some(bytes) => {
+                    self.sim.restore(bytes).expect("checkpoint restores");
+                    println!("restored `{name}` (tick {})", self.sim.world().tick());
+                }
+                None => println!("no checkpoint `{name}`"),
+            },
+            other => println!("unknown command {other:?} — try `help`"),
+        }
+        true
+    }
+
+    fn tick(&mut self, n: usize) {
+        for _ in 0..n {
+            self.sim.tick();
+            let s = self.sim.last_stats();
+            println!(
+                "tick {:>4}: effect {} + combine {} + update {} + reactive {} | {} effects, {} interrupts",
+                s.tick,
+                us(s.effect_nanos),
+                us(s.combine_nanos),
+                us(s.update_nanos),
+                us(s.reactive_nanos),
+                s.effects_emitted,
+                s.interrupts,
+            );
+            self.fire_watches();
+        }
+    }
+
+    fn fire_watches(&self) {
+        let world = self.sim.world();
+        for (k, w) in self.watches.iter().enumerate() {
+            let Ok(class) = world.class_id(&w.class) else {
+                continue;
+            };
+            let table = world.table(class);
+            let Some(col) = table.column_by_name(&w.attr) else {
+                continue;
+            };
+            let hits: Vec<String> = table
+                .ids()
+                .iter()
+                .zip(col.f64())
+                .filter(|(_, &v)| w.matches(v))
+                .map(|(id, v)| format!("{id}={v}"))
+                .collect();
+            if !hits.is_empty() {
+                println!(
+                    "  watch #{k} {}.{} {} {}: {}",
+                    w.class,
+                    w.attr,
+                    w.op,
+                    w.value,
+                    hits.join(" ")
+                );
+            }
+        }
+    }
+
+    fn list(&self, limit: usize) {
+        let world = self.sim.world();
+        for cdef in world.catalog().classes() {
+            let table = world.table(cdef.id);
+            // Hidden pc columns are compiler-internal; skip pure-internal
+            // classes the same way.
+            println!("{} ({} live):", cdef.name, table.len());
+            for id in table.ids().iter().take(limit) {
+                println!("  {id}");
+            }
+        }
+    }
+
+    fn inspect(&self, raw: &str) {
+        let Some(id) = parse_id(raw) else {
+            println!("inspect: bad id `{raw}`");
+            return;
+        };
+        match self.sim.state_of(id) {
+            Some(state) => {
+                for (name, value) in state {
+                    println!("  {name} = {value}");
+                }
+            }
+            None => println!("no entity {raw}"),
+        }
+    }
+
+    fn effects(&self, raw: &str) {
+        let Some(id) = parse_id(raw) else {
+            println!("effects: bad id `{raw}`");
+            return;
+        };
+        let lines = self.sim.effects_of(id);
+        if lines.is_empty() {
+            println!("  (no effect assignments targeted {raw} last tick)");
+        }
+        for line in lines {
+            println!("  {line}");
+        }
+    }
+
+    fn plan(&self) {
+        let joins = &self.sim.last_stats().joins;
+        if joins.is_empty() {
+            println!("no accum joins last tick (run `tick` first)");
+            return;
+        }
+        let classes = self.sim.world().catalog().classes();
+        println!("| class | script | seg.step | method | pairs | time | switched |");
+        for j in joins {
+            println!(
+                "| {} | {} | {}.{} | {} | {} | {} | {} |",
+                classes[j.class as usize].name,
+                j.script,
+                j.segment,
+                j.step,
+                j.method.name(),
+                j.pairs,
+                us(j.nanos),
+                if j.switched { "yes" } else { "" }
+            );
+        }
+    }
+
+    fn stats(&self) {
+        let s = self.sim.last_stats();
+        println!("tick {}", s.tick);
+        println!("  effect phase   {}", us(s.effect_nanos));
+        println!("  ⊕ combine      {}", us(s.combine_nanos));
+        println!("  update phase   {}", us(s.update_nanos));
+        println!("  reactive phase {}", us(s.reactive_nanos));
+        println!("  effects folded {}", s.effects_emitted);
+        println!("  interrupts     {}", s.interrupts);
+        println!(
+            "  transactions   {} issued / {} committed",
+            s.txn.issued, s.txn.committed
+        );
+    }
+}
+
+fn parse_id(raw: &str) -> Option<EntityId> {
+    raw.trim_start_matches('#').parse::<u64>().ok().map(EntityId)
+}
+
+fn us(nanos: u64) -> String {
+    if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{}µs", nanos / 1_000)
+    }
+}
+
+fn print_help() {
+    println!(
+        "tick [n] | ls [limit] | inspect <id> | effects <id> |\n\
+         watch <class> <attr> <op> <v> | unwatch <k> | plan | stats |\n\
+         checkpoint <name> | restore <name> | quit"
+    );
+}
+
+/// The canned session used by `--demo` (and by CI, where stdin is not a
+/// terminal).
+const DEMO: &[&str] = &[
+    "ls",
+    "watch Guard hp < 60",
+    "checkpoint start",
+    "tick 3",
+    "inspect 1",
+    "effects 1",
+    "plan",
+    "tick 4",
+    "stats",
+    "restore start",
+    "inspect 1",
+    "quit",
+];
+
+fn main() {
+    let demo = std::env::args().any(|a| a == "--demo");
+    let mut dbg = Debugger::new();
+    println!("SGL debugger — `help` for commands. 8 guards patrol, 3 wolves close in.");
+    if demo {
+        for line in DEMO {
+            println!("(sgl-dbg) {line}");
+            if !dbg.command(line) {
+                break;
+            }
+        }
+        return;
+    }
+    let stdin = io::stdin();
+    loop {
+        print!("(sgl-dbg) ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                if !dbg.command(&line) {
+                    break;
+                }
+            }
+        }
+    }
+}

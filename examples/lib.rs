@@ -1,0 +1,2 @@
+//! Shared helpers for the example binaries (each `[[bin]]` in this
+//! package is a standalone demonstration of the public `sgl` API).

@@ -1,0 +1,147 @@
+//! RPG inventory: `ref<…>` and `set<…>` types (§2.1).
+//!
+//! "SGL now supports reference and (unordered) set data types … This
+//! advance in SGL is especially appealing to the developers of
+//! role-playing games (RPGs) who have a lot of container objects that
+//! force them to construct very complicated schemas."
+//!
+//! Adventurers walk to the nearest loose item and pick it up with the
+//! paper's set-insert effect (`itemsAcquired <= i`); containers are just
+//! `set<Item>` attributes — no join tables, no schema gymnastics.
+//!
+//! ```sh
+//! cargo run -p sgl-examples --bin rpg_inventory
+//! ```
+
+use sgl::{Simulation, Value};
+
+const SOURCE: &str = r#"
+class Item {
+state:
+  number x = 0;
+  number y = 0;
+  number weight = 1;
+  bool loose = true;
+effects:
+  bool taken : or;
+update:
+  loose = loose && !taken;
+}
+
+class Adventurer {
+state:
+  number x = 0;
+  number y = 0;
+  number load = 0;
+  set<Item> bag;
+effects:
+  number vx : avg;
+  number vy : avg;
+  set<Item> itemsAcquired : union;
+  number weightGain : sum;
+update:
+  x = x + vx;
+  y = y + vy;
+  bag = union(bag, itemsAcquired);
+  load = load + weightGain;
+
+script loot {
+  accum ref<Item> closest with min over Item i from Item {
+    if (i.loose && i.x >= x - 50 && i.x <= x + 50 &&
+        i.y >= y - 50 && i.y <= y + 50) {
+      closest <- i;
+    }
+  } in {
+    if (closest != null) {
+      let d = dist(x, y, closest.x, closest.y);
+      if (d < 1) {
+        itemsAcquired <= closest;
+        weightGain <- closest.weight;
+        closest.taken <- true;
+      } else {
+        vx <- (closest.x - x) / max(d, 1);
+        vy <- (closest.y - y) / max(d, 1);
+      }
+    }
+  }
+}
+}
+"#;
+
+fn main() {
+    let mut sim = Simulation::builder()
+        .source(SOURCE)
+        .build()
+        .unwrap_or_else(|e| panic!("compile error:\n{e}"));
+
+    println!("== RPG inventory: set<Item> containers, `<=` pickup ==\n");
+
+    // Scatter items, drop two adventurers at the corners.
+    let mut items = Vec::new();
+    for k in 0..10 {
+        items.push(
+            sim.spawn(
+                "Item",
+                &[
+                    ("x", Value::Number((k * 7 % 23) as f64)),
+                    ("y", Value::Number((k * 11 % 19) as f64)),
+                    ("weight", Value::Number(1.0 + (k % 3) as f64)),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    let a = sim
+        .spawn("Adventurer", &[("x", Value::Number(0.0)), ("y", Value::Number(0.0))])
+        .unwrap();
+    let b = sim
+        .spawn("Adventurer", &[("x", Value::Number(22.0)), ("y", Value::Number(18.0))])
+        .unwrap();
+
+    for tick in 0..80 {
+        sim.tick();
+        if tick % 10 == 9 {
+            let loose = sim
+                .world()
+                .table(sim.world().class_id("Item").unwrap())
+                .column_by_name("loose")
+                .unwrap()
+                .bool()
+                .iter()
+                .filter(|&&l| l)
+                .count();
+            println!(
+                "tick {:>3}: items loose {:>2}, bag(A) = {}, bag(B) = {}",
+                tick + 1,
+                loose,
+                sim.get(a, "bag").unwrap(),
+                sim.get(b, "bag").unwrap(),
+            );
+            if loose == 0 {
+                break;
+            }
+        }
+    }
+
+    let bag_a = sim.get(a, "bag").unwrap();
+    let bag_b = sim.get(b, "bag").unwrap();
+    let load_a = sim.get(a, "load").unwrap();
+    let load_b = sim.get(b, "load").unwrap();
+    println!("\nfinal: A carries {bag_a} (load {load_a}), B carries {bag_b} (load {load_b})");
+
+    // No item may be in two bags: `taken : or` + the loose guard make
+    // pickup exclusive even when both adventurers reach it in the same
+    // tick — but ⊕ alone would let both insert it. Check honestly:
+    let sa = bag_a.as_set().unwrap();
+    let sb = bag_b.as_set().unwrap();
+    let both: Vec<_> = sa.iter().filter(|id| sb.contains(*id)).collect();
+    if both.is_empty() {
+        println!("no item ended up in two bags");
+    } else {
+        println!(
+            "{} item(s) in both bags — the §3.1 duping hazard with plain ⊕ effects! \
+             (make pickup atomic to fix)",
+            both.len()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! RTS skirmish: two armies march, engage and fight to the end.
+//!
+//! ```sh
+//! cargo run -p sgl-examples --bin rts_skirmish --release
+//! ```
+
+use sgl_workloads::rts::{army_sizes, build, RtsParams};
+
+fn main() {
+    let params = RtsParams {
+        units_per_side: 300,
+        arena: 150.0,
+        threads: 4,
+        ..RtsParams::default()
+    };
+    let mut sim = build(&params);
+    println!(
+        "== RTS skirmish: {} vs {} units, {} executor ==\n",
+        params.units_per_side,
+        params.units_per_side,
+        sim.executor_name()
+    );
+
+    let mut tick = 0usize;
+    loop {
+        sim.tick();
+        tick += 1;
+        let (p0, p1) = army_sizes(&sim);
+        if tick.is_multiple_of(20) || p0 == 0 || p1 == 0 {
+            let s = sim.last_stats();
+            println!(
+                "tick {tick:>4}: army0 {p0:>4}  army1 {p1:>4}  | tick {:>6}µs, join {} ({} pairs)",
+                s.total_nanos() / 1000,
+                s.joins.first().map(|j| j.method.name()).unwrap_or_default(),
+                s.total_pairs(),
+            );
+        }
+        if p0 == 0 || p1 == 0 || tick > 2000 {
+            let winner = if p0 > p1 { 0 } else { 1 };
+            println!("\narmy {winner} wins after {tick} ticks");
+            break;
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Traffic simulation: vehicles circulating city blocks with
+//! car-following (the §4.2 "large-scale simulation" workload).
+//!
+//! ```sh
+//! cargo run -p sgl-examples --bin traffic_city --release
+//! ```
+
+use sgl_workloads::traffic::{build, mean_progress, TrafficParams};
+
+fn main() {
+    let params = TrafficParams {
+        vehicles: 20_000,
+        blocks: 16,
+        threads: 4,
+        ..TrafficParams::default()
+    };
+    let mut sim = build(&params);
+    println!(
+        "== traffic: {} vehicles on a {}×{} block city ==\n",
+        params.vehicles, params.blocks, params.blocks
+    );
+
+    for round in 1..=10 {
+        let t0 = std::time::Instant::now();
+        sim.run(10);
+        let dt = t0.elapsed().as_secs_f64();
+        let s = sim.last_stats();
+        println!(
+            "after {:>3} ticks: {:>6.1} ticks/s, mean laps {:>5.2}, join {} ({} pairs)",
+            round * 10,
+            10.0 / dt,
+            mean_progress(&sim),
+            s.joins.first().map(|j| j.method.name()).unwrap_or_default(),
+            s.total_pairs(),
+        );
+    }
+    println!(
+        "\nworld memory: {:.1} MB for {} vehicles",
+        sim.world().memory_bytes() as f64 / 1e6,
+        sim.population()
+    );
+}

@@ -1,0 +1,112 @@
+//! Determinism and checkpoint/replay (§3.3 of the paper, DESIGN.md §9).
+
+use sgl_workloads::rts::{army_sizes, build, RtsParams};
+use sgl_workloads::traffic::{self, TrafficParams};
+
+#[test]
+fn identical_seeds_identical_battles() {
+    let params = RtsParams {
+        units_per_side: 40,
+        arena: 60.0,
+        seed: 123,
+        ..RtsParams::default()
+    };
+    let mut a = build(&params);
+    let mut b = build(&params);
+    a.run(40);
+    b.run(40);
+    assert_eq!(army_sizes(&a), army_sizes(&b));
+    let wa = a.world();
+    let wb = b.world();
+    let class = wa.class_id("Unit").unwrap();
+    assert_eq!(wa.table(class).ids(), wb.table(class).ids());
+    for id in wa.table(class).ids() {
+        assert_eq!(wa.get(*id, "x").unwrap(), wb.get(*id, "x").unwrap());
+        assert_eq!(
+            wa.get(*id, "health").unwrap(),
+            wb.get(*id, "health").unwrap()
+        );
+    }
+}
+
+#[test]
+fn checkpoint_restore_replay_is_exact() {
+    let params = RtsParams {
+        units_per_side: 30,
+        arena: 50.0,
+        seed: 5,
+        ..RtsParams::default()
+    };
+    let mut sim = build(&params);
+    sim.run(10);
+    let snap = sim.checkpoint();
+
+    // Continue 15 ticks and fingerprint.
+    sim.run(15);
+    let after_a = fingerprint(&sim);
+
+    // Restore, replay the same 15 ticks — exact match required
+    // (resumable checkpoints, §3.3).
+    sim.restore(&snap).unwrap();
+    assert_eq!(sim.world().tick(), 10);
+    sim.run(15);
+    let after_b = fingerprint(&sim);
+    assert_eq!(after_a, after_b);
+}
+
+fn fingerprint(sim: &sgl::Simulation) -> Vec<(u64, String, String)> {
+    let w = sim.world();
+    let class = w.class_id("Unit").unwrap();
+    let mut v: Vec<(u64, String, String)> = w
+        .table(class)
+        .ids()
+        .iter()
+        .map(|id| {
+            (
+                id.0,
+                format!("{}", w.get(*id, "x").unwrap()),
+                format!("{}", w.get(*id, "health").unwrap()),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn checkpoint_size_scales_linearly() {
+    let small = build(&RtsParams {
+        units_per_side: 50,
+        ..RtsParams::default()
+    });
+    let large = build(&RtsParams {
+        units_per_side: 500,
+        ..RtsParams::default()
+    });
+    let s = small.checkpoint().len() as f64;
+    let l = large.checkpoint().len() as f64;
+    let ratio = l / s;
+    assert!(
+        (7.0..13.0).contains(&ratio),
+        "10x entities should be ~10x bytes: {s} → {l} (ratio {ratio:.1})"
+    );
+}
+
+#[test]
+fn traffic_deterministic_across_thread_counts() {
+    // Vehicle behaviour uses avg-of-identical and max combinators, so
+    // parallel partitioning must not change anything.
+    let mk = |threads| {
+        let mut sim = traffic::build(&TrafficParams {
+            vehicles: 300,
+            blocks: 4,
+            threads,
+            ..TrafficParams::default()
+        });
+        sim.run(30);
+        traffic::mean_progress(&sim)
+    };
+    let serial = mk(1);
+    let parallel = mk(8);
+    assert_eq!(serial, parallel);
+}

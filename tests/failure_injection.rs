@@ -1,0 +1,180 @@
+//! Failure injection: the engine must stay sound when entities vanish,
+//! references dangle, scripts divide by zero, and worlds are empty or
+//! enormous in a single extent.
+
+use sgl::{ExecMode, Simulation, Value};
+
+const REF_GAME: &str = r#"
+class U {
+state:
+  ref<U> target = null;
+  number hp = 10;
+  number observed = 0;
+effects:
+  number damage : sum;
+  number seen : sum;
+update:
+  hp = hp - damage;
+  observed = observed + seen;
+script attack {
+  if (target != null) {
+    target.damage <- 1;
+    seen <- target.hp;
+  }
+}
+}
+"#;
+
+#[test]
+fn dangling_refs_read_as_zero_and_drop_effects() {
+    for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+        let mut sim = Simulation::builder().source(REF_GAME).mode(mode).build().unwrap();
+        let victim = sim.spawn("U", &[]).unwrap();
+        let attacker = sim
+            .spawn("U", &[("target", Value::Ref(victim))])
+            .unwrap();
+        sim.tick();
+        assert_eq!(sim.get(victim, "hp").unwrap(), Value::Number(9.0));
+        // Kill the victim between ticks: the ref now dangles.
+        sim.despawn(victim);
+        sim.tick();
+        // Reading target.hp through the dangling ref yields 0; the
+        // damage effect evaporates instead of corrupting anything.
+        let observed = sim.get(attacker, "observed").unwrap().as_number().unwrap();
+        assert_eq!(observed, 10.0, "mode {mode:?}: second tick read 0");
+        assert!(sim.world().class_of(victim).is_none());
+    }
+}
+
+#[test]
+fn empty_world_ticks_are_noops() {
+    let mut sim = Simulation::builder().source(REF_GAME).build().unwrap();
+    for _ in 0..5 {
+        let stats = sim.tick();
+        assert_eq!(stats.effects_emitted, 0);
+    }
+    assert_eq!(sim.world().tick(), 5);
+}
+
+#[test]
+fn division_by_zero_is_ieee_not_panic() {
+    let src = r#"
+class A {
+state:
+  number x = 0;
+  number out = 0;
+effects:
+  number r : sum;
+update:
+  out = r;
+script s {
+  if (x > 0) {
+    r <- 1 / x;
+  } else {
+    r <- 7;
+  }
+}
+}
+"#;
+    for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+        let mut sim = Simulation::builder().source(src).mode(mode).build().unwrap();
+        let id = sim.spawn("A", &[]).unwrap(); // x = 0: guarded branch divides by 0
+        sim.tick();
+        // The guarded-out division still evaluates vectorized (to ±inf)
+        // but only the else branch's emission lands.
+        assert_eq!(sim.get(id, "out").unwrap(), Value::Number(7.0));
+    }
+}
+
+#[test]
+fn spawn_despawn_churn_keeps_tables_consistent() {
+    let mut sim = Simulation::builder().source(REF_GAME).build().unwrap();
+    let mut alive = Vec::new();
+    for round in 0..20u64 {
+        // Spawn 10, despawn every third survivor.
+        for _ in 0..10 {
+            alive.push(sim.spawn("U", &[]).unwrap());
+        }
+        let mut kept = Vec::new();
+        for (k, id) in alive.drain(..).enumerate() {
+            if k % 3 == round as usize % 3 {
+                assert!(sim.despawn(id));
+            } else {
+                kept.push(id);
+            }
+        }
+        alive = kept;
+        sim.tick();
+        assert_eq!(sim.population(), alive.len());
+        for &id in &alive {
+            assert!(sim.get(id, "hp").is_ok());
+        }
+    }
+}
+
+#[test]
+fn restore_across_population_changes() {
+    let mut sim = Simulation::builder().source(REF_GAME).build().unwrap();
+    let a = sim.spawn("U", &[]).unwrap();
+    sim.run(2);
+    let snap = sim.checkpoint();
+    // Mutate heavily after the snapshot.
+    for _ in 0..50 {
+        sim.spawn("U", &[]).unwrap();
+    }
+    sim.despawn(a);
+    sim.run(3);
+    assert_eq!(sim.population(), 50);
+    // Restore: the old world returns exactly.
+    sim.restore(&snap).unwrap();
+    assert_eq!(sim.population(), 1);
+    assert!(sim.get(a, "hp").is_ok());
+    // Ids allocated after restore do not collide with pre-snapshot ids.
+    let fresh = sim.spawn("U", &[]).unwrap();
+    assert!(fresh.0 > a.0);
+}
+
+#[test]
+fn single_entity_self_interaction() {
+    // An accum over the extent that contains only the runner itself.
+    let src = r#"
+class A {
+state:
+  number x = 0;
+  number n = 0;
+effects:
+  number c : sum;
+update:
+  n = c;
+script s {
+  accum number k with sum over A u from A {
+    if (u.x >= x - 1 && u.x <= x + 1) { k <- 1; }
+  } in {
+    c <- k;
+  }
+}
+}
+"#;
+    for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+        let mut sim = Simulation::builder().source(src).mode(mode).build().unwrap();
+        let id = sim.spawn("A", &[]).unwrap();
+        sim.tick();
+        assert_eq!(sim.get(id, "n").unwrap(), Value::Number(1.0), "{mode:?}");
+    }
+}
+
+#[test]
+fn hot_loop_many_ticks_is_stable() {
+    let mut sim = Simulation::builder().source(REF_GAME).build().unwrap();
+    let a = sim.spawn("U", &[("hp", Value::Number(1e9))]).unwrap();
+    let b = sim
+        .spawn("U", &[("target", Value::Ref(a)), ("hp", Value::Number(1e9))])
+        .unwrap();
+    sim.run(500);
+    assert_eq!(
+        sim.get(a, "hp").unwrap(),
+        Value::Number(1e9 - 500.0)
+    );
+    let _ = b;
+    assert_eq!(sim.world().tick(), 500);
+}

@@ -1,0 +1,126 @@
+//! Property tests: every spatial index answers box queries identically
+//! to the linear scan, across dimensions, duplicates and degenerate
+//! boxes. This is the §4.2 index substrate's core invariant.
+
+use proptest::prelude::*;
+use sgl_index::{build_index, IndexKind, PointSet, SpatialIndex};
+
+fn query_sorted(idx: &dyn SpatialIndex, lo: &[f64], hi: &[f64]) -> Vec<u32> {
+    let mut out = Vec::new();
+    idx.query(lo, hi, &mut out);
+    out.sort_unstable();
+    out
+}
+
+fn points_from(coords: &[Vec<f64>], dims: usize) -> PointSet {
+    let mut p = PointSet::new(dims);
+    for c in coords {
+        p.push(c);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_indexes_agree_with_scan_2d(
+        coords in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 2..=2), 0..200),
+        q in prop::collection::vec(-120.0f64..120.0, 4..=4),
+    ) {
+        let pts = points_from(&coords, 2);
+        let lo = [q[0].min(q[2]), q[1].min(q[3])];
+        let hi = [q[0].max(q[2]), q[1].max(q[3])];
+        let scan = build_index(IndexKind::Scan, &pts);
+        let expect = query_sorted(scan.as_ref(), &lo, &hi);
+        for kind in [IndexKind::Grid, IndexKind::KdTree, IndexKind::RangeTree] {
+            let idx = build_index(kind, &pts);
+            prop_assert_eq!(
+                query_sorted(idx.as_ref(), &lo, &hi),
+                expect.clone(),
+                "kind {}", kind
+            );
+        }
+    }
+
+    #[test]
+    fn all_indexes_agree_with_scan_3d(
+        coords in prop::collection::vec(
+            prop::collection::vec(-50.0f64..50.0, 3..=3), 0..120),
+        q in prop::collection::vec(-60.0f64..60.0, 6..=6),
+    ) {
+        let pts = points_from(&coords, 3);
+        let lo = [q[0].min(q[3]), q[1].min(q[4]), q[2].min(q[5])];
+        let hi = [q[0].max(q[3]), q[1].max(q[4]), q[2].max(q[5])];
+        let scan = build_index(IndexKind::Scan, &pts);
+        let expect = query_sorted(scan.as_ref(), &lo, &hi);
+        for kind in [IndexKind::Grid, IndexKind::KdTree, IndexKind::RangeTree] {
+            let idx = build_index(kind, &pts);
+            prop_assert_eq!(
+                query_sorted(idx.as_ref(), &lo, &hi),
+                expect.clone(),
+                "kind {}", kind
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_and_point_queries(
+        value in -10.0f64..10.0,
+        copies in 1usize..64,
+    ) {
+        let coords = vec![vec![value, value]; copies];
+        let pts = points_from(&coords, 2);
+        for kind in [IndexKind::Grid, IndexKind::KdTree, IndexKind::RangeTree] {
+            let idx = build_index(kind, &pts);
+            let got = query_sorted(idx.as_ref(), &[value, value], &[value, value]);
+            prop_assert_eq!(got.len(), copies, "kind {}", kind);
+        }
+    }
+
+    #[test]
+    fn sorted_index_1d(
+        xs in prop::collection::vec(-100.0f64..100.0, 0..200),
+        a in -120.0f64..120.0,
+        b in -120.0f64..120.0,
+    ) {
+        let coords: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let pts = points_from(&coords, 1);
+        let (lo, hi) = ([a.min(b)], [a.max(b)]);
+        let scan = build_index(IndexKind::Scan, &pts);
+        let sorted = build_index(IndexKind::Sorted, &pts);
+        prop_assert_eq!(
+            query_sorted(sorted.as_ref(), &lo, &hi),
+            query_sorted(scan.as_ref(), &lo, &hi)
+        );
+    }
+}
+
+#[test]
+fn range_tree_space_grows_as_n_log_n() {
+    // The §4.2 space analysis: entries(2-D tree) ≈ n·(log₂ n + 1) + n.
+    for n in [1usize << 8, 1 << 10, 1 << 12] {
+        let mut pts = PointSet::new(2);
+        let mut s = 0x9E3779B97F4A7C15u64;
+        for _ in 0..n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let x = (s >> 11) as f64;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let y = (s >> 11) as f64;
+            pts.push(&[x, y]);
+        }
+        let tree = sgl_index::RangeTree::build(&pts);
+        let entries = tree.entry_count();
+        let predicted = n * ((n as f64).log2() as usize + 2);
+        let ratio = entries as f64 / predicted as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "n={n}: entries={entries}, predicted≈{predicted}"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! §3.2 interruptible intentions: `when (…) restart;` resets the hidden
+//! program counter of multi-tick scripts ("we need a mechanism to
+//! interrupt multi-tick scripts and reset the program counter").
+//!
+//! A handler *without* `restart` is the resumption model (the intention
+//! continues); with it, the termination model (the intention restarts).
+//! Both executors must agree on every observable.
+
+use sgl::{ExecMode, Simulation, Value};
+use sgl_tests::{assert_attr_eq, both_modes};
+
+/// A guard on a three-step patrol. When badly hurt it heals itself *and*
+/// abandons the patrol (restart) — the paper's "interrupt this in order
+/// to respond to an attack".
+const GUARD: &str = r#"
+class Guard {
+state:
+  number hp = 10;
+  number atStep = 0;
+  number heals = 0;
+effects:
+  number step : max = 0;
+  number dmg : sum;
+  number cured : sum;
+update:
+  hp = hp - dmg + cured;
+  atStep = step;
+  heals = heals + cured;
+script patrol {
+  step <- 1;
+  waitNextTick;
+  step <- 2;
+  waitNextTick;
+  step <- 3;
+}
+when (hp < 5) { cured <- 10; } restart;
+}
+"#;
+
+fn steps_over(sim: &mut Simulation, id: sgl::EntityId, ticks: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(ticks);
+    for _ in 0..ticks {
+        sim.tick();
+        out.push(sim.get(id, "atStep").unwrap().as_number().unwrap());
+    }
+    out
+}
+
+/// Unhurt, the patrol cycles 1→2→3 forever (end-of-script pc reset).
+#[test]
+fn patrol_cycles_without_interrupts() {
+    let mut sim = Simulation::builder().source(GUARD).build().unwrap();
+    let id = sim.spawn("Guard", &[]).unwrap();
+    assert_eq!(
+        steps_over(&mut sim, id, 7),
+        vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]
+    );
+}
+
+/// A mid-patrol wound fires the handler: the next tick re-enters
+/// segment 0 instead of continuing to segment 2, and the heal lands.
+#[test]
+fn interrupt_resets_the_intention() {
+    let mut sim = Simulation::builder().source(GUARD).build().unwrap();
+    let id = sim.spawn("Guard", &[]).unwrap();
+    sim.tick(); // segment 0 ran; pc = 1
+    assert_eq!(sim.get(id, "atStep").unwrap(), Value::Number(1.0));
+
+    sim.set(id, "hp", &Value::Number(1.0)).unwrap(); // ambush between ticks
+    sim.tick(); // segment 1 runs; handler fires after update: restart + heal seed
+    assert_eq!(sim.get(id, "atStep").unwrap(), Value::Number(2.0));
+    assert_eq!(sim.last_stats().interrupts, 1);
+
+    sim.tick(); // back to segment 0, heal applied
+    assert_eq!(sim.get(id, "atStep").unwrap(), Value::Number(1.0));
+    assert_eq!(sim.get(id, "hp").unwrap(), Value::Number(11.0));
+    assert_eq!(sim.get(id, "heals").unwrap(), Value::Number(10.0));
+}
+
+/// Compiled and interpreted executors agree tick-by-tick across a
+/// schedule of ambushes.
+#[test]
+fn interrupts_equivalent_across_executors() {
+    let (mut compiled, mut interp) = both_modes(GUARD);
+    let n = 6;
+    for sim in [&mut compiled, &mut interp] {
+        for _ in 0..n {
+            sim.spawn("Guard", &[]).unwrap();
+        }
+    }
+    let guard = compiled.world().class_id("Guard").unwrap();
+    let ids: Vec<_> = compiled.world().table(guard).ids().to_vec();
+
+    for tick in 0..10 {
+        // Ambush a rotating victim every other tick.
+        if tick % 2 == 0 {
+            let victim = ids[(tick / 2) % ids.len()];
+            for sim in [&mut compiled, &mut interp] {
+                sim.set(victim, "hp", &Value::Number(1.0)).unwrap();
+            }
+        }
+        compiled.tick();
+        interp.tick();
+        for attr in ["hp", "atStep", "heals"] {
+            assert_attr_eq(&compiled, &interp, "Guard", attr, 0.0);
+        }
+    }
+}
+
+/// `restart name;` interrupts only the named intention; sibling scripts
+/// keep their program counters.
+#[test]
+fn named_restart_is_selective() {
+    const TWO_INTENTIONS: &str = r#"
+class Npc {
+state:
+  number alarm = 0;
+  number aStep = 0;
+  number bStep = 0;
+effects:
+  number sa : max = 0;
+  number sb : max = 0;
+update:
+  aStep = sa;
+  bStep = sb;
+script walk {
+  sa <- 1;
+  waitNextTick;
+  sa <- 2;
+  waitNextTick;
+  sa <- 3;
+}
+script chant {
+  sb <- 1;
+  waitNextTick;
+  sb <- 2;
+  waitNextTick;
+  sb <- 3;
+}
+when (alarm > 0) restart walk;
+}
+"#;
+    let mut sim = Simulation::builder().source(TWO_INTENTIONS).build().unwrap();
+    let id = sim.spawn("Npc", &[]).unwrap();
+    sim.tick(); // both at step 1
+    sim.set(id, "alarm", &Value::Number(1.0)).unwrap();
+    sim.tick(); // both at step 2; handler restarts walk only
+    assert_eq!(sim.get(id, "aStep").unwrap(), Value::Number(2.0));
+    assert_eq!(sim.get(id, "bStep").unwrap(), Value::Number(2.0));
+    sim.set(id, "alarm", &Value::Number(0.0)).unwrap();
+    sim.tick(); // walk re-entered segment 0; chant proceeded to 3
+    assert_eq!(sim.get(id, "aStep").unwrap(), Value::Number(1.0));
+    assert_eq!(sim.get(id, "bStep").unwrap(), Value::Number(3.0));
+}
+
+/// The bare interrupt form parses without a body and seeds nothing.
+#[test]
+fn bare_restart_form_compiles() {
+    const BARE: &str = r#"
+class Npc {
+state:
+  number panic = 0;
+  number at = 0;
+effects:
+  number s : max = 0;
+update:
+  at = s;
+script go {
+  s <- 1;
+  waitNextTick;
+  s <- 2;
+}
+when (panic > 0) restart;
+}
+"#;
+    let mut sim = Simulation::builder()
+        .source(BARE)
+        .mode(ExecMode::Interpreted)
+        .build()
+        .unwrap();
+    let id = sim.spawn("Npc", &[]).unwrap();
+    sim.tick();
+    sim.set(id, "panic", &Value::Number(1.0)).unwrap();
+    sim.tick(); // s<-2 ran; restart fires
+    assert_eq!(sim.get(id, "at").unwrap(), Value::Number(2.0));
+    sim.tick(); // re-entered segment 0 (would otherwise stay cycling 1,2,1…)
+    assert_eq!(sim.get(id, "at").unwrap(), Value::Number(1.0));
+}
+
+/// Restart target validation happens at compile time.
+#[test]
+fn restart_diagnostics() {
+    let unknown = Simulation::builder()
+        .source(
+            r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number e : sum;
+script s { e <- 1; waitNextTick; e <- 2; }
+when (x > 0) restart nosuch;
+}
+"#,
+        )
+        .build();
+    let msg = format!("{}", unknown.err().expect("unknown script must fail"));
+    assert!(msg.contains("nosuch"), "{msg}");
+
+    let single_tick = Simulation::builder()
+        .source(
+            r#"
+class A {
+state:
+  number x = 0;
+effects:
+  number e : sum;
+script s { e <- 1; }
+when (x > 0) restart;
+}
+"#,
+        )
+        .build();
+    let msg = format!("{}", single_tick.err().expect("nothing to restart"));
+    assert!(msg.contains("multi-tick"), "{msg}");
+}

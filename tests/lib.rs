@@ -1,0 +1,36 @@
+//! Shared helpers for the integration test suite.
+//!
+//! The actual tests live in the `[[test]]` targets of this package; this
+//! library only hosts utilities they share.
+
+use sgl::{ExecMode, Simulation};
+
+/// Build one simulation per execution mode from the same source.
+pub fn both_modes(src: &str) -> (Simulation, Simulation) {
+    let compiled = Simulation::builder()
+        .source(src)
+        .mode(ExecMode::Compiled)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let interp = Simulation::builder()
+        .source(src)
+        .mode(ExecMode::Interpreted)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"));
+    (compiled, interp)
+}
+
+/// Compare one numeric attribute across all entities of a class.
+pub fn assert_attr_eq(a: &Simulation, b: &Simulation, class: &str, attr: &str, tol: f64) {
+    let wa = a.world();
+    let wb = b.world();
+    let ca = wa.class_id(class).unwrap();
+    for id in wa.table(ca).ids() {
+        let va = wa.get(*id, attr).unwrap().as_number().unwrap();
+        let vb = wb.get(*id, attr).unwrap().as_number().unwrap();
+        assert!(
+            (va - vb).abs() <= tol,
+            "{attr} of {id}: compiled {va} vs interpreted {vb}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests on the frontend: generated programs survive the
+//! print → parse round trip, and the lexer never panics on arbitrary
+//! input.
+
+use proptest::prelude::*;
+use sgl_ast::pretty;
+use sgl_frontend::{lexer, parse};
+
+/// Generate identifier-ish names that avoid reserved words.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9]{0,6}".prop_map(|s| format!("v{s}"))
+}
+
+fn number_literal() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u32..1000).prop_map(|n| n.to_string()),
+        (0u32..1000, 1u32..100).prop_map(|(a, b)| format!("{a}.{b:02}")),
+    ]
+}
+
+/// A random arithmetic/comparison expression over the given variables.
+fn expr(vars: Vec<String>) -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        number_literal(),
+        proptest::sample::select(vars.clone()),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            inner.clone(),
+            proptest::sample::select(vec!["+", "-", "*", "/"]),
+            inner,
+        )
+            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+/// A random (valid) class: some number state vars, sum effects, a script
+/// of guarded effect assignments.
+fn class_source() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec(ident(), 1..5),
+        prop::collection::vec(ident(), 1..4),
+    )
+        .prop_flat_map(|(mut states, mut effects)| {
+            states.sort();
+            states.dedup();
+            effects.sort();
+            effects.dedup();
+            effects.retain(|e| !states.contains(e));
+            if effects.is_empty() {
+                effects.push("vzz".to_string());
+            }
+            let evars = effects.clone();
+            let svars = states.clone();
+            let stmts = prop::collection::vec(
+                (
+                    proptest::sample::select(evars),
+                    expr(svars.clone()),
+                    prop::option::of(expr(svars)),
+                ),
+                1..6,
+            );
+            (Just(states), Just(effects), stmts)
+        })
+        .prop_flat_map(|(states, effects, stmts)| {
+            // Optionally add a multi-tick script plus a `when … restart`
+            // handler (§3.2 interrupts) — 0 = none, 1 = bare restart,
+            // 2 = named restart.
+            (Just(states), Just(effects), Just(stmts), 0u8..3)
+        })
+        .prop_map(|(states, effects, stmts, restart)| {
+            let mut src = String::from("class Gen {\nstate:\n");
+            for s in &states {
+                src.push_str(&format!("  number {s} = 1;\n"));
+            }
+            src.push_str("effects:\n");
+            for e in &effects {
+                src.push_str(&format!("  number {e} : sum;\n"));
+            }
+            src.push_str("script s {\n");
+            for (target, value, guard) in &stmts {
+                match guard {
+                    Some(g) => src.push_str(&format!(
+                        "  if ({g} > 0) {{ {target} <- {value}; }}\n"
+                    )),
+                    None => src.push_str(&format!("  {target} <- {value};\n")),
+                }
+            }
+            src.push_str("}\n");
+            if restart > 0 {
+                let e0 = &effects[0];
+                let s0 = &states[0];
+                src.push_str(&format!(
+                    "script walker {{\n  {e0} <- 1;\n  waitNextTick;\n  {e0} <- 2;\n}}\n"
+                ));
+                match restart {
+                    1 => src.push_str(&format!("when ({s0} > 5) restart;\n")),
+                    _ => src.push_str(&format!(
+                        "when ({s0} > 5) {{ {e0} <- 1; }} restart walker;\n"
+                    )),
+                }
+            }
+            src.push_str("}\n");
+            src
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_roundtrip(src in class_source()) {
+        let p1 = parse(&src).unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
+        let printed = pretty::print_program(&p1);
+        let p2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed:\n{}\n{printed}", e.render(&printed)));
+        prop_assert_eq!(printed.clone(), pretty::print_program(&p2));
+    }
+
+    #[test]
+    fn generated_classes_typecheck_and_compile(src in class_source()) {
+        // Valid-by-construction sources must make it through the whole
+        // frontend + compiler without diagnostics.
+        let sim = sgl::Simulation::builder().source(&src).build();
+        prop_assert!(sim.is_ok(), "{src}");
+    }
+
+    #[test]
+    fn lexer_never_panics(junk in "[ -~\n]{0,200}") {
+        // Arbitrary printable ASCII: errors allowed, panics not.
+        let _ = lexer::lex(&junk);
+    }
+
+    #[test]
+    fn parser_never_panics(junk in "[a-z{}();<>=&|!.,0-9 \n]{0,200}") {
+        let _ = parse(&junk);
+    }
+}

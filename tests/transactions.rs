@@ -1,0 +1,102 @@
+//! Property tests for the §3.1 transaction semantics.
+
+use proptest::prelude::*;
+use sgl_workloads::market::{build, run_and_audit, MarketMode, MarketParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under atomic execution, no interleaving of purchases and
+    /// robberies may ever dupe an item or overdraw an account.
+    #[test]
+    fn atomic_market_never_violates(
+        buyers in 2usize..40,
+        items in 1usize..8,
+        robbers in 0usize..6,
+        seed in 0u64..1000,
+        ticks in 1usize..12,
+    ) {
+        let params = MarketParams {
+            buyers,
+            items,
+            robbers,
+            seed,
+            mode: MarketMode::Atomic,
+            ..MarketParams::default()
+        };
+        let price = params.price;
+        let mut market = build(&params);
+        let audit = run_and_audit(&mut market, ticks, price);
+        prop_assert_eq!(audit.duping, 0.0, "{:?}", audit);
+        prop_assert_eq!(audit.negative_balances, 0, "{:?}", audit);
+        prop_assert!(audit.gold_conservation_error.abs() < 1e-9, "{:?}", audit);
+    }
+
+    /// The naive mode exhibits duping whenever at least two buyers
+    /// contend for the same item (the pigeonhole guarantees contention
+    /// when buyers > items).
+    #[test]
+    fn naive_market_dupes_under_contention(
+        seed in 0u64..1000,
+    ) {
+        let params = MarketParams {
+            buyers: 24,
+            items: 3,
+            robbers: 0,
+            seed,
+            mode: MarketMode::Naive,
+            ..MarketParams::default()
+        };
+        let price = params.price;
+        let mut market = build(&params);
+        let audit = run_and_audit(&mut market, 4, price);
+        prop_assert!(audit.duping > 0.0, "{:?}", audit);
+    }
+}
+
+#[test]
+fn committed_transactions_report_in_stats() {
+    let params = MarketParams {
+        buyers: 10,
+        items: 2,
+        robbers: 0,
+        mode: MarketMode::Atomic,
+        ..MarketParams::default()
+    };
+    let mut market = build(&params);
+    market.sim.tick();
+    let txn = market.sim.last_stats().txn;
+    assert!(txn.issued >= 10, "{txn:?}");
+    // Per item at most one purchase commits per tick (write-write
+    // conflicts on the owner ref abort the rest).
+    assert!(txn.committed <= 2, "{txn:?}");
+    assert_eq!(
+        txn.issued,
+        txn.committed + txn.aborted_conflict + txn.aborted_constraint,
+        "{txn:?}"
+    );
+}
+
+#[test]
+fn multitick_and_atomic_agree_on_transfer_count() {
+    // Both protocols serialize ownership transfers; over enough ticks
+    // with no robbery every buyer that can afford an item gets one.
+    for mode in [MarketMode::MultiTick, MarketMode::Atomic] {
+        let params = MarketParams {
+            buyers: 12,
+            items: 4,
+            robbers: 0,
+            mode,
+            ..MarketParams::default()
+        };
+        let price = params.price;
+        let mut market = build(&params);
+        let audit = run_and_audit(&mut market, 16, price);
+        assert!(
+            audit.transfers >= 4,
+            "{} should transfer each item at least once: {audit:?}",
+            mode.name()
+        );
+        assert_eq!(audit.duping, 0.0, "{}: {audit:?}", mode.name());
+    }
+}
