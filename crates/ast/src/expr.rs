@@ -165,10 +165,7 @@ impl Expr {
     /// Source span of the expression.
     pub fn span(&self) -> Span {
         match self {
-            Expr::Number(_, s)
-            | Expr::Bool(_, s)
-            | Expr::Null(s)
-            | Expr::SelfRef(s) => *s,
+            Expr::Number(_, s) | Expr::Bool(_, s) | Expr::Null(s) | Expr::SelfRef(s) => *s,
             Expr::Var(id) => id.span,
             Expr::Field { span, .. }
             | Expr::Unary { span, .. }

@@ -211,7 +211,12 @@ pub fn print_expr(e: &Expr) -> String {
             format!("{sym}({})", print_expr(expr))
         }
         Expr::Binary { op, lhs, rhs, .. } => {
-            format!("({} {} {})", print_expr(lhs), bin_symbol(*op), print_expr(rhs))
+            format!(
+                "({} {} {})",
+                print_expr(lhs),
+                bin_symbol(*op),
+                print_expr(rhs)
+            )
         }
         Expr::Call { func, args, .. } => {
             let args: Vec<String> = args.iter().map(print_expr).collect();

@@ -175,7 +175,9 @@ mod tests {
 
     #[test]
     fn contains_wait_finds_nested() {
-        let wait = Stmt::Wait { span: Span::dummy() };
+        let wait = Stmt::Wait {
+            span: Span::dummy(),
+        };
         let s = Stmt::If {
             cond: Expr::Bool(true, Span::dummy()),
             then_block: Block {

@@ -13,8 +13,7 @@ fn cluster(nodes: usize, n: usize, span: f64) -> DistSim {
         .unwrap()
         .game()
         .clone();
-    let mut sim =
-        DistSim::new(game, DistConfig::new(nodes, "x", (0.0, span), 12.0)).unwrap();
+    let mut sim = DistSim::new(game, DistConfig::new(nodes, "x", (0.0, span), 12.0)).unwrap();
     for (x, y) in crowd_points(n, span, 0xD157) {
         sim.spawn("Unit", &[("x", Value::Number(x)), ("y", Value::Number(y))])
             .unwrap();

@@ -135,8 +135,12 @@ fn f2_accum_scaling() {
     println!("## F2 — Fig. 2 accum-loop: set-at-a-time vs object-at-a-time\n");
     println!("Workload: n units uniform in 1000², range tuned for ~8 neighbours each;");
     println!("one tick = one full neighbour-count query. Times are per tick (median of 5).\n");
-    println!("| n | interpreted | compiled NL | compiled grid | compiled rangetree | best speedup |");
-    println!("|---|-------------|-------------|---------------|--------------------|--------------|");
+    println!(
+        "| n | interpreted | compiled NL | compiled grid | compiled rangetree | best speedup |"
+    );
+    println!(
+        "|---|-------------|-------------|---------------|--------------------|--------------|"
+    );
     for &n in &[256usize, 1024, 4096, 16384, 65536] {
         let interp = if n <= 4096 {
             let reps = if n >= 4096 { 1 } else { 5 };
@@ -324,7 +328,10 @@ fn e2_adaptive_plans() {
     println!("| plan | explore tick | fight tick | plan switches |");
     println!("|------|--------------|------------|---------------|");
     run_regimes("static NL", Some(JoinMethod::NL));
-    run_regimes("static grid-index", Some(JoinMethod::Index(IndexKind::Grid)));
+    run_regimes(
+        "static grid-index",
+        Some(JoinMethod::Index(IndexKind::Grid)),
+    );
     run_regimes("adaptive", None);
     println!();
     println!("Expected shape: NL wins the sparse explore regime, the index wins the");
@@ -564,7 +571,12 @@ script quest {
         let total: f64 = {
             let w = sim.world();
             let c = w.class_id("Npc").unwrap();
-            w.table(c).column_by_name("acted").unwrap().f64().iter().sum()
+            w.table(c)
+                .column_by_name("acted")
+                .unwrap()
+                .f64()
+                .iter()
+                .sum()
         };
         (t, total)
     };
@@ -572,8 +584,14 @@ script quest {
     let (t_manual, sum_manual) = measure(manual);
     println!("| variant | tick time (20k NPCs) | Σ acted after 8 ticks |");
     println!("|---------|----------------------|------------------------|");
-    println!("| waitNextTick (compiled pc) | {} | {sum_sugar} |", ms(t_sugar));
-    println!("| hand-written state machine | {} | {sum_manual} |", ms(t_manual));
+    println!(
+        "| waitNextTick (compiled pc) | {} | {sum_sugar} |",
+        ms(t_sugar)
+    );
+    println!(
+        "| hand-written state machine | {} | {sum_manual} |",
+        ms(t_manual)
+    );
     println!(
         "\noverhead ratio: {:.2}× — the lowering is the same state machine (§3.2:\n\"a direct translation\"); behaviour is identical: {}.\n",
         t_sugar / t_manual,
@@ -646,7 +664,13 @@ script check {
         sim.run(12); // let the alert thresholds trip
         let w = sim.world();
         let c = w.class_id("Npc").unwrap();
-        let total: f64 = w.table(c).column_by_name("alerts").unwrap().f64().iter().sum();
+        let total: f64 = w
+            .table(c)
+            .column_by_name("alerts")
+            .unwrap()
+            .f64()
+            .iter()
+            .sum();
         total
     };
     println!("| variant | tick (20k NPCs) | effect phase | reactive phase |");
@@ -747,7 +771,9 @@ fn fingerprint(sim: &Simulation) -> Vec<(u64, String)> {
 // --------------------------------------------------------------- E10 --
 
 fn e10_schema_layout() {
-    use sgl_storage::{Column, ColumnSpec, EntityId, RowTable, ScalarType, Schema, Table, Value as V};
+    use sgl_storage::{
+        Column, ColumnSpec, EntityId, RowTable, ScalarType, Schema, Table, Value as V,
+    };
     println!("## E10 — §2.1: schema representation (columnar vs row layout)\n");
     println!("A 32-attribute class, 100k entities. The paper: \"we have discovered that");
     println!("it is often best to break a class up into multiple tables containing those");
@@ -829,13 +855,21 @@ fn e10_schema_layout() {
         "| scan 4/32 attributes (set-at-a-time scripts) | {} | {} | {} |",
         ms(t_col_scan),
         ms(t_row_scan),
-        if t_col_scan < t_row_scan { "columnar" } else { "row" }
+        if t_col_scan < t_row_scan {
+            "columnar"
+        } else {
+            "row"
+        }
     );
     println!(
         "| read whole rows (object-at-a-time) | {} | {} | {} |",
         ms(t_col_row),
         ms(t_row_row),
-        if t_col_row < t_row_row { "columnar" } else { "row" }
+        if t_col_row < t_row_row {
+            "columnar"
+        } else {
+            "row"
+        }
     );
     println!();
     println!("The compiled engine's scripts touch few attributes per expression, which");
@@ -895,8 +929,12 @@ fn e12_cluster() {
     let n = 20_000;
     let span = 2_000.0;
     let points = crowd_points(n, span, 0xC1D2);
-    println!("| nodes | max node pop | ghosts | KB/tick | max node compute | sim tick | sim speedup |");
-    println!("|-------|--------------|--------|---------|------------------|----------|-------------|");
+    println!(
+        "| nodes | max node pop | ghosts | KB/tick | max node compute | sim tick | sim speedup |"
+    );
+    println!(
+        "|-------|--------------|--------|---------|------------------|----------|-------------|"
+    );
     let mut base_sim_tick = None;
     for nodes in [1usize, 2, 4, 8, 16] {
         let game = {
@@ -929,7 +967,10 @@ fn e12_cluster() {
         let bytes = bytes / reps as u64;
         let max_compute = max_compute / reps as u64;
         let sim_secs = sim_secs / reps as f64;
-        let max_pop = (0..nodes).map(|k| cluster.node_population(k)).max().unwrap();
+        let max_pop = (0..nodes)
+            .map(|k| cluster.node_population(k))
+            .max()
+            .unwrap();
         let speedup = match base_sim_tick {
             None => {
                 base_sim_tick = Some(sim_secs);
@@ -1050,7 +1091,8 @@ script patrol {
     let measure = |src: &str, label: &str| -> (f64, f64) {
         let mut sim = Simulation::builder().source(src).build().unwrap();
         for i in 0..20_000 {
-            sim.spawn("Guard", &[("id", Value::Number(i as f64))]).unwrap();
+            sim.spawn("Guard", &[("id", Value::Number(i as f64))])
+                .unwrap();
         }
         sim.run(3);
         let mut interrupts = 0u64;
@@ -1063,7 +1105,13 @@ script patrol {
         }
         let w = sim.world();
         let c = w.class_id("Guard").unwrap();
-        let heals: f64 = w.table(c).column_by_name("heals").unwrap().f64().iter().sum();
+        let heals: f64 = w
+            .table(c)
+            .column_by_name("heals")
+            .unwrap()
+            .f64()
+            .iter()
+            .sum();
         println!(
             "| {label} | {} | {:.0} | {} |",
             ms(t),

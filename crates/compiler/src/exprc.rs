@@ -83,10 +83,7 @@ impl<'a> ExprCtx<'a> {
         match e {
             Expr::Number(x, _) => Some((PExpr::ConstF(*x), ScalarType::Number)),
             Expr::Bool(b, _) => Some((PExpr::ConstB(*b), ScalarType::Bool)),
-            Expr::Null(_) => Some((
-                PExpr::ConstRef(EntityId::NULL),
-                ScalarType::Ref(self.class),
-            )),
+            Expr::Null(_) => Some((PExpr::ConstRef(EntityId::NULL), ScalarType::Ref(self.class))),
             Expr::SelfRef(_) => Some((PExpr::Col(0), ScalarType::Ref(self.class))),
             Expr::Var(id) => self.resolve_var(&id.name, id.span, diags),
             Expr::Field { base, field, span } => {
@@ -209,9 +206,10 @@ impl<'a> ExprCtx<'a> {
                     ("clamp", [ScalarType::Number, ScalarType::Number, ScalarType::Number]) => {
                         (Func::Clamp, ScalarType::Number)
                     }
-                    ("dist", [ScalarType::Number, ScalarType::Number, ScalarType::Number, ScalarType::Number]) => {
-                        (Func::Dist, ScalarType::Number)
-                    }
+                    (
+                        "dist",
+                        [ScalarType::Number, ScalarType::Number, ScalarType::Number, ScalarType::Number],
+                    ) => (Func::Dist, ScalarType::Number),
                     ("id", [ScalarType::Ref(_)]) => (Func::Id, ScalarType::Number),
                     ("size", [ScalarType::Set(_)]) => (Func::Size, ScalarType::Number),
                     ("contains", [ScalarType::Set(_), ScalarType::Ref(_)]) => {
@@ -316,7 +314,14 @@ effects:
         let ctx = ExprCtx::new(&cat, ClassId(0), CompileMode::Script);
         let e = sgl_frontend::parse_expr("target.x").unwrap();
         let (p, _) = ctx.compile(&e, &mut diags).unwrap();
-        assert!(matches!(p, PExpr::Gather { class: ClassId(0), col: 0, .. }));
+        assert!(matches!(
+            p,
+            PExpr::Gather {
+                class: ClassId(0),
+                col: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -33,8 +33,7 @@ pub mod ir;
 pub mod lower;
 
 pub use ir::{
-    AccumSource, AccumStep, CompiledClass, CompiledGame, CompiledHandler, CompiledScript,
-    EmitStep, EmitTarget, PairEmit, PairEmitTarget, Segment, Step, TxnStep, TxnTarget,
-    TxnWrite, UpdatePlan,
+    AccumSource, AccumStep, CompiledClass, CompiledGame, CompiledHandler, CompiledScript, EmitStep,
+    EmitTarget, PairEmit, PairEmitTarget, Segment, Step, TxnStep, TxnTarget, TxnWrite, UpdatePlan,
 };
 pub use lower::compile;

@@ -98,7 +98,10 @@ pub fn compile(checked: CheckedProgram) -> Result<CompiledGame, Diagnostics> {
                 };
                 let ctx = ExprCtx::new(&catalog, class, CompileMode::Update);
                 if let Some((p, _)) = ctx.compile(e, &mut diags) {
-                    compiled.updates.push(UpdatePlan { state_col: col, expr: p });
+                    compiled.updates.push(UpdatePlan {
+                        state_col: col,
+                        expr: p,
+                    });
                 }
             }
         }
@@ -126,10 +129,7 @@ pub fn compile(checked: CheckedProgram) -> Result<CompiledGame, Diagnostics> {
             if let Some(mut ch) = lower_handler(&catalog, class, h, &mut diags) {
                 if let Some(r) = &h.restart {
                     for (si, script) in cdecl.scripts.iter().enumerate() {
-                        let wanted = r
-                            .script
-                            .as_ref()
-                            .is_none_or(|n| n.name == script.name.name);
+                        let wanted = r.script.as_ref().is_none_or(|n| n.name == script.name.name);
                         if !wanted {
                             continue;
                         }
@@ -163,10 +163,7 @@ fn count_waits_stmt(s: &Stmt) -> usize {
             then_block,
             else_block,
             ..
-        } => {
-            count_waits(then_block)
-                + else_block.as_ref().map_or(0, count_waits)
-        }
+        } => count_waits(then_block) + else_block.as_ref().map_or(0, count_waits),
         Stmt::Block(b) => count_waits(b),
         _ => 0,
     }
@@ -269,127 +266,127 @@ impl<'a> ScriptLowerer<'a> {
                 Item::Stmt(sref) => {
                     let stmt: &'a Stmt = sref;
                     match stmt {
-                    Stmt::Let { name, value, .. } => {
-                        let ctx = self.expr_ctx(cx);
-                        if let Some((p, ty)) = ctx.compile(value, self.diags) {
-                            self.push_step(cx.seg, Step::Compute { expr: p });
-                            cx.bindings.push(SlotBinding {
-                                name: name.name.clone(),
-                                slot: cx.next_slot,
-                                ty,
-                            });
-                            cx.next_slot += 1;
+                        Stmt::Let { name, value, .. } => {
+                            let ctx = self.expr_ctx(cx);
+                            if let Some((p, ty)) = ctx.compile(value, self.diags) {
+                                self.push_step(cx.seg, Step::Compute { expr: p });
+                                cx.bindings.push(SlotBinding {
+                                    name: name.name.clone(),
+                                    slot: cx.next_slot,
+                                    ty,
+                                });
+                                cx.next_slot += 1;
+                            }
                         }
-                    }
-                    Stmt::Effect {
-                        target, op, value, ..
-                    } => {
-                        self.lower_effect(cx, target, *op, value, guard.clone());
-                    }
-                    Stmt::If {
-                        cond,
-                        then_block,
-                        else_block,
-                        ..
-                    } => {
-                        let has_wait = stmt.contains_wait();
-                        let ctx = self.expr_ctx(cx);
-                        let Some((cond_p, _)) = ctx.compile(cond, self.diags) else {
-                            i += 1;
-                            continue;
-                        };
-                        self.push_step(cx.seg, Step::Compute { expr: cond_p });
-                        let cond_slot = cx.next_slot;
-                        cx.next_slot += 1;
-                        let g_then = conj(guard.clone(), PExpr::Col(cond_slot));
-                        let g_else = conj(
-                            guard.clone(),
-                            PExpr::Un(PUnOp::Not, Box::new(PExpr::Col(cond_slot))),
-                        );
-                        if !has_wait {
-                            let mark = cx.bindings.len();
-                            let then_items: Vec<Item<'a>> =
-                                then_block.stmts.iter().map(Item::Stmt).collect();
-                            self.compile_seq(cx, &then_items, Some(g_then));
-                            cx.bindings.truncate(mark);
-                            if let Some(e) = else_block {
-                                let else_items: Vec<Item<'a>> =
-                                    e.stmts.iter().map(Item::Stmt).collect();
+                        Stmt::Effect {
+                            target, op, value, ..
+                        } => {
+                            self.lower_effect(cx, target, *op, value, guard.clone());
+                        }
+                        Stmt::If {
+                            cond,
+                            then_block,
+                            else_block,
+                            ..
+                        } => {
+                            let has_wait = stmt.contains_wait();
+                            let ctx = self.expr_ctx(cx);
+                            let Some((cond_p, _)) = ctx.compile(cond, self.diags) else {
+                                i += 1;
+                                continue;
+                            };
+                            self.push_step(cx.seg, Step::Compute { expr: cond_p });
+                            let cond_slot = cx.next_slot;
+                            cx.next_slot += 1;
+                            let g_then = conj(guard.clone(), PExpr::Col(cond_slot));
+                            let g_else = conj(
+                                guard.clone(),
+                                PExpr::Un(PUnOp::Not, Box::new(PExpr::Col(cond_slot))),
+                            );
+                            if !has_wait {
+                                let mark = cx.bindings.len();
+                                let then_items: Vec<Item<'a>> =
+                                    then_block.stmts.iter().map(Item::Stmt).collect();
+                                self.compile_seq(cx, &then_items, Some(g_then));
+                                cx.bindings.truncate(mark);
+                                if let Some(e) = else_block {
+                                    let else_items: Vec<Item<'a>> =
+                                        e.stmts.iter().map(Item::Stmt).collect();
+                                    self.compile_seq(cx, &else_items, Some(g_else));
+                                    cx.bindings.truncate(mark);
+                                }
+                            } else {
+                                // Tail duplication: both arms consume the rest.
+                                let rest = &items[i + 1..];
+                                let mark = cx.bindings.len();
+                                let mut then_items: Vec<Item<'a>> =
+                                    then_block.stmts.iter().map(Item::Stmt).collect();
+                                then_items.push(Item::PopScope(mark));
+                                then_items.extend_from_slice(rest);
+                                self.compile_seq(cx, &then_items, Some(g_then));
+                                cx.bindings.truncate(mark);
+                                let mut else_items: Vec<Item<'a>> = else_block
+                                    .as_ref()
+                                    .map(|e| e.stmts.iter().map(Item::Stmt).collect())
+                                    .unwrap_or_default();
+                                else_items.push(Item::PopScope(mark));
+                                else_items.extend_from_slice(rest);
                                 self.compile_seq(cx, &else_items, Some(g_else));
                                 cx.bindings.truncate(mark);
+                                return;
                             }
-                        } else {
-                            // Tail duplication: both arms consume the rest.
-                            let rest = &items[i + 1..];
+                        }
+                        Stmt::Wait { span } => {
+                            let key = (span.start, span.end);
+                            let wait_id = self.wait_ids[&key];
+                            let next_seg = wait_id + 1;
+                            self.push_step(
+                                cx.seg,
+                                Step::SetPc {
+                                    guard: guard.clone(),
+                                    next: next_seg as f64,
+                                },
+                            );
+                            if let std::collections::hash_map::Entry::Vacant(e) =
+                                self.wait_segment.entry(key)
+                            {
+                                e.insert(next_seg);
+                                while self.segments.len() <= next_seg {
+                                    self.segments.push(Segment::default());
+                                }
+                                // Fresh env: locals do not survive ticks.
+                                let mut cont_cx = SegCtx {
+                                    seg: next_seg,
+                                    next_slot: self.base_width(),
+                                    bindings: Vec::new(),
+                                };
+                                let rest: Vec<Item<'a>> = items[i + 1..].to_vec();
+                                self.compile_seq(&mut cont_cx, &rest, None);
+                            }
+                            return;
+                        }
+                        Stmt::Accum(a) => {
+                            self.lower_accum(cx, a, guard.clone());
+                        }
+                        Stmt::Atomic { body, .. } => {
+                            self.lower_atomic(cx, body, guard.clone());
+                        }
+                        Stmt::Block(b) => {
+                            let has_wait = stmt.contains_wait();
                             let mark = cx.bindings.len();
-                            let mut then_items: Vec<Item<'a>> =
-                                then_block.stmts.iter().map(Item::Stmt).collect();
-                            then_items.push(Item::PopScope(mark));
-                            then_items.extend_from_slice(rest);
-                            self.compile_seq(cx, &then_items, Some(g_then));
-                            cx.bindings.truncate(mark);
-                            let mut else_items: Vec<Item<'a>> = else_block
-                                .as_ref()
-                                .map(|e| e.stmts.iter().map(Item::Stmt).collect())
-                                .unwrap_or_default();
-                            else_items.push(Item::PopScope(mark));
-                            else_items.extend_from_slice(rest);
-                            self.compile_seq(cx, &else_items, Some(g_else));
-                            cx.bindings.truncate(mark);
-                            return;
-                        }
-                    }
-                    Stmt::Wait { span } => {
-                        let key = (span.start, span.end);
-                        let wait_id = self.wait_ids[&key];
-                        let next_seg = wait_id + 1;
-                        self.push_step(
-                            cx.seg,
-                            Step::SetPc {
-                                guard: guard.clone(),
-                                next: next_seg as f64,
-                            },
-                        );
-                        if let std::collections::hash_map::Entry::Vacant(e) =
-                            self.wait_segment.entry(key)
-                        {
-                            e.insert(next_seg);
-                            while self.segments.len() <= next_seg {
-                                self.segments.push(Segment::default());
+                            if !has_wait {
+                                let inner: Vec<Item<'a>> = b.stmts.iter().map(Item::Stmt).collect();
+                                self.compile_seq(cx, &inner, guard.clone());
+                                cx.bindings.truncate(mark);
+                            } else {
+                                let mut inner: Vec<Item<'a>> =
+                                    b.stmts.iter().map(Item::Stmt).collect();
+                                inner.push(Item::PopScope(mark));
+                                inner.extend_from_slice(&items[i + 1..]);
+                                self.compile_seq(cx, &inner, guard.clone());
+                                return;
                             }
-                            // Fresh env: locals do not survive ticks.
-                            let mut cont_cx = SegCtx {
-                                seg: next_seg,
-                                next_slot: self.base_width(),
-                                bindings: Vec::new(),
-                            };
-                            let rest: Vec<Item<'a>> = items[i + 1..].to_vec();
-                            self.compile_seq(&mut cont_cx, &rest, None);
                         }
-                        return;
-                    }
-                    Stmt::Accum(a) => {
-                        self.lower_accum(cx, a, guard.clone());
-                    }
-                    Stmt::Atomic { body, .. } => {
-                        self.lower_atomic(cx, body, guard.clone());
-                    }
-                    Stmt::Block(b) => {
-                        let has_wait = stmt.contains_wait();
-                        let mark = cx.bindings.len();
-                        if !has_wait {
-                            let inner: Vec<Item<'a>> = b.stmts.iter().map(Item::Stmt).collect();
-                            self.compile_seq(cx, &inner, guard.clone());
-                            cx.bindings.truncate(mark);
-                        } else {
-                            let mut inner: Vec<Item<'a>> =
-                                b.stmts.iter().map(Item::Stmt).collect();
-                            inner.push(Item::PopScope(mark));
-                            inner.extend_from_slice(&items[i + 1..]);
-                            self.compile_seq(cx, &inner, guard.clone());
-                            return;
-                        }
-                    }
                     }
                 }
             }
@@ -539,14 +536,14 @@ impl<'a> ScriptLowerer<'a> {
                         Some(bounds) => {
                             let mut all_taken = true;
                             for (col, is_lo, bound) in bounds {
-                            let entry = col_bounds.iter_mut().find(|(cc, _, _)| *cc == col);
-                            let entry = match entry {
-                                Some(e) => e,
-                                None => {
-                                    col_bounds.push((col, None, None));
-                                    col_bounds.last_mut().unwrap()
-                                }
-                            };
+                                let entry = col_bounds.iter_mut().find(|(cc, _, _)| *cc == col);
+                                let entry = match entry {
+                                    Some(e) => e,
+                                    None => {
+                                        col_bounds.push((col, None, None));
+                                        col_bounds.last_mut().unwrap()
+                                    }
+                                };
                                 let taken = if is_lo {
                                     if lo_seen.insert(col, ()).is_none() {
                                         entry.1 = Some(bound);
@@ -743,15 +740,12 @@ impl<'a> ScriptLowerer<'a> {
                             });
                         }
                         LValue::Field { base, field } => {
-                            let elem_name =
-                                pair_ctx.pair.as_ref().unwrap().elem_name.clone();
-                            let is_elem =
-                                matches!(base, Expr::Var(b) if b.name == elem_name);
+                            let elem_name = pair_ctx.pair.as_ref().unwrap().elem_name.clone();
+                            let is_elem = matches!(base, Expr::Var(b) if b.name == elem_name);
                             let (tclass, ttarget) = if is_elem {
                                 (elem_class, PairEmitTarget::RightRow)
                             } else {
-                                let Some((bp, bty)) = pair_ctx.compile(base, self.diags)
-                                else {
+                                let Some((bp, bty)) = pair_ctx.compile(base, self.diags) else {
                                     continue;
                                 };
                                 let ScalarType::Ref(cid) = bty else {
@@ -993,13 +987,27 @@ fn lower_handler_block(
                 let g_else = conj(guard.clone(), PExpr::Un(PUnOp::Not, Box::new(c)));
                 let mark = ctx.bindings.len();
                 lower_handler_block(
-                    catalog, class, &then_block.stmts, Some(g_then), ctx, computes, emits,
-                    next_slot, diags,
+                    catalog,
+                    class,
+                    &then_block.stmts,
+                    Some(g_then),
+                    ctx,
+                    computes,
+                    emits,
+                    next_slot,
+                    diags,
                 );
                 ctx.bindings.truncate(mark);
                 if let Some(e) = else_block {
                     lower_handler_block(
-                        catalog, class, &e.stmts, Some(g_else), ctx, computes, emits, next_slot,
+                        catalog,
+                        class,
+                        &e.stmts,
+                        Some(g_else),
+                        ctx,
+                        computes,
+                        emits,
+                        next_slot,
                         diags,
                     );
                     ctx.bindings.truncate(mark);
@@ -1082,12 +1090,12 @@ fn resolve_acc_ty(
     match ty {
         sgl_ast::TypeExpr::Number => ScalarType::Number,
         sgl_ast::TypeExpr::Bool => ScalarType::Bool,
-        sgl_ast::TypeExpr::Ref(c) => ScalarType::Ref(
-            resolve_class_ci(catalog, c).unwrap_or(fallback_class),
-        ),
-        sgl_ast::TypeExpr::Set(c) => ScalarType::Set(
-            resolve_class_ci(catalog, c).unwrap_or(fallback_class),
-        ),
+        sgl_ast::TypeExpr::Ref(c) => {
+            ScalarType::Ref(resolve_class_ci(catalog, c).unwrap_or(fallback_class))
+        }
+        sgl_ast::TypeExpr::Set(c) => {
+            ScalarType::Set(resolve_class_ci(catalog, c).unwrap_or(fallback_class))
+        }
     }
 }
 
@@ -1407,9 +1415,7 @@ script s {
         let checked = check(src).unwrap();
         let err = compile(checked).unwrap_err();
         assert!(
-            err.items
-                .iter()
-                .any(|d| d.message.contains("waitNextTick")),
+            err.items.iter().any(|d| d.message.contains("waitNextTick")),
             "{err}"
         );
     }
@@ -1524,7 +1530,9 @@ script s {
         let game = compile_src(src);
         let steps = &game.classes[0].scripts[0].segments[0].steps;
         // Compute(mode>0), then Accum whose acc emission carries the guard.
-        let Step::Accum(a) = &steps[1] else { panic!("{steps:?}") };
+        let Step::Accum(a) = &steps[1] else {
+            panic!("{steps:?}")
+        };
         assert!(a.acc_emits[0].0.is_some());
         // And the rest-block emit is guarded too.
         let Step::Emit(e) = &steps[2] else { panic!() };

@@ -203,8 +203,7 @@ impl SimulationBuilder {
         let game = Arc::new(game);
         let engine = match self.mode {
             ExecMode::Compiled => {
-                sgl_engine::Engine::new((*game).clone(), self.config)
-                    .map_err(BuildError::Engine)?
+                sgl_engine::Engine::new((*game).clone(), self.config).map_err(BuildError::Engine)?
             }
             ExecMode::Interpreted => sgl_engine::Engine::with_executor(
                 game.clone(),
@@ -403,7 +402,8 @@ script s {
             .build()
             .unwrap();
         for x in 0..10 {
-            sim.spawn("Unit", &[("x", Value::Number(x as f64))]).unwrap();
+            sim.spawn("Unit", &[("x", Value::Number(x as f64))])
+                .unwrap();
         }
         sim.tick();
         assert_eq!(sim.last_stats().joins[0].method, JoinMethod::NL);

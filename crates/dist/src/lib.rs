@@ -1,0 +1,635 @@
+//! # sgl-dist — simulated shared-nothing cluster execution (§4.2)
+//!
+//! "The scripts for each game tick can be executed in parallel on a
+//! cluster of machines with a shared-nothing architecture" — this crate
+//! reproduces that claim on one machine by running one full SGL engine
+//! per *node* over a range-partitioned world and modelling the
+//! interconnect explicitly.
+//!
+//! ## Execution model
+//!
+//! Entities are range-partitioned along one numeric attribute into
+//! `nodes` contiguous stripes. Every tick ([`DistSim::step`]) is one BSP
+//! superstep:
+//!
+//! 1. **Halo exchange** — each node receives *ghost* replicas of remote
+//!    entities whose partition attribute lies within `halo` of its
+//!    stripe ([`World::mark_ghost`]): readable by joins, never driving
+//!    scripts.
+//! 2. **Effect phase** — each node runs the compiled set-at-a-time
+//!    executor over its owned rows (ghosts participate as join
+//!    *operands* only).
+//! 3. **Partial routing** — ⊕ partials accumulated against ghost rows
+//!    (writes like `u.nudge <- 1` landing on a remote-owned entity) are
+//!    extracted ([`EffectStore::take_row_partials`]) and folded into the
+//!    owner's accumulators ([`EffectStore::fold_partial`]) in
+//!    deterministic partition order, reproducing the exact single-node
+//!    ⊕ result.
+//! 4. **Update + reactive** — each node finalizes, updates, and runs
+//!    `when` handlers for its owned entities.
+//! 5. **Migration** — entities whose partition attribute crossed a
+//!    stripe boundary move (full row, pending handler seeds included)
+//!    to their new owner.
+//!
+//! Provided the halo covers every read a script can make (interaction
+//! radius ≤ `halo` — the caller's contract, not statically checked) and
+//! cross-node writes are routed as raw ⊕ partials, a [`DistSim`] is
+//! **state-identical** to a single-node engine — the property
+//! `tests/distributed.rs` asserts for 1–8 nodes. One caveat: routed
+//! partials fold after local emissions, so `sum`/`avg` combines see a
+//! different *order* than the single-node global join. The result is
+//! deterministic (partition order) and bit-exact whenever per-target
+//! contributions are order-insensitive (equal or integer-valued
+//! summands, all min/max/or/and/union); arbitrary fractional summands
+//! agree only to floating-point reassociation. Classes without the
+//! partition attribute are owned by node 0 and broadcast-replicated to
+//! all nodes. Games with `atomic` regions are rejected on multi-node
+//! clusters (cross-node transaction arbitration is unimplemented).
+//!
+//! [`DistStats`] reports the communication profile per tick (ghost and
+//! partial traffic, migrations) plus a BSP time model (slowest node's
+//! compute + synchronization rounds + bytes/bandwidth) so experiments
+//! can chart simulated cluster speedup.
+//!
+//! [`World::mark_ghost`]: sgl_engine::World::mark_ghost
+//! [`EffectStore::take_row_partials`]: sgl_engine::EffectStore::take_row_partials
+//! [`EffectStore::fold_partial`]: sgl_engine::EffectStore::fold_partial
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgl_compiler::CompiledGame;
+use sgl_engine::effects::fold_seeds;
+use sgl_engine::{
+    reactive, update, CompiledExecutor, EffectPartial, EffectPhase, EffectStore, ExecConfig, Seed,
+    TickStats, World,
+};
+use sgl_storage::{ClassId, EntityId, FxHashMap, IdGen, ScalarType, StorageError, Value};
+
+mod stats;
+#[cfg(test)]
+mod tests;
+
+pub use stats::{DistStats, Traffic};
+
+/// Synchronization rounds per tick in the BSP time model (halo push,
+/// partial routing, migration).
+const BSP_ROUNDS: f64 = 3.0;
+/// Per-round interconnect latency (50 µs — commodity cluster RTT).
+const BSP_ROUND_SECONDS: f64 = 50e-6;
+/// Interconnect bandwidth (10 Gbit/s).
+const BSP_BITS_PER_SECOND: f64 = 10e9;
+
+/// Errors from configuring or driving a cluster.
+#[derive(Debug)]
+pub enum DistError {
+    /// Invalid [`DistConfig`].
+    Config(String),
+    /// Storage-level problem (unknown class/entity/attribute).
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Config(msg) => write!(f, "cluster configuration: {msg}"),
+            DistError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<StorageError> for DistError {
+    fn from(e: StorageError) -> Self {
+        DistError::Storage(e)
+    }
+}
+
+/// Shared-nothing deployment shape: how many nodes, which attribute the
+/// stripes cut, and how far reads may reach.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Number of shared-nothing nodes (stripes).
+    pub nodes: usize,
+    /// Partition attribute (a `number` state variable).
+    pub partition_attr: String,
+    /// World extent along the partition attribute, `[lo, hi)`. Entities
+    /// outside the extent are owned by the nearest edge stripe.
+    pub range: (f64, f64),
+    /// Halo radius: ghosts are replicated for remote entities within
+    /// this distance of a stripe. Must cover the scripts' interaction
+    /// radius for distributed execution to stay exact.
+    pub halo_radius: f64,
+    /// Per-node effect-phase executor configuration.
+    pub exec: ExecConfig,
+}
+
+impl DistConfig {
+    /// Range-partition `(lo, hi)` along `partition_attr` into `nodes`
+    /// stripes with the given ghost `halo_radius`.
+    pub fn new(nodes: usize, partition_attr: &str, range: (f64, f64), halo_radius: f64) -> Self {
+        DistConfig {
+            nodes,
+            partition_attr: partition_attr.to_string(),
+            range,
+            halo_radius,
+            exec: ExecConfig::default(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), DistError> {
+        if self.nodes == 0 {
+            return Err(DistError::Config("need at least one node".into()));
+        }
+        let (lo, hi) = self.range;
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(DistError::Config(format!(
+                "invalid partition range [{lo}, {hi})"
+            )));
+        }
+        if self.halo_radius.is_nan() || self.halo_radius < 0.0 {
+            return Err(DistError::Config(format!(
+                "invalid halo radius {}",
+                self.halo_radius
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A full row addressed to another node: `(dest, class, id, values in
+/// schema order)` — the unit of ghost replication.
+type RowShipment = (usize, ClassId, EntityId, Vec<Value>);
+
+/// One simulated node: a full engine world + executor + pending handler
+/// seeds, exactly the per-machine state of a real deployment.
+struct Node {
+    world: World,
+    executor: CompiledExecutor,
+    seeds: Vec<Seed>,
+}
+
+/// A simulated shared-nothing cluster executing one compiled game.
+pub struct DistSim {
+    game: Arc<CompiledGame>,
+    cfg: DistConfig,
+    nodes: Vec<Node>,
+    /// Entity → owning node. The cluster's (replicated) directory.
+    owner: FxHashMap<EntityId, usize>,
+    /// Per class: column index of the partition attribute (`None` for
+    /// classes without it — those live on node 0).
+    attr_cols: Vec<Option<usize>>,
+    /// Global id allocator, shared by all spawns so ids coincide with a
+    /// single-node run that spawns in the same order.
+    idgen: IdGen,
+    last: DistStats,
+    tick: u64,
+}
+
+impl DistSim {
+    /// Deploy `game` across the configured cluster.
+    pub fn new(game: CompiledGame, cfg: DistConfig) -> Result<DistSim, DistError> {
+        cfg.validate()?;
+        let game = Arc::new(game);
+        let mut attr_cols = Vec::with_capacity(game.catalog.len());
+        let mut found = false;
+        for cdef in game.catalog.classes() {
+            match cdef.state.index_of(&cfg.partition_attr) {
+                Some(col) if cdef.state.col(col).ty == ScalarType::Number => {
+                    attr_cols.push(Some(col));
+                    found = true;
+                }
+                Some(_) => {
+                    return Err(DistError::Config(format!(
+                        "partition attribute `{}` of class `{}` is not a number",
+                        cfg.partition_attr, cdef.name
+                    )));
+                }
+                None => attr_cols.push(None),
+            }
+        }
+        if !found {
+            return Err(DistError::Config(format!(
+                "no class has partition attribute `{}`",
+                cfg.partition_attr
+            )));
+        }
+        // Atomic regions need cluster-wide write arbitration (§3.1's
+        // transaction manager runs per node here), so their outcome
+        // could silently diverge from single-node execution. Reject
+        // them up front rather than corrupt state quietly.
+        if cfg.nodes > 1 && game_has_atomic(&game) {
+            return Err(DistError::Config(
+                "games with `atomic` regions are not supported on multi-node \
+                 clusters yet (cross-node transaction arbitration is unimplemented)"
+                    .into(),
+            ));
+        }
+        let nodes = (0..cfg.nodes)
+            .map(|_| Node {
+                world: World::new(game.catalog.clone()),
+                executor: CompiledExecutor::new(game.clone(), cfg.exec.clone()),
+                seeds: Vec::new(),
+            })
+            .collect();
+        let last = DistStats::empty(cfg.nodes);
+        Ok(DistSim {
+            game,
+            cfg,
+            nodes,
+            owner: FxHashMap::default(),
+            attr_cols,
+            idgen: IdGen::new(),
+            last,
+            tick: 0,
+        })
+    }
+
+    /// The compiled game this cluster runs.
+    pub fn game(&self) -> &CompiledGame {
+        &self.game
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &DistConfig {
+        &self.cfg
+    }
+
+    /// Stripe width along the partition attribute.
+    fn stripe_width(&self) -> f64 {
+        (self.cfg.range.1 - self.cfg.range.0) / self.cfg.nodes as f64
+    }
+
+    /// Owning node of a partition-attribute value (edge stripes own the
+    /// overflow beyond the configured range).
+    pub fn node_of(&self, x: f64) -> usize {
+        let rel = (x - self.cfg.range.0) / self.stripe_width();
+        (rel.floor().max(0.0) as usize).min(self.cfg.nodes - 1)
+    }
+
+    /// Is `x` inside node `k`'s ghost halo (stripe ± halo radius, edge
+    /// stripes open-ended outward)? Inclusive at exactly the radius, to
+    /// match the inclusive band predicates scripts compile to.
+    pub fn in_halo(&self, k: usize, x: f64) -> bool {
+        let w = self.stripe_width();
+        let lo = if k == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.cfg.range.0 + k as f64 * w - self.cfg.halo_radius
+        };
+        let hi = if k == self.cfg.nodes - 1 {
+            f64::INFINITY
+        } else {
+            self.cfg.range.0 + (k + 1) as f64 * w + self.cfg.halo_radius
+        };
+        (lo..=hi).contains(&x)
+    }
+
+    /// Spawn an entity of `class`; it is placed on the node owning its
+    /// partition-attribute value. Ids are allocated globally, in spawn
+    /// order, so they coincide with a single-node reference run.
+    pub fn spawn(&mut self, class: &str, values: &[(&str, Value)]) -> Result<EntityId, DistError> {
+        let cdef = self
+            .game
+            .catalog
+            .class_by_name(class)
+            .ok_or_else(|| StorageError::NoSuchClass(class.to_string()))?;
+        let cid = cdef.id;
+        let node = match self.attr_cols[cid.0 as usize] {
+            None => 0,
+            Some(col) => {
+                let x = values
+                    .iter()
+                    .find(|(name, _)| *name == self.cfg.partition_attr)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_else(|| cdef.state.col(col).default.clone());
+                let x = x.as_number().ok_or_else(|| {
+                    DistError::Config(format!(
+                        "partition attribute `{}` must be a number",
+                        self.cfg.partition_attr
+                    ))
+                })?;
+                self.node_of(x)
+            }
+        };
+        let id = self.idgen.alloc();
+        self.nodes[node].world.spawn_with_id(cid, id, values)?;
+        self.owner.insert(id, node);
+        Ok(id)
+    }
+
+    /// Read one attribute from the entity's owning node (the
+    /// authoritative copy).
+    pub fn get(&self, id: EntityId, attr: &str) -> Result<Value, DistError> {
+        let &node = self.owner.get(&id).ok_or(StorageError::NoSuchEntity(id))?;
+        Ok(self.nodes[node].world.get(id, attr)?)
+    }
+
+    /// Total live entities across the cluster.
+    pub fn population(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Entities owned by node `k` (ghosts excluded).
+    pub fn node_population(&self, k: usize) -> usize {
+        self.nodes[k]
+            .world
+            .catalog()
+            .classes()
+            .iter()
+            .map(|c| self.nodes[k].world.table(c.id).len() - self.nodes[k].world.ghost_count(c.id))
+            .sum()
+    }
+
+    /// Statistics of the last [`DistSim::step`].
+    pub fn last_stats(&self) -> &DistStats {
+        &self.last
+    }
+
+    /// Execute one distributed tick (one BSP superstep); returns its
+    /// statistics.
+    pub fn step(&mut self) -> &DistStats {
+        let n = self.cfg.nodes;
+        let game = self.game.clone();
+        let mut stats = DistStats::empty(n);
+        stats.tick = self.tick;
+
+        // --- 1. Halo exchange: rebuild ghost replicas. ----------------
+        self.rebuild_halos(&mut stats);
+
+        // --- 2. Effect phase on every node (superstep compute). -------
+        let mut stores: Vec<EffectStore> = Vec::with_capacity(n);
+        let mut intents_by_node = Vec::with_capacity(n);
+        for (k, node) in self.nodes.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            let mut store = EffectStore::new(&node.world, false);
+            let seeds = std::mem::take(&mut node.seeds);
+            fold_seeds(&mut store, &game.catalog, &node.world, &seeds);
+            let mut intents = Vec::new();
+            let mut scratch = TickStats::default();
+            node.executor
+                .run(&node.world, &mut store, &mut intents, &mut scratch);
+            stats.node_compute_nanos[k] += t0.elapsed().as_nanos() as u64;
+            stores.push(store);
+            intents_by_node.push(intents);
+        }
+
+        // --- 3. Route ghost-row ⊕ partials to their owners, in ---------
+        // deterministic partition order (source node, class, row).
+        let mut inbound: Vec<Vec<EffectPartial>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, store) in stores.iter_mut().enumerate() {
+            for cdef in game.catalog.classes() {
+                let class = cdef.id;
+                let world = &self.nodes[k].world;
+                if world.ghost_count(class) == 0 {
+                    continue;
+                }
+                let table = world.table(class);
+                let ghost_rows: Vec<(u32, EntityId)> = table
+                    .ids()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, id)| world.is_ghost(class, **id))
+                    .map(|(row, &id)| (row as u32, id))
+                    .collect();
+                for partial in store.take_row_partials(class, &ghost_rows) {
+                    let dest = self.owner[&partial.target];
+                    stats.partial_traffic.msgs += 1;
+                    stats.partial_traffic.bytes += partial_wire_bytes(&partial);
+                    inbound[dest].push(partial);
+                }
+            }
+        }
+        for (dest, partials) in inbound.into_iter().enumerate() {
+            for partial in &partials {
+                stores[dest].fold_partial(&game.catalog, &self.nodes[dest].world, partial);
+            }
+        }
+
+        // --- 4. ⊕ finalize, update, reactive on every node. ------------
+        for (k, ((node, store), intents)) in self
+            .nodes
+            .iter_mut()
+            .zip(stores)
+            .zip(intents_by_node)
+            .enumerate()
+        {
+            let t0 = Instant::now();
+            let combined = store.finalize(&game.catalog);
+            let mut txn = sgl_engine::TxnReport::default();
+            update::run_update(
+                &mut node.world,
+                &game,
+                &combined,
+                intents,
+                &[],
+                &mut [],
+                &mut txn,
+            );
+            let reactive_out = reactive::run_handlers(&node.world, &game);
+            node.seeds = reactive_out.seeds;
+            reactive::apply_resets(&mut node.world, &reactive_out.resets);
+            node.world.advance_tick();
+            stats.node_compute_nanos[k] += t0.elapsed().as_nanos() as u64;
+        }
+
+        // --- 5. Migrate entities that crossed a stripe boundary. -------
+        self.migrate(&mut stats);
+
+        // --- BSP time model. ------------------------------------------
+        let max_compute = stats.node_compute_nanos.iter().copied().max().unwrap_or(0);
+        let comm_seconds = if n > 1 {
+            BSP_ROUNDS * BSP_ROUND_SECONDS
+                + (stats.total_bytes() as f64 * 8.0) / BSP_BITS_PER_SECOND
+        } else {
+            0.0
+        };
+        stats.simulated_seconds = max_compute as f64 / 1e9 + comm_seconds;
+
+        self.tick += 1;
+        self.last = stats;
+        &self.last
+    }
+
+    /// Drop all ghosts and re-replicate the current halo membership.
+    fn rebuild_halos(&mut self, stats: &mut DistStats) {
+        let game = self.game.clone();
+        for node in &mut self.nodes {
+            for cdef in game.catalog.classes() {
+                node.world.despawn_ghosts(cdef.id);
+            }
+        }
+        if self.cfg.nodes == 1 {
+            return;
+        }
+        // Shipments are gathered first to keep the borrows simple —
+        // order is (source node, class, row, dest).
+        let mut ships: Vec<RowShipment> = Vec::new();
+        for (j, node) in self.nodes.iter().enumerate() {
+            for cdef in game.catalog.classes() {
+                let class = cdef.id;
+                let table = node.world.table(class);
+                match self.attr_cols[class.0 as usize] {
+                    Some(col) => {
+                        let xs = table.column(col).f64();
+                        for (row, &id) in table.ids().iter().enumerate() {
+                            let x = xs[row];
+                            // Candidate stripes are the contiguous range
+                            // overlapping [x−halo, x+halo]; widen by one
+                            // on each side so the *inclusive* halo edge
+                            // (x−halo == stripe hi exactly) stays in,
+                            // then let in_halo decide. O(overlap), not
+                            // O(nodes), per row.
+                            let k_lo = self.node_of(x - self.cfg.halo_radius).saturating_sub(1);
+                            let k_hi = (self.node_of(x + self.cfg.halo_radius) + 1)
+                                .min(self.cfg.nodes - 1);
+                            for k in k_lo..=k_hi {
+                                if k != j && self.in_halo(k, x) {
+                                    ships.push((k, class, id, copy_row(table, row)));
+                                }
+                            }
+                        }
+                    }
+                    // Classes without the partition attribute live on
+                    // node 0 and are *broadcast* to every other node —
+                    // the classic replicated-table scheme — so remote
+                    // scripts read them exactly as single-node would.
+                    None if j == 0 => {
+                        for (row, &id) in table.ids().iter().enumerate() {
+                            for k in 1..self.cfg.nodes {
+                                ships.push((k, class, id, copy_row(table, row)));
+                            }
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+        for (dest, class, id, values) in ships {
+            stats.ghosts += 1;
+            stats.ghost_traffic.msgs += 1;
+            stats.ghost_traffic.bytes += row_wire_bytes(&values);
+            let world = &mut self.nodes[dest].world;
+            insert_row(world, &game, class, id, &values).expect("ghost replication: id collision");
+            world.mark_ghost(class, id);
+        }
+    }
+
+    /// Move entities whose partition attribute left their stripe; their
+    /// pending handler seeds travel with them.
+    fn migrate(&mut self, stats: &mut DistStats) {
+        if self.cfg.nodes == 1 {
+            return;
+        }
+        let game = self.game.clone();
+        let mut moves: Vec<(usize, usize, ClassId, EntityId)> = Vec::new();
+        for (j, node) in self.nodes.iter().enumerate() {
+            for cdef in game.catalog.classes() {
+                let class = cdef.id;
+                let Some(col) = self.attr_cols[class.0 as usize] else {
+                    continue;
+                };
+                let table = node.world.table(class);
+                let xs = table.column(col).f64();
+                for (row, &id) in table.ids().iter().enumerate() {
+                    if node.world.is_ghost(class, id) {
+                        continue;
+                    }
+                    let dest = self.node_of(xs[row]);
+                    if dest != j {
+                        moves.push((j, dest, class, id));
+                    }
+                }
+            }
+        }
+        for (from, dest, class, id) in moves {
+            let values = {
+                let table = self.nodes[from].world.table(class);
+                let row = table.row_of(id).expect("migrant present at source") as usize;
+                copy_row(table, row)
+            };
+            self.nodes[from].world.despawn(class, id);
+            let world = &mut self.nodes[dest].world;
+            // The destination usually holds the migrant as a ghost
+            // (it just crossed the boundary): replace the replica with
+            // the authoritative row.
+            if world.table(class).row_of(id).is_some() {
+                world.despawn(class, id);
+            }
+            insert_row(world, &game, class, id, &values).expect("migration insert");
+            self.owner.insert(id, dest);
+            stats.migrations += 1;
+        }
+        // Re-route pending handler seeds to each target's (new) owner.
+        for j in 0..self.cfg.nodes {
+            let seeds = std::mem::take(&mut self.nodes[j].seeds);
+            for seed in seeds {
+                if let Some(&dest) = self.owner.get(&seed.target) {
+                    self.nodes[dest].seeds.push(seed);
+                }
+            }
+        }
+    }
+}
+
+/// Does any compiled script contain an `atomic` region?
+fn game_has_atomic(game: &CompiledGame) -> bool {
+    game.classes.iter().any(|class| {
+        class.scripts.iter().any(|script| {
+            script.segments.iter().any(|segment| {
+                segment
+                    .steps
+                    .iter()
+                    .any(|step| matches!(step, sgl_compiler::Step::EmitTxn(_)))
+            })
+        })
+    })
+}
+
+/// All columns of one row in schema order — the unit shipped for ghost
+/// replication and migration (names travel implicitly: every node
+/// shares the schema).
+fn copy_row(table: &sgl_storage::Table, row: usize) -> Vec<Value> {
+    (0..table.schema().len())
+        .map(|i| table.column(i).get(row))
+        .collect()
+}
+
+/// Insert a shipped row under its original id, resolving column names
+/// from the shared catalog.
+fn insert_row(
+    world: &mut World,
+    game: &CompiledGame,
+    class: ClassId,
+    id: EntityId,
+    values: &[Value],
+) -> Result<(), StorageError> {
+    let schema = &game.catalog.class(class).state;
+    let pairs: Vec<(&str, Value)> = schema
+        .cols()
+        .iter()
+        .zip(values)
+        .map(|(spec, v)| (spec.name.as_str(), v.clone()))
+        .collect();
+    world.spawn_with_id(class, id, &pairs)
+}
+
+/// Wire size of one replicated row (8-byte id + encoded values).
+fn row_wire_bytes(values: &[Value]) -> u64 {
+    8 + values.iter().map(value_wire_bytes).sum::<u64>()
+}
+
+/// Wire size of one routed ⊕ partial (class + effect + target header,
+/// fold count, encoded value).
+fn partial_wire_bytes(p: &EffectPartial) -> u64 {
+    4 + 4 + 8 + 4 + value_wire_bytes(&p.partial.value)
+}
+
+fn value_wire_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Number(_) | Value::Ref(_) => 8,
+        Value::Bool(_) => 1,
+        Value::Set(s) => 4 + 8 * s.len() as u64,
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-tick communication and timing statistics of the simulated
+//! cluster.
+
+/// One direction of interconnect traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Messages shipped.
+    pub msgs: u64,
+    /// Payload bytes shipped.
+    pub bytes: u64,
+}
+
+/// Statistics of one [`DistSim::step`](crate::DistSim::step).
+#[derive(Debug, Clone, Default)]
+pub struct DistStats {
+    /// Tick number this step executed.
+    pub tick: u64,
+    /// Ghost replicas materialized this tick (halo size).
+    pub ghosts: usize,
+    /// Halo replication traffic (owner → reader).
+    pub ghost_traffic: Traffic,
+    /// Routed ⊕ partial traffic (writer → owner): effect writes that
+    /// landed on ghost rows and crossed nodes.
+    pub partial_traffic: Traffic,
+    /// Entities that crossed a stripe boundary and moved nodes.
+    pub migrations: usize,
+    /// Wall-clock compute per node (effect + combine + update +
+    /// reactive), nanoseconds.
+    pub node_compute_nanos: Vec<u64>,
+    /// BSP-model tick time: slowest node's compute + synchronization
+    /// rounds + traffic over the modelled interconnect.
+    pub simulated_seconds: f64,
+}
+
+impl DistStats {
+    /// A zeroed record for an `n`-node cluster.
+    pub(crate) fn empty(n: usize) -> Self {
+        DistStats {
+            node_compute_nanos: vec![0; n],
+            ..DistStats::default()
+        }
+    }
+
+    /// Total interconnect bytes this tick (halo + routed partials).
+    pub fn total_bytes(&self) -> u64 {
+        self.ghost_traffic.bytes + self.partial_traffic.bytes
+    }
+
+    /// Total interconnect messages this tick.
+    pub fn total_msgs(&self) -> u64 {
+        self.ghost_traffic.msgs + self.partial_traffic.msgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_both_directions() {
+        let s = DistStats {
+            ghost_traffic: Traffic {
+                msgs: 3,
+                bytes: 120,
+            },
+            partial_traffic: Traffic { msgs: 2, bytes: 48 },
+            ..DistStats::empty(4)
+        };
+        assert_eq!(s.total_bytes(), 168);
+        assert_eq!(s.total_msgs(), 5);
+        assert_eq!(s.node_compute_nanos.len(), 4);
+    }
+}

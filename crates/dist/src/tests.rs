@@ -1,0 +1,286 @@
+//! Unit tests for the cluster internals: partition assignment, halo
+//! membership at the radius boundary, cross-node effect routing, and
+//! mid-tick migration.
+
+use sgl_engine::{Engine, EngineConfig};
+use sgl_storage::Value;
+
+use crate::{DistConfig, DistSim};
+
+fn compile(src: &str) -> sgl_compiler::CompiledGame {
+    let checked = sgl_frontend::check(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    sgl_compiler::compile(checked).unwrap_or_else(|e| panic!("{}", e.render(src)))
+}
+
+/// Minimal drifting workload: `x` advances by `vx` every tick and
+/// neighbours within ±10 nudge each other (a cross-entity write).
+const DRIFT: &str = r#"
+class U {
+state:
+  number x = 0;
+  number vx = 0;
+  number poked = 0;
+effects:
+  number nudge : sum;
+update:
+  x = x + vx;
+  poked = poked + nudge;
+script sense {
+  accum number cnt with sum over U u from U {
+    if (u.x >= x - 10 && u.x <= x + 10) {
+      cnt <- 1;
+      u.nudge <- 1;
+    }
+  } in {
+  }
+}
+}
+"#;
+
+fn cluster(nodes: usize, span: f64, halo: f64) -> DistSim {
+    DistSim::new(
+        compile(DRIFT),
+        DistConfig::new(nodes, "x", (0.0, span), halo),
+    )
+    .unwrap()
+}
+
+#[test]
+fn boundary_values_assign_to_the_upper_stripe() {
+    let sim = cluster(4, 100.0, 5.0);
+    assert_eq!(sim.node_of(0.0), 0);
+    assert_eq!(sim.node_of(24.999), 0);
+    assert_eq!(
+        sim.node_of(25.0),
+        1,
+        "a boundary value opens the next stripe"
+    );
+    assert_eq!(sim.node_of(74.999), 2);
+    assert_eq!(sim.node_of(75.0), 3);
+    // Overflow beyond the configured range clamps to the edge stripes.
+    assert_eq!(sim.node_of(-3.0), 0);
+    assert_eq!(sim.node_of(100.0), 3);
+    assert_eq!(sim.node_of(250.0), 3);
+}
+
+#[test]
+fn halo_membership_is_inclusive_at_exactly_the_radius() {
+    let sim = cluster(4, 100.0, 5.0);
+    // Node 1 owns [25, 50); its halo reaches [20, 55].
+    assert!(sim.in_halo(1, 20.0), "exactly radius below the stripe");
+    assert!(sim.in_halo(1, 55.0), "exactly radius above the stripe");
+    assert!(!sim.in_halo(1, 19.999));
+    assert!(!sim.in_halo(1, 55.001));
+    // Edge stripes are open-ended outward (they own the overflow).
+    assert!(sim.in_halo(0, -1e12));
+    assert!(sim.in_halo(3, 1e12));
+    assert!(!sim.in_halo(0, 56.0));
+}
+
+#[test]
+fn spawn_places_entities_on_their_stripe_with_global_ids() {
+    let mut sim = cluster(4, 100.0, 5.0);
+    for &x in &[5.0, 30.0, 60.0, 90.0, 12.0] {
+        sim.spawn("U", &[("x", Value::Number(x))]).unwrap();
+    }
+    assert_eq!(sim.population(), 5);
+    assert_eq!(sim.node_population(0), 2);
+    assert_eq!(sim.node_population(1), 1);
+    assert_eq!(sim.node_population(2), 1);
+    assert_eq!(sim.node_population(3), 1);
+    // Ids coincide with a single-node engine spawning in the same order.
+    let mut single = Engine::new(compile(DRIFT), EngineConfig::default()).unwrap();
+    let mut again = cluster(4, 100.0, 5.0);
+    for &x in &[5.0, 30.0, 60.0, 90.0, 12.0] {
+        let a = again.spawn("U", &[("x", Value::Number(x))]).unwrap();
+        let b = single.spawn("U", &[("x", Value::Number(x))]).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn entities_migrate_when_crossing_a_boundary_mid_tick() {
+    let mut sim = cluster(4, 100.0, 10.0);
+    // Starts on node 0 at x=23, drifting +3 per tick: crosses into
+    // node 1's stripe (x ≥ 25) on the first step.
+    let id = sim
+        .spawn(
+            "U",
+            &[("x", Value::Number(23.0)), ("vx", Value::Number(3.0))],
+        )
+        .unwrap();
+    assert_eq!(sim.node_population(0), 1);
+    sim.step();
+    assert_eq!(sim.last_stats().migrations, 1, "crossed 25 → migrated");
+    assert_eq!(sim.node_population(0), 0);
+    assert_eq!(sim.node_population(1), 1);
+    assert_eq!(sim.get(id, "x").unwrap(), Value::Number(26.0));
+    // Keeps drifting: by x=50 it must sit on node 2, never lost.
+    for _ in 0..8 {
+        sim.step();
+    }
+    assert_eq!(sim.get(id, "x").unwrap(), Value::Number(50.0));
+    assert_eq!(sim.node_population(2), 1);
+    assert_eq!(sim.population(), 1);
+}
+
+#[test]
+fn cross_node_nudges_match_single_node_exactly() {
+    // Two entities 8 apart straddling the node-0/node-1 boundary at 25:
+    // each sees the other only through its ghost, and each `nudge`
+    // crosses the interconnect as a routed ⊕ partial.
+    let spawns = [(21.0, 0.0), (29.0, 0.0)];
+    let mut dist = cluster(2, 50.0, 10.0);
+    let mut single = Engine::new(compile(DRIFT), EngineConfig::default()).unwrap();
+    let mut ids = Vec::new();
+    for &(x, vx) in &spawns {
+        let vals = [("x", Value::Number(x)), ("vx", Value::Number(vx))];
+        let a = dist.spawn("U", &vals).unwrap();
+        let b = single.spawn("U", &vals).unwrap();
+        assert_eq!(a, b);
+        ids.push(a);
+    }
+    for _ in 0..3 {
+        dist.step();
+        single.tick();
+    }
+    let stats = dist.last_stats();
+    assert!(stats.ghosts > 0, "straddling pair must be ghosted");
+    assert!(
+        stats.partial_traffic.msgs > 0,
+        "nudges onto ghosts must route across nodes"
+    );
+    for &id in &ids {
+        for attr in ["x", "poked"] {
+            assert_eq!(
+                dist.get(id, attr).unwrap(),
+                Value::Number(single.get(id, attr).unwrap().as_number().unwrap()),
+                "{attr} of {id}"
+            );
+        }
+    }
+    // Each sees the other every tick: poked = (self + other) per tick.
+    assert_eq!(dist.get(ids[0], "poked").unwrap(), Value::Number(6.0));
+}
+
+#[test]
+fn one_node_cluster_needs_no_network() {
+    let mut sim = cluster(1, 100.0, 10.0);
+    for i in 0..20 {
+        sim.spawn("U", &[("x", Value::Number(i as f64 * 5.0))])
+            .unwrap();
+    }
+    sim.step();
+    let s = sim.last_stats();
+    assert_eq!(s.ghosts, 0);
+    assert_eq!(s.total_bytes(), 0);
+    assert_eq!(s.total_msgs(), 0);
+    assert_eq!(s.migrations, 0);
+    assert!(s.simulated_seconds > 0.0, "compute still takes time");
+}
+
+/// A partitioned class reading (and writing) a class *without* the
+/// partition attribute — exercised via broadcast replication.
+const SHARED: &str = r#"
+class Global {
+state:
+  number level = 7;
+  number hits = 0;
+effects:
+  number bump : sum;
+update:
+  hits = hits + bump;
+}
+class U {
+state:
+  number x = 0;
+  number seen = 0;
+effects:
+  number cnt : sum;
+update:
+  seen = cnt;
+script look {
+  accum number c with sum over Global g from Global {
+    if (g.level >= 0) {
+      c <- 1;
+      g.bump <- 1;
+    }
+  } in {
+    cnt <- c;
+  }
+}
+}
+"#;
+
+#[test]
+fn classes_without_the_attribute_are_broadcast_replicated() {
+    let mut dist =
+        DistSim::new(compile(SHARED), DistConfig::new(4, "x", (0.0, 100.0), 5.0)).unwrap();
+    let mut single = Engine::new(compile(SHARED), EngineConfig::default()).unwrap();
+    let globe_a = dist.spawn("Global", &[]).unwrap();
+    let globe_b = single.spawn("Global", &[]).unwrap();
+    assert_eq!(globe_a, globe_b);
+    let mut units = Vec::new();
+    for &x in &[5.0, 30.0, 60.0, 90.0] {
+        let a = dist.spawn("U", &[("x", Value::Number(x))]).unwrap();
+        single.spawn("U", &[("x", Value::Number(x))]).unwrap();
+        units.push(a);
+    }
+    for _ in 0..2 {
+        dist.step();
+        single.tick();
+    }
+    // Every unit saw the (remote) Global exactly once per tick…
+    for &u in &units {
+        assert_eq!(dist.get(u, "seen").unwrap(), Value::Number(1.0));
+    }
+    // …and all four bumps per tick routed back to the one owned copy.
+    assert_eq!(
+        dist.get(globe_a, "hits").unwrap(),
+        single.get(globe_b, "hits").unwrap()
+    );
+    assert_eq!(dist.get(globe_a, "hits").unwrap(), Value::Number(8.0));
+}
+
+#[test]
+fn atomic_games_are_rejected_on_multi_node_clusters() {
+    const ATOMIC: &str = r#"
+class T {
+state:
+  number x = 0;
+  number gold = 100;
+  bool ok = false;
+effects:
+  number gold : sum;
+update:
+  gold by transactions;
+  ok by transactions;
+constraint gold >= 0;
+script spend {
+  atomic {
+    gold <- -10;
+  }
+}
+}
+"#;
+    let err = match DistSim::new(compile(ATOMIC), DistConfig::new(2, "x", (0.0, 10.0), 1.0)) {
+        Err(e) => e,
+        Ok(_) => panic!("atomic games must be rejected on >1 node"),
+    };
+    assert!(err.to_string().contains("atomic"), "{err}");
+    // A single node has no cross-node arbitration problem.
+    assert!(DistSim::new(compile(ATOMIC), DistConfig::new(1, "x", (0.0, 10.0), 1.0)).is_ok());
+}
+
+#[test]
+fn bad_configs_are_rejected() {
+    let game = compile(DRIFT);
+    assert!(DistSim::new(game.clone(), DistConfig::new(0, "x", (0.0, 1.0), 1.0)).is_err());
+    assert!(DistSim::new(game.clone(), DistConfig::new(2, "x", (5.0, 5.0), 1.0)).is_err());
+    assert!(DistSim::new(game.clone(), DistConfig::new(2, "x", (0.0, 1.0), -1.0)).is_err());
+    assert!(
+        DistSim::new(game.clone(), DistConfig::new(2, "nope", (0.0, 1.0), 1.0)).is_err(),
+        "unknown partition attribute"
+    );
+    assert!(DistSim::new(game, DistConfig::new(2, "x", (0.0, 1.0), 1.0)).is_ok());
+}

@@ -9,9 +9,7 @@
 //! restore time, so only data is stored).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sgl_storage::{
-    Catalog, ClassId, Column, EntityId, IdGen, RefSet, StorageError, Table, Value,
-};
+use sgl_storage::{Catalog, ClassId, Column, EntityId, IdGen, RefSet, StorageError, Table, Value};
 
 use crate::effects::Seed;
 use crate::world::World;
@@ -121,12 +119,7 @@ pub fn decode(mut buf: &[u8], catalog: &Catalog) -> Result<(World, Vec<Seed>), C
             insert,
         });
     }
-    let world = World::from_parts(
-        catalog.clone(),
-        tables,
-        IdGen::with_next(idgen_next),
-        tick,
-    );
+    let world = World::from_parts(catalog.clone(), tables, IdGen::with_next(idgen_next), tick);
     Ok((world, seeds))
 }
 

@@ -55,8 +55,7 @@ pub fn format_trace(world: &World, t: &TraceEntry) -> String {
 mod tests {
     use super::*;
     use sgl_storage::{
-        Catalog, ClassDef, ClassId, ColumnSpec, Combinator, EffectSpec, Owner, ScalarType,
-        Schema,
+        Catalog, ClassDef, ClassId, ColumnSpec, Combinator, EffectSpec, Owner, ScalarType, Schema,
     };
 
     fn world() -> World {

@@ -254,12 +254,7 @@ impl EffectStore {
 
     /// Fold a partial received from another node into the entity's
     /// accumulator (the receiving half of [`Self::take_row_partials`]).
-    pub fn fold_partial(
-        &mut self,
-        catalog: &Catalog,
-        world: &World,
-        p: &EffectPartial,
-    ) -> bool {
+    pub fn fold_partial(&mut self, catalog: &Catalog, world: &World, p: &EffectPartial) -> bool {
         let Some(row) = world.row_of_class(p.class, p.target) else {
             return false;
         };
@@ -296,8 +291,7 @@ impl EffectStore {
             let mut effects = Vec::with_capacity(class_aggs.len());
             for (ei, agg) in class_aggs.into_iter().enumerate() {
                 let spec = cdef.effect(ei);
-                let agg =
-                    agg.unwrap_or_else(|| DenseAgg::new(len, spec.comb, spec.ty));
+                let agg = agg.unwrap_or_else(|| DenseAgg::new(len, spec.comb, spec.ty));
                 let (col, counts) = agg.finalize(&spec.default);
                 effects.push((col, counts));
             }
@@ -331,15 +325,12 @@ impl CombinedEffects {
 }
 
 /// Fold handler seeds into a fresh store (start of tick).
-pub fn fold_seeds(
-    store: &mut EffectStore,
-    catalog: &Catalog,
-    world: &World,
-    seeds: &[Seed],
-) {
+pub fn fold_seeds(store: &mut EffectStore, catalog: &Catalog, world: &World, seeds: &[Seed]) {
     for s in seeds {
         if let Some(row) = world.row_of_class(s.class, s.target) {
-            store.emit_row(catalog, s.class, s.effect, row, &s.value, s.insert, s.target);
+            store.emit_row(
+                catalog, s.class, s.effect, row, &s.value, s.insert, s.target,
+            );
         }
     }
 }
@@ -359,9 +350,7 @@ pub fn set_value(ids: &[EntityId]) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sgl_storage::{
-        ClassDef, ColumnSpec, Combinator, EffectSpec, ScalarType, Schema,
-    };
+    use sgl_storage::{ClassDef, ColumnSpec, Combinator, EffectSpec, ScalarType, Schema};
 
     fn test_world() -> World {
         let mut cat = Catalog::new();
@@ -398,9 +387,33 @@ mod tests {
         let w = test_world();
         let cat = w.catalog().clone();
         let mut s = EffectStore::new(&w, false);
-        s.emit_row(&cat, ClassId(0), 0, 0, &Value::Number(2.0), false, EntityId(1));
-        s.emit_row(&cat, ClassId(0), 0, 0, &Value::Number(3.0), false, EntityId(1));
-        s.emit_row(&cat, ClassId(0), 0, 2, &Value::Number(1.0), false, EntityId(3));
+        s.emit_row(
+            &cat,
+            ClassId(0),
+            0,
+            0,
+            &Value::Number(2.0),
+            false,
+            EntityId(1),
+        );
+        s.emit_row(
+            &cat,
+            ClassId(0),
+            0,
+            0,
+            &Value::Number(3.0),
+            false,
+            EntityId(1),
+        );
+        s.emit_row(
+            &cat,
+            ClassId(0),
+            0,
+            2,
+            &Value::Number(1.0),
+            false,
+            EntityId(3),
+        );
         let combined = s.finalize(&cat);
         assert_eq!(combined.column(ClassId(0), 0).f64(), &[5.0, 0.0, 1.0]);
         assert_eq!(combined.counts(ClassId(0), 0), &[2, 0, 1]);
@@ -411,8 +424,24 @@ mod tests {
         let w = test_world();
         let cat = w.catalog().clone();
         let mut s = EffectStore::new(&w, false);
-        s.emit_row(&cat, ClassId(0), 1, 1, &Value::Number(2.0), false, EntityId(2));
-        s.emit_row(&cat, ClassId(0), 1, 1, &Value::Number(6.0), false, EntityId(2));
+        s.emit_row(
+            &cat,
+            ClassId(0),
+            1,
+            1,
+            &Value::Number(2.0),
+            false,
+            EntityId(2),
+        );
+        s.emit_row(
+            &cat,
+            ClassId(0),
+            1,
+            1,
+            &Value::Number(6.0),
+            false,
+            EntityId(2),
+        );
         let combined = s.finalize(&cat);
         assert_eq!(combined.column(ClassId(0), 1).f64()[1], 4.0);
     }
@@ -423,16 +452,40 @@ mod tests {
         let cat = w.catalog().clone();
         let mut serial = EffectStore::new(&w, false);
         for i in 0..30u32 {
-            serial.emit_row(&cat, ClassId(0), 0, i % 3, &Value::Number(i as f64), false, EntityId(1));
+            serial.emit_row(
+                &cat,
+                ClassId(0),
+                0,
+                i % 3,
+                &Value::Number(i as f64),
+                false,
+                EntityId(1),
+            );
         }
         let mut main = EffectStore::new(&w, false);
         let mut p0 = main.fork();
         let mut p1 = main.fork();
         for i in 0..15u32 {
-            p0.emit_row(&cat, ClassId(0), 0, i % 3, &Value::Number(i as f64), false, EntityId(1));
+            p0.emit_row(
+                &cat,
+                ClassId(0),
+                0,
+                i % 3,
+                &Value::Number(i as f64),
+                false,
+                EntityId(1),
+            );
         }
         for i in 15..30u32 {
-            p1.emit_row(&cat, ClassId(0), 0, i % 3, &Value::Number(i as f64), false, EntityId(1));
+            p1.emit_row(
+                &cat,
+                ClassId(0),
+                0,
+                i % 3,
+                &Value::Number(i as f64),
+                false,
+                EntityId(1),
+            );
         }
         main.merge(p0);
         main.merge(p1);
@@ -485,7 +538,15 @@ mod tests {
         let w = test_world();
         let cat = w.catalog().clone();
         let mut s = EffectStore::new(&w, true);
-        s.emit_row(&cat, ClassId(0), 0, 0, &Value::Number(1.0), false, EntityId(1));
+        s.emit_row(
+            &cat,
+            ClassId(0),
+            0,
+            0,
+            &Value::Number(1.0),
+            false,
+            EntityId(1),
+        );
         let combined = s.finalize(&cat);
         let trace = combined.trace.unwrap();
         assert_eq!(trace.len(), 1);

@@ -110,10 +110,9 @@ impl Engine {
             .collect::<Result<Vec<_>, _>>()?;
         let mut auto_despawn = Vec::new();
         for (class, var) in &config.auto_despawn {
-            let def = game
-                .catalog
-                .class_by_name(class)
-                .ok_or_else(|| EngineError::Config(format!("auto_despawn: unknown class `{class}`")))?;
+            let def = game.catalog.class_by_name(class).ok_or_else(|| {
+                EngineError::Config(format!("auto_despawn: unknown class `{class}`"))
+            })?;
             let col = def
                 .state
                 .index_of(var)
@@ -304,8 +303,9 @@ mod tests {
     use sgl_frontend::check;
 
     fn build(src: &str, config: EngineConfig) -> Engine {
-        let game = sgl_compiler::compile(check(src).unwrap_or_else(|e| panic!("{}", e.render(src))))
-            .unwrap_or_else(|e| panic!("{e}"));
+        let game =
+            sgl_compiler::compile(check(src).unwrap_or_else(|e| panic!("{}", e.render(src))))
+                .unwrap_or_else(|e| panic!("{e}"));
         Engine::new(game, config).unwrap()
     }
 
@@ -333,7 +333,11 @@ update:
             eng.spawn("Unit", &[("x", Value::Number(x))]).unwrap();
         }
         eng.tick();
-        let ids: Vec<EntityId> = eng.world().table(eng.world().class_id("Unit").unwrap()).ids().to_vec();
+        let ids: Vec<EntityId> = eng
+            .world()
+            .table(eng.world().class_id("Unit").unwrap())
+            .ids()
+            .to_vec();
         // Fig. 2 has no accum in this source (plain emit), so "near" is 0;
         // this test only checks the tick plumbing applied update rules.
         for id in ids {
@@ -378,7 +382,11 @@ script count {
             let c = eng.spawn("Unit", &[("x", Value::Number(5.0))]).unwrap();
             eng.tick();
             // a sees {a, b}; b sees {a, b}; c sees {c} (self-inclusive).
-            assert_eq!(eng.get(a, "seen").unwrap(), Value::Number(2.0), "threads={threads}");
+            assert_eq!(
+                eng.get(a, "seen").unwrap(),
+                Value::Number(2.0),
+                "threads={threads}"
+            );
             assert_eq!(eng.get(b, "seen").unwrap(), Value::Number(2.0));
             assert_eq!(eng.get(c, "seen").unwrap(), Value::Number(1.0));
             assert_eq!(eng.last_stats().joins.len(), 1);
@@ -569,7 +577,10 @@ script hurt {
         let mut eng = build(src, cfg);
         let id = eng.spawn("U", &[]).unwrap();
         eng.tick();
-        assert!(eng.world().class_of(id).is_none(), "despawned after hp hit 0");
+        assert!(
+            eng.world().class_of(id).is_none(),
+            "despawned after hp hit 0"
+        );
     }
 
     #[test]

@@ -178,14 +178,13 @@ impl CompiledExecutor {
                     let mut write_vals = Vec::with_capacity(t.writes.len());
                     for w in &t.writes {
                         let vals = eval(&w.value, &batch, world);
-                        let gmask = w.guard.as_ref().map(|g| {
-                            eval(g, &batch, world).bool().to_vec()
-                        });
+                        let gmask = w
+                            .guard
+                            .as_ref()
+                            .map(|g| eval(g, &batch, world).bool().to_vec());
                         let targets = match &w.target {
                             TxnTarget::SelfRow => None,
-                            TxnTarget::Ref(e) => {
-                                Some(eval(e, &batch, world).refs().to_vec())
-                            }
+                            TxnTarget::Ref(e) => Some(eval(e, &batch, world).refs().to_vec()),
                         };
                         write_vals.push((vals, gmask, targets));
                     }
@@ -328,19 +327,15 @@ impl CompiledExecutor {
                 // Histogram prediction costs ~O(n_right/4 + 32 probes);
                 // below a few hundred rows the EWMA alone is cheaper and
                 // the plan choice is obvious anyway.
-                let predicted = if self.config.adaptive
-                    && !a.spec.bands.is_empty()
-                    && n_right >= 256
-                {
-                    Some(predict_pairs(&a.spec, batch, &right, n_left, world))
-                } else {
-                    None
-                };
-                let planner =
-                    Self::planner(&mut self.planners, key, &self.config, &self.cost);
+                let predicted =
+                    if self.config.adaptive && !a.spec.bands.is_empty() && n_right >= 256 {
+                        Some(predict_pairs(&a.spec, batch, &right, n_left, world))
+                    } else {
+                        None
+                    };
+                let planner = Self::planner(&mut self.planners, key, &self.config, &self.cost);
                 let before = planner.switches().len();
-                let method =
-                    planner.choose(stats.tick, n_left, n_right, predicted, a.dims.max(1));
+                let method = planner.choose(stats.tick, n_left, n_right, predicted, a.dims.max(1));
                 switched = planner.switches().len() > before;
                 let prep = PreparedJoin::prepare(method, &right, &a.spec);
                 method_used = prep.method();
@@ -357,13 +352,9 @@ impl CompiledExecutor {
                         acc: &mut acc,
                         store,
                     };
-                    pairs = band_join_partition(
-                        &prep,
-                        batch,
-                        0..n_left,
-                        world,
-                        &mut |l, rs| consumer.consume(l, rs),
-                    );
+                    pairs = band_join_partition(&prep, batch, 0..n_left, world, &mut |l, rs| {
+                        consumer.consume(l, rs)
+                    });
                 } else {
                     // Parallel: contiguous chunks, merged in order.
                     let chunk = n_left.div_ceil(threads);
@@ -380,8 +371,7 @@ impl CompiledExecutor {
                                 let right = &right;
                                 let batch: &Batch = batch;
                                 let store_proto = store.fork();
-                                let mut local_acc =
-                                    DenseAgg::new(n_left, a.comb, a.acc_ty);
+                                let mut local_acc = DenseAgg::new(n_left, a.comb, a.acc_ty);
                                 s.spawn(move || {
                                     let mut local_store = store_proto;
                                     let mut consumer = AccumConsumer {
@@ -412,8 +402,7 @@ impl CompiledExecutor {
                         pairs += p;
                     }
                 }
-                let planner =
-                    Self::planner(&mut self.planners, key, &self.config, &self.cost);
+                let planner = Self::planner(&mut self.planners, key, &self.config, &self.cost);
                 planner.observe(pairs);
             }
             AccumSource::SetExpr(se) => {
@@ -501,7 +490,9 @@ impl AccumConsumer<'_> {
                 if let PExpr::ConstF(c) = value {
                     if matches!(
                         self.a.comb,
-                        Combinator::Sum | Combinator::Avg | Combinator::Count
+                        Combinator::Sum
+                            | Combinator::Avg
+                            | Combinator::Count
                             | Combinator::Min
                             | Combinator::Max
                     ) {
@@ -510,17 +501,24 @@ impl AccumConsumer<'_> {
                     }
                 }
             }
-            let mask = guard.as_ref().map(|g| {
-                eval_pair(g, self.batch, lrow, self.right, rsel, self.world)
-            });
+            let mask = guard
+                .as_ref()
+                .map(|g| eval_pair(g, self.batch, lrow, self.right, rsel, self.world));
             let vals = eval_pair(value, self.batch, lrow, self.right, rsel, self.world);
-            fold_column(self.acc, lrow, &vals, mask.as_ref().map(|m| m.bool()), *insert);
+            fold_column(
+                self.acc,
+                lrow,
+                &vals,
+                mask.as_ref().map(|m| m.bool()),
+                *insert,
+            );
         }
         // Other effect emissions from the body.
         for pe in &self.a.body_emits {
-            let mask = pe.guard.as_ref().map(|g| {
-                eval_pair(g, self.batch, lrow, self.right, rsel, self.world)
-            });
+            let mask = pe
+                .guard
+                .as_ref()
+                .map(|g| eval_pair(g, self.batch, lrow, self.right, rsel, self.world));
             let mask_bools = mask.as_ref().map(|m| m.bool());
             let vals = eval_pair(&pe.value, self.batch, lrow, self.right, rsel, self.world);
             match &pe.target {
@@ -559,8 +557,7 @@ impl AccumConsumer<'_> {
                     }
                 }
                 PairEmitTarget::Ref(re) => {
-                    let ids =
-                        eval_pair(re, self.batch, lrow, self.right, rsel, self.world);
+                    let ids = eval_pair(re, self.batch, lrow, self.right, rsel, self.world);
                     let ids = ids.refs();
                     for (i, id) in ids.iter().enumerate() {
                         if mask_bools.is_some_and(|m| !m[i]) || id.is_null() {
@@ -669,8 +666,16 @@ fn predict_pairs(
         .map(|b| right.col(b.right_slot).f64())
         .collect();
     let hist = GridHistogram::build(&cols, 12, 4);
-    let lo_cols: Vec<Column> = spec.bands.iter().map(|b| eval(&b.lo, left, world)).collect();
-    let hi_cols: Vec<Column> = spec.bands.iter().map(|b| eval(&b.hi, left, world)).collect();
+    let lo_cols: Vec<Column> = spec
+        .bands
+        .iter()
+        .map(|b| eval(&b.lo, left, world))
+        .collect();
+    let hi_cols: Vec<Column> = spec
+        .bands
+        .iter()
+        .map(|b| eval(&b.hi, left, world))
+        .collect();
     let samples = 32.min(n_left);
     if samples == 0 {
         return 0.0;

@@ -65,11 +65,7 @@ impl ObstacleGrid {
 
 /// 4-connected A* between grid cells; returns the cell path including
 /// both endpoints, or `None` if unreachable.
-pub fn astar(
-    grid: &ObstacleGrid,
-    start: (i32, i32),
-    goal: (i32, i32),
-) -> Option<Vec<(i32, i32)>> {
+pub fn astar(grid: &ObstacleGrid, start: (i32, i32), goal: (i32, i32)) -> Option<Vec<(i32, i32)>> {
     if grid.is_blocked(start.0, start.1) || grid.is_blocked(goal.0, goal.1) {
         return None;
     }

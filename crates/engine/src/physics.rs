@@ -112,11 +112,7 @@ pub fn resolve(
 
 /// Integrate intents and resolve collisions; returns the staged new
 /// position columns `(x, y)`.
-pub fn run(
-    world: &World,
-    combined: &CombinedEffects,
-    p: &ResolvedPhysics,
-) -> (Vec<f64>, Vec<f64>) {
+pub fn run(world: &World, combined: &CombinedEffects, p: &ResolvedPhysics) -> (Vec<f64>, Vec<f64>) {
     let table = world.table(p.class);
     let n = table.len();
     let old_x = table.column(p.pos.0).f64();

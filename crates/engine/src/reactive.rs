@@ -81,10 +81,7 @@ pub fn run_handlers(world: &World, game: &CompiledGame) -> ReactiveOut {
                 batch.push_col(col);
             }
             for e in &h.emits {
-                let mask = e
-                    .guard
-                    .as_ref()
-                    .map(|g| eval(g, &batch, world));
+                let mask = e.guard.as_ref().map(|g| eval(g, &batch, world));
                 let values = eval(&e.value, &batch, world);
                 for row in 0..batch.len() {
                     if mask.as_ref().is_some_and(|m| !m.bool()[row])

@@ -84,9 +84,7 @@ pub fn init_working(world: &World, game: &CompiledGame, combined: &CombinedEffec
                 (Column::F64(ov), ScalarType::Number) => {
                     // Numbers: delta channel (sum of plain writes).
                     let deltas = comb_col.f64();
-                    Column::from_f64(
-                        (0..n).map(|i| ov[i] + deltas[i]).collect(),
-                    )
+                    Column::from_f64((0..n).map(|i| ov[i] + deltas[i]).collect())
                 }
                 (Column::Ref(ov), ScalarType::Ref(_)) => {
                     // Refs: plain writes win via ⊕ where present.
@@ -157,14 +155,7 @@ impl SlotReader for WorkingReader<'_> {
                     self.world.table(class).column(col).get(r as usize)
                 }
             }
-            None => self
-                .world
-                .catalog()
-                .class(class)
-                .state
-                .col(col)
-                .ty
-                .zero(),
+            None => self.world.catalog().class(class).state.col(col).ty.zero(),
         }
     }
 }
@@ -244,10 +235,8 @@ pub fn run(
             col.set(*row as usize, &new);
         }
         // Constraint check on every affected entity.
-        let mut affected: Vec<(ClassId, u32)> = resolved
-            .iter()
-            .map(|(r, w)| (w.class, *r))
-            .collect();
+        let mut affected: Vec<(ClassId, u32)> =
+            resolved.iter().map(|(r, w)| (w.class, *r)).collect();
         affected.sort_unstable_by_key(|(c, r)| (c.0, *r));
         affected.dedup();
         let mut ok = true;

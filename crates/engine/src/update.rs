@@ -91,9 +91,7 @@ pub fn run_update(
 
     // 5. Write back.
     for ((class, col), column) in staged {
-        world
-            .table_mut(ClassId(class))
-            .replace_column(col, column);
+        world.table_mut(ClassId(class)).replace_column(col, column);
     }
 }
 

@@ -153,17 +153,13 @@ impl World {
 
     /// Read one attribute of one entity (searching all classes).
     pub fn get(&self, id: EntityId, attr: &str) -> Result<Value, StorageError> {
-        let class = self
-            .class_of(id)
-            .ok_or(StorageError::NoSuchEntity(id))?;
+        let class = self.class_of(id).ok_or(StorageError::NoSuchEntity(id))?;
         self.table(class).get(id, attr)
     }
 
     /// Write one attribute of one entity (host API, between ticks).
     pub fn set(&mut self, id: EntityId, attr: &str, v: &Value) -> Result<(), StorageError> {
-        let class = self
-            .class_of(id)
-            .ok_or(StorageError::NoSuchEntity(id))?;
+        let class = self.class_of(id).ok_or(StorageError::NoSuchEntity(id))?;
         self.table_mut(class).set(id, attr, v)
     }
 

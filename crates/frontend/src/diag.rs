@@ -69,7 +69,11 @@ impl Diagnostics {
 impl std::fmt::Display for Diagnostics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for d in &self.items {
-            writeln!(f, "error: {} (bytes {}..{})", d.message, d.span.start, d.span.end)?;
+            writeln!(
+                f,
+                "error: {} (bytes {}..{})",
+                d.message, d.span.start, d.span.end
+            )?;
         }
         Ok(())
     }

@@ -157,7 +157,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, Diagnostics> {
                     i += 1;
                 }
                 if !closed {
-                    diags.error("unterminated block comment", Span::new(start as u32, n as u32));
+                    diags.error(
+                        "unterminated block comment",
+                        Span::new(start as u32, n as u32),
+                    );
                     i = n;
                 }
             }

@@ -8,15 +8,38 @@ use crate::diag::Diagnostics;
 use crate::lexer::{lex, SpannedTok, Tok};
 use sgl_ast::{
     AccumStmt, BinOp, Block, ClassDecl, Combinator, EffectOp, EffectVarDecl, Expr, HandlerDecl,
-    Ident, LValue, Literal, Program, RestartClause, ScriptDecl, Span, StateVarDecl, Stmt,
-    TypeExpr, UnOp, UpdateKind, UpdateRule,
+    Ident, LValue, Literal, Program, RestartClause, ScriptDecl, Span, StateVarDecl, Stmt, TypeExpr,
+    UnOp, UpdateKind, UpdateRule,
 };
 
 /// Words that cannot be used as identifiers.
 pub const RESERVED: &[&str] = &[
-    "class", "state", "effects", "update", "constraint", "script", "when", "let", "if", "else",
-    "accum", "with", "over", "from", "in", "waitNextTick", "atomic", "by", "true", "false",
-    "null", "self", "number", "bool", "ref", "set",
+    "class",
+    "state",
+    "effects",
+    "update",
+    "constraint",
+    "script",
+    "when",
+    "let",
+    "if",
+    "else",
+    "accum",
+    "with",
+    "over",
+    "from",
+    "in",
+    "waitNextTick",
+    "atomic",
+    "by",
+    "true",
+    "false",
+    "null",
+    "self",
+    "number",
+    "bool",
+    "ref",
+    "set",
 ];
 
 /// Parse a standalone expression (tooling/testing helper).
@@ -31,7 +54,8 @@ pub fn parse_expr(src: &str) -> Result<Expr, Diagnostics> {
         Ok(e) => {
             if !matches!(p.peek(), Tok::Eof) {
                 let span = p.span();
-                p.diags.error("trailing tokens after expression".to_string(), span);
+                p.diags
+                    .error("trailing tokens after expression".to_string(), span);
             }
             p.diags.into_result(e)
         }
@@ -184,6 +208,13 @@ impl Parser {
                     format!("expected `class`, found {}", self.peek().describe()),
                     span,
                 );
+                // A stray `}` is sync()'s one no-progress token (it
+                // stops *at* closing braces so callers inside a body can
+                // see them); consume it here or top-level recovery loops
+                // forever on inputs like `)}x`.
+                if matches!(self.peek(), Tok::RBrace) {
+                    self.bump();
+                }
                 self.sync();
             }
         }
@@ -559,7 +590,10 @@ impl Parser {
                 EffectOp::Insert
             }
             other => {
-                let msg = format!("expected `<-` or `<=` after effect target, found {}", other.describe());
+                let msg = format!(
+                    "expected `<-` or `<=` after effect target, found {}",
+                    other.describe()
+                );
                 return self.err_here(msg);
             }
         };
@@ -651,10 +685,7 @@ impl Parser {
         let base = self.postfix_expr()?;
         match base {
             Expr::Var(id) => Ok(LValue::Name(id)),
-            Expr::Field { base, field, .. } => Ok(LValue::Field {
-                base: *base,
-                field,
-            }),
+            Expr::Field { base, field, .. } => Ok(LValue::Field { base: *base, field }),
             other => {
                 let msg = format!(
                     "invalid effect target `{}`",
@@ -1039,7 +1070,9 @@ script s {
             panic!()
         };
         // x < -3
-        let Expr::Binary { op, rhs, .. } = cond else { panic!() };
+        let Expr::Binary { op, rhs, .. } = cond else {
+            panic!()
+        };
         assert_eq!(*op, BinOp::Lt);
         assert!(matches!(**rhs, Expr::Unary { op: UnOp::Neg, .. }));
     }

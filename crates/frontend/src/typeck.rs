@@ -16,9 +16,7 @@
 //! Successful analysis yields a [`CheckedProgram`] containing the
 //! [`Catalog`] of generated relational schemas.
 
-use sgl_ast::{
-    Block, ClassDecl, EffectOp, Expr, LValue, Literal, Program, Stmt, TypeExpr, UnOp,
-};
+use sgl_ast::{Block, ClassDecl, EffectOp, Expr, LValue, Literal, Program, Stmt, TypeExpr, UnOp};
 use sgl_storage::{
     Catalog, ClassDef, ClassId, ColumnSpec, Combinator, EffectSpec, FxHashMap, Owner, RefSet,
     ScalarType, Schema, Value,
@@ -153,10 +151,7 @@ impl<'a> TypeEnv<'a> {
             Expr::Field { base, field, span } => {
                 let bt = self.type_of(base, diags)?;
                 let ScalarType::Ref(cid) = bt else {
-                    diags.error(
-                        format!("`.` access requires a ref value, got {bt}"),
-                        *span,
-                    );
+                    diags.error(format!("`.` access requires a ref value, got {bt}"), *span);
                     return None;
                 };
                 let cdef = self.catalog.class(cid);
@@ -185,7 +180,10 @@ impl<'a> TypeEnv<'a> {
                     UnOp::Neg if t == ScalarType::Number => Some(ScalarType::Number),
                     UnOp::Not if t == ScalarType::Bool => Some(ScalarType::Bool),
                     _ => {
-                        diags.error(format!("invalid operand type {t} for unary operator"), *span);
+                        diags.error(
+                            format!("invalid operand type {t} for unary operator"),
+                            *span,
+                        );
                         None
                     }
                 }
@@ -227,10 +225,7 @@ impl<'a> TypeEnv<'a> {
                         if compatible {
                             Some(ScalarType::Bool)
                         } else {
-                            diags.error(
-                                format!("cannot compare {lt} with {rt}"),
-                                *span,
-                            );
+                            diags.error(format!("cannot compare {lt} with {rt}"), *span);
                             None
                         }
                     }
@@ -289,10 +284,7 @@ impl<'a> TypeEnv<'a> {
             },
             "abs" | "sqrt" | "floor" | "ceil" | "min" | "max" | "clamp" | "dist" | "id"
             | "size" | "contains" => {
-                diags.error(
-                    format!("wrong argument types for builtin `{name}`"),
-                    span,
-                );
+                diags.error(format!("wrong argument types for builtin `{name}`"), span);
                 None
             }
             _ => {
@@ -379,10 +371,7 @@ pub fn check_program(ast: Program) -> Result<CheckedProgram, Diagnostics> {
             .insert(c.name.name.clone(), ClassId(i as u32))
             .is_some()
         {
-            diags.error(
-                format!("duplicate class `{}`", c.name.name),
-                c.name.span,
-            );
+            diags.error(format!("duplicate class `{}`", c.name.name), c.name.span);
         }
     }
 
@@ -442,7 +431,10 @@ fn build_class_def(
         if let sgl_ast::UpdateKind::Owner(o) = &u.kind {
             let Some(idx) = state.index_of(&u.target.name) else {
                 diags.error(
-                    format!("update rule targets unknown state variable `{}`", u.target.name),
+                    format!(
+                        "update rule targets unknown state variable `{}`",
+                        u.target.name
+                    ),
                     u.target.span,
                 );
                 continue;
@@ -521,12 +513,7 @@ fn build_class_def(
     }
 }
 
-fn check_class_bodies(
-    c: &ClassDecl,
-    id: ClassId,
-    catalog: &Catalog,
-    diags: &mut Diagnostics,
-) {
+fn check_class_bodies(c: &ClassDecl, id: ClassId, catalog: &Catalog, diags: &mut Diagnostics) {
     let def = catalog.class(id);
 
     // Update rules: one per variable, expression-owned targets only.
@@ -546,7 +533,10 @@ fn check_class_bodies(
             // for Expr rules here.
             if matches!(u.kind, sgl_ast::UpdateKind::Expr(_)) {
                 diags.error(
-                    format!("update rule targets unknown state variable `{}`", u.target.name),
+                    format!(
+                        "update rule targets unknown state variable `{}`",
+                        u.target.name
+                    ),
                     u.target.span,
                 );
             }
@@ -616,7 +606,10 @@ fn check_class_bodies(
         let env = TypeEnv::new(catalog, id, ExprMode::Handler);
         if let Some(t) = env.type_of(&h.cond, diags) {
             if t != ScalarType::Bool {
-                diags.error(format!("handler condition must be bool, got {t}"), h.cond.span());
+                diags.error(
+                    format!("handler condition must be bool, got {t}"),
+                    h.cond.span(),
+                );
             }
         }
         let mut env = TypeEnv::new(catalog, id, ExprMode::Handler);
@@ -638,8 +631,7 @@ fn check_class_bodies(
 /// target must be a multi-tick script of the class; a bare `restart;`
 /// needs at least one multi-tick script to interrupt.
 fn check_restart(c: &ClassDecl, r: &sgl_ast::RestartClause, diags: &mut Diagnostics) {
-    let is_multi_tick =
-        |s: &sgl_ast::ScriptDecl| s.body.stmts.iter().any(|st| st.contains_wait());
+    let is_multi_tick = |s: &sgl_ast::ScriptDecl| s.body.stmts.iter().any(|st| st.contains_wait());
     match &r.script {
         Some(name) => match c.scripts.iter().find(|s| s.name.name == name.name) {
             None => diags.error(
@@ -736,11 +728,17 @@ fn check_stmt(
         }
         Stmt::Accum(a) => {
             if cx.in_handler {
-                diags.error("accum-loops are not allowed in handlers".to_string(), a.span);
+                diags.error(
+                    "accum-loops are not allowed in handlers".to_string(),
+                    a.span,
+                );
                 return;
             }
             if cx.in_atomic {
-                diags.error("accum-loops are not allowed in atomic regions".to_string(), a.span);
+                diags.error(
+                    "accum-loops are not allowed in atomic regions".to_string(),
+                    a.span,
+                );
                 return;
             }
             if cx.in_accum_body {
@@ -842,7 +840,10 @@ fn check_stmt(
                 return;
             }
             if cx.in_handler {
-                diags.error("atomic regions are not allowed in handlers".to_string(), *span);
+                diags.error(
+                    "atomic regions are not allowed in handlers".to_string(),
+                    *span,
+                );
                 return;
             }
             if cx.in_accum_body || cx.in_accum_rest {
@@ -879,15 +880,15 @@ fn check_effect_stmt(
         match target {
             LValue::Name(id) => {
                 // Accum accumulator (write-only, innermost first).
-                if let Some((_, t, comb)) = cx
-                    .accum_write
-                    .iter()
-                    .rev()
-                    .find(|(n, _, _)| *n == id.name)
+                if let Some((_, t, comb)) =
+                    cx.accum_write.iter().rev().find(|(n, _, _)| *n == id.name)
                 {
                     if !cx.in_accum_body {
                         diags.error(
-                            format!("accum variable `{}` is only writable inside the accum body", id.name),
+                            format!(
+                                "accum variable `{}` is only writable inside the accum body",
+                                id.name
+                            ),
                             id.span,
                         );
                         return;

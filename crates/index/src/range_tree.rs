@@ -52,11 +52,7 @@ impl RangeTree {
             let ids: Vec<u32> = (0..n as u32).collect();
             Some(build_level(points, ids, 0))
         };
-        RangeTree {
-            dims,
-            len: n,
-            root,
-        }
+        RangeTree { dims, len: n, root }
     }
 
     /// Count of tree *entries* (point copies across all levels) — the
@@ -66,12 +62,7 @@ impl RangeTree {
             match level {
                 Level::Last { ids, .. } => ids.len(),
                 Level::Inner { keys, assoc, .. } => {
-                    keys.len()
-                        + assoc
-                            .iter()
-                            .flatten()
-                            .map(|l| count(l))
-                            .sum::<usize>()
+                    keys.len() + assoc.iter().flatten().map(|l| count(l)).sum::<usize>()
                 }
             }
         }
@@ -168,7 +159,18 @@ fn decompose(
     }
     let mid = (node_lo + node_hi) / 2;
     decompose(assoc, dim, lo, hi, 2 * node, node_lo, mid, q_lo, q_hi, out);
-    decompose(assoc, dim, lo, hi, 2 * node + 1, mid, node_hi, q_lo, q_hi, out);
+    decompose(
+        assoc,
+        dim,
+        lo,
+        hi,
+        2 * node + 1,
+        mid,
+        node_hi,
+        q_lo,
+        q_hi,
+        out,
+    );
 }
 
 fn level_bytes(level: &Level) -> usize {

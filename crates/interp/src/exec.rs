@@ -174,11 +174,7 @@ fn run_script(script: &ScriptDecl, env: &mut Env<'_>, ctx: &mut Ctx<'_>) {
     // Resume from the hidden pc.
     let resume: Option<&WaitPath> = match ctx.meta.pc_col {
         Some(col) => {
-            let pc = env
-                .world
-                .table(env.class)
-                .column(col)
-                .f64()[env.row as usize];
+            let pc = env.world.table(env.class).column(col).f64()[env.row as usize];
             if pc > 0.0 {
                 ctx.meta.wait_paths.get(pc as usize - 1)
             } else {
@@ -190,9 +186,6 @@ fn run_script(script: &ScriptDecl, env: &mut Env<'_>, ctx: &mut Ctx<'_>) {
     let flow = exec_block(&script.body.stmts, resume.map(|p| p.as_slice()), env, ctx);
     if let Flow::Waited(wait_id) = flow {
         // Emit the pc effect exactly like the compiled SetPc step.
-        let class_plans = &ctx
-            .meta;
-        let _ = class_plans;
         emit_pc(env, ctx, wait_id + 1);
     }
 }
@@ -246,8 +239,7 @@ fn exec_block(
                     } else {
                         else_block.as_ref().expect("resume into missing else")
                     };
-                    if let Flow::Waited(w) = exec_block(&inner.stmts, Some(&path[2..]), env, ctx)
-                    {
+                    if let Flow::Waited(w) = exec_block(&inner.stmts, Some(&path[2..]), env, ctx) {
                         env.locals.truncate(locals_mark);
                         return Flow::Waited(w);
                     }
@@ -330,13 +322,12 @@ fn emit_effect(target: &LValue, op: EffectOp, v: Value, env: &mut Env<'_>, ctx: 
     match target {
         LValue::Name(id) => {
             // Accum accumulator?
-            if let Some(frame) = env
-                .accum_write
-                .iter_mut()
-                .rev()
-                .find(|f| f.name == id.name)
-            {
-                frame.acc = Some(frame.comb.fold(frame.acc.take(), &normalize_insert(v, insert)));
+            if let Some(frame) = env.accum_write.iter_mut().rev().find(|f| f.name == id.name) {
+                frame.acc = Some(
+                    frame
+                        .comb
+                        .fold(frame.acc.take(), &normalize_insert(v, insert)),
+                );
                 frame.count += 1;
                 return;
             }
@@ -411,8 +402,7 @@ fn exec_accum(a: &AccumStmt, env: &mut Env<'_>, ctx: &mut Ctx<'_>) {
         if env.world.row_of_class(elem_class, id).is_none() {
             continue; // dangling member of a set
         }
-        env.elems
-            .push((a.elem_name.name.clone(), elem_class, id));
+        env.elems.push((a.elem_name.name.clone(), elem_class, id));
         // Body is write-only wrt the accumulator; waits are banned.
         let _ = exec_block(&a.body.stmts, None, env, ctx);
         env.elems.pop();
@@ -434,12 +424,12 @@ fn acc_scalar_ty(a: &AccumStmt, env: &Env<'_>) -> sgl_storage::ScalarType {
     match &a.acc_ty {
         sgl_ast::TypeExpr::Number => sgl_storage::ScalarType::Number,
         sgl_ast::TypeExpr::Bool => sgl_storage::ScalarType::Bool,
-        sgl_ast::TypeExpr::Ref(c) => sgl_storage::ScalarType::Ref(
-            resolve_class_ci(env.catalog, c).unwrap_or(env.class),
-        ),
-        sgl_ast::TypeExpr::Set(c) => sgl_storage::ScalarType::Set(
-            resolve_class_ci(env.catalog, c).unwrap_or(env.class),
-        ),
+        sgl_ast::TypeExpr::Ref(c) => {
+            sgl_storage::ScalarType::Ref(resolve_class_ci(env.catalog, c).unwrap_or(env.class))
+        }
+        sgl_ast::TypeExpr::Set(c) => {
+            sgl_storage::ScalarType::Set(resolve_class_ci(env.catalog, c).unwrap_or(env.class))
+        }
     }
 }
 

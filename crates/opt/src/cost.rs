@@ -137,15 +137,33 @@ mod tests {
         assert!(small_nl < small_grid, "{small_nl} vs {small_grid}");
 
         let big_nl = m.join_cost(JoinMethod::NL, 50_000, 50_000, 100_000.0, 2);
-        let big_grid = m.join_cost(JoinMethod::Index(IndexKind::Grid), 50_000, 50_000, 100_000.0, 2);
+        let big_grid = m.join_cost(
+            JoinMethod::Index(IndexKind::Grid),
+            50_000,
+            50_000,
+            100_000.0,
+            2,
+        );
         assert!(big_grid < big_nl, "{big_grid} vs {big_nl}");
     }
 
     #[test]
     fn range_tree_costs_grow_with_dims() {
         let m = CostModel::default();
-        let d2 = m.join_cost(JoinMethod::Index(IndexKind::RangeTree), 1000, 1000, 100.0, 2);
-        let d3 = m.join_cost(JoinMethod::Index(IndexKind::RangeTree), 1000, 1000, 100.0, 3);
+        let d2 = m.join_cost(
+            JoinMethod::Index(IndexKind::RangeTree),
+            1000,
+            1000,
+            100.0,
+            2,
+        );
+        let d3 = m.join_cost(
+            JoinMethod::Index(IndexKind::RangeTree),
+            1000,
+            1000,
+            100.0,
+            3,
+        );
         assert!(d3 > d2);
     }
 
@@ -153,7 +171,13 @@ mod tests {
     fn emit_cost_counts_pairs() {
         let m = CostModel::default();
         let sparse = m.join_cost(JoinMethod::Index(IndexKind::Grid), 1000, 1000, 10.0, 2);
-        let dense = m.join_cost(JoinMethod::Index(IndexKind::Grid), 1000, 1000, 1_000_000.0, 2);
+        let dense = m.join_cost(
+            JoinMethod::Index(IndexKind::Grid),
+            1000,
+            1000,
+            1_000_000.0,
+            2,
+        );
         assert!(dense > sparse);
     }
 

@@ -49,9 +49,7 @@ impl DenseAgg {
                 };
                 AggData::F64(vec![init; len])
             }
-            (_, ScalarType::Bool) => {
-                AggData::Bool(vec![comb == Combinator::And; len])
-            }
+            (_, ScalarType::Bool) => AggData::Bool(vec![comb == Combinator::And; len]),
             (_, ScalarType::Ref(_)) => AggData::Ref(vec![EntityId::NULL; len]),
             (_, ScalarType::Set(_)) => AggData::Set(vec![RefSet::new(); len]),
         };

@@ -160,7 +160,12 @@ enum Operand {
 
 /// Evaluate `e` over every row of `batch`.
 pub fn eval(e: &PExpr, batch: &Batch, src: &dyn StateSource) -> Column {
-    eval_inner(e, &mut |slot| SlotRef::Whole(batch.col(slot)), batch.len(), src)
+    eval_inner(
+        e,
+        &mut |slot| SlotRef::Whole(batch.col(slot)),
+        batch.len(),
+        src,
+    )
 }
 
 /// Evaluate `e` in a join-pair context: the left row `lrow` of `lbatch`
@@ -216,9 +221,7 @@ fn materialize(s: SlotRef<'_>, len: usize) -> Operand {
             Column::Set(v) => {
                 Column::from_set(sel.iter().map(|&i| v[i as usize].clone()).collect())
             }
-            Column::U32(v) => {
-                Column::from_f64(sel.iter().map(|&i| v[i as usize] as f64).collect())
-            }
+            Column::U32(v) => Column::from_f64(sel.iter().map(|&i| v[i as usize] as f64).collect()),
         }),
     }
 }

@@ -87,11 +87,7 @@ impl<'a> PreparedJoin<'a> {
             }
             JoinMethod::Index(_) => None,
         };
-        PreparedJoin {
-            right,
-            spec,
-            index,
-        }
+        PreparedJoin { right, spec, index }
     }
 
     /// Bytes held by the prepared index (0 for NL).
@@ -230,7 +226,12 @@ mod tests {
             residual: None,
         };
         let expected = run_join(JoinMethod::NL, &spec, &left, &right);
-        for kind in [IndexKind::Grid, IndexKind::KdTree, IndexKind::RangeTree, IndexKind::Sorted] {
+        for kind in [
+            IndexKind::Grid,
+            IndexKind::KdTree,
+            IndexKind::RangeTree,
+            IndexKind::Sorted,
+        ] {
             let got = run_join(JoinMethod::Index(kind), &spec, &left, &right);
             assert_eq!(got, expected, "kind {kind}");
         }
@@ -262,8 +263,7 @@ mod tests {
         let right = line_batch(&[0.0, 0.0, 0.0]);
         let spec = JoinSpec::default();
         let prep = PreparedJoin::prepare(JoinMethod::NL, &right, &spec);
-        let pairs =
-            band_join_partition(&prep, &left, 0..left.len(), &src(), &mut |_, _| {});
+        let pairs = band_join_partition(&prep, &left, 0..left.len(), &src(), &mut |_, _| {});
         assert_eq!(pairs, 6);
     }
 

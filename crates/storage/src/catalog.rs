@@ -123,7 +123,9 @@ impl Catalog {
         if self.by_name.is_empty() && !self.classes.is_empty() {
             return self.classes.iter().find(|c| c.name == name);
         }
-        self.by_name.get(name).map(|id| &self.classes[id.0 as usize])
+        self.by_name
+            .get(name)
+            .map(|id| &self.classes[id.0 as usize])
     }
 
     /// Lookup by id.

@@ -380,10 +380,7 @@ mod tests {
         let a = RefSet::from_ids(vec![EntityId(3), EntityId(1)]);
         let mut b = RefSet::from_ids(vec![EntityId(2), EntityId(3)]);
         b.union_with(&a);
-        assert_eq!(
-            b.as_slice(),
-            &[EntityId(1), EntityId(2), EntityId(3)]
-        );
+        assert_eq!(b.as_slice(), &[EntityId(1), EntityId(2), EntityId(3)]);
     }
 
     #[test]

@@ -95,10 +95,7 @@ impl RowTable {
 
     /// Read one attribute.
     pub fn get(&self, id: EntityId, col: &str) -> Result<Value, StorageError> {
-        let r = *self
-            .row_of
-            .get(&id)
-            .ok_or(StorageError::NoSuchEntity(id))? as usize;
+        let r = *self.row_of.get(&id).ok_or(StorageError::NoSuchEntity(id))? as usize;
         let c = self
             .schema
             .index_of(col)

@@ -114,9 +114,7 @@ impl Table {
 
     /// Read one attribute of one entity.
     pub fn get(&self, id: EntityId, col_name: &str) -> Result<Value, StorageError> {
-        let row = self
-            .row_of(id)
-            .ok_or(StorageError::NoSuchEntity(id))?;
+        let row = self.row_of(id).ok_or(StorageError::NoSuchEntity(id))?;
         let col = self
             .schema
             .index_of(col_name)
@@ -126,9 +124,7 @@ impl Table {
 
     /// Write one attribute of one entity.
     pub fn set(&mut self, id: EntityId, col_name: &str, v: &Value) -> Result<(), StorageError> {
-        let row = self
-            .row_of(id)
-            .ok_or(StorageError::NoSuchEntity(id))?;
+        let row = self.row_of(id).ok_or(StorageError::NoSuchEntity(id))?;
         let col = self
             .schema
             .index_of(col_name)
@@ -239,7 +235,9 @@ mod tests {
     #[test]
     fn type_mismatch_rejected() {
         let mut t = Table::new(unit_schema());
-        let err = t.insert(EntityId(1), &[("x", Value::Bool(true))]).unwrap_err();
+        let err = t
+            .insert(EntityId(1), &[("x", Value::Bool(true))])
+            .unwrap_err();
         assert!(matches!(err, StorageError::TypeMismatch { .. }));
     }
 

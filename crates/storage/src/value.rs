@@ -228,7 +228,8 @@ impl Combinator {
             (Combinator::Count, None) => Value::Number(1.0),
             (Combinator::Count, Some(Value::Number(n))) => Value::Number(n + 1.0),
             (_, None) => v.clone(),
-            (Combinator::Sum, Some(Value::Number(a))) | (Combinator::Avg, Some(Value::Number(a))) => {
+            (Combinator::Sum, Some(Value::Number(a)))
+            | (Combinator::Avg, Some(Value::Number(a))) => {
                 Value::Number(a + v.as_number().unwrap_or(0.0))
             }
             (Combinator::Min, Some(Value::Number(a))) => {
@@ -253,8 +254,12 @@ impl Combinator {
                     Value::Ref(a)
                 }
             }
-            (Combinator::Or, Some(Value::Bool(a))) => Value::Bool(a || v.as_bool().unwrap_or(false)),
-            (Combinator::And, Some(Value::Bool(a))) => Value::Bool(a && v.as_bool().unwrap_or(true)),
+            (Combinator::Or, Some(Value::Bool(a))) => {
+                Value::Bool(a || v.as_bool().unwrap_or(false))
+            }
+            (Combinator::And, Some(Value::Bool(a))) => {
+                Value::Bool(a && v.as_bool().unwrap_or(true))
+            }
             (Combinator::Union, Some(Value::Set(mut a))) => {
                 if let Value::Set(b) = v {
                     a.union_with(b);

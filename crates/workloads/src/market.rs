@@ -362,14 +362,7 @@ pub fn run_and_audit(market: &mut Market, ticks: usize, _price: f64) -> MarketAu
     let payments: f64 = market
         .traders
         .iter()
-        .map(|&t| {
-            market
-                .sim
-                .get(t, "paidCount")
-                .unwrap()
-                .as_number()
-                .unwrap()
-        })
+        .map(|&t| market.sim.get(t, "paidCount").unwrap().as_number().unwrap())
         .sum();
 
     let negative_balances = market
@@ -426,7 +419,10 @@ mod tests {
         let audit = run(MarketMode::Atomic);
         assert_eq!(audit.duping, 0.0, "{audit:?}");
         assert_eq!(audit.negative_balances, 0, "{audit:?}");
-        assert!(audit.transfers > 0, "exchanges must still happen: {audit:?}");
+        assert!(
+            audit.transfers > 0,
+            "exchanges must still happen: {audit:?}"
+        );
         assert!(audit.gold_conservation_error.abs() < 1e-9, "{audit:?}");
     }
 

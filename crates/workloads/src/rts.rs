@@ -51,7 +51,7 @@ script engage {
         cnt <- 1;
         ex <- u.x;
         ey <- u.y;
-        u.damage <- 1;
+        u.damage <- 2;
       }
     }
   } in {
@@ -159,10 +159,7 @@ pub fn army_sizes(sim: &Simulation) -> (usize, usize) {
     let world = sim.world();
     let class = world.class_id("Unit").expect("Unit class");
     let table = world.table(class);
-    let players = table
-        .column_by_name("player")
-        .expect("player column")
-        .f64();
+    let players = table.column_by_name("player").expect("player column").f64();
     let p0 = players.iter().filter(|&&p| p == 0.0).count();
     (p0, table.len() - p0)
 }

@@ -209,10 +209,7 @@ mod tests {
         for _ in 0..2 {
             sim.spawn(
                 "Vehicle",
-                &[
-                    ("x", Value::Number(5.0)),
-                    ("y", Value::Number(0.0)),
-                ],
+                &[("x", Value::Number(5.0)), ("y", Value::Number(0.0))],
             )
             .unwrap();
         }

@@ -13,7 +13,11 @@ fn main() {
     println!("== boids: 300 birds, avg-combined alignment/cohesion ==\n");
     for round in 0..12 {
         let a = alignment(&sim);
-        println!("tick {:>3}: flock alignment {:>5.1}%", round * 10, a * 100.0);
+        println!(
+            "tick {:>3}: flock alignment {:>5.1}%",
+            round * 10,
+            a * 100.0
+        );
         sim.run(10);
     }
     let final_alignment = alignment(&sim);

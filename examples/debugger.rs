@@ -162,32 +162,28 @@ impl Debugger {
             ["ls", n] => self.list(n.parse().unwrap_or(usize::MAX)),
             ["inspect", id] => self.inspect(id),
             ["effects", id] => self.effects(id),
-            ["watch", class, attr, op, value] => {
-                match value.parse::<f64>() {
-                    Ok(v) => {
-                        self.watches.push(Watch {
-                            class: class.to_string(),
-                            attr: attr.to_string(),
-                            op: op.to_string(),
-                            value: v,
-                        });
-                        println!(
-                            "watch #{}: {class}.{attr} {op} {value}",
-                            self.watches.len() - 1
-                        );
-                    }
-                    Err(_) => println!("watch: value must be a number"),
+            ["watch", class, attr, op, value] => match value.parse::<f64>() {
+                Ok(v) => {
+                    self.watches.push(Watch {
+                        class: class.to_string(),
+                        attr: attr.to_string(),
+                        op: op.to_string(),
+                        value: v,
+                    });
+                    println!(
+                        "watch #{}: {class}.{attr} {op} {value}",
+                        self.watches.len() - 1
+                    );
                 }
-            }
-            ["unwatch", k] => {
-                match k.parse::<usize>() {
-                    Ok(k) if k < self.watches.len() => {
-                        self.watches.remove(k);
-                        println!("removed watch #{k}");
-                    }
-                    _ => println!("no such watch"),
+                Err(_) => println!("watch: value must be a number"),
+            },
+            ["unwatch", k] => match k.parse::<usize>() {
+                Ok(k) if k < self.watches.len() => {
+                    self.watches.remove(k);
+                    println!("removed watch #{k}");
                 }
-            }
+                _ => println!("no such watch"),
+            },
             ["plan"] => self.plan(),
             ["stats"] => self.stats(),
             ["checkpoint", name] => {
@@ -337,7 +333,10 @@ impl Debugger {
 }
 
 fn parse_id(raw: &str) -> Option<EntityId> {
-    raw.trim_start_matches('#').parse::<u64>().ok().map(EntityId)
+    raw.trim_start_matches('#')
+        .parse::<u64>()
+        .ok()
+        .map(EntityId)
 }
 
 fn us(nanos: u64) -> String {

@@ -57,7 +57,10 @@ fn main() {
     let shards: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let span = (players as f64 * 50.0).sqrt().max(200.0) * 4.0;
 
-    println!("overworld: {span:.0} × {:.0}, {players} players, {shards} zone shards\n", span / 4.0);
+    println!(
+        "overworld: {span:.0} × {:.0}, {players} players, {shards} zone shards\n",
+        span / 4.0
+    );
 
     // The sharded deployment.
     let game = Simulation::builder()
@@ -66,11 +69,8 @@ fn main() {
         .expect("world compiles")
         .game()
         .clone();
-    let mut cluster = DistSim::new(
-        game,
-        DistConfig::new(shards, "x", (0.0, span), 15.0),
-    )
-    .expect("cluster config");
+    let mut cluster = DistSim::new(game, DistConfig::new(shards, "x", (0.0, span), 15.0))
+        .expect("cluster config");
 
     // A single-server reference for the exactness check.
     let mut single = Simulation::builder().source(WORLD).build().unwrap();
@@ -128,9 +128,7 @@ fn main() {
             checked += 1;
         }
     }
-    println!(
-        "\nexactness: {checked} attribute values identical to the single-server run"
-    );
+    println!("\nexactness: {checked} attribute values identical to the single-server run");
     let shard_pops: Vec<usize> = (0..shards).map(|k| cluster.node_population(k)).collect();
     println!("final shard populations: {shard_pops:?}");
 }

@@ -88,7 +88,10 @@ fn main() {
     for &id in &ids {
         let x = sim.get(id, "x").unwrap();
         let seen = sim.get(id, "seen").unwrap();
-        println!("  {id}: x = {x:>5.2}, seen = {seen}", x = x.as_number().unwrap());
+        println!(
+            "  {id}: x = {x:>5.2}, seen = {seen}",
+            x = x.as_number().unwrap()
+        );
     }
 
     // §3.3 debugging: inspect one NPC's state and its incoming effects.

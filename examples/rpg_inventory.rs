@@ -92,10 +92,16 @@ fn main() {
         );
     }
     let a = sim
-        .spawn("Adventurer", &[("x", Value::Number(0.0)), ("y", Value::Number(0.0))])
+        .spawn(
+            "Adventurer",
+            &[("x", Value::Number(0.0)), ("y", Value::Number(0.0))],
+        )
         .unwrap();
     let b = sim
-        .spawn("Adventurer", &[("x", Value::Number(22.0)), ("y", Value::Number(18.0))])
+        .spawn(
+            "Adventurer",
+            &[("x", Value::Number(22.0)), ("y", Value::Number(18.0))],
+        )
         .unwrap();
 
     for tick in 0..80 {

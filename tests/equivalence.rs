@@ -276,7 +276,12 @@ fn all_fixed_methods_agree() {
         sim.run(3);
         let w = sim.world();
         let class = w.class_id("Unit").unwrap();
-        let fp: Vec<f64> = w.table(class).column_by_name("health").unwrap().f64().to_vec();
+        let fp: Vec<f64> = w
+            .table(class)
+            .column_by_name("health")
+            .unwrap()
+            .f64()
+            .to_vec();
         results.push((m, fp));
     }
     for pair in results.windows(2) {

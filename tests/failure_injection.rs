@@ -28,11 +28,13 @@ script attack {
 #[test]
 fn dangling_refs_read_as_zero_and_drop_effects() {
     for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
-        let mut sim = Simulation::builder().source(REF_GAME).mode(mode).build().unwrap();
-        let victim = sim.spawn("U", &[]).unwrap();
-        let attacker = sim
-            .spawn("U", &[("target", Value::Ref(victim))])
+        let mut sim = Simulation::builder()
+            .source(REF_GAME)
+            .mode(mode)
+            .build()
             .unwrap();
+        let victim = sim.spawn("U", &[]).unwrap();
+        let attacker = sim.spawn("U", &[("target", Value::Ref(victim))]).unwrap();
         sim.tick();
         assert_eq!(sim.get(victim, "hp").unwrap(), Value::Number(9.0));
         // Kill the victim between ticks: the ref now dangles.
@@ -77,7 +79,11 @@ script s {
 }
 "#;
     for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
-        let mut sim = Simulation::builder().source(src).mode(mode).build().unwrap();
+        let mut sim = Simulation::builder()
+            .source(src)
+            .mode(mode)
+            .build()
+            .unwrap();
         let id = sim.spawn("A", &[]).unwrap(); // x = 0: guarded branch divides by 0
         sim.tick();
         // The guarded-out division still evaluates vectorized (to ±inf)
@@ -156,7 +162,11 @@ script s {
 }
 "#;
     for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
-        let mut sim = Simulation::builder().source(src).mode(mode).build().unwrap();
+        let mut sim = Simulation::builder()
+            .source(src)
+            .mode(mode)
+            .build()
+            .unwrap();
         let id = sim.spawn("A", &[]).unwrap();
         sim.tick();
         assert_eq!(sim.get(id, "n").unwrap(), Value::Number(1.0), "{mode:?}");
@@ -168,13 +178,13 @@ fn hot_loop_many_ticks_is_stable() {
     let mut sim = Simulation::builder().source(REF_GAME).build().unwrap();
     let a = sim.spawn("U", &[("hp", Value::Number(1e9))]).unwrap();
     let b = sim
-        .spawn("U", &[("target", Value::Ref(a)), ("hp", Value::Number(1e9))])
+        .spawn(
+            "U",
+            &[("target", Value::Ref(a)), ("hp", Value::Number(1e9))],
+        )
         .unwrap();
     sim.run(500);
-    assert_eq!(
-        sim.get(a, "hp").unwrap(),
-        Value::Number(1e9 - 500.0)
-    );
+    assert_eq!(sim.get(a, "hp").unwrap(), Value::Number(1e9 - 500.0));
     let _ = b;
     assert_eq!(sim.world().tick(), 500);
 }

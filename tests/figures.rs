@@ -33,10 +33,7 @@ fn f1_class_declaration_generates_schema() {
         .iter()
         .map(|e| (e.name.as_str(), e.comb.name()))
         .collect();
-    assert_eq!(
-        combs,
-        vec![("vx", "avg"), ("vy", "avg"), ("damage", "sum")]
-    );
+    assert_eq!(combs, vec![("vx", "avg"), ("vy", "avg"), ("damage", "sum")]);
 }
 
 #[test]
@@ -96,9 +93,7 @@ fn f2_accum_counts_match_brute_force() {
     for (i, &id) in ids.iter().enumerate() {
         let expect = pts
             .iter()
-            .filter(|(x, y)| {
-                (x - pts[i].0).abs() <= 3.0 && (y - pts[i].1).abs() <= 3.0
-            })
+            .filter(|(x, y)| (x - pts[i].0).abs() <= 3.0 && (y - pts[i].1).abs() <= 3.0)
             .count() as f64;
         assert_eq!(
             sim.get(id, "seen").unwrap(),
@@ -113,7 +108,8 @@ fn f2_accum_counts_match_brute_force() {
 fn f2_join_pairs_equal_total_neighbour_count() {
     let mut sim = Simulation::builder().source(FIG2).build().unwrap();
     for i in 0..20 {
-        sim.spawn("Unit", &[("x", Value::Number(i as f64))]).unwrap();
+        sim.spawn("Unit", &[("x", Value::Number(i as f64))])
+            .unwrap();
     }
     sim.tick();
     // One accum step executed; its result-pair count equals the sum of

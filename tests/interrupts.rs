@@ -140,7 +140,10 @@ script chant {
 when (alarm > 0) restart walk;
 }
 "#;
-    let mut sim = Simulation::builder().source(TWO_INTENTIONS).build().unwrap();
+    let mut sim = Simulation::builder()
+        .source(TWO_INTENTIONS)
+        .build()
+        .unwrap();
     let id = sim.spawn("Npc", &[]).unwrap();
     sim.tick(); // both at step 1
     sim.set(id, "alarm", &Value::Number(1.0)).unwrap();

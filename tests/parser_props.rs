@@ -20,10 +20,7 @@ fn number_literal() -> impl Strategy<Value = String> {
 
 /// A random arithmetic/comparison expression over the given variables.
 fn expr(vars: Vec<String>) -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        number_literal(),
-        proptest::sample::select(vars.clone()),
-    ];
+    let leaf = prop_oneof![number_literal(), proptest::sample::select(vars.clone()),];
     leaf.prop_recursive(3, 16, 2, |inner| {
         (
             inner.clone(),
@@ -80,9 +77,9 @@ fn class_source() -> impl Strategy<Value = String> {
             src.push_str("script s {\n");
             for (target, value, guard) in &stmts {
                 match guard {
-                    Some(g) => src.push_str(&format!(
-                        "  if ({g} > 0) {{ {target} <- {value}; }}\n"
-                    )),
+                    Some(g) => {
+                        src.push_str(&format!("  if ({g} > 0) {{ {target} <- {value}; }}\n"))
+                    }
                     None => src.push_str(&format!("  {target} <- {value};\n")),
                 }
             }

@@ -62,7 +62,10 @@ fn seeker_reaches_goal_in_open_field() {
     let id = sim
         .spawn(
             "Seeker",
-            &[("goalX", Value::Number(21.0)), ("goalY", Value::Number(21.0))],
+            &[
+                ("goalX", Value::Number(21.0)),
+                ("goalY", Value::Number(21.0)),
+            ],
         )
         .unwrap();
     sim.run(80);
@@ -85,7 +88,10 @@ fn seeker_routes_around_wall() {
     let id = sim
         .spawn(
             "Seeker",
-            &[("goalX", Value::Number(25.0)), ("goalY", Value::Number(1.0))],
+            &[
+                ("goalX", Value::Number(25.0)),
+                ("goalY", Value::Number(1.0)),
+            ],
         )
         .unwrap();
     let mut max_y: f64 = 0.0;
@@ -96,7 +102,10 @@ fn seeker_routes_around_wall() {
     let x = sim.get(id, "x").unwrap().as_number().unwrap();
     // The direct line is blocked; the seeker must detour through the gap
     // (high y) and still arrive.
-    assert!(max_y > 26.0, "must detour through the gap: max_y={max_y:.1}");
+    assert!(
+        max_y > 26.0,
+        "must detour through the gap: max_y={max_y:.1}"
+    );
     assert!(x > 22.0, "should end near the goal: x={x:.1}");
 }
 
@@ -116,7 +125,10 @@ fn unreachable_goal_holds_position() {
     let id = sim
         .spawn(
             "Seeker",
-            &[("goalX", Value::Number(19.0)), ("goalY", Value::Number(19.0))],
+            &[
+                ("goalX", Value::Number(19.0)),
+                ("goalY", Value::Number(19.0)),
+            ],
         )
         .unwrap();
     sim.run(30);

@@ -1,0 +1,200 @@
+//! Offline API-subset stub of the `bytes` crate: exactly the surface the
+//! checkpoint codec uses — [`Bytes`], [`BytesMut`], little-endian
+//! [`Buf`]/[`BufMut`] accessors.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::new(data),
+        }
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Sequential big-buffer reads (little-endian subset).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Skip `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian u32.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Read a little-endian u64.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Read a little-endian f64.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+}
+
+/// Sequential buffer writes (little-endian subset).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian f64.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        w.put_f64_le(-1.5);
+        w.put_slice(b"xy");
+        let frozen = w.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r, b"xy");
+    }
+
+    #[test]
+    fn advance_and_slicing() {
+        let b = Bytes::from(vec![1, 2, 3, 4]);
+        assert_eq!(&b[..2], &[1, 2]);
+        let mut r: &[u8] = &b;
+        r.advance(3);
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.get_u8(), 4);
+    }
+}

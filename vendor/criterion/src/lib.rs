@@ -1,0 +1,232 @@
+//! Offline API-subset stub of the `criterion` benchmark harness.
+//!
+//! Implements the surface the workspace's nine bench targets use —
+//! groups, `sample_size`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple warm-up + median-of-samples wall clock, printed one line per
+//! benchmark; no statistics, plotting, or CLI parsing.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from eliding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's conventional display.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    nanos: Vec<u64>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, unmeasured
+        self.nanos.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.nanos.push(t0.elapsed().as_nanos() as u64);
+        }
+        self.nanos.sort_unstable();
+    }
+
+    fn median_nanos(&self) -> u64 {
+        if self.nanos.is_empty() {
+            0
+        } else {
+            self.nanos[self.nanos.len() / 2]
+        }
+    }
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    let med = b.median_nanos();
+    let human = if med >= 1_000_000_000 {
+        format!("{:.3} s", med as f64 / 1e9)
+    } else if med >= 1_000_000 {
+        format!("{:.3} ms", med as f64 / 1e6)
+    } else if med >= 1_000 {
+        format!("{:.3} µs", med as f64 / 1e3)
+    } else {
+        format!("{med} ns")
+    };
+    if group.is_empty() {
+        println!("{id:<40} median {human} ({} samples)", b.nanos.len());
+    } else {
+        println!(
+            "{group}/{id:<32} median {human} ({} samples)",
+            b.nanos.len()
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            nanos: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            nanos: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: if self.sample_size == 0 {
+                20
+            } else {
+                self.sample_size
+            },
+            nanos: Vec::new(),
+        };
+        f(&mut b);
+        report("", &id.to_string(), &b);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        let mut ran = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        // 5 measured + 1 warm-up.
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("tick", 8).to_string(), "tick/8");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,92 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive length range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// `Vec<T>` with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min + 1) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_cover_the_range() {
+        let mut rng = TestRng::deterministic("collection::tests", 0);
+        let s = vec(0u32..5, 0..4);
+        let mut lens = [false; 4];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 4);
+            lens[v.len()] = true;
+        }
+        assert!(lens.iter().all(|&b| b), "{lens:?}");
+        let exact = vec(0u32..5, 2..=2).generate(&mut rng);
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn nested_vec() {
+        let mut rng = TestRng::deterministic("collection::tests", 1);
+        let s = vec(vec(-1.0f64..1.0, 2..=2), 0..10);
+        let v = s.generate(&mut rng);
+        assert!(v.iter().all(|inner| inner.len() == 2));
+    }
+}

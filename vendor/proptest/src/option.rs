@@ -1,0 +1,51 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// `Option<T>`: `None` a quarter of the time, like the real crate's
+/// default weighting.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::deterministic("option::tests", 0);
+        let s = of(0u32..10);
+        let mut none = 0;
+        let mut some = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                None => none += 1,
+                Some(v) => {
+                    assert!(v < 10);
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 0 && some > 0, "none={none} some={some}");
+    }
+}

@@ -1,0 +1,248 @@
+//! String strategies from a character-class regex subset.
+//!
+//! A `&'static str` is a [`Strategy`] producing `String`s matching the
+//! pattern. Supported syntax — exactly what this workspace's tests use:
+//! literal characters, character classes `[a-z0-9;{}…]` with ranges and
+//! `\n`-style escapes, and counted repetition `{m}` / `{m,n}` plus the
+//! common `?`, `*` (capped), `+` (capped) quantifiers. Anything else
+//! (alternation, groups, negated classes, anchors) panics loudly rather
+//! than silently generating wrong data.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive character ranges a single atom can produce.
+#[derive(Debug, Clone)]
+struct CharSet {
+    ranges: Vec<(char, char)>,
+}
+
+impl CharSet {
+    fn single(c: char) -> Self {
+        CharSet {
+            ranges: vec![(c, c)],
+        }
+    }
+
+    fn size(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+            .sum()
+    }
+
+    fn pick(&self, rng: &mut TestRng) -> char {
+        let mut offset = rng.below(self.size());
+        for &(lo, hi) in &self.ranges {
+            let span = hi as u64 - lo as u64 + 1;
+            if offset < span {
+                return char::from_u32(lo as u32 + offset as u32)
+                    .expect("char ranges stay in scalar-value space");
+            }
+            offset -= span;
+        }
+        unreachable!("offset drawn below total size")
+    }
+}
+
+/// One atom plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Piece {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\  \]  \-  \. …: the character itself
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                if chars.peek() == Some(&'^') {
+                    panic!("negated classes unsupported in the proptest stub: {pattern}");
+                }
+                let mut items = Vec::new();
+                loop {
+                    let item = match chars.next() {
+                        None => panic!("unterminated class in {pattern}"),
+                        Some(']') => break,
+                        Some('\\') => unescape(
+                            chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern}")),
+                        ),
+                        Some(other) => other,
+                    };
+                    // `a-z` range when '-' is not the closing item.
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(']') | None => items.push((item, item)),
+                            Some(_) => {
+                                chars.next();
+                                let hi = match chars.next() {
+                                    Some('\\') => unescape(chars.next().unwrap()),
+                                    Some(h) => h,
+                                    None => panic!("unterminated range in {pattern}"),
+                                };
+                                assert!(item <= hi, "inverted range in {pattern}");
+                                items.push((item, hi));
+                            }
+                        }
+                    } else {
+                        items.push((item, item));
+                    }
+                }
+                assert!(!items.is_empty(), "empty class in {pattern}");
+                CharSet { ranges: items }
+            }
+            '\\' => CharSet::single(unescape(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern}")),
+            )),
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex syntax `{c}` in the proptest stub: {pattern}")
+            }
+            other => CharSet::single(other),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut digits = String::new();
+                let mut min = None;
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(',') => {
+                            min = Some(
+                                digits
+                                    .parse::<u32>()
+                                    .unwrap_or_else(|_| panic!("bad repetition in {pattern}")),
+                            );
+                            digits.clear();
+                        }
+                        Some(d) if d.is_ascii_digit() => digits.push(d),
+                        _ => panic!("bad repetition in {pattern}"),
+                    }
+                }
+                let hi = digits
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| panic!("bad repetition in {pattern}"));
+                match min {
+                    Some(lo) => (lo, hi),
+                    None => (hi, hi),
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted repetition in {pattern}");
+        pieces.push(Piece { set, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(piece.set.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(case: u32) -> TestRng {
+        TestRng::deterministic("string::tests", case)
+    }
+
+    #[test]
+    fn class_with_counted_repetition() {
+        let mut r = rng(0);
+        for _ in 0..200 {
+            let s = "[a-z][a-zA-Z0-9]{0,6}".generate(&mut r);
+            assert!((1..=7).contains(&s.len()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_plus_newline() {
+        let mut r = rng(1);
+        let mut saw_newline = false;
+        for _ in 0..300 {
+            let s = "[ -~\n]{0,200}".generate(&mut r);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+            saw_newline |= s.contains('\n');
+        }
+        assert!(saw_newline);
+    }
+
+    #[test]
+    fn punctuation_class_literals() {
+        let mut r = rng(2);
+        let allowed = "abcdefghijklmnopqrstuvwxyz{}();<>=&|!.,0123456789 \n";
+        for _ in 0..100 {
+            let s = "[a-z{}();<>=&|!.,0-9 \n]{0,200}".generate(&mut r);
+            assert!(s.chars().all(|c| allowed.contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_simple_quantifiers() {
+        let mut r = rng(3);
+        assert_eq!("abc".generate(&mut r), "abc");
+        for _ in 0..50 {
+            let s = "ab?c+".generate(&mut r);
+            assert!(s.starts_with('a'));
+            assert!(s
+                .trim_start_matches('a')
+                .trim_start_matches('b')
+                .chars()
+                .all(|c| c == 'c'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn groups_panic() {
+        "(ab)+".generate(&mut rng(4));
+    }
+}

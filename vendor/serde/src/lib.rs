@@ -1,0 +1,14 @@
+//! Offline API-subset stub of `serde`.
+//!
+//! Re-exports the no-op derive macros; the trait definitions exist so
+//! `use serde::{Serialize, Deserialize}` resolves in both namespaces.
+//! No serde format crate is in the workspace, so nothing ever calls
+//! these traits — the derives are schema annotations only.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

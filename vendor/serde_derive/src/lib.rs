@@ -1,0 +1,21 @@
+//! Offline no-op stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on storage types as
+//! forward-looking schema annotations, but no serde *format* crate is in
+//! the dependency set (checkpoints use a hand-rolled codec over `bytes`).
+//! These derives therefore expand to nothing; swapping in the real serde
+//! requires no source change.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]` (accepts `#[serde(...)]` helpers).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]` (accepts `#[serde(...)]` helpers).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
