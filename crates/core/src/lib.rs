@@ -79,9 +79,14 @@ pub use sgl_engine::{
 };
 pub use sgl_frontend::Diagnostics;
 pub use sgl_index::IndexKind;
+pub use sgl_net as net;
+pub use sgl_net::{
+    ClientReplica, InterestSpec, NetError, NetStats, ReplicationServer, ReplicationSource,
+    SessionId,
+};
 pub use sgl_opt::PlannerConfig;
 pub use sgl_relalg::JoinMethod;
-pub use sgl_storage::{Combinator, EntityId, RefSet, ScalarType, Value};
+pub use sgl_storage::{Catalog, ClassId, Combinator, EntityId, RefSet, ScalarType, Value};
 
 /// How the effect phase executes (the paper's central comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -325,6 +330,23 @@ impl Simulation {
     }
 }
 
+/// A [`Simulation`] replicates like its underlying world: attach
+/// `sgl-net` sessions with [`ReplicationServer::attach`] and call
+/// [`ReplicationServer::poll`]`(&sim)` after each tick.
+impl ReplicationSource for Simulation {
+    fn catalog(&self) -> &sgl_storage::Catalog {
+        self.world().catalog()
+    }
+
+    fn shard_world(&self, _k: usize) -> &World {
+        self.world()
+    }
+
+    fn source_tick(&self) -> u64 {
+        self.world().tick()
+    }
+}
+
 /// Direct engine access for advanced embedding scenarios.
 pub use sgl_engine::Engine as RawEngine;
 
@@ -392,6 +414,27 @@ script s {
         };
         let msg = err.to_string();
         assert!(msg.contains("read-only"), "{msg}");
+    }
+
+    #[test]
+    fn simulation_is_a_replication_source() {
+        let mut sim = Simulation::builder().source(GAME).build().unwrap();
+        let near = sim.spawn("Unit", &[("x", Value::Number(0.0))]).unwrap();
+        let far = sim.spawn("Unit", &[("x", Value::Number(99.0))]).unwrap();
+        let mut server = ReplicationServer::new(sim.world().catalog().clone());
+        server.attach_str("Unit where x in [-5, 5]").unwrap();
+        let mut replica = ClientReplica::new(sim.world().catalog().clone());
+        sim.tick();
+        for (_, frame) in server.poll(&sim) {
+            replica.apply(&frame).unwrap();
+        }
+        let class = sim.world().class_id("Unit").unwrap();
+        assert!(replica.contains(class, near));
+        assert!(!replica.contains(class, far));
+        assert_eq!(
+            replica.get(class, near, "seen"),
+            Some(sim.get(near, "seen").unwrap())
+        );
     }
 
     #[test]

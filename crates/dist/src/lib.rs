@@ -326,9 +326,108 @@ impl DistSim {
         Ok(self.nodes[node].world.get(id, attr)?)
     }
 
+    /// Write one attribute on the entity's owning node (host API,
+    /// between ticks) — the distributed counterpart of
+    /// [`Simulation::set`](https://docs.rs/sgl). Writing the partition
+    /// attribute re-homes the entity immediately if its value crossed a
+    /// stripe boundary, so the ownership directory never goes stale.
+    pub fn set(&mut self, id: EntityId, attr: &str, v: &Value) -> Result<(), DistError> {
+        let &node = self.owner.get(&id).ok_or(StorageError::NoSuchEntity(id))?;
+        let world = &mut self.nodes[node].world;
+        let class = world.class_of(id).ok_or(StorageError::NoSuchEntity(id))?;
+        let col = self
+            .game
+            .catalog
+            .class(class)
+            .state
+            .index_of(attr)
+            .ok_or_else(|| StorageError::NoSuchColumn(attr.to_string()))?;
+        let expected = self.game.catalog.class(class).state.col(col).ty;
+        if std::mem::discriminant(&expected) != std::mem::discriminant(&v.scalar_type()) {
+            return Err(DistError::Storage(StorageError::TypeMismatch {
+                expected,
+                got: v.scalar_type(),
+            }));
+        }
+        world.set(id, attr, v)?;
+        if attr == self.cfg.partition_attr && self.attr_cols[class.0 as usize].is_some() {
+            if let Some(x) = v.as_number() {
+                let dest = self.node_of(x);
+                if dest != node {
+                    self.rehome(class, id, node, dest);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Despawn an entity cluster-wide: the authoritative row on its
+    /// owner and any ghost replicas still present on other nodes.
+    /// Returns whether the entity existed. Pending handler seeds
+    /// targeting it evaporate exactly as in single-node execution
+    /// (seed folding skips missing targets).
+    pub fn despawn(&mut self, id: EntityId) -> bool {
+        let Some(node) = self.owner.remove(&id) else {
+            return false;
+        };
+        let Some(class) = self.nodes[node].world.class_of(id) else {
+            return false;
+        };
+        for n in &mut self.nodes {
+            n.world.despawn(class, id);
+        }
+        true
+    }
+
+    /// Move `id`'s full row (class `class`) from `from` to `dest` and
+    /// update the directory. The destination may hold a stale ghost
+    /// replica of the entity; it is replaced by the authoritative row.
+    fn rehome(&mut self, class: ClassId, id: EntityId, from: usize, dest: usize) {
+        let values = {
+            let table = self.nodes[from].world.table(class);
+            let row = table.row_of(id).expect("re-homed entity present") as usize;
+            copy_row(table, row)
+        };
+        self.nodes[from].world.despawn(class, id);
+        let world = &mut self.nodes[dest].world;
+        if world.table(class).row_of(id).is_some() {
+            world.despawn(class, id);
+        }
+        let game = self.game.clone();
+        insert_row(world, &game, class, id, &values).expect("re-home insert");
+        self.owner.insert(id, dest);
+    }
+
     /// Total live entities across the cluster.
     pub fn population(&self) -> usize {
         self.owner.len()
+    }
+
+    /// Node `k`'s engine world: owned rows plus the ghost replicas of
+    /// the current halo. Filter with [`World::is_ghost`] to see only
+    /// the rows `k` is authoritative for — exactly what `sgl-net`
+    /// replication sessions do when a subscription fans out across
+    /// stripe boundaries.
+    pub fn node_world(&self, k: usize) -> &World {
+        &self.nodes[k].world
+    }
+
+    /// The half-open partition-attribute interval `[lo, hi)` that node
+    /// `k` owns. Edge stripes own the overflow beyond the configured
+    /// range (`-∞` / `+∞`).
+    pub fn stripe_range(&self, k: usize) -> (f64, f64) {
+        let w = self.stripe_width();
+        let lo = if k == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.cfg.range.0 + k as f64 * w
+        };
+        let hi = if k == self.cfg.nodes - 1 {
+            f64::INFINITY
+        } else {
+            self.cfg.range.0 + (k + 1) as f64 * w
+        };
+        (lo, hi)
     }
 
     /// Entities owned by node `k` (ghosts excluded).
@@ -543,22 +642,11 @@ impl DistSim {
                 }
             }
         }
+        // The destination usually holds the migrant as a ghost (it just
+        // crossed the boundary): rehome replaces the replica with the
+        // authoritative row.
         for (from, dest, class, id) in moves {
-            let values = {
-                let table = self.nodes[from].world.table(class);
-                let row = table.row_of(id).expect("migrant present at source") as usize;
-                copy_row(table, row)
-            };
-            self.nodes[from].world.despawn(class, id);
-            let world = &mut self.nodes[dest].world;
-            // The destination usually holds the migrant as a ghost
-            // (it just crossed the boundary): replace the replica with
-            // the authoritative row.
-            if world.table(class).row_of(id).is_some() {
-                world.despawn(class, id);
-            }
-            insert_row(world, &game, class, id, &values).expect("migration insert");
-            self.owner.insert(id, dest);
+            self.rehome(class, id, from, dest);
             stats.migrations += 1;
         }
         // Re-route pending handler seeds to each target's (new) owner.

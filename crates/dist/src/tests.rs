@@ -284,3 +284,102 @@ fn bad_configs_are_rejected() {
     );
     assert!(DistSim::new(game, DistConfig::new(2, "x", (0.0, 1.0), 1.0)).is_ok());
 }
+
+#[test]
+fn set_writes_through_to_the_owner_and_rehomes_boundary_crossers() {
+    let mut sim = cluster(4, 100.0, 5.0);
+    let id = sim.spawn("U", &[("x", Value::Number(10.0))]).unwrap();
+    assert_eq!(sim.node_population(0), 1);
+
+    // A non-partition write stays put.
+    sim.set(id, "vx", &Value::Number(3.0)).unwrap();
+    assert_eq!(sim.get(id, "vx").unwrap(), Value::Number(3.0));
+    assert_eq!(sim.node_population(0), 1);
+
+    // Writing the partition attribute across a stripe boundary re-homes
+    // the entity immediately: the directory and `get` stay coherent.
+    sim.set(id, "x", &Value::Number(80.0)).unwrap();
+    assert_eq!(sim.get(id, "x").unwrap(), Value::Number(80.0));
+    assert_eq!(sim.node_population(0), 0);
+    assert_eq!(sim.node_population(3), 1);
+    // The re-homed row kept its other attributes.
+    assert_eq!(sim.get(id, "vx").unwrap(), Value::Number(3.0));
+
+    // Errors mirror the single-node API.
+    assert!(sim.set(id, "nope", &Value::Number(0.0)).is_err());
+    assert!(
+        sim.set(id, "x", &Value::Bool(true)).is_err(),
+        "type mismatch"
+    );
+    assert!(sim
+        .set(sgl_storage::EntityId(999), "x", &Value::Number(0.0))
+        .is_err());
+}
+
+#[test]
+fn despawn_removes_the_row_and_its_ghost_replicas() {
+    let mut sim = cluster(2, 100.0, 10.0);
+    // Near the seam: node 1 will hold a ghost replica after a step.
+    let a = sim.spawn("U", &[("x", Value::Number(48.0))]).unwrap();
+    let b = sim.spawn("U", &[("x", Value::Number(52.0))]).unwrap();
+    sim.step();
+    assert!(sim
+        .node_world(0)
+        .is_ghost(sim.node_world(0).class_of(b).unwrap(), b));
+
+    assert!(sim.despawn(a));
+    assert!(!sim.despawn(a), "second despawn is a no-op");
+    assert_eq!(sim.population(), 1);
+    assert!(sim.get(a, "x").is_err());
+    // The ghost of `a` on node 1 is gone too — the next step must not
+    // resurrect it or double-count traffic.
+    for k in 0..2 {
+        assert!(sim.node_world(k).class_of(a).is_none(), "node {k}");
+    }
+    sim.step();
+    assert_eq!(sim.population(), 1);
+    assert_eq!(sim.get(b, "x").unwrap(), Value::Number(52.0 + 0.0));
+}
+
+#[test]
+fn set_then_step_matches_a_single_node_reference() {
+    let points = [5.0, 30.0, 55.0, 80.0, 48.0, 52.0];
+    let mut cluster = cluster(4, 100.0, 10.0);
+    let mut single = Engine::new(compile(DRIFT), EngineConfig::default()).unwrap();
+    let mut ids = Vec::new();
+    for &x in &points {
+        let vals = [("x", Value::Number(x)), ("vx", Value::Number(1.0))];
+        let id = cluster.spawn("U", &vals).unwrap();
+        let id2 = single.spawn("U", &vals).unwrap();
+        assert_eq!(id, id2);
+        ids.push(id);
+    }
+    cluster.run_reference(&mut single, &ids, 2);
+
+    // Host mutation between ticks, including a re-homing one.
+    cluster.set(ids[0], "x", &Value::Number(90.0)).unwrap();
+    single.set(ids[0], "x", &Value::Number(90.0)).unwrap();
+    cluster.despawn(ids[1]);
+    single.despawn(ids[1]);
+    cluster.run_reference(&mut single, &ids[2..], 3);
+}
+
+impl DistSim {
+    /// Test helper: step both deployments `n` ticks and assert the
+    /// listed entities stay bit-identical.
+    fn run_reference(&mut self, single: &mut Engine, ids: &[sgl_storage::EntityId], n: usize) {
+        for _ in 0..n {
+            self.step();
+            single.tick();
+        }
+        for &id in ids {
+            for attr in ["x", "vx", "poked"] {
+                assert_eq!(
+                    self.get(id, attr).unwrap(),
+                    single.get(id, attr).unwrap(),
+                    "{attr} of {id:?} diverged"
+                );
+            }
+        }
+    }
+}

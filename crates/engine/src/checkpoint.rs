@@ -6,11 +6,15 @@
 //! handler seeds pending for the next tick. The format is a compact
 //! hand-rolled binary codec over [`bytes`] (the allowed dependency set
 //! has no serde *format* crate; schemas come from the compiled game at
-//! restore time, so only data is stored).
+//! restore time, so only data is stored). All reads go through the
+//! bounds-checked [`crate::codec`] primitives: a truncated or
+//! bit-flipped buffer decodes to [`CheckpointError::Corrupt`], never a
+//! panic or an attacker-chosen allocation.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use sgl_storage::{Catalog, ClassId, Column, EntityId, IdGen, RefSet, StorageError, Table, Value};
+use sgl_storage::{Catalog, ClassId, Column, EntityId, IdGen, RefSet, StorageError, Table};
 
+use crate::codec::{check_count, get_u32, get_u64, get_u8, get_value, put_value};
 use crate::effects::Seed;
 use crate::world::World;
 
@@ -36,6 +40,12 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+impl From<&'static str> for CheckpointError {
+    fn from(what: &'static str) -> Self {
+        CheckpointError::Corrupt(what)
+    }
+}
+
 /// Serialize the world + pending seeds.
 pub fn encode(world: &World, seeds: &[Seed]) -> Bytes {
     let (catalog, tables, idgen, tick) = world.parts();
@@ -60,7 +70,7 @@ pub fn encode(world: &World, seeds: &[Seed]) -> Bytes {
         buf.put_u32_le(s.effect as u32);
         buf.put_u64_le(s.target.0);
         buf.put_u8(s.insert as u8);
-        encode_value(&mut buf, &s.value);
+        put_value(&mut buf, &s.value);
     }
     buf.freeze()
 }
@@ -83,7 +93,9 @@ pub fn decode(mut buf: &[u8], catalog: &Catalog) -> Result<(World, Vec<Seed>), C
     }
     let mut tables = Vec::with_capacity(n_classes);
     for cdef in catalog.classes() {
-        let rows = get_u64(&mut buf)? as usize;
+        // Each row costs at least 8 bytes (its id) right here, before
+        // any column data: cap the pre-allocation by what's present.
+        let rows = check_count(get_u64(&mut buf)?, buf, 8)?;
         let mut ids = Vec::with_capacity(rows);
         for _ in 0..rows {
             ids.push(EntityId(get_u64(&mut buf)?));
@@ -97,20 +109,30 @@ pub fn decode(mut buf: &[u8], catalog: &Catalog) -> Result<(World, Vec<Seed>), C
             )));
         }
         let mut columns = Vec::with_capacity(n_cols);
-        for _ in 0..n_cols {
-            let col = decode_column(&mut buf, rows)?;
+        for ci in 0..n_cols {
+            let col = decode_column(&mut buf, rows, cdef.state.col(ci).ty)?;
             columns.push(col);
         }
         tables.push(Table::from_parts(cdef.state.clone(), ids, columns));
     }
-    let n_seeds = get_u32(&mut buf)? as usize;
+    let n_seeds = check_count(get_u32(&mut buf)? as u64, buf, 19)?;
     let mut seeds = Vec::with_capacity(n_seeds);
     for _ in 0..n_seeds {
         let class = ClassId(get_u32(&mut buf)?);
+        if class.0 as usize >= catalog.len() {
+            return Err(CheckpointError::Corrupt("seed class out of range"));
+        }
         let effect = get_u32(&mut buf)? as usize;
+        if effect >= catalog.class(class).effects.len() {
+            return Err(CheckpointError::Corrupt("seed effect out of range"));
+        }
         let target = EntityId(get_u64(&mut buf)?);
         let insert = get_u8(&mut buf)? != 0;
-        let value = decode_value(&mut buf)?;
+        let value = get_value(&mut buf)?;
+        let expected = &catalog.class(class).effects[effect].ty;
+        if std::mem::discriminant(&value.scalar_type()) != std::mem::discriminant(expected) {
+            return Err(CheckpointError::Corrupt("seed value type mismatch"));
+        }
         seeds.push(Seed {
             class,
             effect,
@@ -118,6 +140,11 @@ pub fn decode(mut buf: &[u8], catalog: &Catalog) -> Result<(World, Vec<Seed>), C
             value,
             insert,
         });
+    }
+    if buf.remaining() != 0 {
+        // A corrupted count that *shrinks* a section would otherwise
+        // decode Ok and silently drop the orphaned rows/seeds.
+        return Err(CheckpointError::Corrupt("trailing bytes"));
     }
     let world = World::from_parts(catalog.clone(), tables, IdGen::with_next(idgen_next), tick);
     Ok((world, seeds))
@@ -156,17 +183,36 @@ fn encode_column(buf: &mut BytesMut, col: &Column) {
     }
 }
 
-fn decode_column(buf: &mut &[u8], rows: usize) -> Result<Column, CheckpointError> {
+fn decode_column(
+    buf: &mut &[u8],
+    rows: usize,
+    expected: sgl_storage::ScalarType,
+) -> Result<Column, CheckpointError> {
+    use sgl_storage::ScalarType;
     let tag = get_u8(buf)?;
+    let tag_ok = matches!(
+        (tag, expected),
+        (0, ScalarType::Number)
+            | (1, ScalarType::Bool)
+            | (2, ScalarType::Ref(_))
+            | (3, ScalarType::Set(_))
+    );
+    if !tag_ok && tag <= 3 {
+        // A flipped tag would decode into a column whose type disagrees
+        // with the schema — the engine would panic on first access.
+        return Err(CheckpointError::Corrupt("column tag mismatches schema"));
+    }
     Ok(match tag {
         0 => {
+            check_count(rows as u64, buf, 8)?;
             let mut v = Vec::with_capacity(rows);
             for _ in 0..rows {
-                v.push(get_f64(buf)?);
+                v.push(crate::codec::get_f64(buf)?);
             }
             Column::from_f64(v)
         }
         1 => {
+            check_count(rows as u64, buf, 1)?;
             let mut v = Vec::with_capacity(rows);
             for _ in 0..rows {
                 v.push(get_u8(buf)? != 0);
@@ -174,6 +220,7 @@ fn decode_column(buf: &mut &[u8], rows: usize) -> Result<Column, CheckpointError
             Column::from_bool(v)
         }
         2 => {
+            check_count(rows as u64, buf, 8)?;
             let mut v = Vec::with_capacity(rows);
             for _ in 0..rows {
                 v.push(EntityId(get_u64(buf)?));
@@ -181,9 +228,10 @@ fn decode_column(buf: &mut &[u8], rows: usize) -> Result<Column, CheckpointError
             Column::from_ref(v)
         }
         3 => {
+            check_count(rows as u64, buf, 4)?;
             let mut v = Vec::with_capacity(rows);
             for _ in 0..rows {
-                let n = get_u32(buf)? as usize;
+                let n = check_count(get_u32(buf)? as u64, buf, 8)?;
                 let mut ids = Vec::with_capacity(n);
                 for _ in 0..n {
                     ids.push(EntityId(get_u64(buf)?));
@@ -196,75 +244,6 @@ fn decode_column(buf: &mut &[u8], rows: usize) -> Result<Column, CheckpointError
     })
 }
 
-fn encode_value(buf: &mut BytesMut, v: &Value) {
-    match v {
-        Value::Number(x) => {
-            buf.put_u8(0);
-            buf.put_f64_le(*x);
-        }
-        Value::Bool(b) => {
-            buf.put_u8(1);
-            buf.put_u8(*b as u8);
-        }
-        Value::Ref(id) => {
-            buf.put_u8(2);
-            buf.put_u64_le(id.0);
-        }
-        Value::Set(s) => {
-            buf.put_u8(3);
-            buf.put_u32_le(s.len() as u32);
-            for id in s.iter() {
-                buf.put_u64_le(id.0);
-            }
-        }
-    }
-}
-
-fn decode_value(buf: &mut &[u8]) -> Result<Value, CheckpointError> {
-    Ok(match get_u8(buf)? {
-        0 => Value::Number(get_f64(buf)?),
-        1 => Value::Bool(get_u8(buf)? != 0),
-        2 => Value::Ref(EntityId(get_u64(buf)?)),
-        3 => {
-            let n = get_u32(buf)? as usize;
-            let mut ids = Vec::with_capacity(n);
-            for _ in 0..n {
-                ids.push(EntityId(get_u64(buf)?));
-            }
-            Value::Set(RefSet::from_ids(ids))
-        }
-        _ => return Err(CheckpointError::Corrupt("bad value tag")),
-    })
-}
-
-fn get_u8(buf: &mut &[u8]) -> Result<u8, CheckpointError> {
-    if buf.remaining() < 1 {
-        return Err(CheckpointError::Corrupt("truncated"));
-    }
-    Ok(buf.get_u8())
-}
-
-fn get_u32(buf: &mut &[u8]) -> Result<u32, CheckpointError> {
-    if buf.remaining() < 4 {
-        return Err(CheckpointError::Corrupt("truncated"));
-    }
-    Ok(buf.get_u32_le())
-}
-
-fn get_u64(buf: &mut &[u8]) -> Result<u64, CheckpointError> {
-    if buf.remaining() < 8 {
-        return Err(CheckpointError::Corrupt("truncated"));
-    }
-    Ok(buf.get_u64_le())
-}
-
-fn get_f64(buf: &mut &[u8]) -> Result<f64, CheckpointError> {
-    if buf.remaining() < 8 {
-        return Err(CheckpointError::Corrupt("truncated"));
-    }
-    Ok(buf.get_f64_le())
-}
-
 impl From<StorageError> for CheckpointError {
     fn from(e: StorageError) -> Self {
         CheckpointError::SchemaMismatch(e.to_string())
@@ -274,7 +253,7 @@ impl From<StorageError> for CheckpointError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sgl_storage::{ClassDef, ColumnSpec, Owner, ScalarType, Schema};
+    use sgl_storage::{ClassDef, ColumnSpec, Owner, ScalarType, Schema, Value};
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
@@ -320,8 +299,19 @@ mod tests {
             insert: false,
         }];
 
+        // (The test catalog declares no effects, so hand the seed a
+        // catalog slot: decode validates the effect index.)
+        let mut cat2 = Catalog::new();
+        let mut def = cat.class(c).clone();
+        def.effects.push(sgl_storage::EffectSpec {
+            name: "e".into(),
+            ty: ScalarType::Number,
+            comb: sgl_storage::Combinator::Sum,
+            default: Value::Number(0.0),
+        });
+        cat2.add(def);
         let bytes = encode(&w, &seeds);
-        let (w2, seeds2) = decode(&bytes, &cat).unwrap();
+        let (w2, seeds2) = decode(&bytes, &cat2).unwrap();
         assert_eq!(w2.tick(), 1);
         assert_eq!(w2.get(a, "x").unwrap(), Value::Number(1.5));
         assert_eq!(w2.get(b, "alive").unwrap(), Value::Bool(true));
@@ -347,5 +337,45 @@ mod tests {
         let truncated = &bytes[..bytes.len() - 1];
         // Empty world: truncating the (empty) seed list length corrupts.
         assert!(decode(truncated, &cat).is_err());
+        // Unconsumed bytes (a count corrupted *downward* leaves
+        // orphaned data behind) are corrupt too, not silently dropped.
+        let mut padded = bytes.to_vec();
+        padded.push(0);
+        assert!(matches!(
+            decode(&padded, &cat),
+            Err(CheckpointError::Corrupt("trailing bytes"))
+        ));
+    }
+
+    /// Fuzz-style sweep: every truncation point and every single-byte
+    /// mutation of a real checkpoint must decode to `Err`, never panic
+    /// or hand back a silently oversized allocation.
+    #[test]
+    fn mutated_checkpoints_never_panic() {
+        let cat = catalog();
+        let mut w = World::new(cat.clone());
+        let c = ClassId(0);
+        let a = w.spawn(c, &[("x", Value::Number(4.0))]).unwrap();
+        w.spawn(c, &[("buddy", Value::Ref(a)), ("alive", Value::Bool(true))])
+            .unwrap();
+        w.set(a, "friends", &crate::effects::set_value(&[a]))
+            .unwrap();
+        let bytes = encode(&w, &[]);
+
+        for cut in 0..bytes.len() {
+            // Truncations must error (except the full buffer).
+            let _ = decode(&bytes[..cut], &cat).expect_err("truncation must fail");
+        }
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut mutated = bytes.to_vec();
+                mutated[pos] ^= flip;
+                // Any outcome but a panic is acceptable; decoded worlds
+                // must at least be structurally sound.
+                if let Ok((w2, _)) = decode(&mutated, &cat) {
+                    let _ = w2.population();
+                }
+            }
+        }
     }
 }

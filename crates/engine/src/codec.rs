@@ -1,0 +1,178 @@
+//! Bounds-checked binary codec primitives shared by the [`checkpoint`]
+//! codec and the `sgl-net` replication wire format.
+//!
+//! Every read validates the remaining buffer first and fails with a
+//! static description instead of panicking, so decoding a truncated or
+//! bit-flipped buffer from an untrusted peer degrades to an error the
+//! caller maps into its own `Corrupt` variant. Length prefixes must be
+//! validated against [`Buf::remaining`] *before* pre-allocating
+//! (see [`check_count`]) so a corrupted count cannot trigger a huge
+//! allocation.
+//!
+//! [`checkpoint`]: crate::checkpoint
+
+use bytes::{Buf, BufMut, BytesMut};
+use sgl_storage::{EntityId, RefSet, Value};
+
+/// A decode failure: what was malformed. Callers wrap this into their
+/// own error enums (`CheckpointError::Corrupt`, `NetError::Corrupt`).
+pub type CodecError = &'static str;
+
+/// Read one byte.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
+    if buf.remaining() < 1 {
+        return Err("truncated");
+    }
+    Ok(buf.get_u8())
+}
+
+/// Read a little-endian u16.
+pub fn get_u16(buf: &mut &[u8]) -> Result<u16, CodecError> {
+    if buf.remaining() < 2 {
+        return Err("truncated");
+    }
+    let v = u16::from_le_bytes([buf[0], buf[1]]);
+    buf.advance(2);
+    Ok(v)
+}
+
+/// Read a little-endian u32.
+pub fn get_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err("truncated");
+    }
+    Ok(buf.get_u32_le())
+}
+
+/// Read a little-endian u64.
+pub fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err("truncated");
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Read a little-endian f64.
+pub fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err("truncated");
+    }
+    Ok(buf.get_f64_le())
+}
+
+/// Append a little-endian u16.
+pub fn put_u16(buf: &mut BytesMut, v: u16) {
+    buf.put_slice(&v.to_le_bytes());
+}
+
+/// Validate a decoded element count against the bytes actually left:
+/// each element needs at least `min_elem_bytes` more bytes, so a count
+/// exceeding `remaining / min_elem_bytes` is corrupt. Returns the count
+/// as `usize`, safe to use with `Vec::with_capacity`.
+pub fn check_count(count: u64, buf: &[u8], min_elem_bytes: usize) -> Result<usize, CodecError> {
+    let max = (buf.remaining() / min_elem_bytes.max(1)) as u64;
+    if count > max {
+        return Err("count exceeds buffer");
+    }
+    Ok(count as usize)
+}
+
+/// Encode one tagged [`Value`].
+pub fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Number(x) => {
+            buf.put_u8(0);
+            buf.put_f64_le(*x);
+        }
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(*b as u8);
+        }
+        Value::Ref(id) => {
+            buf.put_u8(2);
+            buf.put_u64_le(id.0);
+        }
+        Value::Set(s) => {
+            buf.put_u8(3);
+            buf.put_u32_le(s.len() as u32);
+            for id in s.iter() {
+                buf.put_u64_le(id.0);
+            }
+        }
+    }
+}
+
+/// Decode one tagged [`Value`].
+pub fn get_value(buf: &mut &[u8]) -> Result<Value, CodecError> {
+    Ok(match get_u8(buf)? {
+        0 => Value::Number(get_f64(buf)?),
+        1 => Value::Bool(get_u8(buf)? != 0),
+        2 => Value::Ref(EntityId(get_u64(buf)?)),
+        3 => {
+            let n = check_count(get_u32(buf)? as u64, buf, 8)?;
+            let mut ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                ids.push(EntityId(get_u64(buf)?));
+            }
+            Value::Set(RefSet::from_ids(ids))
+        }
+        _ => return Err("bad value tag"),
+    })
+}
+
+/// Wire size of one encoded [`Value`] (tag byte included).
+pub fn value_wire_bytes(v: &Value) -> u64 {
+    1 + match v {
+        Value::Number(_) | Value::Ref(_) => 8,
+        Value::Bool(_) => 1,
+        Value::Set(s) => 4 + 8 * s.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip_all_types() {
+        let values = [
+            Value::Number(-2.5),
+            Value::Bool(true),
+            Value::Ref(EntityId(7)),
+            Value::Set(RefSet::from_ids(vec![EntityId(1), EntityId(3)])),
+        ];
+        for v in &values {
+            let mut buf = BytesMut::with_capacity(32);
+            put_value(&mut buf, v);
+            assert_eq!(buf.len() as u64, value_wire_bytes(v));
+            let frozen = buf.freeze();
+            let mut r: &[u8] = &frozen;
+            assert_eq!(&get_value(&mut r).unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_error_out() {
+        let mut buf = BytesMut::with_capacity(16);
+        put_value(&mut buf, &Value::Number(1.0));
+        let frozen = buf.freeze();
+        for cut in 0..frozen.len() {
+            let mut r: &[u8] = &frozen[..cut];
+            assert!(get_value(&mut r).is_err(), "cut at {cut}");
+        }
+        let mut r: &[u8] = &[9u8];
+        assert_eq!(get_value(&mut r), Err("bad value tag"));
+    }
+
+    #[test]
+    fn hostile_set_length_rejected_without_allocation() {
+        // Tag 3 (set) + length u32::MAX, but no members follow.
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(3);
+        buf.put_u32_le(u32::MAX);
+        let frozen = buf.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(get_value(&mut r), Err("count exceeds buffer"));
+    }
+}

@@ -34,6 +34,7 @@
 //! and id-preserving spawns ([`World::spawn_with_id`]).
 
 pub mod checkpoint;
+pub mod codec;
 pub mod debug;
 pub mod effects;
 pub mod engine;

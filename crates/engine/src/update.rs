@@ -89,9 +89,14 @@ pub fn run_update(
         staged.insert((class, col), Column::from_bool(flags));
     }
 
-    // 5. Write back.
+    // 5. Write back. Only columns whose contents actually changed are
+    // replaced, so per-column generation counters (the cheap change
+    // signal `sgl-net` replication rides on) stay put for a stationary
+    // world even though update rules stage fresh columns every tick.
     for ((class, col), column) in staged {
-        world.table_mut(ClassId(class)).replace_column(col, column);
+        world
+            .table_mut(ClassId(class))
+            .replace_column_if_changed(col, column);
     }
 }
 

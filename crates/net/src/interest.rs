@@ -1,0 +1,226 @@
+//! Declarative interest subscriptions.
+//!
+//! A client never writes netcode describing *how* to stay in sync; it
+//! states *what* it wants to see — a class filter plus an inclusive
+//! range predicate over the cluster's partition attribute — and the
+//! replication server does the rest (SAGA's DSL move, applied to
+//! interest management).
+//!
+//! ## Predicate syntax
+//!
+//! ```text
+//! subscription := classes "where" attr "in" "[" lo "," hi "]"
+//! classes      := "*" | ident ("," ident)*
+//! ```
+//!
+//! Examples:
+//!
+//! * `Player where x in [120, 480]` — players with `120 ≤ x ≤ 480`;
+//! * `Player, Npc where x in [0, 64]` — two classes, one window;
+//! * `* where x in [-50, 50]` — every class carrying attribute `x`.
+//!
+//! Both bounds are inclusive. With `*`, classes lacking the attribute
+//! are silently excluded; naming such a class explicitly is an error.
+
+use sgl_storage::{Catalog, ScalarType};
+
+use crate::NetError;
+
+/// A parsed (unresolved) interest subscription.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterestSpec {
+    /// Subscribed class names; empty means "every class with the
+    /// attribute" (the `*` form).
+    pub classes: Vec<String>,
+    /// The spatial attribute the range predicate applies to. Sessions
+    /// attached to a [`DistSim`](sgl_dist::DistSim) should use its
+    /// partition attribute so stripe fan-out stays aligned.
+    pub attr: String,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl InterestSpec {
+    /// Subscribe to every class carrying `attr` within `[lo, hi]`.
+    pub fn all(attr: &str, lo: f64, hi: f64) -> Self {
+        InterestSpec {
+            classes: Vec::new(),
+            attr: attr.to_string(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Subscribe to the named classes within `[lo, hi]` along `attr`.
+    pub fn classes(classes: &[&str], attr: &str, lo: f64, hi: f64) -> Self {
+        InterestSpec {
+            classes: classes.iter().map(|s| s.to_string()).collect(),
+            attr: attr.to_string(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Does `x` satisfy the range predicate?
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Resolve against a catalog: find, per class, the column index of
+    /// the interest attribute. Validates that explicitly named classes
+    /// exist and carry the attribute as a `number`.
+    pub(crate) fn resolve(&self, catalog: &Catalog) -> Result<ResolvedInterest, NetError> {
+        if self.lo.is_nan() || self.hi.is_nan() || self.lo > self.hi {
+            return Err(NetError::BadSubscription(format!(
+                "empty interest range [{}, {}]",
+                self.lo, self.hi
+            )));
+        }
+        let mut attr_cols = vec![None; catalog.len()];
+        let mut matched = false;
+        if self.classes.is_empty() {
+            for cdef in catalog.classes() {
+                if let Some(col) = cdef.state.index_of(&self.attr) {
+                    if cdef.state.col(col).ty == ScalarType::Number {
+                        attr_cols[cdef.id.0 as usize] = Some(col);
+                        matched = true;
+                    }
+                }
+            }
+            if !matched {
+                return Err(NetError::BadSubscription(format!(
+                    "no class has number attribute `{}`",
+                    self.attr
+                )));
+            }
+        } else {
+            for name in &self.classes {
+                let cdef = catalog
+                    .class_by_name(name)
+                    .ok_or_else(|| NetError::BadSubscription(format!("unknown class `{name}`")))?;
+                let col = cdef.state.index_of(&self.attr).ok_or_else(|| {
+                    NetError::BadSubscription(format!(
+                        "class `{name}` has no attribute `{}`",
+                        self.attr
+                    ))
+                })?;
+                if cdef.state.col(col).ty != ScalarType::Number {
+                    return Err(NetError::BadSubscription(format!(
+                        "attribute `{}` of class `{name}` is not a number",
+                        self.attr
+                    )));
+                }
+                attr_cols[cdef.id.0 as usize] = Some(col);
+            }
+        }
+        Ok(ResolvedInterest {
+            spec: self.clone(),
+            attr_cols,
+        })
+    }
+}
+
+impl std::str::FromStr for InterestSpec {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, NetError> {
+        let bad = |what: &str| NetError::BadSubscription(format!("{what} in `{s}`"));
+        let (classes_part, pred) = s
+            .split_once(" where ")
+            .ok_or_else(|| bad("missing `where`"))?;
+        let classes: Vec<String> = match classes_part.trim() {
+            "*" => Vec::new(),
+            list => {
+                let names: Vec<String> = list
+                    .split(',')
+                    .map(|c| c.trim().to_string())
+                    .filter(|c| !c.is_empty())
+                    .collect();
+                if names.is_empty() {
+                    return Err(bad("empty class list"));
+                }
+                names
+            }
+        };
+        let (attr, range) = pred.split_once(" in ").ok_or_else(|| bad("missing `in`"))?;
+        let attr = attr.trim();
+        if attr.is_empty() {
+            return Err(bad("missing attribute"));
+        }
+        let range = range.trim();
+        let inner = range
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| bad("range must be `[lo, hi]`"))?;
+        let (lo, hi) = inner
+            .split_once(',')
+            .ok_or_else(|| bad("range needs `,`"))?;
+        let lo: f64 = lo.trim().parse().map_err(|_| bad("bad lower bound"))?;
+        let hi: f64 = hi.trim().parse().map_err(|_| bad("bad upper bound"))?;
+        Ok(InterestSpec {
+            classes,
+            attr: attr.to_string(),
+            lo,
+            hi,
+        })
+    }
+}
+
+impl std::fmt::Display for InterestSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.classes.is_empty() {
+            write!(f, "*")?;
+        } else {
+            write!(f, "{}", self.classes.join(", "))?;
+        }
+        write!(f, " where {} in [{}, {}]", self.attr, self.lo, self.hi)
+    }
+}
+
+/// An [`InterestSpec`] resolved against a catalog: per class id, the
+/// column index of the interest attribute (`None` = not subscribed).
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedInterest {
+    pub spec: InterestSpec,
+    pub attr_cols: Vec<Option<usize>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_through_display() {
+        for src in [
+            "Player where x in [120, 480]",
+            "Player, Npc where x in [0, 64]",
+            "* where x in [-50, 50.5]",
+        ] {
+            let spec: InterestSpec = src.parse().unwrap();
+            let again: InterestSpec = spec.to_string().parse().unwrap();
+            assert_eq!(spec, again, "{src}");
+        }
+        let spec: InterestSpec = "* where x in [-50, 50]".parse().unwrap();
+        assert!(spec.classes.is_empty());
+        assert!(spec.contains(-50.0) && spec.contains(50.0));
+        assert!(!spec.contains(50.001));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for src in [
+            "Player x in [0, 1]",       // missing where
+            "Player where x [0, 1]",    // missing in
+            "Player where x in (0, 1)", // wrong brackets
+            "Player where x in [0 1]",  // missing comma
+            "Player where x in [a, 1]", // bad number
+            ", where x in [0, 1]",      // empty class list
+            "Player where  in [0, 1]",  // missing attribute
+        ] {
+            assert!(src.parse::<InterestSpec>().is_err(), "{src}");
+        }
+    }
+}

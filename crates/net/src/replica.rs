@@ -1,0 +1,133 @@
+//! The client side: a [`ClientReplica`] decodes the frame stream and
+//! maintains a mirror of the subscribed region that is value-identical
+//! to the server's view.
+
+use sgl_storage::{Catalog, ClassId, EntityId, FxHashMap, Value};
+
+use crate::wire::{self, Frame};
+use crate::NetError;
+
+/// What one applied frame did to the mirror.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplySummary {
+    /// Entities added to the mirror.
+    pub enters: usize,
+    /// Entities removed from the mirror.
+    pub exits: usize,
+    /// Cells patched on retained entities.
+    pub updated_cells: usize,
+}
+
+/// A decoded mirror of the server's subscribed region.
+///
+/// Strictness: frames are validated against the shared catalog, and
+/// *semantic* inconsistencies (an update or exit for an entity the
+/// mirror does not hold, or a duplicate enter) are rejected as
+/// [`NetError::Corrupt`] rather than papered over — a replica that
+/// drifts is a replica that lies.
+#[derive(Debug, Clone)]
+pub struct ClientReplica {
+    catalog: Catalog,
+    tick: u64,
+    classes: Vec<FxHashMap<EntityId, Vec<Value>>>,
+}
+
+impl ClientReplica {
+    /// An empty replica for the shared catalog (ship the compiled
+    /// game's catalog to clients out of band; frames carry data only).
+    pub fn new(catalog: Catalog) -> Self {
+        let classes = vec![FxHashMap::default(); catalog.len()];
+        ClientReplica {
+            catalog,
+            tick: 0,
+            classes,
+        }
+    }
+
+    /// The catalog this replica decodes against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Server tick of the last applied frame.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Decode one wire frame and apply it to the mirror.
+    pub fn apply(&mut self, bytes: &[u8]) -> Result<ApplySummary, NetError> {
+        let frame = wire::decode(bytes, &self.catalog)?;
+        self.apply_frame(&frame)
+    }
+
+    /// Apply an already-decoded frame.
+    pub fn apply_frame(&mut self, frame: &Frame) -> Result<ApplySummary, NetError> {
+        let mut summary = ApplySummary::default();
+        if frame.baseline {
+            for class in &mut self.classes {
+                class.clear();
+            }
+        }
+        for (class, delta) in &frame.classes {
+            let mirror = &mut self.classes[class.0 as usize];
+            for id in &delta.exits {
+                if mirror.remove(id).is_none() {
+                    return Err(NetError::Corrupt("exit for unknown entity"));
+                }
+                summary.exits += 1;
+            }
+            for (id, values) in &delta.enters {
+                if mirror.insert(*id, values.clone()).is_some() {
+                    return Err(NetError::Corrupt("duplicate enter"));
+                }
+                summary.enters += 1;
+            }
+            for (id, cells) in &delta.updates {
+                let row = mirror
+                    .get_mut(id)
+                    .ok_or(NetError::Corrupt("update for unknown entity"))?;
+                for (col, v) in cells {
+                    row[*col as usize] = v.clone();
+                    summary.updated_cells += 1;
+                }
+            }
+        }
+        self.tick = frame.tick;
+        Ok(summary)
+    }
+
+    /// Read one attribute of a mirrored entity.
+    pub fn get(&self, class: ClassId, id: EntityId, attr: &str) -> Option<Value> {
+        let col = self.catalog.class(class).state.index_of(attr)?;
+        self.classes[class.0 as usize]
+            .get(&id)
+            .map(|row| row[col].clone())
+    }
+
+    /// All mirrored values of one entity, in schema column order.
+    pub fn row(&self, class: ClassId, id: EntityId) -> Option<&[Value]> {
+        self.classes[class.0 as usize]
+            .get(&id)
+            .map(|r| r.as_slice())
+    }
+
+    /// Is the entity currently in the mirror?
+    pub fn contains(&self, class: ClassId, id: EntityId) -> bool {
+        self.classes[class.0 as usize].contains_key(&id)
+    }
+
+    /// Mirrored entities of one class (arbitrary order).
+    pub fn entities(&self, class: ClassId) -> impl Iterator<Item = EntityId> + '_ {
+        self.classes[class.0 as usize].keys().copied()
+    }
+
+    /// Entities mirrored across all classes.
+    pub fn population(&self) -> usize {
+        self.classes.iter().map(|c| c.len()).sum()
+    }
+
+    /// The full mirror of one class, for whole-region comparisons.
+    pub fn class_mirror(&self, class: ClassId) -> &FxHashMap<EntityId, Vec<Value>> {
+        &self.classes[class.0 as usize]
+    }
+}

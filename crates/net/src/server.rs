@@ -1,0 +1,498 @@
+//! The server side: sessions, interest evaluation, and per-tick delta
+//! extraction driven by per-column generation counters.
+
+use bytes::Bytes;
+use sgl_dist::DistSim;
+use sgl_engine::codec::value_wire_bytes;
+use sgl_engine::{Engine, World};
+use sgl_storage::{Catalog, ClassId, EntityId, FxHashMap, Value};
+
+use crate::interest::{InterestSpec, ResolvedInterest};
+use crate::stats::{NetStats, SessionStats};
+use crate::wire::{self, ClassDelta, Frame};
+use crate::NetError;
+
+/// Handle of an attached session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub u32);
+
+/// Anything a [`ReplicationServer`] can replicate from: a single
+/// [`World`] / [`Engine`], or a sharded [`DistSim`] whose stripes the
+/// server fans subscriptions out across. The facade crate `sgl`
+/// implements this for `Simulation` as well.
+pub trait ReplicationSource {
+    /// The shared catalog (must match the server's).
+    fn catalog(&self) -> &Catalog;
+
+    /// Number of shards (1 for single-node sources).
+    fn shards(&self) -> usize {
+        1
+    }
+
+    /// Shard `k`'s world. Rows marked as ghosts are replicas owned by
+    /// another shard and are ignored by replication.
+    fn shard_world(&self, k: usize) -> &World;
+
+    /// Current tick of the source.
+    fn source_tick(&self) -> u64;
+
+    /// Could shard `k` own entities of `class` whose `attr` value lies
+    /// within `[lo, hi]`? `false` prunes the shard from a session's
+    /// fan-out. The default (`true`) is always sound.
+    fn shard_may_own(&self, _k: usize, _class: ClassId, _attr: &str, _lo: f64, _hi: f64) -> bool {
+        true
+    }
+}
+
+impl ReplicationSource for World {
+    fn catalog(&self) -> &Catalog {
+        World::catalog(self)
+    }
+
+    fn shard_world(&self, _k: usize) -> &World {
+        self
+    }
+
+    fn source_tick(&self) -> u64 {
+        self.tick()
+    }
+}
+
+impl ReplicationSource for Engine {
+    fn catalog(&self) -> &Catalog {
+        self.world().catalog()
+    }
+
+    fn shard_world(&self, _k: usize) -> &World {
+        self.world()
+    }
+
+    fn source_tick(&self) -> u64 {
+        self.world().tick()
+    }
+}
+
+impl ReplicationSource for DistSim {
+    fn catalog(&self) -> &Catalog {
+        &self.game().catalog
+    }
+
+    fn shards(&self) -> usize {
+        self.config().nodes
+    }
+
+    fn shard_world(&self, k: usize) -> &World {
+        self.node_world(k)
+    }
+
+    fn source_tick(&self) -> u64 {
+        self.node_world(0).tick()
+    }
+
+    fn shard_may_own(&self, k: usize, class: ClassId, attr: &str, lo: f64, hi: f64) -> bool {
+        let part = &self.config().partition_attr;
+        let partitioned = self
+            .game()
+            .catalog
+            .class(class)
+            .state
+            .index_of(part)
+            .is_some();
+        if !partitioned {
+            // Classes without the partition attribute live on node 0.
+            return k == 0;
+        }
+        if attr != part {
+            // Range over some other attribute: stripes say nothing.
+            return true;
+        }
+        let (slo, shi) = self.stripe_range(k);
+        // Owned rows sit inside their stripe between steps, so a shard
+        // whose stripe misses the window cannot contribute.
+        slo <= hi && lo < shi
+    }
+}
+
+/// Replication configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Use per-column generation counters to skip unchanged extents
+    /// without scanning (the default). `false` forces the full-scan
+    /// baseline — only useful for benchmarking the difference.
+    pub use_generations: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            use_generations: true,
+        }
+    }
+}
+
+/// Per-session server state: what the client is known to hold.
+struct SessionState {
+    interest: ResolvedInterest,
+    /// Per class: id → (source shard, values in schema order). This is
+    /// the server's model of the client mirror; deltas are diffs
+    /// against it.
+    mirror: Vec<FxHashMap<EntityId, (usize, Vec<Value>)>>,
+    /// Per shard, per class: the generation counters at our last scan
+    /// (empty = never scanned).
+    last_gens: Vec<Vec<Vec<u64>>>,
+    baseline_sent: bool,
+    stats: SessionStats,
+}
+
+/// The replication server: attaches client sessions to a simulation (or
+/// a cluster) and streams per-tick deltas of each session's declared
+/// area of interest.
+pub struct ReplicationServer {
+    catalog: Catalog,
+    cfg: NetConfig,
+    sessions: Vec<Option<SessionState>>,
+    last: NetStats,
+}
+
+impl ReplicationServer {
+    /// A server for sources sharing `catalog`.
+    pub fn new(catalog: Catalog) -> Self {
+        Self::with_config(catalog, NetConfig::default())
+    }
+
+    /// A server with explicit [`NetConfig`].
+    pub fn with_config(catalog: Catalog, cfg: NetConfig) -> Self {
+        ReplicationServer {
+            catalog,
+            cfg,
+            sessions: Vec::new(),
+            last: NetStats::default(),
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Attach a session with the given interest subscription. The first
+    /// poll sends it a baseline snapshot of the subscribed region.
+    pub fn attach(&mut self, spec: &InterestSpec) -> Result<SessionId, NetError> {
+        let interest = spec.resolve(&self.catalog)?;
+        let mirror = vec![FxHashMap::default(); self.catalog.len()];
+        let id = SessionId(self.sessions.len() as u32);
+        self.sessions.push(Some(SessionState {
+            interest,
+            mirror,
+            last_gens: Vec::new(),
+            baseline_sent: false,
+            stats: SessionStats::default(),
+        }));
+        Ok(id)
+    }
+
+    /// Parse-and-attach convenience: see [`InterestSpec`] for the
+    /// predicate syntax, e.g. `"Player where x in [120, 480]"`.
+    pub fn attach_str(&mut self, spec: &str) -> Result<SessionId, NetError> {
+        self.attach(&spec.parse::<InterestSpec>()?)
+    }
+
+    /// Detach a session; its id is never reused.
+    pub fn detach(&mut self, sid: SessionId) -> bool {
+        match self.sessions.get_mut(sid.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Attached sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.iter().flatten().count()
+    }
+
+    /// Cumulative statistics of one session.
+    pub fn session_stats(&self, sid: SessionId) -> Option<&SessionStats> {
+        self.sessions
+            .get(sid.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| &s.stats)
+    }
+
+    /// Statistics of the last [`ReplicationServer::poll`].
+    pub fn last_stats(&self) -> &NetStats {
+        &self.last
+    }
+
+    /// Compute and commit this tick's frame for every session. Call
+    /// once per simulation tick, after stepping the source. Each
+    /// session's first frame is a baseline snapshot; subsequent frames
+    /// are deltas (enter / changed-cells / exit+despawn).
+    pub fn poll<S: ReplicationSource>(&mut self, src: &S) -> Vec<(SessionId, Bytes)> {
+        self.poll_inner(src, true)
+    }
+
+    /// Compute this tick's frames *without* committing them (session
+    /// mirrors, generation cursors, and statistics stay untouched), so
+    /// repeated calls do identical work. For benchmarks and
+    /// diagnostics; real streaming uses [`ReplicationServer::poll`].
+    pub fn preview<S: ReplicationSource>(&mut self, src: &S) -> Vec<(SessionId, Bytes)> {
+        self.poll_inner(src, false)
+    }
+
+    fn poll_inner<S: ReplicationSource>(
+        &mut self,
+        src: &S,
+        commit: bool,
+    ) -> Vec<(SessionId, Bytes)> {
+        debug_assert_eq!(
+            src.catalog().len(),
+            self.catalog.len(),
+            "source catalog mismatch"
+        );
+        let mut stats = NetStats {
+            tick: src.source_tick(),
+            sessions: self.session_count(),
+            ..NetStats::default()
+        };
+        let mut out = Vec::with_capacity(stats.sessions);
+        for (slot, session) in self.sessions.iter_mut().enumerate() {
+            let Some(session) = session else { continue };
+            let bytes = encode_session(
+                &self.catalog,
+                session,
+                src,
+                self.cfg.use_generations,
+                commit,
+                &mut stats,
+            );
+            out.push((SessionId(slot as u32), bytes));
+        }
+        if commit {
+            self.last = stats;
+        }
+        out
+    }
+}
+
+/// Cell-level change detection, bitwise for numbers: a NaN cell must
+/// compare equal to its mirrored copy (IEEE `NaN != NaN` would re-ship
+/// it on every scan forever).
+fn value_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// Build (and optionally commit) one session's frame.
+fn encode_session<S: ReplicationSource>(
+    catalog: &Catalog,
+    session: &mut SessionState,
+    src: &S,
+    use_generations: bool,
+    commit: bool,
+    stats: &mut NetStats,
+) -> Bytes {
+    let shards = src.shards();
+    if session.last_gens.len() != shards {
+        // First poll, or the source shape changed under the session
+        // (e.g. re-pointed from a 4-node cluster to a single world).
+        // Mirror entries are tagged with shard indexes of the old
+        // shape, so a stale mirror could strand phantom entities whose
+        // recorded shard no longer exists — resynchronize from scratch
+        // with a fresh baseline instead.
+        session.last_gens = vec![vec![Vec::new(); catalog.len()]; shards];
+        for mirror in &mut session.mirror {
+            mirror.clear();
+        }
+        session.baseline_sent = false;
+    }
+    let baseline = !session.baseline_sent;
+    let spec = session.interest.spec.clone();
+    let mut classes: Vec<(ClassId, ClassDelta)> = Vec::new();
+    // Per-shard payload contribution, for fan-out traffic accounting.
+    let mut shard_bytes: Vec<u64> = vec![0; shards];
+    // Deferred mirror commits: (class, retained id, current shard).
+    let mut relocations: Vec<(ClassId, EntityId, usize)> = Vec::new();
+    let mut enter_shards: Vec<(ClassId, EntityId, usize)> = Vec::new();
+
+    for cdef in catalog.classes() {
+        let class = cdef.id;
+        let Some(attr_col) = session.interest.attr_cols[class.0 as usize] else {
+            continue;
+        };
+        // Which shards need a scan for this class?
+        let mut scanned: Vec<usize> = Vec::new();
+        for k in 0..shards {
+            if !src.shard_may_own(k, class, &spec.attr, spec.lo, spec.hi) {
+                continue;
+            }
+            let gens = src.shard_world(k).table(class).col_gens();
+            if use_generations && session.last_gens[k][class.0 as usize].as_slice() == gens {
+                stats.skipped_scans += 1;
+                continue;
+            }
+            stats.scanned += 1;
+            scanned.push(k);
+        }
+        if scanned.is_empty() {
+            continue;
+        }
+
+        // Pass 1: current in-interest membership on the scanned shards.
+        let mut seen: FxHashMap<EntityId, (usize, u32)> = FxHashMap::default();
+        for &k in &scanned {
+            let world = src.shard_world(k);
+            let table = world.table(class);
+            let xs = table.column(attr_col).f64();
+            for (row, &id) in table.ids().iter().enumerate() {
+                if !spec.contains(xs[row]) || world.is_ghost(class, id) {
+                    continue;
+                }
+                seen.insert(id, (k, row as u32));
+            }
+        }
+
+        // Pass 2: diff against the session mirror.
+        let mut delta = ClassDelta::default();
+        let mirror = &session.mirror[class.0 as usize];
+        let mut ordered: Vec<(EntityId, (usize, u32))> =
+            seen.iter().map(|(&id, &at)| (id, at)).collect();
+        ordered.sort_unstable_by_key(|(id, _)| *id);
+        for (id, (shard, row)) in ordered {
+            let table = src.shard_world(shard).table(class);
+            let row = row as usize;
+            match mirror.get(&id) {
+                None => {
+                    // Entered the area of interest: ship the full row.
+                    let values: Vec<Value> = (0..table.schema().len())
+                        .map(|ci| table.column(ci).get(row))
+                        .collect();
+                    shard_bytes[shard] += 8 + values.iter().map(value_wire_bytes).sum::<u64>();
+                    delta.enters.push((id, values));
+                    enter_shards.push((class, id, shard));
+                }
+                Some((_, known)) => {
+                    // Retained: diff changed columns only. When
+                    // generation cursors are live, columns whose
+                    // counter did not move on this shard are skipped
+                    // without comparing a single cell.
+                    let last = &session.last_gens[shard][class.0 as usize];
+                    let gens = table.col_gens();
+                    let mut cells: Vec<(u16, Value)> = Vec::new();
+                    for ci in 0..table.schema().len() {
+                        if use_generations && last.get(ci) == Some(&gens[ci]) {
+                            continue;
+                        }
+                        let v = table.column(ci).get(row);
+                        if !value_identical(&known[ci], &v) {
+                            cells.push((ci as u16, v));
+                        }
+                    }
+                    if !cells.is_empty() {
+                        shard_bytes[shard] += 8
+                            + 2
+                            + cells
+                                .iter()
+                                .map(|(_, v)| 2 + value_wire_bytes(v))
+                                .sum::<u64>();
+                        delta.updates.push((id, cells));
+                    }
+                    relocations.push((class, id, shard));
+                }
+            }
+        }
+
+        // Pass 3: exits — mirrored entities whose source shard was
+        // scanned but which no longer appear in the interest region.
+        // (An entity migrating to a skipped shard is impossible:
+        // insertion would have bumped that shard's generations.)
+        let mut exits: Vec<(EntityId, usize)> = mirror
+            .iter()
+            .filter(|(id, (shard, _))| scanned.contains(shard) && !seen.contains_key(id))
+            .map(|(&id, &(shard, _))| (id, shard))
+            .collect();
+        exits.sort_unstable_by_key(|(id, _)| *id);
+        for (id, shard) in exits {
+            let alive = (0..shards).any(|k| {
+                let w = src.shard_world(k);
+                w.table(class).row_of(id).is_some() && !w.is_ghost(class, id)
+            });
+            if alive {
+                stats.exits += 1;
+            } else {
+                stats.despawns += 1;
+            }
+            shard_bytes[shard] += 8;
+            delta.exits.push(id);
+        }
+
+        stats.enters += delta.enters.len() as u64;
+        stats.updated_cells += delta
+            .updates
+            .iter()
+            .map(|(_, c)| c.len() as u64)
+            .sum::<u64>();
+        if !delta.is_empty() {
+            classes.push((class, delta));
+        }
+
+        if commit {
+            for &k in &scanned {
+                session.last_gens[k][class.0 as usize] =
+                    src.shard_world(k).table(class).col_gens().to_vec();
+            }
+        }
+    }
+
+    let frame = Frame {
+        baseline,
+        tick: src.source_tick(),
+        classes,
+    };
+    let bytes = wire::encode(&frame);
+
+    stats.frames += 1;
+    stats.client_traffic.msgs += 1;
+    stats.client_traffic.bytes += bytes.len() as u64;
+    if shards > 1 {
+        for b in shard_bytes.iter().filter(|&&b| b > 0) {
+            stats.fanout.msgs += 1;
+            stats.fanout.bytes += b;
+        }
+    }
+
+    if commit {
+        session.baseline_sent = true;
+        session.stats.frames += 1;
+        session.stats.bytes += bytes.len() as u64;
+        // Apply the delta to the session's model of the client.
+        for (class, delta) in &frame.classes {
+            let mirror = &mut session.mirror[class.0 as usize];
+            for id in &delta.exits {
+                mirror.remove(id);
+                session.stats.exits += 1;
+            }
+            for (id, values) in &delta.enters {
+                mirror.insert(*id, (0, values.clone()));
+                session.stats.enters += 1;
+            }
+            for (id, cells) in &delta.updates {
+                let entry = mirror.get_mut(id).expect("update targets mirrored id");
+                for (col, v) in cells {
+                    entry.1[*col as usize] = v.clone();
+                    session.stats.updated_cells += 1;
+                }
+            }
+        }
+        for (class, id, shard) in enter_shards.into_iter().chain(relocations) {
+            if let Some(entry) = session.mirror[class.0 as usize].get_mut(&id) {
+                entry.0 = shard;
+            }
+        }
+    }
+    bytes
+}

@@ -1,0 +1,77 @@
+//! Per-tick replication statistics, in the style of
+//! [`sgl_dist::DistStats`] (whose [`Traffic`] counters are reused for
+//! the stripe fan-out accounting).
+
+use sgl_dist::Traffic;
+
+/// Statistics of one [`ReplicationServer::poll`](crate::ReplicationServer::poll)
+/// across all sessions.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Source tick the poll observed.
+    pub tick: u64,
+    /// Attached sessions.
+    pub sessions: usize,
+    /// Frames emitted (one per session).
+    pub frames: u64,
+    /// Total frame payload shipped to clients.
+    pub client_traffic: Traffic,
+    /// Entities that entered some session's area of interest.
+    pub enters: u64,
+    /// Entities that left some session's area of interest (but still
+    /// exist in the world).
+    pub exits: u64,
+    /// Subscribed entities that despawned.
+    pub despawns: u64,
+    /// Changed `(entity, attribute)` cells streamed.
+    pub updated_cells: u64,
+    /// `(session, shard, class)` scans skipped because every generation
+    /// counter matched — the change-detection fast path. No rows were
+    /// read for these.
+    pub skipped_scans: u64,
+    /// `(session, shard, class)` extents actually scanned.
+    pub scanned: u64,
+    /// Shard → server merge traffic: one message per shard that
+    /// contributed data to a fanned-out subscription, with the payload
+    /// bytes it contributed (single-node sources never populate this).
+    pub fanout: Traffic,
+}
+
+impl NetStats {
+    /// Total bytes shipped to clients this poll.
+    pub fn total_bytes(&self) -> u64 {
+        self.client_traffic.bytes
+    }
+}
+
+/// Cumulative per-session statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Frames emitted to this session.
+    pub frames: u64,
+    /// Total frame bytes emitted to this session.
+    pub bytes: u64,
+    /// Entities that entered the area of interest.
+    pub enters: u64,
+    /// Entities that left it (exit + despawn).
+    pub exits: u64,
+    /// Changed cells streamed.
+    pub updated_cells: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_come_from_client_traffic() {
+        let s = NetStats {
+            client_traffic: Traffic {
+                msgs: 2,
+                bytes: 300,
+            },
+            ..NetStats::default()
+        };
+        assert_eq!(s.total_bytes(), 300);
+    }
+}

@@ -1,0 +1,302 @@
+//! Unit tests for the replication pipeline against hand-built worlds
+//! (no SGL source needed) and a compiled game.
+
+use sgl_engine::World;
+use sgl_storage::{
+    Catalog, ClassDef, ClassId, ColumnSpec, EntityId, Owner, ScalarType, Schema, Value,
+};
+
+use crate::{ClientReplica, InterestSpec, NetConfig, ReplicationServer};
+
+/// Class 0 carries all four value types; class 1 is a second extent
+/// with its own `x`.
+pub(crate) fn two_class_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(ClassDef {
+        id: ClassId(0),
+        name: "Unit".into(),
+        state: Schema::from_cols(vec![
+            ColumnSpec::new("x", ScalarType::Number),
+            ColumnSpec::new("alive", ScalarType::Bool),
+            ColumnSpec::new("buddy", ScalarType::Ref(ClassId(0))),
+            ColumnSpec::new("friends", ScalarType::Set(ClassId(0))),
+        ]),
+        effects: vec![],
+        owners: vec![Owner::Expression; 4],
+    });
+    cat.add(ClassDef {
+        id: ClassId(1),
+        name: "Npc".into(),
+        state: Schema::from_cols(vec![
+            ColumnSpec::new("x", ScalarType::Number),
+            ColumnSpec::new("mood", ScalarType::Number),
+        ]),
+        effects: vec![],
+        owners: vec![Owner::Expression; 2],
+    });
+    cat
+}
+
+/// Server-side ground truth: the subscribed region read straight from
+/// the world.
+fn expected_region(
+    world: &World,
+    class: ClassId,
+    spec: &InterestSpec,
+) -> Vec<(EntityId, Vec<Value>)> {
+    let table = world.table(class);
+    let col = table.schema().index_of(&spec.attr).unwrap();
+    let xs = table.column(col).f64();
+    let mut rows: Vec<(EntityId, Vec<Value>)> = table
+        .ids()
+        .iter()
+        .enumerate()
+        .filter(|(row, id)| spec.contains(xs[*row]) && !world.is_ghost(class, **id))
+        .map(|(row, &id)| {
+            (
+                id,
+                (0..table.schema().len())
+                    .map(|ci| table.column(ci).get(row))
+                    .collect(),
+            )
+        })
+        .collect();
+    rows.sort_unstable_by_key(|(id, _)| *id);
+    rows
+}
+
+fn assert_mirror_matches(
+    replica: &ClientReplica,
+    world: &World,
+    class: ClassId,
+    spec: &InterestSpec,
+) {
+    let expected = expected_region(world, class, spec);
+    let mirror = replica.class_mirror(class);
+    assert_eq!(mirror.len(), expected.len(), "population diverged");
+    for (id, values) in &expected {
+        assert_eq!(
+            mirror.get(id),
+            Some(values),
+            "mirror of {id:?} diverged from server view"
+        );
+    }
+}
+
+#[test]
+fn baseline_then_deltas_keep_the_replica_identical() {
+    let cat = two_class_catalog();
+    let mut world = World::new(cat.clone());
+    let unit = ClassId(0);
+    let spec: InterestSpec = "Unit where x in [0, 100]".parse().unwrap();
+
+    let a = world.spawn(unit, &[("x", Value::Number(10.0))]).unwrap();
+    let b = world.spawn(unit, &[("x", Value::Number(50.0))]).unwrap();
+    let c = world.spawn(unit, &[("x", Value::Number(250.0))]).unwrap();
+
+    let mut server = ReplicationServer::new(cat.clone());
+    let sid = server.attach(&spec).unwrap();
+    let mut replica = ClientReplica::new(cat.clone());
+
+    // Baseline: a and b, not c.
+    let frames = server.poll(&world);
+    assert_eq!(frames.len(), 1);
+    let summary = replica.apply(&frames[0].1).unwrap();
+    assert_eq!(summary.enters, 2);
+    assert_mirror_matches(&replica, &world, unit, &spec);
+    assert!(!replica.contains(unit, c));
+
+    // Nothing changed: the next frame is empty and every extent scan
+    // was skipped by generation counters.
+    world.advance_tick();
+    let frames = server.poll(&world);
+    let summary = replica.apply(&frames[0].1).unwrap();
+    assert_eq!(summary, crate::ApplySummary::default());
+    assert_eq!(server.last_stats().scanned, 0);
+    assert!(server.last_stats().skipped_scans > 0);
+
+    // One attribute changes → exactly one cell streams.
+    world.set(a, "alive", &Value::Bool(true)).unwrap();
+    let frames = server.poll(&world);
+    let summary = replica.apply(&frames[0].1).unwrap();
+    assert_eq!(summary.updated_cells, 1);
+    assert_mirror_matches(&replica, &world, unit, &spec);
+
+    // Boundary crossing both ways + a despawn.
+    world.set(b, "x", &Value::Number(150.0)).unwrap(); // exits
+    world.set(c, "x", &Value::Number(99.0)).unwrap(); // enters
+    world.despawn(unit, a); // despawns
+    let frames = server.poll(&world);
+    let summary = replica.apply(&frames[0].1).unwrap();
+    assert_eq!(summary.enters, 1);
+    assert_eq!(summary.exits, 2);
+    assert_mirror_matches(&replica, &world, unit, &spec);
+    let stats = server.last_stats();
+    assert_eq!(stats.exits, 1);
+    assert_eq!(stats.despawns, 1);
+
+    let sstats = server.session_stats(sid).unwrap();
+    assert_eq!(sstats.frames, 4);
+    assert_eq!(sstats.enters, 3);
+    assert!(sstats.bytes > 0);
+}
+
+#[test]
+fn class_filter_and_star_subscriptions() {
+    let cat = two_class_catalog();
+    let mut world = World::new(cat.clone());
+    let unit = ClassId(0);
+    let npc = ClassId(1);
+    world.spawn(unit, &[("x", Value::Number(5.0))]).unwrap();
+    world.spawn(npc, &[("x", Value::Number(5.0))]).unwrap();
+
+    let mut server = ReplicationServer::new(cat.clone());
+    let only_units = server.attach_str("Unit where x in [0, 10]").unwrap();
+    let star = server.attach_str("* where x in [0, 10]").unwrap();
+    let mut ru = ClientReplica::new(cat.clone());
+    let mut rs = ClientReplica::new(cat.clone());
+
+    for (sid, frame) in server.poll(&world) {
+        if sid == only_units {
+            ru.apply(&frame).unwrap();
+        } else {
+            assert_eq!(sid, star);
+            rs.apply(&frame).unwrap();
+        }
+    }
+    assert_eq!(ru.population(), 1);
+    assert_eq!(rs.population(), 2);
+}
+
+#[test]
+fn bad_subscriptions_are_rejected() {
+    let cat = two_class_catalog();
+    let mut server = ReplicationServer::new(cat);
+    assert!(server.attach_str("Ghost where x in [0, 1]").is_err());
+    assert!(server.attach_str("Unit where nope in [0, 1]").is_err());
+    assert!(
+        server.attach_str("Unit where alive in [0, 1]").is_err(),
+        "non-number attr"
+    );
+    assert!(
+        server.attach_str("Unit where x in [5, 1]").is_err(),
+        "empty range"
+    );
+    assert!(server.attach_str("* where nothing in [0, 1]").is_err());
+}
+
+#[test]
+fn full_scan_mode_produces_identical_frames() {
+    let cat = two_class_catalog();
+    let mut world = World::new(cat.clone());
+    let unit = ClassId(0);
+    let mut ids = Vec::new();
+    for i in 0..20 {
+        ids.push(
+            world
+                .spawn(unit, &[("x", Value::Number(i as f64 * 10.0))])
+                .unwrap(),
+        );
+    }
+    let mut gen_server = ReplicationServer::new(cat.clone());
+    let mut scan_server = ReplicationServer::with_config(
+        cat.clone(),
+        NetConfig {
+            use_generations: false,
+        },
+    );
+    gen_server.attach_str("Unit where x in [25, 125]").unwrap();
+    scan_server.attach_str("Unit where x in [25, 125]").unwrap();
+    let mut rg = ClientReplica::new(cat.clone());
+    let mut rs = ClientReplica::new(cat.clone());
+
+    for step in 0..4 {
+        if step == 2 {
+            world.set(ids[4], "x", &Value::Number(500.0)).unwrap();
+            world.set(ids[0], "x", &Value::Number(60.0)).unwrap();
+        }
+        let fg = gen_server.poll(&world);
+        let fs = scan_server.poll(&world);
+        assert_eq!(
+            fg[0].1, fs[0].1,
+            "step {step}: frames must be bit-identical"
+        );
+        rg.apply(&fg[0].1).unwrap();
+        rs.apply(&fs[0].1).unwrap();
+        world.advance_tick();
+    }
+    assert_eq!(rg.population(), rs.population());
+    // The generation server skipped work; the full scanner never does.
+    assert!(gen_server.last_stats().skipped_scans > 0);
+    assert_eq!(scan_server.last_stats().skipped_scans, 0);
+}
+
+#[test]
+fn preview_does_not_commit() {
+    let cat = two_class_catalog();
+    let mut world = World::new(cat.clone());
+    let unit = ClassId(0);
+    world.spawn(unit, &[("x", Value::Number(1.0))]).unwrap();
+    let mut server = ReplicationServer::new(cat.clone());
+    server.attach_str("Unit where x in [0, 10]").unwrap();
+
+    let p1 = server.preview(&world);
+    let p2 = server.preview(&world);
+    assert_eq!(p1[0].1, p2[0].1, "previews are repeatable");
+    // The real poll still ships the baseline.
+    let frames = server.poll(&world);
+    assert_eq!(frames[0].1, p1[0].1);
+    let mut replica = ClientReplica::new(cat);
+    assert_eq!(replica.apply(&frames[0].1).unwrap().enters, 1);
+}
+
+#[test]
+fn detached_sessions_stop_streaming() {
+    let cat = two_class_catalog();
+    let mut world = World::new(cat.clone());
+    world.spawn(ClassId(0), &[]).unwrap();
+    let mut server = ReplicationServer::new(cat);
+    let a = server.attach_str("Unit where x in [-1, 1]").unwrap();
+    let b = server.attach_str("Unit where x in [-1, 1]").unwrap();
+    assert_eq!(server.session_count(), 2);
+    assert!(server.detach(a));
+    assert!(!server.detach(a), "double detach is a no-op");
+    let frames = server.poll(&world);
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].0, b);
+}
+
+#[test]
+fn semantic_inconsistencies_are_corrupt() {
+    let cat = two_class_catalog();
+    let mut replica = ClientReplica::new(cat.clone());
+    use crate::wire::{encode, ClassDelta, Frame};
+
+    // Update for an entity the mirror never held.
+    let frame = Frame {
+        baseline: false,
+        tick: 1,
+        classes: vec![(
+            ClassId(0),
+            ClassDelta {
+                updates: vec![(EntityId(7), vec![(0, Value::Number(1.0))])],
+                ..ClassDelta::default()
+            },
+        )],
+    };
+    assert!(replica.apply(&encode(&frame)).is_err());
+
+    // Exit for an unknown entity.
+    let frame = Frame {
+        baseline: false,
+        tick: 1,
+        classes: vec![(
+            ClassId(0),
+            ClassDelta {
+                exits: vec![EntityId(7)],
+                ..ClassDelta::default()
+            },
+        )],
+    };
+    assert!(replica.apply(&encode(&frame)).is_err());
+}

@@ -1,0 +1,297 @@
+//! The replication wire format: one compact binary frame per session
+//! per tick, in the style of `sgl-engine`'s checkpoint codec (and built
+//! on the same bounds-checked [`sgl_engine::codec`] primitives — a
+//! truncated or bit-flipped frame decodes to [`NetError::Corrupt`],
+//! never a panic).
+//!
+//! ```text
+//! frame  := "SGN1" kind:u8 tick:u64 n_blocks:u32 block*
+//! block  := class:u32
+//!           n_enter:u32  { id:u64 value[schema.len()] }*
+//!           n_update:u32 { id:u64 n_cells:u16 { col:u16 value }* }*
+//!           n_exit:u32   { id:u64 }*
+//! value  := tagged value (see sgl_engine::codec)
+//! ```
+//!
+//! `kind` 0 is a **baseline**: the receiver clears its mirror before
+//! applying (enters carry the full subscribed region). `kind` 1 is a
+//! **delta** against the previous frame: enters are entities that came
+//! into interest, updates carry *changed cells only*, exits cover both
+//! entities that left the area of interest and despawned ones (the
+//! receiver treats them identically: forget the entity).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sgl_engine::codec::{
+    check_count, get_u16, get_u32, get_u64, get_u8, get_value, put_u16, put_value, value_wire_bytes,
+};
+use sgl_storage::{Catalog, ClassId, EntityId, Value};
+
+use crate::NetError;
+
+const MAGIC: &[u8; 4] = b"SGN1";
+
+/// Frame kinds.
+pub const KIND_BASELINE: u8 = 0;
+/// See [`KIND_BASELINE`].
+pub const KIND_DELTA: u8 = 1;
+
+/// The per-class payload of one frame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassDelta {
+    /// Entities that entered the area of interest: full rows in schema
+    /// column order.
+    pub enters: Vec<(EntityId, Vec<Value>)>,
+    /// Retained entities with changed attributes: sparse
+    /// `(column, value)` cells.
+    pub updates: Vec<(EntityId, Vec<(u16, Value)>)>,
+    /// Entities that left the area of interest or despawned.
+    pub exits: Vec<EntityId>,
+}
+
+impl ClassDelta {
+    /// Is there anything to ship?
+    pub fn is_empty(&self) -> bool {
+        self.enters.is_empty() && self.updates.is_empty() && self.exits.is_empty()
+    }
+
+    /// Encoded payload size (excluding the class header), used for
+    /// per-shard traffic attribution before the frame is assembled.
+    pub fn wire_bytes(&self) -> u64 {
+        let enters: u64 = self
+            .enters
+            .iter()
+            .map(|(_, vs)| 8 + vs.iter().map(value_wire_bytes).sum::<u64>())
+            .sum();
+        let updates: u64 = self
+            .updates
+            .iter()
+            .map(|(_, cells)| {
+                8 + 2
+                    + cells
+                        .iter()
+                        .map(|(_, v)| 2 + value_wire_bytes(v))
+                        .sum::<u64>()
+            })
+            .sum();
+        enters + updates + 8 * self.exits.len() as u64
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Whether this frame is a baseline (receiver clears first).
+    pub baseline: bool,
+    /// Server tick the frame captures.
+    pub tick: u64,
+    /// Per-class payloads, keyed by class id.
+    pub classes: Vec<(ClassId, ClassDelta)>,
+}
+
+/// Encode a frame.
+pub fn encode(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    buf.put_slice(MAGIC);
+    buf.put_u8(if frame.baseline {
+        KIND_BASELINE
+    } else {
+        KIND_DELTA
+    });
+    buf.put_u64_le(frame.tick);
+    let blocks: Vec<&(ClassId, ClassDelta)> = frame
+        .classes
+        .iter()
+        .filter(|(_, d)| !d.is_empty())
+        .collect();
+    buf.put_u32_le(blocks.len() as u32);
+    for (class, delta) in blocks {
+        buf.put_u32_le(class.0);
+        buf.put_u32_le(delta.enters.len() as u32);
+        for (id, values) in &delta.enters {
+            buf.put_u64_le(id.0);
+            for v in values {
+                put_value(&mut buf, v);
+            }
+        }
+        buf.put_u32_le(delta.updates.len() as u32);
+        for (id, cells) in &delta.updates {
+            buf.put_u64_le(id.0);
+            put_u16(&mut buf, cells.len() as u16);
+            for (col, v) in cells {
+                put_u16(&mut buf, *col);
+                put_value(&mut buf, v);
+            }
+        }
+        buf.put_u32_le(delta.exits.len() as u32);
+        for id in &delta.exits {
+            buf.put_u64_le(id.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode and validate a frame against the shared catalog: class ids
+/// and column indexes must be in range, and every value's type must
+/// match the schema (a flipped tag must not corrupt a typed mirror).
+pub fn decode(mut buf: &[u8], catalog: &Catalog) -> Result<Frame, NetError> {
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(NetError::Corrupt("bad magic"));
+    }
+    buf.advance(4);
+    let baseline = match get_u8(&mut buf)? {
+        KIND_BASELINE => true,
+        KIND_DELTA => false,
+        _ => return Err(NetError::Corrupt("bad frame kind")),
+    };
+    let tick = get_u64(&mut buf)?;
+    // A block is ≥ 16 bytes (class + three counts).
+    let n_blocks = check_count(get_u32(&mut buf)? as u64, buf, 16)?;
+    let mut classes = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let class = ClassId(get_u32(&mut buf)?);
+        if class.0 as usize >= catalog.len() {
+            return Err(NetError::Corrupt("class id out of range"));
+        }
+        let schema = &catalog.class(class).state;
+        let mut delta = ClassDelta::default();
+
+        let n_enter = check_count(get_u32(&mut buf)? as u64, buf, 8)?;
+        for _ in 0..n_enter {
+            let id = EntityId(get_u64(&mut buf)?);
+            let mut values = Vec::with_capacity(schema.len());
+            for ci in 0..schema.len() {
+                let v = get_value(&mut buf)?;
+                check_type(&v, schema.col(ci).ty)?;
+                values.push(v);
+            }
+            delta.enters.push((id, values));
+        }
+
+        let n_update = check_count(get_u32(&mut buf)? as u64, buf, 10)?;
+        for _ in 0..n_update {
+            let id = EntityId(get_u64(&mut buf)?);
+            let n_cells = check_count(get_u16(&mut buf)? as u64, buf, 4)?;
+            let mut cells = Vec::with_capacity(n_cells);
+            for _ in 0..n_cells {
+                let col = get_u16(&mut buf)?;
+                if col as usize >= schema.len() {
+                    return Err(NetError::Corrupt("column index out of range"));
+                }
+                let v = get_value(&mut buf)?;
+                check_type(&v, schema.col(col as usize).ty)?;
+                cells.push((col, v));
+            }
+            delta.updates.push((id, cells));
+        }
+
+        let n_exit = check_count(get_u32(&mut buf)? as u64, buf, 8)?;
+        for _ in 0..n_exit {
+            delta.exits.push(EntityId(get_u64(&mut buf)?));
+        }
+        classes.push((class, delta));
+    }
+    if buf.remaining() != 0 {
+        return Err(NetError::Corrupt("trailing bytes"));
+    }
+    Ok(Frame {
+        baseline,
+        tick,
+        classes,
+    })
+}
+
+fn check_type(v: &Value, expected: sgl_storage::ScalarType) -> Result<(), NetError> {
+    if std::mem::discriminant(&v.scalar_type()) != std::mem::discriminant(&expected) {
+        return Err(NetError::Corrupt("value type mismatches schema"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::two_class_catalog;
+    use sgl_storage::RefSet;
+
+    fn sample_frame() -> Frame {
+        Frame {
+            baseline: false,
+            tick: 42,
+            classes: vec![
+                (
+                    ClassId(0),
+                    ClassDelta {
+                        enters: vec![(
+                            EntityId(1),
+                            vec![
+                                Value::Number(3.5),
+                                Value::Bool(true),
+                                Value::Ref(EntityId(2)),
+                                Value::Set(RefSet::from_ids(vec![EntityId(1), EntityId(2)])),
+                            ],
+                        )],
+                        updates: vec![(EntityId(2), vec![(0, Value::Number(-1.0))])],
+                        exits: vec![EntityId(3)],
+                    },
+                ),
+                (ClassId(1), ClassDelta::default()),
+            ],
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_skips_empty_blocks() {
+        let cat = two_class_catalog();
+        let frame = sample_frame();
+        let bytes = encode(&frame);
+        let decoded = decode(&bytes, &cat).unwrap();
+        assert_eq!(decoded.tick, 42);
+        assert!(!decoded.baseline);
+        // The empty class 1 block is elided on the wire.
+        assert_eq!(decoded.classes.len(), 1);
+        assert_eq!(decoded.classes[0], frame.classes[0]);
+    }
+
+    #[test]
+    fn wire_bytes_matches_encoded_payload() {
+        let frame = sample_frame();
+        let bytes = encode(&frame);
+        let header = 4 + 1 + 8 + 4; // magic, kind, tick, n_blocks
+        let block_header = 4 + 3 * 4; // class id + three counts
+        let payload: u64 = frame.classes[0].1.wire_bytes();
+        assert_eq!(bytes.len() as u64, header + block_header + payload);
+    }
+
+    #[test]
+    fn truncations_and_mutations_never_panic() {
+        let cat = two_class_catalog();
+        let bytes = encode(&sample_frame());
+        for cut in 0..bytes.len() {
+            let _ = decode(&bytes[..cut], &cat).expect_err("truncation must fail");
+        }
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut mutated = bytes.to_vec();
+                mutated[pos] ^= flip;
+                let _ = decode(&mutated, &cat); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_are_corrupt() {
+        let cat = two_class_catalog();
+        let mut frame = sample_frame();
+        frame.classes[0].0 = ClassId(9);
+        assert!(matches!(
+            decode(&encode(&frame), &cat),
+            Err(NetError::Corrupt("class id out of range"))
+        ));
+        let mut frame = sample_frame();
+        frame.classes[0].1.updates[0].1[0].0 = 99;
+        assert!(matches!(
+            decode(&encode(&frame), &cat),
+            Err(NetError::Corrupt("column index out of range"))
+        ));
+    }
+}

@@ -357,6 +357,33 @@ impl Column {
     }
 }
 
+/// Content equality with a shared-buffer fast path: columns that still
+/// share one copy-on-write buffer compare equal in O(1). Change
+/// detection (replication deltas, update write-back) relies on this.
+/// `number` data compares **bitwise**, so a column containing NaN still
+/// equals an identical copy of itself — IEEE `NaN != NaN` would make
+/// such a column look dirty every tick forever. (Bitwise also
+/// distinguishes `0.0` from `-0.0`: a conservative "changed" verdict,
+/// never a missed change.)
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Column::F64(a), Column::F64(b)) => {
+                Arc::ptr_eq(a, b)
+                    || (a.len() == b.len()
+                        && a.iter()
+                            .zip(b.iter())
+                            .all(|(x, y)| x.to_bits() == y.to_bits()))
+            }
+            (Column::Bool(a), Column::Bool(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Column::Ref(a), Column::Ref(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Column::Set(a), Column::Set(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Column::U32(a), Column::U32(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

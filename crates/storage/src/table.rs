@@ -4,6 +4,8 @@
 //! is not stable across removals — all engine-visible iteration happens
 //! within a tick, during which membership is frozen.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use crate::column::Column;
@@ -13,6 +15,16 @@ use crate::fx::FxHashMap;
 use crate::schema::Schema;
 use crate::value::Value;
 
+/// Generation values are drawn from one process-global counter, so a
+/// value observed once can never recur — not in another table, and not
+/// in this table after a checkpoint restore rebuilt it. Readers holding
+/// stale cursors (e.g. `sgl-net` sessions across an `Engine::restore`)
+/// therefore can never false-match and silently skip changed state.
+fn fresh_gen() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A class extent: columnar rows keyed by entity id.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
@@ -21,17 +33,31 @@ pub struct Table {
     ids: Vec<EntityId>,
     #[serde(skip)]
     row_of: FxHashMap<EntityId, u32>,
+    /// Per-column generation counters: refreshed on every copy-on-write
+    /// mutation of the column, including membership changes (insert /
+    /// remove touch every column). A reader that remembers the counters
+    /// from an earlier observation can tell "nothing changed" without
+    /// scanning a single row — the hook `sgl-net` delta streaming is
+    /// built on. Values come from [`fresh_gen`] (globally unique, never
+    /// 0, so a reader initialized to 0 sees every column as changed);
+    /// they are transient and not checkpointed.
+    #[serde(skip)]
+    gens: Vec<u64>,
 }
 
 impl Table {
     /// An empty extent with the given schema.
     pub fn new(schema: Schema) -> Self {
-        let columns = schema.cols().iter().map(|c| Column::empty(c.ty)).collect();
+        let columns: Vec<Column> = schema.cols().iter().map(|c| Column::empty(c.ty)).collect();
+        let gens = std::iter::repeat_with(fresh_gen)
+            .take(columns.len())
+            .collect();
         Table {
             schema,
             columns,
             ids: Vec::new(),
             row_of: FxHashMap::default(),
+            gens,
         }
     }
 
@@ -78,6 +104,7 @@ impl Table {
         self.row_of.insert(id, row);
         for (i, spec) in self.schema.cols().iter().enumerate() {
             self.columns[i].push(&spec.default);
+            self.gens[i] = fresh_gen();
         }
         for (name, v) in values {
             let col = self
@@ -102,8 +129,9 @@ impl Table {
         let row = row as usize;
         let last = self.ids.len() - 1;
         self.ids.swap_remove(row);
-        for c in &mut self.columns {
+        for (i, c) in self.columns.iter_mut().enumerate() {
             c.swap_remove(row);
+            self.gens[i] = fresh_gen();
         }
         if row != last {
             let moved = self.ids[row];
@@ -130,6 +158,7 @@ impl Table {
             .index_of(col_name)
             .ok_or_else(|| StorageError::NoSuchColumn(col_name.to_string()))?;
         self.columns[col].set(row as usize, v);
+        self.gens[col] = fresh_gen();
         Ok(())
     }
 
@@ -144,10 +173,26 @@ impl Table {
         self.schema.index_of(name).map(|i| &self.columns[i])
     }
 
-    /// Mutably borrow a column by index (copy-on-write).
+    /// Mutably borrow a column by index (copy-on-write). Conservatively
+    /// counts as a mutation for generation tracking.
     #[inline]
     pub fn column_mut(&mut self, idx: usize) -> &mut Column {
+        self.gens[idx] = fresh_gen();
         &mut self.columns[idx]
+    }
+
+    /// Per-column generation counters, parallel to the schema columns.
+    /// Equal counters across two observations guarantee the column (and
+    /// the extent's membership) did not change in between.
+    #[inline]
+    pub fn col_gens(&self) -> &[u64] {
+        &self.gens
+    }
+
+    /// Generation counter of one column.
+    #[inline]
+    pub fn col_gen(&self, idx: usize) -> u64 {
+        self.gens[idx]
     }
 
     /// Cheap snapshot of all columns (Arc clones) in schema order.
@@ -160,6 +205,23 @@ impl Table {
     pub fn replace_column(&mut self, idx: usize, col: Column) {
         assert_eq!(col.len(), self.len(), "replacement column length mismatch");
         self.columns[idx] = col;
+        self.gens[idx] = fresh_gen();
+    }
+
+    /// Replace a whole column only if its contents differ from the
+    /// current one; the generation counter is bumped only on an actual
+    /// change. Returns whether the column was replaced. This is how the
+    /// engine's update phase threads change detection through to
+    /// replication: update rules stage a freshly evaluated column every
+    /// tick, but a stationary world must not look "dirty".
+    pub fn replace_column_if_changed(&mut self, idx: usize, col: Column) -> bool {
+        assert_eq!(col.len(), self.len(), "replacement column length mismatch");
+        if self.columns[idx] == col {
+            return false;
+        }
+        self.columns[idx] = col;
+        self.gens[idx] = fresh_gen();
+        true
     }
 
     /// Approximate heap footprint in bytes.
@@ -175,11 +237,15 @@ impl Table {
         for c in &columns {
             assert_eq!(c.len(), ids.len(), "column length mismatch");
         }
+        let gens = std::iter::repeat_with(fresh_gen)
+            .take(columns.len())
+            .collect();
         let mut t = Table {
             schema,
             columns,
             ids,
             row_of: FxHashMap::default(),
+            gens,
         };
         t.rebuild_index();
         t
@@ -188,6 +254,11 @@ impl Table {
     /// Rebuild the id→row map (after deserialization).
     pub fn rebuild_index(&mut self) {
         self.schema.rebuild_index();
+        if self.gens.len() != self.columns.len() {
+            self.gens = std::iter::repeat_with(fresh_gen)
+                .take(self.columns.len())
+                .collect();
+        }
         self.row_of = self
             .ids
             .iter()
@@ -266,6 +337,42 @@ mod tests {
         t.row_of.clear(); // simulate deserialization
         t.rebuild_index();
         assert_eq!(t.get(EntityId(9), "y").unwrap(), Value::Number(1.5));
+    }
+
+    #[test]
+    fn generations_track_every_mutation_path() {
+        let mut t = Table::new(unit_schema());
+        assert!(t.col_gens().iter().all(|&g| g > 0));
+
+        // Insert refreshes every column (membership changed).
+        let before = t.col_gens().to_vec();
+        t.insert(EntityId(1), &[("x", Value::Number(1.0))]).unwrap();
+        let after_insert = t.col_gens().to_vec();
+        assert!(after_insert.iter().zip(&before).all(|(a, b)| a != b));
+
+        // Point write refreshes exactly one column.
+        t.set(EntityId(1), "y", &Value::Number(5.0)).unwrap();
+        assert_eq!(t.col_gen(0), after_insert[0]);
+        assert_ne!(t.col_gen(1), after_insert[1]);
+
+        // Identical replacement is a no-op; a changed one refreshes.
+        let before = t.col_gen(0);
+        assert!(!t.replace_column_if_changed(0, Column::from_f64(vec![1.0])));
+        assert_eq!(t.col_gen(0), before);
+        assert!(t.replace_column_if_changed(0, Column::from_f64(vec![2.0])));
+        assert_ne!(t.col_gen(0), before);
+
+        // Remove refreshes every column.
+        let before = t.col_gens().to_vec();
+        t.remove(EntityId(1));
+        assert!(t.col_gens().iter().zip(&before).all(|(a, b)| a != b));
+
+        // Generation values never recur, even across a rebuild of the
+        // "same" table (the checkpoint-restore aliasing hazard): a
+        // cursor taken before can never match a fresh table's counters.
+        let cursor = t.col_gens().to_vec();
+        let t2 = Table::new(unit_schema());
+        assert!(t2.col_gens().iter().zip(&cursor).all(|(a, b)| a != b));
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! `sgl-net` replication end-to-end: property-tested wire round-trips
+//! (random snapshot + delta sequences decode to a replica equal to the
+//! server's view), stripe-straddling subscriptions on multi-node
+//! clusters, and fuzzed frames that must never panic the decoder.
+
+use proptest::prelude::*;
+use sgl::{ClassId, EntityId};
+use sgl::{ClientReplica, InterestSpec, ReplicationServer, Simulation, Value};
+use sgl_dist::{DistConfig, DistSim};
+use sgl_net::{NetConfig, ReplicationSource};
+
+const GAME: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number hp = 10;
+  bool alive = true;
+}
+"#;
+
+/// The authoritative subscribed region of `class` on any source.
+fn region<S: ReplicationSource>(
+    src: &S,
+    class: ClassId,
+    spec: &InterestSpec,
+) -> Vec<(EntityId, Vec<Value>)> {
+    let mut rows = Vec::new();
+    for k in 0..src.shards() {
+        let world = src.shard_world(k);
+        let table = world.table(class);
+        let col = table.schema().index_of(&spec.attr).unwrap();
+        let xs = table.column(col).f64();
+        for (row, &id) in table.ids().iter().enumerate() {
+            if spec.contains(xs[row]) && !world.is_ghost(class, id) {
+                let values = (0..table.schema().len())
+                    .map(|ci| table.column(ci).get(row))
+                    .collect();
+                rows.push((id, values));
+            }
+        }
+    }
+    rows.sort_unstable_by_key(|(id, _)| *id);
+    rows
+}
+
+fn assert_identical<S: ReplicationSource>(
+    replica: &ClientReplica,
+    src: &S,
+    class: ClassId,
+    spec: &InterestSpec,
+) {
+    let expected = region(src, class, spec);
+    assert_eq!(replica.population(), expected.len(), "population diverged");
+    for (id, values) in &expected {
+        assert_eq!(
+            replica.row(class, *id),
+            Some(values.as_slice()),
+            "mirror of {id:?} diverged"
+        );
+    }
+}
+
+/// One random host-side mutation between ticks.
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn { x: f64, hp: f64 },
+    Move { slot: usize, x: f64 },
+    Hurt { slot: usize, hp: f64 },
+    Despawn { slot: usize },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (-50.0..150.0f64, 0.0..20.0f64).prop_map(|(x, hp)| Op::Spawn { x, hp }),
+        (0usize..64, -50.0..150.0f64).prop_map(|(slot, x)| Op::Move { slot, x }),
+        (0usize..64, 0.0..20.0f64).prop_map(|(slot, hp)| Op::Hurt { slot, hp }),
+        (0usize..64).prop_map(|slot| Op::Despawn { slot }),
+    ];
+    prop::collection::vec(op, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random mutation sequences stream through the wire codec into a
+    /// replica that stays value-identical to the server's subscribed
+    /// region after every frame — in both change-detection modes, with
+    /// bit-identical frames.
+    #[test]
+    fn random_delta_sequences_keep_replicas_identical(ops in ops()) {
+        let mut sim = Simulation::builder().source(GAME).build().unwrap();
+        let class = sim.world().class_id("Unit").unwrap();
+        let spec: InterestSpec = "Unit where x in [0, 100]".parse().unwrap();
+        let catalog = sim.world().catalog().clone();
+
+        let mut gen_server = ReplicationServer::new(catalog.clone());
+        let mut scan_server = ReplicationServer::with_config(
+            catalog.clone(),
+            NetConfig { use_generations: false },
+        );
+        gen_server.attach(&spec).unwrap();
+        scan_server.attach(&spec).unwrap();
+        let mut replica = ClientReplica::new(catalog.clone());
+
+        let mut live: Vec<EntityId> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Spawn { x, hp } => {
+                    let id = sim
+                        .spawn("Unit", &[("x", Value::Number(*x)), ("hp", Value::Number(*hp))])
+                        .unwrap();
+                    live.push(id);
+                }
+                Op::Move { slot, x } if !live.is_empty() => {
+                    let id = live[slot % live.len()];
+                    sim.set(id, "x", &Value::Number(*x)).unwrap();
+                }
+                Op::Hurt { slot, hp } if !live.is_empty() => {
+                    let id = live[slot % live.len()];
+                    sim.set(id, "hp", &Value::Number(*hp)).unwrap();
+                }
+                Op::Despawn { slot } if !live.is_empty() => {
+                    let id = live.remove(slot % live.len());
+                    sim.despawn(id);
+                }
+                _ => {}
+            }
+            // Stream every few mutations (batched deltas), and always
+            // after the last one.
+            if i % 3 == 2 || i + 1 == ops.len() {
+                let fg = gen_server.poll(&sim);
+                let fs = scan_server.poll(&sim);
+                prop_assert_eq!(&fg[0].1, &fs[0].1, "modes disagree");
+                replica.apply(&fg[0].1).unwrap();
+                assert_identical(&replica, &sim, class, &spec);
+            }
+        }
+    }
+
+    /// Truncating or bit-flipping a frame must yield `Corrupt`, never a
+    /// panic; applying the damaged frame must never desync the replica.
+    #[test]
+    fn damaged_frames_never_panic_or_desync(cut in 0usize..4096, pos in 0usize..4096, flip in 1u8..=255) {
+        let mut sim = Simulation::builder().source(GAME).build().unwrap();
+        for i in 0..8 {
+            sim.spawn("Unit", &[("x", Value::Number(i as f64 * 10.0))]).unwrap();
+        }
+        let catalog = sim.world().catalog().clone();
+        let mut server = ReplicationServer::new(catalog.clone());
+        server.attach_str("Unit where x in [0, 100]").unwrap();
+        let frames = server.poll(&sim);
+        let bytes = &frames[0].1;
+
+        let mut replica = ClientReplica::new(catalog.clone());
+        let pristine = replica.clone();
+        // Truncation: always an error (a valid prefix is impossible —
+        // the frame ends exactly at its last block).
+        let cut = cut % bytes.len();
+        prop_assert!(replica.apply(&bytes[..cut]).is_err());
+        // Bit flip: either rejected, or — if the flip lands in a value
+        // payload — decodes to *some* consistent mirror; never a panic.
+        let mut damaged = bytes.to_vec();
+        let at = pos % damaged.len();
+        damaged[at] ^= flip;
+        let _ = replica.apply(&damaged);
+        drop(pristine);
+    }
+}
+
+/// A subscription window straddling stripe boundaries on a 4-node
+/// cluster: contributions fan out to every overlapping node and merge
+/// into one frame; the replica equals the union of the per-node owned
+/// regions; pruned nodes are never scanned.
+#[test]
+fn straddling_subscription_fans_out_and_merges() {
+    let span = 200.0;
+    let game = Simulation::builder()
+        .source(GAME)
+        .build()
+        .unwrap()
+        .game()
+        .clone();
+    // No scripts read neighbours, so a zero halo keeps the cluster exact.
+    let mut cluster = DistSim::new(game, DistConfig::new(4, "x", (0.0, span), 5.0)).unwrap();
+    let class = cluster.game().catalog.class_by_name("Unit").unwrap().id;
+    let catalog = cluster.game().catalog.clone();
+
+    // Units spread across all four stripes ([0,50), [50,100), …).
+    let mut ids = Vec::new();
+    for i in 0..40 {
+        let x = i as f64 * 5.0; // 0, 5, …, 195
+        ids.push(cluster.spawn("Unit", &[("x", Value::Number(x))]).unwrap());
+    }
+
+    // The window [40, 110] overlaps stripes 0, 1 and 2 but not 3.
+    let spec: InterestSpec = "Unit where x in [40, 110]".parse().unwrap();
+    let mut server = ReplicationServer::new(catalog.clone());
+    server.attach(&spec).unwrap();
+    let mut replica = ClientReplica::new(catalog.clone());
+
+    let frames = server.poll(&cluster);
+    replica.apply(&frames[0].1).unwrap();
+    assert_identical(&replica, &cluster, class, &spec);
+    let stats = server.last_stats().clone();
+    assert!(
+        stats.fanout.msgs >= 3,
+        "expected ≥3 contributing shards, got {}",
+        stats.fanout.msgs
+    );
+    assert_eq!(stats.scanned, 3, "stripe 3 must be pruned from the fan-out");
+    assert!(stats.fanout.bytes > 0);
+
+    // Drive entities across the seams with host writes and steps.
+    for round in 0..6 {
+        if round % 2 == 0 {
+            // Host-side teleports, including cross-stripe re-homes.
+            for (j, &id) in ids.iter().enumerate() {
+                if j % 7 == round % 7 {
+                    let x = ((j * 37 + round * 53) % 200) as f64;
+                    cluster.set(id, "x", &Value::Number(x)).unwrap();
+                }
+            }
+            if round == 4 {
+                cluster.despawn(ids[9]);
+            }
+        } else {
+            cluster.step();
+        }
+        let frames = server.poll(&cluster);
+        replica.apply(&frames[0].1).unwrap();
+        assert_identical(&replica, &cluster, class, &spec);
+    }
+    let sstats = server.session_stats(sgl::SessionId(0)).unwrap();
+    assert!(
+        sstats.enters > 0 && sstats.exits > 0,
+        "seam crossings observed"
+    );
+}
+
+/// A checkpoint restore rebuilds every table; generation cursors held
+/// by live sessions must never false-match the rebuilt counters and
+/// skip changed state (gen values are globally unique, so an equal
+/// number of post-restore mutations cannot recreate an old cursor).
+#[test]
+fn sessions_survive_checkpoint_restore_without_false_skips() {
+    let mut sim = Simulation::builder().source(GAME).build().unwrap();
+    let class = sim.world().class_id("Unit").unwrap();
+    let spec: InterestSpec = "Unit where x in [0, 100]".parse().unwrap();
+    let catalog = sim.world().catalog().clone();
+    let a = sim.spawn("Unit", &[("x", Value::Number(10.0))]).unwrap();
+
+    let mut server = ReplicationServer::new(catalog.clone());
+    server.attach(&spec).unwrap();
+    let mut replica = ClientReplica::new(catalog);
+
+    // Establish cursors, snapshot, then diverge and roll back.
+    replica.apply(&server.poll(&sim)[0].1).unwrap();
+    let snap = sim.checkpoint();
+    sim.set(a, "hp", &Value::Number(3.0)).unwrap();
+    replica.apply(&server.poll(&sim)[0].1).unwrap();
+    sim.restore(&snap).unwrap();
+    // Same number of mutations as the session saw before the restore:
+    // a naive per-table counter would land on an aliasing value.
+    sim.set(a, "hp", &Value::Number(7.0)).unwrap();
+    replica.apply(&server.poll(&sim)[0].1).unwrap();
+    assert_identical(&replica, &sim, class, &spec);
+    assert_eq!(replica.get(class, a, "hp"), Some(Value::Number(7.0)));
+}
+
+/// Re-pointing a server at a source with a different shard count
+/// resynchronizes sessions (fresh baseline) instead of stranding
+/// mirror entries tagged with shard indexes of the old shape.
+#[test]
+fn source_shape_changes_trigger_a_resync() {
+    let span = 120.0;
+    let game = Simulation::builder()
+        .source(GAME)
+        .build()
+        .unwrap()
+        .game()
+        .clone();
+    let mut cluster = DistSim::new(game, DistConfig::new(4, "x", (0.0, span), 5.0)).unwrap();
+    let catalog = cluster.game().catalog.clone();
+    let class = catalog.class_by_name("Unit").unwrap().id;
+    for i in 0..12 {
+        cluster
+            .spawn("Unit", &[("x", Value::Number(i as f64 * 10.0))])
+            .unwrap();
+    }
+    let spec: InterestSpec = "Unit where x in [0, 120]".parse().unwrap();
+    let mut server = ReplicationServer::new(catalog.clone());
+    server.attach(&spec).unwrap();
+    let mut replica = ClientReplica::new(catalog.clone());
+    replica.apply(&server.poll(&cluster)[0].1).unwrap();
+    assert_eq!(replica.population(), 12);
+
+    // Same catalog, different deployment, smaller world: every frame
+    // after the swap must be a clean baseline of the new source.
+    let mut single = Simulation::builder().source(GAME).build().unwrap();
+    for i in 0..3 {
+        single
+            .spawn("Unit", &[("x", Value::Number(i as f64 * 10.0))])
+            .unwrap();
+    }
+    replica.apply(&server.poll(&single)[0].1).unwrap();
+    assert_identical(&replica, &single, class, &spec);
+    assert_eq!(replica.population(), 3, "no phantom entities survive");
+}
+
+/// The same subscription against a 1-node and a 4-node cluster yields
+/// bit-identical frame streams — replication is deployment-transparent.
+#[test]
+fn replication_is_identical_across_cluster_shapes() {
+    let span = 120.0;
+    let build = || {
+        Simulation::builder()
+            .source(GAME)
+            .build()
+            .unwrap()
+            .game()
+            .clone()
+    };
+    let mut one = DistSim::new(build(), DistConfig::new(1, "x", (0.0, span), 5.0)).unwrap();
+    let mut four = DistSim::new(build(), DistConfig::new(4, "x", (0.0, span), 5.0)).unwrap();
+    for i in 0..30 {
+        let vals = [("x", Value::Number(i as f64 * 4.0))];
+        assert_eq!(
+            one.spawn("Unit", &vals).unwrap(),
+            four.spawn("Unit", &vals).unwrap()
+        );
+    }
+    let catalog = one.game().catalog.clone();
+    let mut s1 = ReplicationServer::new(catalog.clone());
+    let mut s4 = ReplicationServer::new(catalog.clone());
+    s1.attach_str("Unit where x in [30, 90]").unwrap();
+    s4.attach_str("Unit where x in [30, 90]").unwrap();
+    let mut r1 = ClientReplica::new(catalog.clone());
+    let mut r4 = ClientReplica::new(catalog);
+
+    for _ in 0..5 {
+        one.step();
+        four.step();
+        let f1 = s1.poll(&one);
+        let f4 = s4.poll(&four);
+        assert_eq!(f1[0].1, f4[0].1, "frames must not depend on sharding");
+        r1.apply(&f1[0].1).unwrap();
+        r4.apply(&f4[0].1).unwrap();
+    }
+    assert_eq!(r1.population(), r4.population());
+}
