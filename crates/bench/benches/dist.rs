@@ -1,10 +1,29 @@
 //! E12: distributed tick cost vs node count (wall-clock of the whole
-//! simulated cluster step, and of the slowest node's compute).
+//! simulated cluster step, and of the slowest node's compute), plus the
+//! incremental halo-delta claim: per-tick ghost traffic is proportional
+//! to boundary *churn* (how many rows move near seams), not halo size —
+//! a mostly-static cluster world ships a fixed trickle of updates no
+//! matter how many stationary rows sit inside the halo bands.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgl::{Simulation, Value};
 use sgl_bench::{crowd_points, CROWD_GAME};
 use sgl_dist::{DistConfig, DistSim};
+
+/// A world where only rows with `vx != 0` ever change: no scripts, no
+/// cross-entity effects — churn is exactly the mover population.
+const DRIFT_ONLY: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number y = 0;
+  number vx = 0;
+update:
+  x = x + vx;
+}
+"#;
+
+const MOVERS: usize = 64;
 
 fn cluster(nodes: usize, n: usize, span: f64) -> DistSim {
     let game = Simulation::builder()
@@ -38,5 +57,60 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// Multi-node halo-delta benchmark: a 4-node cluster with `n` stationary
+/// rows (many of them inside halo bands) and a fixed 64-row mover batch.
+/// Step cost may grow with `n` (the effect phase scans owned rows), but
+/// the *ghost traffic* must stay bounded by the movers — asserted here,
+/// so running the bench doubles as a halo regression check.
+fn bench_halo_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist_halo_delta");
+    g.sample_size(10);
+    let span = 1_200.0;
+    for n in [1_000usize, 8_000, 32_000] {
+        let game = Simulation::builder()
+            .source(DRIFT_ONLY)
+            .build()
+            .unwrap()
+            .game()
+            .clone();
+        let mut sim = DistSim::new(game, DistConfig::new(4, "x", (0.0, span), 12.0)).unwrap();
+        for (x, y) in crowd_points(n, span, 0xA10E) {
+            sim.spawn("Unit", &[("x", Value::Number(x)), ("y", Value::Number(y))])
+                .unwrap();
+        }
+        for i in 0..MOVERS {
+            let x = (i as f64 / MOVERS as f64) * span;
+            sim.spawn(
+                "Unit",
+                &[("x", Value::Number(x)), ("vx", Value::Number(1.0))],
+            )
+            .unwrap();
+        }
+        sim.step(); // first exchange replicates the halo wholesale
+        sim.step(); // steady state: deltas only
+        let s = sim.last_stats();
+        assert!(s.ghosts > 0, "the bands must actually hold ghosts");
+        assert!(
+            s.ghost_traffic.msgs <= (MOVERS * 4) as u64,
+            "steady-state ghost traffic must be bounded by churn, not \
+             halo size: {} msgs for {} resident ghosts",
+            s.ghost_traffic.msgs,
+            s.ghosts
+        );
+        assert!(
+            s.ghosts as u64 > 2 * s.ghost_traffic.msgs,
+            "the resident halo ({}) must dwarf the per-tick delta ({})",
+            s.ghosts,
+            s.ghost_traffic.msgs
+        );
+        g.bench_with_input(BenchmarkId::new("step_4node", n), &n, |b, _| {
+            b.iter(|| {
+                sim.step();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_halo_delta);
 criterion_main!(benches);

@@ -18,6 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgl::{Simulation, Value};
+use sgl_dist::{DistConfig, DistSim};
 use sgl_net::{ClientReplica, NetConfig, ReplicationServer};
 
 /// Several state columns so skipping unchanged columns matters too.
@@ -104,5 +105,65 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// The same claim over a sharded source: a session attached to a 4-node
+/// `DistSim` whose halos are maintained *incrementally* keeps ~flat
+/// delta cost as the cluster world grows, because ghost-bearing stripes
+/// that did not change keep their column generations and are skipped
+/// without scanning. (Under the old drop-and-respawn halo exchange this
+/// bench degraded to a full scan of every stripe, every poll.)
+fn bench_dist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_dist");
+    g.sample_size(10);
+    for n in [1_000usize, 8_000, 32_000] {
+        let span = n as f64;
+        let game = Simulation::builder()
+            .source(GAME)
+            .build()
+            .unwrap()
+            .game()
+            .clone();
+        let mut sim = DistSim::new(game, DistConfig::new(4, "x", (0.0, span), 4.0)).unwrap();
+        // The changed batch, spread across all four stripes.
+        let mut movers = Vec::new();
+        for i in 0..CHANGED_ROWS {
+            let x = (i as f64 + 0.5) / CHANGED_ROWS as f64 * span;
+            movers.push(sim.spawn("Active", &[("x", Value::Number(x))]).unwrap());
+        }
+        // The static world, including rows inside every halo band.
+        for i in 0..n {
+            sim.spawn(
+                "Static",
+                &[
+                    ("x", Value::Number(i as f64)),
+                    ("y", Value::Number((i % 97) as f64)),
+                ],
+            )
+            .unwrap();
+        }
+        sim.step(); // materialize the halos
+
+        let catalog = sim.game().catalog.clone();
+        let mut server = ReplicationServer::new(catalog.clone());
+        server.attach_str("* where x in [-1e18, 1e18]").unwrap();
+        let mut replica = ClientReplica::new(catalog);
+        for (_, frame) in server.poll(&sim) {
+            replica.apply(&frame).unwrap();
+        }
+        // Movers shift within their stripe; the static world holds still.
+        for (j, id) in movers.iter().enumerate() {
+            let x = (j as f64 + 0.75) / CHANGED_ROWS as f64 * span;
+            sim.set(*id, "x", &Value::Number(x)).unwrap();
+        }
+        let frames = server.preview(&sim);
+        let summary = replica.apply(&frames[0].1).unwrap();
+        assert_eq!(summary.updated_cells, CHANGED_ROWS, "one cell per mover");
+
+        g.bench_with_input(BenchmarkId::new("gen_skip_4node", n), &n, |b, _| {
+            b.iter(|| server.preview(&sim))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench, bench_dist);
 criterion_main!(benches);

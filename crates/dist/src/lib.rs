@@ -12,10 +12,13 @@
 //! `nodes` contiguous stripes. Every tick ([`DistSim::step`]) is one BSP
 //! superstep:
 //!
-//! 1. **Halo exchange** — each node receives *ghost* replicas of remote
+//! 1. **Halo exchange** — each node holds *ghost* replicas of remote
 //!    entities whose partition attribute lies within `halo` of its
 //!    stripe ([`World::mark_ghost`]): readable by joins, never driving
-//!    scripts.
+//!    scripts. The exchange is **incremental** (an enter/update/exit
+//!    delta protocol, see below), so a tick's ghost traffic — and the
+//!    storage mutations it causes — scales with boundary *churn*, not
+//!    halo size.
 //! 2. **Effect phase** — each node runs the compiled set-at-a-time
 //!    executor over its owned rows (ghosts participate as join
 //!    *operands* only).
@@ -46,10 +49,39 @@
 //! all nodes. Games with `atomic` regions are rejected on multi-node
 //! clusters (cross-node transaction arbitration is unimplemented).
 //!
-//! [`DistStats`] reports the communication profile per tick (ghost and
-//! partial traffic, migrations) plus a BSP time model (slowest node's
-//! compute + synchronization rounds + bytes/bandwidth) so experiments
-//! can chart simulated cluster speedup.
+//! ## Incremental halo maintenance
+//!
+//! The halo exchange never drops-and-respawns the ghost population.
+//! Each tick, every node's *desired* ghost membership is diffed against
+//! the ghosts it already hosts (the resident replicas double as the
+//! per-link protocol state a real owner would keep to delta-encode its
+//! pushes), and only three kinds of messages ship:
+//!
+//! - **enter** — a row newly inside the halo: the full row is
+//!   replicated and marked as a ghost;
+//! - **update** — a retained ghost whose authoritative row changed:
+//!   only the changed cells are written, in place, via
+//!   [`Table::set_cell_if_changed`](sgl_storage::Table::set_cell_if_changed),
+//!   so the *unchanged* columns of the extent keep their generation
+//!   counters;
+//! - **exit** — a ghost that left the halo (moved away, migrated here,
+//!   or despawned): a targeted despawn notice.
+//!
+//! This is the state-effect discipline applied to the interconnect: a
+//! stationary boundary costs nothing per tick, and — crucially — a
+//! ghost-bearing extent whose cells did not change keeps identical
+//! column generations across ticks, so `sgl-net` replication sessions
+//! attached to a cluster skip unchanged stripes without scanning
+//! (the generation fast path a wholesale rebuild used to defeat).
+//! [`DistStats`] reports the traffic split in
+//! [`ghost_enters`](DistStats::ghost_enters) /
+//! [`ghost_updates`](DistStats::ghost_updates) /
+//! [`ghost_exits`](DistStats::ghost_exits).
+//!
+//! [`DistStats`] also reports the rest of the communication profile per
+//! tick (routed partials, migrations) plus a BSP time model (slowest
+//! node's compute + synchronization rounds + bytes/bandwidth) so
+//! experiments can chart simulated cluster speedup.
 //!
 //! [`World::mark_ghost`]: sgl_engine::World::mark_ghost
 //! [`EffectStore::take_row_partials`]: sgl_engine::EffectStore::take_row_partials
@@ -64,7 +96,9 @@ use sgl_engine::{
     reactive, update, CompiledExecutor, EffectPartial, EffectPhase, EffectStore, ExecConfig, Seed,
     TickStats, World,
 };
-use sgl_storage::{ClassId, EntityId, FxHashMap, IdGen, ScalarType, StorageError, Value};
+use sgl_storage::{
+    ClassId, EntityId, FxHashMap, FxHashSet, IdGen, ScalarType, StorageError, Value,
+};
 
 mod stats;
 #[cfg(test)]
@@ -162,12 +196,39 @@ impl DistConfig {
 /// schema order)` — the unit of ghost replication.
 type RowShipment = (usize, ClassId, EntityId, Vec<Value>);
 
+/// Per-node bookkeeping for the incremental halo exchange: the
+/// *desired* ghost membership of the upcoming tick, one set per class.
+/// Rebuilt every exchange and diffed against the ghosts the node's
+/// world already hosts (the resident replicas are the previous tick's
+/// membership and per-link values in one), yielding targeted enters,
+/// in-place updates and exits instead of a wholesale drop-and-respawn.
+/// Held per node so the set allocations are reused across ticks.
+struct HaloState {
+    desired: Vec<FxHashSet<EntityId>>,
+}
+
+impl HaloState {
+    fn new(classes: usize) -> Self {
+        HaloState {
+            desired: vec![FxHashSet::default(); classes],
+        }
+    }
+
+    fn clear(&mut self) {
+        for set in &mut self.desired {
+            set.clear();
+        }
+    }
+}
+
 /// One simulated node: a full engine world + executor + pending handler
-/// seeds, exactly the per-machine state of a real deployment.
+/// seeds + halo bookkeeping, exactly the per-machine state of a real
+/// deployment.
 struct Node {
     world: World,
     executor: CompiledExecutor,
     seeds: Vec<Seed>,
+    halo: HaloState,
 }
 
 /// A simulated shared-nothing cluster executing one compiled game.
@@ -231,6 +292,7 @@ impl DistSim {
                 world: World::new(game.catalog.clone()),
                 executor: CompiledExecutor::new(game.clone(), cfg.exec.clone()),
                 seeds: Vec::new(),
+                halo: HaloState::new(game.catalog.len()),
             })
             .collect();
         let last = DistStats::empty(cfg.nodes);
@@ -364,17 +426,26 @@ impl DistSim {
     /// Despawn an entity cluster-wide: the authoritative row on its
     /// owner and any ghost replicas still present on other nodes.
     /// Returns whether the entity existed. Pending handler seeds
-    /// targeting it evaporate exactly as in single-node execution
-    /// (seed folding skips missing targets).
+    /// targeting it are dropped immediately, exactly as in single-node
+    /// execution where seed folding skips missing targets.
+    ///
+    /// The class is resolved *before* the directory entry is removed:
+    /// if the recorded owner does not actually hold the row (a state no
+    /// healthy cluster reaches, but one a bug elsewhere could), the call
+    /// fails without mutating the directory instead of leaking an
+    /// unowned row that is alive in a node world yet unreachable
+    /// through the directory.
     pub fn despawn(&mut self, id: EntityId) -> bool {
-        let Some(node) = self.owner.remove(&id) else {
+        let Some(&node) = self.owner.get(&id) else {
             return false;
         };
         let Some(class) = self.nodes[node].world.class_of(id) else {
             return false;
         };
+        self.owner.remove(&id);
         for n in &mut self.nodes {
             n.world.despawn(class, id);
+            n.seeds.retain(|s| s.target != id);
         }
         true
     }
@@ -454,8 +525,12 @@ impl DistSim {
         let mut stats = DistStats::empty(n);
         stats.tick = self.tick;
 
-        // --- 1. Halo exchange: rebuild ghost replicas. ----------------
-        self.rebuild_halos(&mut stats);
+        // --- 1. Halo exchange: incremental ghost maintenance. ---------
+        // A 1-node cluster has no remote readers: skip the exchange
+        // entirely (no per-class ghost sweeps, zero ghost traffic).
+        if n > 1 {
+            self.maintain_halos(&mut stats);
+        }
 
         // --- 2. Effect phase on every node (superstep compute). -------
         let mut stores: Vec<EffectStore> = Vec::with_capacity(n);
@@ -551,19 +626,43 @@ impl DistSim {
         &self.last
     }
 
-    /// Drop all ghosts and re-replicate the current halo membership.
-    fn rebuild_halos(&mut self, stats: &mut DistStats) {
+    /// Incrementally reconcile every node's resident ghosts with the
+    /// current halo membership: targeted exits, in-place cell updates
+    /// for retained ghosts, full-row enters for new ones. Never called
+    /// on 1-node clusters.
+    ///
+    /// The resident ghost rows double as the per-link protocol state a
+    /// real owner would keep to delta-encode its pushes: a retained
+    /// ghost whose authoritative row did not change ships nothing and —
+    /// because unchanged cells are never rewritten — leaves the hosting
+    /// extent's column generations untouched, keeping the replication
+    /// fast path (`sgl-net`) alive on clusters.
+    ///
+    /// Compute note: *traffic* and storage mutations scale with churn,
+    /// but the gather/refresh pass itself stays O(halo) per tick. That
+    /// is deliberate, not an oversight — the refresh compare cannot be
+    /// skipped when the source extent's generations are unchanged,
+    /// because the *destination's* update phase runs its rules over
+    /// ghost rows too (with routed-away effects read as defaults), so a
+    /// resident replica can drift locally even while the owner's row
+    /// holds still (e.g. an owner whose ⊕ effect exactly cancels its
+    /// velocity). The per-cell compare is what restores exactness.
+    fn maintain_halos(&mut self, stats: &mut DistStats) {
         let game = self.game.clone();
-        for node in &mut self.nodes {
-            for cdef in game.catalog.classes() {
-                node.world.despawn_ghosts(cdef.id);
-            }
+        // Take each node's halo scratch out so the gather pass can read
+        // every world while filling per-destination desired sets.
+        let mut halos: Vec<HaloState> = self
+            .nodes
+            .iter_mut()
+            .map(|node| std::mem::replace(&mut node.halo, HaloState::new(0)))
+            .collect();
+        for halo in &mut halos {
+            halo.clear();
         }
-        if self.cfg.nodes == 1 {
-            return;
-        }
-        // Shipments are gathered first to keep the borrows simple —
-        // order is (source node, class, row, dest).
+
+        // Gather shipments (and desired membership) first to keep the
+        // borrows simple — order is (source node, class, row, dest).
+        // Resident ghosts are skipped: only authoritative rows ship.
         let mut ships: Vec<RowShipment> = Vec::new();
         for (j, node) in self.nodes.iter().enumerate() {
             for cdef in game.catalog.classes() {
@@ -573,6 +672,9 @@ impl DistSim {
                     Some(col) => {
                         let xs = table.column(col).f64();
                         for (row, &id) in table.ids().iter().enumerate() {
+                            if node.world.is_ghost(class, id) {
+                                continue;
+                            }
                             let x = xs[row];
                             // Candidate stripes are the contiguous range
                             // overlapping [x−halo, x+halo]; widen by one
@@ -583,8 +685,10 @@ impl DistSim {
                             let k_lo = self.node_of(x - self.cfg.halo_radius).saturating_sub(1);
                             let k_hi = (self.node_of(x + self.cfg.halo_radius) + 1)
                                 .min(self.cfg.nodes - 1);
-                            for k in k_lo..=k_hi {
+                            for (k, halo) in halos.iter_mut().enumerate().take(k_hi + 1).skip(k_lo)
+                            {
                                 if k != j && self.in_halo(k, x) {
+                                    halo.desired[class.0 as usize].insert(id);
                                     ships.push((k, class, id, copy_row(table, row)));
                                 }
                             }
@@ -596,7 +700,11 @@ impl DistSim {
                     // scripts read them exactly as single-node would.
                     None if j == 0 => {
                         for (row, &id) in table.ids().iter().enumerate() {
-                            for k in 1..self.cfg.nodes {
+                            if node.world.is_ghost(class, id) {
+                                continue;
+                            }
+                            for (k, halo) in halos.iter_mut().enumerate().skip(1) {
+                                halo.desired[class.0 as usize].insert(id);
                                 ships.push((k, class, id, copy_row(table, row)));
                             }
                         }
@@ -605,14 +713,80 @@ impl DistSim {
                 }
             }
         }
-        for (dest, class, id, values) in ships {
-            stats.ghosts += 1;
-            stats.ghost_traffic.msgs += 1;
-            stats.ghost_traffic.bytes += row_wire_bytes(&values);
-            let world = &mut self.nodes[dest].world;
-            insert_row(world, &game, class, id, &values).expect("ghost replication: id collision");
-            world.mark_ghost(class, id);
+
+        // Exits first (a row cannot exit and re-enter in one exchange):
+        // resident ghosts no longer desired get a targeted despawn, in
+        // ascending id order for determinism. Only the (usually empty)
+        // exit subset is collected and sorted — a stable halo pays no
+        // per-ghost allocation here.
+        for (node, halo) in self.nodes.iter_mut().zip(&halos) {
+            for cdef in game.catalog.classes() {
+                let class = cdef.id;
+                if node.world.ghost_count(class) == 0 {
+                    continue;
+                }
+                let desired = &halo.desired[class.0 as usize];
+                let mut exits: Vec<EntityId> = node
+                    .world
+                    .ghosts_of(class)
+                    .filter(|id| !desired.contains(id))
+                    .collect();
+                if exits.is_empty() {
+                    continue;
+                }
+                exits.sort_unstable();
+                for id in exits {
+                    node.world.despawn(class, id);
+                    stats.ghost_exits.msgs += 1;
+                    stats.ghost_exits.bytes += 8;
+                }
+            }
         }
+
+        // Enters and in-place updates.
+        for (dest, class, id, values) in ships {
+            let world = &mut self.nodes[dest].world;
+            if world.is_ghost(class, id) {
+                // Retained: refresh cell by cell; unchanged columns keep
+                // their generations. Traffic counts changed cells only.
+                let table = world.table_mut(class);
+                let mut changed_bytes = 0u64;
+                for (ci, v) in values.iter().enumerate() {
+                    if table
+                        .set_cell_if_changed(id, ci, v)
+                        .expect("retained ghost row present")
+                    {
+                        changed_bytes += 2 + value_wire_bytes(v);
+                    }
+                }
+                if changed_bytes > 0 {
+                    stats.ghost_updates.msgs += 1;
+                    stats.ghost_updates.bytes += 8 + changed_bytes;
+                }
+            } else {
+                insert_row(world, &game, class, id, &values)
+                    .expect("ghost replication: id collision");
+                world.mark_ghost(class, id);
+                stats.ghost_enters.msgs += 1;
+                stats.ghost_enters.bytes += row_wire_bytes(&values);
+            }
+        }
+
+        for (node, halo) in self.nodes.iter_mut().zip(halos) {
+            node.halo = halo;
+        }
+        stats.ghosts = self
+            .nodes
+            .iter()
+            .map(|node| {
+                game.catalog
+                    .classes()
+                    .iter()
+                    .map(|c| node.world.ghost_count(c.id))
+                    .sum::<usize>()
+            })
+            .sum();
+        stats.sum_ghost_traffic();
     }
 
     /// Move entities whose partition attribute left their stripe; their
@@ -650,10 +824,22 @@ impl DistSim {
             stats.migrations += 1;
         }
         // Re-route pending handler seeds to each target's (new) owner.
+        // Seeds whose target is gone — dropped from the directory, or
+        // despawned mid-tick so the recorded owner no longer holds the
+        // row — evaporate here instead of riding along in `node.seeds`
+        // until the next fold, exactly as single-node seed folding
+        // would skip them.
         for j in 0..self.cfg.nodes {
             let seeds = std::mem::take(&mut self.nodes[j].seeds);
             for seed in seeds {
-                if let Some(&dest) = self.owner.get(&seed.target) {
+                let Some(&dest) = self.owner.get(&seed.target) else {
+                    continue;
+                };
+                if self.nodes[dest]
+                    .world
+                    .row_of_class(seed.class, seed.target)
+                    .is_some()
+                {
                     self.nodes[dest].seeds.push(seed);
                 }
             }

@@ -15,10 +15,25 @@ pub struct Traffic {
 pub struct DistStats {
     /// Tick number this step executed.
     pub tick: u64,
-    /// Ghost replicas materialized this tick (halo size).
+    /// Ghost replicas resident after the halo exchange (halo size).
     pub ghosts: usize,
-    /// Halo replication traffic (owner → reader).
+    /// Halo replication traffic (owner → reader): the sum of
+    /// [`ghost_enters`](DistStats::ghost_enters),
+    /// [`ghost_updates`](DistStats::ghost_updates) and
+    /// [`ghost_exits`](DistStats::ghost_exits). Proportional to
+    /// boundary churn and remote value changes, not to halo size — the
+    /// incremental exchange ships nothing for a retained, unchanged
+    /// ghost.
     pub ghost_traffic: Traffic,
+    /// Rows that newly entered some node's halo this tick (full-row
+    /// shipments).
+    pub ghost_enters: Traffic,
+    /// Retained ghosts refreshed in place: one message per ghost with at
+    /// least one changed cell, bytes counting only the changed cells.
+    pub ghost_updates: Traffic,
+    /// Ghosts that left a halo (or despawned / migrated away): targeted
+    /// despawn notices, one id each.
+    pub ghost_exits: Traffic,
     /// Routed ⊕ partial traffic (writer → owner): effect writes that
     /// landed on ghost rows and crossed nodes.
     pub partial_traffic: Traffic,
@@ -50,6 +65,15 @@ impl DistStats {
     pub fn total_msgs(&self) -> u64 {
         self.ghost_traffic.msgs + self.partial_traffic.msgs
     }
+
+    /// Recompute `ghost_traffic` as the sum of the enter / update / exit
+    /// split (called at the end of the halo exchange).
+    pub(crate) fn sum_ghost_traffic(&mut self) {
+        self.ghost_traffic = Traffic {
+            msgs: self.ghost_enters.msgs + self.ghost_updates.msgs + self.ghost_exits.msgs,
+            bytes: self.ghost_enters.bytes + self.ghost_updates.bytes + self.ghost_exits.bytes,
+        };
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +93,23 @@ mod tests {
         assert_eq!(s.total_bytes(), 168);
         assert_eq!(s.total_msgs(), 5);
         assert_eq!(s.node_compute_nanos.len(), 4);
+    }
+
+    #[test]
+    fn ghost_traffic_sums_the_delta_split() {
+        let mut s = DistStats {
+            ghost_enters: Traffic { msgs: 2, bytes: 80 },
+            ghost_updates: Traffic { msgs: 5, bytes: 90 },
+            ghost_exits: Traffic { msgs: 1, bytes: 8 },
+            ..DistStats::empty(2)
+        };
+        s.sum_ghost_traffic();
+        assert_eq!(
+            s.ghost_traffic,
+            Traffic {
+                msgs: 8,
+                bytes: 178
+            }
+        );
     }
 }

@@ -175,8 +175,245 @@ fn one_node_cluster_needs_no_network() {
     assert_eq!(s.ghosts, 0);
     assert_eq!(s.total_bytes(), 0);
     assert_eq!(s.total_msgs(), 0);
+    // The halo exchange is skipped outright on one node: no enter /
+    // update / exit work, let alone traffic.
+    let zero = crate::Traffic::default();
+    assert_eq!(s.ghost_traffic, zero);
+    assert_eq!(s.ghost_enters, zero);
+    assert_eq!(s.ghost_updates, zero);
+    assert_eq!(s.ghost_exits, zero);
     assert_eq!(s.migrations, 0);
     assert!(s.simulated_seconds > 0.0, "compute still takes time");
+}
+
+/// A stationary workload: nothing moves, nothing is written, no script
+/// ever fires (the band `[x+1, x+2]` around entities ≥ 30 apart matches
+/// nobody, including self).
+const STILL: &str = r#"
+class U {
+state:
+  number x = 0;
+  number vx = 0;
+  number marks = 0;
+effects:
+  number mark : sum;
+update:
+  x = x + vx;
+  marks = marks + mark;
+script idle {
+  accum number c with sum over U u from U {
+    if (u.x >= x + 1 && u.x <= x + 2) {
+      c <- 1;
+      u.mark <- 1;
+    }
+  } in {
+  }
+}
+}
+"#;
+
+/// The tentpole property: a ghost-bearing extent whose cells did not
+/// change keeps *identical* column generations across consecutive
+/// `step()` calls. On the old drop-and-respawn halo exchange this
+/// fails — every tick bumped every generation of every ghost-bearing
+/// extent, defeating the replication fast path.
+#[test]
+fn unchanged_ghost_bearing_extents_keep_column_generations() {
+    let mut sim =
+        DistSim::new(compile(STILL), DistConfig::new(2, "x", (0.0, 100.0), 10.0)).unwrap();
+    // Both sit within halo reach of the seam at 50: each node hosts a
+    // ghost of the other's row.
+    let a = sim.spawn("U", &[("x", Value::Number(44.0))]).unwrap();
+    let b = sim.spawn("U", &[("x", Value::Number(56.0))]).unwrap();
+    sim.step();
+    let class = sim.node_world(0).class_of(a).unwrap();
+    assert!(sim.node_world(0).is_ghost(class, b));
+    assert!(sim.node_world(1).is_ghost(class, a));
+
+    let gens: Vec<Vec<u64>> = (0..2)
+        .map(|k| sim.node_world(k).table(class).col_gens().to_vec())
+        .collect();
+    for _ in 0..2 {
+        sim.step();
+        let s = sim.last_stats();
+        assert_eq!(s.ghosts, 2, "halo membership is stable");
+        assert_eq!(s.ghost_enters.msgs, 0);
+        assert_eq!(s.ghost_updates.msgs, 0);
+        assert_eq!(s.ghost_exits.msgs, 0);
+        assert_eq!(s.ghost_traffic.bytes, 0);
+        for (k, want) in gens.iter().enumerate() {
+            assert_eq!(
+                sim.node_world(k).table(class).col_gens(),
+                want.as_slice(),
+                "node {k}: a stationary world must not look dirty"
+            );
+        }
+    }
+
+    // Perturb one cell: exactly that column's generation moves on the
+    // owner *and* on the ghost-hosting node, all others stay put.
+    sim.set(a, "x", &Value::Number(45.0)).unwrap();
+    sim.step();
+    let s = sim.last_stats();
+    assert_eq!(s.ghost_updates.msgs, 1, "one retained ghost refreshed");
+    assert_eq!(s.ghost_enters.msgs, 0);
+    assert_eq!(s.ghost_exits.msgs, 0);
+    let xcol = sim
+        .node_world(1)
+        .table(class)
+        .schema()
+        .index_of("x")
+        .unwrap();
+    let after = sim.node_world(1).table(class).col_gens();
+    for (ci, (now, before)) in after.iter().zip(&gens[1]).enumerate() {
+        if ci == xcol {
+            assert_ne!(now, before, "the changed column must be refreshed");
+        } else {
+            assert_eq!(now, before, "column {ci} did not change");
+        }
+    }
+    assert_eq!(
+        sim.node_world(1).table(class).get(a, "x").unwrap(),
+        Value::Number(45.0),
+        "the ghost replica carries the fresh value"
+    );
+}
+
+/// The delta protocol ships enters when a row drifts into a halo,
+/// updates while it is retained, and a targeted exit when it leaves —
+/// never a wholesale re-replication.
+#[test]
+fn halo_membership_changes_ship_as_enters_updates_and_exits() {
+    let mut sim = cluster(2, 100.0, 10.0);
+    // x=38 drifting +3: outside node 1's halo (which starts at 40),
+    // crosses into it, then a host write teleports it back out.
+    let id = sim
+        .spawn(
+            "U",
+            &[("x", Value::Number(38.0)), ("vx", Value::Number(3.0))],
+        )
+        .unwrap();
+
+    sim.step(); // halo built at x=38: not ghosted
+    let s = sim.last_stats();
+    assert_eq!(s.ghosts, 0);
+    assert_eq!(s.ghost_traffic.msgs, 0);
+
+    sim.step(); // x=41 at exchange time: enters node 1's halo
+    let s = sim.last_stats();
+    assert_eq!(s.ghost_enters.msgs, 1, "full-row enter");
+    assert_eq!(s.ghost_updates.msgs, 0);
+    assert_eq!(s.ghost_exits.msgs, 0);
+    assert_eq!(s.ghosts, 1);
+    let enter_bytes = s.ghost_enters.bytes;
+
+    sim.step(); // x=44: retained, refreshed in place
+    let s = sim.last_stats();
+    assert_eq!(
+        s.ghost_enters.msgs, 0,
+        "no re-replication of a resident ghost"
+    );
+    assert_eq!(s.ghost_updates.msgs, 1);
+    assert_eq!(s.ghost_exits.msgs, 0);
+    assert!(
+        s.ghost_updates.bytes < enter_bytes,
+        "an update ships changed cells, not the full row ({} vs {enter_bytes})",
+        s.ghost_updates.bytes
+    );
+
+    sim.set(id, "x", &Value::Number(10.0)).unwrap();
+    sim.set(id, "vx", &Value::Number(0.0)).unwrap();
+    sim.step(); // left the halo: targeted exit
+    let s = sim.last_stats();
+    assert_eq!(s.ghost_exits.msgs, 1);
+    assert_eq!(s.ghost_enters.msgs, 0);
+    assert_eq!(s.ghosts, 0);
+    let class = sim.node_world(0).class_of(id).unwrap();
+    assert!(sim.node_world(1).table(class).row_of(id).is_none());
+}
+
+/// Regression (directory-leak fix): a failed despawn — the recorded
+/// owner does not hold the row — must not mutate the directory. The
+/// old code removed the directory entry *before* looking up the class,
+/// stranding the row wherever it actually lived.
+#[test]
+fn failed_despawn_does_not_mutate_the_directory() {
+    let mut sim = cluster(2, 100.0, 10.0);
+    let id = sim.spawn("U", &[("x", Value::Number(10.0))]).unwrap();
+    let class = sim.nodes[0].world.class_of(id).unwrap();
+    // Corrupt the cluster the way the historic bug scenario had it: the
+    // directory records node 0, but the row actually lives on node 1.
+    let values = {
+        let table = sim.nodes[0].world.table(class);
+        let row = table.row_of(id).unwrap() as usize;
+        crate::copy_row(table, row)
+    };
+    sim.nodes[0].world.despawn(class, id);
+    let game = sim.game.clone();
+    crate::insert_row(&mut sim.nodes[1].world, &game, class, id, &values).unwrap();
+
+    assert!(!sim.despawn(id), "row missing on the recorded owner");
+    assert!(
+        sim.owner.contains_key(&id),
+        "a failed despawn must leave the directory untouched"
+    );
+    // A second attempt behaves identically (no partial state).
+    assert!(!sim.despawn(id));
+    assert!(sim.owner.contains_key(&id));
+}
+
+/// Every tick each owned entity seeds `ping <- 1` for the next tick.
+const SEEDED: &str = r#"
+class U {
+state:
+  number x = 0;
+  number hits = 0;
+effects:
+  number ping : sum;
+update:
+  hits = hits + ping;
+when (x >= 0) {
+  ping <- 1;
+}
+}
+"#;
+
+/// Pending handler seeds targeting a despawned entity are dropped
+/// immediately (despawn purge + step-5 liveness check) instead of
+/// loitering in `node.seeds` until the next fold.
+#[test]
+fn seeds_targeting_despawned_entities_evaporate() {
+    let mut dist =
+        DistSim::new(compile(SEEDED), DistConfig::new(2, "x", (0.0, 100.0), 5.0)).unwrap();
+    let mut single = Engine::new(compile(SEEDED), EngineConfig::default()).unwrap();
+    let a = dist.spawn("U", &[("x", Value::Number(10.0))]).unwrap();
+    let b = dist.spawn("U", &[("x", Value::Number(80.0))]).unwrap();
+    for &x in &[10.0, 80.0] {
+        single.spawn("U", &[("x", Value::Number(x))]).unwrap();
+    }
+
+    dist.step();
+    single.tick();
+    assert!(
+        dist.nodes[1].seeds.iter().any(|s| s.target == b),
+        "node 1 holds a pending seed for its own entity"
+    );
+
+    // Host-side despawn between ticks: the seed must not outlive it.
+    dist.despawn(b);
+    single.despawn(b);
+    assert!(
+        dist.nodes
+            .iter()
+            .all(|n| n.seeds.iter().all(|s| s.target != b)),
+        "despawn purges pending seeds targeting the entity"
+    );
+
+    dist.step();
+    single.tick();
+    assert_eq!(dist.get(a, "hits").unwrap(), Value::Number(1.0));
+    assert_eq!(dist.get(a, "hits").unwrap(), single.get(a, "hits").unwrap());
+    assert!(dist.get(b, "hits").is_err());
 }
 
 /// A partitioned class reading (and writing) a class *without* the
@@ -230,6 +467,17 @@ fn classes_without_the_attribute_are_broadcast_replicated() {
         dist.step();
         single.tick();
     }
+    // The second exchange retains every broadcast replica: the three
+    // remote copies of the (changed) Global refresh in place, nothing
+    // re-replicates wholesale.
+    let s = dist.last_stats();
+    assert_eq!(s.ghost_enters.msgs, 0, "all replicas retained");
+    assert_eq!(s.ghost_exits.msgs, 0);
+    assert_eq!(
+        s.ghost_updates.msgs, 4,
+        "the changed Global refreshes on the three other nodes, plus \
+         the seam unit whose `seen` flipped 0→1 after the first tick"
+    );
     // Every unit saw the (remote) Global exactly once per tick…
     for &u in &units {
         assert_eq!(dist.get(u, "seen").unwrap(), Value::Number(1.0));

@@ -118,7 +118,27 @@ impl World {
         self.ghosts[class.0 as usize].len()
     }
 
-    /// Despawn every ghost of `class` (start-of-tick halo rebuild).
+    /// Iterate the ids currently marked as ghosts of `class`, in
+    /// arbitrary order and without allocating. The incremental halo
+    /// exchange filters this against the desired membership (and sorts
+    /// only the usually-empty exit subset).
+    pub fn ghosts_of(&self, class: ClassId) -> impl Iterator<Item = EntityId> + '_ {
+        self.ghosts[class.0 as usize].iter().copied()
+    }
+
+    /// Ids currently marked as ghosts of `class`, in ascending id order
+    /// (deterministic — convenient for tests and debugging dumps).
+    pub fn ghost_ids(&self, class: ClassId) -> Vec<EntityId> {
+        let mut ids: Vec<EntityId> = self.ghosts_of(class).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Despawn every ghost of `class` at once (the wholesale halo-reset
+    /// path: re-pointing a world at a different cluster shape, tests).
+    /// Steady-state distributed ticks use targeted [`World::despawn`]
+    /// per exiting ghost instead, so unchanged extents keep their
+    /// column generations.
     pub fn despawn_ghosts(&mut self, class: ClassId) {
         let ids: Vec<EntityId> = self.ghosts[class.0 as usize].drain().collect();
         for id in ids {
@@ -322,6 +342,20 @@ mod tests {
         assert_eq!(w.ghost_count(c), 0);
         assert_eq!(w.table(c).len(), 1);
         assert!(w.driving_mask(c).is_none());
+    }
+
+    #[test]
+    fn ghost_ids_are_sorted() {
+        let mut w = world_one_class();
+        let c = w.class_id("Unit").unwrap();
+        let mut spawned = Vec::new();
+        for _ in 0..5 {
+            let id = w.spawn(c, &[]).unwrap();
+            w.mark_ghost(c, id);
+            spawned.push(id);
+        }
+        spawned.sort_unstable();
+        assert_eq!(w.ghost_ids(c), spawned);
     }
 
     #[test]

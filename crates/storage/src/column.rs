@@ -216,6 +216,20 @@ impl Column {
         }
     }
 
+    /// Does the cell at `row` hold `v`? Numbers compare bitwise (a NaN
+    /// cell equals a NaN probe) and nothing is materialized — unlike
+    /// `get(row) == *v`, a `Set` comparison does not clone the stored
+    /// set. A type-mismatched probe is simply unequal.
+    pub fn cell_eq(&self, row: usize, v: &Value) -> bool {
+        match (self, v) {
+            (Column::F64(c), Value::Number(x)) => c[row].to_bits() == x.to_bits(),
+            (Column::Bool(c), Value::Bool(b)) => c[row] == *b,
+            (Column::Ref(c), Value::Ref(id)) => c[row] == *id,
+            (Column::Set(c), Value::Set(s)) => c[row] == *s,
+            _ => false,
+        }
+    }
+
     /// Write `v` at `row` (copy-on-write). The value type must match.
     pub fn set(&mut self, row: usize, v: &Value) {
         match (self, v) {

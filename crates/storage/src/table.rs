@@ -162,6 +162,31 @@ impl Table {
         Ok(())
     }
 
+    /// Overwrite one cell by column index, bumping the column's
+    /// generation only when the stored value actually differs (bitwise
+    /// for numbers, so a NaN cell compares equal to its copy and cannot
+    /// look permanently dirty). Returns whether the cell changed.
+    ///
+    /// This is the in-place row-update path incremental ghost-halo
+    /// maintenance writes through (`sgl-dist`): a retained replica row
+    /// is refreshed cell by cell, and columns whose cells all matched
+    /// keep their generations — so change-detection readers (`sgl-net`
+    /// sessions) still skip the extent without scanning.
+    pub fn set_cell_if_changed(
+        &mut self,
+        id: EntityId,
+        col: usize,
+        v: &Value,
+    ) -> Result<bool, StorageError> {
+        let row = self.row_of(id).ok_or(StorageError::NoSuchEntity(id))? as usize;
+        if self.columns[col].cell_eq(row, v) {
+            return Ok(false);
+        }
+        self.columns[col].set(row, v);
+        self.gens[col] = fresh_gen();
+        Ok(true)
+    }
+
     /// Borrow a column by index.
     #[inline]
     pub fn column(&self, idx: usize) -> &Column {
@@ -373,6 +398,42 @@ mod tests {
         let cursor = t.col_gens().to_vec();
         let t2 = Table::new(unit_schema());
         assert!(t2.col_gens().iter().zip(&cursor).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn cell_writes_preserve_generations_when_unchanged() {
+        let mut t = Table::new(unit_schema());
+        t.insert(EntityId(1), &[("x", Value::Number(2.0))]).unwrap();
+        let before = t.col_gens().to_vec();
+
+        // Identical value: no write, no generation movement.
+        assert!(!t
+            .set_cell_if_changed(EntityId(1), 0, &Value::Number(2.0))
+            .unwrap());
+        assert_eq!(t.col_gens(), before.as_slice());
+
+        // A NaN cell compares equal to itself (bitwise), so refreshing
+        // it is a no-op rather than a perpetual dirty signal.
+        t.set(EntityId(1), "y", &Value::Number(f64::NAN)).unwrap();
+        let before = t.col_gens().to_vec();
+        assert!(!t
+            .set_cell_if_changed(EntityId(1), 1, &Value::Number(f64::NAN))
+            .unwrap());
+        assert_eq!(t.col_gens(), before.as_slice());
+
+        // A real change writes the cell and bumps only that column.
+        assert!(t
+            .set_cell_if_changed(EntityId(1), 0, &Value::Number(3.0))
+            .unwrap());
+        assert_eq!(t.get(EntityId(1), "x").unwrap(), Value::Number(3.0));
+        assert_ne!(t.col_gen(0), before[0]);
+        assert_eq!(t.col_gen(1), before[1]);
+        assert_eq!(t.col_gen(2), before[2]);
+
+        // Unknown entity: error, not a panic.
+        assert!(t
+            .set_cell_if_changed(EntityId(9), 0, &Value::Number(0.0))
+            .is_err());
     }
 
     #[test]

@@ -98,23 +98,47 @@ fn main() {
         ids.push(id);
     }
 
-    println!("| tick | ghosts | KB moved | migrations | max shard compute | sim tick |");
-    println!("|------|--------|----------|------------|--------------------|----------|");
+    println!(
+        "| tick | ghosts | enter/upd/exit | KB moved | migrations | max shard compute | sim tick |"
+    );
+    println!(
+        "|------|--------|----------------|----------|------------|--------------------|----------|"
+    );
+    let mut churn = 0u64; // enters + exits after warm-up
+    let mut halo = 0u64; // resident halo size after warm-up
     for t in 0..12 {
         cluster.step();
         single.tick();
         let s = cluster.last_stats();
+        if t >= 2 {
+            churn += s.ghost_enters.msgs + s.ghost_exits.msgs;
+            halo += s.ghosts as u64;
+        }
         if t % 2 == 1 {
             println!(
-                "| {} | {} | {:.1} | {} | {:.2} ms | {:.2} ms |",
+                "| {} | {} | {}/{}/{} | {:.1} | {} | {:.2} ms | {:.2} ms |",
                 t + 1,
                 s.ghosts,
+                s.ghost_enters.msgs,
+                s.ghost_updates.msgs,
+                s.ghost_exits.msgs,
                 s.total_bytes() as f64 / 1024.0,
                 s.migrations,
                 *s.node_compute_nanos.iter().max().unwrap_or(&0) as f64 / 1e6,
                 s.simulated_seconds * 1e3,
             );
         }
+    }
+    // Halo regression gate (runs in CI): the incremental exchange must
+    // ship enters/exits proportional to seam churn — players move ≤2
+    // per tick against a 30-wide halo band — never re-replicate the
+    // resident halo wholesale.
+    if shards > 1 && halo > 0 {
+        assert!(
+            churn * 2 < halo,
+            "halo churn ({churn}) must stay well below the resident halo ({halo}): \
+             the exchange is re-replicating instead of diffing"
+        );
     }
 
     // Exactness: every player's every attribute matches the single

@@ -307,6 +307,86 @@ fn source_shape_changes_trigger_a_resync() {
     assert_eq!(replica.population(), 3, "no phantom entities survive");
 }
 
+/// Regression for the incremental halo exchange: a session attached to
+/// a multi-node `DistSim` must skip unchanged stripes via generation
+/// counters, even when those stripes host ghost replicas. The old
+/// drop-and-respawn halo rebuild bumped every column generation of
+/// every ghost-bearing extent each tick, so a stationary cluster world
+/// looked permanently dirty and every poll re-scanned every stripe.
+#[test]
+fn dist_sessions_skip_unchanged_stripes() {
+    let span = 200.0;
+    let game = Simulation::builder()
+        .source(GAME)
+        .build()
+        .unwrap()
+        .game()
+        .clone();
+    let mut cluster = DistSim::new(game, DistConfig::new(4, "x", (0.0, span), 8.0)).unwrap();
+    let catalog = cluster.game().catalog.clone();
+    let class = catalog.class_by_name("Unit").unwrap().id;
+    // Units in every stripe, including seam-straddlers at 45/55/95/105/…
+    // so every node hosts ghost replicas.
+    for i in 0..40 {
+        cluster
+            .spawn("Unit", &[("x", Value::Number(i as f64 * 5.0))])
+            .unwrap();
+    }
+    cluster.step();
+    assert!(
+        (0..4).any(|k| {
+            let w = cluster.node_world(k);
+            w.table(class).ids().iter().any(|&id| w.is_ghost(class, id))
+        }),
+        "the setup must actually produce ghost-bearing extents"
+    );
+
+    let spec: InterestSpec = "Unit where x in [0, 200]".parse().unwrap();
+    let mut server = ReplicationServer::new(catalog.clone());
+    server.attach(&spec).unwrap();
+    let mut replica = ClientReplica::new(catalog);
+    replica.apply(&server.poll(&cluster)[0].1).unwrap();
+    let baseline_bytes = server.last_stats().total_bytes();
+
+    // GAME has no update rules: further ticks change nothing, and the
+    // incremental exchange must leave every generation untouched.
+    for _ in 0..3 {
+        cluster.step();
+        assert_eq!(cluster.last_stats().ghost_traffic.msgs, 0);
+        let frames = server.poll(&cluster);
+        replica.apply(&frames[0].1).unwrap();
+        let stats = server.last_stats();
+        assert_eq!(
+            stats.scanned, 0,
+            "unchanged stripes must be skipped without scanning"
+        );
+        assert!(stats.skipped_scans > 0);
+        assert_eq!(stats.updated_cells, 0);
+        assert!(
+            stats.total_bytes() < baseline_bytes / 10,
+            "steady-state delta frames must be near-empty ({} vs baseline {baseline_bytes})",
+            stats.total_bytes()
+        );
+    }
+    assert_identical(&replica, &cluster, class, &spec);
+
+    // One remote write dirties exactly the stripes that hold the row
+    // (owner + ghost host); the rest stay skipped.
+    let moved = cluster.node_world(1).table(class).ids()[0];
+    cluster.set(moved, "hp", &Value::Number(3.0)).unwrap();
+    cluster.step();
+    let frames = server.poll(&cluster);
+    replica.apply(&frames[0].1).unwrap();
+    let stats = server.last_stats();
+    assert!(
+        stats.scanned >= 1 && stats.scanned <= 2,
+        "owner stripe (+ ghost host) only, got {}",
+        stats.scanned
+    );
+    assert!(stats.skipped_scans > 0, "untouched stripes still skip");
+    assert_identical(&replica, &cluster, class, &spec);
+}
+
 /// The same subscription against a 1-node and a 4-node cluster yields
 /// bit-identical frame streams — replication is deployment-transparent.
 #[test]
