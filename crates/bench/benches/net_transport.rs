@@ -1,0 +1,131 @@
+//! Per-tick cost of the real TCP transport at 1 / 8 / 64 connected
+//! sessions, over loopback.
+//!
+//! One measured iteration is a full server tick as a deployment would
+//! run it: every client writes one `set` intent to the socket, the
+//! listener accepts/drains/validates/applies them, a fixed 64-row batch
+//! of the world churns, the tick advances, the listener pumps one delta
+//! frame to every session, and every client blocks until its frame is
+//! applied. The interesting curve is cost vs. session count: delta
+//! extraction is shared (generation counters), so the marginal session
+//! should cost little more than its socket writes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl::World;
+use sgl_net::{Intent, NetClient, NetListener};
+use sgl_storage::{
+    Catalog, ClassDef, ClassId, ColumnSpec, EntityId, Owner, ScalarType, Schema, Value,
+};
+
+const WORLD_ROWS: usize = 4096;
+const CHANGED_ROWS: usize = 64;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(ClassDef {
+        id: ClassId(0),
+        name: "Unit".into(),
+        state: Schema::from_cols(vec![
+            ColumnSpec::new("x", ScalarType::Number),
+            ColumnSpec::new("hp", ScalarType::Number),
+        ]),
+        effects: vec![],
+        owners: vec![Owner::Expression; 2],
+    });
+    cat
+}
+
+struct Rig {
+    listener: NetListener,
+    world: World,
+    clients: Vec<NetClient>,
+    ids: Vec<EntityId>,
+}
+
+fn rig(sessions: usize) -> Rig {
+    let cat = catalog();
+    let mut world = World::new(cat.clone());
+    let mut ids = Vec::with_capacity(WORLD_ROWS);
+    for i in 0..WORLD_ROWS {
+        ids.push(
+            world
+                .spawn(ClassId(0), &[("x", Value::Number((i % 1000) as f64))])
+                .unwrap(),
+        );
+    }
+    let mut listener = NetListener::bind("127.0.0.1:0", cat.clone()).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let spec = "Unit where x in [0, 1000]".parse().unwrap();
+    let pending: Vec<_> = (0..sessions)
+        .map(|_| NetClient::start_connect(addr, cat.clone(), &spec).unwrap())
+        .collect();
+    while listener.session_count() < sessions {
+        listener.accept_pending().unwrap();
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let mut clients: Vec<NetClient> = pending.into_iter().map(|p| p.finish().unwrap()).collect();
+    // Ship the baseline so measurement covers steady-state ticks, and
+    // grant each session one entity so its intents pass validation.
+    world.advance_tick();
+    listener.pump_frames(&world);
+    for (i, client) in clients.iter_mut().enumerate() {
+        client.recv_frame().unwrap();
+        listener.grant(client.session(), ids[CHANGED_ROWS + i]);
+    }
+    Rig {
+        listener,
+        world,
+        clients,
+        ids,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_transport");
+    g.sample_size(10);
+    for sessions in [1usize, 8, 64] {
+        let Rig {
+            mut listener,
+            mut world,
+            mut clients,
+            ids,
+        } = rig(sessions);
+        let mut round = 0u64;
+        g.bench_with_input(BenchmarkId::new("tick", sessions), &sessions, |b, _| {
+            b.iter(|| {
+                round += 1;
+                // Client → server: one intent per session, on the
+                // entity the host granted it.
+                for (i, client) in clients.iter_mut().enumerate() {
+                    client
+                        .send(vec![Intent::Set {
+                            class: ClassId(0),
+                            id: ids[CHANGED_ROWS + i],
+                            col: 1,
+                            value: Value::Number(round as f64),
+                        }])
+                        .unwrap();
+                }
+                listener.accept_pending().unwrap();
+                let report = listener.drain_inputs(&mut world);
+                assert_eq!(report.rejected, 0);
+                // The world churns a fixed batch.
+                for &id in &ids[..CHANGED_ROWS] {
+                    world
+                        .set(id, "hp", &Value::Number((round * 7 % 1000) as f64))
+                        .unwrap();
+                }
+                world.advance_tick();
+                listener.pump_frames(&world);
+                // Server → clients: everyone applies this tick's frame.
+                for client in clients.iter_mut() {
+                    client.recv_frame().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

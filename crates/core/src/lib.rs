@@ -81,8 +81,8 @@ pub use sgl_frontend::Diagnostics;
 pub use sgl_index::IndexKind;
 pub use sgl_net as net;
 pub use sgl_net::{
-    ClientReplica, InterestSpec, NetError, NetStats, ReplicationServer, ReplicationSource,
-    SessionId,
+    ClientReplica, InputSink, Intent, InterestSpec, NetClient, NetError, NetListener, NetStats,
+    ReplicationServer, ReplicationSource, SessionId,
 };
 pub use sgl_opt::PlannerConfig;
 pub use sgl_relalg::JoinMethod;
@@ -344,6 +344,37 @@ impl ReplicationSource for Simulation {
 
     fn source_tick(&self) -> u64 {
         self.world().tick()
+    }
+}
+
+/// A [`Simulation`] also accepts validated client intents streamed over
+/// the `sgl-net` transport: hand it to
+/// [`NetListener::drain_inputs`](sgl_net::NetListener::drain_inputs)
+/// each tick, before [`Simulation::tick`].
+impl InputSink for Simulation {
+    fn input_catalog(&self) -> &sgl_storage::Catalog {
+        self.world().catalog()
+    }
+
+    fn input_class_of(&self, id: EntityId) -> Option<ClassId> {
+        self.world().class_of(id)
+    }
+
+    fn input_spawn(
+        &mut self,
+        class: ClassId,
+        values: &[(&str, Value)],
+    ) -> Result<EntityId, String> {
+        let name = self.world().catalog().class(class).name.clone();
+        self.spawn(&name, values).map_err(|e| e.to_string())
+    }
+
+    fn input_set(&mut self, id: EntityId, attr: &str, v: &Value) -> Result<(), String> {
+        Simulation::set(self, id, attr, v).map_err(|e| e.to_string())
+    }
+
+    fn input_despawn(&mut self, id: EntityId) -> bool {
+        Simulation::despawn(self, id)
     }
 }
 

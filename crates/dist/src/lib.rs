@@ -381,6 +381,14 @@ impl DistSim {
         Ok(id)
     }
 
+    /// The class of a live entity, resolved through the ownership
+    /// directory (ghost replicas on other nodes do not count as
+    /// existence). `None` if the entity does not exist cluster-wide.
+    pub fn class_of(&self, id: EntityId) -> Option<ClassId> {
+        let &node = self.owner.get(&id)?;
+        self.nodes[node].world.class_of(id)
+    }
+
     /// Read one attribute from the entity's owning node (the
     /// authoritative copy).
     pub fn get(&self, id: EntityId, attr: &str) -> Result<Value, DistError> {

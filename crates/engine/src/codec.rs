@@ -77,6 +77,31 @@ pub fn check_count(count: u64, buf: &[u8], min_elem_bytes: usize) -> Result<usiz
     Ok(count as usize)
 }
 
+/// Append a u16-length-prefixed UTF-8 string (used by the `sgl-net`
+/// transport handshake; wire frames themselves never carry strings).
+/// Strings longer than `u16::MAX` bytes are truncated at a char
+/// boundary — handshake strings are short by construction.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    let mut end = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u16(buf, end as u16);
+    buf.put_slice(&s.as_bytes()[..end]);
+}
+
+/// Read a u16-length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+    let len = get_u16(buf)? as usize;
+    if buf.remaining() < len {
+        return Err("truncated");
+    }
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| "invalid utf-8")?;
+    let s = s.to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
 /// Encode one tagged [`Value`].
 pub fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
@@ -163,6 +188,25 @@ mod tests {
         }
         let mut r: &[u8] = &[9u8];
         assert_eq!(get_value(&mut r), Err("bad value tag"));
+    }
+
+    #[test]
+    fn strings_roundtrip_and_reject_damage() {
+        for s in ["", "Player where x in [0, 100]", "uni\u{2764}code"] {
+            let mut buf = BytesMut::with_capacity(64);
+            put_str(&mut buf, s);
+            let frozen = buf.freeze();
+            let mut r: &[u8] = &frozen;
+            assert_eq!(get_str(&mut r).unwrap(), s);
+            assert_eq!(r.remaining(), 0);
+            for cut in 0..frozen.len() {
+                let mut r: &[u8] = &frozen[..cut];
+                assert!(get_str(&mut r).is_err(), "cut at {cut}");
+            }
+        }
+        // Invalid UTF-8 is rejected, not lossily decoded.
+        let mut r: &[u8] = &[2, 0, 0xFF, 0xFE];
+        assert_eq!(get_str(&mut r), Err("invalid utf-8"));
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The client end of the wire: a blocking [`NetClient`] wraps a
+//! [`ClientReplica`] over a TCP socket — connect, declare interest,
+//! receive one delta frame per server tick, and push intents back.
+//!
+//! ```no_run
+//! use sgl_net::{InterestSpec, Intent, NetClient};
+//! # fn main() -> Result<(), sgl_net::NetError> {
+//! # let catalog = sgl_storage::Catalog::new();
+//! let spec: InterestSpec = "Player where x in [0, 100]".parse()?;
+//! let mut client = NetClient::connect("127.0.0.1:4000", catalog, &spec)?;
+//! loop {
+//!     client.recv_frame()?; // blocks for the next server tick
+//!     for (_req, id) in client.take_spawned() {
+//!         println!("server granted us {id:?}");
+//!     }
+//! }
+//! # }
+//! ```
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sgl_storage::{Catalog, EntityId};
+
+use crate::input::{self, InputBatch, Intent};
+use crate::replica::{ApplySummary, ClientReplica};
+use crate::server::SessionId;
+use crate::transport::{
+    decode_spawned, decode_welcome, hello_payload, read_msg, write_msg, DEFAULT_MAX_MSG, MSG_ERROR,
+    MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_SPAWNED, MSG_WELCOME, PROTOCOL_VERSION,
+};
+use crate::{InterestSpec, NetError};
+
+/// One message-level event delivered by [`NetClient::recv`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// A replication frame arrived and was applied to the replica.
+    Frame(ApplySummary),
+    /// The server acknowledged a spawn intent: `(req token, id)`.
+    Spawned(u32, EntityId),
+}
+
+/// A connection whose `HELLO` is sent but whose `WELCOME` has not been
+/// read yet. Splitting the handshake lets single-threaded harnesses
+/// open several clients before the server runs its accept loop.
+pub struct PendingClient {
+    stream: TcpStream,
+    catalog: Catalog,
+}
+
+impl PendingClient {
+    /// Block until the server answers, completing the handshake.
+    pub fn finish(self) -> Result<NetClient, NetError> {
+        let mut stream = self.stream;
+        let (kind, payload) = read_msg(&mut stream, DEFAULT_MAX_MSG)?;
+        match kind {
+            k if k == MSG_ERROR => Err(NetError::Refused(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            k if k == MSG_WELCOME => {
+                let (version, session) = decode_welcome(&payload)?;
+                if version != PROTOCOL_VERSION {
+                    return Err(NetError::Refused(format!(
+                        "server speaks protocol {version}, client speaks {PROTOCOL_VERSION}"
+                    )));
+                }
+                Ok(NetClient {
+                    stream,
+                    session: SessionId(session),
+                    replica: ClientReplica::new(self.catalog),
+                    spawned: Vec::new(),
+                })
+            }
+            _ => Err(NetError::Corrupt("unexpected handshake reply")),
+        }
+    }
+}
+
+/// A blocking TCP replication client: a [`ClientReplica`] kept in sync
+/// by the frame stream, plus an intent pipe back to the server.
+pub struct NetClient {
+    stream: TcpStream,
+    session: SessionId,
+    replica: ClientReplica,
+    /// Spawn acknowledgements collected while waiting for frames.
+    spawned: Vec<(u32, EntityId)>,
+}
+
+impl NetClient {
+    /// Connect, subscribe, and block until the server answers.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
+        spec: &InterestSpec,
+    ) -> Result<NetClient, NetError> {
+        Self::start_connect(addr, catalog, spec)?.finish()
+    }
+
+    /// Connect and send `HELLO` without waiting for the reply; call
+    /// [`PendingClient::finish`] to complete the handshake.
+    pub fn start_connect(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
+        spec: &InterestSpec,
+    ) -> Result<PendingClient, NetError> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| NetError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        write_msg(
+            &mut stream,
+            MSG_HELLO,
+            &hello_payload(PROTOCOL_VERSION, &spec.to_string()),
+        )?;
+        Ok(PendingClient { stream, catalog })
+    }
+
+    /// The session id the server assigned.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The mirror of the subscribed region.
+    pub fn replica(&self) -> &ClientReplica {
+        &self.replica
+    }
+
+    /// Server tick of the last applied frame.
+    pub fn tick(&self) -> u64 {
+        self.replica.tick()
+    }
+
+    /// Block for the next message. Frames are applied to the replica
+    /// before being reported; an `ERROR` notice (or a closed socket)
+    /// surfaces as `Err` — the session is over.
+    pub fn recv(&mut self) -> Result<ClientEvent, NetError> {
+        let (kind, payload) = read_msg(&mut self.stream, DEFAULT_MAX_MSG)?;
+        match kind {
+            k if k == MSG_FRAME => {
+                let summary = self.replica.apply(&payload)?;
+                Ok(ClientEvent::Frame(summary))
+            }
+            k if k == MSG_SPAWNED => {
+                let (req, id) = decode_spawned(&payload)?;
+                let id = EntityId(id);
+                self.spawned.push((req, id));
+                Ok(ClientEvent::Spawned(req, id))
+            }
+            k if k == MSG_ERROR => Err(NetError::Refused(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
+            _ => Err(NetError::Corrupt("unexpected message kind")),
+        }
+    }
+
+    /// Block until the next replication frame, collecting any spawn
+    /// acknowledgements that arrive first (fetch them with
+    /// [`NetClient::take_spawned`]).
+    pub fn recv_frame(&mut self) -> Result<ApplySummary, NetError> {
+        loop {
+            if let ClientEvent::Frame(summary) = self.recv()? {
+                return Ok(summary);
+            }
+        }
+    }
+
+    /// Spawn acknowledgements received so far (drains the queue).
+    pub fn take_spawned(&mut self) -> Vec<(u32, EntityId)> {
+        std::mem::take(&mut self.spawned)
+    }
+
+    /// Send a batch of intents, stamped with this session's id and the
+    /// last applied server tick.
+    pub fn send(&mut self, intents: Vec<Intent>) -> Result<(), NetError> {
+        let batch = InputBatch {
+            session: self.session.0,
+            tick: self.replica.tick(),
+            intents,
+        };
+        write_msg(&mut self.stream, MSG_INPUT, &input::encode(&batch))
+    }
+}

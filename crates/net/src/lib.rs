@@ -32,6 +32,28 @@
 //! shard→server traffic is reported in [`NetStats::fanout`] using
 //! `sgl-dist`'s [`Traffic`](sgl_dist::Traffic) counters.
 //!
+//! ## The wire (`transport` / `listener` / `client`)
+//!
+//! The same frames travel over real TCP (`std::net`, length-prefixed
+//! framing, no async runtime): a [`NetListener`] accepts connections
+//! and handshakes them — the client's `HELLO` carries the protocol
+//! version and its [`InterestSpec`]; the server answers `WELCOME` with
+//! the session id, or `ERROR` and a close. Each tick the listener
+//! **drains** client→server [input frames](crate::input) (`spawn` /
+//! `set` / `despawn` intents, session- and tick-stamped), validates
+//! them against the catalog and the session's owned-entity set, applies
+//! the survivors through an [`InputSink`]
+//! ([`Engine`](sgl_engine::Engine), [`DistSim`](sgl_dist::DistSim), or
+//! `Simulation`), and **pumps** one `SGN1` delta frame per session with
+//! per-session backpressure accounting ([`NetStats::backlog_bytes`]).
+//! Structurally corrupt traffic disconnects its session; semantically
+//! invalid intents are rejected and counted
+//! ([`NetStats::inputs_rejected`]) without touching the world or other
+//! sessions. The blocking [`NetClient`] mirrors the subscribed region
+//! through a [`ClientReplica`] and pushes intents back — the cluster
+//! path is end-to-end: socket client → listener → `DistSim` stripes →
+//! delta frame back.
+//!
 //! ## Example
 //!
 //! ```
@@ -71,16 +93,23 @@
 //! assert_eq!(replica.get(class, near, "hp"), Some(Value::Number(10.0)));
 //! ```
 
+mod client;
+pub mod input;
 mod interest;
+mod listener;
 mod replica;
 mod server;
 mod stats;
+pub mod transport;
 pub mod wire;
 
 #[cfg(test)]
 pub(crate) mod tests;
 
+pub use client::{ClientEvent, NetClient, PendingClient};
+pub use input::{apply_batch, BatchReport, InputBatch, InputSink, Intent};
 pub use interest::InterestSpec;
+pub use listener::{DrainReport, ListenerConfig, NetListener};
 pub use replica::{ApplySummary, ClientReplica};
 pub use server::{NetConfig, ReplicationServer, ReplicationSource, SessionId};
 pub use stats::{NetStats, SessionStats};
@@ -93,6 +122,12 @@ pub enum NetError {
     Corrupt(&'static str),
     /// An interest subscription failed to parse or resolve.
     BadSubscription(String),
+    /// A socket operation failed (connect, read, write, or the peer
+    /// hung up).
+    Io(String),
+    /// The peer refused us: handshake rejection or a server `ERROR`
+    /// notice before disconnecting.
+    Refused(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -100,6 +135,8 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
             NetError::BadSubscription(what) => write!(f, "bad subscription: {what}"),
+            NetError::Io(what) => write!(f, "io: {what}"),
+            NetError::Refused(what) => write!(f, "refused: {what}"),
         }
     }
 }

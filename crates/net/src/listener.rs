@@ -1,0 +1,505 @@
+//! The server end of the wire: a [`NetListener`] accepts TCP
+//! connections, handshakes them into replication sessions, drains and
+//! validates their input frames each tick, and pumps one delta frame
+//! per session per tick with per-session backpressure accounting.
+//!
+//! ## Tick loop
+//!
+//! ```text
+//! listener.accept_pending();        // new connections + handshakes
+//! listener.drain_inputs(&mut sim);  // validate + apply client intents
+//! sim.step();                       // the game tick
+//! listener.pump_frames(&sim);       // one SGN1 delta per session
+//! ```
+//!
+//! ## Handshake
+//!
+//! The client opens with `HELLO { version, interest spec }`. A version
+//! mismatch or an unparseable/unresolvable subscription is answered
+//! with `ERROR { reason }` and the connection closes; otherwise the
+//! server attaches a [`ReplicationServer`] session and answers
+//! `WELCOME { version, session id }`. The session's first `FRAME` is a
+//! baseline snapshot of the subscribed region.
+//!
+//! ## Disconnection policy
+//!
+//! Structural protocol violations — a hostile length prefix, a corrupt
+//! `SGI1` payload, an input frame carrying someone else's session id,
+//! an unexpected message kind — disconnect the offending session (with
+//! a best-effort `ERROR` notice). *Semantically* invalid intents inside
+//! a well-formed frame are rejected and counted, but the session lives
+//! on; see [`apply_batch`](crate::input::apply_batch). Either way other
+//! sessions are never affected.
+//!
+//! ## Backpressure
+//!
+//! Frames are written with non-blocking sockets; bytes the kernel will
+//! not take are queued per session and retried on the next pump (or an
+//! explicit [`NetListener::flush`]). [`NetStats::backlog_bytes`] reports
+//! the queue depth; a session whose queue exceeds
+//! [`ListenerConfig::max_queued`] is disconnected — a client that stops
+//! reading cannot pin server memory. Pre-handshake peers cannot
+//! either: the pending queue is capped
+//! ([`ListenerConfig::max_pending`]), the `HELLO` has its own tight
+//! length limit ([`ListenerConfig::max_hello`]), and a connection that
+//! has not completed its handshake within
+//! [`ListenerConfig::handshake_timeout`] is dropped.
+
+use std::io::{ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use sgl_storage::{Catalog, EntityId, FxHashMap, FxHashSet};
+
+use crate::input::{self, apply_batch, BatchReport, InputSink};
+use crate::server::{NetConfig, ReplicationServer, ReplicationSource, SessionId};
+use crate::stats::NetStats;
+use crate::transport::{
+    decode_hello, frame_msg, spawned_payload, welcome_payload, MsgReader, DEFAULT_MAX_MSG,
+    MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_SPAWNED, MSG_WELCOME, PROTOCOL_VERSION,
+};
+use crate::{InterestSpec, NetError};
+
+/// Transport configuration of a [`NetListener`].
+#[derive(Debug, Clone)]
+pub struct ListenerConfig {
+    /// Replication configuration handed to the inner
+    /// [`ReplicationServer`].
+    pub net: NetConfig,
+    /// Upper bound on one inbound message's length.
+    pub max_msg: usize,
+    /// Upper bound on a session's outbound send queue; beyond it the
+    /// session is disconnected (backpressure overflow).
+    pub max_queued: usize,
+    /// Upper bound on simultaneously accepted connections that have not
+    /// completed their handshake; excess connections are closed on
+    /// accept (pre-handshake peers must not pin server memory either).
+    pub max_pending: usize,
+    /// Upper bound on the `HELLO` message length (a handshake needs a
+    /// version and a subscription string — far below `max_msg`).
+    pub max_hello: usize,
+    /// How long an accepted connection may dawdle before sending its
+    /// complete `HELLO`; beyond it the connection is dropped.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> Self {
+        ListenerConfig {
+            net: NetConfig::default(),
+            max_msg: DEFAULT_MAX_MSG,
+            max_queued: 8 * 1024 * 1024,
+            max_pending: 256,
+            max_hello: 64 * 1024,
+            handshake_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// An accepted connection still waiting for its `HELLO`.
+struct Pending {
+    stream: TcpStream,
+    reader: MsgReader,
+    accepted_at: Instant,
+}
+
+/// One handshaken session's transport state.
+struct Conn {
+    stream: TcpStream,
+    reader: MsgReader,
+    /// Outbound bytes the kernel has not accepted yet.
+    wr: Vec<u8>,
+    /// Entities this session may write (spawned via its intents or
+    /// granted by the host).
+    owned: FxHashSet<EntityId>,
+    /// The client's last reported applied tick (from input stamps).
+    last_input_tick: u64,
+}
+
+/// Counters accumulated between pumps (drain runs before the tick,
+/// the pump after; both fold into the same [`NetStats`]).
+#[derive(Default)]
+struct TickCounters {
+    input_msgs: u64,
+    input_bytes: u64,
+    applied: u64,
+    rejected: u64,
+    disconnects: u64,
+}
+
+/// What one [`NetListener::drain_inputs`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Input messages drained across all sessions.
+    pub msgs: u64,
+    /// Intents applied to the sink.
+    pub applied: u64,
+    /// Intents rejected by validation.
+    pub rejected: u64,
+    /// Sessions disconnected (corrupt frames, protocol violations,
+    /// hangups).
+    pub disconnects: u64,
+}
+
+/// A TCP replication server: the in-process [`ReplicationServer`]
+/// behind a real wire. See the [module docs](self) for the protocol.
+pub struct NetListener {
+    listener: TcpListener,
+    cfg: ListenerConfig,
+    repl: ReplicationServer,
+    pending: Vec<Pending>,
+    conns: FxHashMap<u32, Conn>,
+    counters: TickCounters,
+    last: NetStats,
+}
+
+impl NetListener {
+    /// Bind on `addr` (use port 0 for an OS-assigned port) for sources
+    /// sharing `catalog`.
+    pub fn bind(addr: impl ToSocketAddrs, catalog: Catalog) -> std::io::Result<NetListener> {
+        Self::bind_with_config(addr, catalog, ListenerConfig::default())
+    }
+
+    /// Bind with an explicit [`ListenerConfig`].
+    pub fn bind_with_config(
+        addr: impl ToSocketAddrs,
+        catalog: Catalog,
+        cfg: ListenerConfig,
+    ) -> std::io::Result<NetListener> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let repl = ReplicationServer::with_config(catalog, cfg.net.clone());
+        Ok(NetListener {
+            listener,
+            cfg,
+            repl,
+            pending: Vec::new(),
+            conns: FxHashMap::default(),
+            counters: TickCounters::default(),
+            last: NetStats::default(),
+        })
+    }
+
+    /// The bound address (where clients connect).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared catalog sessions are validated against.
+    pub fn catalog(&self) -> &Catalog {
+        self.repl.catalog()
+    }
+
+    /// Accepted connections still waiting for their `HELLO`.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Handshaken sessions currently connected.
+    pub fn session_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Session ids of the connected sessions (ascending).
+    pub fn sessions(&self) -> Vec<SessionId> {
+        let mut ids: Vec<u32> = self.conns.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(SessionId).collect()
+    }
+
+    /// The interest subscription a session handshook with.
+    pub fn session_interest(&self, sid: SessionId) -> Option<&InterestSpec> {
+        self.repl.session_interest(sid)
+    }
+
+    /// Cumulative replication/input statistics of one session.
+    pub fn session_stats(&self, sid: SessionId) -> Option<&crate::SessionStats> {
+        self.repl.session_stats(sid)
+    }
+
+    /// Statistics of the last [`NetListener::pump_frames`] (replication
+    /// counters plus the transport counters accumulated since the
+    /// previous pump).
+    pub fn last_stats(&self) -> &NetStats {
+        &self.last
+    }
+
+    /// Entities a session owns (may write via intents).
+    pub fn owned(&self, sid: SessionId) -> Option<&FxHashSet<EntityId>> {
+        self.conns.get(&sid.0).map(|c| &c.owned)
+    }
+
+    /// Host-side ownership grant: allow `sid` to write `id` (e.g. the
+    /// avatar the game assigned to this player). Returns `false` for
+    /// unknown sessions.
+    pub fn grant(&mut self, sid: SessionId, id: EntityId) -> bool {
+        match self.conns.get_mut(&sid.0) {
+            Some(conn) => {
+                conn.owned.insert(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Accept queued TCP connections and progress handshakes. Returns
+    /// the number of sessions that completed their handshake.
+    pub fn accept_pending(&mut self) -> std::io::Result<usize> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.pending.len() >= self.cfg.max_pending {
+                        // Pre-handshake flood: close instead of queueing.
+                        drop(stream);
+                        continue;
+                    }
+                    stream.set_nonblocking(true)?;
+                    let _ = stream.set_nodelay(true);
+                    self.pending.push(Pending {
+                        stream,
+                        reader: MsgReader::new(self.cfg.max_hello.min(self.cfg.max_msg)),
+                        accepted_at: Instant::now(),
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut attached = 0;
+        let timeout = self.cfg.handshake_timeout;
+        let pending = std::mem::take(&mut self.pending);
+        for p in pending {
+            if p.accepted_at.elapsed() > timeout {
+                continue; // dawdling handshake: drop the connection
+            }
+            match self.try_handshake(p) {
+                Handshake::Waiting(p) => self.pending.push(p),
+                Handshake::Attached => attached += 1,
+                Handshake::Dropped => {}
+            }
+        }
+        Ok(attached)
+    }
+
+    /// Drain every session's socket, decode complete input frames,
+    /// validate them, and apply the surviving intents to `sink`. Call
+    /// once per tick, before stepping the simulation.
+    pub fn drain_inputs<S: InputSink>(&mut self, sink: &mut S) -> DrainReport {
+        let before = DrainReport {
+            msgs: self.counters.input_msgs,
+            applied: self.counters.applied,
+            rejected: self.counters.rejected,
+            disconnects: self.counters.disconnects,
+        };
+        let sids: Vec<u32> = self.conns.keys().copied().collect();
+        for sid in sids {
+            if let Err(reason) = self.drain_one(sid, sink) {
+                self.disconnect(SessionId(sid), reason);
+            }
+        }
+        DrainReport {
+            msgs: self.counters.input_msgs - before.msgs,
+            applied: self.counters.applied - before.applied,
+            rejected: self.counters.rejected - before.rejected,
+            disconnects: self.counters.disconnects - before.disconnects,
+        }
+    }
+
+    /// Compute this tick's replication frames and write one to every
+    /// session (queueing what the kernel refuses). Call once per tick,
+    /// after stepping the source. Also folds the tick's transport
+    /// counters into [`NetListener::last_stats`].
+    pub fn pump_frames<S: ReplicationSource>(&mut self, src: &S) {
+        let frames = self.repl.poll(src);
+        for (sid, frame) in frames {
+            if self.conns.contains_key(&sid.0) {
+                self.send(sid, MSG_FRAME, &frame);
+            }
+        }
+        let mut stats = self.repl.last_stats().clone();
+        let counters = std::mem::take(&mut self.counters);
+        stats.inputs.msgs = counters.input_msgs;
+        stats.inputs.bytes = counters.input_bytes;
+        stats.inputs_applied = counters.applied;
+        stats.inputs_rejected = counters.rejected;
+        stats.disconnects = counters.disconnects;
+        stats.backlog_bytes = self.conns.values().map(|c| c.wr.len() as u64).sum();
+        stats.sessions = self.conns.len();
+        self.last = stats;
+    }
+
+    /// Retry queued writes on every session (the pump does this
+    /// implicitly; hosts may call it between ticks to bleed backlog).
+    pub fn flush(&mut self) {
+        let sids: Vec<u32> = self.conns.keys().copied().collect();
+        for sid in sids {
+            self.flush_session(SessionId(sid));
+        }
+        self.last.backlog_bytes = self.conns.values().map(|c| c.wr.len() as u64).sum();
+    }
+
+    /// The client's last reported applied tick (input frame stamps).
+    pub fn session_input_tick(&self, sid: SessionId) -> Option<u64> {
+        self.conns.get(&sid.0).map(|c| c.last_input_tick)
+    }
+
+    fn try_handshake(&mut self, mut p: Pending) -> Handshake {
+        let eof = match p.reader.fill(&mut p.stream) {
+            Ok(eof) => eof,
+            Err(_) => return Handshake::Dropped,
+        };
+        match p.reader.next_msg() {
+            Ok(None) => {
+                if eof {
+                    Handshake::Dropped
+                } else {
+                    Handshake::Waiting(p)
+                }
+            }
+            Err(_) => Handshake::Dropped,
+            Ok(Some((MSG_HELLO, payload))) => match self.admit(&payload) {
+                Ok(sid) => {
+                    let welcome = frame_msg(MSG_WELCOME, &welcome_payload(PROTOCOL_VERSION, sid.0));
+                    let mut reader = p.reader;
+                    reader.set_max_msg(self.cfg.max_msg);
+                    let mut conn = Conn {
+                        stream: p.stream,
+                        reader,
+                        wr: Vec::new(),
+                        owned: FxHashSet::default(),
+                        last_input_tick: 0,
+                    };
+                    write_some(&mut conn.stream, &mut conn.wr, &welcome);
+                    self.conns.insert(sid.0, conn);
+                    Handshake::Attached
+                }
+                Err(e) => {
+                    let msg = frame_msg(MSG_ERROR, e.to_string().as_bytes());
+                    let _ = p.stream.write_all(&msg);
+                    Handshake::Dropped
+                }
+            },
+            Ok(Some(_)) => Handshake::Dropped,
+        }
+    }
+
+    fn admit(&mut self, hello: &[u8]) -> Result<SessionId, NetError> {
+        let (version, spec) = decode_hello(hello)?;
+        if version != PROTOCOL_VERSION {
+            return Err(NetError::Refused(format!(
+                "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        let spec: InterestSpec = spec.parse()?;
+        self.repl.attach(&spec)
+    }
+
+    fn drain_one<S: InputSink>(&mut self, sid: u32, sink: &mut S) -> Result<(), &'static str> {
+        let eof = {
+            let conn = self.conns.get_mut(&sid).expect("draining a live session");
+            conn.reader
+                .fill(&mut conn.stream)
+                .map_err(|_| "read error")?
+        };
+        loop {
+            let conn = self.conns.get_mut(&sid).expect("draining a live session");
+            let msg = conn.reader.next_msg().map_err(|_| "bad message length")?;
+            let Some((kind, payload)) = msg else { break };
+            if kind != MSG_INPUT {
+                return Err("unexpected message kind");
+            }
+            self.counters.input_msgs += 1;
+            self.counters.input_bytes += 5 + payload.len() as u64;
+            let batch = input::decode(&payload).map_err(|_| "corrupt input frame")?;
+            if batch.session != sid {
+                return Err("input frame for another session");
+            }
+            let report = {
+                let conn = self.conns.get_mut(&sid).expect("draining a live session");
+                conn.last_input_tick = conn.last_input_tick.max(batch.tick);
+                apply_batch(&batch, &mut conn.owned, sink)
+            };
+            self.counters.applied += report.applied;
+            self.counters.rejected += report.rejected;
+            if let Some(stats) = self.repl.session_stats_mut(SessionId(sid)) {
+                stats.inputs_applied += report.applied;
+                stats.inputs_rejected += report.rejected;
+            }
+            self.ack_spawns(sid, &report);
+        }
+        if eof {
+            return Err("peer closed");
+        }
+        Ok(())
+    }
+
+    fn ack_spawns(&mut self, sid: u32, report: &BatchReport) {
+        for &(req, id) in &report.spawned {
+            let msg = frame_msg(MSG_SPAWNED, &spawned_payload(req, id.0));
+            let conn = self.conns.get_mut(&sid).expect("acking a live session");
+            write_some(&mut conn.stream, &mut conn.wr, &msg);
+        }
+    }
+
+    /// Queue `msg`, write what the kernel takes, and disconnect on
+    /// backlog overflow.
+    fn send(&mut self, sid: SessionId, kind: u8, payload: &[u8]) {
+        let Some(conn) = self.conns.get_mut(&sid.0) else {
+            return;
+        };
+        let msg = frame_msg(kind, payload);
+        write_some(&mut conn.stream, &mut conn.wr, &msg);
+        if conn.wr.len() > self.cfg.max_queued {
+            self.disconnect(sid, "send queue overflow");
+        }
+    }
+
+    /// Retry one session's backlog; disconnect on overflow.
+    fn flush_session(&mut self, sid: SessionId) {
+        let Some(conn) = self.conns.get_mut(&sid.0) else {
+            return;
+        };
+        flush_backlog(&mut conn.stream, &mut conn.wr);
+        if conn.wr.len() > self.cfg.max_queued {
+            self.disconnect(sid, "send queue overflow");
+        }
+    }
+
+    fn disconnect(&mut self, sid: SessionId, reason: &'static str) {
+        if let Some(mut conn) = self.conns.remove(&sid.0) {
+            let msg = frame_msg(MSG_ERROR, reason.as_bytes());
+            let _ = conn.stream.write_all(&msg);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.repl.detach(sid);
+            self.counters.disconnects += 1;
+        }
+    }
+}
+
+enum Handshake {
+    Waiting(Pending),
+    Attached,
+    Dropped,
+}
+
+/// Retry the backlog, then write as much of `msg` as the kernel takes;
+/// queue the rest.
+fn write_some(stream: &mut TcpStream, wr: &mut Vec<u8>, msg: &[u8]) {
+    wr.extend_from_slice(msg);
+    flush_backlog(stream, wr);
+}
+
+fn flush_backlog(stream: &mut TcpStream, wr: &mut Vec<u8>) {
+    let mut off = 0;
+    while off < wr.len() {
+        match stream.write(&wr[off..]) {
+            Ok(0) => break,
+            Ok(n) => off += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // A write error surfaces as EOF on the next drain.
+            Err(_) => break,
+        }
+    }
+    wr.drain(..off);
+}

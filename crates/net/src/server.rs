@@ -221,6 +221,23 @@ impl ReplicationServer {
             .map(|s| &s.stats)
     }
 
+    /// Mutable statistics access for the transport layer (input and
+    /// backpressure counters live next to the replication counters).
+    pub(crate) fn session_stats_mut(&mut self, sid: SessionId) -> Option<&mut SessionStats> {
+        self.sessions
+            .get_mut(sid.0 as usize)
+            .and_then(|s| s.as_mut())
+            .map(|s| &mut s.stats)
+    }
+
+    /// The interest subscription of an attached session.
+    pub fn session_interest(&self, sid: SessionId) -> Option<&InterestSpec> {
+        self.sessions
+            .get(sid.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| &s.interest.spec)
+    }
+
     /// Statistics of the last [`ReplicationServer::poll`].
     pub fn last_stats(&self) -> &NetStats {
         &self.last

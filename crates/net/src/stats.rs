@@ -35,6 +35,21 @@ pub struct NetStats {
     /// contributed data to a fanned-out subscription, with the payload
     /// bytes it contributed (single-node sources never populate this).
     pub fanout: Traffic,
+    /// Client → server input traffic drained from sockets this tick
+    /// (transport sources only; in-process polling never populates the
+    /// transport counters below).
+    pub inputs: Traffic,
+    /// Input intents that passed validation and were applied.
+    pub inputs_applied: u64,
+    /// Input intents rejected by validation (unknown class/attribute,
+    /// type mismatch, ownership violation, sink refusal).
+    pub inputs_rejected: u64,
+    /// Outbound bytes still queued in per-session send buffers after
+    /// the pump — the backpressure the sockets exerted this tick.
+    pub backlog_bytes: u64,
+    /// Sessions disconnected this tick (protocol violations, corrupt
+    /// frames, send-queue overflow, or hangups).
+    pub disconnects: u64,
 }
 
 impl NetStats {
@@ -57,6 +72,10 @@ pub struct SessionStats {
     pub exits: u64,
     /// Changed cells streamed.
     pub updated_cells: u64,
+    /// Input intents from this session that were applied.
+    pub inputs_applied: u64,
+    /// Input intents from this session that validation rejected.
+    pub inputs_rejected: u64,
 }
 
 #[cfg(test)]

@@ -1,0 +1,249 @@
+//! Length-prefixed TCP framing (`std::net`, no async runtime).
+//!
+//! Every message on the wire is
+//!
+//! ```text
+//! msg := len:u32 kind:u8 payload[len - 1]
+//! ```
+//!
+//! where `len` counts the kind byte plus the payload. A zero or
+//! over-limit length is a protocol violation — the peer is
+//! disconnected, exactly like a structurally corrupt payload.
+//!
+//! ## Message kinds
+//!
+//! | kind | direction | payload |
+//! |------|-----------|---------|
+//! | [`MSG_HELLO`]   | client → server | `version:u32` + interest spec string |
+//! | [`MSG_WELCOME`] | server → client | `version:u32 session:u32` |
+//! | [`MSG_ERROR`]   | server → client | human-readable reason (then close) |
+//! | [`MSG_FRAME`]   | server → client | one `SGN1` replication frame |
+//! | [`MSG_INPUT`]   | client → server | one `SGI1` input batch |
+//! | [`MSG_SPAWNED`] | server → client | `req:u32 id:u64` spawn acknowledgement |
+//!
+//! The server reads non-blockingly through [`MsgReader`] (bytes
+//! accumulate across ticks until a message completes); the blocking
+//! [`read_msg`] serves the client side.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use bytes::{BufMut, BytesMut};
+use sgl_engine::codec::{get_str, get_u32, get_u64, put_str};
+
+use crate::NetError;
+
+/// Protocol version spoken by both [`NetListener`](crate::NetListener)
+/// and [`NetClient`](crate::NetClient); a `HELLO` carrying any other
+/// version is refused during the handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on one message's length (frame + kind byte). A hostile
+/// length prefix beyond this disconnects the peer before any
+/// allocation.
+pub const DEFAULT_MAX_MSG: usize = 16 * 1024 * 1024;
+
+/// Client → server: protocol version + interest subscription.
+pub const MSG_HELLO: u8 = 1;
+/// Server → client: handshake accepted; carries the session id.
+pub const MSG_WELCOME: u8 = 2;
+/// Server → client: refusal/disconnect reason (connection closes after).
+pub const MSG_ERROR: u8 = 3;
+/// Server → client: one `SGN1` replication frame.
+pub const MSG_FRAME: u8 = 4;
+/// Client → server: one `SGI1` input batch.
+pub const MSG_INPUT: u8 = 5;
+/// Server → client: spawn-intent acknowledgement (`req:u32 id:u64`).
+pub const MSG_SPAWNED: u8 = 6;
+
+/// Serialize one message into a byte vector (length prefix included).
+pub fn frame_msg(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = (payload.len() + 1) as u32;
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Write one message, blocking until it is fully buffered by the OS.
+pub fn write_msg(stream: &mut TcpStream, kind: u8, payload: &[u8]) -> Result<(), NetError> {
+    stream
+        .write_all(&frame_msg(kind, payload))
+        .map_err(|e| NetError::Io(e.to_string()))
+}
+
+/// Read one message, blocking. `max_msg` bounds the length prefix.
+pub fn read_msg(stream: &mut TcpStream, max_msg: usize) -> Result<(u8, Vec<u8>), NetError> {
+    let mut len_bytes = [0u8; 4];
+    stream
+        .read_exact(&mut len_bytes)
+        .map_err(|e| NetError::Io(e.to_string()))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len == 0 || len > max_msg {
+        return Err(NetError::Corrupt("message length out of range"));
+    }
+    let mut body = vec![0u8; len];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| NetError::Io(e.to_string()))?;
+    Ok((body[0], body.split_off(1)))
+}
+
+/// Incremental message reader for non-blocking sockets: call
+/// [`MsgReader::fill`] whenever the socket is readable, then drain
+/// complete messages with [`MsgReader::next_msg`].
+#[derive(Debug)]
+pub struct MsgReader {
+    buf: Vec<u8>,
+    max_msg: usize,
+}
+
+impl MsgReader {
+    /// A reader enforcing `max_msg` on every length prefix.
+    pub fn new(max_msg: usize) -> Self {
+        MsgReader {
+            buf: Vec::new(),
+            max_msg,
+        }
+    }
+
+    /// Change the length limit (e.g. when a handshake reader — capped
+    /// tightly — is promoted to a session reader). Buffered bytes are
+    /// kept.
+    pub fn set_max_msg(&mut self, max_msg: usize) {
+        self.max_msg = max_msg;
+    }
+
+    /// Pull everything currently readable from a non-blocking stream.
+    /// Returns `true` if the peer closed the connection (EOF).
+    pub fn fill(&mut self, stream: &mut TcpStream) -> Result<bool, NetError> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(true),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(NetError::Io(e.to_string())),
+            }
+        }
+    }
+
+    /// The next complete `(kind, payload)` message, if one is buffered.
+    /// A malformed length prefix is a protocol error.
+    pub fn next_msg(&mut self) -> Result<Option<(u8, Vec<u8>)>, NetError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len == 0 || len > self.max_msg {
+            return Err(NetError::Corrupt("message length out of range"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let kind = self.buf[4];
+        let payload = self.buf[5..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some((kind, payload)))
+    }
+}
+
+/// Encode a `HELLO` payload.
+pub fn hello_payload(version: u32, spec: &str) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(8 + spec.len());
+    buf.put_u32_le(version);
+    put_str(&mut buf, spec);
+    buf.to_vec()
+}
+
+/// Decode a `HELLO` payload into `(version, interest spec)`.
+pub fn decode_hello(mut buf: &[u8]) -> Result<(u32, String), NetError> {
+    let version = get_u32(&mut buf)?;
+    let spec = get_str(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(NetError::Corrupt("trailing bytes"));
+    }
+    Ok((version, spec))
+}
+
+/// Encode a `WELCOME` payload.
+pub fn welcome_payload(version: u32, session: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&session.to_le_bytes());
+    out
+}
+
+/// Decode a `WELCOME` payload into `(version, session id)`.
+pub fn decode_welcome(mut buf: &[u8]) -> Result<(u32, u32), NetError> {
+    let version = get_u32(&mut buf)?;
+    let session = get_u32(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(NetError::Corrupt("trailing bytes"));
+    }
+    Ok((version, session))
+}
+
+/// Encode a `SPAWNED` acknowledgement payload.
+pub fn spawned_payload(req: u32, id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&req.to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out
+}
+
+/// Decode a `SPAWNED` payload into `(req token, entity id)`.
+pub fn decode_spawned(mut buf: &[u8]) -> Result<(u32, u64), NetError> {
+    let req = get_u32(&mut buf)?;
+    let id = get_u64(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(NetError::Corrupt("trailing bytes"));
+    }
+    Ok((req, id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_codecs_roundtrip() {
+        let (v, s) = decode_hello(&hello_payload(1, "Unit where x in [0, 1]")).unwrap();
+        assert_eq!((v, s.as_str()), (1, "Unit where x in [0, 1]"));
+        assert_eq!(decode_welcome(&welcome_payload(1, 7)).unwrap(), (1, 7));
+        assert_eq!(decode_spawned(&spawned_payload(3, 99)).unwrap(), (3, 99));
+        assert!(decode_hello(&hello_payload(1, "x")[..3]).is_err());
+        assert!(decode_welcome(&[0; 7]).is_err());
+        assert!(decode_welcome(&[0; 9]).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn msg_reader_reassembles_split_messages() {
+        let mut reader = MsgReader::new(1024);
+        let bytes = [frame_msg(MSG_FRAME, b"abc"), frame_msg(MSG_INPUT, b"")].concat();
+        // Feed one byte at a time (the TCP stream can split anywhere).
+        let mut seen = Vec::new();
+        for &b in &bytes {
+            reader.buf.push(b);
+            while let Some(msg) = reader.next_msg().unwrap() {
+                seen.push(msg);
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![(MSG_FRAME, b"abc".to_vec()), (MSG_INPUT, Vec::new())]
+        );
+    }
+
+    #[test]
+    fn hostile_lengths_are_protocol_errors() {
+        let mut reader = MsgReader::new(1024);
+        reader.buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(reader.next_msg().is_err(), "zero length");
+        let mut reader = MsgReader::new(1024);
+        reader.buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(reader.next_msg().is_err(), "oversized length");
+    }
+}

@@ -4,10 +4,10 @@
 //! clusters, and fuzzed frames that must never panic the decoder.
 
 use proptest::prelude::*;
-use sgl::{ClassId, EntityId};
+use sgl::{ClassId, EntityId, RefSet};
 use sgl::{ClientReplica, InterestSpec, ReplicationServer, Simulation, Value};
 use sgl_dist::{DistConfig, DistSim};
-use sgl_net::{NetConfig, ReplicationSource};
+use sgl_net::{input, InputBatch, Intent, NetConfig, ReplicationSource};
 
 const GAME: &str = r#"
 class Unit {
@@ -164,6 +164,62 @@ proptest! {
         damaged[at] ^= flip;
         let _ = replica.apply(&damaged);
         drop(pristine);
+    }
+}
+
+/// Strategies for arbitrary input-frame contents (the client → server
+/// direction of the transport). Class/column/entity ids are arbitrary
+/// too: the codec is purely structural, so out-of-range references
+/// must round-trip untouched for the *validator* to reject later.
+fn values() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1e12..1e12f64).prop_map(Value::Number),
+        prop_oneof![Just(true), Just(false)].prop_map(Value::Bool),
+        (0u64..1000).prop_map(|id| Value::Ref(EntityId(id))),
+        prop::collection::vec(0u64..1000, 0..8)
+            .prop_map(|ids| Value::Set(RefSet::from_ids(ids.into_iter().map(EntityId).collect()))),
+    ]
+}
+
+fn intents() -> impl Strategy<Value = Vec<Intent>> {
+    let intent = prop_oneof![
+        (
+            0u32..100,
+            0u32..16,
+            prop::collection::vec((0u16..32, values()), 0..6)
+        )
+            .prop_map(|(req, class, values)| Intent::Spawn {
+                req,
+                class: ClassId(class),
+                values,
+            }),
+        (0u32..16, 0u64..1000, 0u16..32, values()).prop_map(|(class, id, col, value)| {
+            Intent::Set {
+                class: ClassId(class),
+                id: EntityId(id),
+                col,
+                value,
+            }
+        }),
+        (0u32..16, 0u64..1000).prop_map(|(class, id)| Intent::Despawn {
+            class: ClassId(class),
+            id: EntityId(id),
+        }),
+    ];
+    prop::collection::vec(intent, 0..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary intent batches encode → frame → decode bit-identically
+    /// (the `SGI1` companion of the `SGN1` round-trip above).
+    #[test]
+    fn input_batches_roundtrip(session in 0u32..1000, tick in 0u64..1_000_000, intents in intents()) {
+        let batch = InputBatch { session, tick, intents };
+        let bytes = input::encode(&batch);
+        let decoded = input::decode(&bytes).expect("well-formed batches decode");
+        prop_assert_eq!(decoded, batch);
     }
 }
 
