@@ -1,18 +1,30 @@
-//! Per-tick cost of the real TCP transport at 1 / 8 / 64 connected
-//! sessions, over loopback.
+//! Per-tick cost of the replication transport as session counts grow.
 //!
-//! One measured iteration is a full server tick as a deployment would
-//! run it: every client writes one `set` intent to the socket, the
-//! listener accepts/drains/validates/applies them, a fixed 64-row batch
-//! of the world churns, the tick advances, the listener pumps one delta
-//! frame to every session, and every client blocks until its frame is
-//! applied. The interesting curve is cost vs. session count: delta
-//! extraction is shared (generation counters), so the marginal session
-//! should cost little more than its socket writes.
+//! Two families:
+//!
+//! * **`tick`** — the real TCP loop at 1 / 8 / 64 connected sessions
+//!   over loopback: every client writes one `set` intent, the listener
+//!   accepts/drains/validates/applies, a fixed 64-row batch churns, the
+//!   listener pumps one delta frame per session, every client blocks
+//!   until its frame is applied. This measures the whole stack,
+//!   syscalls included (one write + one read per session per tick is
+//!   inherent to the frame-per-tick protocol — the epoll follow-up in
+//!   the ROADMAP is about those).
+//! * **`fanout`** — the replication *fan-out stage* alone
+//!   ([`ReplicationServer::poll_with`], the zero-alloc visitor the
+//!   listener pumps through) at 8 / 64 / 256 / 1024 sessions, in three
+//!   regimes: `disjoint` (sessions tile the attribute axis; a 64-row
+//!   change lands in ONE window — the interest index must prune the
+//!   rest), `overlap` (every session subscribes everything — worst
+//!   case, extraction still shared), and `stationary` (nothing changes
+//!   — near-zero cost regardless of session count). The tentpole claim
+//!   is the `disjoint` curve: per-tick cost stays within ~2× of the
+//!   8-session cost out to 256+ sessions, because the work is
+//!   O(changed rows + affected sessions), not O(sessions × rows).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgl::World;
-use sgl_net::{Intent, NetClient, NetListener};
+use sgl_net::{Intent, InterestSpec, NetClient, NetListener, ReplicationServer};
 use sgl_storage::{
     Catalog, ClassDef, ClassId, ColumnSpec, EntityId, Owner, ScalarType, Schema, Value,
 };
@@ -80,6 +92,148 @@ fn rig(sessions: usize) -> Rig {
     }
 }
 
+/// Fan-out regimes over the in-process server (the listener's pump
+/// path, minus sockets).
+#[derive(Clone, Copy, PartialEq)]
+enum Regime {
+    /// Disjoint windows tiling `[0, WORLD_ROWS)`; the change lands in
+    /// window 0 only.
+    Disjoint,
+    /// Every session subscribes the whole axis.
+    Overlap,
+    /// No change at all between polls.
+    Stationary,
+}
+
+fn fanout_rig(
+    sessions: usize,
+    regime: Regime,
+    use_generations: bool,
+) -> (ReplicationServer, World, Vec<EntityId>) {
+    let cat = catalog();
+    let mut world = World::new(cat.clone());
+    let mut ids = Vec::with_capacity(WORLD_ROWS);
+    for i in 0..WORLD_ROWS {
+        ids.push(
+            world
+                .spawn(ClassId(0), &[("x", Value::Number(i as f64))])
+                .unwrap(),
+        );
+    }
+    let mut server = ReplicationServer::with_config(cat, sgl_net::NetConfig { use_generations });
+    let width = WORLD_ROWS as f64 / sessions as f64;
+    for s in 0..sessions {
+        let spec = match regime {
+            Regime::Overlap => InterestSpec::classes(&["Unit"], "x", 0.0, WORLD_ROWS as f64),
+            _ => InterestSpec::classes(
+                &["Unit"],
+                "x",
+                s as f64 * width,
+                (s + 1) as f64 * width - 0.5,
+            ),
+        };
+        server.attach(&spec).unwrap();
+    }
+    // Ship the baselines; measurement covers steady-state ticks.
+    world.advance_tick();
+    server.poll_with(&world, |_, f| {
+        black_box(f.len());
+    });
+    (server, world, ids)
+}
+
+fn fanout_tick(
+    server: &mut ReplicationServer,
+    world: &mut World,
+    ids: &[EntityId],
+    regime: Regime,
+    round: u64,
+) -> u64 {
+    if regime != Regime::Stationary {
+        // A localized 64-row churn: rows x ∈ [0, CHANGED_ROWS) — inside
+        // session 0's window in the disjoint regime.
+        for &id in &ids[..CHANGED_ROWS] {
+            world
+                .set(id, "hp", &Value::Number((round * 7 % 1000) as f64))
+                .unwrap();
+        }
+    }
+    world.advance_tick();
+    let mut bytes = 0u64;
+    server.poll_with(&*world, |_, f| {
+        bytes += f.len() as u64;
+    });
+    black_box(bytes)
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_fanout");
+    g.sample_size(30);
+    for (regime, name) in [
+        (Regime::Disjoint, "disjoint"),
+        (Regime::Overlap, "overlap"),
+        (Regime::Stationary, "stationary"),
+    ] {
+        for sessions in [8usize, 64, 256, 1024] {
+            let (mut server, mut world, ids) = fanout_rig(sessions, regime, true);
+            let mut round = 0u64;
+            g.bench_with_input(
+                BenchmarkId::new(name, sessions),
+                &sessions,
+                |b, &sessions| {
+                    b.iter(|| {
+                        round += 1;
+                        fanout_tick(&mut server, &mut world, &ids, regime, round)
+                    });
+                    // The tentpole's proof obligations, checked in-bench.
+                    let stats = server.last_stats();
+                    match regime {
+                        Regime::Disjoint if sessions > 1 => {
+                            assert!(
+                                stats.sessions_skipped > 0,
+                                "disjoint regime must prune ({sessions} sessions)"
+                            );
+                            // Only the windows the 64 changed rows land
+                            // in may be visited.
+                            let affected = (CHANGED_ROWS * sessions).div_ceil(WORLD_ROWS).max(1);
+                            assert!(
+                                stats.sessions_visited <= affected as u64,
+                                "visited {} > affected {affected} ({sessions} sessions)",
+                                stats.sessions_visited
+                            );
+                        }
+                        Regime::Overlap => {
+                            assert_eq!(stats.sessions_visited, sessions as u64)
+                        }
+                        Regime::Stationary => {
+                            assert_eq!(stats.sessions_visited, 0);
+                            assert_eq!(stats.scanned, 0, "stationary world never scans");
+                        }
+                        _ => {}
+                    }
+                },
+            );
+        }
+    }
+    // The pre-tentpole reference: the per-session full-scan path at the
+    // same disjoint workload — O(sessions × rows), for the record.
+    for sessions in [8usize, 64, 256] {
+        let (mut server, mut world, ids) = fanout_rig(sessions, Regime::Disjoint, false);
+        let mut round = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("disjoint_scan", sessions),
+            &sessions,
+            |b, _| {
+                b.iter(|| {
+                    round += 1;
+                    fanout_tick(&mut server, &mut world, &ids, Regime::Disjoint, round)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("net_transport");
     g.sample_size(10);
@@ -127,5 +281,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench_fanout, bench);
 criterion_main!(benches);

@@ -104,8 +104,16 @@ impl World {
 
     /// Mark an already-spawned entity as a ghost (replica of a remote
     /// owner). Ghosts never drive scripts/handlers/constraints.
+    ///
+    /// An actual flip refreshes the extent's column generations:
+    /// replication treats ghosts as absent, so to generation-based
+    /// readers (`sgl-net` sessions) a mark is a membership change
+    /// exactly like an insert or remove, and skipping it would strand
+    /// the row in client mirrors.
     pub fn mark_ghost(&mut self, class: ClassId, id: EntityId) {
-        self.ghosts[class.0 as usize].insert(id);
+        if self.ghosts[class.0 as usize].insert(id) {
+            self.tables[class.0 as usize].touch();
+        }
     }
 
     /// Is `id` a ghost of `class`?

@@ -1,0 +1,169 @@
+//! 1-D interval **overlap** index, built on the orthogonal range tree.
+//!
+//! An inclusive interval `[lo, hi]` is stored as the 2-D point
+//! `(lo, hi)`; "which stored intervals overlap the query `[qlo, qhi]`"
+//! is then the dominance box
+//!
+//! ```text
+//! lo ∈ (-∞, qhi]  ∧  hi ∈ [qlo, +∞)
+//! ```
+//!
+//! answered by a [`RangeTree`] query in O(log² n + k). This is the
+//! structure `sgl-net` uses as its **session interest index**: sessions
+//! declare range predicates over an attribute, per-tick changesets carry
+//! the value bounds of what actually changed, and only the sessions
+//! whose declared window overlaps those bounds are visited — the
+//! paper's range-tree machinery, pointed at interest management instead
+//! of entity joins.
+
+use crate::points::PointSet;
+use crate::range_tree::RangeTree;
+use crate::SpatialIndex;
+
+/// A static set of inclusive 1-D intervals supporting overlap stabs.
+/// Build is O(n log n); rebuild when the interval population changes
+/// (the expected churn — subscriptions — is far rarer than queries).
+pub struct IntervalSet {
+    tree: RangeTree,
+    /// Original index of each stored (non-empty) interval: empty
+    /// intervals are excluded from the tree, not given sentinel
+    /// coordinates (the raw pair `(5.0, 3.0)` would *pass* the
+    /// dominance test for a query spanning both bounds).
+    ids: Vec<u32>,
+    len: usize,
+}
+
+impl IntervalSet {
+    /// Build from `(lo, hi)` pairs. Entries are reported by their index
+    /// in `intervals`. Empty intervals (`lo > hi` or NaN bounds) keep
+    /// their slot but can never overlap anything.
+    pub fn build(intervals: &[(f64, f64)]) -> Self {
+        let mut points = PointSet::new(2);
+        let mut ids = Vec::new();
+        for (i, &(lo, hi)) in intervals.iter().enumerate() {
+            if lo <= hi {
+                points.push(&[lo, hi]);
+                ids.push(i as u32);
+            }
+        }
+        IntervalSet {
+            tree: RangeTree::build(&points),
+            ids,
+            len: intervals.len(),
+        }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append the indexes of every stored interval overlapping the
+    /// inclusive query `[lo, hi]` to `out`, in unspecified order.
+    pub fn overlapping(&self, lo: f64, hi: f64, out: &mut Vec<u32>) {
+        if lo > hi || lo.is_nan() || hi.is_nan() {
+            return;
+        }
+        let start = out.len();
+        self.tree
+            .query(&[f64::NEG_INFINITY, lo], &[hi, f64::INFINITY], out);
+        for slot in &mut out[start..] {
+            *slot = self.ids[*slot as usize];
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.tree.memory_bytes() + self.ids.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(intervals: &[(f64, f64)], lo: f64, hi: f64) -> Vec<u32> {
+        intervals
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, b))| a <= hi && b >= lo)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn overlap_matches_naive_scan() {
+        let mut state = 0x9E37_79B9u64 | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        };
+        let intervals: Vec<(f64, f64)> = (0..200)
+            .map(|_| {
+                let a = next();
+                (a, a + next() * 0.2)
+            })
+            .collect();
+        let set = IntervalSet::build(&intervals);
+        for (qlo, qhi) in [(0.0, 100.0), (10.0, 12.0), (50.0, 50.0), (99.9, 150.0)] {
+            let mut got = Vec::new();
+            set.overlapping(qlo, qhi, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, naive(&intervals, qlo, qhi), "query [{qlo}, {qhi}]");
+        }
+    }
+
+    #[test]
+    fn disjoint_windows_prune() {
+        // 64 disjoint unit windows; a stab inside one hits exactly it.
+        let intervals: Vec<(f64, f64)> = (0..64)
+            .map(|i| (i as f64 * 10.0, i as f64 * 10.0 + 1.0))
+            .collect();
+        let set = IntervalSet::build(&intervals);
+        let mut out = Vec::new();
+        set.overlapping(30.2, 30.9, &mut out);
+        assert_eq!(out, vec![3]);
+        out.clear();
+        set.overlapping(5.0, 9.0, &mut out);
+        assert!(out.is_empty(), "gap between windows");
+    }
+
+    #[test]
+    fn empty_intervals_never_match() {
+        // An inverted or NaN-bounded interval keeps its slot but can
+        // never be reported, even for queries spanning both bounds.
+        let set = IntervalSet::build(&[(5.0, 3.0), (f64::NAN, 1.0), (2.0, 4.0)]);
+        let mut out = Vec::new();
+        set.overlapping(0.0, 10.0, &mut out);
+        assert_eq!(out, vec![2]);
+        out.clear();
+        set.overlapping(f64::NEG_INFINITY, f64::INFINITY, &mut out);
+        assert_eq!(out, vec![2]);
+        assert_eq!(set.len(), 3, "empty intervals keep their slots");
+    }
+
+    #[test]
+    fn inclusive_endpoints_and_empty_queries() {
+        let set = IntervalSet::build(&[(0.0, 10.0), (10.0, 20.0)]);
+        let mut out = Vec::new();
+        set.overlapping(10.0, 10.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1], "shared endpoint overlaps both");
+        out.clear();
+        set.overlapping(5.0, 1.0, &mut out);
+        assert!(out.is_empty(), "inverted query is empty");
+        out.clear();
+        set.overlapping(f64::NAN, 1.0, &mut out);
+        assert!(out.is_empty(), "NaN query is empty");
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert!(IntervalSet::build(&[]).is_empty());
+    }
+}

@@ -16,6 +16,11 @@
 //! * [`kdtree::KdTree`] — static median-split k-d tree,
 //! * [`range_tree::RangeTree`] — the paper's layered orthogonal range tree.
 //!
+//! [`intervals::IntervalSet`] re-targets the 2-D range tree at 1-D
+//! interval *overlap* stabs (intervals as `(lo, hi)` points); `sgl-net`
+//! uses it to route per-tick changesets to the client sessions whose
+//! declared interest window overlaps what changed.
+//!
 //! All indexes answer inclusive axis-aligned box queries over a
 //! [`PointSet`] and report *row indexes* (`u32`), which the engine maps
 //! back to entities. Indexes are static: the paper observes that O(n)
@@ -23,6 +28,7 @@
 //! optimizer weighs build cost against probe cost ([`IndexKind`]).
 
 pub mod grid;
+pub mod intervals;
 pub mod kdtree;
 pub mod partitioned;
 pub mod points;
@@ -31,6 +37,7 @@ pub mod scan;
 pub mod sorted;
 
 pub use grid::UniformGrid;
+pub use intervals::IntervalSet;
 pub use kdtree::KdTree;
 pub use partitioned::PartitionedRangeTree;
 pub use points::PointSet;

@@ -1,0 +1,238 @@
+//! Shared per-tick delta extraction.
+//!
+//! The old replication loop was object-at-a-time *per session*: every
+//! session re-scanned every changed extent, so a poll cost
+//! O(sessions × changed rows). This module is the set-at-a-time
+//! replacement: per (shard, class) extent the server keeps one
+//! [`ExtentSnapshot`] — the generation counters, the non-ghost
+//! membership, and Arc clones of the columns as of the last committed
+//! poll — and derives one [`ExtentDelta`] per tick by diffing the live
+//! table against it. Sessions then *project* the shared delta instead
+//! of rescanning (see `server.rs`); an extent whose counters did not
+//! move costs one slice comparison, total, regardless of how many
+//! sessions subscribe to it.
+//!
+//! The delta also carries, per interest attribute in demand, the value
+//! **bounds** of everything relevant to routing: the new attribute
+//! values of entered/changed rows and the old values of changed/exited
+//! rows. A session whose declared window misses those bounds provably
+//! has nothing to send (its mirrored rows all carry in-window values,
+//! which the bounds would cover had any of them changed) — the interest
+//! index prunes it without touching the delta at all.
+
+use sgl_engine::World;
+use sgl_storage::{ClassId, Column, EntityId, FxHashMap, Table};
+
+/// What the server remembered about one (shard, class) extent at its
+/// last committed poll. Columns are Arc clones — O(columns) to take,
+/// not O(rows) — and the membership map is the only per-row cost.
+pub(crate) struct ExtentSnapshot {
+    /// Generation counters at snapshot time.
+    pub gens: Vec<u64>,
+    /// Non-ghost membership at snapshot time: id → row in `columns`.
+    pub rows: FxHashMap<EntityId, u32>,
+    /// The extent's columns at snapshot time (schema order).
+    pub columns: Vec<Column>,
+}
+
+/// Did the extent keep its membership (rows *and* ghost marks) since
+/// the snapshot? Every membership operation — insert, remove, and a
+/// ghost-mark flip (`World::mark_ghost` touches the extent; unmarking
+/// only happens via despawn) — refreshes **every** column generation,
+/// so one surviving counter proves no row joined, left, or moved: rows
+/// still correspond to snapshot rows by index, and the diff can skip
+/// the id-level membership pass entirely.
+pub(crate) fn membership_stable(table: &Table, prev: &ExtentSnapshot) -> bool {
+    let gens = table.col_gens();
+    gens.len() == prev.gens.len() && gens.iter().zip(&prev.gens).any(|(g, p)| g == p)
+}
+
+/// Snapshot one extent's current state.
+pub(crate) fn snapshot(world: &World, class: ClassId) -> ExtentSnapshot {
+    let table = world.table(class);
+    let rows = table
+        .ids()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &id)| !world.is_ghost(class, id))
+        .map(|(row, &id)| (id, row as u32))
+        .collect();
+    ExtentSnapshot {
+        gens: table.col_gens().to_vec(),
+        rows,
+        columns: table.snapshot_columns(),
+    }
+}
+
+/// Re-snapshot after a poll, reusing the old snapshot's membership map
+/// when the extent provably kept its membership — the steady-state
+/// cost is then O(columns) Arc clones, not O(rows) of hashing.
+pub(crate) fn refresh(
+    world: &World,
+    class: ClassId,
+    prev: Option<ExtentSnapshot>,
+) -> ExtentSnapshot {
+    let table = world.table(class);
+    match prev {
+        Some(mut snap) if membership_stable(table, &snap) => {
+            snap.gens.copy_from_slice(table.col_gens());
+            snap.columns = table.snapshot_columns();
+            snap
+        }
+        _ => snapshot(world, class),
+    }
+}
+
+/// One (shard, class) extent's per-tick changes, shared by every
+/// overlapping session.
+pub(crate) struct ExtentDelta {
+    /// Source shard of the extent.
+    pub shard: usize,
+    /// The class.
+    pub class: ClassId,
+    /// Current row indexes that joined the non-ghost membership
+    /// (spawns, migrations in, ghost→owned flips), ascending.
+    pub enters: Vec<u32>,
+    /// Retained rows with ≥ 1 changed cell: `(current row, start, end)`
+    /// where `cells[start..end]` are the changed column indexes
+    /// (ascending — the wire order).
+    pub changed: Vec<(u32, u32, u32)>,
+    /// Flat pool backing `changed` (column indexes).
+    pub cells: Vec<u16>,
+    /// Ids that left the non-ghost membership (despawns, migrations
+    /// out, owned→ghost flips): `(id, snapshot row)`, sorted by id.
+    pub exits: Vec<(EntityId, u32)>,
+    /// Per demanded interest attribute: `(column, lo, hi)` bounds of
+    /// every relevant value (see module docs). `lo > hi` means nothing
+    /// relevant carried a comparable value (e.g. all NaN).
+    pub bounds: Vec<(usize, f64, f64)>,
+}
+
+impl ExtentDelta {
+    /// Did anything observable happen? (Generations can move without
+    /// observable change — e.g. a cell rewritten with its own value.)
+    pub fn is_empty(&self) -> bool {
+        self.enters.is_empty() && self.changed.is_empty() && self.exits.is_empty()
+    }
+}
+
+#[inline]
+fn widen(b: &mut (usize, f64, f64), v: f64) {
+    // NaN fails both comparisons and is excluded — a NaN attribute can
+    // never satisfy a range predicate, so it routes nowhere.
+    if v < b.1 {
+        b.1 = v;
+    }
+    if v > b.2 {
+        b.2 = v;
+    }
+}
+
+/// Diff one extent against its snapshot. `attr_cols` are the interest
+/// attributes (ascending) whose routing bounds the caller needs.
+pub(crate) fn diff(
+    world: &World,
+    class: ClassId,
+    shard: usize,
+    prev: &ExtentSnapshot,
+    attr_cols: &[usize],
+) -> ExtentDelta {
+    let table = world.table(class);
+    // Columns that can hold changed cells: the generation moved *and*
+    // the contents actually differ (Arc pointer equality first, so a
+    // conservative generation bump on an untouched column costs one
+    // pointer compare — or one content pass — shared by all sessions).
+    let moved: Vec<usize> = table
+        .changed_cols(&prev.gens)
+        .filter(|&ci| {
+            prev.columns
+                .get(ci)
+                .is_none_or(|pc| *pc != *table.column(ci))
+        })
+        .collect();
+    let mut d = ExtentDelta {
+        shard,
+        class,
+        enters: Vec::new(),
+        changed: Vec::new(),
+        cells: Vec::new(),
+        exits: Vec::new(),
+        bounds: attr_cols
+            .iter()
+            .map(|&a| (a, f64::INFINITY, f64::NEG_INFINITY))
+            .collect(),
+    };
+
+    if membership_stable(table, prev) {
+        // Fast path: rows correspond to snapshot rows by index, so the
+        // diff is a straight column walk — no membership hashing, no
+        // enters, no exits. Only rows with an actually-changed cell pay
+        // a ghost lookup.
+        for row in 0..table.len() {
+            let start = d.cells.len();
+            for &ci in &moved {
+                if !table.column(ci).cell_pair_eq(row, &prev.columns[ci], row) {
+                    d.cells.push(ci as u16);
+                }
+            }
+            if d.cells.len() > start {
+                if world.is_ghost(class, table.id_at(row)) {
+                    d.cells.truncate(start);
+                    continue;
+                }
+                d.changed
+                    .push((row as u32, start as u32, d.cells.len() as u32));
+                for b in &mut d.bounds {
+                    widen(b, table.column(b.0).f64()[row]);
+                    widen(b, prev.columns[b.0].f64()[row]);
+                }
+            }
+        }
+        return d;
+    }
+
+    for (row, &id) in table.ids().iter().enumerate() {
+        if world.is_ghost(class, id) {
+            continue;
+        }
+        match prev.rows.get(&id) {
+            None => {
+                d.enters.push(row as u32);
+                for b in &mut d.bounds {
+                    widen(b, table.column(b.0).f64()[row]);
+                }
+            }
+            Some(&prow) => {
+                let start = d.cells.len();
+                for &ci in &moved {
+                    if !table
+                        .column(ci)
+                        .cell_pair_eq(row, &prev.columns[ci], prow as usize)
+                    {
+                        d.cells.push(ci as u16);
+                    }
+                }
+                if d.cells.len() > start {
+                    d.changed
+                        .push((row as u32, start as u32, d.cells.len() as u32));
+                    for b in &mut d.bounds {
+                        widen(b, table.column(b.0).f64()[row]);
+                        widen(b, prev.columns[b.0].f64()[prow as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    for (&id, &prow) in &prev.rows {
+        let still_here = table.row_of(id).is_some() && !world.is_ghost(class, id);
+        if !still_here {
+            d.exits.push((id, prow));
+            for b in &mut d.bounds {
+                widen(b, prev.columns[b.0].f64()[prow as usize]);
+            }
+        }
+    }
+    d.exits.sort_unstable_by_key(|&(id, _)| id);
+    d
+}

@@ -25,8 +25,9 @@ use crate::input::{self, InputBatch, Intent};
 use crate::replica::{ApplySummary, ClientReplica};
 use crate::server::SessionId;
 use crate::transport::{
-    decode_spawned, decode_welcome, hello_payload, read_msg, write_msg, DEFAULT_MAX_MSG, MSG_ERROR,
-    MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_SPAWNED, MSG_WELCOME, PROTOCOL_VERSION,
+    decode_spawned, decode_welcome, hello_payload, read_msg, resub_payload, write_msg,
+    DEFAULT_MAX_MSG, MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_RESUB, MSG_SPAWNED,
+    MSG_WELCOME, PROTOCOL_VERSION,
 };
 use crate::{InterestSpec, NetError};
 
@@ -164,6 +165,20 @@ impl NetClient {
     /// Spawn acknowledgements received so far (drains the queue).
     pub fn take_spawned(&mut self) -> Vec<(u32, EntityId)> {
         std::mem::take(&mut self.spawned)
+    }
+
+    /// Re-declare this session's area of interest without reconnecting.
+    /// The server swaps the subscription atomically; the next frame is
+    /// a *delta* carrying exits for entities outside the new window and
+    /// enters for newly covered ones — the replica needs no reset. A
+    /// spec the server cannot resolve against the catalog is treated as
+    /// a protocol violation and ends the session.
+    pub fn resubscribe(&mut self, spec: &InterestSpec) -> Result<(), NetError> {
+        write_msg(
+            &mut self.stream,
+            MSG_RESUB,
+            &resub_payload(&spec.to_string()),
+        )
     }
 
     /// Send a batch of intents, stamped with this session's id and the

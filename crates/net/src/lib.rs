@@ -11,17 +11,32 @@
 //! value-identical to the server's view of the subscribed region —
 //! "declarativeness: the work done by something else".
 //!
-//! ## Change detection
+//! ## Change detection and fan-out
 //!
-//! Delta extraction must not cost O(world). Every
-//! [`sgl_storage::Table`] keeps a **generation counter per column**,
-//! bumped on each copy-on-write mutation (and threaded through the
-//! engine's update phase, which replaces only columns whose contents
-//! actually changed). A session remembers the counters it last saw; an
-//! extent whose counters are unchanged is skipped without scanning a
-//! row, and for scanned extents only columns whose counter moved are
-//! compared. The `net.rs` criterion bench measures this against the
-//! full-scan baseline (`NetConfig { use_generations: false }`).
+//! Delta extraction must not cost O(world) — and fan-out must not cost
+//! O(sessions × changes). Every [`sgl_storage::Table`] keeps a
+//! **generation counter per column**, bumped on each copy-on-write
+//! mutation (and threaded through the engine's update phase, which
+//! replaces only columns whose contents actually changed). Each poll:
+//!
+//! 1. **extracts** one shared changeset per (shard, class) extent
+//!    whose counters moved — enters / changed cells / exits plus the
+//!    attribute value bounds of what changed — diffed against a
+//!    server-side snapshot, once, regardless of session count;
+//! 2. **routes** it through the session interest index (an
+//!    [`IntervalSet`](sgl_index::IntervalSet) of declared windows per
+//!    (class, attribute)), visiting only sessions whose window
+//!    overlaps the bounds ([`NetStats::sessions_visited`] vs
+//!    [`NetStats::sessions_skipped`]);
+//! 3. **projects** the changeset rows through each visited session's
+//!    mirror into a reused per-session encode buffer; pruned sessions
+//!    share one pre-encoded empty frame.
+//!
+//! Per-tick cost is O(changed rows + affected sessions). The
+//! `net.rs`/`net_transport.rs` criterion benches measure this against
+//! the per-session full-scan baseline
+//! (`NetConfig { use_generations: false }`), which doubles as a
+//! bit-identical oracle in `tests/replication.rs`.
 //!
 //! ## Distribution
 //!
@@ -49,8 +64,13 @@
 //! Structurally corrupt traffic disconnects its session; semantically
 //! invalid intents are rejected and counted
 //! ([`NetStats::inputs_rejected`]) without touching the world or other
-//! sessions. The blocking [`NetClient`] mirrors the subscribed region
-//! through a [`ClientReplica`] and pushes intents back — the cluster
+//! sessions, and a per-session input budget
+//! ([`ListenerConfig::max_intents_per_tick`]) drops excess intents
+//! ([`NetStats::inputs_throttled`]) without a disconnect. The blocking
+//! [`NetClient`] mirrors the subscribed region through a
+//! [`ClientReplica`], pushes intents back, and can re-declare its
+//! window live ([`NetClient::resubscribe`]: the next frame is the
+//! symmetric difference — no reconnect, no mirror reset) — the cluster
 //! path is end-to-end: socket client → listener → `DistSim` stripes →
 //! delta frame back.
 //!
@@ -93,6 +113,7 @@
 //! assert_eq!(replica.get(class, near, "hp"), Some(Value::Number(10.0)));
 //! ```
 
+mod changeset;
 mod client;
 pub mod input;
 mod interest;

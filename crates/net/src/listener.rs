@@ -55,8 +55,9 @@ use crate::input::{self, apply_batch, BatchReport, InputSink};
 use crate::server::{NetConfig, ReplicationServer, ReplicationSource, SessionId};
 use crate::stats::NetStats;
 use crate::transport::{
-    decode_hello, frame_msg, spawned_payload, welcome_payload, MsgReader, DEFAULT_MAX_MSG,
-    MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_SPAWNED, MSG_WELCOME, PROTOCOL_VERSION,
+    decode_hello, decode_resub, frame_msg, spawned_payload, welcome_payload, MsgReader,
+    DEFAULT_MAX_MSG, MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_RESUB, MSG_SPAWNED,
+    MSG_WELCOME, PROTOCOL_VERSION,
 };
 use crate::{InterestSpec, NetError};
 
@@ -81,6 +82,16 @@ pub struct ListenerConfig {
     /// How long an accepted connection may dawdle before sending its
     /// complete `HELLO`; beyond it the connection is dropped.
     pub handshake_timeout: Duration,
+    /// Per-session input budget: at most this many intents (plus
+    /// re-subscriptions, at one unit each) are processed per session
+    /// per [`NetListener::drain_inputs`] call (one tick, in the
+    /// canonical loop). Excess intents in the batch that crosses the
+    /// budget are dropped and counted ([`NetStats::inputs_throttled`])
+    /// — the session is *not* disconnected; once the budget is spent
+    /// the session's remaining traffic waits for the next tick (TCP
+    /// backpressure). `0` mutes a session's input socket entirely.
+    /// Default: unlimited.
+    pub max_intents_per_tick: usize,
 }
 
 impl Default for ListenerConfig {
@@ -92,6 +103,7 @@ impl Default for ListenerConfig {
             max_pending: 256,
             max_hello: 64 * 1024,
             handshake_timeout: Duration::from_secs(10),
+            max_intents_per_tick: usize::MAX,
         }
     }
 }
@@ -124,6 +136,7 @@ struct TickCounters {
     input_bytes: u64,
     applied: u64,
     rejected: u64,
+    throttled: u64,
     disconnects: u64,
 }
 
@@ -136,6 +149,9 @@ pub struct DrainReport {
     pub applied: u64,
     /// Intents rejected by validation.
     pub rejected: u64,
+    /// Intents dropped by the per-session input budget
+    /// ([`ListenerConfig::max_intents_per_tick`]).
+    pub throttled: u64,
     /// Sessions disconnected (corrupt frames, protocol violations,
     /// hangups).
     pub disconnects: u64,
@@ -289,6 +305,7 @@ impl NetListener {
             msgs: self.counters.input_msgs,
             applied: self.counters.applied,
             rejected: self.counters.rejected,
+            throttled: self.counters.throttled,
             disconnects: self.counters.disconnects,
         };
         let sids: Vec<u32> = self.conns.keys().copied().collect();
@@ -301,6 +318,7 @@ impl NetListener {
             msgs: self.counters.input_msgs - before.msgs,
             applied: self.counters.applied - before.applied,
             rejected: self.counters.rejected - before.rejected,
+            throttled: self.counters.throttled - before.throttled,
             disconnects: self.counters.disconnects - before.disconnects,
         }
     }
@@ -310,11 +328,28 @@ impl NetListener {
     /// after stepping the source. Also folds the tick's transport
     /// counters into [`NetListener::last_stats`].
     pub fn pump_frames<S: ReplicationSource>(&mut self, src: &S) {
-        let frames = self.repl.poll(src);
-        for (sid, frame) in frames {
-            if self.conns.contains_key(&sid.0) {
-                self.send(sid, MSG_FRAME, &frame);
+        // Frames are encoded straight into each session's reused send
+        // queue (`poll_with` lends the server's per-session buffer) —
+        // no intermediate `Bytes`/`Vec` per session per tick.
+        let conns = &mut self.conns;
+        let max_queued = self.cfg.max_queued;
+        let mut overflowed: Vec<u32> = Vec::new();
+        self.repl.poll_with(src, |sid, frame| {
+            let Some(conn) = conns.get_mut(&sid.0) else {
+                return;
+            };
+            let len = (frame.len() + 1) as u32;
+            conn.wr.reserve(4 + len as usize);
+            conn.wr.extend_from_slice(&len.to_le_bytes());
+            conn.wr.push(MSG_FRAME);
+            conn.wr.extend_from_slice(frame);
+            flush_backlog(&mut conn.stream, &mut conn.wr);
+            if conn.wr.len() > max_queued {
+                overflowed.push(sid.0);
             }
+        });
+        for sid in overflowed {
+            self.disconnect(SessionId(sid), "send queue overflow");
         }
         let mut stats = self.repl.last_stats().clone();
         let counters = std::mem::take(&mut self.counters);
@@ -322,17 +357,25 @@ impl NetListener {
         stats.inputs.bytes = counters.input_bytes;
         stats.inputs_applied = counters.applied;
         stats.inputs_rejected = counters.rejected;
+        stats.inputs_throttled = counters.throttled;
         stats.disconnects = counters.disconnects;
         stats.backlog_bytes = self.conns.values().map(|c| c.wr.len() as u64).sum();
         stats.sessions = self.conns.len();
         self.last = stats;
     }
 
-    /// Retry queued writes on every session (the pump does this
-    /// implicitly; hosts may call it between ticks to bleed backlog).
+    /// Retry queued writes (the pump does this implicitly; hosts may
+    /// call it between ticks to bleed backlog). Only sockets that
+    /// actually have queued bytes are swept — with healthy peers this
+    /// touches nothing.
     pub fn flush(&mut self) {
-        let sids: Vec<u32> = self.conns.keys().copied().collect();
-        for sid in sids {
+        let backlogged: Vec<u32> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.wr.is_empty())
+            .map(|(&sid, _)| sid)
+            .collect();
+        for sid in backlogged {
             self.flush_session(SessionId(sid));
         }
         self.last.backlog_bytes = self.conns.values().map(|c| c.wr.len() as u64).sum();
@@ -395,39 +438,81 @@ impl NetListener {
     }
 
     fn drain_one<S: InputSink>(&mut self, sid: u32, sink: &mut S) -> Result<(), &'static str> {
+        // The per-tick input budget. An empty budget skips the socket
+        // outright — unread bytes stay in the kernel and TCP
+        // backpressure does the throttling (the amortized sweep).
+        let mut remaining = self.cfg.max_intents_per_tick;
+        if remaining == 0 {
+            return Ok(());
+        }
         let eof = {
             let conn = self.conns.get_mut(&sid).expect("draining a live session");
             conn.reader
                 .fill(&mut conn.stream)
                 .map_err(|_| "read error")?
         };
+        let mut deferred = false;
         loop {
+            if remaining == 0 {
+                // Budget spent: stop decoding. Unprocessed messages
+                // stay buffered (and unread bytes stay in the kernel)
+                // until the next tick's drain — TCP backpressure, not
+                // a disconnect.
+                deferred = true;
+                break;
+            }
             let conn = self.conns.get_mut(&sid).expect("draining a live session");
             let msg = conn.reader.next_msg().map_err(|_| "bad message length")?;
             let Some((kind, payload)) = msg else { break };
-            if kind != MSG_INPUT {
-                return Err("unexpected message kind");
+            match kind {
+                MSG_INPUT => {
+                    self.counters.input_msgs += 1;
+                    self.counters.input_bytes += 5 + payload.len() as u64;
+                    let mut batch = input::decode(&payload).map_err(|_| "corrupt input frame")?;
+                    if batch.session != sid {
+                        return Err("input frame for another session");
+                    }
+                    let over = batch.intents.len().saturating_sub(remaining);
+                    if over > 0 {
+                        // Over budget: drop the excess, keep the session.
+                        batch.intents.truncate(remaining);
+                        self.counters.throttled += over as u64;
+                    }
+                    remaining -= batch.intents.len();
+                    let report = {
+                        let conn = self.conns.get_mut(&sid).expect("draining a live session");
+                        conn.last_input_tick = conn.last_input_tick.max(batch.tick);
+                        apply_batch(&batch, &mut conn.owned, sink)
+                    };
+                    self.counters.applied += report.applied;
+                    self.counters.rejected += report.rejected;
+                    if let Some(stats) = self.repl.session_stats_mut(SessionId(sid)) {
+                        stats.inputs_applied += report.applied;
+                        stats.inputs_rejected += report.rejected;
+                        stats.inputs_throttled += over as u64;
+                    }
+                    self.ack_spawns(sid, &report);
+                }
+                MSG_RESUB => {
+                    // A live interest re-subscription: swap the spec;
+                    // the next frame carries the symmetric difference.
+                    // Costs one budget unit — a resub flood cannot buy
+                    // unbounded parse/resolve/index work either.
+                    remaining -= 1;
+                    let spec = decode_resub(&payload).map_err(|_| "corrupt resubscription")?;
+                    let spec: InterestSpec =
+                        spec.parse().map_err(|_| "unparseable resubscription")?;
+                    self.repl
+                        .resubscribe(SessionId(sid), &spec)
+                        .map_err(|_| "unresolvable resubscription")?;
+                }
+                _ => return Err("unexpected message kind"),
             }
-            self.counters.input_msgs += 1;
-            self.counters.input_bytes += 5 + payload.len() as u64;
-            let batch = input::decode(&payload).map_err(|_| "corrupt input frame")?;
-            if batch.session != sid {
-                return Err("input frame for another session");
-            }
-            let report = {
-                let conn = self.conns.get_mut(&sid).expect("draining a live session");
-                conn.last_input_tick = conn.last_input_tick.max(batch.tick);
-                apply_batch(&batch, &mut conn.owned, sink)
-            };
-            self.counters.applied += report.applied;
-            self.counters.rejected += report.rejected;
-            if let Some(stats) = self.repl.session_stats_mut(SessionId(sid)) {
-                stats.inputs_applied += report.applied;
-                stats.inputs_rejected += report.rejected;
-            }
-            self.ack_spawns(sid, &report);
         }
-        if eof {
+        if eof && !deferred {
+            // A half-closed peer with messages deferred by the budget
+            // keeps its session until later drains have processed them
+            // (the next fill re-reports the EOF).
             return Err("peer closed");
         }
         Ok(())
@@ -438,19 +523,6 @@ impl NetListener {
             let msg = frame_msg(MSG_SPAWNED, &spawned_payload(req, id.0));
             let conn = self.conns.get_mut(&sid).expect("acking a live session");
             write_some(&mut conn.stream, &mut conn.wr, &msg);
-        }
-    }
-
-    /// Queue `msg`, write what the kernel takes, and disconnect on
-    /// backlog overflow.
-    fn send(&mut self, sid: SessionId, kind: u8, payload: &[u8]) {
-        let Some(conn) = self.conns.get_mut(&sid.0) else {
-            return;
-        };
-        let msg = frame_msg(kind, payload);
-        write_some(&mut conn.stream, &mut conn.wr, &msg);
-        if conn.wr.len() > self.cfg.max_queued {
-            self.disconnect(sid, "send queue overflow");
         }
     }
 

@@ -1,12 +1,40 @@
 //! The server side: sessions, interest evaluation, and per-tick delta
 //! extraction driven by per-column generation counters.
+//!
+//! ## Set-at-a-time fan-out
+//!
+//! With generation tracking on (the default), a poll runs in three
+//! stages instead of once per session:
+//!
+//! 1. **Extract** — one shared [`ExtentDelta`] per (shard, class) whose
+//!    generation counters moved, diffed against the server's
+//!    [`ExtentSnapshot`] of the previous poll (see
+//!    [`changeset`](crate::changeset)). Cost: O(rows of changed
+//!    extents), once, no matter how many sessions are attached.
+//! 2. **Route** — a session interest index (an
+//!    [`IntervalSet`](sgl_index::IntervalSet) per (class, attribute)
+//!    over the sessions' declared windows) is stabbed with each delta's
+//!    value bounds; only sessions whose window overlaps something that
+//!    actually changed are visited ([`NetStats::sessions_visited`] vs
+//!    [`NetStats::sessions_skipped`]).
+//! 3. **Project** — each visited session diffs the *delta rows* (not
+//!    the extent) against its mirror and encodes its frame into a
+//!    reused per-session buffer. Skipped sessions share one
+//!    pre-encoded empty frame.
+//!
+//! Baselines, live re-subscriptions, and the `use_generations: false`
+//! reference mode take the per-session full-scan path instead; the
+//! frames are bit-identical either way (`tests/replication.rs` holds
+//! the two modes against each other on random traces).
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use sgl_dist::DistSim;
 use sgl_engine::codec::value_wire_bytes;
 use sgl_engine::{Engine, World};
-use sgl_storage::{Catalog, ClassId, EntityId, FxHashMap, Value};
+use sgl_index::IntervalSet;
+use sgl_storage::{Catalog, ClassId, EntityId, FxHashMap, FxHashSet, Table, Value};
 
+use crate::changeset::{self, ExtentDelta, ExtentSnapshot};
 use crate::interest::{InterestSpec, ResolvedInterest};
 use crate::stats::{NetStats, SessionStats};
 use crate::wire::{self, ClassDelta, Frame};
@@ -116,9 +144,10 @@ impl ReplicationSource for DistSim {
 /// Replication configuration.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
-    /// Use per-column generation counters to skip unchanged extents
-    /// without scanning (the default). `false` forces the full-scan
-    /// baseline — only useful for benchmarking the difference.
+    /// Use per-column generation counters to extract one shared
+    /// changeset per tick and route it through the interest index (the
+    /// default). `false` forces the per-session full-scan baseline —
+    /// only useful for benchmarking (and testing) the difference.
     pub use_generations: bool,
 }
 
@@ -133,15 +162,105 @@ impl Default for NetConfig {
 /// Per-session server state: what the client is known to hold.
 struct SessionState {
     interest: ResolvedInterest,
+    /// A pending live re-subscription's *previous* interest: exits may
+    /// live on shards only the old window overlapped, so the diff frame
+    /// scans the union of both windows. Cleared when the frame commits.
+    resub_from: Option<ResolvedInterest>,
     /// Per class: id → (source shard, values in schema order). This is
     /// the server's model of the client mirror; deltas are diffs
     /// against it.
     mirror: Vec<FxHashMap<EntityId, (usize, Vec<Value>)>>,
-    /// Per shard, per class: the generation counters at our last scan
-    /// (empty = never scanned).
-    last_gens: Vec<Vec<Vec<u64>>>,
+    /// Shard count of the source this session last committed against
+    /// (0 = never). A mismatch means the source shape changed under the
+    /// session — mirror entries are tagged with shard indexes of the
+    /// old shape, so the session resynchronizes with a fresh baseline.
+    shards_seen: usize,
     baseline_sent: bool,
     stats: SessionStats,
+    /// Reused wire-encode buffer: one allocation per session, not one
+    /// per session per tick.
+    enc: BytesMut,
+}
+
+impl SessionState {
+    fn new(interest: ResolvedInterest, classes: usize) -> Self {
+        SessionState {
+            interest,
+            resub_from: None,
+            mirror: vec![FxHashMap::default(); classes],
+            shards_seen: 0,
+            baseline_sent: false,
+            stats: SessionStats::default(),
+            enc: BytesMut::with_capacity(64),
+        }
+    }
+
+    /// Can this session consume the shared changeset, or does it need a
+    /// full scan (baseline, pending resubscription, shape change)?
+    fn caught_up(&self, shards: usize) -> bool {
+        self.baseline_sent && self.resub_from.is_none() && self.shards_seen == shards
+    }
+}
+
+/// The session interest index: per (class, interest attribute), the
+/// live sessions' declared windows in an [`IntervalSet`]. Rebuilt
+/// lazily after attach / detach / resubscribe — churn is rare next to
+/// the per-tick stab traffic.
+#[derive(Default)]
+struct InterestIndex {
+    dirty: bool,
+    groups: Vec<IndexGroup>,
+    /// Classes in demand with their interest attributes (ascending,
+    /// deduped) — derived from `groups` at rebuild so the per-poll
+    /// extraction loop does no per-class work of its own.
+    demanded: Vec<(ClassId, Vec<usize>)>,
+}
+
+struct IndexGroup {
+    class: ClassId,
+    attr_col: usize,
+    /// Session slot per interval entry (parallel to `windows`).
+    slots: Vec<u32>,
+    windows: IntervalSet,
+}
+
+/// Accumulator entry while rebuilding: session slots + their windows.
+type GroupAcc = (Vec<u32>, Vec<(f64, f64)>);
+
+impl InterestIndex {
+    fn rebuild(&mut self, sessions: &[Option<SessionState>]) {
+        let mut acc: FxHashMap<(u32, usize), GroupAcc> = FxHashMap::default();
+        for (slot, session) in sessions.iter().enumerate() {
+            let Some(session) = session else { continue };
+            for (class_idx, col) in session.interest.attr_cols.iter().enumerate() {
+                let Some(col) = col else { continue };
+                let entry = acc.entry((class_idx as u32, *col)).or_default();
+                entry.0.push(slot as u32);
+                entry
+                    .1
+                    .push((session.interest.spec.lo, session.interest.spec.hi));
+            }
+        }
+        let mut groups: Vec<_> = acc.into_iter().collect();
+        groups.sort_unstable_by_key(|&((class, col), _)| (class, col));
+        self.groups = groups
+            .into_iter()
+            .map(|((class, attr_col), (slots, windows))| IndexGroup {
+                class: ClassId(class),
+                attr_col,
+                slots,
+                windows: IntervalSet::build(&windows),
+            })
+            .collect();
+        self.demanded.clear();
+        for group in &self.groups {
+            match self.demanded.last_mut() {
+                Some((class, attrs)) if *class == group.class => attrs.push(group.attr_col),
+                _ => self.demanded.push((group.class, vec![group.attr_col])),
+            }
+        }
+        self.dirty = false;
+    }
 }
 
 /// The replication server: attaches client sessions to a simulation (or
@@ -151,6 +270,12 @@ pub struct ReplicationServer {
     catalog: Catalog,
     cfg: NetConfig,
     sessions: Vec<Option<SessionState>>,
+    /// Freed session slots, reused by `attach`.
+    free: Vec<u32>,
+    /// Server-wide extent snapshots of the last committed poll:
+    /// `prev[shard][class]` (generation-mode only).
+    prev: Vec<Vec<Option<ExtentSnapshot>>>,
+    index: InterestIndex,
     last: NetStats,
 }
 
@@ -166,6 +291,9 @@ impl ReplicationServer {
             catalog,
             cfg,
             sessions: Vec::new(),
+            free: Vec::new(),
+            prev: Vec::new(),
+            index: InterestIndex::default(),
             last: NetStats::default(),
         }
     }
@@ -177,18 +305,24 @@ impl ReplicationServer {
 
     /// Attach a session with the given interest subscription. The first
     /// poll sends it a baseline snapshot of the subscribed region.
+    /// Slots freed by [`ReplicationServer::detach`] are reused, so a
+    /// long-lived server with session churn stays compact.
     pub fn attach(&mut self, spec: &InterestSpec) -> Result<SessionId, NetError> {
         let interest = spec.resolve(&self.catalog)?;
-        let mirror = vec![FxHashMap::default(); self.catalog.len()];
-        let id = SessionId(self.sessions.len() as u32);
-        self.sessions.push(Some(SessionState {
-            interest,
-            mirror,
-            last_gens: Vec::new(),
-            baseline_sent: false,
-            stats: SessionStats::default(),
-        }));
-        Ok(id)
+        let state = SessionState::new(interest, self.catalog.len());
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.sessions[slot as usize].is_none());
+                self.sessions[slot as usize] = Some(state);
+                slot
+            }
+            None => {
+                self.sessions.push(Some(state));
+                (self.sessions.len() - 1) as u32
+            }
+        };
+        self.index.dirty = true;
+        Ok(SessionId(slot))
     }
 
     /// Parse-and-attach convenience: see [`InterestSpec`] for the
@@ -197,15 +331,42 @@ impl ReplicationServer {
         self.attach(&spec.parse::<InterestSpec>()?)
     }
 
-    /// Detach a session; its id is never reused.
+    /// Detach a session. Its slot (and id) goes on a free list for the
+    /// next [`ReplicationServer::attach`]; a stale `SessionId` held
+    /// after detaching may therefore alias a *newer* session — drop it.
     pub fn detach(&mut self, sid: SessionId) -> bool {
         match self.sessions.get_mut(sid.0 as usize) {
             Some(slot @ Some(_)) => {
                 *slot = None;
+                self.free.push(sid.0);
+                self.index.dirty = true;
                 true
             }
             _ => false,
         }
+    }
+
+    /// Atomically swap a live session's interest subscription. The
+    /// session's next frame is a *delta* covering the symmetric
+    /// difference: exits for mirrored entities outside the new window,
+    /// enters for newly covered ones, updates for the intersection —
+    /// no baseline, no mirror reset.
+    pub fn resubscribe(&mut self, sid: SessionId, spec: &InterestSpec) -> Result<(), NetError> {
+        let interest = spec.resolve(&self.catalog)?;
+        let session = self
+            .sessions
+            .get_mut(sid.0 as usize)
+            .and_then(|s| s.as_mut())
+            .ok_or_else(|| NetError::Refused(format!("no session {}", sid.0)))?;
+        if session.baseline_sent && session.resub_from.is_none() {
+            // Remember the window the last committed frame was built
+            // with; repeated swaps before a poll keep the oldest.
+            session.resub_from = Some(std::mem::replace(&mut session.interest, interest));
+        } else {
+            session.interest = interest;
+        }
+        self.index.dirty = true;
+        Ok(())
     }
 
     /// Attached sessions.
@@ -230,7 +391,8 @@ impl ReplicationServer {
             .map(|s| &mut s.stats)
     }
 
-    /// The interest subscription of an attached session.
+    /// The interest subscription of an attached session (the *new* one,
+    /// if a resubscription is pending).
     pub fn session_interest(&self, sid: SessionId) -> Option<&InterestSpec> {
         self.sessions
             .get(sid.0 as usize)
@@ -248,49 +410,227 @@ impl ReplicationServer {
     /// session's first frame is a baseline snapshot; subsequent frames
     /// are deltas (enter / changed-cells / exit+despawn).
     pub fn poll<S: ReplicationSource>(&mut self, src: &S) -> Vec<(SessionId, Bytes)> {
-        self.poll_inner(src, true)
+        let mut out = Vec::with_capacity(self.session_count());
+        self.poll_inner(src, true, &mut |sid, bytes| {
+            out.push((sid, Bytes::from(bytes.to_vec())));
+        });
+        out
+    }
+
+    /// [`ReplicationServer::poll`] without the per-frame allocations:
+    /// each session's encoded frame is handed to `emit` as a borrow of
+    /// a reused buffer. This is the path the TCP listener pumps through
+    /// (frames go straight into per-socket send queues).
+    pub fn poll_with<S, F>(&mut self, src: &S, mut emit: F)
+    where
+        S: ReplicationSource,
+        F: FnMut(SessionId, &[u8]),
+    {
+        self.poll_inner(src, true, &mut emit);
     }
 
     /// Compute this tick's frames *without* committing them (session
-    /// mirrors, generation cursors, and statistics stay untouched), so
+    /// mirrors, extent snapshots, and statistics stay untouched), so
     /// repeated calls do identical work. For benchmarks and
     /// diagnostics; real streaming uses [`ReplicationServer::poll`].
     pub fn preview<S: ReplicationSource>(&mut self, src: &S) -> Vec<(SessionId, Bytes)> {
-        self.poll_inner(src, false)
+        let mut out = Vec::with_capacity(self.session_count());
+        self.poll_inner(src, false, &mut |sid, bytes| {
+            out.push((sid, Bytes::from(bytes.to_vec())));
+        });
+        out
     }
 
     fn poll_inner<S: ReplicationSource>(
         &mut self,
         src: &S,
         commit: bool,
-    ) -> Vec<(SessionId, Bytes)> {
+        emit: &mut dyn FnMut(SessionId, &[u8]),
+    ) {
         debug_assert_eq!(
             src.catalog().len(),
             self.catalog.len(),
             "source catalog mismatch"
         );
+        let shards = src.shards();
         let mut stats = NetStats {
             tick: src.source_tick(),
             sessions: self.session_count(),
             ..NetStats::default()
         };
-        let mut out = Vec::with_capacity(stats.sessions);
-        for (slot, session) in self.sessions.iter_mut().enumerate() {
-            let Some(session) = session else { continue };
-            let bytes = encode_session(
-                &self.catalog,
-                session,
-                src,
-                self.cfg.use_generations,
-                commit,
-                &mut stats,
-            );
-            out.push((SessionId(slot as u32), bytes));
+
+        // A source shape change invalidates everything tagged with
+        // shard indexes: the server snapshots and every session mirror.
+        if self.prev.len() != shards {
+            self.prev = (0..shards)
+                .map(|_| (0..self.catalog.len()).map(|_| None).collect())
+                .collect();
         }
+        for session in self.sessions.iter_mut().flatten() {
+            if session.shards_seen != 0 && session.shards_seen != shards {
+                for mirror in &mut session.mirror {
+                    mirror.clear();
+                }
+                session.baseline_sent = false;
+                session.resub_from = None;
+                session.shards_seen = 0;
+            }
+        }
+
+        if self.cfg.use_generations {
+            self.poll_shared(src, shards, commit, emit, &mut stats);
+        } else {
+            // Reference mode: every session scans every tick.
+            for slot in 0..self.sessions.len() {
+                let Some(session) = self.sessions[slot].as_mut() else {
+                    continue;
+                };
+                stats.sessions_visited += 1;
+                encode_session_scan(&self.catalog, session, src, commit, &mut stats);
+                if commit {
+                    session.shards_seen = shards;
+                }
+                emit(
+                    SessionId(slot as u32),
+                    &self.sessions[slot].as_ref().unwrap().enc,
+                );
+            }
+        }
+
         if commit {
             self.last = stats;
         }
-        out
+    }
+
+    /// The generation-mode poll: extract → route → project.
+    fn poll_shared<S: ReplicationSource>(
+        &mut self,
+        src: &S,
+        shards: usize,
+        commit: bool,
+        emit: &mut dyn FnMut(SessionId, &[u8]),
+        stats: &mut NetStats,
+    ) {
+        if self.index.dirty {
+            self.index.rebuild(&self.sessions);
+        }
+
+        // Stage 1: extract one shared delta per changed extent. Only
+        // classes some session subscribes are in demand (the cached
+        // list the index rebuild derived); an extent with no snapshot
+        // yet contributes nothing (no session can be caught up on it —
+        // its baseline poll is what installs the snapshot).
+        let mut deltas: Vec<ExtentDelta> = Vec::new();
+        let demanded = &self.index.demanded;
+        for &(class, ref attrs) in demanded {
+            for k in 0..shards {
+                let world = src.shard_world(k);
+                let table = world.table(class);
+                match &self.prev[k][class.0 as usize] {
+                    Some(snap) if snap.gens.as_slice() == table.col_gens() => {
+                        stats.skipped_scans += 1;
+                    }
+                    Some(snap) => {
+                        stats.scanned += 1;
+                        let delta = changeset::diff(world, class, k, snap, attrs);
+                        if !delta.is_empty() {
+                            deltas.push(delta);
+                        }
+                    }
+                    None => {}
+                }
+            }
+        }
+
+        // Stage 2: route deltas to sessions through the interest index.
+        // `touched[slot]` collects delta indexes in extraction order
+        // (class-major, shard-minor) — the projection order.
+        let mut touched: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        let mut hits: Vec<u32> = Vec::new();
+        for (di, delta) in deltas.iter().enumerate() {
+            for group in self.index.groups.iter().filter(|g| g.class == delta.class) {
+                let Some(&(_, blo, bhi)) = delta.bounds.iter().find(|b| b.0 == group.attr_col)
+                else {
+                    continue;
+                };
+                if blo > bhi {
+                    continue; // nothing relevant carried a comparable value
+                }
+                hits.clear();
+                group.windows.overlapping(blo, bhi, &mut hits);
+                for &h in &hits {
+                    touched.entry(group.slots[h as usize]).or_default().push(di);
+                }
+            }
+        }
+
+        // Stage 3: project. Skipped sessions share one empty frame.
+        let mut empty = BytesMut::with_capacity(32);
+        wire::encode_into(
+            &Frame {
+                baseline: false,
+                tick: src.source_tick(),
+                classes: Vec::new(),
+            },
+            &mut empty,
+        );
+        for slot in 0..self.sessions.len() {
+            let Some(session) = self.sessions[slot].as_mut() else {
+                continue;
+            };
+            let sid = SessionId(slot as u32);
+            if !session.caught_up(shards) {
+                stats.sessions_visited += 1;
+                encode_session_scan(&self.catalog, session, src, commit, stats);
+                if commit {
+                    session.shards_seen = shards;
+                }
+            } else if let Some(dis) = touched.get(&(slot as u32)) {
+                stats.sessions_visited += 1;
+                project_session(session, src, &deltas, dis, shards, commit, stats);
+            } else {
+                stats.sessions_skipped += 1;
+                stats.frames += 1;
+                stats.client_traffic.msgs += 1;
+                stats.client_traffic.bytes += empty.len() as u64;
+                if commit {
+                    session.stats.frames += 1;
+                    session.stats.bytes += empty.len() as u64;
+                }
+                emit(sid, &empty);
+                continue;
+            }
+            emit(sid, &self.sessions[slot].as_ref().unwrap().enc);
+        }
+
+        // Refresh the extent snapshots the next poll will diff against,
+        // and drop snapshots of classes no session subscribes anymore —
+        // a stale snapshot pins Arc clones of column data for no
+        // reader (a fresh one is installed by the next subscriber's
+        // baseline poll).
+        if commit {
+            let mut wanted = vec![false; self.catalog.len()];
+            for &(class, _) in &self.index.demanded {
+                wanted[class.0 as usize] = true;
+            }
+            for k in 0..shards {
+                let world = src.shard_world(k);
+                for (class_idx, slot) in self.prev[k].iter_mut().enumerate() {
+                    if !wanted[class_idx] {
+                        *slot = None;
+                        continue;
+                    }
+                    let class = ClassId(class_idx as u32);
+                    let stale = match slot {
+                        Some(snap) => snap.gens.as_slice() != world.table(class).col_gens(),
+                        None => true,
+                    };
+                    if stale {
+                        *slot = Some(changeset::refresh(world, class, slot.take()));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -304,72 +644,336 @@ fn value_identical(a: &Value, b: &Value) -> bool {
     }
 }
 
-/// Build (and optionally commit) one session's frame.
-fn encode_session<S: ReplicationSource>(
+/// Is `id` alive (present and authoritative) anywhere in the source?
+/// Distinguishes an exit (left the area of interest) from a despawn.
+fn alive_anywhere<S: ReplicationSource>(
+    src: &S,
+    shards: usize,
+    class: ClassId,
+    id: EntityId,
+) -> bool {
+    (0..shards).any(|k| {
+        let w = src.shard_world(k);
+        w.table(class).row_of(id).is_some() && !w.is_ghost(class, id)
+    })
+}
+
+// The row-encoding + traffic-accounting arms below are shared by the
+// changeset projection and the full-scan path: the oracle tests hold
+// the two paths bit-identical, so the wire accounting must live in
+// exactly one place.
+
+/// An entity entered the area of interest: ship the full row.
+fn push_enter(
+    table: &Table,
+    row: usize,
+    id: EntityId,
+    shard: usize,
+    shard_bytes: &mut [u64],
+    delta: &mut ClassDelta,
+) {
+    let values: Vec<Value> = (0..table.schema().len())
+        .map(|ci| table.column(ci).get(row))
+        .collect();
+    shard_bytes[shard] += 8 + values.iter().map(value_wire_bytes).sum::<u64>();
+    delta.enters.push((id, values));
+}
+
+/// A retained entity: ship its changed cells, if any.
+fn push_update(
+    id: EntityId,
+    cells: Vec<(u16, Value)>,
+    shard: usize,
+    shard_bytes: &mut [u64],
+    delta: &mut ClassDelta,
+) {
+    if cells.is_empty() {
+        return;
+    }
+    shard_bytes[shard] += 8
+        + 2
+        + cells
+            .iter()
+            .map(|(_, v)| 2 + value_wire_bytes(v))
+            .sum::<u64>();
+    delta.updates.push((id, cells));
+}
+
+/// Emit a class's session exits (pre-sorted by id), classifying each
+/// as a window exit or a despawn.
+fn push_exits<S: ReplicationSource>(
+    src: &S,
+    shards: usize,
+    class: ClassId,
+    exits: Vec<(EntityId, usize)>,
+    shard_bytes: &mut [u64],
+    delta: &mut ClassDelta,
+    stats: &mut NetStats,
+) {
+    for (id, shard) in exits {
+        if alive_anywhere(src, shards, class, id) {
+            stats.exits += 1;
+        } else {
+            stats.despawns += 1;
+        }
+        shard_bytes[shard] += 8;
+        delta.exits.push(id);
+    }
+}
+
+/// Fold one frame's byte count (and, on clusters, the per-shard payload
+/// contributions) into the poll statistics.
+fn account_frame(stats: &mut NetStats, frame_len: usize, shards: usize, shard_bytes: &[u64]) {
+    stats.frames += 1;
+    stats.client_traffic.msgs += 1;
+    stats.client_traffic.bytes += frame_len as u64;
+    if shards > 1 {
+        for &b in shard_bytes.iter().filter(|&&b| b > 0) {
+            stats.fanout.msgs += 1;
+            stats.fanout.bytes += b;
+        }
+    }
+}
+
+/// Commit one emitted frame to the session's model of the client.
+/// `frame_classes` is consumed — entered rows move into the mirror
+/// without a second clone.
+fn commit_frame(
+    session: &mut SessionState,
+    frame_classes: Vec<(ClassId, ClassDelta)>,
+    shard_tags: Vec<(ClassId, EntityId, usize)>,
+) {
+    session.baseline_sent = true;
+    session.resub_from = None;
+    session.stats.frames += 1;
+    session.stats.bytes += session.enc.len() as u64;
+    for (class, delta) in frame_classes {
+        let mirror = &mut session.mirror[class.0 as usize];
+        for id in delta.exits {
+            mirror.remove(&id);
+            session.stats.exits += 1;
+        }
+        for (id, values) in delta.enters {
+            mirror.insert(id, (0, values));
+            session.stats.enters += 1;
+        }
+        for (id, cells) in delta.updates {
+            let entry = mirror.get_mut(&id).expect("update targets mirrored id");
+            for (col, v) in cells {
+                entry.1[col as usize] = v;
+                session.stats.updated_cells += 1;
+            }
+        }
+    }
+    for (class, id, shard) in shard_tags {
+        if let Some(entry) = session.mirror[class.0 as usize].get_mut(&id) {
+            entry.0 = shard;
+        }
+    }
+}
+
+/// One delta row inside a session's window during projection:
+/// `(id, delta index, current row, changed-cell range if retained)`.
+type PresentRow = (EntityId, usize, u32, Option<(u32, u32)>);
+
+/// Project the shared changeset onto one caught-up session: diff the
+/// delta rows (only) against the session mirror and encode the frame
+/// into the session's reused buffer.
+fn project_session<S: ReplicationSource>(
+    session: &mut SessionState,
+    src: &S,
+    deltas: &[ExtentDelta],
+    touched: &[usize],
+    shards: usize,
+    commit: bool,
+    stats: &mut NetStats,
+) {
+    let spec = &session.interest.spec;
+    let mut classes: Vec<(ClassId, ClassDelta)> = Vec::new();
+    let mut shard_bytes: Vec<u64> = vec![0; shards];
+    let mut shard_tags: Vec<(ClassId, EntityId, usize)> = Vec::new();
+
+    // `touched` is class-major (extraction order): process each class's
+    // run of extents together so cross-shard migrations merge.
+    let mut i = 0;
+    while i < touched.len() {
+        let class = deltas[touched[i]].class;
+        let mut j = i;
+        while j < touched.len() && deltas[touched[j]].class == class {
+            j += 1;
+        }
+        let attr_col = session.interest.attr_cols[class.0 as usize]
+            .expect("routed session subscribes the class");
+        let mirror = &session.mirror[class.0 as usize];
+
+        // In-range membership among the delta rows, plus mirrored ids
+        // that dropped out (moved out of range, or left their extent).
+        let mut present: Vec<PresentRow> = Vec::new();
+        let mut dropped: FxHashSet<EntityId> = FxHashSet::default();
+        for &di in &touched[i..j] {
+            let delta = &deltas[di];
+            let table = src.shard_world(delta.shard).table(class);
+            let xs = table.column(attr_col).f64();
+            for &row in &delta.enters {
+                if spec.contains(xs[row as usize]) {
+                    present.push((table.id_at(row as usize), di, row, None));
+                }
+            }
+            for &(row, start, end) in &delta.changed {
+                let id = table.id_at(row as usize);
+                if spec.contains(xs[row as usize]) {
+                    present.push((id, di, row, Some((start, end))));
+                } else if mirror.contains_key(&id) {
+                    dropped.insert(id);
+                }
+            }
+            for &(id, _) in &delta.exits {
+                if mirror.contains_key(&id) {
+                    dropped.insert(id);
+                }
+            }
+        }
+        present.sort_unstable_by_key(|&(id, ..)| id);
+
+        let mut delta_out = ClassDelta::default();
+        let mut present_ids: FxHashSet<EntityId> = FxHashSet::default();
+        for &(id, di, row, cells) in &present {
+            present_ids.insert(id);
+            let shard = deltas[di].shard;
+            let table = src.shard_world(shard).table(class);
+            let row = row as usize;
+            match mirror.get(&id) {
+                None => {
+                    push_enter(table, row, id, shard, &mut shard_bytes, &mut delta_out);
+                    shard_tags.push((class, id, shard));
+                }
+                Some((_, known)) => {
+                    // Retained: ship changed cells only. For a `changed`
+                    // delta row the extraction already found them; a
+                    // cross-shard migration (an extent *enter* of a
+                    // mirrored id) diffs the full row against the
+                    // mirror instead.
+                    let mut out: Vec<(u16, Value)> = Vec::new();
+                    match cells {
+                        Some((start, end)) => {
+                            for &ci in &deltas[di].cells[start as usize..end as usize] {
+                                let v = table.column(ci as usize).get(row);
+                                if !value_identical(&known[ci as usize], &v) {
+                                    out.push((ci, v));
+                                }
+                            }
+                        }
+                        None => {
+                            for (ci, kv) in known.iter().enumerate() {
+                                let v = table.column(ci).get(row);
+                                if !value_identical(kv, &v) {
+                                    out.push((ci as u16, v));
+                                }
+                            }
+                        }
+                    }
+                    push_update(id, out, shard, &mut shard_bytes, &mut delta_out);
+                    shard_tags.push((class, id, shard));
+                }
+            }
+        }
+
+        let mut exits: Vec<(EntityId, usize)> = dropped
+            .into_iter()
+            .filter(|id| !present_ids.contains(id))
+            .map(|id| (id, mirror.get(&id).expect("dropped ids are mirrored").0))
+            .collect();
+        exits.sort_unstable_by_key(|&(id, _)| id);
+        push_exits(
+            src,
+            shards,
+            class,
+            exits,
+            &mut shard_bytes,
+            &mut delta_out,
+            stats,
+        );
+
+        stats.enters += delta_out.enters.len() as u64;
+        stats.updated_cells += delta_out
+            .updates
+            .iter()
+            .map(|(_, c)| c.len() as u64)
+            .sum::<u64>();
+        if !delta_out.is_empty() {
+            classes.push((class, delta_out));
+        }
+        i = j;
+    }
+
+    let frame = Frame {
+        baseline: false,
+        tick: src.source_tick(),
+        classes,
+    };
+    session.enc.clear();
+    wire::encode_into(&frame, &mut session.enc);
+    account_frame(stats, session.enc.len(), shards, &shard_bytes);
+    if commit {
+        commit_frame(session, frame.classes, shard_tags);
+    }
+}
+
+/// The per-session full-scan path: baselines, pending resubscriptions,
+/// and the `use_generations: false` reference mode. Scans the
+/// subscribed region directly and diffs it against the mirror.
+fn encode_session_scan<S: ReplicationSource>(
     catalog: &Catalog,
     session: &mut SessionState,
     src: &S,
-    use_generations: bool,
     commit: bool,
     stats: &mut NetStats,
-) -> Bytes {
+) {
     let shards = src.shards();
-    if session.last_gens.len() != shards {
-        // First poll, or the source shape changed under the session
-        // (e.g. re-pointed from a 4-node cluster to a single world).
-        // Mirror entries are tagged with shard indexes of the old
-        // shape, so a stale mirror could strand phantom entities whose
-        // recorded shard no longer exists — resynchronize from scratch
-        // with a fresh baseline instead.
-        session.last_gens = vec![vec![Vec::new(); catalog.len()]; shards];
-        for mirror in &mut session.mirror {
-            mirror.clear();
-        }
-        session.baseline_sent = false;
-    }
     let baseline = !session.baseline_sent;
     let spec = session.interest.spec.clone();
+    let old = session.resub_from.clone();
     let mut classes: Vec<(ClassId, ClassDelta)> = Vec::new();
-    // Per-shard payload contribution, for fan-out traffic accounting.
     let mut shard_bytes: Vec<u64> = vec![0; shards];
-    // Deferred mirror commits: (class, retained id, current shard).
-    let mut relocations: Vec<(ClassId, EntityId, usize)> = Vec::new();
-    let mut enter_shards: Vec<(ClassId, EntityId, usize)> = Vec::new();
+    let mut shard_tags: Vec<(ClassId, EntityId, usize)> = Vec::new();
 
     for cdef in catalog.classes() {
         let class = cdef.id;
-        let Some(attr_col) = session.interest.attr_cols[class.0 as usize] else {
+        let new_col = session.interest.attr_cols[class.0 as usize];
+        let old_col = old.as_ref().and_then(|o| o.attr_cols[class.0 as usize]);
+        if new_col.is_none() && old_col.is_none() {
             continue;
-        };
-        // Which shards need a scan for this class?
-        let mut scanned: Vec<usize> = Vec::new();
-        for k in 0..shards {
-            if !src.shard_may_own(k, class, &spec.attr, spec.lo, spec.hi) {
-                continue;
-            }
-            let gens = src.shard_world(k).table(class).col_gens();
-            if use_generations && session.last_gens[k][class.0 as usize].as_slice() == gens {
-                stats.skipped_scans += 1;
-                continue;
-            }
-            stats.scanned += 1;
-            scanned.push(k);
         }
+        // Scan shards that may own rows in the new window (enters,
+        // updates) or may have owned rows in the old one (exits of a
+        // pending resubscription).
+        let scanned: Vec<usize> = (0..shards)
+            .filter(|&k| {
+                (new_col.is_some() && src.shard_may_own(k, class, &spec.attr, spec.lo, spec.hi))
+                    || old.as_ref().is_some_and(|o| {
+                        old_col.is_some()
+                            && src.shard_may_own(k, class, &o.spec.attr, o.spec.lo, o.spec.hi)
+                    })
+            })
+            .collect();
+        stats.scanned += scanned.len() as u64;
         if scanned.is_empty() {
             continue;
         }
 
         // Pass 1: current in-interest membership on the scanned shards.
         let mut seen: FxHashMap<EntityId, (usize, u32)> = FxHashMap::default();
-        for &k in &scanned {
-            let world = src.shard_world(k);
-            let table = world.table(class);
-            let xs = table.column(attr_col).f64();
-            for (row, &id) in table.ids().iter().enumerate() {
-                if !spec.contains(xs[row]) || world.is_ghost(class, id) {
-                    continue;
+        if let Some(attr_col) = new_col {
+            for &k in &scanned {
+                let world = src.shard_world(k);
+                let table = world.table(class);
+                let xs = table.column(attr_col).f64();
+                for (row, &id) in table.ids().iter().enumerate() {
+                    if !spec.contains(xs[row]) || world.is_ghost(class, id) {
+                        continue;
+                    }
+                    seen.insert(id, (k, row as u32));
                 }
-                seen.insert(id, (k, row as u32));
             }
         }
 
@@ -384,43 +988,21 @@ fn encode_session<S: ReplicationSource>(
             let row = row as usize;
             match mirror.get(&id) {
                 None => {
-                    // Entered the area of interest: ship the full row.
-                    let values: Vec<Value> = (0..table.schema().len())
-                        .map(|ci| table.column(ci).get(row))
-                        .collect();
-                    shard_bytes[shard] += 8 + values.iter().map(value_wire_bytes).sum::<u64>();
-                    delta.enters.push((id, values));
-                    enter_shards.push((class, id, shard));
+                    push_enter(table, row, id, shard, &mut shard_bytes, &mut delta);
                 }
                 Some((_, known)) => {
-                    // Retained: diff changed columns only. When
-                    // generation cursors are live, columns whose
-                    // counter did not move on this shard are skipped
-                    // without comparing a single cell.
-                    let last = &session.last_gens[shard][class.0 as usize];
-                    let gens = table.col_gens();
+                    // Retained: diff changed columns only.
                     let mut cells: Vec<(u16, Value)> = Vec::new();
-                    for ci in 0..table.schema().len() {
-                        if use_generations && last.get(ci) == Some(&gens[ci]) {
-                            continue;
-                        }
+                    for (ci, kv) in known.iter().enumerate() {
                         let v = table.column(ci).get(row);
-                        if !value_identical(&known[ci], &v) {
+                        if !value_identical(kv, &v) {
                             cells.push((ci as u16, v));
                         }
                     }
-                    if !cells.is_empty() {
-                        shard_bytes[shard] += 8
-                            + 2
-                            + cells
-                                .iter()
-                                .map(|(_, v)| 2 + value_wire_bytes(v))
-                                .sum::<u64>();
-                        delta.updates.push((id, cells));
-                    }
-                    relocations.push((class, id, shard));
+                    push_update(id, cells, shard, &mut shard_bytes, &mut delta);
                 }
             }
+            shard_tags.push((class, id, shard));
         }
 
         // Pass 3: exits — mirrored entities whose source shard was
@@ -433,19 +1015,15 @@ fn encode_session<S: ReplicationSource>(
             .map(|(&id, &(shard, _))| (id, shard))
             .collect();
         exits.sort_unstable_by_key(|(id, _)| *id);
-        for (id, shard) in exits {
-            let alive = (0..shards).any(|k| {
-                let w = src.shard_world(k);
-                w.table(class).row_of(id).is_some() && !w.is_ghost(class, id)
-            });
-            if alive {
-                stats.exits += 1;
-            } else {
-                stats.despawns += 1;
-            }
-            shard_bytes[shard] += 8;
-            delta.exits.push(id);
-        }
+        push_exits(
+            src,
+            shards,
+            class,
+            exits,
+            &mut shard_bytes,
+            &mut delta,
+            stats,
+        );
 
         stats.enters += delta.enters.len() as u64;
         stats.updated_cells += delta
@@ -456,13 +1034,6 @@ fn encode_session<S: ReplicationSource>(
         if !delta.is_empty() {
             classes.push((class, delta));
         }
-
-        if commit {
-            for &k in &scanned {
-                session.last_gens[k][class.0 as usize] =
-                    src.shard_world(k).table(class).col_gens().to_vec();
-            }
-        }
     }
 
     let frame = Frame {
@@ -470,46 +1041,10 @@ fn encode_session<S: ReplicationSource>(
         tick: src.source_tick(),
         classes,
     };
-    let bytes = wire::encode(&frame);
-
-    stats.frames += 1;
-    stats.client_traffic.msgs += 1;
-    stats.client_traffic.bytes += bytes.len() as u64;
-    if shards > 1 {
-        for b in shard_bytes.iter().filter(|&&b| b > 0) {
-            stats.fanout.msgs += 1;
-            stats.fanout.bytes += b;
-        }
-    }
-
+    session.enc.clear();
+    wire::encode_into(&frame, &mut session.enc);
+    account_frame(stats, session.enc.len(), shards, &shard_bytes);
     if commit {
-        session.baseline_sent = true;
-        session.stats.frames += 1;
-        session.stats.bytes += bytes.len() as u64;
-        // Apply the delta to the session's model of the client.
-        for (class, delta) in &frame.classes {
-            let mirror = &mut session.mirror[class.0 as usize];
-            for id in &delta.exits {
-                mirror.remove(id);
-                session.stats.exits += 1;
-            }
-            for (id, values) in &delta.enters {
-                mirror.insert(*id, (0, values.clone()));
-                session.stats.enters += 1;
-            }
-            for (id, cells) in &delta.updates {
-                let entry = mirror.get_mut(id).expect("update targets mirrored id");
-                for (col, v) in cells {
-                    entry.1[*col as usize] = v.clone();
-                    session.stats.updated_cells += 1;
-                }
-            }
-        }
-        for (class, id, shard) in enter_shards.into_iter().chain(relocations) {
-            if let Some(entry) = session.mirror[class.0 as usize].get_mut(&id) {
-                entry.0 = shard;
-            }
-        }
+        commit_frame(session, frame.classes, shard_tags);
     }
-    bytes
 }

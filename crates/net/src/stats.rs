@@ -25,12 +25,25 @@ pub struct NetStats {
     pub despawns: u64,
     /// Changed `(entity, attribute)` cells streamed.
     pub updated_cells: u64,
-    /// `(session, shard, class)` scans skipped because every generation
-    /// counter matched — the change-detection fast path. No rows were
-    /// read for these.
+    /// `(shard, class)` extent scans skipped because every generation
+    /// counter matched the server's snapshot — the change-detection
+    /// fast path. No rows were read for these. (Shared across sessions:
+    /// an unchanged extent is skipped *once per poll*, not once per
+    /// session.)
     pub skipped_scans: u64,
-    /// `(session, shard, class)` extents actually scanned.
+    /// Extents actually scanned: one shared changeset extraction per
+    /// changed `(shard, class)` extent, plus one `(shard, class)` scan
+    /// per session taking the full-scan path (baselines, pending
+    /// resubscriptions, and `NetConfig { use_generations: false }`).
     pub scanned: u64,
+    /// Sessions that did per-row work this poll: baseline/resub scans
+    /// plus sessions the interest index routed a changed extent to.
+    pub sessions_visited: u64,
+    /// Sessions the interest index pruned: nothing overlapping their
+    /// declared window changed, so they got a shared pre-encoded empty
+    /// frame without touching a single row. The fan-out win is this
+    /// number staying near `sessions` when changes are localized.
+    pub sessions_skipped: u64,
     /// Shard → server merge traffic: one message per shard that
     /// contributed data to a fanned-out subscription, with the payload
     /// bytes it contributed (single-node sources never populate this).
@@ -44,6 +57,10 @@ pub struct NetStats {
     /// Input intents rejected by validation (unknown class/attribute,
     /// type mismatch, ownership violation, sink refusal).
     pub inputs_rejected: u64,
+    /// Input intents dropped by the per-session per-tick budget
+    /// ([`ListenerConfig::max_intents_per_tick`](crate::ListenerConfig));
+    /// the session lives on — throttling is not a protocol violation.
+    pub inputs_throttled: u64,
     /// Outbound bytes still queued in per-session send buffers after
     /// the pump — the backpressure the sockets exerted this tick.
     pub backlog_bytes: u64,
@@ -76,6 +93,8 @@ pub struct SessionStats {
     pub inputs_applied: u64,
     /// Input intents from this session that validation rejected.
     pub inputs_rejected: u64,
+    /// Input intents from this session dropped by the per-tick budget.
+    pub inputs_throttled: u64,
 }
 
 #[cfg(test)]

@@ -266,6 +266,134 @@ fn detached_sessions_stop_streaming() {
     assert_eq!(frames[0].0, b);
 }
 
+/// Detached session slots go on a free list and are reused by the next
+/// attach — a long-lived server with session churn does not grow its
+/// slot vector (or its per-poll iteration) without bound.
+#[test]
+fn detached_slots_are_reused() {
+    let cat = two_class_catalog();
+    let mut world = World::new(cat.clone());
+    world.spawn(ClassId(0), &[]).unwrap();
+    let mut server = ReplicationServer::new(cat.clone());
+    let a = server.attach_str("Unit where x in [-1, 1]").unwrap();
+    let b = server.attach_str("Unit where x in [-1, 1]").unwrap();
+    assert!(server.detach(a));
+    let c = server.attach_str("Unit where x in [0, 5]").unwrap();
+    assert_eq!(c, a, "freed slot is recycled");
+    assert_eq!(server.session_count(), 2);
+
+    // The recycled session starts from scratch: a fresh baseline, its
+    // own subscription, no inherited mirror.
+    let frames = server.poll(&world);
+    assert_eq!(frames.len(), 2);
+    let mut rc = ClientReplica::new(cat.clone());
+    for (sid, frame) in &frames {
+        if *sid == c {
+            assert_eq!(rc.apply(frame).unwrap().enters, 1);
+        }
+    }
+    assert_eq!(server.session_interest(c).map(|s| s.hi), Some(5.0));
+    assert_eq!(server.session_interest(b).map(|s| s.hi), Some(1.0));
+
+    // Churning 100 sessions through one slot never grows the vector.
+    for _ in 0..100 {
+        let s = server.attach_str("Npc where x in [0, 1]").unwrap();
+        assert!(server.detach(s));
+    }
+    assert_eq!(server.session_count(), 2);
+    let frames = server.poll(&world);
+    assert_eq!(frames.len(), 2, "no phantom slots in the poll");
+}
+
+/// The interest index prunes sessions whose window misses everything
+/// that changed: they receive a shared pre-encoded empty frame and are
+/// counted in `sessions_skipped`, not `sessions_visited`.
+#[test]
+fn unaffected_sessions_share_one_empty_frame() {
+    let cat = two_class_catalog();
+    let mut world = World::new(cat.clone());
+    let unit = ClassId(0);
+    let a = world.spawn(unit, &[("x", Value::Number(10.0))]).unwrap();
+    world.spawn(unit, &[("x", Value::Number(110.0))]).unwrap();
+    world.spawn(unit, &[("x", Value::Number(210.0))]).unwrap();
+
+    let mut server = ReplicationServer::new(cat.clone());
+    for w in 0..3 {
+        let lo = w as f64 * 100.0;
+        server
+            .attach(&InterestSpec::classes(&["Unit"], "x", lo, lo + 99.0))
+            .unwrap();
+    }
+    let baseline = server.poll(&world);
+    assert_eq!(server.last_stats().sessions_visited, 3, "baselines scan");
+
+    // Stationary: all three sessions skip, and the skipped frames are
+    // the *same bytes* (one shared empty delta frame).
+    world.advance_tick();
+    let frames = server.poll(&world);
+    let stats = server.last_stats();
+    assert_eq!((stats.sessions_visited, stats.sessions_skipped), (0, 3));
+    assert_eq!(frames[0].1, frames[1].1);
+    assert_eq!(frames[1].1, frames[2].1);
+
+    // A change in window 0 visits session 0 only.
+    world.set(a, "alive", &Value::Bool(true)).unwrap();
+    let frames = server.poll(&world);
+    let stats = server.last_stats();
+    assert_eq!((stats.sessions_visited, stats.sessions_skipped), (1, 2));
+    // Session 0's mirror picks up the change through the delta chain.
+    let mut replica = ClientReplica::new(cat.clone());
+    replica.apply(&baseline[0].1).unwrap();
+    replica.apply(&frames[0].1).unwrap();
+    assert_eq!(replica.get(unit, a, "alive"), Some(Value::Bool(true)));
+}
+
+/// Regression (review finding): marking a live, mirrored row as a
+/// ghost must reach replicated clients as an exit — including through
+/// the shared changeset's membership-stable fast path, which trusts
+/// generation counters to reveal membership flips. `World::mark_ghost`
+/// therefore touches the extent's generations; both change-detection
+/// modes must agree bit-for-bit.
+#[test]
+fn ghost_marks_on_live_rows_replicate_as_exits() {
+    let cat = two_class_catalog();
+    let mut world = World::new(cat.clone());
+    let unit = ClassId(0);
+    let a = world.spawn(unit, &[("x", Value::Number(10.0))]).unwrap();
+    let b = world.spawn(unit, &[("x", Value::Number(20.0))]).unwrap();
+
+    let mut gen_server = ReplicationServer::new(cat.clone());
+    let mut scan_server = ReplicationServer::with_config(
+        cat.clone(),
+        NetConfig {
+            use_generations: false,
+        },
+    );
+    gen_server.attach_str("Unit where x in [0, 100]").unwrap();
+    scan_server.attach_str("Unit where x in [0, 100]").unwrap();
+    let mut replica = ClientReplica::new(cat.clone());
+    replica.apply(&gen_server.poll(&world)[0].1).unwrap();
+    scan_server.poll(&world);
+    assert_eq!(replica.population(), 2);
+
+    // Flip `a` to a ghost — no row insert/remove — while an unrelated
+    // cell change keeps the extent "partially dirty" (the exact shape
+    // that used to sneak past the membership-stable fast path).
+    world.mark_ghost(unit, a);
+    world.set(b, "alive", &Value::Bool(true)).unwrap();
+    let fg = gen_server.poll(&world);
+    let fs = scan_server.poll(&world);
+    assert_eq!(fg[0].1, fs[0].1, "modes must agree on the ghost flip");
+    let summary = replica.apply(&fg[0].1).unwrap();
+    assert_eq!(summary.exits, 1, "the ghost left the mirror");
+    assert!(!replica.contains(unit, a));
+    assert_eq!(
+        replica.get(unit, b, "alive"),
+        Some(Value::Bool(true)),
+        "the unrelated change still streams"
+    );
+}
+
 #[test]
 fn semantic_inconsistencies_are_corrupt() {
     let cat = two_class_catalog();

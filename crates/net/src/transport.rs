@@ -20,6 +20,7 @@
 //! | [`MSG_FRAME`]   | server → client | one `SGN1` replication frame |
 //! | [`MSG_INPUT`]   | client → server | one `SGI1` input batch |
 //! | [`MSG_SPAWNED`] | server → client | `req:u32 id:u64` spawn acknowledgement |
+//! | [`MSG_RESUB`]   | client → server | new interest spec string (live re-subscription) |
 //!
 //! The server reads non-blockingly through [`MsgReader`] (bytes
 //! accumulate across ticks until a message completes); the blocking
@@ -55,6 +56,11 @@ pub const MSG_FRAME: u8 = 4;
 pub const MSG_INPUT: u8 = 5;
 /// Server → client: spawn-intent acknowledgement (`req:u32 id:u64`).
 pub const MSG_SPAWNED: u8 = 6;
+/// Client → server: live interest re-subscription (a new spec string).
+/// The session's next frame is a delta covering the symmetric
+/// difference of the two windows; a spec the server cannot resolve is a
+/// protocol violation and disconnects the session.
+pub const MSG_RESUB: u8 = 7;
 
 /// Serialize one message into a byte vector (length prefix included).
 pub fn frame_msg(kind: u8, payload: &[u8]) -> Vec<u8> {
@@ -168,6 +174,22 @@ pub fn decode_hello(mut buf: &[u8]) -> Result<(u32, String), NetError> {
     Ok((version, spec))
 }
 
+/// Encode a `RESUB` payload (the new interest spec, as its string form).
+pub fn resub_payload(spec: &str) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(4 + spec.len());
+    put_str(&mut buf, spec);
+    buf.to_vec()
+}
+
+/// Decode a `RESUB` payload into the new interest spec string.
+pub fn decode_resub(mut buf: &[u8]) -> Result<String, NetError> {
+    let spec = get_str(&mut buf)?;
+    if !buf.is_empty() {
+        return Err(NetError::Corrupt("trailing bytes"));
+    }
+    Ok(spec)
+}
+
 /// Encode a `WELCOME` payload.
 pub fn welcome_payload(version: u32, session: u32) -> Vec<u8> {
     let mut out = Vec::with_capacity(8);
@@ -214,6 +236,11 @@ mod tests {
         assert_eq!((v, s.as_str()), (1, "Unit where x in [0, 1]"));
         assert_eq!(decode_welcome(&welcome_payload(1, 7)).unwrap(), (1, 7));
         assert_eq!(decode_spawned(&spawned_payload(3, 99)).unwrap(), (3, 99));
+        assert_eq!(
+            decode_resub(&resub_payload("Unit where x in [5, 9]")).unwrap(),
+            "Unit where x in [5, 9]"
+        );
+        assert!(decode_resub(&resub_payload("x")[..2]).is_err());
         assert!(decode_hello(&hello_payload(1, "x")[..3]).is_err());
         assert!(decode_welcome(&[0; 7]).is_err());
         assert!(decode_welcome(&[0; 9]).is_err(), "trailing bytes");

@@ -91,6 +91,14 @@ pub struct Frame {
 /// Encode a frame.
 pub fn encode(frame: &Frame) -> Bytes {
     let mut buf = BytesMut::with_capacity(32);
+    encode_into(frame, &mut buf);
+    buf.freeze()
+}
+
+/// Encode a frame by appending to `buf` — the reusable-buffer variant
+/// the replication server streams through (`buf.clear()` between
+/// frames keeps the allocation; nothing is ever shrunk here).
+pub fn encode_into(frame: &Frame, buf: &mut BytesMut) {
     buf.put_slice(MAGIC);
     buf.put_u8(if frame.baseline {
         KIND_BASELINE
@@ -110,16 +118,16 @@ pub fn encode(frame: &Frame) -> Bytes {
         for (id, values) in &delta.enters {
             buf.put_u64_le(id.0);
             for v in values {
-                put_value(&mut buf, v);
+                put_value(buf, v);
             }
         }
         buf.put_u32_le(delta.updates.len() as u32);
         for (id, cells) in &delta.updates {
             buf.put_u64_le(id.0);
-            put_u16(&mut buf, cells.len() as u16);
+            put_u16(buf, cells.len() as u16);
             for (col, v) in cells {
-                put_u16(&mut buf, *col);
-                put_value(&mut buf, v);
+                put_u16(buf, *col);
+                put_value(buf, v);
             }
         }
         buf.put_u32_le(delta.exits.len() as u32);
@@ -127,7 +135,6 @@ pub fn encode(frame: &Frame) -> Bytes {
             buf.put_u64_le(id.0);
         }
     }
-    buf.freeze()
 }
 
 /// Decode and validate a frame against the shared catalog: class ids

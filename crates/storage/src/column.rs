@@ -230,6 +230,21 @@ impl Column {
         }
     }
 
+    /// Do two cells of same-typed columns hold the same value? Numbers
+    /// compare bitwise (like [`Column::cell_eq`]) and nothing is
+    /// materialized — the cell-diff hot path of `sgl-net`'s shared
+    /// changeset extraction. Mismatched column types are unequal.
+    pub fn cell_pair_eq(&self, row: usize, other: &Column, other_row: usize) -> bool {
+        match (self, other) {
+            (Column::F64(a), Column::F64(b)) => a[row].to_bits() == b[other_row].to_bits(),
+            (Column::Bool(a), Column::Bool(b)) => a[row] == b[other_row],
+            (Column::Ref(a), Column::Ref(b)) => a[row] == b[other_row],
+            (Column::Set(a), Column::Set(b)) => a[row] == b[other_row],
+            (Column::U32(a), Column::U32(b)) => a[row] == b[other_row],
+            _ => false,
+        }
+    }
+
     /// Write `v` at `row` (copy-on-write). The value type must match.
     pub fn set(&mut self, row: usize, v: &Value) {
         match (self, v) {

@@ -220,6 +220,30 @@ impl Table {
         self.gens[idx]
     }
 
+    /// Refresh every column generation without touching any data — for
+    /// membership-adjacent changes that live *outside* the table (e.g.
+    /// a row's ghost mark flipping in `sgl-engine`'s `World`) but must
+    /// be visible to generation-based readers exactly like an insert or
+    /// remove would be.
+    pub fn touch(&mut self) {
+        for g in &mut self.gens {
+            *g = fresh_gen();
+        }
+    }
+
+    /// Column indexes whose generation moved since a previous
+    /// observation `prev` (ascending). Columns `prev` does not cover
+    /// count as changed — a reader with no history must look at
+    /// everything. This is the changeset-iteration hook shared delta
+    /// extraction (`sgl-net`) is built on: one call tells the extractor
+    /// which columns can possibly contain changed cells.
+    pub fn changed_cols<'a>(&'a self, prev: &'a [u64]) -> impl Iterator<Item = usize> + 'a {
+        self.gens
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, g)| (prev.get(i) != Some(g)).then_some(i))
+    }
+
     /// Cheap snapshot of all columns (Arc clones) in schema order.
     pub fn snapshot_columns(&self) -> Vec<Column> {
         self.columns.clone()
@@ -398,6 +422,19 @@ mod tests {
         let cursor = t.col_gens().to_vec();
         let t2 = Table::new(unit_schema());
         assert!(t2.col_gens().iter().zip(&cursor).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn changed_cols_reports_moved_generations() {
+        let mut t = Table::new(unit_schema());
+        t.insert(EntityId(1), &[]).unwrap();
+        let cursor = t.col_gens().to_vec();
+        assert_eq!(t.changed_cols(&cursor).count(), 0);
+        t.set(EntityId(1), "y", &Value::Number(2.0)).unwrap();
+        assert_eq!(t.changed_cols(&cursor).collect::<Vec<_>>(), vec![1]);
+        // A short (or empty) cursor marks uncovered columns as changed.
+        assert_eq!(t.changed_cols(&cursor[..1]).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(t.changed_cols(&[]).collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 
     #[test]

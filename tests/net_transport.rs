@@ -589,6 +589,179 @@ fn pre_handshake_connections_cannot_pin_server_memory() {
     assert_eq!(listener.session_count(), 1);
 }
 
+/// Input budgets: a session may spend at most
+/// `max_intents_per_tick` intents per drain; the excess is dropped and
+/// counted (`inputs_throttled`) without disconnecting the session or
+/// touching the world, and the budget resets next tick.
+#[test]
+fn input_budget_throttles_excess_intents_without_disconnect() {
+    let mut sim = Simulation::builder().source(GAME).build().unwrap();
+    let catalog = sim.world().catalog().clone();
+    let class = sim.world().class_id("Unit").unwrap();
+    let hp_col = catalog.class(class).state.index_of("hp").unwrap() as u16;
+    let cfg = ListenerConfig {
+        max_intents_per_tick: 2,
+        ..ListenerConfig::default()
+    };
+    let mut listener = NetListener::bind_with_config("127.0.0.1:0", catalog.clone(), cfg).unwrap();
+    let spec: InterestSpec = "Unit where x in [0, 100]".parse().unwrap();
+    let mut clients = connect_all(&mut listener, std::slice::from_ref(&spec));
+
+    // Own an entity so the sets are semantically valid.
+    clients[0]
+        .send(vec![Intent::Spawn {
+            req: 1,
+            class,
+            values: vec![],
+        }])
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = listener.drain_inputs(&mut sim);
+        if report.applied == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "spawn never drained");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    sim.tick();
+    listener.pump_frames(&sim);
+    clients[0].recv_frame().unwrap();
+    let pet = clients[0].take_spawned()[0].1;
+
+    // Five valid sets in one batch: budget 2 → 2 applied, 3 throttled.
+    let burst: Vec<Intent> = (0..5)
+        .map(|i| Intent::Set {
+            class,
+            id: pet,
+            col: hp_col,
+            value: Value::Number(i as f64),
+        })
+        .collect();
+    clients[0].send(burst).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let report = loop {
+        let report = listener.drain_inputs(&mut sim);
+        if report.msgs > 0 {
+            break report;
+        }
+        assert!(Instant::now() < deadline, "burst never drained");
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert_eq!(
+        (
+            report.applied,
+            report.throttled,
+            report.rejected,
+            report.disconnects
+        ),
+        (2, 3, 0, 0),
+        "2 spent, 3 dropped, nobody disconnected"
+    );
+    assert_eq!(
+        sim.get(pet, "hp").unwrap(),
+        Value::Number(1.0),
+        "the last in-budget set wins; throttled ones never run"
+    );
+    sim.tick();
+    listener.pump_frames(&sim);
+    clients[0].recv_frame().unwrap();
+    assert_eq!(listener.last_stats().inputs_throttled, 3);
+    let sstats = listener.session_stats(clients[0].session()).unwrap();
+    assert_eq!((sstats.inputs_applied, sstats.inputs_throttled), (3, 3));
+
+    // The budget resets: a single intent next tick goes through.
+    clients[0]
+        .send(vec![Intent::Set {
+            class,
+            id: pet,
+            col: hp_col,
+            value: Value::Number(9.0),
+        }])
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let report = listener.drain_inputs(&mut sim);
+        if report.applied == 1 {
+            assert_eq!(report.throttled, 0);
+            break;
+        }
+        assert!(Instant::now() < deadline, "post-reset intent never drained");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(sim.get(pet, "hp").unwrap(), Value::Number(9.0));
+    assert_eq!(listener.session_count(), 1, "session survived throughout");
+}
+
+/// Live re-subscription over the wire: a `RESUB` message swaps the
+/// session's window; the next frame carries the symmetric difference
+/// and the replica tracks the *new* region with no reconnect. A
+/// resubscription the server cannot resolve disconnects only the
+/// offender.
+#[test]
+fn resubscription_over_the_wire_moves_the_window() {
+    let mut sim = Simulation::builder().source(GAME).build().unwrap();
+    for i in 0..10 {
+        sim.spawn("Unit", &[("x", Value::Number(i as f64 * 10.0))])
+            .unwrap();
+    }
+    let catalog = sim.world().catalog().clone();
+    let class = sim.world().class_id("Unit").unwrap();
+    let mut listener = NetListener::bind("127.0.0.1:0", catalog.clone()).unwrap();
+    let specs: Vec<InterestSpec> = ["Unit where x in [0, 45]", "Unit where x in [0, 200]"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let mut clients = connect_all(&mut listener, &specs);
+
+    let tick = |listener: &mut NetListener, sim: &mut Simulation, clients: &mut [NetClient]| {
+        listener.accept_pending().unwrap();
+        listener.drain_inputs(sim);
+        sim.tick();
+        listener.pump_frames(sim);
+        for c in clients.iter_mut() {
+            c.recv_frame().unwrap();
+        }
+    };
+    tick(&mut listener, &mut sim, &mut clients);
+    assert_eq!(clients[0].replica().population(), 5); // x = 0..=40
+
+    let moved: InterestSpec = "Unit where x in [40, 95]".parse().unwrap();
+    clients[0].resubscribe(&moved).unwrap();
+    // Let the RESUB land, then run ticks until the swap is visible.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while listener.session_interest(clients[0].session()) != Some(&moved) {
+        tick(&mut listener, &mut sim, &mut clients);
+        assert!(Instant::now() < deadline, "RESUB never applied");
+    }
+    tick(&mut listener, &mut sim, &mut clients);
+    assert_eq!(clients[0].replica().population(), 6); // x = 40..=90
+    assert_identical(clients[0].replica(), &sim, class, &moved);
+    assert_identical(clients[1].replica(), &sim, class, &specs[1]);
+    assert_eq!(listener.session_count(), 2);
+
+    // An unresolvable re-subscription is a protocol violation: the
+    // offender is disconnected, the neighbour streams on.
+    clients[0]
+        .resubscribe(&InterestSpec::classes(&["Ghost"], "x", 0.0, 1.0))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        listener.accept_pending().unwrap();
+        let report = listener.drain_inputs(&mut sim);
+        if report.disconnects == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "bad RESUB never disconnected");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(listener.session_count(), 1);
+    sim.tick();
+    listener.pump_frames(&sim);
+    clients[1].recv_frame().unwrap();
+    assert_identical(clients[1].replica(), &sim, class, &specs[1]);
+}
+
 /// Backpressure: a client that stops reading cannot pin server memory —
 /// its queue depth is visible in `NetStats::backlog_bytes` until it
 /// crosses `max_queued`, at which point the session is disconnected.

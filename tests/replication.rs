@@ -443,6 +443,246 @@ fn dist_sessions_skip_unchanged_stripes() {
     assert_identical(&replica, &cluster, class, &spec);
 }
 
+/// The tentpole oracle: the shared-changeset path (one extraction per
+/// changed extent, routed through the session interest index) must be
+/// **bit-identical**, per session per tick, to the per-session
+/// full-scan reference (`use_generations: false`) — for many sessions
+/// with assorted windows, on a single world and on a 4-node cluster,
+/// across churn (moves, spawns, despawns, seam crossings) and a
+/// mid-trace attach (baseline mixed into the shared path).
+#[test]
+fn shared_changeset_frames_match_per_session_scan_path() {
+    let windows = [
+        "Unit where x in [0, 40]",
+        "Unit where x in [35, 90]",
+        "Unit where x in [120, 160]",
+        "Unit where x in [0, 200]",
+        "Unit where x in [95, 105]",  // straddles the 4-node seam at 100
+        "Unit where x in [300, 400]", // never populated
+    ];
+    for shards in [1usize, 4] {
+        let game = Simulation::builder()
+            .source(GAME)
+            .build()
+            .unwrap()
+            .game()
+            .clone();
+        let mut sim = DistSim::new(game, DistConfig::new(shards, "x", (0.0, 200.0), 8.0)).unwrap();
+        let catalog = sim.game().catalog.clone();
+        let mut ids = Vec::new();
+        for i in 0..60 {
+            ids.push(
+                sim.spawn("Unit", &[("x", Value::Number((i * 7 % 200) as f64))])
+                    .unwrap(),
+            );
+        }
+
+        let mut shared = ReplicationServer::new(catalog.clone());
+        let mut scan = ReplicationServer::with_config(
+            catalog.clone(),
+            NetConfig {
+                use_generations: false,
+            },
+        );
+        let mut sids = Vec::new();
+        for w in &windows[..4] {
+            let a = shared.attach_str(w).unwrap();
+            let b = scan.attach_str(w).unwrap();
+            assert_eq!(a, b);
+            sids.push(a);
+        }
+        let mut replicas: Vec<ClientReplica> = (0..windows.len())
+            .map(|_| ClientReplica::new(catalog.clone()))
+            .collect();
+
+        for round in 0..12 {
+            match round % 4 {
+                0 => {
+                    for (j, &id) in ids.iter().enumerate() {
+                        if j % 5 == (round / 4) % 5 {
+                            let x = ((j * 31 + round * 17) % 200) as f64;
+                            sim.set(id, "x", &Value::Number(x)).unwrap();
+                        }
+                    }
+                }
+                1 => {
+                    sim.step();
+                }
+                2 => {
+                    let id = sim
+                        .spawn("Unit", &[("x", Value::Number((round * 13 % 200) as f64))])
+                        .unwrap();
+                    ids.push(id);
+                    if round == 6 {
+                        sim.despawn(ids[3]);
+                    }
+                }
+                _ => {
+                    for &id in ids.iter().take(10) {
+                        if sim.class_of(id).is_some() {
+                            sim.set(id, "hp", &Value::Number(round as f64)).unwrap();
+                        }
+                    }
+                }
+            }
+            if round == 5 {
+                // Mid-trace attaches: baselines ride along with the
+                // shared path without disturbing caught-up sessions.
+                for w in &windows[4..] {
+                    let a = shared.attach_str(w).unwrap();
+                    let b = scan.attach_str(w).unwrap();
+                    assert_eq!(a, b);
+                    sids.push(a);
+                }
+            }
+            let fg = shared.poll(&sim);
+            let fs = scan.poll(&sim);
+            assert_eq!(fg.len(), fs.len());
+            for ((ga, gb), (sa, sb)) in fg.iter().zip(fs.iter()) {
+                assert_eq!(ga, sa, "session order (shards={shards}, round={round})");
+                assert_eq!(
+                    gb, sb,
+                    "frames must be bit-identical (shards={shards}, round={round}, sid={ga:?})"
+                );
+            }
+            for (sid, frame) in &fg {
+                replicas[sid.0 as usize].apply(frame).unwrap();
+            }
+        }
+        // The scan server never skips; the shared server must have.
+        assert_eq!(scan.last_stats().sessions_skipped, 0);
+        let st = shared.last_stats();
+        assert_eq!(
+            st.sessions_visited + st.sessions_skipped,
+            windows.len() as u64
+        );
+        let class = catalog.class_by_name("Unit").unwrap().id;
+        for sid in &sids {
+            let spec = shared.session_interest(*sid).unwrap().clone();
+            assert_identical(&replicas[sid.0 as usize], &sim, class, &spec);
+        }
+    }
+}
+
+/// Fan-out pruning: with disjoint-range sessions, a change localized to
+/// one window visits only that session — `sessions_visited` is the
+/// number of *affected* sessions, not the number attached — on a
+/// single world and on a 4-node cluster alike.
+#[test]
+fn interest_index_prunes_disjoint_sessions() {
+    for shards in [1usize, 4] {
+        let game = Simulation::builder()
+            .source(GAME)
+            .build()
+            .unwrap()
+            .game()
+            .clone();
+        let mut sim = DistSim::new(game, DistConfig::new(shards, "x", (0.0, 1600.0), 8.0)).unwrap();
+        let catalog = sim.game().catalog.clone();
+        let class = catalog.class_by_name("Unit").unwrap().id;
+        let mut ids = Vec::new();
+        for i in 0..160 {
+            ids.push(
+                sim.spawn("Unit", &[("x", Value::Number(i as f64 * 10.0))])
+                    .unwrap(),
+            );
+        }
+
+        // 16 disjoint windows of 90 units each: [0,90], [100,190], …
+        let mut server = ReplicationServer::new(catalog.clone());
+        let mut replicas = Vec::new();
+        for w in 0..16 {
+            let lo = w as f64 * 100.0;
+            server
+                .attach(&InterestSpec::classes(&["Unit"], "x", lo, lo + 90.0))
+                .unwrap();
+            replicas.push(ClientReplica::new(catalog.clone()));
+        }
+        for (sid, frame) in server.poll(&sim) {
+            replicas[sid.0 as usize].apply(&frame).unwrap();
+        }
+
+        // Stationary world: every extent skips, every session skips.
+        let frames = server.poll(&sim);
+        let stats = server.last_stats();
+        assert_eq!(stats.sessions_visited, 0, "shards={shards}");
+        assert_eq!(stats.sessions_skipped, 16, "shards={shards}");
+        for (sid, frame) in frames {
+            replicas[sid.0 as usize].apply(&frame).unwrap();
+        }
+
+        // A change localized to window 3 (x ∈ [300, 390]) visits only
+        // session 3; the other 15 are pruned by the interest index.
+        sim.set(ids[31], "hp", &Value::Number(42.0)).unwrap(); // x = 310
+        let frames = server.poll(&sim);
+        let stats = server.last_stats().clone();
+        assert_eq!(
+            stats.sessions_visited, 1,
+            "only the affected session does work (shards={shards})"
+        );
+        assert_eq!(stats.sessions_skipped, 15, "shards={shards}");
+        assert_eq!(stats.updated_cells, 1);
+        for (sid, frame) in frames {
+            replicas[sid.0 as usize].apply(&frame).unwrap();
+        }
+        for (w, replica) in replicas.iter().enumerate() {
+            let spec =
+                InterestSpec::classes(&["Unit"], "x", w as f64 * 100.0, w as f64 * 100.0 + 90.0);
+            assert_identical(replica, &sim, class, &spec);
+        }
+    }
+}
+
+/// Live re-subscription: the next frame after a window swap is a delta
+/// carrying exactly the symmetric difference — exits for mirrored
+/// entities the new window dropped, enters for newly covered ones, no
+/// baseline, no mirror reset — after which the session rides the
+/// shared changeset path again.
+#[test]
+fn resubscribe_emits_symmetric_difference() {
+    let mut sim = Simulation::builder().source(GAME).build().unwrap();
+    let class = sim.world().class_id("Unit").unwrap();
+    let catalog = sim.world().catalog().clone();
+    for i in 0..10 {
+        // x = 0, 10, …, 90
+        sim.spawn("Unit", &[("x", Value::Number(i as f64 * 10.0))])
+            .unwrap();
+    }
+    let mut server = ReplicationServer::new(catalog.clone());
+    let sid = server.attach_str("Unit where x in [0, 50]").unwrap();
+    let mut replica = ClientReplica::new(catalog.clone());
+    replica.apply(&server.poll(&sim)[0].1).unwrap();
+    assert_eq!(replica.population(), 6); // x = 0..=50
+
+    // Swap to [30, 80]: lose x ∈ {0,10,20}, keep {30,40,50}, gain {60,70,80}.
+    let new_spec: InterestSpec = "Unit where x in [30, 80]".parse().unwrap();
+    server.resubscribe(sid, &new_spec).unwrap();
+    assert_eq!(server.session_interest(sid), Some(&new_spec));
+    let frames = server.poll(&sim);
+    let summary = replica.apply(&frames[0].1).unwrap();
+    assert_eq!((summary.enters, summary.exits), (3, 3));
+    assert_eq!(summary.updated_cells, 0, "the intersection is untouched");
+    assert_identical(&replica, &sim, class, &new_spec);
+    let stats = server.last_stats();
+    assert_eq!(stats.exits, 3, "window exits, not despawns");
+    assert_eq!(stats.despawns, 0);
+
+    // Back on the shared path: a stationary tick skips the session.
+    replica.apply(&server.poll(&sim)[0].1).unwrap();
+    let stats = server.last_stats();
+    assert_eq!(stats.sessions_skipped, 1);
+    assert!(stats.skipped_scans > 0);
+    assert_identical(&replica, &sim, class, &new_spec);
+
+    // An unresolvable resubscription is rejected and changes nothing.
+    assert!(server
+        .resubscribe(sid, &InterestSpec::classes(&["Ghost"], "x", 0.0, 1.0))
+        .is_err());
+    assert_eq!(server.session_interest(sid), Some(&new_spec));
+    // Unknown sessions are refused.
+    assert!(server.resubscribe(sgl::SessionId(99), &new_spec).is_err());
+}
+
 /// The same subscription against a 1-node and a 4-node cluster yields
 /// bit-identical frame streams — replication is deployment-transparent.
 #[test]

@@ -73,6 +73,12 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Drop the contents, keeping the allocation (for reusable
+    /// per-session encode buffers).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
 }
 
 impl Deref for BytesMut {
