@@ -1,18 +1,68 @@
-//! E3: effect-phase thread scaling.
+//! E3: full-tick thread scaling over the shared worker pool — RTS and
+//! boids single-node, plus a 4-node cluster × thread-count regime — and
+//! the small-join overhead microbench (per-call scoped spawns vs the
+//! persistent pool).
+//!
+//! Every scaling series first asserts that the N-thread run is
+//! bit-identical to the serial run, so the bench doubles as an
+//! exactness regression check: numbers recorded from it are numbers of
+//! the *same* computation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgl::{ExecMode, Simulation, Value, WorkerPool};
+use sgl_bench::{crowd_points, CROWD_GAME};
+use sgl_dist::{DistConfig, DistSim};
+use sgl_workloads::boids;
 use sgl_workloads::rts::{build, RtsParams};
 
-fn bench(c: &mut Criterion) {
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn rts_sim(threads: usize) -> Simulation {
+    build(&RtsParams {
+        units_per_side: 4000,
+        arena: 500.0,
+        threads,
+        ..RtsParams::default()
+    })
+}
+
+/// Full unit state, formatted so comparison is bitwise.
+fn unit_state(sim: &Simulation, class: &str, attrs: &[&str]) -> Vec<Vec<String>> {
+    let w = sim.world();
+    let cid = w.class_id(class).unwrap();
+    w.table(cid)
+        .ids()
+        .iter()
+        .map(|&id| {
+            attrs
+                .iter()
+                .map(|a| format!("{}", w.get(id, a).unwrap()))
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_exact<F: Fn(usize) -> Vec<Vec<String>>>(label: &str, run: F) {
+    let serial = run(1);
+    for &threads in &THREADS[1..] {
+        assert_eq!(
+            serial,
+            run(threads),
+            "{label}: {threads}-thread run must be bit-identical to serial"
+        );
+    }
+}
+
+fn bench_rts(c: &mut Criterion) {
+    assert_exact("rts8k", |threads| {
+        let mut sim = rts_sim(threads);
+        sim.run(3);
+        unit_state(&sim, "Unit", &["x", "y", "health"])
+    });
     let mut g = c.benchmark_group("parallel");
     g.sample_size(10);
-    for &threads in &[1usize, 2, 4, 8] {
-        let mut sim = build(&RtsParams {
-            units_per_side: 4000,
-            arena: 500.0,
-            threads,
-            ..RtsParams::default()
-        });
+    for &threads in &THREADS {
+        let mut sim = rts_sim(threads);
         sim.run(2);
         g.bench_with_input(BenchmarkId::new("rts8k_tick", threads), &threads, |b, _| {
             b.iter(|| {
@@ -23,5 +73,139 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+fn bench_boids(c: &mut Criterion) {
+    let mk = |threads| boids::build_threaded(8_000, 500.0, 17, ExecMode::Compiled, threads, None);
+    assert_exact("boids8k", |threads| {
+        let mut sim = mk(threads);
+        sim.run(3);
+        unit_state(&sim, "Boid", &["x", "y", "hx", "hy", "flock"])
+    });
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    for &threads in &THREADS {
+        let mut sim = mk(threads);
+        sim.run(2);
+        g.bench_with_input(
+            BenchmarkId::new("boids8k_tick", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    sim.tick();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn cluster(threads: usize, n: usize, span: f64) -> DistSim {
+    let game = Simulation::builder()
+        .source(CROWD_GAME)
+        .build()
+        .unwrap()
+        .game()
+        .clone();
+    let cfg = DistConfig::new(4, "x", (0.0, span), 12.0).threads(threads);
+    let mut sim = DistSim::new(game, cfg).unwrap();
+    let mut ids = Vec::new();
+    for (x, y) in crowd_points(n, span, 0xD157) {
+        ids.push(
+            sim.spawn("Unit", &[("x", Value::Number(x)), ("y", Value::Number(y))])
+                .unwrap(),
+        );
+    }
+    sim.step(); // warm plans + first halo exchange
+    sim
+}
+
+fn bench_dist(c: &mut Criterion) {
+    let n = 8_000;
+    let span = 1_200.0;
+    // Exactness across the cluster: same 4-node deployment, every
+    // thread count, bit-identical per-entity state after 3 steps.
+    let dist_state = |threads: usize| {
+        let mut sim = cluster(threads, 2_000, span);
+        sim.step();
+        sim.step();
+        let ids: Vec<_> = (0..4)
+            .flat_map(|k| {
+                let w = sim.node_world(k);
+                let cid = w.class_id("Unit").unwrap();
+                w.table(cid)
+                    .ids()
+                    .iter()
+                    .copied()
+                    .filter(|&id| !w.is_ghost(cid, id))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut rows: Vec<Vec<String>> = ids
+            .iter()
+            .map(|&id| {
+                vec![
+                    format!("{id}"),
+                    format!("{}", sim.get(id, "x").unwrap()),
+                    format!("{}", sim.get(id, "crowding").unwrap()),
+                ]
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_exact("dist4node", dist_state);
+
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        let mut sim = cluster(threads, n, span);
+        g.bench_with_input(
+            BenchmarkId::new("dist4node_crowd8k_step", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    sim.step();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The satellite claim behind migrating accum joins off per-call
+/// `thread::scope`: for small joins the dominant cost was spawning and
+/// joining OS threads every call. The persistent pool replaces that
+/// with a mutex publish + condvar wait.
+fn bench_pool_overhead(c: &mut Criterion) {
+    const TASKS: usize = 8;
+    let work = |i: usize| -> u64 { (0..64u64).map(|v| v.wrapping_mul(i as u64 + 1)).sum() };
+
+    let mut g = c.benchmark_group("parallel");
+    g.bench_function("small_join/spawn_scope", |b| {
+        b.iter(|| {
+            let mut out = vec![0u64; TASKS];
+            std::thread::scope(|s| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    s.spawn(move || *slot = work(i));
+                }
+            });
+            out
+        })
+    });
+    let pool = WorkerPool::new(4);
+    g.bench_function("small_join/pool_run", |b| {
+        b.iter(|| {
+            let (out, _) = pool.run(TASKS, work);
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rts,
+    bench_boids,
+    bench_dist,
+    bench_pool_overhead
+);
 criterion_main!(benches);

@@ -74,8 +74,8 @@ use std::sync::Arc;
 pub use sgl_ast as ast;
 pub use sgl_compiler::CompiledGame;
 pub use sgl_engine::{
-    astar, debug, EngineConfig, EngineError, ExecConfig, JoinObs, ObstacleGrid, PathfindSpec,
-    PhysicsSpec, TickStats, TxnReport, World,
+    astar, debug, default_threads, EngineConfig, EngineError, ExecConfig, JoinObs, ObstacleGrid,
+    ParallelStats, PathfindSpec, PhysicsSpec, TickStats, TxnReport, WorkerPool, World,
 };
 pub use sgl_frontend::Diagnostics;
 pub use sgl_index::IndexKind;
@@ -143,6 +143,22 @@ impl SimulationBuilder {
     /// Worker threads for the effect phase (compiled mode).
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.exec.threads = threads.max(1);
+        self
+    }
+
+    /// Minimum extent rows before a phase fans out to threads. The
+    /// default (1024) keeps small extents serial; tests force the
+    /// parallel path on tiny worlds by lowering it.
+    pub fn parallel_threshold(mut self, rows: usize) -> Self {
+        self.config.exec.parallel_threshold = rows;
+        self
+    }
+
+    /// Rows per parallel chunk (0 = automatic). Chunk geometry depends
+    /// only on extent size, never on the thread count, so any value
+    /// yields the same ⊕ results at every thread count.
+    pub fn chunk_rows(mut self, rows: usize) -> Self {
+        self.config.exec.chunk_rows = rows;
         self
     }
 
@@ -283,6 +299,13 @@ impl Simulation {
     /// The world (read access).
     pub fn world(&self) -> &World {
         self.engine.world()
+    }
+
+    /// The engine's shared worker pool (hand it to
+    /// [`ReplicationServer::set_pool`] to parallelize replication
+    /// extraction without spawning a second set of threads).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        self.engine.pool()
     }
 
     /// Mutable world access (host setup between ticks).

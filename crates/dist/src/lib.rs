@@ -94,7 +94,7 @@ use sgl_compiler::CompiledGame;
 use sgl_engine::effects::fold_seeds;
 use sgl_engine::{
     reactive, update, CompiledExecutor, EffectPartial, EffectPhase, EffectStore, ExecConfig, Seed,
-    TickStats, World,
+    TickStats, WorkerPool, World,
 };
 use sgl_storage::{
     ClassId, EntityId, FxHashMap, FxHashSet, IdGen, ScalarType, StorageError, Value,
@@ -172,6 +172,14 @@ impl DistConfig {
         }
     }
 
+    /// Set the worker-thread count of the cluster's shared pool (every
+    /// node executor and the halo gather fan out over the same pool, so
+    /// thread spawn cost is paid once per process, not per node).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.exec.threads = n;
+        self
+    }
+
     fn validate(&self) -> Result<(), DistError> {
         if self.nodes == 0 {
             return Err(DistError::Config("need at least one node".into()));
@@ -236,6 +244,11 @@ pub struct DistSim {
     game: Arc<CompiledGame>,
     cfg: DistConfig,
     nodes: Vec<Node>,
+    /// One worker pool for the whole cluster: every node's executor
+    /// shares it (the per-node loops are serial, so lanes never
+    /// contend), and the halo gather fans its per-source-node scans
+    /// over it directly.
+    pool: Arc<WorkerPool>,
     /// Entity → owning node. The cluster's (replicated) directory.
     owner: FxHashMap<EntityId, usize>,
     /// Per class: column index of the partition attribute (`None` for
@@ -287,10 +300,11 @@ impl DistSim {
                     .into(),
             ));
         }
+        let pool = Arc::new(WorkerPool::new(cfg.exec.threads));
         let nodes = (0..cfg.nodes)
             .map(|_| Node {
                 world: World::new(game.catalog.clone()),
-                executor: CompiledExecutor::new(game.clone(), cfg.exec.clone()),
+                executor: CompiledExecutor::with_pool(game.clone(), cfg.exec.clone(), pool.clone()),
                 seeds: Vec::new(),
                 halo: HaloState::new(game.catalog.len()),
             })
@@ -300,6 +314,7 @@ impl DistSim {
             game,
             cfg,
             nodes,
+            pool,
             owner: FxHashMap::default(),
             attr_cols,
             idgen: IdGen::new(),
@@ -326,26 +341,14 @@ impl DistSim {
     /// Owning node of a partition-attribute value (edge stripes own the
     /// overflow beyond the configured range).
     pub fn node_of(&self, x: f64) -> usize {
-        let rel = (x - self.cfg.range.0) / self.stripe_width();
-        (rel.floor().max(0.0) as usize).min(self.cfg.nodes - 1)
+        node_of_cfg(&self.cfg, x)
     }
 
     /// Is `x` inside node `k`'s ghost halo (stripe ± halo radius, edge
     /// stripes open-ended outward)? Inclusive at exactly the radius, to
     /// match the inclusive band predicates scripts compile to.
     pub fn in_halo(&self, k: usize, x: f64) -> bool {
-        let w = self.stripe_width();
-        let lo = if k == 0 {
-            f64::NEG_INFINITY
-        } else {
-            self.cfg.range.0 + k as f64 * w - self.cfg.halo_radius
-        };
-        let hi = if k == self.cfg.nodes - 1 {
-            f64::INFINITY
-        } else {
-            self.cfg.range.0 + (k + 1) as f64 * w + self.cfg.halo_radius
-        };
-        (lo..=hi).contains(&x)
+        in_halo_cfg(&self.cfg, k, x)
     }
 
     /// Spawn an entity of `class`; it is placed on the node owning its
@@ -553,6 +556,7 @@ impl DistSim {
             node.executor
                 .run(&node.world, &mut store, &mut intents, &mut scratch);
             stats.node_compute_nanos[k] += t0.elapsed().as_nanos() as u64;
+            stats.parallel.merge(&scratch.parallel);
             stores.push(store);
             intents_by_node.push(intents);
         }
@@ -590,6 +594,7 @@ impl DistSim {
         }
 
         // --- 4. ⊕ finalize, update, reactive on every node. ------------
+        let pool = self.pool.clone();
         for (k, ((node, store), intents)) in self
             .nodes
             .iter_mut()
@@ -608,6 +613,8 @@ impl DistSim {
                 &[],
                 &mut [],
                 &mut txn,
+                &pool,
+                &mut stats.parallel,
             );
             let reactive_out = reactive::run_handlers(&node.world, &game);
             node.seeds = reactive_out.seeds;
@@ -670,17 +677,26 @@ impl DistSim {
 
         // Gather shipments (and desired membership) first to keep the
         // borrows simple — order is (source node, class, row, dest).
-        // Resident ghosts are skipped: only authoritative rows ship.
-        let mut ships: Vec<RowShipment> = Vec::new();
-        for (j, node) in self.nodes.iter().enumerate() {
+        // Each source node's scan reads only its own world, so the pass
+        // fans out over the shared pool, one task per source node;
+        // folding the per-node results back in node order reproduces
+        // the serial gather byte for byte. Resident ghosts are skipped:
+        // only authoritative rows ship.
+        let cfg = &self.cfg;
+        let attr_cols = &self.attr_cols;
+        let worlds: Vec<&World> = self.nodes.iter().map(|node| &node.world).collect();
+        let (gathered, run_stats) = self.pool.run(worlds.len(), |j| {
+            let world = worlds[j];
+            let mut desires: Vec<(usize, usize, EntityId)> = Vec::new();
+            let mut ships: Vec<RowShipment> = Vec::new();
             for cdef in game.catalog.classes() {
                 let class = cdef.id;
-                let table = node.world.table(class);
-                match self.attr_cols[class.0 as usize] {
+                let table = world.table(class);
+                match attr_cols[class.0 as usize] {
                     Some(col) => {
                         let xs = table.column(col).f64();
                         for (row, &id) in table.ids().iter().enumerate() {
-                            if node.world.is_ghost(class, id) {
+                            if world.is_ghost(class, id) {
                                 continue;
                             }
                             let x = xs[row];
@@ -690,13 +706,12 @@ impl DistSim {
                             // (x−halo == stripe hi exactly) stays in,
                             // then let in_halo decide. O(overlap), not
                             // O(nodes), per row.
-                            let k_lo = self.node_of(x - self.cfg.halo_radius).saturating_sub(1);
-                            let k_hi = (self.node_of(x + self.cfg.halo_radius) + 1)
-                                .min(self.cfg.nodes - 1);
-                            for (k, halo) in halos.iter_mut().enumerate().take(k_hi + 1).skip(k_lo)
-                            {
-                                if k != j && self.in_halo(k, x) {
-                                    halo.desired[class.0 as usize].insert(id);
+                            let k_lo = node_of_cfg(cfg, x - cfg.halo_radius).saturating_sub(1);
+                            let k_hi =
+                                (node_of_cfg(cfg, x + cfg.halo_radius) + 1).min(cfg.nodes - 1);
+                            for k in k_lo..=k_hi {
+                                if k != j && in_halo_cfg(cfg, k, x) {
+                                    desires.push((k, class.0 as usize, id));
                                     ships.push((k, class, id, copy_row(table, row)));
                                 }
                             }
@@ -708,11 +723,11 @@ impl DistSim {
                     // scripts read them exactly as single-node would.
                     None if j == 0 => {
                         for (row, &id) in table.ids().iter().enumerate() {
-                            if node.world.is_ghost(class, id) {
+                            if world.is_ghost(class, id) {
                                 continue;
                             }
-                            for (k, halo) in halos.iter_mut().enumerate().skip(1) {
-                                halo.desired[class.0 as usize].insert(id);
+                            for k in 1..cfg.nodes {
+                                desires.push((k, class.0 as usize, id));
                                 ships.push((k, class, id, copy_row(table, row)));
                             }
                         }
@@ -720,6 +735,17 @@ impl DistSim {
                     None => {}
                 }
             }
+            (desires, ships)
+        });
+        if !self.pool.is_serial() {
+            stats.parallel.absorb(&run_stats);
+        }
+        let mut ships: Vec<RowShipment> = Vec::new();
+        for (desires, mut node_ships) in gathered {
+            for (k, ci, id) in desires {
+                halos[k].desired[ci].insert(id);
+            }
+            ships.append(&mut node_ships);
         }
 
         // Exits first (a row cannot exit and re-enter in one exchange):
@@ -856,6 +882,30 @@ impl DistSim {
 }
 
 /// Does any compiled script contain an `atomic` region?
+/// [`DistSim::node_of`] as a free function over the config, so the
+/// pool-parallel halo gather can call it without capturing `&DistSim`.
+fn node_of_cfg(cfg: &DistConfig, x: f64) -> usize {
+    let w = (cfg.range.1 - cfg.range.0) / cfg.nodes as f64;
+    let rel = (x - cfg.range.0) / w;
+    (rel.floor().max(0.0) as usize).min(cfg.nodes - 1)
+}
+
+/// [`DistSim::in_halo`] as a free function over the config.
+fn in_halo_cfg(cfg: &DistConfig, k: usize, x: f64) -> bool {
+    let w = (cfg.range.1 - cfg.range.0) / cfg.nodes as f64;
+    let lo = if k == 0 {
+        f64::NEG_INFINITY
+    } else {
+        cfg.range.0 + k as f64 * w - cfg.halo_radius
+    };
+    let hi = if k == cfg.nodes - 1 {
+        f64::INFINITY
+    } else {
+        cfg.range.0 + (k + 1) as f64 * w + cfg.halo_radius
+    };
+    (lo..=hi).contains(&x)
+}
+
 fn game_has_atomic(game: &CompiledGame) -> bool {
     game.classes.iter().any(|class| {
         class.scripts.iter().any(|script| {

@@ -1,6 +1,8 @@
 //! Per-tick communication and timing statistics of the simulated
 //! cluster.
 
+use sgl_engine::ParallelStats;
+
 /// One direction of interconnect traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Traffic {
@@ -45,6 +47,9 @@ pub struct DistStats {
     /// BSP-model tick time: slowest node's compute + synchronization
     /// rounds + traffic over the modelled interconnect.
     pub simulated_seconds: f64,
+    /// Shared-pool activity across the whole step: every node's effect
+    /// and update fan-outs plus the parallel halo gather, summed.
+    pub parallel: ParallelStats,
 }
 
 impl DistStats {

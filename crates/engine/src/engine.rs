@@ -11,6 +11,7 @@ use crate::effects::{fold_seeds, EffectStore, Seed, TraceEntry};
 use crate::exec::{CompiledExecutor, EffectPhase, ExecConfig};
 use crate::pathfind::{self, PathfindSpec, ResolvedPathfind};
 use crate::physics::{self, PhysicsSpec, ResolvedPhysics};
+use crate::pool::WorkerPool;
 use crate::reactive;
 use crate::stats::TickStats;
 use crate::txn::TxnIntent;
@@ -80,14 +81,22 @@ pub struct Engine {
     seeds: Vec<Seed>,
     last_trace: Vec<TraceEntry>,
     last_stats: TickStats,
+    pool: Arc<WorkerPool>,
 }
 
 impl Engine {
-    /// Build an engine with the compiled set-at-a-time executor.
+    /// Build an engine with the compiled set-at-a-time executor. The
+    /// engine and its executor share one persistent worker pool sized
+    /// by `config.exec.threads` — spawn cost is paid here, once.
     pub fn new(game: CompiledGame, config: EngineConfig) -> Result<Engine, EngineError> {
         let game = Arc::new(game);
-        let executor = Box::new(CompiledExecutor::new(game.clone(), config.exec.clone()));
-        Self::with_executor(game, config, executor)
+        let pool = Arc::new(WorkerPool::new(config.exec.threads));
+        let executor = Box::new(CompiledExecutor::with_pool(
+            game.clone(),
+            config.exec.clone(),
+            pool.clone(),
+        ));
+        Self::with_executor_and_pool(game, config, executor, pool)
     }
 
     /// Build an engine with a custom effect-phase executor (the
@@ -96,6 +105,18 @@ impl Engine {
         game: Arc<CompiledGame>,
         config: EngineConfig,
         executor: Box<dyn EffectPhase>,
+    ) -> Result<Engine, EngineError> {
+        let pool = Arc::new(WorkerPool::new(config.exec.threads));
+        Self::with_executor_and_pool(game, config, executor, pool)
+    }
+
+    /// Build an engine around an existing pool (shared with the
+    /// executor, and in `sgl-dist` with every node of a cluster).
+    pub fn with_executor_and_pool(
+        game: Arc<CompiledGame>,
+        config: EngineConfig,
+        executor: Box<dyn EffectPhase>,
+        pool: Arc<WorkerPool>,
     ) -> Result<Engine, EngineError> {
         let world = World::new(game.catalog.clone());
         let physics = config
@@ -135,12 +156,19 @@ impl Engine {
             seeds: Vec::new(),
             last_trace: Vec::new(),
             last_stats: TickStats::default(),
+            pool,
         })
     }
 
     /// The compiled game.
     pub fn game(&self) -> &CompiledGame {
         &self.game
+    }
+
+    /// The engine's persistent worker pool (shared with `sgl-net`
+    /// replication servers for parallel changeset extraction).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// The world (tick-boundary state inspection, §3.3).
@@ -213,6 +241,8 @@ impl Engine {
             &self.physics,
             &mut self.pathfind,
             &mut stats.txn,
+            &self.pool,
+            &mut stats.parallel,
         );
         stats.update_nanos = t2.elapsed().as_nanos() as u64;
 

@@ -22,14 +22,42 @@ use sgl_relalg::{
 use sgl_storage::{ClassId, Column, Combinator, EntityId, FxHashMap, RefSet, ScalarType, Value};
 
 use crate::effects::EffectStore;
+use crate::pool::{chunk_ranges, WorkerPool};
 use crate::stats::{JoinObs, TickStats};
 use crate::txn::{IntentWrite, TxnIntent};
 use crate::world::World;
 
+/// Default worker count: the `SGL_THREADS` env var, else 1. CI sets it
+/// to 4 on one matrix leg so the entire test suite doubles as a
+/// parallel-correctness oracle.
+pub fn default_threads() -> usize {
+    std::env::var("SGL_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Cap on chunks per fan-out: bounds per-chunk accumulator memory and
+/// merge cost while leaving enough pieces for chunk stealing to balance
+/// skewed rows.
+const MAX_CHUNKS: usize = 32;
+
+/// Rows per parallel chunk. A pure function of the row count — never of
+/// the thread count — so every parallel run uses the same partition
+/// geometry (see [`chunk_ranges`]).
+fn chunk_for(config: &ExecConfig, _n: usize) -> usize {
+    if config.chunk_rows > 0 {
+        config.chunk_rows
+    } else {
+        512
+    }
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
-    /// Worker threads for accum joins (1 = serial).
+    /// Worker threads for the tick fan-outs (1 = serial).
     pub threads: usize,
     /// Enable adaptive plan selection; `false` pins the method below.
     pub adaptive: bool,
@@ -41,17 +69,21 @@ pub struct ExecConfig {
     pub calibrate: bool,
     /// Minimum left rows before fanning out to threads.
     pub parallel_threshold: usize,
+    /// Rows per parallel chunk (0 = auto). Must be a constant per run
+    /// for deterministic reduces; exposed mainly for tests.
+    pub chunk_rows: usize,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
-            threads: 1,
+            threads: default_threads(),
             adaptive: true,
             fixed_method: JoinMethod::Index(sgl_index::IndexKind::Grid),
             planner: PlannerConfig::default(),
             calibrate: false,
             parallel_threshold: 1024,
+            chunk_rows: 0,
         }
     }
 }
@@ -79,11 +111,20 @@ pub struct CompiledExecutor {
     config: ExecConfig,
     cost: CostModel,
     planners: FxHashMap<(u32, usize, usize, usize), AdaptiveJoinPlanner>,
+    pool: Arc<WorkerPool>,
 }
 
 impl CompiledExecutor {
-    /// Build an executor over a compiled game.
+    /// Build an executor over a compiled game with its own worker pool.
     pub fn new(game: Arc<CompiledGame>, config: ExecConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.threads));
+        Self::with_pool(game, config, pool)
+    }
+
+    /// Build an executor sharing an existing pool (the engine and, in
+    /// `sgl-dist`, every node executor of a cluster share one pool so
+    /// thread spawn cost is paid once per process, not per node).
+    pub fn with_pool(game: Arc<CompiledGame>, config: ExecConfig, pool: Arc<WorkerPool>) -> Self {
         let cost = if config.calibrate {
             CostModel::calibrate()
         } else {
@@ -94,7 +135,13 @@ impl CompiledExecutor {
             config,
             cost,
             planners: FxHashMap::default(),
+            pool,
         }
+    }
+
+    /// The shared worker pool.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Plan-switch log of one accum step (experiment E2).
@@ -142,8 +189,24 @@ impl CompiledExecutor {
         stats: &mut TickStats,
     ) {
         let catalog = world.catalog();
+        let n = base.len();
+
+        // Segments without joins or transactions are row-parallel: each
+        // worker runs every step over a contiguous extent shard, and the
+        // shard stores merge in chunk-index order (deterministic reduce).
+        if self.config.threads > 1
+            && n >= self.config.parallel_threshold
+            && !segment.steps.is_empty()
+            && segment
+                .steps
+                .iter()
+                .all(|s| matches!(s, Step::Compute { .. } | Step::Emit(_) | Step::SetPc { .. }))
+        {
+            self.run_segment_rowpar(world, class, script, segment, base, seg_mask, store, stats);
+            return;
+        }
+
         let mut batch = base.clone();
-        let n = batch.len();
         let identity_rows: Vec<u32> = (0..n as u32).collect();
 
         for (step_idx, step) in segment.steps.iter().enumerate() {
@@ -153,7 +216,7 @@ impl CompiledExecutor {
                     batch.push_col(col);
                 }
                 Step::Emit(e) => {
-                    self.exec_emit(world, e, &batch, seg_mask, &identity_rows, store);
+                    Self::exec_emit(world, e, &batch, seg_mask, &identity_rows, store);
                 }
                 Step::SetPc { guard, next } => {
                     let Some(pc_effect) = script.pc_effect else {
@@ -236,8 +299,74 @@ impl CompiledExecutor {
         }
     }
 
-    fn exec_emit(
+    /// Row-parallel execution of a join-free segment: extent shards run
+    /// all steps independently against per-worker forked stores, merged
+    /// in chunk order. Chunk geometry is thread-count-invariant, so any
+    /// `threads >= 2` produces identical bits.
+    #[allow(clippy::too_many_arguments)]
+    fn run_segment_rowpar(
         &self,
+        world: &World,
+        class: ClassId,
+        script: &CompiledScript,
+        segment: &Segment,
+        base: &Batch,
+        seg_mask: Option<&[bool]>,
+        store: &mut EffectStore,
+        stats: &mut TickStats,
+    ) {
+        let catalog = world.catalog();
+        let n = base.len();
+        let ranges = chunk_ranges(n, chunk_for(&self.config, n), MAX_CHUNKS);
+        let proto: &EffectStore = &*store;
+        let (locals, run_stats) = self.pool.run(ranges.len(), |ci| {
+            let range = ranges[ci].clone();
+            let mut local = proto.fork();
+            let mut batch = base.slice(range.clone());
+            let rows: Vec<u32> = (range.start as u32..range.end as u32).collect();
+            let mask = seg_mask.map(|m| &m[range.clone()]);
+            for step in &segment.steps {
+                match step {
+                    Step::Compute { expr } => {
+                        let col = eval(expr, &batch, world);
+                        batch.push_col(col);
+                    }
+                    Step::Emit(e) => {
+                        Self::exec_emit(world, e, &batch, mask, &rows, &mut local);
+                    }
+                    Step::SetPc { guard, next } => {
+                        let Some(pc_effect) = script.pc_effect else {
+                            continue;
+                        };
+                        let gmask = build_mask(guard.as_ref(), &batch, world, mask);
+                        let values = Column::from_f64(vec![*next; batch.len()]);
+                        local.emit_column(
+                            catalog,
+                            class,
+                            pc_effect,
+                            &rows,
+                            batch.ids(),
+                            &values,
+                            gmask.as_deref(),
+                            false,
+                        );
+                    }
+                    _ => unreachable!("row-parallel segment contains a join/txn step"),
+                }
+            }
+            local
+        });
+        for local in locals {
+            store.merge(local);
+        }
+        stats.parallel.absorb(&run_stats);
+    }
+
+    /// Execute one `Emit` step against `store`. `identity_rows` maps
+    /// batch rows to global extent rows — row-parallel shards pass their
+    /// offset range. No `self`: shard closures call it while the
+    /// executor is immutably borrowed.
+    fn exec_emit(
         world: &World,
         e: &EmitStep,
         batch: &Batch,
@@ -356,51 +485,43 @@ impl CompiledExecutor {
                         consumer.consume(l, rs)
                     });
                 } else {
-                    // Parallel: contiguous chunks, merged in order.
-                    let chunk = n_left.div_ceil(threads);
-                    let ranges: Vec<std::ops::Range<usize>> = (0..threads)
-                        .map(|t| (t * chunk).min(n_left)..((t + 1) * chunk).min(n_left))
-                        .filter(|r| !r.is_empty())
-                        .collect();
-                    let results: Vec<(DenseAgg, EffectStore, u64)> = std::thread::scope(|s| {
-                        let handles: Vec<_> = ranges
-                            .iter()
-                            .map(|range| {
-                                let range = range.clone();
-                                let prep = &prep;
-                                let right = &right;
-                                let batch: &Batch = batch;
-                                let store_proto = store.fork();
-                                let mut local_acc = DenseAgg::new(n_left, a.comb, a.acc_ty);
-                                s.spawn(move || {
-                                    let mut local_store = store_proto;
-                                    let mut consumer = AccumConsumer {
-                                        world,
-                                        a,
-                                        batch,
-                                        right,
-                                        seg_mask,
-                                        acc: &mut local_acc,
-                                        store: &mut local_store,
-                                    };
-                                    let p = band_join_partition(
-                                        prep,
-                                        batch,
-                                        range,
-                                        world,
-                                        &mut |l, rs| consumer.consume(l, rs),
-                                    );
-                                    (local_acc, local_store, p)
-                                })
-                            })
-                            .collect();
-                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    // Parallel: the shared persistent pool works
+                    // thread-invariant contiguous chunks (geometry
+                    // depends only on the row count), merged in
+                    // chunk-index order — results are identical at any
+                    // worker count.
+                    let ranges = chunk_ranges(n_left, chunk_for(&self.config, n_left), MAX_CHUNKS);
+                    let prep_ref = &prep;
+                    let right_ref = &right;
+                    let batch_ref: &Batch = batch;
+                    let proto: &EffectStore = &*store;
+                    let (results, run_stats) = self.pool.run(ranges.len(), |ci| {
+                        let mut local_acc = DenseAgg::new(n_left, a.comb, a.acc_ty);
+                        let mut local_store = proto.fork();
+                        let mut consumer = AccumConsumer {
+                            world,
+                            a,
+                            batch: batch_ref,
+                            right: right_ref,
+                            seg_mask,
+                            acc: &mut local_acc,
+                            store: &mut local_store,
+                        };
+                        let p = band_join_partition(
+                            prep_ref,
+                            batch_ref,
+                            ranges[ci].clone(),
+                            world,
+                            &mut |l, rs| consumer.consume(l, rs),
+                        );
+                        (local_acc, local_store, p)
                     });
                     for (local_acc, local_store, p) in results {
                         acc.merge(&local_acc);
                         store.merge(local_store);
                         pairs += p;
                     }
+                    stats.parallel.absorb(&run_stats);
                 }
                 let planner = Self::planner(&mut self.planners, key, &self.config, &self.cost);
                 planner.observe(pairs);

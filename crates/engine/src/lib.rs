@@ -41,6 +41,7 @@ pub mod engine;
 pub mod exec;
 pub mod pathfind;
 pub mod physics;
+pub mod pool;
 pub mod reactive;
 pub mod scalar;
 pub mod stats;
@@ -51,10 +52,11 @@ pub mod world;
 pub use bytes::Bytes;
 pub use effects::{CombinedEffects, EffectPartial, EffectStore, Seed};
 pub use engine::{Engine, EngineConfig, EngineError};
-pub use exec::{CompiledExecutor, EffectPhase, ExecConfig};
+pub use exec::{default_threads, CompiledExecutor, EffectPhase, ExecConfig};
 pub use pathfind::{astar, ObstacleGrid, PathfindSpec};
 pub use physics::PhysicsSpec;
+pub use pool::{chunk_ranges, RunStats, WorkerPool};
 pub use reactive::{PcReset, ReactiveOut};
-pub use stats::{JoinObs, TickStats, TxnReport};
+pub use stats::{JoinObs, ParallelStats, TickStats, TxnReport};
 pub use txn::TxnIntent;
 pub use world::World;

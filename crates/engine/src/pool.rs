@@ -1,0 +1,398 @@
+//! A persistent chunk-queue worker pool (§4.2's "synchronization-free"
+//! parallel effect computation, made resident).
+//!
+//! Threads are spawned once per engine, not once per join: a
+//! [`WorkerPool::run`] broadcast hands every worker the same task
+//! closure, workers claim task indices from a shared atomic counter
+//! (chunk stealing — an idle worker takes the next chunk regardless of
+//! which lane "owned" it), and the caller participates as lane 0 so a
+//! one-task run never crosses a thread boundary. Results land in
+//! per-task slots and are returned **in task order**, which is what
+//! makes the reduce deterministic: callers merge partition results in
+//! chunk-index order, exactly as the serial engine would have produced
+//! them.
+//!
+//! The pool is deliberately tiny — no rayon, no crossbeam (offline
+//! vendor convention): one mutex-guarded job slot, two condvars, and
+//! three atomics per run.
+
+use std::mem::MaybeUninit;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Observations from one [`WorkerPool::run`] fan-out.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Tasks executed per lane; lane 0 is the calling thread.
+    pub tasks_per_lane: Vec<u64>,
+}
+
+impl RunStats {
+    /// Lanes that executed at least one task this run.
+    pub fn workers_used(&self) -> usize {
+        self.tasks_per_lane.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Tasks executed off the calling lane (claimed from the shared
+    /// queue by pool workers).
+    pub fn stolen(&self) -> u64 {
+        self.tasks_per_lane.iter().skip(1).sum()
+    }
+
+    /// Total tasks executed.
+    pub fn total(&self) -> u64 {
+        self.tasks_per_lane.iter().sum()
+    }
+}
+
+/// Type-erased task body: invoked once per claimed task index.
+type Task = dyn Fn(usize) + Sync;
+
+/// Raw task pointer, Send/Sync so the job slot can carry it to workers.
+/// Soundness: [`WorkerPool::run`] does not return until every claimed
+/// index has retired, and workers dereference only after claiming an
+/// index `< n` — a stale job ref past that point never touches it.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const Task);
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One broadcast job.
+#[derive(Clone)]
+struct Job {
+    task: TaskPtr,
+    /// Next unclaimed task index.
+    next: Arc<AtomicUsize>,
+    /// Tasks not yet retired; the run completes when this hits 0.
+    remaining: Arc<AtomicUsize>,
+    /// Per-lane busy counters.
+    lane_tasks: Arc<Vec<AtomicU64>>,
+    /// Set when any task panicked (the run still drains, then re-panics
+    /// on the caller).
+    panicked: Arc<AtomicBool>,
+    n: usize,
+}
+
+struct Slot {
+    /// Bumped per broadcast so workers can tell a new job from the one
+    /// they already drained.
+    seq: u64,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Signals workers: new job or shutdown.
+    work: Condvar,
+    /// Signals the caller: last task retired.
+    done: Condvar,
+}
+
+/// Result slots, written by exactly one task each (indices are claimed
+/// uniquely via `fetch_add`).
+struct ResultSlots<T>(Vec<std::cell::UnsafeCell<MaybeUninit<T>>>);
+unsafe impl<T: Send> Sync for ResultSlots<T> {}
+
+/// The persistent pool: `threads - 1` resident workers plus the caller.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool with `threads` total lanes (`threads - 1` spawned
+    /// workers; the caller is lane 0). `threads <= 1` spawns nothing
+    /// and [`WorkerPool::run`] degrades to an inline serial loop.
+    pub fn new(threads: usize) -> WorkerPool {
+        let lanes = threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..lanes)
+            .map(|lane| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("sgl-worker-{lane}"))
+                    .spawn(move || worker_loop(&shared, lane))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Total lanes (resident workers + the calling thread).
+    pub fn lanes(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Whether the pool has no resident workers (serial degradation).
+    pub fn is_serial(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Execute `f(0..n)` across all lanes; returns the results **in
+    /// task order** plus per-lane busy counters. Not reentrant: `f`
+    /// must not call back into the pool.
+    pub fn run<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> (Vec<T>, RunStats) {
+        let lanes = self.lanes();
+        let mut stats = RunStats {
+            tasks_per_lane: vec![0; lanes],
+        };
+        if n == 0 {
+            return (Vec::new(), stats);
+        }
+        if self.workers.is_empty() || n == 1 {
+            let results = (0..n).map(&f).collect();
+            stats.tasks_per_lane[0] = n as u64;
+            return (results, stats);
+        }
+
+        let slots = ResultSlots::<T>(
+            (0..n)
+                .map(|_| std::cell::UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        );
+        let slots_ref = &slots;
+        let task = move |i: usize| {
+            let v = f(i);
+            // Safety: each index is claimed exactly once.
+            unsafe { (*slots_ref.0[i].get()).write(v) };
+        };
+        let task_ref: &(dyn Fn(usize) + Sync) = &task;
+        let job = Job {
+            // Erase the borrow lifetime; `task` stays alive until after
+            // the completion wait below, and stale job refs check
+            // `i < n` before dereferencing.
+            task: TaskPtr(unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const Task>(task_ref)
+            }),
+            next: Arc::new(AtomicUsize::new(0)),
+            remaining: Arc::new(AtomicUsize::new(n)),
+            lane_tasks: Arc::new((0..lanes).map(|_| AtomicU64::new(0)).collect()),
+            panicked: Arc::new(AtomicBool::new(false)),
+            n,
+        };
+
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            assert!(slot.job.is_none(), "WorkerPool::run is not reentrant");
+            slot.seq += 1;
+            slot.job = Some(job.clone());
+            self.shared.work.notify_all();
+        }
+
+        // The caller works the queue too (lane 0).
+        drain_job(&self.shared, &job, 0);
+
+        // Wait for lanes still finishing their claimed tasks.
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            while job.remaining.load(Ordering::Acquire) != 0 {
+                slot = self.shared.done.wait(slot).unwrap();
+            }
+            slot.job = None;
+        }
+
+        for (lane, c) in job.lane_tasks.iter().enumerate() {
+            stats.tasks_per_lane[lane] = c.load(Ordering::Relaxed);
+        }
+        // Keep the closure (and its captured result-slot borrow) alive
+        // until every worker has retired — only now may `slots` move.
+        drop(task);
+        if job.panicked.load(Ordering::Relaxed) {
+            // Written results leak (MaybeUninit never drops) — fine, we
+            // are unwinding anyway.
+            panic!("worker pool task panicked");
+        }
+        let results = slots
+            .0
+            .into_iter()
+            // Safety: remaining == 0 and no panic ⇒ every slot written.
+            .map(|c| unsafe { c.into_inner().assume_init() })
+            .collect();
+        (results, stats)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, lane: usize) {
+    let mut last_seq = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.seq != last_seq {
+                    if let Some(job) = &slot.job {
+                        last_seq = slot.seq;
+                        break job.clone();
+                    }
+                    // Job already retired; don't re-examine this seq.
+                    last_seq = slot.seq;
+                }
+                slot = shared.work.wait(slot).unwrap();
+            }
+        };
+        drain_job(shared, &job, lane);
+    }
+}
+
+/// Claim and execute tasks until the queue is empty. The lane retiring
+/// the last task wakes the caller (under the lock, so the wakeup cannot
+/// be lost).
+fn drain_job(shared: &Shared, job: &Job, lane: usize) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n {
+            return;
+        }
+        // Safety: i < n ⇒ the caller is still inside `run`.
+        let task = unsafe { &*job.task.0 };
+        if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        job.lane_tasks[lane].fetch_add(1, Ordering::Relaxed);
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = shared.slot.lock().unwrap();
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Contiguous chunk ranges covering `0..n`, a pure function of `n`,
+/// `chunk` and `max_chunks` — **never** of the thread count. Every
+/// parallel run therefore folds the same row groups in the same
+/// (chunk-index) order, so results are identical at any `threads >= 2`;
+/// the documented ⊕ discipline (exact for self-targeted folds and
+/// integer-representable cross-row sums, same as `sgl-dist` partial
+/// routing) covers the serial boundary.
+pub fn chunk_ranges(n: usize, chunk: usize, max_chunks: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    if n == 0 {
+        return out;
+    }
+    let chunk = chunk.max(1).max(n.div_ceil(max_chunks.max(1)));
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert!(pool.is_serial());
+        let (out, stats) = pool.run(5, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        assert_eq!(stats.tasks_per_lane, vec![5]);
+        assert_eq!(stats.workers_used(), 1);
+        assert_eq!(stats.stolen(), 0);
+    }
+
+    #[test]
+    fn results_are_in_task_order() {
+        let pool = WorkerPool::new(4);
+        for round in 0..50usize {
+            let (out, stats) = pool.run(37, |i| i + round);
+            assert_eq!(out, (0..37).map(|i| i + round).collect::<Vec<_>>());
+            assert_eq!(stats.total(), 37);
+        }
+    }
+
+    #[test]
+    fn workers_share_the_queue() {
+        let pool = WorkerPool::new(4);
+        let hits = AtomicU32::new(0);
+        let (_, stats) = pool.run(64, |i| {
+            if i == 0 {
+                // Hold this lane until another lane has proven it can
+                // claim tasks — deterministic even on a one-core box.
+                while hits.load(Ordering::Relaxed) == 0 {
+                    std::thread::yield_now();
+                }
+            } else {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 63);
+        assert_eq!(stats.total(), 64);
+        assert!(stats.workers_used() >= 2, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn empty_run_is_noop() {
+        let pool = WorkerPool::new(3);
+        let (out, stats) = pool.run(0, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn pool_survives_task_panic() {
+        let pool = WorkerPool::new(3);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(r.is_err());
+        // The pool is still usable afterwards.
+        let (out, _) = pool.run(4, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chunk_ranges_are_thread_invariant() {
+        let r = chunk_ranges(10, 3, 32);
+        assert_eq!(r, vec![0..3, 3..6, 6..9, 9..10]);
+        // max_chunks grows the chunk, never the count.
+        let r = chunk_ranges(1000, 1, 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0], 0..250);
+        assert!(chunk_ranges(0, 8, 32).is_empty());
+        // Full coverage, no overlap.
+        let r = chunk_ranges(97, 8, 32);
+        let mut covered = 0;
+        for w in &r {
+            assert_eq!(w.start, covered);
+            covered = w.end;
+        }
+        assert_eq!(covered, 97);
+    }
+}

@@ -2,6 +2,8 @@
 
 use sgl_relalg::JoinMethod;
 
+use crate::pool::RunStats;
+
 /// Observation of one executed accum join.
 #[derive(Debug, Clone)]
 pub struct JoinObs {
@@ -38,6 +40,38 @@ pub struct TxnReport {
     pub aborted_constraint: u64,
 }
 
+/// Worker-pool activity across one tick (all fan-outs of all phases).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Pool fan-outs (one per `WorkerPool::run`).
+    pub pool_runs: u64,
+    /// Tasks (chunks) executed across all fan-outs.
+    pub chunks: u64,
+    /// Chunks executed off the calling lane (claimed by pool workers).
+    pub chunks_stolen: u64,
+    /// Most lanes simultaneously busy in any single fan-out.
+    pub workers_used: usize,
+}
+
+impl ParallelStats {
+    /// Fold another record's counters in (used by `sgl-dist` to sum
+    /// per-node executor activity into one cluster-wide record).
+    pub fn merge(&mut self, other: &ParallelStats) {
+        self.pool_runs += other.pool_runs;
+        self.chunks += other.chunks;
+        self.chunks_stolen += other.chunks_stolen;
+        self.workers_used = self.workers_used.max(other.workers_used);
+    }
+
+    /// Fold one fan-out's observations in.
+    pub fn absorb(&mut self, rs: &RunStats) {
+        self.pool_runs += 1;
+        self.chunks += rs.total();
+        self.chunks_stolen += rs.stolen();
+        self.workers_used = self.workers_used.max(rs.workers_used());
+    }
+}
+
 /// Timings and counters for one tick.
 #[derive(Debug, Clone, Default)]
 pub struct TickStats {
@@ -60,6 +94,8 @@ pub struct TickStats {
     pub joins: Vec<JoinObsRecord>,
     /// Transaction outcomes.
     pub txn: TxnReport,
+    /// Worker-pool activity (effect + update fan-outs).
+    pub parallel: ParallelStats,
 }
 
 /// `JoinObs` without the default problem (kept separate so `TickStats`

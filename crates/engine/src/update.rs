@@ -16,14 +16,29 @@ use sgl_storage::{ClassId, Column, FxHashMap};
 use crate::effects::CombinedEffects;
 use crate::pathfind::ResolvedPathfind;
 use crate::physics::ResolvedPhysics;
-use crate::stats::TxnReport;
+use crate::pool::WorkerPool;
+use crate::stats::{ParallelStats, TxnReport};
 use crate::txn::{self, TxnIntent};
 use crate::world::World;
 
 /// Staged new columns: `(class, state col)` → column.
 pub type Staged = FxHashMap<(u32, usize), Column>;
 
-/// Run the full update phase.
+/// One independent update-phase unit: an expression rule or a physics
+/// component. Each reads the old snapshot + combined effects and stages
+/// columns no other unit touches (§2.2's strict partition — which is
+/// exactly what makes the phase embarrassingly parallel).
+enum UpdateTask {
+    /// `(batch index, plan index)` into the per-class update batches.
+    Expr(usize, usize),
+    /// Index into the physics component list.
+    Physics(usize),
+}
+
+/// Run the full update phase. Expression rules and physics components
+/// fan out over `pool`; pathfinding (stateful planners) and the
+/// transaction manager (globally ordered admission, §3.1) stay serial.
+#[allow(clippy::too_many_arguments)]
 pub fn run_update(
     world: &mut World,
     game: &CompiledGame,
@@ -32,10 +47,16 @@ pub fn run_update(
     physics: &[ResolvedPhysics],
     pathfind: &mut [ResolvedPathfind],
     report: &mut TxnReport,
+    pool: &WorkerPool,
+    parallel: &mut ParallelStats,
 ) {
     let mut staged: Staged = Staged::default();
 
-    // 1. Expression rules (includes compiler-generated pc rules).
+    // 1 + 2. Expression rules and physics, one task per (class, rule)
+    // and per component. Batches are built up front (snapshot columns
+    // are Arc clones — cheap); tasks only read.
+    let mut batches: Vec<(ClassId, Batch)> = Vec::new();
+    let mut tasks: Vec<UpdateTask> = Vec::new();
     for cdef in world.catalog().classes() {
         let class = cdef.id;
         let table = world.table(class);
@@ -51,21 +72,46 @@ pub fn run_update(
         for ei in 0..cdef.effects.len() {
             cols.push(combined.column(class, ei).clone());
         }
-        let batch = Batch::from_extent(table.ids().to_vec(), cols);
-        for plan in &compiled.updates {
-            let new_col = eval(&plan.expr, &batch, world);
-            staged.insert((class.0, plan.state_col), new_col);
+        batches.push((class, Batch::from_extent(table.ids().to_vec(), cols)));
+        for pi in 0..compiled.updates.len() {
+            tasks.push(UpdateTask::Expr(batches.len() - 1, pi));
         }
     }
-
-    // 2. Physics.
-    for p in physics {
+    for (i, p) in physics.iter().enumerate() {
         if world.table(p.class).is_empty() {
             continue;
         }
-        let (x, y) = crate::physics::run(world, combined, p);
-        staged.insert((p.class.0, p.pos.0), Column::from_f64(x));
-        staged.insert((p.class.0, p.pos.1), Column::from_f64(y));
+        tasks.push(UpdateTask::Physics(i));
+    }
+
+    if !tasks.is_empty() {
+        let world_ref: &World = world;
+        let (outs, run_stats) = pool.run(tasks.len(), |ti| match &tasks[ti] {
+            UpdateTask::Expr(bi, pi) => {
+                let (class, batch) = &batches[*bi];
+                let plan = &game.class(*class).updates[*pi];
+                let new_col = eval(&plan.expr, batch, world_ref);
+                vec![((class.0, plan.state_col), new_col)]
+            }
+            UpdateTask::Physics(i) => {
+                let p = &physics[*i];
+                let (x, y) = crate::physics::run(world_ref, combined, p);
+                vec![
+                    ((p.class.0, p.pos.0), Column::from_f64(x)),
+                    ((p.class.0, p.pos.1), Column::from_f64(y)),
+                ]
+            }
+        });
+        // Staged in task order — identical to the serial insertion order
+        // (each key is staged by exactly one task anyway, per §2.2).
+        for out in outs {
+            for (key, col) in out {
+                staged.insert(key, col);
+            }
+        }
+        if !pool.is_serial() {
+            parallel.absorb(&run_stats);
+        }
     }
 
     // 3. Pathfinding.
@@ -135,6 +181,8 @@ update:
         store.emit_row(&cat, c, 0, 0, &Value::Number(4.0), false, id);
         let combined = store.finalize(&cat);
         let mut report = TxnReport::default();
+        let pool = WorkerPool::new(1);
+        let mut par = ParallelStats::default();
         run_update(
             &mut world,
             &game,
@@ -143,6 +191,8 @@ update:
             &[],
             &mut [],
             &mut report,
+            &pool,
+            &mut par,
         );
         assert_eq!(world.get(id, "health").unwrap(), Value::Number(3.0));
     }
@@ -168,6 +218,8 @@ update:
         let store = EffectStore::new(&world, false);
         let combined = store.finalize(&cat);
         let mut report = TxnReport::default();
+        let pool = WorkerPool::new(1);
+        let mut par = ParallelStats::default();
         run_update(
             &mut world,
             &game,
@@ -176,8 +228,77 @@ update:
             &[],
             &mut [],
             &mut report,
+            &pool,
+            &mut par,
         );
         assert_eq!(world.get(id, "keep").unwrap(), Value::Number(7.0));
         assert_eq!(world.get(id, "bump").unwrap(), Value::Number(0.0));
+    }
+
+    /// Parallel staging produces byte-identical columns to a serial
+    /// pool, rule-by-rule.
+    #[test]
+    fn parallel_update_matches_serial() {
+        let src = r#"
+class P {
+state:
+  number a = 1;
+  number b = 2;
+  number c = 3;
+effects:
+  number d : sum;
+update:
+  a = a + d;
+  b = b * 2 + d;
+  c = c - a;
+}
+"#;
+        let game = sgl_compiler::compile(check(src).unwrap()).unwrap();
+        let run_with = |threads: usize| {
+            let mut world = World::new(game.catalog.clone());
+            let c = world.class_id("P").unwrap();
+            let cat = world.catalog().clone();
+            let mut ids = Vec::new();
+            for i in 0..50 {
+                ids.push(world.spawn(c, &[("a", Value::Number(i as f64))]).unwrap());
+            }
+            let mut store = EffectStore::new(&world, false);
+            for (i, id) in ids.iter().enumerate() {
+                store.emit_row(
+                    &cat,
+                    c,
+                    0,
+                    i as u32,
+                    &Value::Number(0.25 * i as f64),
+                    false,
+                    *id,
+                );
+            }
+            let combined = store.finalize(&cat);
+            let mut report = TxnReport::default();
+            let pool = WorkerPool::new(threads);
+            let mut par = ParallelStats::default();
+            run_update(
+                &mut world,
+                &game,
+                &combined,
+                Vec::new(),
+                &[],
+                &mut [],
+                &mut report,
+                &pool,
+                &mut par,
+            );
+            ids.iter()
+                .map(|&id| {
+                    (
+                        world.get(id, "a").unwrap(),
+                        world.get(id, "b").unwrap(),
+                        world.get(id, "c").unwrap(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_with(1), run_with(4));
     }
 }

@@ -27,10 +27,12 @@
 //! frames are bit-identical either way (`tests/replication.rs` holds
 //! the two modes against each other on random traces).
 
+use std::sync::Arc;
+
 use bytes::{Bytes, BytesMut};
 use sgl_dist::DistSim;
 use sgl_engine::codec::value_wire_bytes;
-use sgl_engine::{Engine, World};
+use sgl_engine::{Engine, WorkerPool, World};
 use sgl_index::IntervalSet;
 use sgl_storage::{Catalog, ClassId, EntityId, FxHashMap, FxHashSet, Table, Value};
 
@@ -277,6 +279,11 @@ pub struct ReplicationServer {
     prev: Vec<Vec<Option<ExtentSnapshot>>>,
     index: InterestIndex,
     last: NetStats,
+    /// Worker pool for the shared changeset extraction (stage 1).
+    /// `None` (the default) keeps extraction serial; callers replicating
+    /// from a parallel engine or cluster hand in that engine's pool via
+    /// [`ReplicationServer::set_pool`] so the process keeps one pool.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ReplicationServer {
@@ -295,12 +302,23 @@ impl ReplicationServer {
             prev: Vec::new(),
             index: InterestIndex::default(),
             last: NetStats::default(),
+            pool: None,
         }
     }
 
     /// The shared catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Fan stage-1 changeset extraction out over `pool` (normally the
+    /// source engine's own pool — e.g. `engine.pool().clone()` — so the
+    /// process keeps a single set of worker threads). Extraction results
+    /// are folded in work-item order, so frames are bit-identical to
+    /// serial polling. Sessions-side projection stays serial: it is
+    /// per-session mutable state.
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
     }
 
     /// Attach a session with the given interest subscription. The first
@@ -519,28 +537,47 @@ impl ReplicationServer {
         // classes some session subscribes are in demand (the cached
         // list the index rebuild derived); an extent with no snapshot
         // yet contributes nothing (no session can be caught up on it —
-        // its baseline poll is what installs the snapshot).
-        let mut deltas: Vec<ExtentDelta> = Vec::new();
-        let demanded = &self.index.demanded;
-        for &(class, ref attrs) in demanded {
+        // its baseline poll is what installs the snapshot). The cheap
+        // generation compare collects work items serially; the actual
+        // row diffs are independent reads and fan out over the pool
+        // when one was provided, folded back in item order so the delta
+        // list — and every frame built from it — is bit-identical to a
+        // serial poll.
+        let mut items: Vec<(ClassId, &Vec<usize>, usize, &ExtentSnapshot)> = Vec::new();
+        for &(class, ref attrs) in &self.index.demanded {
             for k in 0..shards {
-                let world = src.shard_world(k);
-                let table = world.table(class);
+                let table = src.shard_world(k).table(class);
                 match &self.prev[k][class.0 as usize] {
                     Some(snap) if snap.gens.as_slice() == table.col_gens() => {
                         stats.skipped_scans += 1;
                     }
                     Some(snap) => {
                         stats.scanned += 1;
-                        let delta = changeset::diff(world, class, k, snap, attrs);
-                        if !delta.is_empty() {
-                            deltas.push(delta);
-                        }
+                        items.push((class, attrs, k, snap));
                     }
                     None => {}
                 }
             }
         }
+        let extracted: Vec<ExtentDelta> = match self.pool.as_deref() {
+            Some(pool) if !pool.is_serial() && items.len() > 1 => {
+                let worlds: Vec<&World> = (0..shards).map(|k| src.shard_world(k)).collect();
+                let items = &items;
+                let (out, rs) = pool.run(items.len(), |i| {
+                    let (class, attrs, k, snap) = items[i];
+                    changeset::diff(worlds[k], class, k, snap, attrs)
+                });
+                stats.parallel.absorb(&rs);
+                out
+            }
+            _ => items
+                .iter()
+                .map(|&(class, attrs, k, snap)| {
+                    changeset::diff(src.shard_world(k), class, k, snap, attrs)
+                })
+                .collect(),
+        };
+        let deltas: Vec<ExtentDelta> = extracted.into_iter().filter(|d| !d.is_empty()).collect();
 
         // Stage 2: route deltas to sessions through the interest index.
         // `touched[slot]` collects delta indexes in extraction order

@@ -3,6 +3,7 @@
 //! the stripe fan-out accounting).
 
 use sgl_dist::Traffic;
+use sgl_engine::ParallelStats;
 
 /// Statistics of one [`ReplicationServer::poll`](crate::ReplicationServer::poll)
 /// across all sessions.
@@ -48,6 +49,10 @@ pub struct NetStats {
     /// contributed data to a fanned-out subscription, with the payload
     /// bytes it contributed (single-node sources never populate this).
     pub fanout: Traffic,
+    /// Worker-pool activity of the shared changeset extraction (stage
+    /// 1), when the server was handed a pool via
+    /// [`ReplicationServer::set_pool`](crate::ReplicationServer::set_pool).
+    pub parallel: ParallelStats,
     /// Client → server input traffic drained from sockets this tick
     /// (transport sources only; in-process polling never populates the
     /// transport counters below).

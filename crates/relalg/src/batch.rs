@@ -70,6 +70,15 @@ impl Batch {
     pub fn truncate_cols(&mut self, width: usize) {
         self.cols.truncate(width);
     }
+
+    /// Copy out a contiguous row range (every slot, same layout) — the
+    /// per-worker extent shard of row-parallel segment execution.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Batch {
+        Batch {
+            cols: self.cols.iter().map(|c| c.slice(range.clone())).collect(),
+            len: range.len(),
+        }
+    }
 }
 
 /// Read access to the state snapshots of *other* extents, used by

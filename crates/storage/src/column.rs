@@ -205,6 +205,18 @@ impl Column {
         self.len() == 0
     }
 
+    /// Copy out a contiguous row range as a new column (read-only extent
+    /// views handed to worker threads).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::F64(v) => Column::F64(Arc::new(v[range].to_vec())),
+            Column::Bool(v) => Column::Bool(Arc::new(v[range].to_vec())),
+            Column::Ref(v) => Column::Ref(Arc::new(v[range].to_vec())),
+            Column::Set(v) => Column::Set(Arc::new(v[range].to_vec())),
+            Column::U32(v) => Column::U32(Arc::new(v[range].to_vec())),
+        }
+    }
+
     /// Read the value at `row`.
     pub fn get(&self, row: usize) -> Value {
         match self {

@@ -64,14 +64,31 @@ script fly {
 
 /// Build a flock of `n` boids in a `side × side` arena.
 pub fn build(n: usize, side: f64, seed: u64, mode: ExecMode) -> Simulation {
+    build_threaded(n, side, seed, mode, 1, None)
+}
+
+/// [`build`] with an explicit worker-thread count; `parallel_threshold`
+/// of `Some(rows)` overrides the engine's fan-out threshold (tests use
+/// `Some(1)` to force the parallel path on small flocks).
+pub fn build_threaded(
+    n: usize,
+    side: f64,
+    seed: u64,
+    mode: ExecMode,
+    threads: usize,
+    parallel_threshold: Option<usize>,
+) -> Simulation {
     let mut physics = PhysicsSpec::simple("Boid");
     physics.bounds = Some((0.0, 0.0, side, side));
-    let mut sim = Simulation::builder()
+    let mut builder = Simulation::builder()
         .source(SOURCE)
         .mode(mode)
-        .physics(physics)
-        .build()
-        .expect("boids source must compile");
+        .threads(threads)
+        .physics(physics);
+    if let Some(rows) = parallel_threshold {
+        builder = builder.parallel_threshold(rows);
+    }
+    let mut sim = builder.build().expect("boids source must compile");
     let mut rng = SmallRng::seed_from_u64(seed);
     for _ in 0..n {
         let angle = rng.gen_range(0.0..std::f64::consts::TAU);

@@ -88,6 +88,9 @@ pub struct RtsParams {
     pub mode: ExecMode,
     /// Effect-phase threads (compiled mode).
     pub threads: usize,
+    /// `None` = the engine default fan-out threshold; `Some(rows)`
+    /// overrides it (tests force the parallel path on small armies).
+    pub parallel_threshold: Option<usize>,
     /// `None` = adaptive (§4.1); `Some(m)` pins the join method.
     pub fixed_method: Option<JoinMethod>,
     /// Enable circle collision in the physics component.
@@ -102,6 +105,7 @@ impl Default for RtsParams {
             seed: 7,
             mode: ExecMode::Compiled,
             threads: 1,
+            parallel_threshold: None,
             fixed_method: None,
             collide: false,
         }
@@ -120,6 +124,9 @@ pub fn build(params: &RtsParams) -> Simulation {
         .threads(params.threads)
         .physics(physics)
         .auto_despawn("Unit", "alive");
+    if let Some(rows) = params.parallel_threshold {
+        builder = builder.parallel_threshold(rows);
+    }
     if let Some(m) = params.fixed_method {
         builder = builder.fixed_method(m);
     }

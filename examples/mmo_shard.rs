@@ -69,8 +69,13 @@ fn main() {
         .expect("world compiles")
         .game()
         .clone();
-    let mut cluster = DistSim::new(game, DistConfig::new(shards, "x", (0.0, span), 15.0))
-        .expect("cluster config");
+    // Two pool workers per shard process, with the effect-phase fan-out
+    // threshold lowered so even small test populations exercise the
+    // parallel path — the end-of-run exactness check then doubles as a
+    // parallel-vs-single-server bit-identity gate in CI.
+    let mut dist_cfg = DistConfig::new(shards, "x", (0.0, span), 15.0).threads(2);
+    dist_cfg.exec.parallel_threshold = 64;
+    let mut cluster = DistSim::new(game, dist_cfg).expect("cluster config");
 
     // A single-server reference for the exactness check.
     let mut single = Simulation::builder().source(WORLD).build().unwrap();
@@ -155,4 +160,10 @@ fn main() {
     println!("\nexactness: {checked} attribute values identical to the single-server run");
     let shard_pops: Vec<usize> = (0..shards).map(|k| cluster.node_population(k)).collect();
     println!("final shard populations: {shard_pops:?}");
+    let p = &cluster.last_stats().parallel;
+    println!(
+        "shared pool, last tick: {} fan-outs, {} chunks ({} claimed by workers), \
+         {} lanes busy at peak",
+        p.pool_runs, p.chunks, p.chunks_stolen, p.workers_used
+    );
 }

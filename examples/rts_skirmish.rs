@@ -38,6 +38,20 @@ fn main() {
         if p0 == 0 || p1 == 0 || tick > 2000 {
             let winner = if p0 > p1 { 0 } else { 1 };
             println!("\narmy {winner} wins after {tick} ticks");
+            let s = sim.last_stats();
+            let p = &s.parallel;
+            println!(
+                "last tick phases: effect {}µs, ⊕ {}µs, update {}µs, reactive {}µs",
+                s.effect_nanos / 1000,
+                s.combine_nanos / 1000,
+                s.update_nanos / 1000,
+                s.reactive_nanos / 1000,
+            );
+            println!(
+                "worker pool ({} threads): {} fan-outs, {} chunks ({} claimed by \
+                 workers), {} lanes busy at peak",
+                params.threads, p.pool_runs, p.chunks, p.chunks_stolen, p.workers_used,
+            );
             break;
         }
     }

@@ -92,6 +92,56 @@ fn checkpoint_size_scales_linearly() {
     );
 }
 
+/// The tick fan-out must be bit-identical to serial execution at every
+/// thread count — including 7, which exercises chunk counts that do not
+/// divide evenly. `parallel_threshold: 1` forces the parallel path even
+/// on these deliberately small worlds.
+#[test]
+fn rts_bitwise_identical_across_thread_matrix() {
+    let run = |threads: usize| {
+        let mut sim = build(&RtsParams {
+            units_per_side: 60,
+            arena: 80.0,
+            seed: 42,
+            threads,
+            parallel_threshold: Some(1),
+            ..RtsParams::default()
+        });
+        sim.run(25);
+        fingerprint(&sim)
+    };
+    let serial = run(1);
+    for threads in [2usize, 4, 7] {
+        assert_eq!(serial, run(threads), "threads = {threads}");
+    }
+}
+
+/// Boids at every thread count: `avg` combinators over floating point,
+/// where all emissions are self-targeted — each row's ⊕ fold happens
+/// whole inside one chunk, so any chunk geometry reproduces serial bits.
+#[test]
+fn boids_bitwise_identical_across_thread_matrix() {
+    use sgl_workloads::boids;
+    let run = |threads: usize| {
+        let mut sim =
+            boids::build_threaded(100, 40.0, 11, sgl::ExecMode::Compiled, threads, Some(1));
+        sim.run(20);
+        let w = sim.world();
+        let class = w.class_id("Boid").unwrap();
+        w.table(class)
+            .ids()
+            .iter()
+            .map(|&id| {
+                ["x", "y", "hx", "hy", "flock"].map(|attr| format!("{}", w.get(id, attr).unwrap()))
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial = run(1);
+    for threads in [2usize, 4, 7] {
+        assert_eq!(serial, run(threads), "threads = {threads}");
+    }
+}
+
 #[test]
 fn traffic_deterministic_across_thread_counts() {
     // Vehicle behaviour uses avg-of-identical and max combinators, so

@@ -116,6 +116,40 @@ fn cluster_matches_single_node_exactly() {
     }
 }
 
+/// A 4-node cluster must produce bit-identical state at every worker
+/// thread count: the shared pool drives each node's effect fan-out, the
+/// update phase and the halo gather, and every reduce folds in a
+/// thread-count-independent order. 7 exercises chunking that does not
+/// divide evenly.
+#[test]
+fn cluster_bitwise_identical_across_thread_matrix() {
+    let span = 240.0;
+    let points = scatter(80, span, 13);
+    let run = |threads: usize| {
+        let mut cfg = DistConfig::new(4, "x", (0.0, span), 12.0).threads(threads);
+        cfg.exec.parallel_threshold = 1;
+        let mut cluster = DistSim::new(compiled_game(CROWD), cfg).unwrap();
+        let mut ids = Vec::new();
+        for &(x, y) in &points {
+            ids.push(
+                cluster
+                    .spawn("Unit", &[("x", Value::Number(x)), ("y", Value::Number(y))])
+                    .unwrap(),
+            );
+        }
+        for _ in 0..8 {
+            cluster.step();
+        }
+        ids.iter()
+            .map(|&id| ["x", "crowding"].map(|attr| format!("{}", cluster.get(id, attr).unwrap())))
+            .collect::<Vec<_>>()
+    };
+    let serial = run(1);
+    for threads in [2usize, 4, 7] {
+        assert_eq!(serial, run(threads), "threads = {threads}");
+    }
+}
+
 /// Ghost traffic scales with the number of stripe boundaries; a single
 /// node needs no network at all.
 #[test]

@@ -165,4 +165,58 @@ proptest! {
             }
         }
     }
+
+    /// Random extent partitions reduce to the serial effect order: for
+    /// random programs, a parallel run with a random chunk size and
+    /// thread count is bitwise identical to the serial engine. This is
+    /// the determinism contract of the worker-pool fan-out — chunk
+    /// geometry depends only on extent size, partial ⊕ stores merge in
+    /// chunk-index order, so *any* partition folds to the same bits.
+    #[test]
+    fn random_partitions_reduce_to_serial(
+        prog in program(),
+        placements in prop::collection::vec((0i32..12, 0i32..12, 1i32..6), 2..10),
+        ticks in 1usize..4,
+        chunk_rows in 1usize..24,
+        threads in 2usize..6,
+    ) {
+        let build = |threads: usize, chunk_rows: usize| {
+            Simulation::builder()
+                .source(&prog.source)
+                .threads(threads)
+                .chunk_rows(chunk_rows)
+                .parallel_threshold(1)
+                .build()
+                .unwrap_or_else(|e| panic!("{e}\n{}", prog.source))
+        };
+        let mut serial = build(1, 0);
+        let mut parallel = build(threads, chunk_rows);
+        let mut ids = Vec::new();
+        for &(px, py, init) in &placements {
+            let vals = [
+                ("px", Value::Number(px as f64)),
+                ("py", Value::Number(py as f64)),
+                (prog.states[0].as_str(), Value::Number(init as f64)),
+            ];
+            let a = serial.spawn("Gen", &vals).unwrap();
+            let b = parallel.spawn("Gen", &vals).unwrap();
+            prop_assert_eq!(a, b);
+            ids.push(a);
+        }
+        for _ in 0..ticks {
+            serial.tick();
+            parallel.tick();
+        }
+        for &id in &ids {
+            for attr in prog.states.iter().map(String::as_str).chain(["seen"]) {
+                let a = serial.get(id, attr).unwrap();
+                let b = parallel.get(id, attr).unwrap();
+                prop_assert_eq!(
+                    a, b,
+                    "attr {} of {} diverged with {} threads, chunk {}\n{}",
+                    attr, id, threads, chunk_rows, prog.source
+                );
+            }
+        }
+    }
 }
