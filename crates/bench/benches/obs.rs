@@ -1,0 +1,104 @@
+//! Telemetry overhead on the full RTS 8k tick: the disabled path
+//! (spans off, attribution + per-tick registry folding on — the
+//! shipping default) must cost ≤2% over the pre-telemetry baseline,
+//! and full tracing (spans + JSONL export) ≤5%. The bounds are
+//! asserted in-bench, so `cargo bench --bench obs` is the regression
+//! gate; medians are recorded in `BENCH_obs.json`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgl::{ObsConfig, Simulation};
+use sgl_workloads::rts::{build, RtsParams};
+
+/// The three instrumentation regimes under test.
+fn sim_for(regime: &str, trace_path: &str) -> Simulation {
+    let mut params = RtsParams {
+        units_per_side: 4000,
+        arena: 500.0,
+        ..RtsParams::default()
+    };
+    match regime {
+        // Pre-telemetry executor: no attribution, no registry, no spans.
+        "baseline" => {
+            params.obs = ObsConfig::off();
+            params.rule_attribution = false;
+        }
+        // The shipping default minus env: telemetry present but spans
+        // disabled — the near-zero-cost path.
+        "disabled" => {
+            params.obs = ObsConfig::off();
+            params.obs.metrics = true;
+        }
+        // Everything on: spans, registry, and the JSONL writer.
+        "tracing" => {
+            params.obs = ObsConfig::off().with_trace_path(trace_path);
+            params.obs.metrics = true;
+        }
+        _ => unreachable!(),
+    }
+    build(&params)
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let trace_path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sgl_bench_obs_{}.jsonl", std::process::id()));
+        p.to_string_lossy().into_owned()
+    };
+
+    // The acceptance gate. All three regimes run the *same* battle
+    // (identical seeds ⇒ identical evolutions), interleaved with the
+    // starting position rotated each round to cancel ordering bias,
+    // and compared by their **minimum** tick time — the noise-robust
+    // estimator for identical deterministic work on a shared box (the
+    // criterion medians below re-measure per regime for the record).
+    let mut sims: Vec<Simulation> = ["baseline", "disabled", "tracing"]
+        .iter()
+        .map(|r| sim_for(r, &trace_path))
+        .collect();
+    for sim in sims.iter_mut() {
+        sim.run(2);
+    }
+    let mut best = [u64::MAX; 3];
+    for round in 0..30 {
+        for k in 0..3 {
+            let i = (round + k) % 3;
+            let t = Instant::now();
+            sims[i].tick();
+            best[i] = best[i].min(t.elapsed().as_nanos() as u64);
+        }
+    }
+    let [baseline, disabled, tracing] = best;
+    println!(
+        "obs overhead: baseline {baseline}ns, disabled {disabled}ns ({:.3}x), \
+         tracing {tracing}ns ({:.3}x)",
+        disabled as f64 / baseline as f64,
+        tracing as f64 / baseline as f64,
+    );
+    assert!(
+        disabled as f64 <= baseline as f64 * 1.02,
+        "disabled telemetry must cost <=2% (baseline {baseline}ns, disabled {disabled}ns)"
+    );
+    assert!(
+        tracing as f64 <= baseline as f64 * 1.05,
+        "full tracing must cost <=5% (baseline {baseline}ns, tracing {tracing}ns)"
+    );
+
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    for regime in ["baseline", "disabled", "tracing"] {
+        let mut sim = sim_for(regime, &trace_path);
+        sim.run(2);
+        g.bench_function(format!("rts8k_tick/{regime}"), |b| {
+            b.iter(|| {
+                sim.tick();
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

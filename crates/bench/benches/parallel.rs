@@ -71,6 +71,13 @@ fn bench_rts(c: &mut Criterion) {
         });
     }
     g.finish();
+    // Per-phase wall times from the telemetry plane, printed for the
+    // record (folded into BENCH_parallel.json's phase section).
+    for threads in [1usize, 4] {
+        let mut sim = rts_sim(threads);
+        sim.run(3);
+        println!("rts8k phases, {threads} threads:\n{}", sim.explain_tick());
+    }
 }
 
 fn bench_boids(c: &mut Criterion) {

@@ -66,6 +66,10 @@ pub struct UpdatePlan {
 pub struct CompiledScript {
     /// Script name (for plans, stats and debugging).
     pub name: String,
+    /// `[start, end)` byte span of the script declaration in the game
+    /// source — carried through so rule-level attribution
+    /// (`explain_tick()`, trace records) can point back at the script.
+    pub span: (u32, u32),
     /// Hidden program-counter state column, if the script has waits.
     pub pc_col: Option<usize>,
     /// Hidden program-counter effect index, if the script has waits.

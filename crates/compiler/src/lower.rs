@@ -82,6 +82,7 @@ pub fn compile(checked: CheckedProgram) -> Result<CompiledGame, Diagnostics> {
             lowerer.lower_script(&script.body);
             compiled.scripts.push(CompiledScript {
                 name: script.name.name.clone(),
+                span: (script.span.start, script.span.end),
                 pc_col: pc.map(|p| p.0),
                 pc_effect: pc.map(|p| p.1),
                 segments: lowerer.segments,

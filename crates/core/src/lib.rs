@@ -74,8 +74,9 @@ use std::sync::Arc;
 pub use sgl_ast as ast;
 pub use sgl_compiler::CompiledGame;
 pub use sgl_engine::{
-    astar, debug, default_threads, EngineConfig, EngineError, ExecConfig, JoinObs, ObstacleGrid,
-    ParallelStats, PathfindSpec, PhysicsSpec, TickStats, TxnReport, WorkerPool, World,
+    astar, debug, default_threads, EngineConfig, EngineError, ExecConfig, ExplainReport, JoinObs,
+    ObsConfig, ObstacleGrid, ParallelStats, PathfindSpec, PhysicsSpec, Registry, RuleReport,
+    TickStats, TxnReport, WorkerPool, World,
 };
 pub use sgl_frontend::Diagnostics;
 pub use sgl_index::IndexKind;
@@ -182,9 +183,25 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enable/disable per-rule attribution (time, rows, effects per
+    /// compiled rule; on by default). Off is the pre-telemetry
+    /// baseline the `obs` bench measures overhead against.
+    pub fn rule_attribution(mut self, on: bool) -> Self {
+        self.config.exec.rule_attribution = on;
+        self
+    }
+
     /// Record raw effect assignments for per-NPC debugging (§3.3).
     pub fn effect_trace(mut self, on: bool) -> Self {
         self.config.effect_trace = on;
+        self
+    }
+
+    /// Telemetry configuration (tracing spans, JSONL export, tick
+    /// budget). The default reads `SGL_TRACE` / `SGL_TICK_BUDGET_MS`
+    /// from the environment; use [`ObsConfig::off`] to mute.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.config.obs = obs;
         self
     }
 
@@ -294,6 +311,25 @@ impl Simulation {
     /// Statistics of the last tick.
     pub fn last_stats(&self) -> &TickStats {
         self.engine.last_stats()
+    }
+
+    /// Explain the last tick: per-phase wall times and the hottest
+    /// rules by attributed time/rows/effects (`Display` renders the
+    /// human-readable report).
+    pub fn explain_tick(&self) -> ExplainReport {
+        self.engine.explain_tick()
+    }
+
+    /// The cross-tick metrics registry (`tick.*` counters and
+    /// histograms; populated every tick).
+    pub fn metrics(&self) -> &Registry {
+        self.engine.metrics()
+    }
+
+    /// The registry rendered in the stable `counter/gauge/hist` text
+    /// format.
+    pub fn dump_metrics(&self) -> String {
+        self.engine.dump_metrics()
     }
 
     /// The world (read access).

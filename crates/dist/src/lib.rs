@@ -93,9 +93,10 @@ use std::time::Instant;
 use sgl_compiler::CompiledGame;
 use sgl_engine::effects::fold_seeds;
 use sgl_engine::{
-    reactive, update, CompiledExecutor, EffectPartial, EffectPhase, EffectStore, ExecConfig, Seed,
-    TickStats, WorkerPool, World,
+    explain_from, reactive, tick_record, update, CompiledExecutor, EffectPartial, EffectPhase,
+    EffectStore, ExecConfig, Seed, TickStats, WorkerPool, World,
 };
+use sgl_obs::{ExplainReport, ObsConfig, Registry, TraceWriter, Tracer};
 use sgl_storage::{
     ClassId, EntityId, FxHashMap, FxHashSet, IdGen, ScalarType, StorageError, Value,
 };
@@ -157,6 +158,10 @@ pub struct DistConfig {
     pub halo_radius: f64,
     /// Per-node effect-phase executor configuration.
     pub exec: ExecConfig,
+    /// Observability: tracing spans, JSONL export (`source: "dist"`),
+    /// metrics folding, slow-tick watchdog. `Default` reads
+    /// `SGL_TRACE` / `SGL_TICK_BUDGET_MS`.
+    pub obs: ObsConfig,
 }
 
 impl DistConfig {
@@ -169,6 +174,7 @@ impl DistConfig {
             range,
             halo_radius,
             exec: ExecConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 
@@ -259,6 +265,10 @@ pub struct DistSim {
     idgen: IdGen,
     last: DistStats,
     tick: u64,
+    obs: ObsConfig,
+    tracer: Tracer,
+    trace_writer: Option<TraceWriter>,
+    registry: Registry,
 }
 
 impl DistSim {
@@ -310,6 +320,16 @@ impl DistSim {
             })
             .collect();
         let last = DistStats::empty(cfg.nodes);
+        let obs = cfg.obs.clone();
+        let tracer = if obs.tracing {
+            Tracer::new(obs.span_capacity)
+        } else {
+            Tracer::disabled()
+        };
+        let trace_writer = obs
+            .trace_path
+            .as_deref()
+            .and_then(|p| TraceWriter::append(p).ok());
         Ok(DistSim {
             game,
             cfg,
@@ -320,6 +340,10 @@ impl DistSim {
             idgen: IdGen::new(),
             last,
             tick: 0,
+            obs,
+            tracer,
+            trace_writer,
+            registry: Registry::new(),
         })
     }
 
@@ -535,96 +559,126 @@ impl DistSim {
         let game = self.game.clone();
         let mut stats = DistStats::empty(n);
         stats.tick = self.tick;
-
-        // --- 1. Halo exchange: incremental ghost maintenance. ---------
-        // A 1-node cluster has no remote readers: skip the exchange
-        // entirely (no per-class ghost sweeps, zero ghost traffic).
-        if n > 1 {
-            self.maintain_halos(&mut stats);
-        }
-
-        // --- 2. Effect phase on every node (superstep compute). -------
-        let mut stores: Vec<EffectStore> = Vec::with_capacity(n);
-        let mut intents_by_node = Vec::with_capacity(n);
-        for (k, node) in self.nodes.iter_mut().enumerate() {
-            let t0 = Instant::now();
-            let mut store = EffectStore::new(&node.world, false);
-            let seeds = std::mem::take(&mut node.seeds);
-            fold_seeds(&mut store, &game.catalog, &node.world, &seeds);
-            let mut intents = Vec::new();
-            let mut scratch = TickStats::default();
-            node.executor
-                .run(&node.world, &mut store, &mut intents, &mut scratch);
-            stats.node_compute_nanos[k] += t0.elapsed().as_nanos() as u64;
-            stats.parallel.merge(&scratch.parallel);
-            stores.push(store);
-            intents_by_node.push(intents);
-        }
-
-        // --- 3. Route ghost-row ⊕ partials to their owners, in ---------
-        // deterministic partition order (source node, class, row).
-        let mut inbound: Vec<Vec<EffectPartial>> = (0..n).map(|_| Vec::new()).collect();
-        for (k, store) in stores.iter_mut().enumerate() {
-            for cdef in game.catalog.classes() {
-                let class = cdef.id;
-                let world = &self.nodes[k].world;
-                if world.ghost_count(class) == 0 {
-                    continue;
-                }
-                let table = world.table(class);
-                let ghost_rows: Vec<(u32, EntityId)> = table
-                    .ids()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, id)| world.is_ghost(class, **id))
-                    .map(|(row, &id)| (row as u32, id))
-                    .collect();
-                for partial in store.take_row_partials(class, &ghost_rows) {
-                    let dest = self.owner[&partial.target];
-                    stats.partial_traffic.msgs += 1;
-                    stats.partial_traffic.bytes += partial_wire_bytes(&partial);
-                    inbound[dest].push(partial);
-                }
-            }
-        }
-        for (dest, partials) in inbound.into_iter().enumerate() {
-            for partial in &partials {
-                stores[dest].fold_partial(&game.catalog, &self.nodes[dest].world, partial);
-            }
-        }
-
-        // --- 4. ⊕ finalize, update, reactive on every node. ------------
-        let pool = self.pool.clone();
-        for (k, ((node, store), intents)) in self
-            .nodes
-            .iter_mut()
-            .zip(stores)
-            .zip(intents_by_node)
-            .enumerate()
+        // The tracer steps aside for the superstep: span guards borrow
+        // it, and the halo/migrate phases need `&mut self`.
+        let tracer = std::mem::replace(&mut self.tracer, Tracer::disabled());
+        tracer.begin_tick();
+        let t_wall = Instant::now();
         {
-            let t0 = Instant::now();
-            let combined = store.finalize(&game.catalog);
-            let mut txn = sgl_engine::TxnReport::default();
-            update::run_update(
-                &mut node.world,
-                &game,
-                &combined,
-                intents,
-                &[],
-                &mut [],
-                &mut txn,
-                &pool,
-                &mut stats.parallel,
-            );
-            let reactive_out = reactive::run_handlers(&node.world, &game);
-            node.seeds = reactive_out.seeds;
-            reactive::apply_resets(&mut node.world, &reactive_out.resets);
-            node.world.advance_tick();
-            stats.node_compute_nanos[k] += t0.elapsed().as_nanos() as u64;
-        }
+            let _tick_span = tracer.span("tick");
 
-        // --- 5. Migrate entities that crossed a stripe boundary. -------
-        self.migrate(&mut stats);
+            // --- 1. Halo exchange: incremental ghost maintenance. ------
+            // A 1-node cluster has no remote readers: skip the exchange
+            // entirely (no per-class ghost sweeps, zero ghost traffic).
+            if n > 1 {
+                let _s = tracer.span("halo_exchange");
+                let t0 = Instant::now();
+                self.maintain_halos(&mut stats);
+                stats.halo_nanos = t0.elapsed().as_nanos() as u64;
+            }
+
+            // --- 2. Effect phase on every node (superstep compute). ----
+            let mut stores: Vec<EffectStore> = Vec::with_capacity(n);
+            let mut intents_by_node = Vec::with_capacity(n);
+            {
+                let _s = tracer.span("query_eval");
+                for (k, node) in self.nodes.iter_mut().enumerate() {
+                    let t0 = Instant::now();
+                    let mut store = EffectStore::new(&node.world, false);
+                    let seeds = std::mem::take(&mut node.seeds);
+                    fold_seeds(&mut store, &game.catalog, &node.world, &seeds);
+                    let mut intents = Vec::new();
+                    let mut scratch = TickStats::default();
+                    let tq = Instant::now();
+                    node.executor
+                        .run(&node.world, &mut store, &mut intents, &mut scratch);
+                    stats.query_nanos += tq.elapsed().as_nanos() as u64;
+                    stats.node_compute_nanos[k] += t0.elapsed().as_nanos() as u64;
+                    stats.parallel.merge(&scratch.parallel);
+                    stats.merge_rules(&scratch.rules);
+                    stores.push(store);
+                    intents_by_node.push(intents);
+                }
+            }
+
+            // --- 3. Route ghost-row ⊕ partials to their owners, in -----
+            // deterministic partition order (source node, class, row).
+            let t_route = Instant::now();
+            {
+                let _s = tracer.span("partial_route");
+                let mut inbound: Vec<Vec<EffectPartial>> = (0..n).map(|_| Vec::new()).collect();
+                for (k, store) in stores.iter_mut().enumerate() {
+                    for cdef in game.catalog.classes() {
+                        let class = cdef.id;
+                        let world = &self.nodes[k].world;
+                        if world.ghost_count(class) == 0 {
+                            continue;
+                        }
+                        let table = world.table(class);
+                        let ghost_rows: Vec<(u32, EntityId)> = table
+                            .ids()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, id)| world.is_ghost(class, **id))
+                            .map(|(row, &id)| (row as u32, id))
+                            .collect();
+                        for partial in store.take_row_partials(class, &ghost_rows) {
+                            let dest = self.owner[&partial.target];
+                            stats.partial_traffic.msgs += 1;
+                            stats.partial_traffic.bytes += partial_wire_bytes(&partial);
+                            inbound[dest].push(partial);
+                        }
+                    }
+                }
+                for (dest, partials) in inbound.into_iter().enumerate() {
+                    for partial in &partials {
+                        stores[dest].fold_partial(&game.catalog, &self.nodes[dest].world, partial);
+                    }
+                }
+            }
+            stats.route_nanos = t_route.elapsed().as_nanos() as u64;
+
+            // --- 4. ⊕ finalize, update, reactive on every node. --------
+            let pool = self.pool.clone();
+            {
+                let _s = tracer.span("update");
+                for (k, ((node, store), intents)) in self
+                    .nodes
+                    .iter_mut()
+                    .zip(stores)
+                    .zip(intents_by_node)
+                    .enumerate()
+                {
+                    let t0 = Instant::now();
+                    let combined = store.finalize(&game.catalog);
+                    let mut txn = sgl_engine::TxnReport::default();
+                    update::run_update(
+                        &mut node.world,
+                        &game,
+                        &combined,
+                        intents,
+                        &[],
+                        &mut [],
+                        &mut txn,
+                        &pool,
+                        &mut stats.parallel,
+                    );
+                    let reactive_out = reactive::run_handlers(&node.world, &game);
+                    node.seeds = reactive_out.seeds;
+                    reactive::apply_resets(&mut node.world, &reactive_out.resets);
+                    node.world.advance_tick();
+                    stats.node_compute_nanos[k] += t0.elapsed().as_nanos() as u64;
+                }
+            }
+
+            // --- 5. Migrate entities that crossed a stripe boundary. ---
+            let _s = tracer.span("migrate");
+            let t0 = Instant::now();
+            self.migrate(&mut stats);
+            stats.migrate_nanos = t0.elapsed().as_nanos() as u64;
+        }
+        let wall_nanos = t_wall.elapsed().as_nanos() as u64;
+        self.tracer = tracer;
 
         // --- BSP time model. ------------------------------------------
         let max_compute = stats.node_compute_nanos.iter().copied().max().unwrap_or(0);
@@ -638,7 +692,93 @@ impl DistSim {
 
         self.tick += 1;
         self.last = stats;
+        self.export_step(wall_nanos);
         &self.last
+    }
+
+    /// Post-step telemetry: fold metrics, write the JSONL record
+    /// (`source: "dist"`), fire the slow-tick watchdog.
+    fn export_step(&mut self, wall_nanos: u64) {
+        if self.obs.metrics {
+            self.last.fold_into(&mut self.registry);
+        }
+        let slow = self
+            .obs
+            .tick_budget_nanos
+            .is_some_and(|budget| wall_nanos > budget);
+        if self.trace_writer.is_none() && !slow {
+            return;
+        }
+        let mut rec = tick_record(&self.as_tick_stats(), &self.game, &self.tracer, "dist");
+        rec.wall_nanos = wall_nanos;
+        // Replace the engine phase names with the superstep's.
+        rec.phases = vec![
+            sgl_obs::PhaseRec {
+                name: "halo_exchange",
+                nanos: self.last.halo_nanos,
+            },
+            sgl_obs::PhaseRec {
+                name: "query_eval",
+                nanos: self.last.query_nanos,
+            },
+            sgl_obs::PhaseRec {
+                name: "partial_route",
+                nanos: self.last.route_nanos,
+            },
+            sgl_obs::PhaseRec {
+                name: "migrate",
+                nanos: self.last.migrate_nanos,
+            },
+        ];
+        if let Some(w) = &mut self.trace_writer {
+            w.write_record(&rec.to_json_line());
+        }
+        if slow {
+            rec.kind = "slow_tick";
+            rec.budget_nanos = self.obs.tick_budget_nanos;
+            let line = rec.to_json_line();
+            match &mut self.trace_writer {
+                Some(w) => w.write_record(&line),
+                None => eprintln!("sgl-obs slow tick: {line}"),
+            }
+        }
+    }
+
+    /// Project the cluster step onto a `TickStats` so the shared
+    /// explain/record builders in `sgl-engine` apply (rule names
+    /// resolve through the same compiled game on every node).
+    fn as_tick_stats(&self) -> TickStats {
+        TickStats {
+            tick: self.last.tick,
+            query_nanos: self.last.query_nanos,
+            rules: self.last.rules.clone(),
+            parallel: self.last.parallel.clone(),
+            ..TickStats::default()
+        }
+    }
+
+    /// EXPLAIN-style report of the last step: superstep phase wall
+    /// times plus per-rule attribution summed across nodes, sorted
+    /// hottest first.
+    pub fn explain_tick(&self) -> ExplainReport {
+        let mut report = explain_from(&self.as_tick_stats(), &self.game, "dist");
+        report.phases = vec![
+            ("halo_exchange", self.last.halo_nanos),
+            ("query_eval", self.last.query_nanos),
+            ("partial_route", self.last.route_nanos),
+            ("migrate", self.last.migrate_nanos),
+        ];
+        report
+    }
+
+    /// Cumulative metrics registry (populated when `obs.metrics` is on).
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Render the metrics registry as stable text.
+    pub fn dump_metrics(&self) -> String {
+        self.registry.dump()
     }
 
     /// Incrementally reconcile every node's resident ghosts with the

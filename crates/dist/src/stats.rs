@@ -1,7 +1,18 @@
 //! Per-tick communication and timing statistics of the simulated
 //! cluster.
+//!
+//! # Reset/merge contract
+//!
+//! Like `TickStats`, every field of [`DistStats`] is **per-step**:
+//! `DistSim::step` starts from [`DistStats::empty`] and replaces the
+//! cluster's `last` record wholesale. Per-node observations fold in
+//! two ways during the step: `parallel` via `ParallelStats::merge`
+//! (counters sum, `workers_used` maxes), and `rules` via
+//! [`DistStats::merge_rules`] (same `(class, script, segment)` rule on
+//! different nodes sums into one record). Cross-step aggregation lives
+//! in the metrics registry via [`DistStats::fold_into`].
 
-use sgl_engine::ParallelStats;
+use sgl_engine::{ParallelStats, RuleObs};
 
 /// One direction of interconnect traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,6 +55,18 @@ pub struct DistStats {
     /// Wall-clock compute per node (effect + combine + update +
     /// reactive), nanoseconds.
     pub node_compute_nanos: Vec<u64>,
+    /// Halo-exchange wall time (gather + apply deltas), nanoseconds.
+    pub halo_nanos: u64,
+    /// Query-evaluation wall time summed over nodes (the executor runs
+    /// alone), nanoseconds — the span [`DistStats::rules`] sums to.
+    pub query_nanos: u64,
+    /// ⊕ partial routing wall time (extract + ship + fold), nanoseconds.
+    pub route_nanos: u64,
+    /// Migration sweep wall time, nanoseconds.
+    pub migrate_nanos: u64,
+    /// Rule-level attribution summed across nodes (same rule on
+    /// different stripes merges into one record).
+    pub rules: Vec<RuleObs>,
     /// BSP-model tick time: slowest node's compute + synchronization
     /// rounds + traffic over the modelled interconnect.
     pub simulated_seconds: f64,
@@ -69,6 +92,43 @@ impl DistStats {
     /// Total interconnect messages this tick.
     pub fn total_msgs(&self) -> u64 {
         self.ghost_traffic.msgs + self.partial_traffic.msgs
+    }
+
+    /// Fold one node's per-rule attribution in: a rule already seen on
+    /// another node sums, a new rule appends. Keeps attribution exact
+    /// under sharding — the cluster-wide sum still equals the summed
+    /// per-node query spans.
+    pub(crate) fn merge_rules(&mut self, node_rules: &[RuleObs]) {
+        for r in node_rules {
+            match self
+                .rules
+                .iter_mut()
+                .find(|m| m.class == r.class && m.script == r.script && m.segment == r.segment)
+            {
+                Some(m) => m.merge(r),
+                None => self.rules.push(r.clone()),
+            }
+        }
+    }
+
+    /// Fold this step into a metrics registry (cross-step aggregation:
+    /// counters sum, wall times feed histograms).
+    pub fn fold_into(&self, reg: &mut sgl_obs::Registry) {
+        reg.counter_add("dist.steps", 1);
+        reg.counter_add("dist.ghost_msgs", self.ghost_traffic.msgs);
+        reg.counter_add("dist.ghost_bytes", self.ghost_traffic.bytes);
+        reg.counter_add("dist.partial_msgs", self.partial_traffic.msgs);
+        reg.counter_add("dist.partial_bytes", self.partial_traffic.bytes);
+        reg.counter_add("dist.migrations", self.migrations as u64);
+        reg.gauge_set("dist.ghosts", self.ghosts as f64);
+        reg.observe("dist.halo_nanos", self.halo_nanos);
+        reg.observe("dist.query_nanos", self.query_nanos);
+        reg.observe("dist.route_nanos", self.route_nanos);
+        reg.observe("dist.migrate_nanos", self.migrate_nanos);
+        reg.observe(
+            "dist.slowest_node_nanos",
+            self.node_compute_nanos.iter().copied().max().unwrap_or(0),
+        );
     }
 
     /// Recompute `ghost_traffic` as the sum of the enter / update / exit
@@ -116,5 +176,45 @@ mod tests {
                 bytes: 178
             }
         );
+    }
+
+    /// Pin the rules merge contract: same (class, script, segment)
+    /// sums, new keys append.
+    #[test]
+    fn merge_rules_sums_same_key_appends_new() {
+        let mut s = DistStats::empty(2);
+        let r0 = RuleObs {
+            class: 0,
+            script: 0,
+            segment: 0,
+            nanos: 100,
+            rows_scanned: 10,
+            effects_emitted: 2,
+            chunks: 1,
+            pairs: 5,
+        };
+        let r1 = RuleObs {
+            script: 1,
+            ..r0.clone()
+        };
+        s.merge_rules(std::slice::from_ref(&r0));
+        s.merge_rules(&[r0.clone(), r1.clone()]);
+        assert_eq!(s.rules.len(), 2);
+        assert_eq!(s.rules[0].nanos, 200);
+        assert_eq!(s.rules[0].rows_scanned, 20);
+        assert_eq!(s.rules[1].nanos, 100);
+    }
+
+    #[test]
+    fn fold_into_registry() {
+        let mut s = DistStats::empty(2);
+        s.migrations = 3;
+        s.halo_nanos = 500;
+        s.node_compute_nanos = vec![10, 40];
+        let mut reg = sgl_obs::Registry::new();
+        s.fold_into(&mut reg);
+        assert_eq!(reg.counter("dist.steps"), 1);
+        assert_eq!(reg.counter("dist.migrations"), 3);
+        assert_eq!(reg.histogram("dist.slowest_node_nanos").unwrap().max(), 40);
     }
 }

@@ -6,6 +6,11 @@ use std::time::Instant;
 use sgl_compiler::CompiledGame;
 use sgl_storage::{ClassId, EntityId, ScalarType, StorageError, Value};
 
+use sgl_obs::{
+    ExplainReport, ObsConfig, PhaseRec, Registry, RuleRec, RuleReport, TickRecord, TraceWriter,
+    Tracer,
+};
+
 use crate::checkpoint::{self, CheckpointError};
 use crate::effects::{fold_seeds, EffectStore, Seed, TraceEntry};
 use crate::exec::{CompiledExecutor, EffectPhase, ExecConfig};
@@ -13,7 +18,7 @@ use crate::pathfind::{self, PathfindSpec, ResolvedPathfind};
 use crate::physics::{self, PhysicsSpec, ResolvedPhysics};
 use crate::pool::WorkerPool;
 use crate::reactive;
-use crate::stats::TickStats;
+use crate::stats::{RuleObs, TickStats};
 use crate::txn::TxnIntent;
 use crate::update;
 use crate::world::World;
@@ -67,6 +72,10 @@ pub struct EngineConfig {
     pub auto_despawn: Vec<(String, String)>,
     /// Record raw effect assignments for the per-NPC debugger (§3.3).
     pub effect_trace: bool,
+    /// Observability: tracing spans, JSONL export, metrics folding,
+    /// slow-tick watchdog. `Default` reads `SGL_TRACE` /
+    /// `SGL_TICK_BUDGET_MS` (same precedent as `SGL_THREADS`).
+    pub obs: ObsConfig,
 }
 
 /// The SGL game engine.
@@ -82,6 +91,10 @@ pub struct Engine {
     last_trace: Vec<TraceEntry>,
     last_stats: TickStats,
     pool: Arc<WorkerPool>,
+    obs: ObsConfig,
+    tracer: Tracer,
+    trace_writer: Option<TraceWriter>,
+    registry: Registry,
 }
 
 impl Engine {
@@ -145,6 +158,16 @@ impl Engine {
             }
             auto_despawn.push((def.id, col));
         }
+        let obs = config.obs.clone();
+        let tracer = if obs.tracing {
+            Tracer::new(obs.span_capacity)
+        } else {
+            Tracer::disabled()
+        };
+        let trace_writer = obs
+            .trace_path
+            .as_deref()
+            .and_then(|p| TraceWriter::append(p).ok());
         Ok(Engine {
             game,
             world,
@@ -157,6 +180,10 @@ impl Engine {
             last_trace: Vec::new(),
             last_stats: TickStats::default(),
             pool,
+            obs,
+            tracer,
+            trace_writer,
+            registry: Registry::new(),
         })
     }
 
@@ -211,76 +238,149 @@ impl Engine {
 
     /// Execute one tick; returns its statistics.
     pub fn tick(&mut self) -> &TickStats {
+        self.tracer.begin_tick();
         let mut stats = TickStats {
             tick: self.world.tick(),
             ..TickStats::default()
         };
+        let t_wall = Instant::now();
+        {
+            let _tick_span = self.tracer.span("tick");
 
-        // Phase 1+2: query/effect (+ seeded handler effects), then ⊕.
-        let t0 = Instant::now();
-        let mut store = EffectStore::new(&self.world, self.effect_trace);
-        let seeds = std::mem::take(&mut self.seeds);
-        fold_seeds(&mut store, &self.game.catalog, &self.world, &seeds);
-        let mut intents: Vec<TxnIntent> = Vec::new();
-        self.executor
-            .run(&self.world, &mut store, &mut intents, &mut stats);
-        stats.effects_emitted = store.emitted;
-        stats.effect_nanos = t0.elapsed().as_nanos() as u64;
-
-        let t1 = Instant::now();
-        let combined = store.finalize(&self.game.catalog);
-        stats.combine_nanos = t1.elapsed().as_nanos() as u64;
-
-        // Phase 3: update.
-        let t2 = Instant::now();
-        update::run_update(
-            &mut self.world,
-            &self.game,
-            &combined,
-            intents,
-            &self.physics,
-            &mut self.pathfind,
-            &mut stats.txn,
-            &self.pool,
-            &mut stats.parallel,
-        );
-        stats.update_nanos = t2.elapsed().as_nanos() as u64;
-
-        // Phase 4: reactive (on the new state).
-        let t3 = Instant::now();
-        let reactive_out = reactive::run_handlers(&self.world, &self.game);
-        self.seeds = reactive_out.seeds;
-        // Apply interrupts: reset the hidden pcs of restarted scripts so
-        // the next tick re-enters them from segment 0 (§3.2).
-        reactive::apply_resets(&mut self.world, &reactive_out.resets);
-        stats.interrupts = reactive_out
-            .resets
-            .iter()
-            .map(|r| r.targets.len() as u64)
-            .sum();
-        stats.reactive_nanos = t3.elapsed().as_nanos() as u64;
-
-        // Auto-despawn.
-        for (class, col) in &self.auto_despawn {
-            let dead: Vec<EntityId> = {
-                let t = self.world.table(*class);
-                let alive = t.column(*col).bool();
-                t.ids()
-                    .iter()
-                    .zip(alive)
-                    .filter(|(_, &a)| !a)
-                    .map(|(id, _)| *id)
-                    .collect()
-            };
-            for id in dead {
-                self.world.despawn(*class, id);
+            // Phase 1+2: query/effect (+ seeded handler effects), then ⊕.
+            let t0 = Instant::now();
+            let mut store = EffectStore::new(&self.world, self.effect_trace);
+            {
+                let _s = self.tracer.span("effect_seed");
+                let seeds = std::mem::take(&mut self.seeds);
+                fold_seeds(&mut store, &self.game.catalog, &self.world, &seeds);
             }
-        }
+            let mut intents: Vec<TxnIntent> = Vec::new();
+            {
+                let _s = self.tracer.span("query_eval");
+                let tq = Instant::now();
+                self.executor
+                    .run(&self.world, &mut store, &mut intents, &mut stats);
+                stats.query_nanos = tq.elapsed().as_nanos() as u64;
+            }
+            stats.effects_emitted = store.emitted;
+            stats.effect_nanos = t0.elapsed().as_nanos() as u64;
 
-        self.last_trace = combined.trace.unwrap_or_default();
+            let t1 = Instant::now();
+            let combined = {
+                let _s = self.tracer.span("effect_apply");
+                store.finalize(&self.game.catalog)
+            };
+            stats.combine_nanos = t1.elapsed().as_nanos() as u64;
+
+            // Phase 3: update.
+            let t2 = Instant::now();
+            {
+                let _s = self.tracer.span("update");
+                update::run_update(
+                    &mut self.world,
+                    &self.game,
+                    &combined,
+                    intents,
+                    &self.physics,
+                    &mut self.pathfind,
+                    &mut stats.txn,
+                    &self.pool,
+                    &mut stats.parallel,
+                );
+            }
+            stats.update_nanos = t2.elapsed().as_nanos() as u64;
+
+            // Phase 4: reactive (on the new state).
+            let t3 = Instant::now();
+            {
+                let _s = self.tracer.span("reactive");
+                let reactive_out = reactive::run_handlers(&self.world, &self.game);
+                self.seeds = reactive_out.seeds;
+                // Apply interrupts: reset the hidden pcs of restarted
+                // scripts so the next tick re-enters them from segment 0
+                // (§3.2).
+                reactive::apply_resets(&mut self.world, &reactive_out.resets);
+                stats.interrupts = reactive_out
+                    .resets
+                    .iter()
+                    .map(|r| r.targets.len() as u64)
+                    .sum();
+            }
+            stats.reactive_nanos = t3.elapsed().as_nanos() as u64;
+
+            // Auto-despawn.
+            let _s = self.tracer.span("despawn");
+            for (class, col) in &self.auto_despawn {
+                let dead: Vec<EntityId> = {
+                    let t = self.world.table(*class);
+                    let alive = t.column(*col).bool();
+                    t.ids()
+                        .iter()
+                        .zip(alive)
+                        .filter(|(_, &a)| !a)
+                        .map(|(id, _)| *id)
+                        .collect()
+                };
+                for id in dead {
+                    self.world.despawn(*class, id);
+                }
+            }
+
+            self.last_trace = combined.trace.unwrap_or_default();
+        }
         self.world.advance_tick();
         self.last_stats = stats;
+        self.export_tick(t_wall.elapsed().as_nanos() as u64);
         &self.last_stats
+    }
+
+    /// Post-tick telemetry: fold metrics, write the JSONL record, fire
+    /// the slow-tick watchdog.
+    fn export_tick(&mut self, wall_nanos: u64) {
+        if self.obs.metrics {
+            self.last_stats.fold_into(&mut self.registry);
+        }
+        let slow = self
+            .obs
+            .tick_budget_nanos
+            .is_some_and(|budget| wall_nanos > budget);
+        if self.trace_writer.is_none() && !slow {
+            return;
+        }
+        let mut rec = tick_record(&self.last_stats, &self.game, &self.tracer, "engine");
+        rec.wall_nanos = wall_nanos;
+        if let Some(w) = &mut self.trace_writer {
+            w.write_record(&rec.to_json_line());
+        }
+        if slow {
+            rec.kind = "slow_tick";
+            rec.budget_nanos = self.obs.tick_budget_nanos;
+            let line = rec.to_json_line();
+            match &mut self.trace_writer {
+                Some(w) => w.write_record(&line),
+                None => eprintln!("sgl-obs slow tick: {line}"),
+            }
+        }
+    }
+
+    /// EXPLAIN-style report of the last tick: phase wall times plus
+    /// per-rule attribution sorted hottest first (§3.3's
+    /// inspectability, applied to the tick loop itself).
+    pub fn explain_tick(&self) -> ExplainReport {
+        explain_from(&self.last_stats, &self.game, "engine")
+    }
+
+    /// Cumulative metrics registry (counters sum across ticks, phase
+    /// times feed histograms). Populated when `obs.metrics` is on.
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Render the metrics registry as stable text (the `MSG_STATS`
+    /// payload format).
+    pub fn dump_metrics(&self) -> String {
+        self.registry.dump()
     }
 
     /// Run `n` ticks; returns the last tick's stats.
@@ -324,6 +424,128 @@ impl Engine {
     /// The executor's name ("compiled" / "interpreted").
     pub fn executor_name(&self) -> &'static str {
         self.executor.name()
+    }
+}
+
+/// `Class/script#segment` display name plus source span for one rule
+/// observation.
+pub(crate) fn rule_ident(game: &CompiledGame, r: &RuleObs) -> (String, (u32, u32)) {
+    let class = ClassId(r.class);
+    let cname = &game.catalog.class(class).name;
+    let script = &game.class(class).scripts[r.script];
+    (
+        format!("{cname}/{}#{}", script.name, r.segment),
+        script.span,
+    )
+}
+
+/// Build an [`ExplainReport`] from one tick's stats (shared with
+/// `sgl-dist`, which passes its merged per-node rules through the same
+/// shape).
+pub fn explain_from(stats: &TickStats, game: &CompiledGame, source: &'static str) -> ExplainReport {
+    let mut rules: Vec<RuleReport> = stats
+        .rules
+        .iter()
+        .map(|r| {
+            let (name, span) = rule_ident(game, r);
+            RuleReport {
+                name,
+                span,
+                nanos: r.nanos,
+                rows: r.rows_scanned,
+                effects: r.effects_emitted,
+                chunks: r.chunks,
+                pairs: r.pairs,
+            }
+        })
+        .collect();
+    rules.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.name.cmp(&b.name)));
+    ExplainReport {
+        source,
+        tick: stats.tick,
+        phases: vec![
+            ("effect", stats.effect_nanos),
+            ("query_eval", stats.query_nanos),
+            ("effect_apply", stats.combine_nanos),
+            ("update", stats.update_nanos),
+            ("reactive", stats.reactive_nanos),
+        ],
+        query_nanos: stats.query_nanos,
+        rules,
+    }
+}
+
+/// Assemble one JSONL trace record from a tick's stats and the
+/// tracer's completed spans (drains the span ring).
+pub fn tick_record(
+    stats: &TickStats,
+    game: &CompiledGame,
+    tracer: &Tracer,
+    source: &'static str,
+) -> TickRecord {
+    let dropped_spans = tracer.dropped();
+    let spans = tracer.take_spans();
+    let rules = stats
+        .rules
+        .iter()
+        .map(|r| {
+            let (name, span) = rule_ident(game, r);
+            RuleRec {
+                name,
+                span,
+                nanos: r.nanos,
+                rows: r.rows_scanned,
+                effects: r.effects_emitted,
+                chunks: r.chunks,
+                pairs: r.pairs,
+            }
+        })
+        .collect();
+    TickRecord {
+        kind: "tick",
+        source,
+        tick: stats.tick,
+        wall_nanos: stats.total_nanos(),
+        budget_nanos: None,
+        phases: vec![
+            PhaseRec {
+                name: "effect",
+                nanos: stats.effect_nanos,
+            },
+            PhaseRec {
+                name: "query_eval",
+                nanos: stats.query_nanos,
+            },
+            PhaseRec {
+                name: "effect_apply",
+                nanos: stats.combine_nanos,
+            },
+            PhaseRec {
+                name: "update",
+                nanos: stats.update_nanos,
+            },
+            PhaseRec {
+                name: "reactive",
+                nanos: stats.reactive_nanos,
+            },
+        ],
+        rules,
+        spans,
+        counters: vec![
+            ("effects_emitted", stats.effects_emitted),
+            ("interrupts", stats.interrupts),
+            ("txn_issued", stats.txn.issued),
+            ("txn_committed", stats.txn.committed),
+            (
+                "txn_aborted",
+                stats.txn.aborted_conflict + stats.txn.aborted_constraint,
+            ),
+            ("pool_runs", stats.parallel.pool_runs),
+            ("chunks", stats.parallel.chunks),
+            ("chunks_stolen", stats.parallel.chunks_stolen),
+            ("join_pairs", stats.total_pairs()),
+        ],
+        dropped_spans,
     }
 }
 

@@ -72,6 +72,11 @@ pub struct ExecConfig {
     /// Rows per parallel chunk (0 = auto). Must be a constant per run
     /// for deterministic reduces; exposed mainly for tests.
     pub chunk_rows: usize,
+    /// Record per-rule attribution (`TickStats::rules`): wall time,
+    /// rows, effects, chunks and pairs per executed script segment.
+    /// Costs two `Instant` reads per segment; off is the pre-telemetry
+    /// baseline the overhead bench compares against.
+    pub rule_attribution: bool,
 }
 
 impl Default for ExecConfig {
@@ -84,6 +89,7 @@ impl Default for ExecConfig {
             calibrate: false,
             parallel_threshold: 1024,
             chunk_rows: 0,
+            rule_attribution: true,
         }
     }
 }
@@ -847,6 +853,14 @@ impl EffectPhase for CompiledExecutor {
         stats: &mut TickStats,
     ) {
         let game = self.game.clone();
+        // Rule attribution uses lap timing: the clock starts at run()
+        // entry and laps after every executed segment, so each segment
+        // is charged its own work plus the setup (masks, base batch)
+        // that preceded it — the laps partition the whole query span,
+        // which is what makes `sum(rules.nanos) ≈ query_nanos` hold by
+        // construction.
+        let attribution = self.config.rule_attribution;
+        let mut lap = crate::stats::LapTimer::start();
         for cdef in game.catalog.classes() {
             let class = cdef.id;
             if world.table(class).is_empty() {
@@ -886,6 +900,9 @@ impl EffectPhase for CompiledExecutor {
                             continue;
                         }
                     }
+                    let emitted0 = store.emitted;
+                    let chunks0 = stats.parallel.chunks;
+                    let joins0 = stats.joins.len();
                     self.run_segment(
                         world,
                         class,
@@ -899,6 +916,19 @@ impl EffectPhase for CompiledExecutor {
                         intents,
                         stats,
                     );
+                    if attribution {
+                        let pairs = stats.joins[joins0..].iter().map(|j| j.pairs).sum();
+                        stats.rules.push(crate::stats::RuleObs {
+                            class: class.0,
+                            script: si,
+                            segment: gi,
+                            nanos: lap.lap(),
+                            rows_scanned: base.len() as u64,
+                            effects_emitted: store.emitted - emitted0,
+                            chunks: stats.parallel.chunks - chunks0,
+                            pairs,
+                        });
+                    }
                 }
             }
         }

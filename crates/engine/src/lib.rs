@@ -51,12 +51,13 @@ pub mod world;
 
 pub use bytes::Bytes;
 pub use effects::{CombinedEffects, EffectPartial, EffectStore, Seed};
-pub use engine::{Engine, EngineConfig, EngineError};
+pub use engine::{explain_from, tick_record, Engine, EngineConfig, EngineError};
 pub use exec::{default_threads, CompiledExecutor, EffectPhase, ExecConfig};
 pub use pathfind::{astar, ObstacleGrid, PathfindSpec};
 pub use physics::PhysicsSpec;
 pub use pool::{chunk_ranges, RunStats, WorkerPool};
 pub use reactive::{PcReset, ReactiveOut};
-pub use stats::{JoinObs, ParallelStats, TickStats, TxnReport};
+pub use sgl_obs::{ExplainReport, ObsConfig, Registry, RuleReport, Tracer};
+pub use stats::{JoinObs, ParallelStats, RuleObs, TickStats, TxnReport};
 pub use txn::TxnIntent;
 pub use world::World;

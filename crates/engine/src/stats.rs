@@ -1,4 +1,24 @@
 //! Per-tick execution statistics, consumed by the experiment harness.
+//!
+//! # Reset/merge contract
+//!
+//! Every field of [`TickStats`] is **per-tick**: `Engine::tick` builds
+//! a fresh `TickStats::default()` each tick and replaces `last_stats`
+//! wholesale — nothing here accumulates across ticks. Cross-tick
+//! aggregation is the job of the [`sgl_obs::Registry`], which
+//! [`TickStats::fold_into`] feeds once per tick (counters sum,
+//! histograms collect distributions).
+//!
+//! [`ParallelStats`] composes two ways, both within a single tick:
+//! - [`ParallelStats::absorb`] folds in **one pool fan-out**
+//!   (`pool_runs += 1`, chunk counters sum, `workers_used` maxes);
+//! - [`ParallelStats::merge`] folds in **another ParallelStats**
+//!   (all counters sum, `workers_used` maxes — used by `sgl-dist` to
+//!   combine per-node records into one cluster record).
+//!
+//! The contract is pinned by unit tests below.
+
+use std::time::Instant;
 
 use sgl_relalg::JoinMethod;
 
@@ -27,7 +47,49 @@ pub struct JoinObs {
     pub switched: bool,
 }
 
-/// Transaction-manager outcome of one tick (§3.1).
+/// Rule-level attribution for one executed `(class, script, segment)`
+/// this tick: what `explain_tick()` and the JSONL trace report.
+///
+/// Timing uses checkpoint deltas inside `CompiledExecutor::run`, so
+/// the sum over all records equals the measured query-phase span
+/// ([`TickStats::query_nanos`]) up to the loop's tail — the ±1%
+/// acceptance bound holds by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleObs {
+    /// Class id.
+    pub class: u32,
+    /// Script index within the class.
+    pub script: usize,
+    /// Segment index within the script.
+    pub segment: usize,
+    /// Wall time attributed to this segment (includes the per-segment
+    /// mask/batch setup that precedes it), nanoseconds.
+    pub nanos: u64,
+    /// Rows in the class extent the segment scanned.
+    pub rows_scanned: u64,
+    /// Effect assignments emitted by this segment.
+    pub effects_emitted: u64,
+    /// Parallel chunks executed on behalf of this segment.
+    pub chunks: u64,
+    /// Join pairs produced by this segment's accum steps.
+    pub pairs: u64,
+}
+
+impl RuleObs {
+    /// Fold another observation of the same rule in (used by
+    /// `sgl-dist` to sum per-node attribution; `workers`-style max
+    /// fields don't exist here, everything sums).
+    pub fn merge(&mut self, other: &RuleObs) {
+        self.nanos += other.nanos;
+        self.rows_scanned += other.rows_scanned;
+        self.effects_emitted += other.effects_emitted;
+        self.chunks += other.chunks;
+        self.pairs += other.pairs;
+    }
+}
+
+/// Transaction-manager outcome of one tick (§3.1). Per-tick: rebuilt
+/// from zero by every `Engine::tick`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TxnReport {
     /// Intents issued during the effect phase.
@@ -41,6 +103,8 @@ pub struct TxnReport {
 }
 
 /// Worker-pool activity across one tick (all fan-outs of all phases).
+/// Per-tick: lives inside `TickStats` / `DistStats`, which are rebuilt
+/// each tick.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParallelStats {
     /// Pool fan-outs (one per `WorkerPool::run`).
@@ -56,6 +120,8 @@ pub struct ParallelStats {
 impl ParallelStats {
     /// Fold another record's counters in (used by `sgl-dist` to sum
     /// per-node executor activity into one cluster-wide record).
+    /// Counters sum; `workers_used` takes the max (it is a high-water
+    /// mark, not a total).
     pub fn merge(&mut self, other: &ParallelStats) {
         self.pool_runs += other.pool_runs;
         self.chunks += other.chunks;
@@ -63,7 +129,8 @@ impl ParallelStats {
         self.workers_used = self.workers_used.max(other.workers_used);
     }
 
-    /// Fold one fan-out's observations in.
+    /// Fold one fan-out's observations in: `pool_runs` increments by
+    /// exactly one, chunk counters sum, `workers_used` maxes.
     pub fn absorb(&mut self, rs: &RunStats) {
         self.pool_runs += 1;
         self.chunks += rs.total();
@@ -72,13 +139,19 @@ impl ParallelStats {
     }
 }
 
-/// Timings and counters for one tick.
+/// Timings and counters for one tick. Per-tick: `Engine::tick` starts
+/// from `TickStats::default()` every tick (see the module docs for the
+/// reset/merge contract).
 #[derive(Debug, Clone, Default)]
 pub struct TickStats {
     /// Tick number.
     pub tick: u64,
-    /// Query + effect phase wall time (ns).
+    /// Query + effect phase wall time (ns): effect-store setup, seeded
+    /// handler effects, and the executor run.
     pub effect_nanos: u64,
+    /// Query-evaluation wall time (ns): the executor run alone — the
+    /// span rule attribution in [`TickStats::rules`] sums to.
+    pub query_nanos: u64,
     /// ⊕ combine wall time (ns).
     pub combine_nanos: u64,
     /// Update phase wall time (ns).
@@ -92,6 +165,10 @@ pub struct TickStats {
     pub interrupts: u64,
     /// Join observations (one per executed accum step).
     pub joins: Vec<JoinObsRecord>,
+    /// Rule-level attribution (one per executed script segment),
+    /// recorded by the compiled executor when
+    /// `ExecConfig::rule_attribution` is on.
+    pub rules: Vec<RuleObs>,
     /// Transaction outcomes.
     pub txn: TxnReport,
     /// Worker-pool activity (effect + update fan-outs).
@@ -111,6 +188,58 @@ impl TickStats {
     /// Total join pairs across all accum steps this tick.
     pub fn total_pairs(&self) -> u64 {
         self.joins.iter().map(|j| j.pairs).sum()
+    }
+
+    /// Sum of per-rule attributed time (≈ [`TickStats::query_nanos`]).
+    pub fn rules_nanos(&self) -> u64 {
+        self.rules.iter().map(|r| r.nanos).sum()
+    }
+
+    /// Fold this tick into a metrics registry: counters sum across
+    /// ticks, phase times feed histograms (p50/p95/p99 over the run).
+    pub fn fold_into(&self, reg: &mut sgl_obs::Registry) {
+        reg.counter_add("tick.count", 1);
+        reg.counter_add("tick.effects_emitted", self.effects_emitted);
+        reg.counter_add("tick.interrupts", self.interrupts);
+        reg.counter_add("tick.txn_issued", self.txn.issued);
+        reg.counter_add("tick.txn_committed", self.txn.committed);
+        reg.counter_add(
+            "tick.txn_aborted",
+            self.txn.aborted_conflict + self.txn.aborted_constraint,
+        );
+        reg.counter_add("tick.pool_runs", self.parallel.pool_runs);
+        reg.counter_add("tick.chunks", self.parallel.chunks);
+        reg.counter_add("tick.chunks_stolen", self.parallel.chunks_stolen);
+        reg.counter_add("tick.join_pairs", self.total_pairs());
+        reg.observe("tick.total_nanos", self.total_nanos());
+        reg.observe("tick.effect_nanos", self.effect_nanos);
+        reg.observe("tick.query_nanos", self.query_nanos);
+        reg.observe("tick.combine_nanos", self.combine_nanos);
+        reg.observe("tick.update_nanos", self.update_nanos);
+        reg.observe("tick.reactive_nanos", self.reactive_nanos);
+    }
+}
+
+/// A checkpoint clock for rule attribution: each `lap()` returns the
+/// nanoseconds since the previous lap (or construction), so attributing
+/// every lap to the segment that just ran partitions the whole
+/// enclosing span — deltas sum to total elapsed time by construction.
+pub struct LapTimer {
+    mark: Instant,
+}
+
+impl LapTimer {
+    pub fn start() -> Self {
+        LapTimer {
+            mark: Instant::now(),
+        }
+    }
+
+    pub fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let dt = now.duration_since(self.mark).as_nanos() as u64;
+        self.mark = now;
+        dt
     }
 }
 
@@ -140,5 +269,90 @@ mod tests {
             switched: false,
         });
         assert_eq!(s.total_pairs(), 7);
+    }
+
+    /// Pin the merge contract: counters sum, `workers_used` maxes.
+    #[test]
+    fn parallel_merge_sums_counters_and_maxes_workers() {
+        let mut a = ParallelStats {
+            pool_runs: 2,
+            chunks: 10,
+            chunks_stolen: 3,
+            workers_used: 4,
+        };
+        let b = ParallelStats {
+            pool_runs: 1,
+            chunks: 5,
+            chunks_stolen: 1,
+            workers_used: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.pool_runs, 3);
+        assert_eq!(a.chunks, 15);
+        assert_eq!(a.chunks_stolen, 4);
+        assert_eq!(a.workers_used, 4, "high-water mark, not a sum");
+    }
+
+    /// Pin the absorb contract: exactly one pool run per call.
+    #[test]
+    fn parallel_absorb_counts_one_run_per_fanout() {
+        let mut p = ParallelStats::default();
+        let rs = RunStats::default();
+        p.absorb(&rs);
+        p.absorb(&rs);
+        assert_eq!(p.pool_runs, 2);
+    }
+
+    #[test]
+    fn rule_obs_merge_sums_everything() {
+        let mut a = RuleObs {
+            class: 0,
+            script: 1,
+            segment: 0,
+            nanos: 100,
+            rows_scanned: 10,
+            effects_emitted: 4,
+            chunks: 2,
+            pairs: 30,
+        };
+        let b = RuleObs {
+            nanos: 50,
+            ..a.clone()
+        };
+        a.merge(&b);
+        assert_eq!(a.nanos, 150);
+        assert_eq!(a.rows_scanned, 20);
+        assert_eq!(a.effects_emitted, 8);
+        assert_eq!(a.chunks, 4);
+        assert_eq!(a.pairs, 60);
+    }
+
+    #[test]
+    fn fold_into_sums_counters_and_observes_phases() {
+        let s = TickStats {
+            effect_nanos: 10,
+            combine_nanos: 5,
+            update_nanos: 3,
+            reactive_nanos: 2,
+            effects_emitted: 9,
+            ..TickStats::default()
+        };
+        let mut reg = sgl_obs::Registry::new();
+        s.fold_into(&mut reg);
+        s.fold_into(&mut reg);
+        assert_eq!(reg.counter("tick.count"), 2);
+        assert_eq!(reg.counter("tick.effects_emitted"), 18);
+        let h = reg.histogram("tick.total_nanos").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 20);
+    }
+
+    #[test]
+    fn lap_timer_partitions_elapsed_time() {
+        let mut t = LapTimer::start();
+        let a = t.lap();
+        let b = t.lap();
+        // Laps are non-overlapping consecutive intervals.
+        assert!(a < 1_000_000_000 && b < 1_000_000_000);
     }
 }

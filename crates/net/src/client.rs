@@ -26,7 +26,7 @@ use crate::replica::{ApplySummary, ClientReplica};
 use crate::server::SessionId;
 use crate::transport::{
     decode_spawned, decode_welcome, hello_payload, read_msg, resub_payload, write_msg,
-    DEFAULT_MAX_MSG, MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_RESUB, MSG_SPAWNED,
+    DEFAULT_MAX_MSG, MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_RESUB, MSG_SPAWNED, MSG_STATS,
     MSG_WELCOME, PROTOCOL_VERSION,
 };
 use crate::{InterestSpec, NetError};
@@ -38,6 +38,9 @@ pub enum ClientEvent {
     Frame(ApplySummary),
     /// The server acknowledged a spawn intent: `(req token, id)`.
     Spawned(u32, EntityId),
+    /// The server answered a [`NetClient::request_stats`] with its
+    /// metrics dump (line-oriented `counter/gauge/hist` text).
+    Stats(String),
 }
 
 /// A connection whose `HELLO` is sent but whose `WELCOME` has not been
@@ -144,6 +147,9 @@ impl NetClient {
                 self.spawned.push((req, id));
                 Ok(ClientEvent::Spawned(req, id))
             }
+            k if k == MSG_STATS => Ok(ClientEvent::Stats(
+                String::from_utf8_lossy(&payload).into_owned(),
+            )),
             k if k == MSG_ERROR => Err(NetError::Refused(
                 String::from_utf8_lossy(&payload).into_owned(),
             )),
@@ -179,6 +185,29 @@ impl NetClient {
             MSG_RESUB,
             &resub_payload(&spec.to_string()),
         )
+    }
+
+    /// Ask the server for its metrics dump without waiting for the
+    /// reply; it arrives as a [`ClientEvent::Stats`] on a later
+    /// [`NetClient::recv`] (the server answers from its next input
+    /// drain). For the blocking convenience see
+    /// [`NetClient::request_stats`].
+    pub fn send_stats_request(&mut self) -> Result<(), NetError> {
+        write_msg(&mut self.stream, MSG_STATS, &[])
+    }
+
+    /// Ask the server for its metrics dump and block until the reply
+    /// arrives, applying any frames (and collecting any spawn
+    /// acknowledgements) that were queued ahead of it. The server
+    /// answers from its next input drain, so in the canonical loop the
+    /// reply rides behind at most one tick's frame.
+    pub fn request_stats(&mut self) -> Result<String, NetError> {
+        self.send_stats_request()?;
+        loop {
+            if let ClientEvent::Stats(text) = self.recv()? {
+                return Ok(text);
+            }
+        }
     }
 
     /// Send a batch of intents, stamped with this session's id and the

@@ -49,6 +49,7 @@ use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use sgl_obs::Registry;
 use sgl_storage::{Catalog, EntityId, FxHashMap, FxHashSet};
 
 use crate::input::{self, apply_batch, BatchReport, InputSink};
@@ -56,7 +57,7 @@ use crate::server::{NetConfig, ReplicationServer, ReplicationSource, SessionId};
 use crate::stats::NetStats;
 use crate::transport::{
     decode_hello, decode_resub, frame_msg, spawned_payload, welcome_payload, MsgReader,
-    DEFAULT_MAX_MSG, MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_RESUB, MSG_SPAWNED,
+    DEFAULT_MAX_MSG, MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_RESUB, MSG_SPAWNED, MSG_STATS,
     MSG_WELCOME, PROTOCOL_VERSION,
 };
 use crate::{InterestSpec, NetError};
@@ -167,6 +168,11 @@ pub struct NetListener {
     conns: FxHashMap<u32, Conn>,
     counters: TickCounters,
     last: NetStats,
+    /// Cross-poll metrics: every pump folds [`NetStats`] in
+    /// (`net.*` names) and observes the transport phase wall times
+    /// (`net.drain_nanos`, `net.pump_nanos`, `net.socket_write_nanos`).
+    /// Served to clients over the wire as [`MSG_STATS`].
+    registry: Registry,
 }
 
 impl NetListener {
@@ -193,6 +199,7 @@ impl NetListener {
             conns: FxHashMap::default(),
             counters: TickCounters::default(),
             last: NetStats::default(),
+            registry: Registry::new(),
         })
     }
 
@@ -238,6 +245,18 @@ impl NetListener {
     /// previous pump).
     pub fn last_stats(&self) -> &NetStats {
         &self.last
+    }
+
+    /// The cross-poll metrics registry (`net.*` counters, gauges and
+    /// histograms; populated by [`NetListener::pump_frames`]).
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The registry rendered in the stable `counter/gauge/hist` text
+    /// format — the payload a [`MSG_STATS`] request is answered with.
+    pub fn dump_metrics(&self) -> String {
+        self.registry.dump()
     }
 
     /// Entities a session owns (may write via intents).
@@ -301,6 +320,7 @@ impl NetListener {
     /// validate them, and apply the surviving intents to `sink`. Call
     /// once per tick, before stepping the simulation.
     pub fn drain_inputs<S: InputSink>(&mut self, sink: &mut S) -> DrainReport {
+        let t_drain = Instant::now();
         let before = DrainReport {
             msgs: self.counters.input_msgs,
             applied: self.counters.applied,
@@ -314,6 +334,8 @@ impl NetListener {
                 self.disconnect(SessionId(sid), reason);
             }
         }
+        self.registry
+            .observe("net.drain_nanos", t_drain.elapsed().as_nanos() as u64);
         DrainReport {
             msgs: self.counters.input_msgs - before.msgs,
             applied: self.counters.applied - before.applied,
@@ -331,9 +353,14 @@ impl NetListener {
         // Frames are encoded straight into each session's reused send
         // queue (`poll_with` lends the server's per-session buffer) —
         // no intermediate `Bytes`/`Vec` per session per tick.
+        let t_pump = Instant::now();
         let conns = &mut self.conns;
         let max_queued = self.cfg.max_queued;
         let mut overflowed: Vec<u32> = Vec::new();
+        // Socket-write time inside the pump, separated out so the
+        // registry can tell extraction cost (pump − socket) from kernel
+        // hand-off cost.
+        let mut socket_nanos = 0u64;
         self.repl.poll_with(src, |sid, frame| {
             let Some(conn) = conns.get_mut(&sid.0) else {
                 return;
@@ -343,7 +370,9 @@ impl NetListener {
             conn.wr.extend_from_slice(&len.to_le_bytes());
             conn.wr.push(MSG_FRAME);
             conn.wr.extend_from_slice(frame);
+            let t_write = Instant::now();
             flush_backlog(&mut conn.stream, &mut conn.wr);
+            socket_nanos += t_write.elapsed().as_nanos() as u64;
             if conn.wr.len() > max_queued {
                 overflowed.push(sid.0);
             }
@@ -362,6 +391,11 @@ impl NetListener {
         stats.backlog_bytes = self.conns.values().map(|c| c.wr.len() as u64).sum();
         stats.sessions = self.conns.len();
         self.last = stats;
+        self.last.fold_into(&mut self.registry);
+        self.registry
+            .observe("net.pump_nanos", t_pump.elapsed().as_nanos() as u64);
+        self.registry
+            .observe("net.socket_write_nanos", socket_nanos);
     }
 
     /// Retry queued writes (the pump does this implicitly; hosts may
@@ -505,6 +539,21 @@ impl NetListener {
                     self.repl
                         .resubscribe(SessionId(sid), &spec)
                         .map_err(|_| "unresolvable resubscription")?;
+                }
+                MSG_STATS => {
+                    // Metrics interrogation: reply with the registry
+                    // dump as of the last pump. Costs one budget unit —
+                    // a stats flood cannot amplify beyond the session's
+                    // per-tick message allowance.
+                    remaining -= 1;
+                    if !payload.is_empty() {
+                        return Err("corrupt stats request");
+                    }
+                    self.registry.counter_add("net.stats_requests", 1);
+                    let text = self.registry.dump();
+                    let msg = frame_msg(MSG_STATS, text.as_bytes());
+                    let conn = self.conns.get_mut(&sid).expect("draining a live session");
+                    write_some(&mut conn.stream, &mut conn.wr, &msg);
                 }
                 _ => return Err("unexpected message kind"),
             }

@@ -1,6 +1,18 @@
 //! Per-tick replication statistics, in the style of
 //! [`sgl_dist::DistStats`] (whose [`Traffic`] counters are reused for
 //! the stripe fan-out accounting).
+//!
+//! # Reset/merge contract
+//!
+//! Every field of [`NetStats`] is **per-poll**: each
+//! `ReplicationServer::poll` builds a fresh record and replaces `last`
+//! wholesale (the listener then overlays the transport counters it
+//! accumulated since the previous pump — drain runs before the tick,
+//! the pump after, both land in the same record). [`SessionStats`] is
+//! the one **cumulative** struct in the telemetry plane: it counts from
+//! session attach and is never reset while the session lives.
+//! Cross-poll aggregation belongs in the metrics registry via
+//! [`NetStats::fold_into`].
 
 use sgl_dist::Traffic;
 use sgl_engine::ParallelStats;
@@ -79,6 +91,30 @@ impl NetStats {
     pub fn total_bytes(&self) -> u64 {
         self.client_traffic.bytes
     }
+
+    /// Fold this poll into a metrics registry (cross-poll aggregation:
+    /// counters sum, queue depths feed gauges and histograms).
+    pub fn fold_into(&self, reg: &mut sgl_obs::Registry) {
+        reg.counter_add("net.polls", 1);
+        reg.counter_add("net.frames", self.frames);
+        reg.counter_add("net.frame_bytes", self.client_traffic.bytes);
+        reg.counter_add("net.enters", self.enters);
+        reg.counter_add("net.exits", self.exits);
+        reg.counter_add("net.despawns", self.despawns);
+        reg.counter_add("net.updated_cells", self.updated_cells);
+        reg.counter_add("net.scanned", self.scanned);
+        reg.counter_add("net.skipped_scans", self.skipped_scans);
+        reg.counter_add("net.sessions_visited", self.sessions_visited);
+        reg.counter_add("net.sessions_skipped", self.sessions_skipped);
+        reg.counter_add("net.input_msgs", self.inputs.msgs);
+        reg.counter_add("net.input_bytes", self.inputs.bytes);
+        reg.counter_add("net.inputs_applied", self.inputs_applied);
+        reg.counter_add("net.inputs_rejected", self.inputs_rejected);
+        reg.counter_add("net.inputs_throttled", self.inputs_throttled);
+        reg.counter_add("net.disconnects", self.disconnects);
+        reg.gauge_set("net.sessions", self.sessions as f64);
+        reg.observe("net.backlog_bytes", self.backlog_bytes);
+    }
 }
 
 /// Cumulative per-session statistics.
@@ -105,6 +141,29 @@ pub struct SessionStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pin the registry folding: counters sum across polls, gauges keep
+    /// the latest value, queue depths feed a histogram.
+    #[test]
+    fn fold_into_registry_sums_counters() {
+        let s = NetStats {
+            frames: 3,
+            sessions: 2,
+            inputs_applied: 5,
+            backlog_bytes: 100,
+            client_traffic: Traffic { msgs: 3, bytes: 64 },
+            ..NetStats::default()
+        };
+        let mut reg = sgl_obs::Registry::new();
+        s.fold_into(&mut reg);
+        s.fold_into(&mut reg);
+        assert_eq!(reg.counter("net.polls"), 2);
+        assert_eq!(reg.counter("net.frames"), 6);
+        assert_eq!(reg.counter("net.frame_bytes"), 128);
+        assert_eq!(reg.counter("net.inputs_applied"), 10);
+        assert_eq!(reg.gauge("net.sessions"), Some(2.0));
+        assert_eq!(reg.histogram("net.backlog_bytes").unwrap().count(), 2);
+    }
 
     #[test]
     fn totals_come_from_client_traffic() {

@@ -21,6 +21,8 @@
 //! | [`MSG_INPUT`]   | client → server | one `SGI1` input batch |
 //! | [`MSG_SPAWNED`] | server → client | `req:u32 id:u64` spawn acknowledgement |
 //! | [`MSG_RESUB`]   | client → server | new interest spec string (live re-subscription) |
+//! | [`MSG_STATS`]   | client → server | empty (metrics request) |
+//! | [`MSG_STATS`]   | server → client | `dump_metrics()` text (UTF-8) |
 //!
 //! The server reads non-blockingly through [`MsgReader`] (bytes
 //! accumulate across ticks until a message completes); the blocking
@@ -61,6 +63,13 @@ pub const MSG_SPAWNED: u8 = 6;
 /// difference of the two windows; a spec the server cannot resolve is a
 /// protocol violation and disconnects the session.
 pub const MSG_RESUB: u8 = 7;
+/// Both directions: as a client → server request (empty payload) it
+/// asks for the listener's metrics; the server replies with the same
+/// kind carrying the `dump_metrics()` text (stable line-oriented
+/// `counter/gauge/hist` format). Served inline from the input-drain
+/// budget — a client cannot amplify beyond its per-tick message
+/// allowance.
+pub const MSG_STATS: u8 = 8;
 
 /// Serialize one message into a byte vector (length prefix included).
 pub fn frame_msg(kind: u8, payload: &[u8]) -> Vec<u8> {

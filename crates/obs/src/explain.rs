@@ -1,0 +1,181 @@
+//! EXPLAIN-style per-tick reports: which declarative rules burned the
+//! tick budget, with rows/pairs/effects context — the paper's
+//! "inspectable like a database" promise applied to the tick loop.
+//!
+//! Reports are built by the owning crates (`Engine::explain_tick`,
+//! `DistSim::explain_tick`) from their stats structs; this module only
+//! defines the shape and the human-readable rendering.
+
+use std::fmt;
+
+/// Per-rule attribution line: `Class/script#segment`.
+#[derive(Debug, Clone)]
+pub struct RuleReport {
+    pub name: String,
+    /// `[start, end)` byte span of the script in the game source.
+    pub span: (u32, u32),
+    pub nanos: u64,
+    pub rows: u64,
+    pub effects: u64,
+    pub chunks: u64,
+    pub pairs: u64,
+}
+
+/// One tick explained: phase wall times plus rules sorted hottest
+/// first. `Display` renders the report the examples print.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// `"engine"` or `"dist"`.
+    pub source: &'static str,
+    pub tick: u64,
+    /// Phase wall times in phase order, e.g. `("query_eval", nanos)`.
+    pub phases: Vec<(&'static str, u64)>,
+    /// Wall time of the query-evaluation phase alone — the span the
+    /// rule attribution below sums to (±1%, pinned by `benches/obs.rs`).
+    pub query_nanos: u64,
+    /// Rules sorted by descending `nanos`.
+    pub rules: Vec<RuleReport>,
+}
+
+impl ExplainReport {
+    /// Sum of attributed rule time; ≈ `query_nanos` by construction.
+    pub fn rules_nanos(&self) -> u64 {
+        self.rules.iter().map(|r| r.nanos).sum()
+    }
+
+    /// The most expensive rule this tick, if any ran.
+    pub fn hottest(&self) -> Option<&RuleReport> {
+        self.rules.first()
+    }
+
+    /// Total phase wall time (the tick, minus bookkeeping).
+    pub fn total_nanos(&self) -> u64 {
+        self.phases.iter().map(|(_, n)| n).sum()
+    }
+}
+
+fn fmt_nanos(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}ms", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.1}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+impl fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_nanos().max(1);
+        writeln!(
+            f,
+            "explain tick {} ({}): {} total",
+            self.tick,
+            self.source,
+            fmt_nanos(self.total_nanos())
+        )?;
+        for (name, nanos) in &self.phases {
+            writeln!(
+                f,
+                "  phase {:<16} {:>9}  {:>3}%",
+                name,
+                fmt_nanos(*nanos),
+                nanos * 100 / total
+            )?;
+        }
+        if self.rules.is_empty() {
+            writeln!(f, "  (no rule attribution recorded)")?;
+            return Ok(());
+        }
+        writeln!(
+            f,
+            "  rules by time (sum {} of {} query):",
+            fmt_nanos(self.rules_nanos()),
+            fmt_nanos(self.query_nanos)
+        )?;
+        let q = self.query_nanos.max(1);
+        for r in &self.rules {
+            writeln!(
+                f,
+                "    {:<24} {:>9}  {:>3}%  rows {:>7}  pairs {:>7}  effects {:>7}  chunks {}",
+                r.name,
+                fmt_nanos(r.nanos),
+                r.nanos * 100 / q,
+                fmt_count(r.rows),
+                fmt_count(r.pairs),
+                fmt_count(r.effects),
+                r.chunks
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExplainReport {
+        ExplainReport {
+            source: "engine",
+            tick: 12,
+            phases: vec![("query_eval", 900_000), ("update", 100_000)],
+            query_nanos: 900_000,
+            rules: vec![
+                RuleReport {
+                    name: "Unit/engage#0".into(),
+                    span: (10, 200),
+                    nanos: 700_000,
+                    rows: 8000,
+                    effects: 1200,
+                    chunks: 16,
+                    pairs: 2_000_000,
+                },
+                RuleReport {
+                    name: "Unit/move#0".into(),
+                    span: (200, 400),
+                    nanos: 190_000,
+                    rows: 8000,
+                    effects: 8000,
+                    chunks: 16,
+                    pairs: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.rules_nanos(), 890_000);
+        assert_eq!(r.total_nanos(), 1_000_000);
+        assert_eq!(r.hottest().unwrap().name, "Unit/engage#0");
+    }
+
+    #[test]
+    fn display_names_hottest_rule_first() {
+        let text = report().to_string();
+        let engage = text.find("Unit/engage#0").unwrap();
+        let mv = text.find("Unit/move#0").unwrap();
+        assert!(engage < mv);
+        assert!(text.contains("phase query_eval"));
+        assert!(text.contains("explain tick 12 (engine)"));
+    }
+
+    #[test]
+    fn display_handles_empty_rules() {
+        let mut r = report();
+        r.rules.clear();
+        assert!(r.to_string().contains("no rule attribution"));
+    }
+}

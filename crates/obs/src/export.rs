@@ -1,0 +1,471 @@
+//! Export sinks: the JSONL trace writer, the per-tick record schema,
+//! and the schema validator used by the golden-file tests and the
+//! `trace_check` CI gate.
+//!
+//! # JSONL trace schema (version 1)
+//!
+//! One JSON object per line. Two record types share a field set:
+//!
+//! | field           | type   | meaning                                          |
+//! |-----------------|--------|--------------------------------------------------|
+//! | `type`          | string | `"tick"` or `"slow_tick"`                        |
+//! | `source`        | string | `"engine"` or `"dist"`                           |
+//! | `tick`          | number | tick index the record describes                  |
+//! | `wall_nanos`    | number | wall-clock duration of the whole tick            |
+//! | `budget_nanos`  | number | only on `slow_tick`: the exceeded budget         |
+//! | `phases`        | array  | `{name, nanos}` per tick phase                   |
+//! | `rules`         | array  | `{name, span, nanos, rows, effects, chunks, pairs}` |
+//! | `spans`         | array  | `{name, depth, start_nanos, nanos}` raw spans    |
+//! | `counters`      | object | flat `name → number` tick counters               |
+//! | `dropped_spans` | number | spans overwritten in the ring this tick          |
+//!
+//! `rules[].name` is `Class/script#segment`; `rules[].span` is the
+//! `[start, end)` byte range of the script in the game source. The
+//! validator rejects unknown top-level fields so schema drift breaks a
+//! test instead of silently breaking downstream consumers.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+
+use crate::json::{parse, JsonArr, JsonObj, JsonValue};
+
+/// Environment variable naming the JSONL trace output path.
+pub const ENV_TRACE: &str = "SGL_TRACE";
+/// Environment variable naming the slow-tick budget in milliseconds.
+pub const ENV_TICK_BUDGET_MS: &str = "SGL_TICK_BUDGET_MS";
+
+/// Observability configuration carried by `EngineConfig`/`DistConfig`.
+///
+/// `Default` reads the environment (same precedent as `SGL_THREADS`):
+/// setting `SGL_TRACE=path` turns on tracing + the JSONL writer,
+/// `SGL_TICK_BUDGET_MS=n` arms the slow-tick watchdog. Tests that need
+/// isolation from the environment use [`ObsConfig::off`] and set
+/// explicit paths.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Record phase spans into the per-tick ring.
+    pub tracing: bool,
+    /// Append one JSONL record per tick to this path.
+    pub trace_path: Option<String>,
+    /// Slow-tick watchdog budget; a tick whose wall time exceeds it
+    /// emits one `slow_tick` record (to the trace file, else stderr).
+    pub tick_budget_nanos: Option<u64>,
+    /// Fold per-tick stats into the metrics registry.
+    pub metrics: bool,
+    /// Span ring capacity per tick.
+    pub span_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ObsConfig {
+    /// Everything off — the bench baseline and the env-isolated test
+    /// starting point.
+    pub fn off() -> Self {
+        ObsConfig {
+            tracing: false,
+            trace_path: None,
+            tick_budget_nanos: None,
+            metrics: false,
+            span_capacity: 256,
+        }
+    }
+
+    /// Read `SGL_TRACE` / `SGL_TICK_BUDGET_MS`. Metrics folding is on
+    /// by default (one registry pass per tick).
+    pub fn from_env() -> Self {
+        let trace_path = std::env::var(ENV_TRACE).ok().filter(|p| !p.is_empty());
+        let tick_budget_nanos = std::env::var(ENV_TICK_BUDGET_MS)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|ms| ms * 1_000_000);
+        ObsConfig {
+            tracing: trace_path.is_some(),
+            trace_path,
+            tick_budget_nanos,
+            metrics: true,
+            span_capacity: 256,
+        }
+    }
+
+    /// Builder-style: enable tracing (spans recorded, no file).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Builder-style: enable tracing and append JSONL records to `path`.
+    pub fn with_trace_path(mut self, path: impl Into<String>) -> Self {
+        self.trace_path = Some(path.into());
+        self.tracing = true;
+        self
+    }
+
+    /// Builder-style: arm the slow-tick watchdog.
+    pub fn with_tick_budget_nanos(mut self, nanos: u64) -> Self {
+        self.tick_budget_nanos = Some(nanos);
+        self
+    }
+}
+
+/// Append-mode JSONL writer. Append (not truncate) so several
+/// producers in one process — e.g. `mmo_shard` runs a `DistSim` and a
+/// single-engine reference side by side — can share one `SGL_TRACE`
+/// file; records carry a `source` field to tell them apart. Each
+/// record is written as one complete line in a single `write_all`.
+pub struct TraceWriter {
+    file: File,
+}
+
+impl TraceWriter {
+    pub fn append(path: &str) -> io::Result<Self> {
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(TraceWriter { file })
+    }
+
+    /// Write one record (a complete JSON object, no newline) as a line.
+    pub fn write_record(&mut self, record: &str) {
+        let mut line = String::with_capacity(record.len() + 1);
+        line.push_str(record);
+        line.push('\n');
+        // Telemetry must never take the simulation down: drop the
+        // record on I/O error (e.g. disk full) and keep ticking.
+        let _ = self.file.write_all(line.as_bytes());
+    }
+}
+
+/// One `{name, nanos}` phase entry.
+#[derive(Debug, Clone)]
+pub struct PhaseRec {
+    pub name: &'static str,
+    pub nanos: u64,
+}
+
+/// One per-rule attribution entry (`Class/script#segment`).
+#[derive(Debug, Clone)]
+pub struct RuleRec {
+    pub name: String,
+    /// `[start, end)` byte span of the script in the game source.
+    pub span: (u32, u32),
+    pub nanos: u64,
+    pub rows: u64,
+    pub effects: u64,
+    pub chunks: u64,
+    pub pairs: u64,
+}
+
+/// One fully-assembled trace record, independent of any stats struct
+/// (the owning crates build these from `TickStats`/`DistStats`).
+#[derive(Debug, Clone)]
+pub struct TickRecord {
+    /// `"tick"` or `"slow_tick"`.
+    pub kind: &'static str,
+    /// `"engine"` or `"dist"`.
+    pub source: &'static str,
+    pub tick: u64,
+    pub wall_nanos: u64,
+    /// Required when `kind == "slow_tick"`.
+    pub budget_nanos: Option<u64>,
+    pub phases: Vec<PhaseRec>,
+    pub rules: Vec<RuleRec>,
+    pub spans: Vec<crate::trace::Span>,
+    pub counters: Vec<(&'static str, u64)>,
+    pub dropped_spans: u64,
+}
+
+impl TickRecord {
+    /// Render as one compact JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut phases = JsonArr::new();
+        for p in &self.phases {
+            let mut o = JsonObj::new();
+            o.field_str("name", p.name).field_u64("nanos", p.nanos);
+            phases.push_raw(&o.finish());
+        }
+        let mut rules = JsonArr::new();
+        for r in &self.rules {
+            let mut span = JsonArr::new();
+            span.push_u64(r.span.0 as u64).push_u64(r.span.1 as u64);
+            let mut o = JsonObj::new();
+            o.field_str("name", &r.name)
+                .field_raw("span", &span.finish())
+                .field_u64("nanos", r.nanos)
+                .field_u64("rows", r.rows)
+                .field_u64("effects", r.effects)
+                .field_u64("chunks", r.chunks)
+                .field_u64("pairs", r.pairs);
+            rules.push_raw(&o.finish());
+        }
+        let mut spans = JsonArr::new();
+        for s in &self.spans {
+            let mut o = JsonObj::new();
+            o.field_str("name", s.name)
+                .field_u64("depth", s.depth as u64)
+                .field_u64("start_nanos", s.start_nanos)
+                .field_u64("nanos", s.nanos);
+            spans.push_raw(&o.finish());
+        }
+        let mut counters = JsonObj::new();
+        for (name, v) in &self.counters {
+            counters.field_u64(name, *v);
+        }
+        let mut obj = JsonObj::new();
+        obj.field_str("type", self.kind)
+            .field_str("source", self.source)
+            .field_u64("tick", self.tick)
+            .field_u64("wall_nanos", self.wall_nanos);
+        if let Some(b) = self.budget_nanos {
+            obj.field_u64("budget_nanos", b);
+        }
+        obj.field_raw("phases", &phases.finish())
+            .field_raw("rules", &rules.finish())
+            .field_raw("spans", &spans.finish())
+            .field_raw("counters", &counters.finish())
+            .field_u64("dropped_spans", self.dropped_spans);
+        obj.finish()
+    }
+}
+
+fn require_u64(obj: &JsonValue, key: &str, ctx: &str) -> Result<u64, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing field {key:?}"))?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: field {key:?} is not a non-negative integer"))
+}
+
+fn require_str<'a>(obj: &'a JsonValue, key: &str, ctx: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing field {key:?}"))?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: field {key:?} is not a string"))
+}
+
+fn check_exact_fields(obj: &JsonValue, allowed: &[&str], ctx: &str) -> Result<(), String> {
+    for (k, _) in obj
+        .as_obj()
+        .ok_or_else(|| format!("{ctx}: not an object"))?
+    {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("{ctx}: unknown field {k:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validate one JSONL trace line against the documented schema
+/// (module docs above). Strict: unknown fields, wrong types, and
+/// missing required fields are all errors, so schema drift fails the
+/// golden-file test instead of silently breaking consumers.
+pub fn validate_trace_line(line: &str) -> Result<(), String> {
+    let v = parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let kind = require_str(&v, "type", "record")?;
+    if kind != "tick" && kind != "slow_tick" {
+        return Err(format!("record: unknown type {kind:?}"));
+    }
+    let source = require_str(&v, "source", "record")?;
+    if source != "engine" && source != "dist" {
+        return Err(format!("record: unknown source {source:?}"));
+    }
+    require_u64(&v, "tick", "record")?;
+    require_u64(&v, "wall_nanos", "record")?;
+    if kind == "slow_tick" {
+        require_u64(&v, "budget_nanos", "record")?;
+    } else if v.get("budget_nanos").is_some() {
+        return Err("record: budget_nanos only allowed on slow_tick".into());
+    }
+    check_exact_fields(
+        &v,
+        &[
+            "type",
+            "source",
+            "tick",
+            "wall_nanos",
+            "budget_nanos",
+            "phases",
+            "rules",
+            "spans",
+            "counters",
+            "dropped_spans",
+        ],
+        "record",
+    )?;
+
+    let phases = v
+        .get("phases")
+        .ok_or("record: missing field \"phases\"")?
+        .as_arr()
+        .ok_or("record: phases is not an array")?;
+    for (i, p) in phases.iter().enumerate() {
+        let ctx = format!("phases[{i}]");
+        require_str(p, "name", &ctx)?;
+        require_u64(p, "nanos", &ctx)?;
+        check_exact_fields(p, &["name", "nanos"], &ctx)?;
+    }
+
+    let rules = v
+        .get("rules")
+        .ok_or("record: missing field \"rules\"")?
+        .as_arr()
+        .ok_or("record: rules is not an array")?;
+    for (i, r) in rules.iter().enumerate() {
+        let ctx = format!("rules[{i}]");
+        require_str(r, "name", &ctx)?;
+        let span = r
+            .get("span")
+            .ok_or_else(|| format!("{ctx}: missing field \"span\""))?
+            .as_arr()
+            .ok_or_else(|| format!("{ctx}: span is not an array"))?;
+        if span.len() != 2 || span.iter().any(|s| s.as_u64().is_none()) {
+            return Err(format!("{ctx}: span must be [start, end]"));
+        }
+        for key in ["nanos", "rows", "effects", "chunks", "pairs"] {
+            require_u64(r, key, &ctx)?;
+        }
+        check_exact_fields(
+            r,
+            &[
+                "name", "span", "nanos", "rows", "effects", "chunks", "pairs",
+            ],
+            &ctx,
+        )?;
+    }
+
+    let spans = v
+        .get("spans")
+        .ok_or("record: missing field \"spans\"")?
+        .as_arr()
+        .ok_or("record: spans is not an array")?;
+    for (i, s) in spans.iter().enumerate() {
+        let ctx = format!("spans[{i}]");
+        require_str(s, "name", &ctx)?;
+        for key in ["depth", "start_nanos", "nanos"] {
+            require_u64(s, key, &ctx)?;
+        }
+        check_exact_fields(s, &["name", "depth", "start_nanos", "nanos"], &ctx)?;
+    }
+
+    let counters = v
+        .get("counters")
+        .ok_or("record: missing field \"counters\"")?
+        .as_obj()
+        .ok_or("record: counters is not an object")?;
+    for (name, val) in counters {
+        if val.as_u64().is_none() {
+            return Err(format!("counters: {name:?} is not a non-negative integer"));
+        }
+    }
+
+    require_u64(&v, "dropped_spans", "record")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Span;
+
+    fn sample() -> TickRecord {
+        TickRecord {
+            kind: "tick",
+            source: "engine",
+            tick: 3,
+            wall_nanos: 123456,
+            budget_nanos: None,
+            phases: vec![
+                PhaseRec {
+                    name: "query_eval",
+                    nanos: 1000,
+                },
+                PhaseRec {
+                    name: "update",
+                    nanos: 200,
+                },
+            ],
+            rules: vec![RuleRec {
+                name: "Unit/engage#0".into(),
+                span: (10, 90),
+                nanos: 900,
+                rows: 8000,
+                effects: 120,
+                chunks: 4,
+                pairs: 64000,
+            }],
+            spans: vec![Span {
+                name: "tick",
+                depth: 0,
+                start_nanos: 5,
+                nanos: 123450,
+            }],
+            counters: vec![("effects.emitted", 120), ("interrupts", 0)],
+            dropped_spans: 0,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_validator() {
+        let line = sample().to_json_line();
+        validate_trace_line(&line).unwrap();
+    }
+
+    #[test]
+    fn slow_tick_requires_budget() {
+        let mut rec = sample();
+        rec.kind = "slow_tick";
+        let line = rec.to_json_line();
+        assert!(validate_trace_line(&line)
+            .unwrap_err()
+            .contains("budget_nanos"));
+        rec.budget_nanos = Some(1_000_000);
+        validate_trace_line(&rec.to_json_line()).unwrap();
+        // And budget on a plain tick is rejected.
+        rec.kind = "tick";
+        assert!(validate_trace_line(&rec.to_json_line()).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let line = sample().to_json_line();
+        // Unknown top-level field.
+        let drifted = line.replacen("\"tick\":3", "\"tick\":3,\"extra\":1", 1);
+        assert!(validate_trace_line(&drifted).unwrap_err().contains("extra"));
+        // Missing required field.
+        let missing = line.replacen(",\"dropped_spans\":0", "", 1);
+        assert!(validate_trace_line(&missing)
+            .unwrap_err()
+            .contains("dropped_spans"));
+        // Wrong type.
+        let wrong = line.replacen("\"wall_nanos\":123456", "\"wall_nanos\":\"x\"", 1);
+        assert!(validate_trace_line(&wrong).is_err());
+        // Bad source.
+        let bad = line.replacen("\"source\":\"engine\"", "\"source\":\"net\"", 1);
+        assert!(validate_trace_line(&bad).is_err());
+    }
+
+    #[test]
+    fn writer_appends_lines() {
+        let path =
+            std::env::temp_dir().join(format!("sgl_obs_writer_test_{}.jsonl", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = TraceWriter::append(path_s).unwrap();
+            w.write_record(&sample().to_json_line());
+        }
+        {
+            // A second writer must append, not truncate.
+            let mut w = TraceWriter::append(path_s).unwrap();
+            w.write_record(&sample().to_json_line());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            validate_trace_line(l).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

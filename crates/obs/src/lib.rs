@@ -1,0 +1,45 @@
+//! # sgl-obs — the unified telemetry plane
+//!
+//! The paper's bet is that declarative processing makes game state
+//! *inspectable like a database*. This crate is that inspectability
+//! applied to the runtime itself: one dependency-free telemetry layer
+//! shared by `sgl-engine`, `sgl-dist`, and `sgl-net`.
+//!
+//! Four pieces:
+//!
+//! - [`Tracer`] / [`SpanGuard`] — scoped, nestable phase spans with
+//!   monotonic timing, recorded into a fixed-capacity per-tick ring.
+//!   Disabled cost is one branch per span (pinned ≤2% full-tick
+//!   overhead by `benches/obs.rs`).
+//! - [`Registry`] / [`Histogram`] — named counters, gauges, and
+//!   log₂-bucketed histograms (p50/p95/p99/max). The per-tick stats
+//!   structs stay plain and fold into a registry via `fold_into`
+//!   methods in their owning crates; [`Registry::dump`] is the text
+//!   endpoint served over the TCP transport's `MSG_STATS` request.
+//! - [`ExplainReport`] — per-rule attribution (`Class/script#segment`
+//!   plus source span): cumulative time, rows scanned, effects
+//!   emitted, chunks run. Built by `Engine::explain_tick()` /
+//!   `DistSim::explain_tick()`; rule times sum to the measured
+//!   query-phase span by construction.
+//! - [`TraceWriter`] / [`TickRecord`] / [`validate_trace_line`] —
+//!   JSONL export (one record per tick, stable schema documented on
+//!   [`export`]), env-gated via `SGL_TRACE=path`, with a strict
+//!   validator the golden-file tests and the `trace_check` CI gate
+//!   share. `SGL_TICK_BUDGET_MS` arms a slow-tick watchdog.
+//!
+//! Everything is plain `std` — no external dependencies, per the
+//! offline vendor convention.
+
+pub mod explain;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use explain::{ExplainReport, RuleReport};
+pub use export::{
+    validate_trace_line, ObsConfig, PhaseRec, RuleRec, TickRecord, TraceWriter, ENV_TICK_BUDGET_MS,
+    ENV_TRACE,
+};
+pub use metrics::{Histogram, Registry};
+pub use trace::{Span, SpanGuard, Tracer};

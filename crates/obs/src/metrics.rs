@@ -1,0 +1,254 @@
+//! Metrics registry: named counters, gauges, and log-bucketed
+//! histograms with p50/p95/p99/max.
+//!
+//! The registry is the *aggregation* layer: the per-tick stats structs
+//! (`TickStats`, `DistStats`, `NetStats`) stay plain — every field a
+//! test can poke — and fold into a registry once per tick via their
+//! `fold_into` methods (defined in the owning crates, since `sgl-obs`
+//! depends on nothing). Histograms use power-of-two buckets, so
+//! quantiles are bucket upper bounds: exact ordering, ~2× value
+//! resolution, constant memory.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Log₂-bucketed histogram: bucket `b` holds values in
+/// `[2^(b-1), 2^b)` (`b = 0` holds zero). Quantiles report the upper
+/// bound of the bucket containing that rank, clamped to the observed
+/// max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(63)
+    }
+
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn mean(&self) -> u64 {
+        self.total.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the `ceil(q·count)`-th observation, clamped to
+    /// the observed max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Named counters (monotonic `u64`), gauges (last-write `f64`), and
+/// histograms. `BTreeMap` keys give `dump()` a stable sort order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to the named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_string(), v);
+        }
+    }
+
+    /// Set the named gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            self.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render every metric as stable, line-oriented text — the
+    /// `dump_metrics()` format served over `MSG_STATS`:
+    ///
+    /// ```text
+    /// counter <name> <total>
+    /// gauge <name> <value>
+    /// hist <name> count=N mean=N p50=N p95=N p99=N max=N
+    /// ```
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "hist {name} count={} mean={} p50={} p95={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_observations() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+        // p50 rank is 500 → bucket [256,512) → upper bound 511.
+        assert_eq!(h.p50(), 511);
+        // p99 rank is 990 → bucket [512,1024) → clamped to max 1000.
+        assert_eq!(h.p99(), 1000);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn registry_dump_is_stable_and_sorted() {
+        let mut r = Registry::new();
+        r.counter_add("b.count", 2);
+        r.counter_add("a.count", 1);
+        r.counter_add("b.count", 3);
+        r.gauge_set("load", 0.5);
+        r.observe("lat", 100);
+        r.observe("lat", 200);
+        let dump = r.dump();
+        let a = dump.find("counter a.count 1").unwrap();
+        let b = dump.find("counter b.count 5").unwrap();
+        assert!(a < b, "counters sorted by name");
+        assert!(dump.contains("gauge load 0.5"));
+        assert!(dump.contains("hist lat count=2"));
+        assert_eq!(dump, r.dump(), "dump is deterministic");
+    }
+}

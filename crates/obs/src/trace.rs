@@ -1,0 +1,268 @@
+//! Scoped phase spans with monotonic timing.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s: a span opens when the
+//! guard is created and closes when it drops. Because closing happens
+//! in `Drop`, nesting balances even when the traced code panics — the
+//! guard's destructor runs during unwind, so the tracer's depth always
+//! returns to its pre-span value (pinned by a proptest in
+//! `tests/obs_trace.rs`).
+//!
+//! Completed spans land in a fixed-capacity per-tick ring buffer:
+//! once `capacity` spans have completed in one tick, the oldest are
+//! overwritten and counted in [`Tracer::dropped`]. Nothing allocates
+//! after construction, and a disabled tracer's `span()` is a single
+//! branch returning an inert guard — the near-zero disabled path the
+//! overhead bench (`benches/obs.rs`) pins at ≤2%.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// One completed span, relative to the tracer's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Static span name (see the taxonomy table in the README).
+    pub name: &'static str,
+    /// Nesting depth at entry (0 = root).
+    pub depth: u32,
+    /// Start offset from the tracer's epoch, nanoseconds.
+    pub start_nanos: u64,
+    /// Duration, nanoseconds.
+    pub nanos: u64,
+}
+
+/// Fixed-capacity overwrite ring of completed spans.
+struct Ring {
+    spans: Vec<Span>,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn with_capacity(cap: usize) -> Self {
+        Ring {
+            spans: Vec::with_capacity(cap.max(1)),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, span: Span) {
+        if self.spans.len() < self.spans.capacity() {
+            self.spans.push(span);
+        } else {
+            self.spans[self.head] = span;
+            self.head = (self.head + 1) % self.spans.capacity();
+            self.dropped += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.spans.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+
+    /// Drain in completion order (oldest surviving span first).
+    fn take(&mut self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        if self.dropped > 0 {
+            out.extend_from_slice(&self.spans[self.head..]);
+            out.extend_from_slice(&self.spans[..self.head]);
+        } else {
+            out.append(&mut self.spans);
+        }
+        self.clear();
+        out
+    }
+}
+
+/// Per-owner span recorder. `Send` but deliberately not `Sync`: each
+/// engine/cluster/listener owns its own tracer; worker threads report
+/// through their chunk stats instead of sharing it.
+pub struct Tracer {
+    enabled: bool,
+    epoch: Instant,
+    depth: Cell<u32>,
+    ring: RefCell<Ring>,
+}
+
+impl Tracer {
+    /// An enabled tracer whose per-tick ring holds `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: true,
+            epoch: Instant::now(),
+            depth: Cell::new(0),
+            ring: RefCell::new(Ring::with_capacity(capacity)),
+        }
+    }
+
+    /// A tracer whose `span()` is a single branch and records nothing.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            epoch: Instant::now(),
+            depth: Cell::new(0),
+            ring: RefCell::new(Ring::with_capacity(1)),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current nesting depth (0 when no span is open).
+    pub fn depth(&self) -> u32 {
+        self.depth.get()
+    }
+
+    /// Spans overwritten since the last `begin_tick`/`take_spans`.
+    pub fn dropped(&self) -> u64 {
+        self.ring.borrow().dropped
+    }
+
+    /// Reset the ring for a new tick. Open spans (there should be
+    /// none between ticks) keep their depth.
+    pub fn begin_tick(&self) {
+        if self.enabled {
+            self.ring.borrow_mut().clear();
+        }
+    }
+
+    /// Open a span. The span closes — and is recorded — when the
+    /// returned guard drops, including during panic unwind.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard {
+                tracer: None,
+                name,
+                start: 0,
+                depth: 0,
+            };
+        }
+        let depth = self.depth.get();
+        self.depth.set(depth + 1);
+        SpanGuard {
+            tracer: Some(self),
+            name,
+            start: self.now_nanos(),
+            depth,
+        }
+    }
+
+    /// Drain completed spans in completion order and reset the ring.
+    pub fn take_spans(&self) -> Vec<Span> {
+        self.ring.borrow_mut().take()
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn exit(&self, guard: &SpanGuard<'_>) {
+        self.depth.set(guard.depth);
+        let end = self.now_nanos();
+        self.ring.borrow_mut().push(Span {
+            name: guard.name,
+            depth: guard.depth,
+            start_nanos: guard.start,
+            nanos: end.saturating_sub(guard.start),
+        });
+    }
+}
+
+/// RAII handle for an open span; closing happens in `Drop`.
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+    name: &'static str,
+    start: u64,
+    depth: u32,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.tracer {
+            t.exit(self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_in_completion_order() {
+        let t = Tracer::new(8);
+        {
+            let _a = t.span("outer");
+            assert_eq!(t.depth(), 1);
+            {
+                let _b = t.span("inner");
+                assert_eq!(t.depth(), 2);
+            }
+            assert_eq!(t.depth(), 1);
+        }
+        assert_eq!(t.depth(), 0);
+        let spans = t.take_spans();
+        assert_eq!(spans.len(), 2);
+        // Inner completes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert!(spans[1].nanos >= spans[0].nanos);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _a = t.span("x");
+            let _b = t.span("y");
+        }
+        assert_eq!(t.depth(), 0);
+        assert!(t.take_spans().is_empty());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = Tracer::new(2);
+        for name in ["a", "b", "c"] {
+            let _s = t.span(name);
+        }
+        assert_eq!(t.dropped(), 1);
+        let spans = t.take_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "b");
+        assert_eq!(spans[1].name, "c");
+        // take_spans resets the drop counter.
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn begin_tick_clears_ring() {
+        let t = Tracer::new(4);
+        {
+            let _s = t.span("stale");
+        }
+        t.begin_tick();
+        assert!(t.take_spans().is_empty());
+    }
+
+    #[test]
+    fn depth_restored_on_panic() {
+        let t = Tracer::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _a = t.span("outer");
+            let _b = t.span("inner");
+            panic!("rule panicked");
+        }));
+        assert!(r.is_err());
+        assert_eq!(t.depth(), 0);
+        // Both spans still completed (closed during unwind).
+        assert_eq!(t.take_spans().len(), 2);
+    }
+}

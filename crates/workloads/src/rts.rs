@@ -8,7 +8,7 @@
 //! across the arena. Physics owns positions; dead units auto-despawn.
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use sgl::{ExecMode, JoinMethod, PhysicsSpec, Simulation, Value};
+use sgl::{ExecMode, JoinMethod, ObsConfig, PhysicsSpec, Simulation, Value};
 
 /// The RTS class + scripts.
 pub const SOURCE: &str = r#"
@@ -95,6 +95,13 @@ pub struct RtsParams {
     pub fixed_method: Option<JoinMethod>,
     /// Enable circle collision in the physics component.
     pub collide: bool,
+    /// Telemetry configuration. The default honours `SGL_TRACE` /
+    /// `SGL_TICK_BUDGET_MS`; benches pass [`ObsConfig::off`] for an
+    /// environment-independent baseline.
+    pub obs: ObsConfig,
+    /// Per-rule attribution (on by default); `false` is the
+    /// pre-telemetry executor baseline.
+    pub rule_attribution: bool,
 }
 
 impl Default for RtsParams {
@@ -108,6 +115,8 @@ impl Default for RtsParams {
             parallel_threshold: None,
             fixed_method: None,
             collide: false,
+            obs: ObsConfig::default(),
+            rule_attribution: true,
         }
     }
 }
@@ -123,6 +132,8 @@ pub fn build(params: &RtsParams) -> Simulation {
         .mode(params.mode)
         .threads(params.threads)
         .physics(physics)
+        .obs(params.obs.clone())
+        .rule_attribution(params.rule_attribution)
         .auto_despawn("Unit", "alive");
     if let Some(rows) = params.parallel_threshold {
         builder = builder.parallel_threshold(rows);

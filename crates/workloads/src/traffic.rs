@@ -8,7 +8,7 @@
 //! the physics component.
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
-use sgl::{ExecMode, PhysicsSpec, Simulation, Value};
+use sgl::{ExecMode, ObsConfig, PhysicsSpec, Simulation, Value};
 
 /// The Vehicle class + driving scripts.
 pub const SOURCE: &str = r#"
@@ -102,6 +102,9 @@ pub struct TrafficParams {
     pub mode: ExecMode,
     /// Effect-phase threads.
     pub threads: usize,
+    /// Telemetry configuration (the default honours `SGL_TRACE` /
+    /// `SGL_TICK_BUDGET_MS`).
+    pub obs: ObsConfig,
 }
 
 impl Default for TrafficParams {
@@ -113,6 +116,7 @@ impl Default for TrafficParams {
             seed: 99,
             mode: ExecMode::Compiled,
             threads: 1,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -128,6 +132,7 @@ pub fn build(params: &TrafficParams) -> Simulation {
         .mode(params.mode)
         .threads(params.threads)
         .physics(physics)
+        .obs(params.obs.clone())
         .build()
         .expect("traffic source must compile");
     populate(&mut sim, params);

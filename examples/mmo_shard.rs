@@ -12,6 +12,10 @@
 //! blows at close range; every interaction stays within a 15-unit
 //! radius, so ghost replication across shard seams preserves exact
 //! single-server semantics — which this binary verifies at the end.
+//!
+//! Set `SGL_TRACE=path` to append one JSONL telemetry record per tick;
+//! both the cluster (`"source":"dist"`) and the single-server
+//! reference (`"source":"engine"`) write to the same file.
 
 use sgl::{Simulation, Value};
 use sgl_dist::{DistConfig, DistSim};
@@ -159,7 +163,10 @@ fn main() {
     }
     println!("\nexactness: {checked} attribute values identical to the single-server run");
     let shard_pops: Vec<usize> = (0..shards).map(|k| cluster.node_population(k)).collect();
-    println!("final shard populations: {shard_pops:?}");
+    println!("final shard populations: {shard_pops:?}\n");
+    // Phase wall times and the hottest rules across all shards,
+    // attributed by the telemetry plane (no hand-rolled timing).
+    println!("{}", cluster.explain_tick());
     let p = &cluster.last_stats().parallel;
     println!(
         "shared pool, last tick: {} fan-outs, {} chunks ({} claimed by workers), \

@@ -16,7 +16,9 @@
 //! cluster, that after every one of ≥ 100 ticks each client's replica
 //! equals the authoritative subscribed region value for value, that
 //! every intent was validated and applied, and reports the wire
-//! traffic in both directions.
+//! traffic in both directions. The playing client also interrogates
+//! the live listener with a `MSG_STATS` request mid-run and the reply
+//! (the `net.*` metrics dump) is asserted on.
 
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -73,6 +75,8 @@ struct ClientRun {
     session: u32,
     snapshots: Vec<Snapshot>,
     pet: Option<EntityId>,
+    /// The server's `MSG_STATS` metrics dump, if this client asked.
+    stats: Option<String>,
 }
 
 fn mirror_of(client: &NetClient, class: ClassId) -> Region {
@@ -111,6 +115,7 @@ fn client_thread(
         session: client.session().0,
         snapshots: Vec::new(),
         pet: None,
+        stats: None,
     };
     let mut frames = 0u64;
     loop {
@@ -120,6 +125,12 @@ fn client_thread(
                 run.snapshots
                     .push((client.tick(), mirror_of(&client, class)));
                 if let Some(pet_x) = pet_x {
+                    if frames == 40 {
+                        // Interrogate the live server over the wire; the
+                        // metrics dump arrives as a Stats event behind
+                        // the next tick's frame.
+                        client.send_stats_request().ok();
+                    }
                     if frames == 5 {
                         // A stationary pet inside every window's overlap.
                         client
@@ -151,6 +162,7 @@ fn client_thread(
                 }
             }
             Ok(ClientEvent::Spawned(_, id)) => run.pet = Some(id),
+            Ok(ClientEvent::Stats(text)) => run.stats = Some(text),
             Err(_) => break, // server closed the wire: the run is over
         }
     }
@@ -164,6 +176,8 @@ struct RunReport {
     inputs_applied: u64,
     inputs_rejected: u64,
     checks: u64,
+    /// Lines in the `MSG_STATS` metrics dump a client fetched mid-run.
+    stats_lines: u64,
 }
 
 fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
@@ -233,6 +247,7 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
         inputs_applied: 0,
         inputs_rejected: 0,
         checks: 0,
+        stats_lines: 0,
     };
     // Per (session, tick): the authoritative region the frame captured.
     let mut expected: FxHashMap<(u32, u64), Region> = FxHashMap::default();
@@ -329,6 +344,17 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
     assert!(report.inputs_applied > 10, "intent stream was applied");
     assert_eq!(report.inputs_rejected, 0, "all intents were valid");
     assert!(pet_despawned, "the pet's despawn intent took effect");
+    // The playing client interrogated the live server mid-run: its
+    // MSG_STATS reply must carry the transport's metric lines.
+    let stats = runs
+        .iter()
+        .find_map(|r| r.stats.as_deref())
+        .expect("one client requested MSG_STATS and got a reply");
+    assert!(
+        stats.contains("counter net.frames") && stats.contains("hist net.pump_nanos"),
+        "the metrics dump names the net.* metrics:\n{stats}"
+    );
+    report.stats_lines = stats.lines().count() as u64;
     report
 }
 
@@ -340,12 +366,16 @@ fn main() {
     let span = (players as f64 * 50.0).sqrt().max(200.0) * 4.0;
 
     println!("{players} players, {ticks} ticks, 4 TCP clients over loopback\n");
-    println!("| cluster | frames | delta KB | input msgs | applied | rejected | checks |");
-    println!("|---------|--------|----------|------------|---------|----------|--------|");
+    println!(
+        "| cluster | frames | delta KB | input msgs | applied | rejected | checks | stats lines |"
+    );
+    println!(
+        "|---------|--------|----------|------------|---------|----------|--------|-------------|"
+    );
     for shards in [1usize, 4] {
         let r = run(players, ticks, shards, span);
         println!(
-            "| {shards} node{} | {} | {:.1} | {} | {} | {} | {} |",
+            "| {shards} node{} | {} | {:.1} | {} | {} | {} | {} | {} |",
             if shards == 1 { " " } else { "s" },
             r.frames,
             r.delta_bytes as f64 / 1024.0,
@@ -353,7 +383,9 @@ fn main() {
             r.inputs_applied,
             r.inputs_rejected,
             r.checks,
+            r.stats_lines,
         );
     }
     println!("\nevery replica stayed value-identical to the server over real sockets");
+    println!("(MSG_STATS interrogated the live listener mid-run on both clusters)");
 }

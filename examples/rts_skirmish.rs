@@ -37,16 +37,11 @@ fn main() {
         }
         if p0 == 0 || p1 == 0 || tick > 2000 {
             let winner = if p0 > p1 { 0 } else { 1 };
-            println!("\narmy {winner} wins after {tick} ticks");
-            let s = sim.last_stats();
-            let p = &s.parallel;
-            println!(
-                "last tick phases: effect {}µs, ⊕ {}µs, update {}µs, reactive {}µs",
-                s.effect_nanos / 1000,
-                s.combine_nanos / 1000,
-                s.update_nanos / 1000,
-                s.reactive_nanos / 1000,
-            );
+            println!("\narmy {winner} wins after {tick} ticks\n");
+            // Phase wall times and the hottest rules, attributed by the
+            // telemetry plane (no hand-rolled timing).
+            println!("{}", sim.explain_tick());
+            let p = &sim.last_stats().parallel;
             println!(
                 "worker pool ({} threads): {} fan-outs, {} chunks ({} claimed by \
                  workers), {} lanes busy at peak",

@@ -1,0 +1,55 @@
+//! Validate an `SGL_TRACE` JSONL file against the documented schema.
+//!
+//! ```sh
+//! SGL_TRACE=/tmp/trace.jsonl cargo run -p sgl-examples --release --bin mmo_shard
+//! cargo run -p sgl-examples --release --bin trace_check /tmp/trace.jsonl
+//! ```
+//!
+//! Every line must be one complete telemetry record with exactly the
+//! fields [`sgl_obs::validate_trace_line`] documents — unknown fields,
+//! missing fields, and type mismatches all fail. Exits nonzero on the
+//! first invalid line or on an empty trace, so CI can gate on it.
+
+use std::io::{BufRead, BufReader};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var(sgl_obs::ENV_TRACE).ok())
+        .unwrap_or_else(|| {
+            eprintln!("usage: trace_check <trace.jsonl>  (or set SGL_TRACE)");
+            std::process::exit(2);
+        });
+    let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+        eprintln!("trace_check: cannot open {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut records = 0usize;
+    let mut slow = 0usize;
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.unwrap_or_else(|e| {
+            eprintln!("trace_check: read error at line {}: {e}", i + 1);
+            std::process::exit(1);
+        });
+        if line.trim().is_empty() {
+            continue;
+        }
+        match sgl_obs::validate_trace_line(&line) {
+            Ok(()) => {
+                records += 1;
+                if line.contains("\"type\":\"slow_tick\"") {
+                    slow += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("trace_check: line {} invalid: {e}\n{line}", i + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    if records == 0 {
+        eprintln!("trace_check: {path} holds no telemetry records");
+        std::process::exit(1);
+    }
+    println!("{path}: {records} valid records ({slow} slow-tick)");
+}
