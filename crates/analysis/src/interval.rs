@@ -1,0 +1,504 @@
+//! Interval arithmetic and linear forms over physical expressions.
+//!
+//! Both tools answer questions a *sound* static pass needs:
+//!
+//! * [`Interval`] — per-slot range propagation for guard satisfiability
+//!   (is there any row on which this path condition can hold?);
+//! * [`LinForm`] — normalization of a [`PExpr`] into `Σ kᵢ·slotᵢ + c`
+//!   so band predicates like `u.x ∈ [x − r, x + r]` expose their radius
+//!   (the column coefficients cancel and `c` is the spatial offset) and
+//!   band emptiness (`hi − lo < 0`) is decidable even when both bounds
+//!   reference the same state column.
+//!
+//! Everything here errs toward "unknown": a `None` result never causes
+//! a diagnostic, it only prevents a proof.
+
+use sgl_relalg::{Func, PBinOp, PExpr, PUnOp};
+
+/// A closed interval `[lo, hi]`; `lo > hi` encodes the empty set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (may be `-∞`).
+    pub lo: f64,
+    /// Upper bound (may be `+∞`).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The unconstrained interval `(-∞, +∞)`.
+    pub const TOP: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    };
+
+    /// A single point.
+    pub fn point(c: f64) -> Interval {
+        Interval { lo: c, hi: c }
+    }
+
+    /// Whether no value satisfies the interval.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether the interval is one finite point.
+    pub fn as_point(&self) -> Option<f64> {
+        (self.lo == self.hi && self.lo.is_finite()).then_some(self.lo)
+    }
+
+    /// Interval sum.
+    pub fn add(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+        }
+    }
+
+    /// Interval difference.
+    pub fn sub(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo - o.hi,
+            hi: self.hi - o.lo,
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+
+    /// Scale by a finite constant.
+    pub fn scale(&self, k: f64) -> Interval {
+        if k >= 0.0 {
+            Interval {
+                lo: self.lo * k,
+                hi: self.hi * k,
+            }
+        } else {
+            Interval {
+                lo: self.hi * k,
+                hi: self.lo * k,
+            }
+        }
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(o.lo),
+            hi: self.hi.min(o.hi),
+        }
+    }
+}
+
+/// Slot environment: resolves computed batch slots back to their
+/// defining expressions so analysis sees through `let` bindings and
+/// lowered `if` conditions.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotEnv<'a> {
+    /// First computed slot (`1 + state columns` for script batches).
+    pub base: usize,
+    /// Defining expression per computed slot, in slot order; `None` for
+    /// data-dependent slots (accumulator results).
+    pub computed: &'a [Option<PExpr>],
+    /// In pair (join) contexts, slots `>= left_width` address the right
+    /// row and are never computed slots.
+    pub pair_split: Option<usize>,
+}
+
+impl<'a> SlotEnv<'a> {
+    /// The defining expression of `slot`, if it is a resolvable
+    /// computed slot.
+    pub fn resolve(&self, slot: usize) -> Option<&'a PExpr> {
+        if let Some(split) = self.pair_split {
+            if slot >= split {
+                return None;
+            }
+        }
+        if slot < self.base {
+            return None;
+        }
+        self.computed.get(slot - self.base).and_then(|e| e.as_ref())
+    }
+}
+
+/// `Σ coeffs[slot]·slot + c` — a linear view of a numeric expression.
+/// Slots that could not be resolved stay as opaque variables, which is
+/// sound: the same opaque slot cancels when subtracted from itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinForm {
+    /// Non-zero slot coefficients, sorted by slot.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constant part.
+    pub c: Interval,
+}
+
+impl LinForm {
+    fn constant(c: Interval) -> LinForm {
+        LinForm {
+            coeffs: Vec::new(),
+            c,
+        }
+    }
+
+    /// The form `1·slot`.
+    pub fn slot(s: usize) -> LinForm {
+        LinForm {
+            coeffs: vec![(s, 1.0)],
+            c: Interval::point(0.0),
+        }
+    }
+
+    fn combine(&self, o: &LinForm, sign: f64) -> LinForm {
+        let mut coeffs = self.coeffs.clone();
+        for &(s, k) in &o.coeffs {
+            match coeffs.iter_mut().find(|(cs, _)| *cs == s) {
+                Some(e) => e.1 += sign * k,
+                None => coeffs.push((s, sign * k)),
+            }
+        }
+        coeffs.retain(|&(_, k)| k != 0.0);
+        coeffs.sort_by_key(|&(s, _)| s);
+        LinForm {
+            coeffs,
+            c: if sign >= 0.0 {
+                self.c.add(&o.c)
+            } else {
+                self.c.sub(&o.c)
+            },
+        }
+    }
+
+    /// `self + o`.
+    pub fn add(&self, o: &LinForm) -> LinForm {
+        self.combine(o, 1.0)
+    }
+
+    /// `self - o`.
+    pub fn sub(&self, o: &LinForm) -> LinForm {
+        self.combine(o, -1.0)
+    }
+
+    /// Scale every term by a finite constant.
+    pub fn scale(&self, k: f64) -> LinForm {
+        LinForm {
+            coeffs: self
+                .coeffs
+                .iter()
+                .filter(|&&(_, c)| c * k != 0.0)
+                .map(|&(s, c)| (s, c * k))
+                .collect(),
+            c: self.c.scale(k),
+        }
+    }
+
+    /// The constant interval, if every slot coefficient cancelled.
+    pub fn constant_part(&self) -> Option<Interval> {
+        self.coeffs.is_empty().then_some(self.c)
+    }
+
+    /// `(slot, coeff)` if the form is `k·slot + c` with exactly one
+    /// variable.
+    pub fn single_slot(&self) -> Option<(usize, f64)> {
+        (self.coeffs.len() == 1).then(|| self.coeffs[0])
+    }
+}
+
+/// Normalize a numeric expression into a linear form. `None` when the
+/// expression is not (provably) linear.
+pub fn lin_form(e: &PExpr, env: &SlotEnv<'_>) -> Option<LinForm> {
+    match e {
+        PExpr::ConstF(c) if !c.is_nan() => Some(LinForm::constant(Interval::point(*c))),
+        PExpr::ConstF(_) => None,
+        PExpr::Col(s) => match env.resolve(*s) {
+            Some(def) => lin_form(def, env),
+            None => Some(LinForm::slot(*s)),
+        },
+        PExpr::Un(PUnOp::Neg, a) => Some(lin_form(a, env)?.scale(-1.0)),
+        PExpr::Bin(PBinOp::Add, a, b) => Some(lin_form(a, env)?.add(&lin_form(b, env)?)),
+        PExpr::Bin(PBinOp::Sub, a, b) => Some(lin_form(a, env)?.sub(&lin_form(b, env)?)),
+        PExpr::Bin(PBinOp::Mul, a, b) => {
+            let fa = lin_form(a, env)?;
+            let fb = lin_form(b, env)?;
+            if let Some(k) = fa.constant_part().and_then(|i| i.as_point()) {
+                Some(fb.scale(k))
+            } else {
+                fb.constant_part()
+                    .and_then(|i| i.as_point())
+                    .map(|k| fa.scale(k))
+            }
+        }
+        PExpr::Bin(PBinOp::Div, a, b) => {
+            let fa = lin_form(a, env)?;
+            let k = lin_form(b, env)?.constant_part()?.as_point()?;
+            (k != 0.0).then(|| fa.scale(1.0 / k))
+        }
+        PExpr::Call(f, args) => {
+            // Constant-foldable calls only.
+            let vals: Option<Vec<f64>> = args
+                .iter()
+                .map(|a| lin_form(a, env)?.constant_part()?.as_point())
+                .collect();
+            let v = vals?;
+            let c = match (f, v.as_slice()) {
+                (Func::Abs, [a]) => a.abs(),
+                (Func::Sqrt, [a]) => a.sqrt(),
+                (Func::Floor, [a]) => a.floor(),
+                (Func::Ceil, [a]) => a.ceil(),
+                (Func::Min2, [a, b]) => a.min(*b),
+                (Func::Max2, [a, b]) => a.max(*b),
+                (Func::Clamp, [x, lo, hi]) => x.max(*lo).min(*hi),
+                _ => return None,
+            };
+            (!c.is_nan()).then(|| LinForm::constant(Interval::point(c)))
+        }
+        _ => None,
+    }
+}
+
+/// Whether a numeric expression provably evaluates to an integral value
+/// on every row (the exact-float-arithmetic argument: IEEE doubles add,
+/// subtract and multiply integers below 2⁵³ exactly, so such folds are
+/// order-insensitive).
+pub fn integral_value(e: &PExpr, env: &SlotEnv<'_>) -> bool {
+    match e {
+        PExpr::ConstF(c) => c.is_finite() && c.fract() == 0.0,
+        PExpr::ConstB(_) | PExpr::ConstRef(_) => true,
+        PExpr::Col(s) => match env.resolve(*s) {
+            Some(def) => integral_value(def, env),
+            None => false,
+        },
+        PExpr::Un(PUnOp::Neg, a) => integral_value(a, env),
+        PExpr::Un(PUnOp::Not, _) => true,
+        PExpr::Bin(op, a, b) => match op {
+            PBinOp::Add | PBinOp::Sub | PBinOp::Mul => {
+                integral_value(a, env) && integral_value(b, env)
+            }
+            // Comparisons and logic produce bools (exact).
+            PBinOp::Lt
+            | PBinOp::Le
+            | PBinOp::Gt
+            | PBinOp::Ge
+            | PBinOp::EqF
+            | PBinOp::NeF
+            | PBinOp::EqB
+            | PBinOp::NeB
+            | PBinOp::EqR
+            | PBinOp::NeR
+            | PBinOp::And
+            | PBinOp::Or => true,
+            PBinOp::Div | PBinOp::Mod => false,
+        },
+        PExpr::Call(f, args) => match f {
+            Func::Abs | Func::Min2 | Func::Max2 | Func::Clamp => {
+                args.iter().all(|a| integral_value(a, env))
+            }
+            Func::Floor | Func::Ceil | Func::Id | Func::Size | Func::Contains => true,
+            Func::Sqrt | Func::Dist | Func::Union2 => false,
+        },
+        PExpr::Gather { .. } => false,
+    }
+}
+
+/// Whether a boolean guard is statically unsatisfiable: no assignment
+/// of row values can make it true. Flattens `&&` conjuncts (resolving
+/// computed slots) and intersects per-slot intervals from conjuncts of
+/// the form `k·slot + c ⋈ 0`.
+pub fn guard_unsat(guard: &PExpr, env: &SlotEnv<'_>) -> bool {
+    let mut conjuncts = Vec::new();
+    if !flatten_conjuncts(guard, env, &mut conjuncts, 0) {
+        return false;
+    }
+    // slot → admissible interval
+    let mut ranges: Vec<(usize, Interval)> = Vec::new();
+    for c in &conjuncts {
+        match c {
+            PExpr::ConstB(false) => return true,
+            PExpr::ConstB(true) => {}
+            PExpr::Bin(op, a, b)
+                if matches!(
+                    op,
+                    PBinOp::Lt | PBinOp::Le | PBinOp::Gt | PBinOp::Ge | PBinOp::EqF
+                ) =>
+            {
+                let (Some(fa), Some(fb)) = (lin_form(a, env), lin_form(b, env)) else {
+                    continue;
+                };
+                // a ⋈ b  ⇔  d ⋈ 0 with d = a − b.
+                let d = fa.sub(&fb);
+                if let Some(iv) = d.constant_part() {
+                    // Constant comparison: definitively false ⇒ unsat.
+                    let false_always = match op {
+                        PBinOp::Lt => iv.lo >= 0.0,
+                        PBinOp::Le => iv.lo > 0.0,
+                        PBinOp::Gt => iv.hi <= 0.0,
+                        PBinOp::Ge => iv.hi < 0.0,
+                        PBinOp::EqF => iv.as_point().map(|p| p != 0.0).unwrap_or(false),
+                        _ => false,
+                    };
+                    if false_always {
+                        return true;
+                    }
+                    continue;
+                }
+                let Some((slot, k)) = d.single_slot() else {
+                    continue;
+                };
+                let Some(c0) = d.c.as_point() else { continue };
+                // k·x + c0 ⋈ 0  ⇔  x ⋈' −c0/k (flipping for k < 0).
+                let bound = -c0 / k;
+                let (op_lt, op_le, op_gt, op_ge) = if k > 0.0 {
+                    (PBinOp::Lt, PBinOp::Le, PBinOp::Gt, PBinOp::Ge)
+                } else {
+                    (PBinOp::Gt, PBinOp::Ge, PBinOp::Lt, PBinOp::Le)
+                };
+                let iv = if *op == op_lt || *op == op_le {
+                    // Open bounds treated as closed: a superset, so an
+                    // empty intersection is still a sound unsat proof.
+                    Interval {
+                        lo: f64::NEG_INFINITY,
+                        hi: bound,
+                    }
+                } else if *op == op_gt || *op == op_ge {
+                    Interval {
+                        lo: bound,
+                        hi: f64::INFINITY,
+                    }
+                } else {
+                    Interval::point(bound)
+                };
+                match ranges.iter_mut().find(|(s, _)| *s == slot) {
+                    Some(e) => e.1 = e.1.intersect(&iv),
+                    None => ranges.push((slot, iv)),
+                }
+            }
+            _ => {}
+        }
+    }
+    // Strict bounds collapsed to closed ones: only a *strictly* empty
+    // intersection proves unsatisfiability (x > 1 && x < 0 → [1, 0]).
+    ranges.iter().any(|(_, iv)| iv.is_empty())
+}
+
+fn flatten_conjuncts(e: &PExpr, env: &SlotEnv<'_>, out: &mut Vec<PExpr>, depth: usize) -> bool {
+    if depth > 32 {
+        return false;
+    }
+    match e {
+        PExpr::Bin(PBinOp::And, a, b) => {
+            flatten_conjuncts(a, env, out, depth + 1) && flatten_conjuncts(b, env, out, depth + 1)
+        }
+        PExpr::Col(s) => match env.resolve(*s) {
+            Some(def) => flatten_conjuncts(def, env, out, depth + 1),
+            None => {
+                out.push(e.clone());
+                true
+            }
+        },
+        other => {
+            out.push(other.clone());
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(computed: &'a [Option<PExpr>]) -> SlotEnv<'a> {
+        SlotEnv {
+            base: 3,
+            computed,
+            pair_split: None,
+        }
+    }
+
+    #[test]
+    fn radius_cancels_columns() {
+        // lo = x − 15, hi = x + 15 with x in slot 1.
+        let x = PExpr::Col(1);
+        let lo = PExpr::Bin(
+            PBinOp::Sub,
+            Box::new(x.clone()),
+            Box::new(PExpr::ConstF(15.0)),
+        );
+        let hi = PExpr::Bin(PBinOp::Add, Box::new(x), Box::new(PExpr::ConstF(15.0)));
+        let e = env(&[]);
+        let d = lin_form(&hi, &e).unwrap().sub(&lin_form(&lo, &e).unwrap());
+        assert_eq!(d.constant_part().unwrap().as_point(), Some(30.0));
+        let off = lin_form(&lo, &e).unwrap().sub(&LinForm::slot(1));
+        assert_eq!(off.constant_part().unwrap().as_point(), Some(-15.0));
+    }
+
+    #[test]
+    fn unsat_interval_intersection() {
+        // x > 1 && x < 0 (x in slot 1).
+        let g = PExpr::Bin(
+            PBinOp::And,
+            Box::new(PExpr::Bin(
+                PBinOp::Gt,
+                Box::new(PExpr::Col(1)),
+                Box::new(PExpr::ConstF(1.0)),
+            )),
+            Box::new(PExpr::Bin(
+                PBinOp::Lt,
+                Box::new(PExpr::Col(1)),
+                Box::new(PExpr::ConstF(0.0)),
+            )),
+        );
+        assert!(guard_unsat(&g, &env(&[])));
+        // x > 0 && x < 1 is satisfiable.
+        let g2 = PExpr::Bin(
+            PBinOp::And,
+            Box::new(PExpr::Bin(
+                PBinOp::Gt,
+                Box::new(PExpr::Col(1)),
+                Box::new(PExpr::ConstF(0.0)),
+            )),
+            Box::new(PExpr::Bin(
+                PBinOp::Lt,
+                Box::new(PExpr::Col(1)),
+                Box::new(PExpr::ConstF(1.0)),
+            )),
+        );
+        assert!(!guard_unsat(&g2, &env(&[])));
+    }
+
+    #[test]
+    fn unsat_through_computed_slot() {
+        // Slot 3 computes (x > 1 && x < 0); the guard is just Col(3).
+        let cond = PExpr::Bin(
+            PBinOp::And,
+            Box::new(PExpr::Bin(
+                PBinOp::Gt,
+                Box::new(PExpr::Col(1)),
+                Box::new(PExpr::ConstF(1.0)),
+            )),
+            Box::new(PExpr::Bin(
+                PBinOp::Lt,
+                Box::new(PExpr::Col(1)),
+                Box::new(PExpr::ConstF(0.0)),
+            )),
+        );
+        let computed = vec![Some(cond)];
+        assert!(guard_unsat(&PExpr::Col(3), &env(&computed)));
+    }
+
+    #[test]
+    fn integral_detection() {
+        let e = env(&[]);
+        assert!(integral_value(&PExpr::ConstF(2.0), &e));
+        assert!(!integral_value(&PExpr::ConstF(0.01), &e));
+        assert!(!integral_value(&PExpr::Col(1), &e));
+        let prod = PExpr::Bin(
+            PBinOp::Mul,
+            Box::new(PExpr::ConstF(3.0)),
+            Box::new(PExpr::ConstF(4.0)),
+        );
+        assert!(integral_value(&prod, &e));
+    }
+}

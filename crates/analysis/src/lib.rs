@@ -1,0 +1,418 @@
+#![forbid(unsafe_code)]
+//! # sgl-analysis
+//!
+//! Static rule analysis over the compiled SGL IR — the "declarative
+//! *processing*" side of the paper's thesis. Because game logic is
+//! declarative rules rather than opaque callbacks, each rule's read
+//! set (class, attr, spatial radius from its join bands) and write set
+//! (class, attr, ⊕ combinator) are computable objects, and global
+//! properties become lints:
+//!
+//! * determinism hazards ([`SGL001`](lints)),
+//! * partition safety against a concrete ghost-halo width (`SGL002`),
+//! * distributability of `atomic` regions (`SGL003` — replacing the
+//!   blanket "no atomic on clusters" rejection with a proof: owner-
+//!   local regions are admitted, cross-node ones rejected with a span),
+//! * bit-exactness of distributed ⊕ folds (`SGL004`),
+//! * dead code (`SGL010`/`SGL011`/`SGL012`/`SGL013`).
+//!
+//! Diagnostics render through [`sgl_frontend::Diagnostics`], so the
+//! `sgl-check` CLI and runtime rejections print identical output.
+//!
+//! ```
+//! let game = sgl_compiler::compile(sgl_frontend::check(
+//!     "class P { state: number x = 0; number dead = 1; \
+//!      effects: number dx : sum; update: x = x + dx; \
+//!      script go { dx <- 1; } }",
+//! ).unwrap()).unwrap();
+//! let report = sgl_analysis::analyze(&game);
+//! // `dead` is never read or written → SGL012.
+//! assert!(report.diags.items.iter().any(|d| d.code == Some("SGL012")));
+//! ```
+
+pub mod interval;
+pub mod lints;
+pub mod sets;
+
+use sgl_compiler::ir::CompiledGame;
+pub use sgl_frontend::diag::Severity;
+pub use sgl_frontend::{Diagnostic, Diagnostics};
+
+pub use lints::{lint_interest as interest_lint, Locality};
+use sets::{ReadVia, RuleFacts, WriteAttr, WriteTargetKind};
+
+/// How analysis verdicts gate construction
+/// ([`SimulationBuilder`](https://docs.rs/sgl)/`DistConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisPolicy {
+    /// Fail construction on any finding, warnings included.
+    Deny,
+    /// Reject errors, keep warnings available on the built object
+    /// (the default).
+    #[default]
+    Warn,
+    /// Skip the analysis entirely.
+    Allow,
+}
+
+/// A concrete cluster layout to check partition safety against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Node count.
+    pub nodes: usize,
+    /// Range-partitioned numeric state attribute.
+    pub partition_attr: String,
+    /// Partitioned key range `[lo, hi)`.
+    pub range: (f64, f64),
+    /// Ghost-halo width.
+    pub halo: f64,
+}
+
+/// One rule's computed sets, rendered for reports.
+#[derive(Debug, Clone)]
+pub struct RuleSummary {
+    /// Rule name (`Class/script#segment`, `Class/when#i`, …), matching
+    /// the executor's attribution convention.
+    pub name: String,
+    /// Source span of the rule.
+    pub span: sgl_ast::Span,
+    /// Read set, one `Class.attr (via)` entry per distinct access.
+    pub reads: Vec<String>,
+    /// Write set, one `Class.attr ⊕comb (target)` entry per write.
+    pub writes: Vec<String>,
+    /// Partition-safety classification (cluster analysis only).
+    pub locality: Option<Locality>,
+}
+
+/// The analyzer's output: diagnostics plus the per-rule read/write
+/// sets they were derived from.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// All findings, in rule order.
+    pub diags: Diagnostics,
+    /// Per-rule summaries.
+    pub rules: Vec<RuleSummary>,
+}
+
+impl AnalysisReport {
+    /// No findings at all?
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Render the per-rule read/write sets as a plain-text table.
+    pub fn render_sets(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rules {
+            out.push_str(&r.name);
+            if let Some(loc) = &r.locality {
+                out.push_str(&format!(" [{}]", locality_name(loc)));
+            }
+            out.push('\n');
+            if !r.reads.is_empty() {
+                out.push_str(&format!("  reads:  {}\n", r.reads.join(", ")));
+            }
+            if !r.writes.is_empty() {
+                out.push_str(&format!("  writes: {}\n", r.writes.join(", ")));
+            }
+        }
+        out
+    }
+}
+
+fn locality_name(l: &Locality) -> String {
+    match l {
+        Locality::NodeLocal => "node-local".into(),
+        Locality::HaloSafe { radius } => format!("halo-safe r={radius}"),
+        Locality::OwnerLocal => "owner-local".into(),
+        Locality::Unproven => "unproven".into(),
+        Locality::CrossNode => "cross-node".into(),
+    }
+}
+
+/// Run the cluster-independent lint suite.
+pub fn analyze(game: &CompiledGame) -> AnalysisReport {
+    let rules = sets::extract(game);
+    let mut diags = Diagnostics::new();
+    lints::lint_plain(game, &rules, &mut diags);
+    AnalysisReport {
+        diags,
+        rules: summarize(game, &rules, None),
+    }
+}
+
+/// Run the full suite including partition-safety classification
+/// against `spec`.
+pub fn analyze_cluster(game: &CompiledGame, spec: &ClusterSpec) -> AnalysisReport {
+    let rules = sets::extract(game);
+    let mut diags = Diagnostics::new();
+    lints::lint_plain(game, &rules, &mut diags);
+    lints::lint_partition_attr(game, spec, &mut diags);
+    let locality = lints::lint_cluster(game, &rules, spec, &mut diags);
+    AnalysisReport {
+        diags,
+        rules: summarize(game, &rules, Some(&locality)),
+    }
+}
+
+/// `SGL013` — check an interest-management window against the game's
+/// schema. Returns the findings rather than folding them into a
+/// report, since windows arrive per client at runtime.
+pub fn lint_interest(game: &CompiledGame, attr: &str, lo: f64, hi: f64) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    lints::lint_interest(game, attr, lo, hi, &mut diags);
+    diags
+}
+
+fn summarize(
+    game: &CompiledGame,
+    rules: &[RuleFacts],
+    locality: Option<&[Locality]>,
+) -> Vec<RuleSummary> {
+    rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut reads: Vec<String> = Vec::new();
+            for rd in &r.reads {
+                let def = game.catalog.class(rd.class);
+                let attr = if rd.via == ReadVia::EffectIn {
+                    def.effect(rd.col).name.clone()
+                } else {
+                    def.state.col(rd.col).name.clone()
+                };
+                if attr.starts_with("__pc_") {
+                    continue;
+                }
+                let s = format!("{}.{}{}", def.name, attr, read_via_tag(rd.via));
+                if !reads.contains(&s) {
+                    reads.push(s);
+                }
+            }
+            let mut writes: Vec<String> = Vec::new();
+            for w in &r.writes {
+                let def = game.catalog.class(w.class);
+                let (attr, comb) = match w.attr {
+                    WriteAttr::Effect(e) => {
+                        let sp = def.effect(e);
+                        (sp.name.clone(), format!(" ⊕{:?}", sp.comb).to_lowercase())
+                    }
+                    WriteAttr::State(c) => (def.state.col(c).name.clone(), String::new()),
+                };
+                if attr.starts_with("__pc_") {
+                    continue;
+                }
+                let s = format!(
+                    "{}.{}{}{}",
+                    def.name,
+                    attr,
+                    comb,
+                    write_target_tag(w.target)
+                );
+                if !writes.contains(&s) {
+                    writes.push(s);
+                }
+            }
+            RuleSummary {
+                name: r.name.clone(),
+                span: r.span,
+                reads,
+                writes,
+                locality: locality.map(|l| l[i].clone()),
+            }
+        })
+        .collect()
+}
+
+fn read_via_tag(v: ReadVia) -> &'static str {
+    match v {
+        ReadVia::OwnRow => "",
+        ReadVia::PairRow => " (join)",
+        ReadVia::Gather => " (ref)",
+        ReadVia::EffectIn => " (effect)",
+    }
+}
+
+fn write_target_tag(t: WriteTargetKind) -> &'static str {
+    match t {
+        WriteTargetKind::SelfRow => "",
+        WriteTargetKind::PairRow => " (join row)",
+        WriteTargetKind::Ref => " (ref)",
+        WriteTargetKind::OwnState => " (update)",
+    }
+}
+
+/// Check directives embedded in fixture/CI sources, e.g.
+///
+/// ```text
+/// // sgl-check: nodes=4 partition=x range=0..100 halo=5
+/// // sgl-check: interest=hp:5..1
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Directives {
+    /// Cluster layout to lint against, if any.
+    pub cluster: Option<ClusterSpec>,
+    /// Interest windows to lint: `(attr, lo, hi)`.
+    pub interests: Vec<(String, f64, f64)>,
+}
+
+/// Parse `// sgl-check:` directive comments from leading source lines.
+pub fn parse_directives(src: &str) -> Directives {
+    let mut out = Directives::default();
+    for line in src.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Some(rest) = trimmed.strip_prefix("// sgl-check:") else {
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            break; // Directives only ahead of the first code line.
+        };
+        let mut nodes = None;
+        let mut partition = None;
+        let mut range = None;
+        let mut halo = None;
+        for tok in rest.split_whitespace() {
+            let Some((k, v)) = tok.split_once('=') else {
+                continue;
+            };
+            match k {
+                "nodes" => nodes = v.parse::<usize>().ok(),
+                "partition" => partition = Some(v.to_string()),
+                "range" => {
+                    range = v
+                        .split_once("..")
+                        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)));
+                }
+                "halo" => halo = v.parse::<f64>().ok(),
+                "interest" => {
+                    // attr:lo..hi
+                    if let Some((attr, win)) = v.split_once(':') {
+                        if let Some((lo, hi)) = win
+                            .split_once("..")
+                            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                        {
+                            out.interests.push((attr.to_string(), lo, hi));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let (Some(nodes), Some(partition_attr), Some(range), Some(halo)) =
+            (nodes, partition, range, halo)
+        {
+            out.cluster = Some(ClusterSpec {
+                nodes,
+                partition_attr,
+                range,
+                halo,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> CompiledGame {
+        sgl_compiler::compile(sgl_frontend::check(src).expect("check")).expect("compile")
+    }
+
+    #[test]
+    fn directive_parsing() {
+        let d = parse_directives(
+            "// a comment\n// sgl-check: nodes=4 partition=x range=0..100 halo=5\n\
+             // sgl-check: interest=hp:9..1\nclass X {\n}",
+        );
+        let c = d.cluster.expect("cluster spec");
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.partition_attr, "x");
+        assert_eq!(c.range, (0.0, 100.0));
+        assert_eq!(c.halo, 5.0);
+        assert_eq!(d.interests, vec![("hp".to_string(), 9.0, 1.0)]);
+    }
+
+    #[test]
+    fn constant_radius_is_halo_safe() {
+        let game = compile(
+            "class P {\nstate:\n  number x = 0;\n  number y = 0;\neffects:\n  number n : sum;\n\
+             update:\n  y = y + n;\nscript s {\n  accum number c with sum over P p from P {\n\
+             if (p.x >= x - 5 && p.x <= x + 5) { c <- 1; }\n  } in { n <- c; }\n}\n}",
+        );
+        let spec = ClusterSpec {
+            nodes: 4,
+            partition_attr: "x".into(),
+            range: (0.0, 100.0),
+            halo: 5.0,
+        };
+        let report = analyze_cluster(&game, &spec);
+        assert!(report.diags.is_empty(), "{}", report.diags.render(""));
+        let rule = report
+            .rules
+            .iter()
+            .find(|r| r.name == "P/s#0")
+            .expect("rule");
+        assert_eq!(rule.locality, Some(Locality::HaloSafe { radius: 5.0 }));
+    }
+
+    #[test]
+    fn over_halo_radius_warns() {
+        let game = compile(
+            "class P {\nstate:\n  number x = 0;\n  number y = 0;\neffects:\n  number n : sum;\n\
+             update:\n  y = y + n;\nscript s {\n  accum number c with sum over P p from P {\n\
+             if (p.x >= x - 50 && p.x <= x + 50) { c <- 1; }\n  } in { n <- c; }\n}\n}",
+        );
+        let spec = ClusterSpec {
+            nodes: 4,
+            partition_attr: "x".into(),
+            range: (0.0, 100.0),
+            halo: 5.0,
+        };
+        let report = analyze_cluster(&game, &spec);
+        assert!(report.diags.items.iter().any(|d| d.code == Some("SGL002")));
+    }
+
+    #[test]
+    fn self_only_atomic_is_owner_local() {
+        let game = compile(
+            "class T {\nstate:\n  number x = 0;\n  number gold = 10;\neffects:\n  number gold : sum;\n\
+             update:\n  gold by transactions;\nconstraint gold >= 0;\n\
+             script buy {\n  atomic {\n    gold <- 0 - 1;\n  }\n}\n}",
+        );
+        let spec = ClusterSpec {
+            nodes: 4,
+            partition_attr: "x".into(),
+            range: (0.0, 100.0),
+            halo: 5.0,
+        };
+        let report = analyze_cluster(&game, &spec);
+        assert!(!report.diags.has_errors(), "{}", report.diags.render(""));
+        assert!(report
+            .rules
+            .iter()
+            .any(|r| r.locality == Some(Locality::OwnerLocal)));
+    }
+
+    #[test]
+    fn ref_atomic_is_cross_node() {
+        let game = compile(
+            "class T {\nstate:\n  number x = 0;\n  number gold = 10;\n  ref<T> victim = null;\n\
+             effects:\n  number gold : sum;\nupdate:\n  gold by transactions;\n\
+             script rob {\n  if (victim != null) {\n    atomic {\n      gold <- 1;\n      victim.gold <- 0 - 1;\n    }\n  }\n}\n}",
+        );
+        let spec = ClusterSpec {
+            nodes: 2,
+            partition_attr: "x".into(),
+            range: (0.0, 100.0),
+            halo: 5.0,
+        };
+        let report = analyze_cluster(&game, &spec);
+        assert!(report.diags.has_errors());
+        assert!(report.diags.items.iter().any(|d| d.code == Some("SGL003")));
+    }
+}

@@ -1,0 +1,544 @@
+//! The lint suite over extracted [`RuleFacts`].
+//!
+//! Stable diagnostic codes (see the README's catalog):
+//!
+//! * `SGL001` — write-write conflict: ≥ 2 rules feed one min/max
+//!   (selection) effect, silently masking each other.
+//! * `SGL002` — partition safety: a rule's reads/writes could not be
+//!   proven to stay within the configured ghost halo.
+//! * `SGL003` — cross-node atomic region (ref-targeted transactional
+//!   writes); rejected on multi-node clusters.
+//! * `SGL004` — non-exact distributed ⊕ fold: cross-row float sums
+//!   whose grouping differs between cluster and single node.
+//! * `SGL010` — statically empty accum join band.
+//! * `SGL011` — dead rule: guard/condition unsatisfiable, or a
+//!   duplicated handler.
+//! * `SGL012` — state attribute or effect no rule reads or writes.
+//! * `SGL013` — interest window that cannot match any entity.
+
+use sgl_compiler::ir::CompiledGame;
+use sgl_frontend::Diagnostics;
+use sgl_storage::{ClassId, Combinator, ScalarType};
+
+use crate::interval::LinForm;
+use crate::sets::{
+    engine_written, AccumFact, ReadVia, RuleFacts, RuleKind, Write, WriteAttr, WriteTargetKind,
+};
+use crate::ClusterSpec;
+
+/// Partition-safety classification of one rule (or atomic region)
+/// against a concrete cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Locality {
+    /// Touches only the rule's own row: distributable as-is.
+    NodeLocal,
+    /// Reads joined rows within a proven radius ≤ the ghost halo; all
+    /// cross-row writes are ⊕ emissions routed to owners.
+    HaloSafe {
+        /// The proven read radius on the partition attribute.
+        radius: f64,
+    },
+    /// All transactional writes target the initiating row, so per-node
+    /// arbitration equals global arbitration.
+    OwnerLocal,
+    /// Could not be proven safe; the reason is in the paired SGL002
+    /// diagnostic.
+    Unproven,
+    /// Provably requires cross-node transaction arbitration (SGL003).
+    CrossNode,
+}
+
+/// Cluster-independent lints.
+pub fn lint_plain(game: &CompiledGame, rules: &[RuleFacts], diags: &mut Diagnostics) {
+    sgl001_effect_conflict(game, rules, diags);
+    sgl010_empty_bands(game, rules, diags);
+    sgl011_dead_rules(game, rules, diags);
+    sgl012_unused_attrs(game, rules, diags);
+}
+
+fn sgl001_effect_conflict(game: &CompiledGame, rules: &[RuleFacts], diags: &mut Diagnostics) {
+    // (class, effect) → distinct writer rules, for selection
+    // combinators where one rule's value silently masks the other's —
+    // the declarative residue of the paper's write-write conflict.
+    // Segments of one multi-tick script count as a single writer: the
+    // program counter puts each entity in exactly one segment per
+    // tick, so `patrol#0`/`patrol#1` can never contend.
+    fn script_of(r: &RuleFacts) -> &str {
+        match (r.kind, r.name.rfind('#')) {
+            (RuleKind::Script, Some(cut)) => &r.name[..cut],
+            _ => r.name.as_str(),
+        }
+    }
+    let mut writers: Vec<((ClassId, usize), Vec<&RuleFacts>)> = Vec::new();
+    for r in rules {
+        for w in &r.writes {
+            let WriteAttr::Effect(e) = w.attr else {
+                continue;
+            };
+            let spec = game.catalog.class(w.class).effect(e);
+            if !matches!(spec.comb, Combinator::Min | Combinator::Max) {
+                continue;
+            }
+            let key = (w.class, e);
+            match writers.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => {
+                    if !v.iter().any(|p| script_of(p) == script_of(r)) {
+                        v.push(r);
+                    }
+                }
+                None => writers.push((key, vec![r])),
+            }
+        }
+    }
+    for ((class, e), v) in writers {
+        if v.len() < 2 {
+            continue;
+        }
+        let def = game.catalog.class(class);
+        let spec = def.effect(e);
+        let names: Vec<&str> = v.iter().map(|r| r.name.as_str()).collect();
+        diags.warn_code(
+            "SGL001",
+            format!(
+                "effect conflict: `{}.{}` (⊕ {}) is written by {} rules ({}); the selection \
+                 combinator keeps one contribution per tick and silently discards the rest",
+                def.name,
+                spec.name,
+                comb_name(spec.comb),
+                v.len(),
+                names.join(", "),
+            ),
+            v[v.len() - 1].span,
+        );
+    }
+}
+
+fn sgl010_empty_bands(game: &CompiledGame, rules: &[RuleFacts], diags: &mut Diagnostics) {
+    for r in rules {
+        for a in &r.accums {
+            for b in &a.bands {
+                if b.empty {
+                    let def = game.catalog.class(a.over);
+                    diags.warn_code(
+                        "SGL010",
+                        format!(
+                            "unsatisfiable range predicate in `{}`: the join band on `{}.{}` \
+                             is empty (upper bound < lower bound for every row), so the accum \
+                             body never runs",
+                            r.name,
+                            def.name,
+                            def.state.col(b.right_col).name,
+                        ),
+                        a.span,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn sgl011_dead_rules(game: &CompiledGame, rules: &[RuleFacts], diags: &mut Diagnostics) {
+    let _ = game;
+    for r in rules {
+        for &span in &r.dead_guards {
+            let what = match r.kind {
+                RuleKind::Handler => "handler condition",
+                _ => "guard",
+            };
+            diags.warn_code(
+                "SGL011",
+                format!(
+                    "dead rule: a {} in `{}` is statically unsatisfiable; the guarded \
+                     emissions can never fire",
+                    what, r.name,
+                ),
+                span,
+            );
+        }
+    }
+    // Duplicate (shadowed) handlers: same class, same condition and
+    // emissions — the later one adds nothing.
+    let handlers: Vec<&RuleFacts> = rules
+        .iter()
+        .filter(|r| r.kind == RuleKind::Handler)
+        .collect();
+    for (i, a) in handlers.iter().enumerate() {
+        for b in handlers.iter().skip(i + 1) {
+            if a.class != b.class {
+                continue;
+            }
+            let (ha, hb) = (handler_fingerprint(game, a), handler_fingerprint(game, b));
+            if ha == hb && !ha.is_empty() {
+                diags.warn_code(
+                    "SGL011",
+                    format!(
+                        "dead rule: handler `{}` duplicates `{}` (same condition and \
+                         emissions); it is shadowed and can be removed",
+                        b.name, a.name,
+                    ),
+                    b.span,
+                );
+            }
+        }
+    }
+}
+
+fn handler_fingerprint(game: &CompiledGame, r: &RuleFacts) -> String {
+    // Handlers are indexed `Class/when#i`; recover the compiled form
+    // and fingerprint cond + emits structurally.
+    let Some(idx) = r
+        .name
+        .rsplit('#')
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+    else {
+        return String::new();
+    };
+    let cls = game.class(r.class);
+    let Some(h) = cls.handlers.get(idx) else {
+        return String::new();
+    };
+    format!("{:?}|{:?}|{:?}", h.cond, h.computes, h.emits)
+}
+
+fn sgl012_unused_attrs(game: &CompiledGame, rules: &[RuleFacts], diags: &mut Diagnostics) {
+    for (ci, _) in game.classes.iter().enumerate() {
+        let class = ClassId(ci as u32);
+        let def = game.catalog.class(class);
+        let class_span = game
+            .checked
+            .ast
+            .classes
+            .get(ci)
+            .map(|c| c.name.span)
+            .unwrap_or_else(sgl_ast::Span::dummy);
+        for (col, spec) in def.state.cols().iter().enumerate() {
+            if engine_written(game, class, col) {
+                continue;
+            }
+            let read = rules.iter().any(|r| {
+                r.reads
+                    .iter()
+                    .any(|rd| rd.via != ReadVia::EffectIn && rd.class == class && rd.col == col)
+            });
+            let written = rules.iter().any(|r| {
+                r.writes
+                    .iter()
+                    .any(|w| w.class == class && w.attr == WriteAttr::State(col))
+            });
+            if !read && !written {
+                diags.warn_code(
+                    "SGL012",
+                    format!(
+                        "unused attribute: no rule reads or writes `{}.{}`; it only ever \
+                         holds its spawn value",
+                        def.name, spec.name,
+                    ),
+                    class_span,
+                );
+            }
+        }
+        for (e, spec) in def.effects.iter().enumerate() {
+            if spec.name.starts_with("__pc_") {
+                continue;
+            }
+            // Transaction delta channels are consumed by the engine.
+            let is_txn_channel = game.checked.txn_pairs(class).iter().any(|&(_, ei)| ei == e);
+            if is_txn_channel {
+                continue;
+            }
+            let written = rules.iter().any(|r| {
+                r.writes
+                    .iter()
+                    .any(|w| w.class == class && w.attr == WriteAttr::Effect(e))
+            });
+            let read = rules.iter().any(|r| {
+                r.reads
+                    .iter()
+                    .any(|rd| rd.via == ReadVia::EffectIn && rd.class == class && rd.col == e)
+            });
+            if !written && !read {
+                diags.warn_code(
+                    "SGL012",
+                    format!(
+                        "unused effect: no rule assigns or consumes `{}.{}`; updates always \
+                         observe its default",
+                        def.name, spec.name,
+                    ),
+                    class_span,
+                );
+            }
+        }
+    }
+}
+
+/// `SGL013`: an interest-management window that cannot match.
+pub fn lint_interest(game: &CompiledGame, attr: &str, lo: f64, hi: f64, diags: &mut Diagnostics) {
+    if lo > hi {
+        diags.warn_code(
+            "SGL013",
+            format!(
+                "interest window on `{attr}` is empty ({lo} > {hi}): no entity can ever \
+                 enter the subscription",
+            ),
+            sgl_ast::Span::dummy(),
+        );
+        return;
+    }
+    let any_numeric = game.catalog.classes().iter().any(|c| {
+        c.state
+            .index_of(attr)
+            .map(|i| c.state.col(i).ty == ScalarType::Number)
+            .unwrap_or(false)
+    });
+    if !any_numeric {
+        diags.warn_code(
+            "SGL013",
+            format!(
+                "interest window on `{attr}` can never match: no class has a numeric state \
+                 attribute of that name",
+            ),
+            sgl_ast::Span::dummy(),
+        );
+    }
+}
+
+/// Cluster lints + per-rule locality classification.
+pub fn lint_cluster(
+    game: &CompiledGame,
+    rules: &[RuleFacts],
+    spec: &ClusterSpec,
+    diags: &mut Diagnostics,
+) -> Vec<Locality> {
+    let mut out = Vec::with_capacity(rules.len());
+    for r in rules {
+        out.push(classify_rule(game, r, spec, diags));
+    }
+    out
+}
+
+fn partition_col(game: &CompiledGame, class: ClassId, attr: &str) -> Option<usize> {
+    let def = game.catalog.class(class);
+    def.state
+        .index_of(attr)
+        .filter(|&i| def.state.col(i).ty == ScalarType::Number)
+}
+
+/// The halo width an accum's bands require, on the partition attr.
+/// `None` = no provable constant radius.
+fn accum_required_halo(
+    game: &CompiledGame,
+    class: ClassId,
+    a: &AccumFact,
+    spec: &ClusterSpec,
+) -> Option<f64> {
+    if !a.extent {
+        return None;
+    }
+    let p_left = partition_col(game, class, &spec.partition_attr)?;
+    let p_right = partition_col(game, a.over, &spec.partition_attr)?;
+    let p_slot = LinForm::slot(1 + p_left);
+    for b in &a.bands {
+        if b.right_col != p_right {
+            continue;
+        }
+        let (Some(lo), Some(hi)) = (&b.lo, &b.hi) else {
+            continue;
+        };
+        let (Some(dl), Some(dh)) = (
+            lo.sub(&p_slot).constant_part(),
+            hi.sub(&p_slot).constant_part(),
+        ) else {
+            continue;
+        };
+        // lo(x) ≥ x − h ∀x ⇔ dl.lo ≥ −h; hi(x) ≤ x + h ∀x ⇔ dh.hi ≤ h.
+        if dl.lo.is_finite() && dh.hi.is_finite() {
+            return Some((-dl.lo).max(dh.hi).max(0.0));
+        }
+    }
+    None
+}
+
+fn classify_rule(
+    game: &CompiledGame,
+    r: &RuleFacts,
+    spec: &ClusterSpec,
+    diags: &mut Diagnostics,
+) -> Locality {
+    // Atomic regions first: writes through refs demand cross-node
+    // arbitration — a hard error (SGL003). All-self intents stay on
+    // their owner, and intent order is global (initiator id), so
+    // per-node arbitration is bit-identical to single-node.
+    let mut cross_txn = false;
+    for t in &r.txns {
+        if t.cross_writes.is_empty() {
+            continue;
+        }
+        cross_txn = true;
+        let names: Vec<String> = t
+            .cross_writes
+            .iter()
+            .map(|&(c, col)| {
+                let d = game.catalog.class(c);
+                format!("`{}.{}`", d.name, d.state.col(col).name)
+            })
+            .collect();
+        diags.error_code(
+            "SGL003",
+            format!(
+                "atomic region in `{}` writes {} through a ref: intents may target rows \
+                 owned by other nodes, and cross-node transaction arbitration is \
+                 unimplemented; restrict the region to `self` writes or run single-node",
+                r.name,
+                names.join(", "),
+            ),
+            t.span,
+        );
+    }
+    if cross_txn {
+        return Locality::CrossNode;
+    }
+
+    // Reads through refs can land anywhere — beyond the halo they
+    // silently read defaults, diverging from single-node runs.
+    let gathers: Vec<&crate::sets::Read> = r
+        .reads
+        .iter()
+        .filter(|rd| rd.via == ReadVia::Gather)
+        .collect();
+    let ref_writes: Vec<&Write> = r
+        .writes
+        .iter()
+        .filter(|w| w.target == WriteTargetKind::Ref)
+        .collect();
+
+    let mut unproven: Vec<String> = Vec::new();
+    if let Some(rd) = gathers.first() {
+        let d = game.catalog.class(rd.class);
+        unproven.push(format!(
+            "reads `{}.{}` through a ref, which may address rows beyond the ghost halo",
+            d.name,
+            d.state.col(rd.col).name
+        ));
+    }
+    if let Some(w) = ref_writes.first() {
+        let d = game.catalog.class(w.class);
+        let attr = match w.attr {
+            WriteAttr::Effect(e) => d.effect(e).name.clone(),
+            WriteAttr::State(c) => d.state.col(c).name.clone(),
+        };
+        unproven.push(format!(
+            "emits `{}.{}` through a ref, which may address rows not replicated on the \
+             emitting node",
+            d.name, attr
+        ));
+    }
+
+    // Accum joins: need a constant radius ≤ halo on the partition attr.
+    let mut max_radius: f64 = 0.0;
+    let mut has_accum = false;
+    for a in &r.accums {
+        has_accum = true;
+        match accum_required_halo(game, r.class, a, spec) {
+            Some(radius) if radius <= spec.halo => max_radius = max_radius.max(radius),
+            Some(radius) => unproven.push(format!(
+                "joins rows up to {radius} away on `{}`, beyond the ghost halo of {}",
+                spec.partition_attr, spec.halo
+            )),
+            None => unproven.push(format!(
+                "has no provable constant read radius on the partition attribute \
+                 `{}` (halo coverage is unproven)",
+                spec.partition_attr
+            )),
+        }
+    }
+
+    if let Some(first) = unproven.first() {
+        diags.warn_code(
+            "SGL002",
+            format!(
+                "partition safety of `{}` is unproven: the rule {}; cluster runs may \
+                 diverge from single-node semantics if the halo does not cover it",
+                r.name, first
+            ),
+            r.span,
+        );
+        return Locality::Unproven;
+    }
+
+    // SGL004: cross-row contributions into a floating-point sum fold
+    // regroup per node; only integral values make the fold exact.
+    for w in &r.writes {
+        if w.target != WriteTargetKind::PairRow {
+            continue;
+        }
+        let WriteAttr::Effect(e) = w.attr else {
+            continue;
+        };
+        let espec = game.catalog.class(w.class).effect(e);
+        if espec.ty == ScalarType::Number
+            && matches!(espec.comb, Combinator::Sum | Combinator::Avg)
+            && !w.integral
+        {
+            diags.warn_code(
+                "SGL004",
+                format!(
+                    "`{}` emits non-integral values into `{}.{}` (⊕ {}) across rows; the \
+                     distributed fold groups contributions per node, so floating-point \
+                     results may differ from a single-node run",
+                    r.name,
+                    game.catalog.class(w.class).name,
+                    espec.name,
+                    comb_name(espec.comb),
+                ),
+                w.span,
+            );
+        }
+    }
+
+    if !r.txns.is_empty() {
+        Locality::OwnerLocal
+    } else if has_accum {
+        Locality::HaloSafe { radius: max_radius }
+    } else {
+        Locality::NodeLocal
+    }
+}
+
+/// Sanity pass shared by dist construction: every class must carry the
+/// numeric partition attribute (classes that don't cannot be placed).
+pub fn lint_partition_attr(game: &CompiledGame, spec: &ClusterSpec, diags: &mut Diagnostics) {
+    for (ci, def) in game.catalog.classes().iter().enumerate() {
+        if partition_col(game, ClassId(ci as u32), &spec.partition_attr).is_none() {
+            let span = game
+                .checked
+                .ast
+                .classes
+                .get(ci)
+                .map(|c| c.name.span)
+                .unwrap_or_else(sgl_ast::Span::dummy);
+            diags.warn_code(
+                "SGL002",
+                format!(
+                    "class `{}` has no numeric state attribute `{}`; it cannot be \
+                     range-partitioned across nodes",
+                    def.name, spec.partition_attr,
+                ),
+                span,
+            );
+        }
+    }
+}
+
+fn comb_name(c: Combinator) -> &'static str {
+    match c {
+        Combinator::Sum => "sum",
+        Combinator::Avg => "avg",
+        Combinator::Min => "min",
+        Combinator::Max => "max",
+        Combinator::Count => "count",
+        Combinator::Or => "or",
+        Combinator::And => "and",
+        Combinator::Union => "union",
+    }
+}

@@ -1,0 +1,818 @@
+//! Per-rule read/write-set extraction over the compiled IR.
+//!
+//! A *rule* is one set-at-a-time unit the engine schedules: a script
+//! segment, a reactive handler, an update rule or a constraint. For
+//! each rule this pass computes
+//!
+//! * the **read set** — `(class, attr)` pairs with *how* they are
+//!   reached: own row, through a pair join (with the band's linear
+//!   forms kept so a spatial radius can be proved later), through a
+//!   ref (`Gather`), or as a combined effect in an update rule;
+//! * the **write set** — `(class, attr, ⊕ combinator)` with the target
+//!   kind (own row, joined row, arbitrary ref, transactional write);
+//! * lint facts that need the slot environment while it is still in
+//!   scope: statically-dead guards, empty join bands, atomic regions'
+//!   owner-locality.
+
+use sgl_ast::Span;
+use sgl_compiler::ir::{AccumSource, CompiledGame, EmitTarget, PairEmitTarget, Step, TxnTarget};
+use sgl_relalg::PExpr;
+use sgl_storage::{ClassId, Combinator, Owner};
+
+use crate::interval::{guard_unsat, integral_value, lin_form, LinForm, SlotEnv};
+
+/// How a read reaches its attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadVia {
+    /// The rule's own row (state slot of the driving batch).
+    OwnRow,
+    /// The right row of a pair join (an accum element).
+    PairRow,
+    /// Through a ref-valued expression (`Gather`): any row of the
+    /// target class, anywhere.
+    Gather,
+    /// A combined effect value consumed by an update rule.
+    EffectIn,
+}
+
+/// One read-set entry.
+#[derive(Debug, Clone)]
+pub struct Read {
+    /// Class owning the attribute.
+    pub class: ClassId,
+    /// State column (or effect index for [`ReadVia::EffectIn`]).
+    pub col: usize,
+    /// Access path.
+    pub via: ReadVia,
+}
+
+/// What a write lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteTargetKind {
+    /// The rule's own row.
+    SelfRow,
+    /// The joined (right) row of an accum body.
+    PairRow,
+    /// An arbitrary entity through a ref expression.
+    Ref,
+    /// The rule's own state column (update rules).
+    OwnState,
+}
+
+/// The written attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAttr {
+    /// Effect variable (index into the class's effects).
+    Effect(usize),
+    /// State column (transactional writes, update targets).
+    State(usize),
+}
+
+/// One write-set entry.
+#[derive(Debug, Clone)]
+pub struct Write {
+    /// Target class.
+    pub class: ClassId,
+    /// Target attribute.
+    pub attr: WriteAttr,
+    /// Target kind.
+    pub target: WriteTargetKind,
+    /// ⊕ combinator (effects only).
+    pub comb: Option<Combinator>,
+    /// Whether the written value is provably integral (exact ⊕ folds).
+    pub integral: bool,
+    /// Source span of the emitting construct.
+    pub span: Span,
+}
+
+/// One band predicate of an accum join, reduced to linear forms over
+/// the left batch's slots.
+#[derive(Debug, Clone)]
+pub struct BandFact {
+    /// State column of the right (element) class the band constrains.
+    pub right_col: usize,
+    /// Linear form of the lower bound (left-batch slots).
+    pub lo: Option<LinForm>,
+    /// Linear form of the upper bound.
+    pub hi: Option<LinForm>,
+    /// Whether the band is statically empty (`hi < lo` everywhere).
+    pub empty: bool,
+}
+
+/// One accum join inside a rule.
+#[derive(Debug, Clone)]
+pub struct AccumFact {
+    /// Span of the `accum` statement.
+    pub span: Span,
+    /// Element class.
+    pub over: ClassId,
+    /// Extent source? (`false` = set-valued source: reads arbitrary
+    /// rows through refs.)
+    pub extent: bool,
+    /// Band predicates.
+    pub bands: Vec<BandFact>,
+}
+
+/// One `atomic` region inside a rule.
+#[derive(Debug, Clone)]
+pub struct TxnFact {
+    /// Span of the `atomic` region.
+    pub span: Span,
+    /// `(class, state col)` of writes through refs (non-self targets);
+    /// empty ⇔ the region is owner-local.
+    pub cross_writes: Vec<(ClassId, usize)>,
+}
+
+/// What kind of rule this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    /// One script segment.
+    Script,
+    /// A reactive `when` handler.
+    Handler,
+    /// An expression update rule.
+    Update,
+    /// A class constraint.
+    Constraint,
+}
+
+/// Everything the lint suite needs to know about one rule.
+#[derive(Debug, Clone)]
+pub struct RuleFacts {
+    /// Class the rule belongs to.
+    pub class: ClassId,
+    /// Stable name, matching the executor's attribution convention
+    /// (`Class/script#segment`, `Class/when#i`, `Class/update.attr`).
+    pub name: String,
+    /// Rule kind.
+    pub kind: RuleKind,
+    /// Source span.
+    pub span: Span,
+    /// Read set.
+    pub reads: Vec<Read>,
+    /// Write set.
+    pub writes: Vec<Write>,
+    /// Accum joins (spatial read radii).
+    pub accums: Vec<AccumFact>,
+    /// Atomic regions.
+    pub txns: Vec<TxnFact>,
+    /// Guards proved unsatisfiable, with the span to report.
+    pub dead_guards: Vec<Span>,
+    /// Whether the whole rule's top-level guard/condition is dead.
+    pub dead: bool,
+}
+
+fn span_of(s: (u32, u32)) -> Span {
+    Span::new(s.0, s.1)
+}
+
+/// Extract [`RuleFacts`] for every rule of the game.
+pub fn extract(game: &CompiledGame) -> Vec<RuleFacts> {
+    let mut out = Vec::new();
+    for (ci, cls) in game.classes.iter().enumerate() {
+        let class = ClassId(ci as u32);
+        let def = game.catalog.class(class);
+        let class_name = def.name.clone();
+        let state_n = def.state.len();
+        let class_span = game
+            .checked
+            .ast
+            .classes
+            .get(ci)
+            .map(|c| c.name.span)
+            .unwrap_or_else(Span::dummy);
+
+        for (si, script) in cls.scripts.iter().enumerate() {
+            for (gi, seg) in script.segments.iter().enumerate() {
+                let mut facts = RuleFacts {
+                    class,
+                    name: format!("{class_name}/{}#{gi}", script.name),
+                    kind: RuleKind::Script,
+                    span: span_of(script.span),
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                    accums: Vec::new(),
+                    txns: Vec::new(),
+                    dead_guards: Vec::new(),
+                    dead: false,
+                };
+                extract_segment(game, class, state_n, &seg.steps, &mut facts);
+                let _ = si;
+                out.push(facts);
+            }
+        }
+
+        for (hi, h) in cls.handlers.iter().enumerate() {
+            let mut facts = RuleFacts {
+                class,
+                name: format!("{class_name}/when#{hi}"),
+                kind: RuleKind::Handler,
+                span: span_of(h.span),
+                reads: Vec::new(),
+                writes: Vec::new(),
+                accums: Vec::new(),
+                txns: Vec::new(),
+                dead_guards: Vec::new(),
+                dead: false,
+            };
+            let computed: Vec<Option<PExpr>> = h.computes.iter().map(|e| Some(e.clone())).collect();
+            let env = SlotEnv {
+                base: 1 + state_n,
+                computed: &computed,
+                pair_split: None,
+            };
+            for e in &h.computes {
+                collect_reads(e, class, state_n, &env, ReadVia::OwnRow, &mut facts.reads);
+            }
+            collect_reads(
+                &h.cond,
+                class,
+                state_n,
+                &env,
+                ReadVia::OwnRow,
+                &mut facts.reads,
+            );
+            if guard_unsat(&h.cond, &env) {
+                facts.dead = true;
+                facts.dead_guards.push(facts.span);
+            }
+            let handler_live = !facts.dead;
+            for e in &h.emits {
+                emit_facts(
+                    game,
+                    class,
+                    state_n,
+                    &env,
+                    e.guard.as_ref(),
+                    &e.target,
+                    e.class,
+                    e.effect,
+                    &e.value,
+                    facts.span,
+                    &mut facts,
+                    // The handler's own cond already proved satisfiable
+                    // or the whole rule is flagged; per-emit guards
+                    // embed the cond so don't double-report.
+                    handler_live,
+                );
+            }
+            out.push(facts);
+        }
+
+        for up in &cls.updates {
+            let attr = def.state.col(up.state_col).name.clone();
+            if attr.starts_with("__pc_") {
+                continue;
+            }
+            let mut facts = RuleFacts {
+                class,
+                name: format!("{class_name}/update.{attr}"),
+                kind: RuleKind::Update,
+                span: class_span,
+                reads: Vec::new(),
+                writes: Vec::new(),
+                accums: Vec::new(),
+                txns: Vec::new(),
+                dead_guards: Vec::new(),
+                dead: false,
+            };
+            collect_update_reads(&up.expr, class, state_n, &mut facts.reads);
+            facts.writes.push(Write {
+                class,
+                attr: WriteAttr::State(up.state_col),
+                target: WriteTargetKind::OwnState,
+                comb: None,
+                integral: false,
+                span: class_span,
+            });
+            out.push(facts);
+        }
+
+        for (ki, con) in cls.constraints.iter().enumerate() {
+            let mut facts = RuleFacts {
+                class,
+                name: format!("{class_name}/constraint#{ki}"),
+                kind: RuleKind::Constraint,
+                span: class_span,
+                reads: Vec::new(),
+                writes: Vec::new(),
+                accums: Vec::new(),
+                txns: Vec::new(),
+                dead_guards: Vec::new(),
+                dead: false,
+            };
+            let env = SlotEnv {
+                base: 1 + state_n,
+                computed: &[],
+                pair_split: None,
+            };
+            collect_reads(con, class, state_n, &env, ReadVia::OwnRow, &mut facts.reads);
+            out.push(facts);
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_facts(
+    game: &CompiledGame,
+    class: ClassId,
+    state_n: usize,
+    env: &SlotEnv<'_>,
+    guard: Option<&PExpr>,
+    target: &EmitTarget,
+    tclass: ClassId,
+    effect: usize,
+    value: &PExpr,
+    span: Span,
+    facts: &mut RuleFacts,
+    check_guard: bool,
+) {
+    if let Some(g) = guard {
+        collect_reads(g, class, state_n, env, ReadVia::OwnRow, &mut facts.reads);
+        if check_guard && guard_unsat(g, env) {
+            facts.dead_guards.push(span);
+        }
+    }
+    collect_reads(
+        value,
+        class,
+        state_n,
+        env,
+        ReadVia::OwnRow,
+        &mut facts.reads,
+    );
+    let kind = match target {
+        EmitTarget::SelfRow => WriteTargetKind::SelfRow,
+        EmitTarget::Ref(base) => {
+            collect_reads(base, class, state_n, env, ReadVia::OwnRow, &mut facts.reads);
+            WriteTargetKind::Ref
+        }
+    };
+    let spec = game.catalog.class(tclass).effect(effect);
+    if spec.name.starts_with("__pc_") {
+        return;
+    }
+    facts.writes.push(Write {
+        class: tclass,
+        attr: WriteAttr::Effect(effect),
+        target: kind,
+        comb: Some(spec.comb),
+        integral: integral_value(value, env),
+        span,
+    });
+}
+
+fn extract_segment(
+    game: &CompiledGame,
+    class: ClassId,
+    state_n: usize,
+    steps: &[Step],
+    facts: &mut RuleFacts,
+) {
+    let base = 1 + state_n;
+    let mut computed: Vec<Option<PExpr>> = Vec::new();
+    for step in steps {
+        // Snapshot env per step (computed grows as steps append slots).
+        match step {
+            Step::Compute { expr } => {
+                let env = SlotEnv {
+                    base,
+                    computed: &computed,
+                    pair_split: None,
+                };
+                collect_reads(
+                    expr,
+                    class,
+                    state_n,
+                    &env,
+                    ReadVia::OwnRow,
+                    &mut facts.reads,
+                );
+                computed.push(Some(expr.clone()));
+            }
+            Step::Emit(e) => {
+                let env = SlotEnv {
+                    base,
+                    computed: &computed,
+                    pair_split: None,
+                };
+                emit_facts(
+                    game,
+                    class,
+                    state_n,
+                    &env,
+                    e.guard.as_ref(),
+                    &e.target,
+                    e.class,
+                    e.effect,
+                    &e.value,
+                    facts.span,
+                    facts,
+                    true,
+                );
+            }
+            Step::SetPc { guard, .. } => {
+                // Hidden pc machinery: reads still count (they gate
+                // resumption), the write does not surface as a rule
+                // effect.
+                let env = SlotEnv {
+                    base,
+                    computed: &computed,
+                    pair_split: None,
+                };
+                if let Some(g) = guard {
+                    collect_reads(g, class, state_n, &env, ReadVia::OwnRow, &mut facts.reads);
+                }
+            }
+            Step::Accum(a) => {
+                let left_width = a.left_width;
+                let left_env = SlotEnv {
+                    base,
+                    computed: &computed,
+                    pair_split: None,
+                };
+                let pair_env = SlotEnv {
+                    base,
+                    computed: &computed,
+                    pair_split: Some(left_width),
+                };
+                let over_def = game.catalog.class(a.over);
+                let over_state = over_def.state.len();
+                let extent = matches!(a.source, AccumSource::Extent);
+                if let AccumSource::SetExpr(e) = &a.source {
+                    collect_reads(
+                        e,
+                        class,
+                        state_n,
+                        &left_env,
+                        ReadVia::OwnRow,
+                        &mut facts.reads,
+                    );
+                }
+                let mut bands = Vec::new();
+                for b in &a.spec.bands {
+                    let right_col = b.right_slot.saturating_sub(1);
+                    facts.reads.push(Read {
+                        class: a.over,
+                        col: right_col,
+                        via: ReadVia::PairRow,
+                    });
+                    collect_reads(
+                        &b.lo,
+                        class,
+                        state_n,
+                        &left_env,
+                        ReadVia::OwnRow,
+                        &mut facts.reads,
+                    );
+                    collect_reads(
+                        &b.hi,
+                        class,
+                        state_n,
+                        &left_env,
+                        ReadVia::OwnRow,
+                        &mut facts.reads,
+                    );
+                    let lo = lin_form(&b.lo, &left_env);
+                    let hi = lin_form(&b.hi, &left_env);
+                    let empty = match (&lo, &hi) {
+                        (Some(l), Some(h)) => h
+                            .sub(l)
+                            .constant_part()
+                            .map(|iv| iv.hi < 0.0)
+                            .unwrap_or(false),
+                        _ => false,
+                    };
+                    bands.push(BandFact {
+                        right_col,
+                        lo,
+                        hi,
+                        empty,
+                    });
+                }
+                if let Some(r) = &a.spec.residual {
+                    collect_pair_reads(
+                        r,
+                        class,
+                        state_n,
+                        a.over,
+                        over_state,
+                        left_width,
+                        &pair_env,
+                        &mut facts.reads,
+                    );
+                }
+                for (g, v, _insert) in &a.acc_emits {
+                    if let Some(g) = g {
+                        collect_pair_reads(
+                            g,
+                            class,
+                            state_n,
+                            a.over,
+                            over_state,
+                            left_width,
+                            &pair_env,
+                            &mut facts.reads,
+                        );
+                    }
+                    collect_pair_reads(
+                        v,
+                        class,
+                        state_n,
+                        a.over,
+                        over_state,
+                        left_width,
+                        &pair_env,
+                        &mut facts.reads,
+                    );
+                }
+                for pe in &a.body_emits {
+                    if let Some(g) = &pe.guard {
+                        collect_pair_reads(
+                            g,
+                            class,
+                            state_n,
+                            a.over,
+                            over_state,
+                            left_width,
+                            &pair_env,
+                            &mut facts.reads,
+                        );
+                        if guard_unsat(g, &pair_env) {
+                            facts.dead_guards.push(span_of(a.span));
+                        }
+                    }
+                    collect_pair_reads(
+                        &pe.value,
+                        class,
+                        state_n,
+                        a.over,
+                        over_state,
+                        left_width,
+                        &pair_env,
+                        &mut facts.reads,
+                    );
+                    let kind = match &pe.target {
+                        PairEmitTarget::LeftRow => WriteTargetKind::SelfRow,
+                        PairEmitTarget::RightRow => WriteTargetKind::PairRow,
+                        PairEmitTarget::Ref(b) => {
+                            collect_pair_reads(
+                                b,
+                                class,
+                                state_n,
+                                a.over,
+                                over_state,
+                                left_width,
+                                &pair_env,
+                                &mut facts.reads,
+                            );
+                            WriteTargetKind::Ref
+                        }
+                    };
+                    let spec = game.catalog.class(pe.class).effect(pe.effect);
+                    if spec.name.starts_with("__pc_") {
+                        continue;
+                    }
+                    facts.writes.push(Write {
+                        class: pe.class,
+                        attr: WriteAttr::Effect(pe.effect),
+                        target: kind,
+                        comb: Some(spec.comb),
+                        integral: integral_value(&pe.value, &pair_env),
+                        span: span_of(a.span),
+                    });
+                }
+                facts.accums.push(AccumFact {
+                    span: span_of(a.span),
+                    over: a.over,
+                    extent,
+                    bands,
+                });
+                // The combined accumulator lands in the next slot;
+                // data-dependent, so opaque to later guards.
+                computed.push(None);
+            }
+            Step::EmitTxn(t) => {
+                let env = SlotEnv {
+                    base,
+                    computed: &computed,
+                    pair_split: None,
+                };
+                if let Some(g) = &t.guard {
+                    collect_reads(g, class, state_n, &env, ReadVia::OwnRow, &mut facts.reads);
+                    if guard_unsat(g, &env) {
+                        facts.dead_guards.push(span_of(t.span));
+                    }
+                }
+                let mut cross = Vec::new();
+                for w in &t.writes {
+                    if let Some(g) = &w.guard {
+                        collect_reads(g, class, state_n, &env, ReadVia::OwnRow, &mut facts.reads);
+                    }
+                    collect_reads(
+                        &w.value,
+                        class,
+                        state_n,
+                        &env,
+                        ReadVia::OwnRow,
+                        &mut facts.reads,
+                    );
+                    let kind = match &w.target {
+                        TxnTarget::SelfRow => WriteTargetKind::SelfRow,
+                        TxnTarget::Ref(b) => {
+                            collect_reads(
+                                b,
+                                class,
+                                state_n,
+                                &env,
+                                ReadVia::OwnRow,
+                                &mut facts.reads,
+                            );
+                            cross.push((w.class, w.state_col));
+                            WriteTargetKind::Ref
+                        }
+                    };
+                    facts.writes.push(Write {
+                        class: w.class,
+                        attr: WriteAttr::State(w.state_col),
+                        target: kind,
+                        comb: None,
+                        integral: integral_value(&w.value, &env),
+                        span: span_of(t.span),
+                    });
+                }
+                facts.txns.push(TxnFact {
+                    span: span_of(t.span),
+                    cross_writes: cross,
+                });
+            }
+        }
+    }
+}
+
+/// Collect reads of a scalar (single-row) expression. State slots map
+/// to `(class, col)` with `via`; `Gather`s map to the gathered class.
+/// `env` is threaded for signature parity with the slot-resolving
+/// helpers — computed slots were already scanned at their `Compute`
+/// step, so it is only forwarded.
+#[allow(clippy::only_used_in_recursion)]
+fn collect_reads(
+    e: &PExpr,
+    class: ClassId,
+    state_n: usize,
+    env: &SlotEnv<'_>,
+    via: ReadVia,
+    out: &mut Vec<Read>,
+) {
+    match e {
+        PExpr::Col(s) => {
+            if *s >= 1 && *s <= state_n {
+                out.push(Read {
+                    class,
+                    col: s - 1,
+                    via,
+                });
+            }
+            // Computed slots were already scanned when their defining
+            // Compute step ran; nothing new to record.
+        }
+        PExpr::Gather {
+            class: gc,
+            col,
+            base,
+        } => {
+            out.push(Read {
+                class: *gc,
+                col: *col,
+                via: ReadVia::Gather,
+            });
+            collect_reads(base, class, state_n, env, via, out);
+        }
+        PExpr::Un(_, a) => collect_reads(a, class, state_n, env, via, out),
+        PExpr::Bin(_, a, b) => {
+            collect_reads(a, class, state_n, env, via, out);
+            collect_reads(b, class, state_n, env, via, out);
+        }
+        PExpr::Call(_, args) => {
+            for a in args {
+                collect_reads(a, class, state_n, env, via, out);
+            }
+        }
+        PExpr::ConstF(_) | PExpr::ConstB(_) | PExpr::ConstRef(_) => {}
+    }
+}
+
+/// Collect reads of a pair-context expression: slots below
+/// `left_width` address the left (self) row, higher slots the joined
+/// right row.
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+fn collect_pair_reads(
+    e: &PExpr,
+    class: ClassId,
+    state_n: usize,
+    over: ClassId,
+    over_state: usize,
+    left_width: usize,
+    env: &SlotEnv<'_>,
+    out: &mut Vec<Read>,
+) {
+    match e {
+        PExpr::Col(s) => {
+            if *s >= left_width {
+                let rs = s - left_width;
+                if rs >= 1 && rs <= over_state {
+                    out.push(Read {
+                        class: over,
+                        col: rs - 1,
+                        via: ReadVia::PairRow,
+                    });
+                }
+            } else if *s >= 1 && *s <= state_n {
+                out.push(Read {
+                    class,
+                    col: s - 1,
+                    via: ReadVia::OwnRow,
+                });
+            }
+        }
+        PExpr::Gather {
+            class: gc,
+            col,
+            base,
+        } => {
+            out.push(Read {
+                class: *gc,
+                col: *col,
+                via: ReadVia::Gather,
+            });
+            collect_pair_reads(base, class, state_n, over, over_state, left_width, env, out);
+        }
+        PExpr::Un(_, a) => {
+            collect_pair_reads(a, class, state_n, over, over_state, left_width, env, out)
+        }
+        PExpr::Bin(_, a, b) => {
+            collect_pair_reads(a, class, state_n, over, over_state, left_width, env, out);
+            collect_pair_reads(b, class, state_n, over, over_state, left_width, env, out);
+        }
+        PExpr::Call(_, args) => {
+            for a in args {
+                collect_pair_reads(a, class, state_n, over, over_state, left_width, env, out);
+            }
+        }
+        PExpr::ConstF(_) | PExpr::ConstB(_) | PExpr::ConstRef(_) => {}
+    }
+}
+
+/// Collect reads of an update-rule expression (slots `1..=S` = old
+/// state, `S+1..=S+E` = combined effects).
+fn collect_update_reads(e: &PExpr, class: ClassId, state_n: usize, out: &mut Vec<Read>) {
+    match e {
+        PExpr::Col(s) => {
+            if *s >= 1 && *s <= state_n {
+                out.push(Read {
+                    class,
+                    col: s - 1,
+                    via: ReadVia::OwnRow,
+                });
+            } else if *s > state_n {
+                out.push(Read {
+                    class,
+                    col: s - state_n - 1,
+                    via: ReadVia::EffectIn,
+                });
+            }
+        }
+        PExpr::Gather {
+            class: gc,
+            col,
+            base,
+        } => {
+            out.push(Read {
+                class: *gc,
+                col: *col,
+                via: ReadVia::Gather,
+            });
+            collect_update_reads(base, class, state_n, out);
+        }
+        PExpr::Un(_, a) => collect_update_reads(a, class, state_n, out),
+        PExpr::Bin(_, a, b) => {
+            collect_update_reads(a, class, state_n, out);
+            collect_update_reads(b, class, state_n, out);
+        }
+        PExpr::Call(_, args) => {
+            for a in args {
+                collect_update_reads(a, class, state_n, out);
+            }
+        }
+        PExpr::ConstF(_) | PExpr::ConstB(_) | PExpr::ConstRef(_) => {}
+    }
+}
+
+/// Whether a state column is written by something other than a
+/// compiled rule (engine components, the transaction engine's commit
+/// flags, hidden pc machinery) — such columns are never "unused".
+pub fn engine_written(game: &CompiledGame, class: ClassId, col: usize) -> bool {
+    let def = game.catalog.class(class);
+    def.state.col(col).name.starts_with("__pc_") || def.owners[col] != Owner::Expression
+}

@@ -1,0 +1,72 @@
+//! Golden fixture tests: every diagnostic code ships a fixture that
+//! triggers it — and nothing else — and the rendered output is byte-
+//! stable against its `.expected` file. Re-bless after an intentional
+//! wording change with `SGL_BLESS=1 cargo test -p sgl-analysis`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use sgl_analysis::{analyze, analyze_cluster, lint_interest, parse_directives};
+
+/// Compile a fixture and render its findings exactly the way the
+/// `sgl-check` CLI and the runtime rejections do.
+fn render_findings(src: &str) -> String {
+    let checked = sgl_frontend::check(src).expect("fixtures must typecheck");
+    let game = sgl_compiler::compile(checked).expect("fixtures must compile");
+    let directives = parse_directives(src);
+    let mut report = match &directives.cluster {
+        Some(spec) => analyze_cluster(&game, spec),
+        None => analyze(&game),
+    };
+    for (attr, lo, hi) in &directives.interests {
+        report.diags.extend(lint_interest(&game, attr, *lo, *hi));
+    }
+    report.diags.render(src)
+}
+
+#[test]
+fn every_fixture_flags_exactly_its_code() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut stems: Vec<String> = fs::read_dir(&dir)
+        .expect("fixtures directory")
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            if path.extension().and_then(|x| x.to_str()) == Some("sgl") {
+                Some(path.file_stem().unwrap().to_str().unwrap().to_string())
+            } else {
+                None
+            }
+        })
+        .collect();
+    stems.sort();
+    assert!(!stems.is_empty(), "no fixtures found in {}", dir.display());
+
+    for stem in stems {
+        let code = stem.to_uppercase(); // sgl001 → SGL001
+        let src = fs::read_to_string(dir.join(format!("{stem}.sgl"))).unwrap();
+        let rendered = render_findings(&src);
+        assert!(
+            rendered.contains(&format!("[{code}]")),
+            "{stem}: expected a {code} finding, got:\n{rendered}"
+        );
+        for line in rendered.lines() {
+            assert!(
+                line.contains(&format!("[{code}]")),
+                "{stem}: stray finding beside {code}: {line}"
+            );
+        }
+
+        let expected_path = dir.join(format!("{stem}.expected"));
+        if std::env::var_os("SGL_BLESS").is_some() {
+            fs::write(&expected_path, &rendered).unwrap();
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!("{stem}.expected missing — run with SGL_BLESS=1 to create it")
+        });
+        assert_eq!(
+            rendered, expected,
+            "{stem}: rendered output drifted from golden (SGL_BLESS=1 to re-bless)"
+        );
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-ast
 //!
 //! Abstract syntax tree for the **Scalable Games Language** (SGL) as

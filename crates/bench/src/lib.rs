@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the experiment harness and benches.
 
 use std::time::Instant;

@@ -202,6 +202,9 @@ pub struct AccumStep {
     pub left_width: usize,
     /// Band dimensionality (for the optimizer's cost model).
     pub dims: usize,
+    /// `[start, end)` byte span of the `accum` statement in the game
+    /// source, for analysis diagnostics.
+    pub span: (u32, u32),
 }
 
 /// Target of a transactional write.
@@ -239,6 +242,9 @@ pub struct TxnStep {
     pub guard: Option<PExpr>,
     /// The intent's writes.
     pub writes: Vec<TxnWrite>,
+    /// `[start, end)` byte span of the `atomic` region in the game
+    /// source, for analysis diagnostics.
+    pub span: (u32, u32),
 }
 
 /// A compiled reactive handler (§3.2): evaluated on the *new* state at
@@ -257,4 +263,7 @@ pub struct CompiledHandler {
     /// (§3.2's interruptible intentions). Entries are pc state-column
     /// indices of this class.
     pub restart_pc_cols: Vec<usize>,
+    /// `[start, end)` byte span of the `when` declaration in the game
+    /// source, for analysis diagnostics.
+    pub span: (u32, u32),
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-compiler
 //!
 //! The SGL-to-relational-algebra compiler — the core contribution of

@@ -17,7 +17,7 @@
 //!   is split into band conjuncts (`u.x >= x-r`) that drive index
 //!   access paths, and a residual applied per candidate pair.
 
-use sgl_ast::{AccumStmt, Block, EffectOp, Expr, LValue, Stmt, UpdateKind};
+use sgl_ast::{AccumStmt, Block, EffectOp, Expr, LValue, Span, Stmt, UpdateKind};
 use sgl_frontend::{CheckedProgram, Diagnostics};
 use sgl_relalg::{BandCond, JoinSpec, PBinOp, PExpr, PUnOp};
 use sgl_storage::{
@@ -369,8 +369,8 @@ impl<'a> ScriptLowerer<'a> {
                         Stmt::Accum(a) => {
                             self.lower_accum(cx, a, guard.clone());
                         }
-                        Stmt::Atomic { body, .. } => {
-                            self.lower_atomic(cx, body, guard.clone());
+                        Stmt::Atomic { body, span } => {
+                            self.lower_atomic(cx, body, guard.clone(), *span);
                         }
                         Stmt::Block(b) => {
                             let has_wait = stmt.contains_wait();
@@ -636,6 +636,7 @@ impl<'a> ScriptLowerer<'a> {
                 body_emits,
                 left_width,
                 dims,
+                span: (a.span.start, a.span.end),
             })),
         );
         // The combined accumulator lands in slot `left_width`.
@@ -802,10 +803,17 @@ impl<'a> ScriptLowerer<'a> {
         }
     }
 
-    fn lower_atomic(&mut self, cx: &mut SegCtx, body: &Block, guard: Option<PExpr>) {
+    fn lower_atomic(&mut self, cx: &mut SegCtx, body: &Block, guard: Option<PExpr>, span: Span) {
         let mut writes = Vec::new();
         self.lower_atomic_block(cx, &body.stmts, None, &mut writes);
-        self.push_step(cx.seg, Step::EmitTxn(TxnStep { guard, writes }));
+        self.push_step(
+            cx.seg,
+            Step::EmitTxn(TxnStep {
+                guard,
+                writes,
+                span: (span.start, span.end),
+            }),
+        );
     }
 
     fn lower_atomic_block(
@@ -947,6 +955,7 @@ fn lower_handler(
         emits,
         computes,
         restart_pc_cols: Vec::new(),
+        span: (h.span.start, h.span.end),
     })
 }
 

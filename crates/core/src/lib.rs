@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # SGL — declarative processing for computer games
 //!
 //! A full reproduction of *"From Declarative Languages to Declarative
@@ -71,6 +72,7 @@
 
 use std::sync::Arc;
 
+pub use sgl_analysis::{AnalysisPolicy, AnalysisReport};
 pub use sgl_ast as ast;
 pub use sgl_compiler::CompiledGame;
 pub use sgl_engine::{
@@ -105,6 +107,10 @@ pub enum ExecMode {
 pub enum BuildError {
     /// Lex/parse/type/compile errors, pre-rendered against the source.
     Compile(String),
+    /// Static analysis findings under [`AnalysisPolicy::Deny`],
+    /// pre-rendered against the source — byte-identical to what the
+    /// `sgl-check` CLI prints for the same game.
+    Analysis(String),
     /// Engine configuration errors.
     Engine(EngineError),
 }
@@ -113,6 +119,7 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::Compile(msg) => write!(f, "{msg}"),
+            BuildError::Analysis(msg) => write!(f, "{msg}"),
             BuildError::Engine(e) => write!(f, "{e}"),
         }
     }
@@ -126,6 +133,7 @@ pub struct SimulationBuilder {
     source: String,
     mode: ExecMode,
     config: EngineConfig,
+    analysis: AnalysisPolicy,
 }
 
 impl SimulationBuilder {
@@ -138,6 +146,14 @@ impl SimulationBuilder {
     /// Effect-phase execution mode.
     pub fn mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// How static analysis findings gate the build: `Deny` fails on
+    /// any finding, `Warn` (default) keeps them available via
+    /// [`Simulation::analysis`], `Allow` skips the pass.
+    pub fn analysis(mut self, policy: AnalysisPolicy) -> Self {
+        self.analysis = policy;
         self
     }
 
@@ -232,12 +248,22 @@ impl SimulationBuilder {
         self
     }
 
-    /// Compile the source and assemble the engine.
+    /// Compile the source, run the static analysis pass, and assemble
+    /// the engine.
     pub fn build(self) -> Result<Simulation, BuildError> {
         let checked = sgl_frontend::check(&self.source)
             .map_err(|d| BuildError::Compile(d.render(&self.source)))?;
         let game = sgl_compiler::compile(checked)
             .map_err(|d| BuildError::Compile(d.render(&self.source)))?;
+        let analysis = if self.analysis == AnalysisPolicy::Allow {
+            AnalysisReport::default()
+        } else {
+            let report = sgl_analysis::analyze(&game);
+            if self.analysis == AnalysisPolicy::Deny && !report.is_clean() {
+                return Err(BuildError::Analysis(report.diags.render(&self.source)));
+            }
+            report
+        };
         let game = Arc::new(game);
         let engine = match self.mode {
             ExecMode::Compiled => {
@@ -253,6 +279,7 @@ impl SimulationBuilder {
         Ok(Simulation {
             engine,
             mode: self.mode,
+            analysis,
         })
     }
 }
@@ -261,6 +288,7 @@ impl SimulationBuilder {
 pub struct Simulation {
     engine: sgl_engine::Engine,
     mode: ExecMode,
+    analysis: AnalysisReport,
 }
 
 impl Simulation {
@@ -272,6 +300,12 @@ impl Simulation {
     /// The execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The build-time static analysis report: per-rule read/write sets
+    /// and any lint findings (empty under [`AnalysisPolicy::Allow`]).
+    pub fn analysis(&self) -> &AnalysisReport {
+        &self.analysis
     }
 
     /// Spawn an entity of `class`, overriding the listed attributes.
@@ -504,6 +538,37 @@ script s {
         };
         let msg = err.to_string();
         assert!(msg.contains("read-only"), "{msg}");
+    }
+
+    #[test]
+    fn analysis_policy_gates_the_build() {
+        // `unused` is never read or written by any rule → SGL012.
+        const UNUSED: &str = "class A { state: number x = 0; number unused = 0; \
+             effects: number dx : sum; update: x = x + dx; script s { dx <- 1; } }";
+        let sim = Simulation::builder().source(UNUSED).build().unwrap();
+        assert!(
+            sim.analysis()
+                .diags
+                .items
+                .iter()
+                .any(|d| d.code == Some("SGL012")),
+            "default Warn policy keeps findings on the simulation"
+        );
+        let err = match Simulation::builder()
+            .source(UNUSED)
+            .analysis(AnalysisPolicy::Deny)
+            .build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("Deny must reject a game with findings"),
+        };
+        assert!(err.to_string().contains("SGL012"), "{err}");
+        let sim = Simulation::builder()
+            .source(UNUSED)
+            .analysis(AnalysisPolicy::Allow)
+            .build()
+            .unwrap();
+        assert!(sim.analysis().is_clean(), "Allow skips the pass");
     }
 
     #[test]

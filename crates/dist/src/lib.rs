@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-dist — simulated shared-nothing cluster execution (§4.2)
 //!
 //! "The scripts for each game tick can be executed in parallel on a
@@ -46,8 +47,12 @@
 //! summands, all min/max/or/and/union); arbitrary fractional summands
 //! agree only to floating-point reassociation. Classes without the
 //! partition attribute are owned by node 0 and broadcast-replicated to
-//! all nodes. Games with `atomic` regions are rejected on multi-node
-//! clusters (cross-node transaction arbitration is unimplemented).
+//! all nodes. `atomic` regions are admitted when static analysis
+//! proves them *owner-local* (every write targets the initiating row,
+//! so per-node arbitration coincides with global arbitration);
+//! cross-node regions — any `ref`-targeted write inside `atomic` — are
+//! rejected at construction with a spanned `SGL003` diagnostic, since
+//! cross-node transaction arbitration is unimplemented.
 //!
 //! ## Incremental halo maintenance
 //!
@@ -90,6 +95,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use sgl_analysis::{analyze_cluster, ClusterSpec};
 use sgl_compiler::CompiledGame;
 use sgl_engine::effects::fold_seeds;
 use sgl_engine::{
@@ -105,6 +111,7 @@ mod stats;
 #[cfg(test)]
 mod tests;
 
+pub use sgl_analysis::{AnalysisPolicy, AnalysisReport, Locality};
 pub use stats::{DistStats, Traffic};
 
 /// Synchronization rounds per tick in the BSP time model (halo push,
@@ -120,6 +127,10 @@ const BSP_BITS_PER_SECOND: f64 = 10e9;
 pub enum DistError {
     /// Invalid [`DistConfig`].
     Config(String),
+    /// Static analysis rejected the deployment. The payload is the
+    /// rendered, span-carrying diagnostic text — byte-identical to
+    /// what the `sgl-check` CLI prints for the same game and layout.
+    Analysis(String),
     /// Storage-level problem (unknown class/entity/attribute).
     Storage(StorageError),
 }
@@ -128,6 +139,7 @@ impl std::fmt::Display for DistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DistError::Config(msg) => write!(f, "cluster configuration: {msg}"),
+            DistError::Analysis(rendered) => write!(f, "{rendered}"),
             DistError::Storage(e) => write!(f, "storage: {e}"),
         }
     }
@@ -162,6 +174,11 @@ pub struct DistConfig {
     /// metrics folding, slow-tick watchdog. `Default` reads
     /// `SGL_TRACE` / `SGL_TICK_BUDGET_MS`.
     pub obs: ObsConfig,
+    /// How static analysis findings gate construction: `Deny` fails on
+    /// any finding, `Warn` (default) rejects errors (cross-node
+    /// `atomic`, SGL003) and keeps warnings on the built cluster,
+    /// `Allow` skips the pass.
+    pub analysis: AnalysisPolicy,
 }
 
 impl DistConfig {
@@ -175,7 +192,14 @@ impl DistConfig {
             halo_radius,
             exec: ExecConfig::default(),
             obs: ObsConfig::default(),
+            analysis: AnalysisPolicy::default(),
         }
+    }
+
+    /// Set the [`AnalysisPolicy`] gating construction.
+    pub fn analysis(mut self, policy: AnalysisPolicy) -> Self {
+        self.analysis = policy;
+        self
     }
 
     /// Set the worker-thread count of the cluster's shared pool (every
@@ -265,6 +289,9 @@ pub struct DistSim {
     idgen: IdGen,
     last: DistStats,
     tick: u64,
+    /// Construction-time static analysis report (`None` on single-node
+    /// clusters and under [`AnalysisPolicy::Allow`]).
+    analysis: Option<AnalysisReport>,
     obs: ObsConfig,
     tracer: Tracer,
     trace_writer: Option<TraceWriter>,
@@ -299,17 +326,36 @@ impl DistSim {
                 cfg.partition_attr
             )));
         }
-        // Atomic regions need cluster-wide write arbitration (§3.1's
-        // transaction manager runs per node here), so their outcome
-        // could silently diverge from single-node execution. Reject
-        // them up front rather than corrupt state quietly.
-        if cfg.nodes > 1 && game_has_atomic(&game) {
-            return Err(DistError::Config(
-                "games with `atomic` regions are not supported on multi-node \
-                 clusters yet (cross-node transaction arbitration is unimplemented)"
-                    .into(),
-            ));
-        }
+        // Static partition-safety analysis (sgl-analysis) replaces the
+        // old blanket "no `atomic` on clusters" rejection: every rule
+        // is classified against this layout. Only *cross-node* atomic
+        // regions (a `ref`-targeted write inside `atomic`, SGL003) are
+        // rejected — §3.1's transaction manager runs per node here,
+        // and a region whose writes all land on the initiating row
+        // arbitrates identically per node and globally (intent order
+        // is initiator id either way). Warnings (e.g. an unprovable
+        // interaction radius, SGL002) stay inspectable via
+        // [`DistSim::analysis`]; `AnalysisPolicy::Deny` escalates
+        // them, `AnalysisPolicy::Allow` skips the pass.
+        let analysis = if cfg.nodes > 1 && cfg.analysis != AnalysisPolicy::Allow {
+            let report = analyze_cluster(
+                game.as_ref(),
+                &ClusterSpec {
+                    nodes: cfg.nodes,
+                    partition_attr: cfg.partition_attr.clone(),
+                    range: cfg.range,
+                    halo: cfg.halo_radius,
+                },
+            );
+            let fatal = report.diags.has_errors()
+                || (cfg.analysis == AnalysisPolicy::Deny && !report.is_clean());
+            if fatal {
+                return Err(DistError::Analysis(report.diags.render(&game.checked.src)));
+            }
+            Some(report)
+        } else {
+            None
+        };
         let pool = Arc::new(WorkerPool::new(cfg.exec.threads));
         let nodes = (0..cfg.nodes)
             .map(|_| Node {
@@ -340,6 +386,7 @@ impl DistSim {
             idgen: IdGen::new(),
             last,
             tick: 0,
+            analysis,
             obs,
             tracer,
             trace_writer,
@@ -350,6 +397,14 @@ impl DistSim {
     /// The compiled game this cluster runs.
     pub fn game(&self) -> &CompiledGame {
         &self.game
+    }
+
+    /// The static analysis report computed at construction: per-rule
+    /// read/write sets, partition-safety classification, and any
+    /// warnings that did not block deployment. `None` on single-node
+    /// clusters and under [`AnalysisPolicy::Allow`].
+    pub fn analysis(&self) -> Option<&AnalysisReport> {
+        self.analysis.as_ref()
     }
 
     /// The cluster configuration.
@@ -1044,19 +1099,6 @@ fn in_halo_cfg(cfg: &DistConfig, k: usize, x: f64) -> bool {
         cfg.range.0 + (k + 1) as f64 * w + cfg.halo_radius
     };
     (lo..=hi).contains(&x)
-}
-
-fn game_has_atomic(game: &CompiledGame) -> bool {
-    game.classes.iter().any(|class| {
-        class.scripts.iter().any(|script| {
-            script.segments.iter().any(|segment| {
-                segment
-                    .steps
-                    .iter()
-                    .any(|step| matches!(step, sgl_compiler::Step::EmitTxn(_)))
-            })
-        })
-    })
 }
 
 /// All columns of one row in schema order — the unit shipped for ghost

@@ -490,9 +490,9 @@ fn classes_without_the_attribute_are_broadcast_replicated() {
     assert_eq!(dist.get(globe_a, "hits").unwrap(), Value::Number(8.0));
 }
 
-#[test]
-fn atomic_games_are_rejected_on_multi_node_clusters() {
-    const ATOMIC: &str = r#"
+/// Self-only `atomic` spending: every write lands on the initiating
+/// row, so the region is owner-local and distributable.
+const ATOMIC_LOCAL: &str = r#"
 class T {
 state:
   number x = 0;
@@ -511,13 +511,81 @@ script spend {
 }
 }
 "#;
-    let err = match DistSim::new(compile(ATOMIC), DistConfig::new(2, "x", (0.0, 10.0), 1.0)) {
+
+#[test]
+fn owner_local_atomic_games_run_distributed_bit_exact() {
+    // Previously any `atomic` region was rejected on >1 node. The
+    // analysis pass proves this one owner-local (all writes target
+    // the initiating row), so per-node arbitration coincides with the
+    // single-node transaction manager — admit it and check exactness.
+    let mut dist = DistSim::new(
+        compile(ATOMIC_LOCAL),
+        DistConfig::new(2, "x", (0.0, 10.0), 1.0),
+    )
+    .expect("owner-local atomic games are admitted on multi-node clusters");
+    let mut single = Engine::new(compile(ATOMIC_LOCAL), EngineConfig::default()).unwrap();
+    let mut ids = Vec::new();
+    for &x in &[1.0, 3.0, 6.0, 9.0] {
+        let a = dist.spawn("T", &[("x", Value::Number(x))]).unwrap();
+        let b = single.spawn("T", &[("x", Value::Number(x))]).unwrap();
+        assert_eq!(a, b);
+        ids.push(a);
+    }
+    // 100 gold at 10 per tick: the constraint starts vetoing at 0.
+    for _ in 0..12 {
+        dist.step();
+        single.tick();
+    }
+    for id in ids {
+        assert_eq!(
+            dist.get(id, "gold").unwrap(),
+            single.get(id, "gold").unwrap()
+        );
+        assert_eq!(dist.get(id, "gold").unwrap(), Value::Number(0.0));
+        assert_eq!(dist.get(id, "ok").unwrap(), single.get(id, "ok").unwrap());
+    }
+    let report = dist.analysis().expect("multi-node clusters keep a report");
+    assert!(
+        report
+            .rules
+            .iter()
+            .any(|r| r.locality == Some(crate::Locality::OwnerLocal)),
+        "{}",
+        report.render_sets()
+    );
+}
+
+#[test]
+fn cross_node_atomic_games_are_rejected_with_a_spanned_diagnostic() {
+    const CROSS: &str = r#"
+class T {
+state:
+  number x = 0;
+  number gold = 100;
+  ref<T> victim = null;
+effects:
+  number gold : sum;
+update:
+  gold by transactions;
+script rob {
+  if (victim != null) {
+    atomic {
+      gold <- 10;
+      victim.gold <- -10;
+    }
+  }
+}
+}
+"#;
+    let err = match DistSim::new(compile(CROSS), DistConfig::new(2, "x", (0.0, 10.0), 1.0)) {
         Err(e) => e,
-        Ok(_) => panic!("atomic games must be rejected on >1 node"),
+        Ok(_) => panic!("cross-node atomic games must be rejected on >1 node"),
     };
-    assert!(err.to_string().contains("atomic"), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("SGL003"), "{msg}");
+    assert!(msg.contains("atomic"), "{msg}");
     // A single node has no cross-node arbitration problem.
-    assert!(DistSim::new(compile(ATOMIC), DistConfig::new(1, "x", (0.0, 10.0), 1.0)).is_ok());
+    assert!(DistSim::new(compile(CROSS), DistConfig::new(1, "x", (0.0, 10.0), 1.0)).is_ok());
 }
 
 #[test]

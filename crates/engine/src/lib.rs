@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! # sgl-engine
 //!
 //! The SGL tick runtime — "an extensible game engine" whose "core … is a

@@ -16,6 +16,9 @@
 //! vendor convention): one mutex-guarded job slot, two condvars, and
 //! three atomics per run.
 
+// The one unsafe module in the workspace: scoped pointer-based
+// result slots for the worker pool. Everything else forbids unsafe.
+#![allow(unsafe_code)]
 use std::mem::MaybeUninit;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};

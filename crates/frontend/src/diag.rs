@@ -1,6 +1,32 @@
 //! Compiler diagnostics with source positions.
+//!
+//! Diagnostics carry an optional stable code (`SGL001`…) and a
+//! severity so the static analyzer (`sgl-analysis`), the `sgl-check`
+//! CLI and runtime construction errors (`SimulationBuilder`,
+//! `DistSim::new`) all print the *same* span-carrying rendering.
 
 use sgl_ast::Span;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: the program runs, but a property could not be proven
+    /// or a likely mistake was detected.
+    Warning,
+    /// The program is rejected (or, under `--deny warnings`, the check
+    /// fails).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in renderings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
 
 /// One error or warning.
 #[derive(Debug, Clone, PartialEq)]
@@ -9,14 +35,45 @@ pub struct Diagnostic {
     pub message: String,
     /// Source location.
     pub span: Span,
+    /// Stable diagnostic code (`"SGL001"`…), if this diagnostic comes
+    /// from a coded lint.
+    pub code: Option<&'static str>,
+    /// Severity (plain parse/type errors are always `Error`).
+    pub severity: Severity,
 }
 
 impl Diagnostic {
-    /// Construct a diagnostic.
+    /// Construct an error diagnostic without a code (frontend default).
     pub fn new(message: impl Into<String>, span: Span) -> Self {
         Diagnostic {
             message: message.into(),
             span,
+            code: None,
+            severity: Severity::Error,
+        }
+    }
+
+    /// Construct a coded diagnostic.
+    pub fn coded(
+        code: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+        span: Span,
+    ) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+            code: Some(code),
+            severity,
+        }
+    }
+
+    /// `error` / `warning`, with the code in brackets when present:
+    /// `error[SGL003]`.
+    pub fn heading(&self) -> String {
+        match self.code {
+            Some(c) => format!("{}[{}]", self.severity.label(), c),
+            None => self.severity.label().to_string(),
         }
     }
 }
@@ -40,9 +97,39 @@ impl Diagnostics {
         self.items.push(Diagnostic::new(message, span));
     }
 
+    /// Record a coded error.
+    pub fn error_code(&mut self, code: &'static str, message: impl Into<String>, span: Span) {
+        self.items
+            .push(Diagnostic::coded(code, Severity::Error, message, span));
+    }
+
+    /// Record a coded warning.
+    pub fn warn_code(&mut self, code: &'static str, message: impl Into<String>, span: Span) {
+        self.items
+            .push(Diagnostic::coded(code, Severity::Warning, message, span));
+    }
+
     /// Whether any error was recorded.
+    ///
+    /// Historically every diagnostic was an error; with severities this
+    /// is specifically "any `Severity::Error` item".
     pub fn has_errors(&self) -> bool {
-        !self.items.is_empty()
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any warning was recorded.
+    pub fn has_warnings(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether nothing was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Append all of `other`'s items.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
     }
 
     /// Turn the collector into a `Result`.
@@ -60,7 +147,7 @@ impl Diagnostics {
         let mut out = String::new();
         for d in &self.items {
             let (line, col) = d.span.line_col(src);
-            out.push_str(&format!("error at {line}:{col}: {}\n", d.message));
+            out.push_str(&format!("{} at {line}:{col}: {}\n", d.heading(), d.message));
         }
         out
     }
@@ -71,8 +158,11 @@ impl std::fmt::Display for Diagnostics {
         for d in &self.items {
             writeln!(
                 f,
-                "error: {} (bytes {}..{})",
-                d.message, d.span.start, d.span.end
+                "{}: {} (bytes {}..{})",
+                d.heading(),
+                d.message,
+                d.span.start,
+                d.span.end
             )?;
         }
         Ok(())
@@ -93,6 +183,7 @@ mod tests {
         let msg = d.render(src);
         assert!(msg.contains("2:1"), "{msg}");
         assert!(msg.contains("unexpected token"));
+        assert!(msg.starts_with("error at"), "{msg}");
     }
 
     #[test]
@@ -102,5 +193,23 @@ mod tests {
         let mut d = Diagnostics::new();
         d.error("x", Span::dummy());
         assert!(d.into_result(5).is_err());
+    }
+
+    #[test]
+    fn coded_rendering_and_severity() {
+        let src = "abc";
+        let mut d = Diagnostics::new();
+        d.warn_code("SGL002", "halo not proven", Span::new(0, 1));
+        assert!(!d.has_errors());
+        assert!(d.has_warnings());
+        assert!(d.into_result(()).is_ok());
+        let mut d = Diagnostics::new();
+        d.error_code("SGL003", "cross-node atomic", Span::new(0, 1));
+        assert!(d.has_errors());
+        let msg = d.render(src);
+        assert!(
+            msg.contains("error[SGL003] at 1:1: cross-node atomic"),
+            "{msg}"
+        );
     }
 }

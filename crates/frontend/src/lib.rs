@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-frontend
 //!
 //! Lexer, parser and semantic analysis for the Scalable Games Language.
@@ -43,5 +44,7 @@ pub use typeck::{check_program, CheckedProgram, TypeEnv};
 /// Parse and type-check SGL source in one call.
 pub fn check(src: &str) -> Result<CheckedProgram, Diagnostics> {
     let program = parse(src)?;
-    check_program(program)
+    let mut checked = check_program(program)?;
+    checked.src = src.to_string();
+    Ok(checked)
 }

@@ -31,6 +31,11 @@ pub struct CheckedProgram {
     pub ast: Program,
     /// Compiler-generated relational schemas (§2.1).
     pub catalog: Catalog,
+    /// The source text, kept so later passes (static analysis, engine
+    /// and cluster construction) can render span-carrying diagnostics
+    /// with line/column positions. Empty when the program was checked
+    /// from a bare AST via [`check_program`].
+    pub src: String,
 }
 
 impl CheckedProgram {
@@ -390,7 +395,11 @@ pub fn check_program(ast: Program) -> Result<CheckedProgram, Diagnostics> {
         check_class_bodies(c, ClassId(i as u32), &catalog, &mut diags);
     }
 
-    diags.into_result(CheckedProgram { ast, catalog })
+    diags.into_result(CheckedProgram {
+        ast,
+        catalog,
+        src: String::new(),
+    })
 }
 
 fn build_class_def(

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-index
 //!
 //! Spatial index library for the SGL engine, reproducing §4.2 of

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-interp
 //!
 //! The **object-at-a-time** script interpreter: the baseline execution

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-net — client replication with declarative interest management
 //!
 //! The paper's endgame (§4.2) is games-as-databases serving massive

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-obs — the unified telemetry plane
 //!
 //! The paper's bet is that declarative processing makes game state

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-opt
 //!
 //! Adaptive query optimization for the SGL engine (§4.1 of the CIDR 2009

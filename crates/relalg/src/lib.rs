@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-relalg
 //!
 //! Vectorized relational algebra primitives for the SGL engine — the

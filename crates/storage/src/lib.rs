@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-storage
 //!
 //! Columnar main-memory storage layer for the SGL engine, reproducing the

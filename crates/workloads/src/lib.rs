@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # sgl-workloads
 //!
 //! Workload generators for the SGL reproduction, mirroring the domains
@@ -31,3 +32,23 @@ pub mod traffic;
 pub use market::{MarketAudit, MarketMode, MarketParams};
 pub use rts::RtsParams;
 pub use traffic::TrafficParams;
+
+/// Every SGL source the workloads ship, `(name, source)` — the
+/// population the zero-findings CI sweep runs `sgl-check` over.
+pub fn shipped_sources() -> Vec<(&'static str, String)> {
+    let mut out = vec![
+        ("boids", boids::SOURCE.to_string()),
+        ("particles", particles::SOURCE.to_string()),
+        ("rts", rts::SOURCE.to_string()),
+        ("traffic", traffic::SOURCE.to_string()),
+    ];
+    for mode in [
+        MarketMode::Naive,
+        MarketMode::MultiTick,
+        MarketMode::Atomic,
+        MarketMode::AtomicLocal,
+    ] {
+        out.push((mode.name(), market::source(mode)));
+    }
+    out
+}

@@ -16,6 +16,13 @@
 //! * [`MarketMode::Atomic`] — `atomic` regions + `constraint gold >= 0`:
 //!   write-write conflicts and constraint violations abort, so audits
 //!   find zero violations.
+//! * [`MarketMode::AtomicLocal`] — the distributable variant: traders
+//!   walk a market strip (`x`) restocking their own stall under
+//!   `constraint gold >= 0`. Every `atomic` write lands on the
+//!   initiating row, so static analysis classifies the regions
+//!   *owner-local* and `sgl-dist` admits the game on multi-node
+//!   clusters (the other atomic variant transfers gold through refs —
+//!   cross-node — and is rejected there with `SGL003`).
 //!
 //! The host-side [`run_and_audit`] counts payments vs. ownership transfers
 //! (duping = paid-but-not-received) and negative balances.
@@ -32,6 +39,9 @@ pub enum MarketMode {
     MultiTick,
     /// Atomic regions with constraints (§3.1's solution).
     Atomic,
+    /// Owner-local atomic regions (self-row writes only): the variant
+    /// that distributes across shared-nothing nodes.
+    AtomicLocal,
 }
 
 impl MarketMode {
@@ -41,6 +51,7 @@ impl MarketMode {
             MarketMode::Naive => "naive-effects",
             MarketMode::MultiTick => "multi-tick",
             MarketMode::Atomic => "atomic-txn",
+            MarketMode::AtomicLocal => "atomic-local",
         }
     }
 }
@@ -185,12 +196,54 @@ script rob {
 }
 "#;
 
+/// Owner-local atomic: every write inside `atomic` targets the
+/// initiating row, so the game distributes (no `Item` class — stalls
+/// restock from the market supply rather than trading through refs).
+/// Buyers (`role == 0`) restock a 10-gold crate per tick; renters
+/// (`role == 1`) pay 3 gold upkeep; `constraint gold >= 0` vetoes
+/// what a trader cannot afford, and the crate counter rides in the
+/// same region so it commits/aborts with the payment.
+const ATOMIC_LOCAL_TRADER: &str = r#"
+class Trader {
+state:
+  number x = 0;
+  number vx = 0;
+  number gold = 0;
+  number stock = 0;
+  number role = 0;
+effects:
+  number gold : sum;
+  number stock : sum;
+update:
+  x = x + vx;
+  gold by transactions;
+  stock by transactions;
+constraint gold >= 0;
+script restock {
+  if (role == 0) {
+    atomic {
+      gold <- -10;
+      stock <- 1;
+    }
+  }
+}
+script upkeep {
+  if (role == 1) {
+    atomic {
+      gold <- -3;
+    }
+  }
+}
+}
+"#;
+
 /// Full source for a mode.
 pub fn source(mode: MarketMode) -> String {
     match mode {
         MarketMode::Naive => format!("{COMMON}{NAIVE_TRADER}"),
         MarketMode::MultiTick => format!("{MULTITICK_ITEM}{MULTITICK_TRADER}"),
         MarketMode::Atomic => format!("{COMMON}{ATOMIC_TRADER}"),
+        MarketMode::AtomicLocal => ATOMIC_LOCAL_TRADER.to_string(),
     }
 }
 
@@ -242,6 +295,32 @@ pub struct Market {
     pub initial_gold: f64,
 }
 
+/// Spawn rows for the [`MarketMode::AtomicLocal`] scenario, for hosts
+/// that deploy it themselves (e.g. across a simulated cluster): one
+/// `(attr, value)` row per trader, in spawn order. Buyers drift along
+/// the strip (`vx`), so a distributed deployment also exercises
+/// migration.
+pub fn atomic_local_population(params: &MarketParams) -> Vec<Vec<(&'static str, Value)>> {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut rows = Vec::new();
+    for _ in 0..params.buyers {
+        rows.push(vec![
+            ("x", Value::Number(rng.gen_range(0.0..100.0))),
+            ("vx", Value::Number(rng.gen_range(-2.0..2.0))),
+            ("gold", Value::Number(params.gold)),
+            ("role", Value::Number(0.0)),
+        ]);
+    }
+    for _ in 0..params.robbers {
+        rows.push(vec![
+            ("x", Value::Number(rng.gen_range(0.0..100.0))),
+            ("gold", Value::Number(params.gold)),
+            ("role", Value::Number(1.0)),
+        ]);
+    }
+    rows
+}
+
 /// Build and populate a marketplace.
 pub fn build(params: &MarketParams) -> Market {
     let mut sim = Simulation::builder()
@@ -249,6 +328,25 @@ pub fn build(params: &MarketParams) -> Market {
         .mode(params.exec)
         .build()
         .expect("market source must compile");
+
+    // The owner-local variant has no Item class (stalls restock from
+    // the market supply rather than trading through refs): traders
+    // only.
+    if params.mode == MarketMode::AtomicLocal {
+        let mut traders = Vec::new();
+        for row in atomic_local_population(params) {
+            let t = sim.spawn("Trader", &row).expect("spawn trader");
+            traders.push(t);
+        }
+        let initial_gold = total_gold(&sim, &traders);
+        return Market {
+            sim,
+            traders,
+            items: Vec::new(),
+            initial_gold,
+        };
+    }
+
     let mut rng = SmallRng::seed_from_u64(params.seed);
 
     // Sellers (one per item) own the items; they run no scripts (role 2).
@@ -424,6 +522,30 @@ mod tests {
             "exchanges must still happen: {audit:?}"
         );
         assert!(audit.gold_conservation_error.abs() < 1e-9, "{audit:?}");
+    }
+
+    #[test]
+    fn atomic_local_respects_the_constraint() {
+        let params = MarketParams {
+            mode: MarketMode::AtomicLocal,
+            buyers: 10,
+            robbers: 4,
+            gold: 25.0,
+            ..MarketParams::default()
+        };
+        let mut market = build(&params);
+        market.sim.run(6);
+        for (k, &t) in market.traders.iter().enumerate() {
+            let gold = market.sim.get(t, "gold").unwrap().as_number().unwrap();
+            assert!(gold >= 0.0, "trader {k} overdrew: {gold}");
+        }
+        // Buyers afford exactly two 10-gold crates out of 25; the
+        // third restock violates `gold >= 0` and aborts, stock and
+        // payment together.
+        for &t in &market.traders[..10] {
+            assert_eq!(market.sim.get(t, "gold").unwrap(), Value::Number(5.0));
+            assert_eq!(market.sim.get(t, "stock").unwrap(), Value::Number(2.0));
+        }
     }
 
     #[test]

@@ -31,61 +31,7 @@ use std::io::{self, BufRead, Write};
 
 use sgl::{EntityId, Simulation, Value};
 
-/// A besieged castle: guards patrol (multi-tick intention), wolves roam
-/// and bite, wounded guards interrupt their patrol to heal (§3.2
-/// `restart`).
-const SOURCE: &str = r#"
-class Guard {
-state:
-  number x = 0;
-  number y = 0;
-  number hp = 100;
-  number atStep = 0;
-  number heals = 0;
-effects:
-  number step : max = 0;
-  number bite : sum;
-  number cured : sum;
-update:
-  hp = hp - bite + cured;
-  atStep = step;
-  heals = heals + cured;
-script patrol {
-  step <- 1;
-  waitNextTick;
-  step <- 2;
-  waitNextTick;
-  step <- 3;
-}
-when (hp < 60) { cured <- 50; } restart patrol;
-}
-
-class Wolf {
-state:
-  number x = 0;
-  number y = 0;
-  number vx = 3;
-  number hunger = 15;
-effects:
-  number dx : avg;
-update:
-  x = x + dx;
-script hunt {
-  dx <- vx;
-  accum number bitten with sum over Guard g from Guard {
-    if (g.x >= x - 6 && g.x <= x + 6 &&
-        g.y >= y - 6 && g.y <= y + 6) {
-      g.bite <- hunger;
-      bitten <- 1;
-    }
-  } in {
-    if (bitten > 0) {
-      dx <- 0 - vx;
-    }
-  }
-}
-}
-"#;
+use sgl_examples::CASTLE_WORLD as SOURCE;
 
 /// One registered watchpoint: `class.attr op value`.
 struct Watch {

@@ -1,2 +1,228 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the example binaries (each `[[bin]]` in this
 //! package is a standalone demonstration of the public `sgl` API).
+//!
+//! The SGL sources the examples run live here rather than inside the
+//! individual binaries, for two reasons: the three MMO demos share one
+//! world (previously triplicated), and [`shipped_sources`] hands every
+//! source to the `sgl-check` static analyzer so CI can assert the
+//! shipped examples produce zero findings.
+
+/// Figure 1's `Unit` class (completed with an update rule) plus
+/// Figure 2's neighbour-counting accum-loop, extended with a small
+/// skirmish rule so every Fig. 1 attribute (`player`, `damage`) is
+/// exercised. Run by `quickstart`.
+pub const QUICKSTART_WORLD: &str = r#"
+class Unit {
+state:
+  number player = 0;
+  number x = 0;
+  number y = 0;
+  number health = 100;
+  number range = 2;
+  number seen = 0;
+effects:
+  number vx : avg;
+  number vy : avg;
+  number damage : sum;
+  number near : sum;
+update:
+  health = health - damage;
+  seen = near;
+  x = x + vx;
+  y = y + vy;
+
+script count_neighbors {
+  accum number cnt with sum over Unit u from Unit {
+    if (u.x >= x - range && u.x <= x + range &&
+        u.y >= y - range && u.y <= y + range) {
+      cnt <- 1;
+    }
+  } in {
+    near <- cnt;
+  }
+}
+
+script skirmish {
+  accum number foes with sum over Unit u from Unit {
+    if (u.player != player &&
+        u.x >= x - range && u.x <= x + range &&
+        u.y >= y - range && u.y <= y + range) {
+      u.damage <- 1;
+      foes <- 1;
+    }
+  } in {
+    if (foes > 0) {
+      vy <- 0.5;
+    }
+  }
+}
+
+script wander {
+  vx <- 0.25;
+}
+}
+"#;
+
+/// A besieged castle: guards patrol (multi-tick intention), wolves roam
+/// and bite, wounded guards interrupt their patrol to heal (§3.2
+/// `restart`). Run by `debugger`.
+pub const CASTLE_WORLD: &str = r#"
+class Guard {
+state:
+  number x = 0;
+  number y = 0;
+  number hp = 100;
+  number atStep = 0;
+  number heals = 0;
+effects:
+  number step : max = 0;
+  number bite : sum;
+  number cured : sum;
+update:
+  hp = hp - bite + cured;
+  atStep = step;
+  heals = heals + cured;
+script patrol {
+  step <- 1;
+  waitNextTick;
+  step <- 2;
+  waitNextTick;
+  step <- 3;
+}
+when (hp < 60) { cured <- 50; } restart patrol;
+}
+
+class Wolf {
+state:
+  number x = 0;
+  number y = 0;
+  number vx = 3;
+  number hunger = 15;
+effects:
+  number dx : avg;
+update:
+  x = x + dx;
+script hunt {
+  dx <- vx;
+  accum number bitten with sum over Guard g from Guard {
+    if (g.x >= x - 6 && g.x <= x + 6 &&
+        g.y >= y - 6 && g.y <= y + 6) {
+      g.bite <- hunger;
+      bitten <- 1;
+    }
+  } in {
+    if (bitten > 0) {
+      dx <- 0 - vx;
+    }
+  }
+}
+}
+"#;
+
+/// Adventurers walk to the nearest loose item and pick it up with the
+/// paper's set-insert effect; containers are `set<Item>` attributes.
+/// Run by `rpg_inventory`.
+pub const RPG_WORLD: &str = r#"
+class Item {
+state:
+  number x = 0;
+  number y = 0;
+  number weight = 1;
+  bool loose = true;
+effects:
+  bool taken : or;
+update:
+  loose = loose && !taken;
+}
+
+class Adventurer {
+state:
+  number x = 0;
+  number y = 0;
+  number load = 0;
+  set<Item> bag;
+effects:
+  number vx : avg;
+  number vy : avg;
+  set<Item> itemsAcquired : union;
+  number weightGain : sum;
+update:
+  x = x + vx;
+  y = y + vy;
+  bag = union(bag, itemsAcquired);
+  load = load + weightGain;
+
+script loot {
+  accum ref<Item> closest with min over Item i from Item {
+    if (i.loose && i.x >= x - 50 && i.x <= x + 50 &&
+        i.y >= y - 50 && i.y <= y + 50) {
+      closest <- i;
+    }
+  } in {
+    if (closest != null) {
+      let d = dist(x, y, closest.x, closest.y);
+      if (d < 1) {
+        itemsAcquired <= closest;
+        weightGain <- closest.weight;
+        closest.taken <- true;
+      } else {
+        vx <- (closest.x - x) / max(d, 1);
+        vy <- (closest.y - y) / max(d, 1);
+      }
+    }
+  }
+}
+}
+"#;
+
+/// The MMO overworld shared by `mmo_shard`, `mmo_clients` and
+/// `mmo_sockets`: players roam, crowd-avoid, and skirmish within a
+/// constant radius-15 neighbourhood — exactly the halo width the
+/// sharded deployments configure, so the analyzer classifies the roam
+/// rule halo-safe.
+pub const MMO_WORLD: &str = r#"
+class Player {
+state:
+  number x = 0;
+  number y = 0;
+  number hp = 100;
+  number kills = 0;
+  number heading = 1;
+effects:
+  number pull : avg;
+  number hit : sum;
+  number slain : sum;
+update:
+  x = x + heading + pull;
+  hp = min(hp - hit + 1, 100);
+  kills = kills + slain;
+script roam {
+  accum number crowd with sum over Player p from Player {
+    if (p.x >= x - 15 && p.x <= x + 15 &&
+        p.y >= y - 15 && p.y <= y + 15) {
+      crowd <- 1;
+      if (p.x >= x - 2 && p.x <= x + 2 && p.hp < hp) {
+        p.hit <- 3;
+        slain <- 0.01;
+      }
+    }
+  } in {
+    if (crowd > 8) {
+      pull <- 0 - heading;
+    }
+  }
+}
+}
+"#;
+
+/// Every SGL source the example binaries ship, `(name, source)` — the
+/// population the zero-findings CI sweep runs `sgl-check` over.
+pub fn shipped_sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("quickstart", QUICKSTART_WORLD),
+        ("castle", CASTLE_WORLD),
+        ("rpg", RPG_WORLD),
+        ("mmo", MMO_WORLD),
+    ]
+}

@@ -28,40 +28,7 @@ use sgl_dist::{DistConfig, DistSim};
 use sgl_net::{ClientEvent, Intent, NetClient, NetListener};
 use sgl_storage::FxHashMap;
 
-const WORLD: &str = r#"
-class Player {
-state:
-  number x = 0;
-  number y = 0;
-  number hp = 100;
-  number kills = 0;
-  number heading = 1;
-effects:
-  number pull : avg;
-  number hit : sum;
-  number slain : sum;
-update:
-  x = x + heading + pull;
-  hp = min(hp - hit + 1, 100);
-  kills = kills + slain;
-script roam {
-  accum number crowd with sum over Player p from Player {
-    if (p.x >= x - 15 && p.x <= x + 15 &&
-        p.y >= y - 15 && p.y <= y + 15) {
-      crowd <- 1;
-      if (p.x >= x - 2 && p.x <= x + 2 && p.hp < hp) {
-        p.hit <- 3;
-        slain <- 0.01;
-      }
-    }
-  } in {
-    if (crowd > 8) {
-      pull <- 0 - heading;
-    }
-  }
-}
-}
-"#;
+use sgl_examples::MMO_WORLD as WORLD;
 
 /// A subscribed region's rows: `(entity, values in schema order)`.
 type Region = Vec<(EntityId, Vec<Value>)>;

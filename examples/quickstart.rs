@@ -7,44 +7,7 @@
 
 use sgl::{Simulation, Value};
 
-/// Figure 1's `Unit` class (completed with an update rule) plus
-/// Figure 2's neighbour-counting accum-loop.
-const SOURCE: &str = r#"
-class Unit {
-state:
-  number player = 0;
-  number x = 0;
-  number y = 0;
-  number health = 100;
-  number range = 2;
-  number seen = 0;
-effects:
-  number vx : avg;
-  number vy : avg;
-  number damage : sum;
-  number near : sum;
-update:
-  health = health - damage;
-  seen = near;
-  x = x + vx;
-  y = y + vy;
-
-script count_neighbors {
-  accum number cnt with sum over Unit u from Unit {
-    if (u.x >= x - range && u.x <= x + range &&
-        u.y >= y - range && u.y <= y + range) {
-      cnt <- 1;
-    }
-  } in {
-    near <- cnt;
-  }
-}
-
-script wander {
-  vx <- 0.25;
-}
-}
-"#;
+use sgl_examples::QUICKSTART_WORLD as SOURCE;
 
 fn main() {
     // Compile SGL → relational algebra; build the engine. The effect

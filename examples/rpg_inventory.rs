@@ -15,58 +15,7 @@
 
 use sgl::{Simulation, Value};
 
-const SOURCE: &str = r#"
-class Item {
-state:
-  number x = 0;
-  number y = 0;
-  number weight = 1;
-  bool loose = true;
-effects:
-  bool taken : or;
-update:
-  loose = loose && !taken;
-}
-
-class Adventurer {
-state:
-  number x = 0;
-  number y = 0;
-  number load = 0;
-  set<Item> bag;
-effects:
-  number vx : avg;
-  number vy : avg;
-  set<Item> itemsAcquired : union;
-  number weightGain : sum;
-update:
-  x = x + vx;
-  y = y + vy;
-  bag = union(bag, itemsAcquired);
-  load = load + weightGain;
-
-script loot {
-  accum ref<Item> closest with min over Item i from Item {
-    if (i.loose && i.x >= x - 50 && i.x <= x + 50 &&
-        i.y >= y - 50 && i.y <= y + 50) {
-      closest <- i;
-    }
-  } in {
-    if (closest != null) {
-      let d = dist(x, y, closest.x, closest.y);
-      if (d < 1) {
-        itemsAcquired <= closest;
-        weightGain <- closest.weight;
-        closest.taken <- true;
-      } else {
-        vx <- (closest.x - x) / max(d, 1);
-        vy <- (closest.y - y) / max(d, 1);
-      }
-    }
-  }
-}
-}
-"#;
+use sgl_examples::RPG_WORLD as SOURCE;
 
 fn main() {
     let mut sim = Simulation::builder()

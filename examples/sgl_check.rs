@@ -1,0 +1,167 @@
+//! `sgl-check`: the static analyzer as a CLI / CI gate.
+//!
+//! ```sh
+//! # Lint one or more .sgl files:
+//! cargo run -p sgl-examples --bin sgl-check -- game.sgl
+//!
+//! # CI gate over every shipped example/workload source — any finding
+//! # (warnings included) fails the run:
+//! cargo run -p sgl-examples --bin sgl-check -- --deny warnings --builtin
+//! ```
+//!
+//! Each file is compiled, then analyzed: effect-conflict (`SGL001`),
+//! partition-safety (`SGL002`/`SGL003`/`SGL004`, when the file carries
+//! a `// sgl-check: nodes=… partition=… range=lo..hi halo=…` directive
+//! describing the cluster layout to check against), and dead code
+//! (`SGL010`–`SGL013`; interest windows via
+//! `// sgl-check: interest=attr:lo..hi`). Diagnostics render through
+//! the same span machinery as compile errors, so this tool and the
+//! runtime (`SimulationBuilder`, `DistSim::new`) print identical text.
+//!
+//! Exit status: 2 on usage/IO errors, 1 if any file has findings at or
+//! above the deny level (errors by default; everything with
+//! `--deny warnings`), 0 otherwise.
+
+use std::process::ExitCode;
+
+use sgl_analysis::{analyze, analyze_cluster, lint_interest, AnalysisReport, Directives};
+
+struct Options {
+    deny_warnings: bool,
+    show_sets: bool,
+    builtin: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sgl-check [--deny warnings] [--sets] [--builtin] [FILE.sgl ...]\n\
+         \n\
+         --deny warnings  exit nonzero on any finding, warnings included\n\
+         --sets           print each rule's read/write sets\n\
+         --builtin        also sweep every shipped example/workload source"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Option<Options> {
+    let mut opts = Options {
+        deny_warnings: false,
+        show_sets: false,
+        builtin: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => match args.next().as_deref() {
+                Some("warnings") => opts.deny_warnings = true,
+                _ => return None,
+            },
+            "--sets" => opts.show_sets = true,
+            "--builtin" => opts.builtin = true,
+            "--help" | "-h" => return None,
+            _ if arg.starts_with('-') => return None,
+            _ => opts.files.push(arg),
+        }
+    }
+    if opts.files.is_empty() && !opts.builtin {
+        return None;
+    }
+    Some(opts)
+}
+
+/// Outcome of checking one source: the findings rendered against it,
+/// plus whether any reached the deny level.
+struct Checked {
+    rendered: String,
+    findings: usize,
+    errors: bool,
+    report: Option<AnalysisReport>,
+}
+
+fn check_source(src: &str) -> Checked {
+    let directives: Directives = sgl_analysis::parse_directives(src);
+    let checked = match sgl_frontend::check(src) {
+        Ok(c) => c,
+        Err(diags) => {
+            return Checked {
+                findings: diags.items.len(),
+                rendered: diags.render(src),
+                errors: true,
+                report: None,
+            }
+        }
+    };
+    let game = match sgl_compiler::compile(checked) {
+        Ok(g) => g,
+        Err(diags) => {
+            return Checked {
+                findings: diags.items.len(),
+                rendered: diags.render(src),
+                errors: true,
+                report: None,
+            }
+        }
+    };
+    let mut report = match &directives.cluster {
+        Some(spec) => analyze_cluster(&game, spec),
+        None => analyze(&game),
+    };
+    for (attr, lo, hi) in &directives.interests {
+        report.diags.extend(lint_interest(&game, attr, *lo, *hi));
+    }
+    Checked {
+        findings: report.diags.items.len(),
+        errors: report.diags.has_errors(),
+        rendered: report.diags.render(src),
+        report: Some(report),
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(opts) = parse_args() else {
+        return usage();
+    };
+
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in &opts.files {
+        match std::fs::read_to_string(path) {
+            Ok(src) => sources.push((path.clone(), src)),
+            Err(e) => {
+                eprintln!("sgl-check: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.builtin {
+        for (name, src) in sgl_workloads::shipped_sources() {
+            sources.push((format!("workload:{name}"), src));
+        }
+        for (name, src) in sgl_examples::shipped_sources() {
+            sources.push((format!("example:{name}"), src.to_string()));
+        }
+    }
+
+    let mut failed = false;
+    for (name, src) in &sources {
+        let checked = check_source(src);
+        if checked.findings == 0 {
+            println!("{name}: ok");
+        } else {
+            println!("{name}: {} finding(s)", checked.findings);
+            for line in checked.rendered.lines() {
+                println!("  {line}");
+            }
+        }
+        if let (true, Some(report)) = (opts.show_sets, &checked.report) {
+            print!("{}", report.render_sets());
+        }
+        failed |= checked.errors || (opts.deny_warnings && checked.findings > 0);
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the integration test suite.
 //!
 //! The actual tests live in the `[[test]]` targets of this package; this

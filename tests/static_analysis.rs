@@ -1,0 +1,207 @@
+//! The static analysis pass end to end: shipped sources are clean,
+//! the halo-safety classification is sound (halo-safe ⇒ bit-identical
+//! across node counts), and the owner-local `atomic` admission holds
+//! (the market's distributable variant matches single-node exactly).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgl::{Simulation, Value};
+use sgl_analysis::{analyze, analyze_cluster, ClusterSpec, Locality};
+use sgl_dist::{DistConfig, DistSim};
+use sgl_workloads::market::{atomic_local_population, source, MarketMode, MarketParams};
+
+fn compile(src: &str) -> sgl::CompiledGame {
+    // Route through the public facade so the test exercises the same
+    // path applications use.
+    let sim = Simulation::builder().source(src).build().unwrap();
+    sim.game().clone()
+}
+
+/// The analyzer must not cry wolf on good code: every SGL source the
+/// repository ships — workloads and examples — analyzes with zero
+/// findings.
+#[test]
+fn shipped_sources_have_zero_findings() {
+    let mut sources: Vec<(String, String)> = sgl_workloads::shipped_sources()
+        .into_iter()
+        .map(|(n, s)| (format!("workload:{n}"), s))
+        .collect();
+    sources.extend(
+        sgl_examples::shipped_sources()
+            .into_iter()
+            .map(|(n, s)| (format!("example:{n}"), s.to_string())),
+    );
+    assert!(sources.len() >= 10, "the sweep must cover the fleet");
+    for (name, src) in sources {
+        let game = compile(&src);
+        let report = analyze(&game);
+        assert!(
+            report.is_clean(),
+            "{name} has findings:\n{}",
+            report.diags.render(&src)
+        );
+    }
+}
+
+/// The MMO world deploys on clusters with halo 15 — the analyzer must
+/// prove the roam rule halo-safe at exactly that radius, with zero
+/// findings against the shipped layout.
+#[test]
+fn mmo_world_is_halo_safe_at_its_shipped_halo() {
+    let game = compile(sgl_examples::MMO_WORLD);
+    let spec = ClusterSpec {
+        nodes: 4,
+        partition_attr: "x".into(),
+        range: (0.0, 800.0),
+        halo: 15.0,
+    };
+    let report = analyze_cluster(&game, &spec);
+    assert!(
+        report.is_clean(),
+        "{}",
+        report.diags.render(sgl_examples::MMO_WORLD)
+    );
+    let roam = report
+        .rules
+        .iter()
+        .find(|r| r.name == "Player/roam#0")
+        .expect("roam rule");
+    assert_eq!(roam.locality, Some(Locality::HaloSafe { radius: 15.0 }));
+}
+
+/// The distributable market variant: owner-local `atomic` regions are
+/// admitted on a multi-node cluster and arbitrate exactly like the
+/// single-node transaction manager — gold and stock match bit for bit,
+/// while traders drift across stripe boundaries.
+#[test]
+fn atomic_local_market_is_bit_exact_on_clusters() {
+    let params = MarketParams {
+        mode: MarketMode::AtomicLocal,
+        buyers: 24,
+        robbers: 6,
+        gold: 45.0,
+        seed: 23,
+        ..MarketParams::default()
+    };
+    let src = source(MarketMode::AtomicLocal);
+    for nodes in [2usize, 4] {
+        let mut cluster = DistSim::new(
+            compile(&src),
+            DistConfig::new(nodes, "x", (0.0, 100.0), 4.0),
+        )
+        .expect("owner-local atomic market must deploy multi-node");
+        let mut reference = Simulation::builder().source(&src).build().unwrap();
+        let mut ids = Vec::new();
+        for row in atomic_local_population(&params) {
+            let a = cluster.spawn("Trader", &row).unwrap();
+            let b = reference.spawn("Trader", &row).unwrap();
+            assert_eq!(a, b, "id allocation must coincide");
+            ids.push(a);
+        }
+        for _ in 0..10 {
+            cluster.step();
+            reference.tick();
+        }
+        for &id in &ids {
+            for attr in ["x", "gold", "stock"] {
+                assert_eq!(
+                    cluster.get(id, attr).unwrap(),
+                    reference.get(id, attr).unwrap(),
+                    "{attr} of {id} diverged on {nodes} nodes"
+                );
+            }
+        }
+        let report = cluster.analysis().expect("analysis report");
+        assert!(
+            report
+                .rules
+                .iter()
+                .any(|r| r.locality == Some(Locality::OwnerLocal)),
+            "{}",
+            report.render_sets()
+        );
+    }
+}
+
+/// A neighbourhood game whose interaction radius is the constant `r`:
+/// integral contributions only, so halo-safe ⇒ bit-exact distribution.
+fn radius_game(r: u32) -> String {
+    format!(
+        "class U {{\n\
+         state:\n  number x = 0;\n  number vx = 1;\n  number seen = 0;\n\
+         effects:\n  number near : sum;\n  number poke : sum;\n\
+         update:\n  x = x + vx;\n  seen = seen + near + poke;\n\
+         script sense {{\n\
+           accum number c with sum over U u from U {{\n\
+             if (u.x >= x - {r} && u.x <= x + {r}) {{\n\
+               c <- 1;\n\
+               u.poke <- 1;\n\
+             }}\n\
+           }} in {{\n\
+             near <- c;\n\
+           }}\n\
+         }}\n\
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Soundness of the halo-safety classification: whenever the
+    /// analyzer classifies a rule `HaloSafe` against a layout, running
+    /// that layout is bit-identical to a single node — for any radius
+    /// within the halo and any population.
+    #[test]
+    fn halo_safe_rules_are_bit_identical_across_node_counts(
+        r in 0u32..=12,
+        n in 10usize..60,
+        seed in 0u64..500,
+    ) {
+        let src = radius_game(r);
+        let game = compile(&src);
+        let spec = ClusterSpec {
+            nodes: 4,
+            partition_attr: "x".into(),
+            range: (0.0, 200.0),
+            halo: 12.0,
+        };
+        let report = analyze_cluster(&game, &spec);
+        prop_assert!(report.is_clean(), "{}", report.diags.render(&src));
+        let rule = report.rules.iter().find(|x| x.name == "U/sense#0").unwrap();
+        prop_assert_eq!(
+            rule.locality.clone(),
+            Some(Locality::HaloSafe { radius: r as f64 })
+        );
+
+        let mut cluster = DistSim::new(
+            compile(&src),
+            DistConfig::new(4, "x", (0.0, 200.0), 12.0),
+        )
+        .unwrap();
+        let mut reference = Simulation::builder().source(&src).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ids = Vec::new();
+        for _ in 0..n {
+            let x = Value::Number(rng.gen_range(0.0..200.0));
+            let a = cluster.spawn("U", &[("x", x.clone())]).unwrap();
+            let b = reference.spawn("U", &[("x", x)]).unwrap();
+            prop_assert_eq!(a, b);
+            ids.push(a);
+        }
+        for _ in 0..6 {
+            cluster.step();
+            reference.tick();
+        }
+        for &id in &ids {
+            for attr in ["x", "seen"] {
+                prop_assert_eq!(
+                    cluster.get(id, attr).unwrap(),
+                    reference.get(id, attr).unwrap(),
+                    "{} of {} diverged", attr, id
+                );
+            }
+        }
+    }
+}
