@@ -24,7 +24,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgl::World;
-use sgl_net::{Intent, InterestSpec, NetClient, NetListener, ReplicationServer};
+use sgl_net::{
+    Intent, InterestSpec, IoConfig, ListenerConfig, NetClient, NetListener, ReplicationServer,
+};
 use sgl_storage::{
     Catalog, ClassDef, ClassId, ColumnSpec, EntityId, Owner, ScalarType, Schema, Value,
 };
@@ -234,6 +236,144 @@ fn bench_fanout(c: &mut Criterion) {
     g.finish();
 }
 
+/// A mostly-idle server: `ACTIVE` real clients stream and push intents
+/// while the rest are handshaken spectators whose windows never see a
+/// change. With frame elision on, an idle spectator costs zero socket
+/// traffic per tick — the readiness transport's claim is that per-tick
+/// cost then stays ~flat in total session count, where the sweep pays a
+/// read syscall per socket per tick no matter what.
+const ACTIVE: usize = 4;
+
+struct IdleRig {
+    listener: NetListener,
+    world: World,
+    active: Vec<NetClient>,
+    /// Spectator sockets, held open and silent.
+    _idle: Vec<std::net::TcpStream>,
+    ids: Vec<EntityId>,
+}
+
+fn idle_rig(sessions: usize, io: IoConfig) -> IdleRig {
+    use sgl_net::transport::{hello_payload, write_msg, MSG_HELLO, PROTOCOL_VERSION};
+
+    assert!(sessions >= ACTIVE);
+    #[cfg(unix)]
+    let _ = epoll::shim::raise_fd_limit(4 * sessions as u64 + 256);
+    let cat = catalog();
+    let mut world = World::new(cat.clone());
+    let mut ids = Vec::with_capacity(WORLD_ROWS);
+    for i in 0..WORLD_ROWS {
+        ids.push(
+            world
+                .spawn(ClassId(0), &[("x", Value::Number(i as f64))])
+                .unwrap(),
+        );
+    }
+    let cfg = ListenerConfig {
+        io,
+        elide_empty_frames: true,
+        max_pending: sessions + 64,
+        ..ListenerConfig::default()
+    };
+    let mut listener = NetListener::bind_with_config("127.0.0.1:0", cat.clone(), cfg).unwrap();
+    let addr = listener.local_addr().unwrap();
+    // The active few watch the churned region.
+    let spec = "Unit where x in [0, 1000]".parse().unwrap();
+    let pending: Vec<_> = (0..ACTIVE)
+        .map(|_| NetClient::start_connect(addr, cat.clone(), &spec).unwrap())
+        .collect();
+    // The idle crowd subscribes a region nothing ever touches. Raw
+    // sockets: handshake, then never speak or read again (the WELCOME
+    // and the 17-byte empty baseline just sit in their receive buffers).
+    let mut idle = Vec::with_capacity(sessions - ACTIVE);
+    let hello = hello_payload(PROTOCOL_VERSION, "Unit where x in [3000, 3500]");
+    let mut connected = ACTIVE;
+    while connected < sessions {
+        // Waves sized under the kernel listen backlog.
+        let wave = (sessions - connected).min(64);
+        for _ in 0..wave {
+            let mut raw = std::net::TcpStream::connect(addr).unwrap();
+            write_msg(&mut raw, MSG_HELLO, &hello).unwrap();
+            idle.push(raw);
+        }
+        connected += wave;
+        while listener.session_count() < connected {
+            listener.accept_pending().unwrap();
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    let mut active: Vec<NetClient> = pending.into_iter().map(|p| p.finish().unwrap()).collect();
+    // Ship the baselines so measurement covers steady-state ticks, and
+    // grant each active session one entity for its intents.
+    world.advance_tick();
+    listener.pump_frames(&world);
+    for (i, client) in active.iter_mut().enumerate() {
+        client.recv_frame().unwrap();
+        listener.grant(client.session(), ids[CHANGED_ROWS + i]);
+    }
+    IdleRig {
+        listener,
+        world,
+        active,
+        _idle: idle,
+        ids,
+    }
+}
+
+fn bench_idle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net_transport");
+    g.sample_size(10);
+    for (io, name) in [
+        (IoConfig::readiness(1), "tick_idle"),
+        (IoConfig::sweep(), "tick_idle_sweep"),
+    ] {
+        for sessions in [64usize, 256, 1024] {
+            let IdleRig {
+                mut listener,
+                mut world,
+                mut active,
+                _idle,
+                ids,
+            } = idle_rig(sessions, io);
+            let mut round = 0u64;
+            g.bench_with_input(BenchmarkId::new(name, sessions), &sessions, |b, _| {
+                b.iter(|| {
+                    round += 1;
+                    for (i, client) in active.iter_mut().enumerate() {
+                        client
+                            .send(vec![Intent::Set {
+                                class: ClassId(0),
+                                id: ids[CHANGED_ROWS + i],
+                                col: 1,
+                                value: Value::Number(round as f64),
+                            }])
+                            .unwrap();
+                    }
+                    listener.accept_pending().unwrap();
+                    let report = listener.drain_inputs(&mut world);
+                    assert_eq!(report.rejected, 0);
+                    for &id in &ids[..CHANGED_ROWS] {
+                        world
+                            .set(id, "hp", &Value::Number((round * 7 % 1000) as f64))
+                            .unwrap();
+                    }
+                    world.advance_tick();
+                    listener.pump_frames(&world);
+                    for client in active.iter_mut() {
+                        client.recv_frame().unwrap();
+                    }
+                });
+                // Proof obligations: everyone is still attached, and the
+                // idle crowd's empty frames were elided, not shipped.
+                let stats = listener.last_stats();
+                assert_eq!(stats.sessions, sessions);
+                assert_eq!(stats.frames_elided, (sessions - ACTIVE) as u64);
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("net_transport");
     g.sample_size(10);
@@ -281,5 +421,5 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fanout, bench);
+criterion_group!(benches, bench_fanout, bench, bench_idle);
 criterion_main!(benches);

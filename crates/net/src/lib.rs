@@ -119,6 +119,7 @@ mod client;
 pub mod input;
 mod interest;
 mod listener;
+pub mod readiness;
 mod replica;
 mod server;
 mod stats;
@@ -132,6 +133,7 @@ pub use client::{ClientEvent, NetClient, PendingClient};
 pub use input::{apply_batch, BatchReport, InputBatch, InputSink, Intent};
 pub use interest::InterestSpec;
 pub use listener::{DrainReport, ListenerConfig, NetListener};
+pub use readiness::{IoBackend, IoConfig, IoMode, IoShardStats};
 pub use replica::{ApplySummary, ClientReplica};
 pub use server::{NetConfig, ReplicationServer, ReplicationSource, SessionId};
 pub use stats::{NetStats, SessionStats};

@@ -12,6 +12,22 @@
 //! listener.pump_frames(&sim);       // one SGN1 delta per session
 //! ```
 //!
+//! ## Transport modes
+//!
+//! The listener runs in one of two [`IoMode`]s (see
+//! [`IoConfig::from_env`] / `SGL_IO_THREADS`):
+//!
+//! - **Sweep** (legacy, the oracle): every socket gets one nonblocking
+//!   read + write per tick on the calling thread — linear in connected
+//!   sessions, even idle ones.
+//! - **Readiness** (default): an accept thread plus N I/O shard threads
+//!   block on kernel readiness (`epoll`, or the `poll(2)` fallback) and
+//!   move bytes; the main thread absorbs per-session inboxes, decodes
+//!   and validates in **ascending session-id order**, and hands framed
+//!   bytes back to the owning shard. Shard assignment is a pure
+//!   function of the session id ([`readiness`] module docs) so frames
+//!   are bit-identical to the sweep at any thread count.
+//!
 //! ## Handshake
 //!
 //! The client opens with `HELLO { version, interest spec }`. A version
@@ -19,7 +35,8 @@
 //! with `ERROR { reason }` and the connection closes; otherwise the
 //! server attaches a [`ReplicationServer`] session and answers
 //! `WELCOME { version, session id }`. The session's first `FRAME` is a
-//! baseline snapshot of the subscribed region.
+//! baseline snapshot of the subscribed region. Handshakes always run on
+//! the main thread — the accept thread only queues raw sockets.
 //!
 //! ## Disconnection policy
 //!
@@ -34,16 +51,19 @@
 //! ## Backpressure
 //!
 //! Frames are written with non-blocking sockets; bytes the kernel will
-//! not take are queued per session and retried on the next pump (or an
-//! explicit [`NetListener::flush`]). [`NetStats::backlog_bytes`] reports
-//! the queue depth; a session whose queue exceeds
-//! [`ListenerConfig::max_queued`] is disconnected — a client that stops
-//! reading cannot pin server memory. Pre-handshake peers cannot
-//! either: the pending queue is capped
+//! not take are queued per session and retried on readiness (or the
+//! next pump / an explicit [`NetListener::flush`] in sweep mode).
+//! [`NetStats::backlog_bytes`] reports the queue depth; a session whose
+//! queue exceeds [`ListenerConfig::max_queued`] is disconnected — a
+//! client that stops reading cannot pin server memory. Pre-handshake
+//! peers cannot either: the pending queue is capped
 //! ([`ListenerConfig::max_pending`]), the `HELLO` has its own tight
 //! length limit ([`ListenerConfig::max_hello`]), and a connection that
 //! has not completed its handshake within
-//! [`ListenerConfig::handshake_timeout`] is dropped.
+//! [`ListenerConfig::handshake_timeout`] is dropped. In readiness mode
+//! a flooding *sender* is bounded too: a shard pauses a session's reads
+//! once its un-absorbed inbox passes a soft cap, extending TCP
+//! backpressure through the shard.
 
 use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -53,6 +73,7 @@ use sgl_obs::Registry;
 use sgl_storage::{Catalog, EntityId, FxHashMap, FxHashSet};
 
 use crate::input::{self, apply_batch, BatchReport, InputSink};
+use crate::readiness::{IoConfig, IoMode, IoShardStats};
 use crate::server::{NetConfig, ReplicationServer, ReplicationSource, SessionId};
 use crate::stats::NetStats;
 use crate::transport::{
@@ -60,7 +81,10 @@ use crate::transport::{
     DEFAULT_MAX_MSG, MSG_ERROR, MSG_FRAME, MSG_HELLO, MSG_INPUT, MSG_RESUB, MSG_SPAWNED, MSG_STATS,
     MSG_WELCOME, PROTOCOL_VERSION,
 };
-use crate::{InterestSpec, NetError};
+use crate::{wire, InterestSpec, NetError};
+
+#[cfg(unix)]
+use crate::readiness::{owner_of, AcceptThread, Cmd, ShardHandle};
 
 /// Transport configuration of a [`NetListener`].
 #[derive(Debug, Clone)]
@@ -68,6 +92,18 @@ pub struct ListenerConfig {
     /// Replication configuration handed to the inner
     /// [`ReplicationServer`].
     pub net: NetConfig,
+    /// Transport I/O mode: readiness shards (default) or the legacy
+    /// single-thread sweep (the bit-exactness oracle). The default
+    /// reads `SGL_IO_THREADS` / `SGL_IO_BACKEND`
+    /// ([`IoConfig::from_env`]).
+    pub io: IoConfig,
+    /// Skip writing empty (non-baseline) delta frames. The protocol
+    /// default ships one frame per session per tick so lockstep clients
+    /// can count ticks; flipping this makes *idle* sessions cost zero
+    /// socket traffic — a mostly-idle node serves 10k sessions for the
+    /// price of its active ones. Clients must then treat frame ticks as
+    /// monotonic rather than contiguous ([`NetStats::frames_elided`]).
+    pub elide_empty_frames: bool,
     /// Upper bound on one inbound message's length.
     pub max_msg: usize,
     /// Upper bound on a session's outbound send queue; beyond it the
@@ -99,6 +135,8 @@ impl Default for ListenerConfig {
     fn default() -> Self {
         ListenerConfig {
             net: NetConfig::default(),
+            io: IoConfig::from_env(),
+            elide_empty_frames: false,
             max_msg: DEFAULT_MAX_MSG,
             max_queued: 8 * 1024 * 1024,
             max_pending: 256,
@@ -116,17 +154,31 @@ struct Pending {
     accepted_at: Instant,
 }
 
-/// One handshaken session's transport state.
+/// Where a session's socket lives.
+enum Transport {
+    /// Sweep mode: the socket and its send queue are owned here.
+    Local { stream: TcpStream, wr: Vec<u8> },
+    /// Readiness mode: the socket lives on I/O shard thread `t`
+    /// (`owner_of(sid, threads)`); only bytes cross the boundary.
+    #[cfg(unix)]
+    Shard(usize),
+}
+
+/// One handshaken session's transport state. Protocol state (the
+/// incremental reader, ownership, input stamps) always lives here on
+/// the main thread — shards never interpret bytes.
 struct Conn {
-    stream: TcpStream,
+    transport: Transport,
     reader: MsgReader,
-    /// Outbound bytes the kernel has not accepted yet.
-    wr: Vec<u8>,
     /// Entities this session may write (spawned via its intents or
     /// granted by the host).
     owned: FxHashSet<EntityId>,
     /// The client's last reported applied tick (from input stamps).
     last_input_tick: u64,
+    /// Readiness mode: the shard reported EOF (peer closed).
+    eof: bool,
+    /// Readiness mode: the shard reported a socket error.
+    io_err: bool,
 }
 
 /// Counters accumulated between pumps (drain runs before the tick,
@@ -158,6 +210,62 @@ pub struct DrainReport {
     pub disconnects: u64,
 }
 
+/// The running I/O engine.
+enum IoState {
+    Sweep,
+    #[cfg(unix)]
+    Sharded(Sharded),
+}
+
+#[cfg(unix)]
+struct Sharded {
+    accept: AcceptThread,
+    shards: Vec<ShardHandle>,
+    /// Shard counter totals at the previous pump (cumulative), so each
+    /// pump can report per-poll deltas in [`NetStats`].
+    prev_waits: u64,
+    prev_spurious: u64,
+}
+
+#[cfg(unix)]
+impl Sharded {
+    fn totals(&self) -> IoShardStats {
+        let mut t = IoShardStats::default();
+        for s in &self.shards {
+            let snap = s.counters.snapshot();
+            t.waits += snap.waits;
+            t.wakeups += snap.wakeups;
+            t.wakeups_spurious += snap.wakeups_spurious;
+            t.reads += snap.reads;
+            t.writes += snap.writes;
+            t.backlog_bytes += snap.backlog_bytes;
+            t.sessions += snap.sessions;
+        }
+        t
+    }
+}
+
+/// Per-shard command batches built during a drain or pump and
+/// dispatched with one lock + one wake per touched shard.
+struct OutBatches {
+    per_shard: Vec<Vec<Cmd2>>,
+}
+
+// In sweep mode (and on non-Unix) there are no shards and no commands;
+// alias to keep `OutBatches` compiling everywhere.
+#[cfg(unix)]
+type Cmd2 = Cmd;
+#[cfg(not(unix))]
+type Cmd2 = std::convert::Infallible;
+
+impl OutBatches {
+    fn new(shards: usize) -> OutBatches {
+        OutBatches {
+            per_shard: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
 /// A TCP replication server: the in-process [`ReplicationServer`]
 /// behind a real wire. See the [module docs](self) for the protocol.
 pub struct NetListener {
@@ -167,10 +275,14 @@ pub struct NetListener {
     pending: Vec<Pending>,
     conns: FxHashMap<u32, Conn>,
     counters: TickCounters,
+    io: IoState,
+    /// Empty delta frames skipped this tick (elision enabled only).
+    elided: u64,
     last: NetStats,
     /// Cross-poll metrics: every pump folds [`NetStats`] in
     /// (`net.*` names) and observes the transport phase wall times
-    /// (`net.drain_nanos`, `net.pump_nanos`, `net.socket_write_nanos`).
+    /// (`net.drain_nanos`, `net.pump_nanos`, `net.socket_write_nanos`,
+    /// plus `net.io_shard.dispatch_nanos` in readiness mode).
     /// Served to clients over the wire as [`MSG_STATS`].
     registry: Registry,
 }
@@ -182,7 +294,9 @@ impl NetListener {
         Self::bind_with_config(addr, catalog, ListenerConfig::default())
     }
 
-    /// Bind with an explicit [`ListenerConfig`].
+    /// Bind with an explicit [`ListenerConfig`]. In readiness mode this
+    /// spawns the accept thread and the I/O shard threads; they are
+    /// joined when the listener drops.
     pub fn bind_with_config(
         addr: impl ToSocketAddrs,
         catalog: Catalog,
@@ -190,6 +304,26 @@ impl NetListener {
     ) -> std::io::Result<NetListener> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
+        let io = match cfg.io.mode {
+            IoMode::Sweep => IoState::Sweep,
+            #[cfg(unix)]
+            IoMode::Readiness => {
+                let accept =
+                    AcceptThread::spawn(listener.try_clone()?, cfg.io.backend, cfg.max_pending)?;
+                let notice = frame_msg(MSG_ERROR, b"send queue overflow");
+                let shards = (0..cfg.io.threads.max(1))
+                    .map(|i| ShardHandle::spawn(i, cfg.io.backend, cfg.max_queued, notice.clone()))
+                    .collect::<std::io::Result<Vec<_>>>()?;
+                IoState::Sharded(Sharded {
+                    accept,
+                    shards,
+                    prev_waits: 0,
+                    prev_spurious: 0,
+                })
+            }
+            #[cfg(not(unix))]
+            IoMode::Readiness => IoState::Sweep,
+        };
         let repl = ReplicationServer::with_config(catalog, cfg.net.clone());
         Ok(NetListener {
             listener,
@@ -198,6 +332,8 @@ impl NetListener {
             pending: Vec::new(),
             conns: FxHashMap::default(),
             counters: TickCounters::default(),
+            io,
+            elided: 0,
             last: NetStats::default(),
             registry: Registry::new(),
         })
@@ -211,6 +347,31 @@ impl NetListener {
     /// The shared catalog sessions are validated against.
     pub fn catalog(&self) -> &Catalog {
         self.repl.catalog()
+    }
+
+    /// The I/O configuration the listener is actually running (on
+    /// non-Unix platforms a readiness request falls back to sweep).
+    pub fn io_config(&self) -> IoConfig {
+        match &self.io {
+            IoState::Sweep => IoConfig {
+                mode: IoMode::Sweep,
+                ..self.cfg.io
+            },
+            #[cfg(unix)]
+            IoState::Sharded(_) => self.cfg.io,
+        }
+    }
+
+    /// Per-shard I/O counters (cumulative since bind; empty in sweep
+    /// mode). Syscall counts come from the shim's instrumented hook —
+    /// regression tests use this to assert an untouched shard did zero
+    /// syscalls.
+    pub fn io_shard_stats(&self) -> Vec<IoShardStats> {
+        match &self.io {
+            IoState::Sweep => Vec::new(),
+            #[cfg(unix)]
+            IoState::Sharded(sh) => sh.shards.iter().map(|s| s.counters.snapshot()).collect(),
+        }
     }
 
     /// Accepted connections still waiting for their `HELLO`.
@@ -279,7 +440,32 @@ impl NetListener {
 
     /// Accept queued TCP connections and progress handshakes. Returns
     /// the number of sessions that completed their handshake.
+    ///
+    /// Handshakes always run here, on the caller's thread — in
+    /// readiness mode the accept thread only queues raw sockets.
     pub fn accept_pending(&mut self) -> std::io::Result<usize> {
+        // Readiness mode: connections the accept thread pulled since the
+        // last tick. Nonblocking + nodelay were set over there.
+        #[cfg(unix)]
+        if let IoState::Sharded(sh) = &mut self.io {
+            let queue = std::mem::take(&mut *sh.accept.queue.lock().unwrap());
+            for stream in queue {
+                if self.pending.len() >= self.cfg.max_pending {
+                    drop(stream);
+                    continue;
+                }
+                self.pending.push(Pending {
+                    stream,
+                    reader: MsgReader::new(self.cfg.max_hello.min(self.cfg.max_msg)),
+                    accepted_at: Instant::now(),
+                });
+            }
+        }
+        // Both modes: drain the kernel backlog directly (the listening
+        // socket is shared with the accept thread and stays nonblocking
+        // on both handles). This keeps the sweep-mode contract that a
+        // completed `connect` is visible to the *next* `accept_pending`
+        // — callers never race the accept thread's scheduling.
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -319,6 +505,10 @@ impl NetListener {
     /// Drain every session's socket, decode complete input frames,
     /// validate them, and apply the surviving intents to `sink`. Call
     /// once per tick, before stepping the simulation.
+    ///
+    /// Sessions are processed in **ascending session-id order** in both
+    /// modes — with sharded I/O, readiness order must not leak into
+    /// apply order (the `pool.rs` fixed-fold-order convention).
     pub fn drain_inputs<S: InputSink>(&mut self, sink: &mut S) -> DrainReport {
         let t_drain = Instant::now();
         let before = DrainReport {
@@ -328,12 +518,17 @@ impl NetListener {
             throttled: self.counters.throttled,
             disconnects: self.counters.disconnects,
         };
-        let sids: Vec<u32> = self.conns.keys().copied().collect();
+        #[cfg(unix)]
+        self.absorb_shard_reports();
+        let mut sids: Vec<u32> = self.conns.keys().copied().collect();
+        sids.sort_unstable();
+        let mut out = OutBatches::new(self.shard_count());
         for sid in sids {
-            if let Err(reason) = self.drain_one(sid, sink) {
+            if let Err(reason) = self.drain_one(sid, sink, &mut out) {
                 self.disconnect(SessionId(sid), reason);
             }
         }
+        self.dispatch(out);
         self.registry
             .observe("net.drain_nanos", t_drain.elapsed().as_nanos() as u64);
         DrainReport {
@@ -345,40 +540,93 @@ impl NetListener {
         }
     }
 
-    /// Compute this tick's replication frames and write one to every
-    /// session (queueing what the kernel refuses). Call once per tick,
-    /// after stepping the source. Also folds the tick's transport
+    /// Compute this tick's replication frames and hand one to every
+    /// session (sweep: write + queue locally; readiness: batch to the
+    /// owning shards, one lock + one wake per shard). Call once per
+    /// tick, after stepping the source. Also folds the tick's transport
     /// counters into [`NetListener::last_stats`].
     pub fn pump_frames<S: ReplicationSource>(&mut self, src: &S) {
-        // Frames are encoded straight into each session's reused send
-        // queue (`poll_with` lends the server's per-session buffer) —
-        // no intermediate `Bytes`/`Vec` per session per tick.
         let t_pump = Instant::now();
-        let conns = &mut self.conns;
         let max_queued = self.cfg.max_queued;
-        let mut overflowed: Vec<u32> = Vec::new();
-        // Socket-write time inside the pump, separated out so the
-        // registry can tell extraction cost (pump − socket) from kernel
-        // hand-off cost.
+        let elide = self.cfg.elide_empty_frames;
         let mut socket_nanos = 0u64;
-        self.repl.poll_with(src, |sid, frame| {
-            let Some(conn) = conns.get_mut(&sid.0) else {
-                return;
-            };
-            let len = (frame.len() + 1) as u32;
-            conn.wr.reserve(4 + len as usize);
-            conn.wr.extend_from_slice(&len.to_le_bytes());
-            conn.wr.push(MSG_FRAME);
-            conn.wr.extend_from_slice(frame);
-            let t_write = Instant::now();
-            flush_backlog(&mut conn.stream, &mut conn.wr);
-            socket_nanos += t_write.elapsed().as_nanos() as u64;
-            if conn.wr.len() > max_queued {
-                overflowed.push(sid.0);
+        self.elided = 0;
+        // Hosts that pump without draining (broadcast-only loops) must
+        // still see shard-reported overflow disconnects.
+        #[cfg(unix)]
+        self.absorb_shard_reports();
+        match &mut self.io {
+            IoState::Sweep => {
+                // Frames are encoded straight into each session's
+                // reused send queue (`poll_with` lends the server's
+                // per-session buffer) — no intermediate `Bytes`/`Vec`
+                // per session per tick.
+                let conns = &mut self.conns;
+                let mut overflowed: Vec<u32> = Vec::new();
+                let mut elided = 0u64;
+                self.repl.poll_with(src, |sid, frame| {
+                    let Some(conn) = conns.get_mut(&sid.0) else {
+                        return;
+                    };
+                    if elide && is_empty_delta(frame) {
+                        elided += 1;
+                        return;
+                    }
+                    let Transport::Local { stream, wr } = &mut conn.transport else {
+                        return;
+                    };
+                    let len = (frame.len() + 1) as u32;
+                    wr.reserve(4 + len as usize);
+                    wr.extend_from_slice(&len.to_le_bytes());
+                    wr.push(MSG_FRAME);
+                    wr.extend_from_slice(frame);
+                    let t_write = Instant::now();
+                    flush_backlog(stream, wr);
+                    socket_nanos += t_write.elapsed().as_nanos() as u64;
+                    if wr.len() > max_queued {
+                        overflowed.push(sid.0);
+                    }
+                });
+                self.elided = elided;
+                for sid in overflowed {
+                    self.disconnect(SessionId(sid), "send queue overflow");
+                }
             }
-        });
-        for sid in overflowed {
-            self.disconnect(SessionId(sid), "send queue overflow");
+            #[cfg(unix)]
+            IoState::Sharded(sh) => {
+                let conns = &self.conns;
+                let threads = sh.shards.len();
+                let mut out = OutBatches::new(threads);
+                let mut elided = 0u64;
+                self.repl.poll_with(src, |sid, frame| {
+                    let Some(conn) = conns.get(&sid.0) else {
+                        return;
+                    };
+                    if elide && is_empty_delta(frame) {
+                        elided += 1;
+                        return;
+                    }
+                    let Transport::Shard(t) = conn.transport else {
+                        return;
+                    };
+                    let len = (frame.len() + 1) as u32;
+                    let mut bytes = Vec::with_capacity(4 + len as usize);
+                    bytes.extend_from_slice(&len.to_le_bytes());
+                    bytes.push(MSG_FRAME);
+                    bytes.extend_from_slice(frame);
+                    out.per_shard[t].push(Cmd::Send { sid: sid.0, bytes });
+                });
+                self.elided = elided;
+                let t_dispatch = Instant::now();
+                for (t, batch) in out.per_shard.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        sh.shards[t].send(batch);
+                    }
+                }
+                socket_nanos = t_dispatch.elapsed().as_nanos() as u64;
+                self.registry
+                    .observe("net.io_shard.dispatch_nanos", socket_nanos);
+            }
         }
         let mut stats = self.repl.last_stats().clone();
         let counters = std::mem::take(&mut self.counters);
@@ -388,7 +636,30 @@ impl NetListener {
         stats.inputs_rejected = counters.rejected;
         stats.inputs_throttled = counters.throttled;
         stats.disconnects = counters.disconnects;
-        stats.backlog_bytes = self.conns.values().map(|c| c.wr.len() as u64).sum();
+        stats.frames_elided = self.elided;
+        match &mut self.io {
+            IoState::Sweep => {
+                stats.backlog_bytes = self
+                    .conns
+                    .values()
+                    .map(|c| match &c.transport {
+                        Transport::Local { wr, .. } => wr.len() as u64,
+                        #[cfg(unix)]
+                        Transport::Shard(_) => 0,
+                    })
+                    .sum();
+            }
+            #[cfg(unix)]
+            IoState::Sharded(sh) => {
+                let totals = sh.totals();
+                stats.backlog_bytes = totals.backlog_bytes;
+                stats.io_shards = sh.shards.len();
+                stats.epoll_waits = totals.waits.saturating_sub(sh.prev_waits);
+                stats.wakeups_spurious = totals.wakeups_spurious.saturating_sub(sh.prev_spurious);
+                sh.prev_waits = totals.waits;
+                sh.prev_spurious = totals.wakeups_spurious;
+            }
+        }
         stats.sessions = self.conns.len();
         self.last = stats;
         self.last.fold_into(&mut self.registry);
@@ -399,25 +670,134 @@ impl NetListener {
     }
 
     /// Retry queued writes (the pump does this implicitly; hosts may
-    /// call it between ticks to bleed backlog). Only sockets that
-    /// actually have queued bytes are swept — with healthy peers this
-    /// touches nothing.
+    /// call it between ticks to bleed backlog). The backlog set is
+    /// per-shard: only shards whose backlog gauge is non-zero are even
+    /// woken — untouched shards stay blocked in their wait and issue
+    /// **zero** syscalls (asserted by a regression test against the
+    /// shim's instrumented counters). In sweep mode only sockets with
+    /// queued bytes are swept.
     pub fn flush(&mut self) {
-        let backlogged: Vec<u32> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| !c.wr.is_empty())
-            .map(|(&sid, _)| sid)
-            .collect();
-        for sid in backlogged {
-            self.flush_session(SessionId(sid));
+        match &mut self.io {
+            IoState::Sweep => {
+                let backlogged: Vec<u32> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| match &c.transport {
+                        Transport::Local { wr, .. } => !wr.is_empty(),
+                        #[cfg(unix)]
+                        Transport::Shard(_) => false,
+                    })
+                    .map(|(&sid, _)| sid)
+                    .collect();
+                for sid in backlogged {
+                    self.flush_session(SessionId(sid));
+                }
+                self.last.backlog_bytes = self
+                    .conns
+                    .values()
+                    .map(|c| match &c.transport {
+                        Transport::Local { wr, .. } => wr.len() as u64,
+                        #[cfg(unix)]
+                        Transport::Shard(_) => 0,
+                    })
+                    .sum();
+            }
+            #[cfg(unix)]
+            IoState::Sharded(sh) => {
+                let mut backlog = 0;
+                for shard in &sh.shards {
+                    let queued = shard.counters.snapshot().backlog_bytes;
+                    backlog += queued;
+                    if queued > 0 {
+                        shard.send([Cmd::Flush]);
+                    }
+                }
+                self.last.backlog_bytes = backlog;
+            }
         }
-        self.last.backlog_bytes = self.conns.values().map(|c| c.wr.len() as u64).sum();
     }
 
     /// The client's last reported applied tick (input frame stamps).
     pub fn session_input_tick(&self, sid: SessionId) -> Option<u64> {
         self.conns.get(&sid.0).map(|c| c.last_input_tick)
+    }
+
+    fn shard_count(&self) -> usize {
+        match &self.io {
+            IoState::Sweep => 0,
+            #[cfg(unix)]
+            IoState::Sharded(sh) => sh.shards.len(),
+        }
+    }
+
+    /// Move shard-reported bytes and flags into main-thread session
+    /// state (readiness mode; called at the top of every drain).
+    /// Sessions the shards disconnected for overflow are detached here.
+    #[cfg(unix)]
+    fn absorb_shard_reports(&mut self) {
+        let IoState::Sharded(sh) = &mut self.io else {
+            return;
+        };
+        // A session's reader may hold at most one max-length message
+        // plus change; beyond that the bytes stay in the shard inbox
+        // (which pauses its reads) until the decoder catches up.
+        let reader_cap = self.cfg.max_msg.saturating_add(5);
+        let conns = &mut self.conns;
+        let mut overflowed: Vec<u32> = Vec::new();
+        for shard in &sh.shards {
+            let mut inbox = shard.inbox.lock().unwrap();
+            inbox.retain(|&sid, sin| {
+                let Some(conn) = conns.get_mut(&sid) else {
+                    return false; // already disconnected: drop the report
+                };
+                if !sin.bytes.is_empty() && conn.reader.buffered() >= reader_cap {
+                    return true; // decoder saturated: keep for later
+                }
+                conn.reader.push_bytes(&sin.bytes);
+                conn.eof |= sin.eof;
+                conn.io_err |= sin.err;
+                if sin.overflow {
+                    overflowed.push(sid);
+                }
+                false
+            });
+        }
+        for sid in overflowed {
+            // The shard already closed the socket and wrote the notice.
+            if self.conns.remove(&sid).is_some() {
+                self.repl.detach(SessionId(sid));
+                self.counters.disconnects += 1;
+            }
+        }
+    }
+
+    /// Push batched commands to their shards: one lock + one wake per
+    /// touched shard. No-op for sweep mode / empty batches.
+    fn dispatch(&mut self, out: OutBatches) {
+        #[cfg(unix)]
+        if let IoState::Sharded(sh) = &self.io {
+            for (t, batch) in out.per_shard.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    sh.shards[t].send(batch);
+                }
+            }
+            return;
+        }
+        let _ = out;
+    }
+
+    /// Queue a server→client message on a live session (stats replies,
+    /// spawn acks): sweep writes through immediately, readiness batches
+    /// for the owning shard.
+    fn queue_msg(&mut self, sid: u32, msg: Vec<u8>, out: &mut OutBatches) {
+        let Some(conn) = self.conns.get_mut(&sid) else {
+            return;
+        };
+        match &mut conn.transport {
+            Transport::Local { stream, wr } => write_some(stream, wr, &msg),
+            #[cfg(unix)]
+            Transport::Shard(t) => out.per_shard[*t].push(Cmd::Send { sid, bytes: msg }),
+        }
     }
 
     fn try_handshake(&mut self, mut p: Pending) -> Handshake {
@@ -439,15 +819,44 @@ impl NetListener {
                     let welcome = frame_msg(MSG_WELCOME, &welcome_payload(PROTOCOL_VERSION, sid.0));
                     let mut reader = p.reader;
                     reader.set_max_msg(self.cfg.max_msg);
-                    let mut conn = Conn {
-                        stream: p.stream,
-                        reader,
-                        wr: Vec::new(),
-                        owned: FxHashSet::default(),
-                        last_input_tick: 0,
-                    };
-                    write_some(&mut conn.stream, &mut conn.wr, &welcome);
-                    self.conns.insert(sid.0, conn);
+                    match &mut self.io {
+                        IoState::Sweep => {
+                            let mut stream = p.stream;
+                            let mut wr = Vec::new();
+                            write_some(&mut stream, &mut wr, &welcome);
+                            self.conns.insert(
+                                sid.0,
+                                Conn {
+                                    transport: Transport::Local { stream, wr },
+                                    reader,
+                                    owned: FxHashSet::default(),
+                                    last_input_tick: 0,
+                                    eof: false,
+                                    io_err: false,
+                                },
+                            );
+                        }
+                        #[cfg(unix)]
+                        IoState::Sharded(sh) => {
+                            let t = owner_of(sid.0, sh.shards.len());
+                            sh.shards[t].send([Cmd::Register {
+                                sid: sid.0,
+                                stream: p.stream,
+                                greeting: welcome,
+                            }]);
+                            self.conns.insert(
+                                sid.0,
+                                Conn {
+                                    transport: Transport::Shard(t),
+                                    reader,
+                                    owned: FxHashSet::default(),
+                                    last_input_tick: 0,
+                                    eof: false,
+                                    io_err: false,
+                                },
+                            );
+                        }
+                    }
                     Handshake::Attached
                 }
                 Err(e) => {
@@ -471,19 +880,34 @@ impl NetListener {
         self.repl.attach(&spec)
     }
 
-    fn drain_one<S: InputSink>(&mut self, sid: u32, sink: &mut S) -> Result<(), &'static str> {
+    fn drain_one<S: InputSink>(
+        &mut self,
+        sid: u32,
+        sink: &mut S,
+        out: &mut OutBatches,
+    ) -> Result<(), &'static str> {
         // The per-tick input budget. An empty budget skips the socket
-        // outright — unread bytes stay in the kernel and TCP
-        // backpressure does the throttling (the amortized sweep).
+        // outright — unread bytes stay in the kernel (sweep) or pile up
+        // to the shard's soft cap (readiness) and TCP backpressure does
+        // the throttling (the amortized sweep).
         let mut remaining = self.cfg.max_intents_per_tick;
         if remaining == 0 {
             return Ok(());
         }
         let eof = {
             let conn = self.conns.get_mut(&sid).expect("draining a live session");
-            conn.reader
-                .fill(&mut conn.stream)
-                .map_err(|_| "read error")?
+            if conn.io_err {
+                return Err("read error");
+            }
+            match &mut conn.transport {
+                Transport::Local { stream, .. } => {
+                    conn.reader.fill(stream).map_err(|_| "read error")?
+                }
+                // Readiness mode: bytes were absorbed before this call;
+                // the EOF latch plays the role of fill's return.
+                #[cfg(unix)]
+                Transport::Shard(_) => conn.eof,
+            }
         };
         let mut deferred = false;
         loop {
@@ -525,7 +949,7 @@ impl NetListener {
                         stats.inputs_rejected += report.rejected;
                         stats.inputs_throttled += over as u64;
                     }
-                    self.ack_spawns(sid, &report);
+                    self.ack_spawns(sid, &report, out);
                 }
                 MSG_RESUB => {
                     // A live interest re-subscription: swap the spec;
@@ -552,8 +976,7 @@ impl NetListener {
                     self.registry.counter_add("net.stats_requests", 1);
                     let text = self.registry.dump();
                     let msg = frame_msg(MSG_STATS, text.as_bytes());
-                    let conn = self.conns.get_mut(&sid).expect("draining a live session");
-                    write_some(&mut conn.stream, &mut conn.wr, &msg);
+                    self.queue_msg(sid, msg, out);
                 }
                 _ => return Err("unexpected message kind"),
             }
@@ -561,36 +984,52 @@ impl NetListener {
         if eof && !deferred {
             // A half-closed peer with messages deferred by the budget
             // keeps its session until later drains have processed them
-            // (the next fill re-reports the EOF).
+            // (the next fill / absorbed report re-reports the EOF).
             return Err("peer closed");
         }
         Ok(())
     }
 
-    fn ack_spawns(&mut self, sid: u32, report: &BatchReport) {
+    fn ack_spawns(&mut self, sid: u32, report: &BatchReport, out: &mut OutBatches) {
         for &(req, id) in &report.spawned {
             let msg = frame_msg(MSG_SPAWNED, &spawned_payload(req, id.0));
-            let conn = self.conns.get_mut(&sid).expect("acking a live session");
-            write_some(&mut conn.stream, &mut conn.wr, &msg);
+            self.queue_msg(sid, msg, out);
         }
     }
 
-    /// Retry one session's backlog; disconnect on overflow.
+    /// Retry one session's backlog; disconnect on overflow (sweep mode
+    /// — readiness shards enforce the cap themselves).
     fn flush_session(&mut self, sid: SessionId) {
         let Some(conn) = self.conns.get_mut(&sid.0) else {
             return;
         };
-        flush_backlog(&mut conn.stream, &mut conn.wr);
-        if conn.wr.len() > self.cfg.max_queued {
+        let Transport::Local { stream, wr } = &mut conn.transport else {
+            return;
+        };
+        flush_backlog(stream, wr);
+        if wr.len() > self.cfg.max_queued {
             self.disconnect(sid, "send queue overflow");
         }
     }
 
     fn disconnect(&mut self, sid: SessionId, reason: &'static str) {
-        if let Some(mut conn) = self.conns.remove(&sid.0) {
+        if let Some(conn) = self.conns.remove(&sid.0) {
             let msg = frame_msg(MSG_ERROR, reason.as_bytes());
-            let _ = conn.stream.write_all(&msg);
-            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            match conn.transport {
+                Transport::Local { mut stream, .. } => {
+                    let _ = stream.write_all(&msg);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+                #[cfg(unix)]
+                Transport::Shard(t) => {
+                    if let IoState::Sharded(sh) = &self.io {
+                        sh.shards[t].send([Cmd::Disconnect {
+                            sid: sid.0,
+                            notice: msg,
+                        }]);
+                    }
+                }
+            }
             self.repl.detach(sid);
             self.counters.disconnects += 1;
         }
@@ -601,6 +1040,14 @@ enum Handshake {
     Waiting(Pending),
     Attached,
     Dropped,
+}
+
+/// An elidable frame: a non-baseline delta with zero class blocks
+/// (`SGN1` magic, delta kind, tick, block count 0 — 17 bytes exactly).
+/// Baselines are never elided, so a fresh session always gets its
+/// snapshot even over an all-idle region.
+fn is_empty_delta(frame: &[u8]) -> bool {
+    frame.len() == 17 && frame[4] == wire::KIND_DELTA && frame[13..17] == [0u8; 4]
 }
 
 /// Retry the backlog, then write as much of `msg` as the kernel takes;

@@ -1,0 +1,792 @@
+//! Readiness-driven I/O sharding for [`NetListener`](crate::NetListener).
+//!
+//! The legacy transport swept every socket once per tick (one
+//! nonblocking read + write each), so the TCP tick grew linearly in
+//! *connected* sessions even when almost all of them were idle. In
+//! readiness mode the listener instead splits its I/O:
+//!
+//! - an **accept thread** blocks on the listening socket and queues raw
+//!   connections (handshakes stay on the main thread);
+//! - **N I/O shard threads** each own a disjoint set of session
+//!   sockets, block in `epoll_wait(2)` (or the portable `poll(2)`
+//!   fallback) and do *byte-level* work only: read available bytes into
+//!   a per-session inbox, write queued outbound bytes, enforce the
+//!   send-queue overflow cap. Idle sockets cost nothing — nobody
+//!   touches them until the kernel reports readiness.
+//!
+//! ## The determinism contract
+//!
+//! Everything that affects replicated state or frame bytes — decoding,
+//! validation, intent application, handshakes, frame production — stays
+//! on the main thread and is processed in **ascending session-id
+//! order**. Shard assignment mirrors `engine/pool.rs`'s geometry rule:
+//! a session's virtual shard is a pure function of its id
+//! (`sid % VSHARDS`), never of the thread count, and thread `t` owns
+//! the virtual shards with `vshard % io_threads == t`. Socket readiness
+//! order can therefore only affect *when* bytes surface, never how they
+//! are interpreted — frames are bit-identical to the single-thread
+//! sweep path at any `io_threads`, which the determinism proptests
+//! enforce against the sweep oracle.
+
+/// Virtual shard count: sessions hash to one of these, threads own
+/// `vshard % io_threads`. A pure function of the session id so the
+/// assignment never depends on how many I/O threads happen to run
+/// (`engine/pool.rs` convention).
+pub const VSHARDS: u32 = 64;
+
+/// Which transport engine drives the listener's sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Legacy single-thread per-socket sweep — kept selectable as the
+    /// bit-exactness oracle (the `use_generations: false` of the
+    /// transport layer).
+    Sweep,
+    /// Accept thread + N I/O shard threads driven by kernel readiness.
+    Readiness,
+}
+
+/// Which kernel readiness API the shards block in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoBackend {
+    /// `epoll(7)` — Linux.
+    Epoll,
+    /// Portable `poll(2)` fallback.
+    Poll,
+}
+
+/// Transport I/O configuration of a listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoConfig {
+    pub mode: IoMode,
+    /// Readiness backend (ignored in sweep mode).
+    pub backend: IoBackend,
+    /// I/O shard threads (ignored in sweep mode; clamped to ≥ 1).
+    pub threads: usize,
+}
+
+impl IoConfig {
+    /// The legacy sweep (oracle) mode.
+    pub fn sweep() -> IoConfig {
+        IoConfig {
+            mode: IoMode::Sweep,
+            backend: IoBackend::Poll,
+            threads: 1,
+        }
+    }
+
+    /// Readiness mode on the platform-default backend (`epoll` on
+    /// Linux, `poll` elsewhere).
+    pub fn readiness(threads: usize) -> IoConfig {
+        IoConfig {
+            mode: IoMode::Readiness,
+            backend: if cfg!(target_os = "linux") {
+                IoBackend::Epoll
+            } else {
+                IoBackend::Poll
+            },
+            threads: threads.max(1),
+        }
+    }
+
+    /// Readiness mode pinned to the portable `poll(2)` backend.
+    pub fn poll_fallback(threads: usize) -> IoConfig {
+        IoConfig {
+            backend: IoBackend::Poll,
+            ..IoConfig::readiness(threads)
+        }
+    }
+
+    /// The environment default, following the `SGL_THREADS` precedent
+    /// in `engine/exec.rs`: `SGL_IO_THREADS` unset or `1..` selects
+    /// readiness mode with that many shard threads (default 1);
+    /// `SGL_IO_THREADS=0` selects the legacy sweep.
+    /// `SGL_IO_BACKEND=poll` pins the fallback backend (`epoll` is the
+    /// Linux default). Non-Unix platforms always sweep — the shim is
+    /// Unix-only.
+    pub fn from_env() -> IoConfig {
+        if !cfg!(unix) {
+            return IoConfig::sweep();
+        }
+        let threads = std::env::var("SGL_IO_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok());
+        let mut io = match threads {
+            Some(0) => return IoConfig::sweep(),
+            Some(n) => IoConfig::readiness(n),
+            None => IoConfig::readiness(1),
+        };
+        if let Ok(backend) = std::env::var("SGL_IO_BACKEND") {
+            match backend.trim() {
+                "poll" => io.backend = IoBackend::Poll,
+                "epoll" => io.backend = IoBackend::Epoll,
+                "sweep" => return IoConfig::sweep(),
+                _ => {}
+            }
+        }
+        io
+    }
+}
+
+impl Default for IoConfig {
+    /// [`IoConfig::from_env`].
+    fn default() -> IoConfig {
+        IoConfig::from_env()
+    }
+}
+
+/// A snapshot of one I/O shard's published counters (cumulative since
+/// listener bind). Empty in sweep mode. The syscall counts come from
+/// the shim's instrumented per-thread hook — this is what lets tests
+/// assert an untouched shard did *zero* syscalls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoShardStats {
+    /// `epoll_wait`/`poll` syscalls the shard issued.
+    pub waits: u64,
+    /// Wait returns caused by the shard's waker.
+    pub wakeups: u64,
+    /// Waker nudges that found no commands and no socket readiness
+    /// (the wake raced a wait return that already drained the work).
+    pub wakeups_spurious: u64,
+    /// Socket `read(2)` syscalls.
+    pub reads: u64,
+    /// Socket `write(2)` syscalls.
+    pub writes: u64,
+    /// Outbound bytes currently queued across the shard's sessions.
+    pub backlog_bytes: u64,
+    /// Sockets the shard currently owns.
+    pub sessions: u64,
+}
+
+#[cfg(unix)]
+pub(crate) use imp::*;
+
+#[cfg(unix)]
+mod imp {
+    use super::{IoBackend, IoShardStats, VSHARDS};
+    use std::collections::VecDeque;
+    use std::io::ErrorKind;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::thread::JoinHandle;
+    use std::time::Duration;
+
+    use epoll::shim::{self, Backend, Interest, Ready, Selector, Waker};
+    use sgl_storage::{FxHashMap, FxHashSet};
+
+    /// Selector token reserved for the waker pipe.
+    const WAKE_TOKEN: u64 = u64::MAX;
+
+    /// Soft cap on bytes a shard will hold in its inbox per session
+    /// before pausing reads (the main thread absorbs the inbox every
+    /// drain; pausing extends TCP backpressure through the shard so a
+    /// flooding client cannot pin unbounded memory between ticks).
+    pub(crate) const INBOUND_SOFT_CAP: usize = 256 * 1024;
+
+    fn backend_of(b: IoBackend) -> Backend {
+        match b {
+            IoBackend::Epoll => Backend::Epoll,
+            IoBackend::Poll => Backend::Poll,
+        }
+    }
+
+    /// The I/O thread that owns session id `sid` when `threads` shard
+    /// threads run. Pure in `sid` and `threads`; never consults load.
+    pub(crate) fn owner_of(sid: u32, threads: usize) -> usize {
+        ((sid % VSHARDS) as usize) % threads.max(1)
+    }
+
+    /// Main → shard commands (FIFO per shard; per-session byte order
+    /// on the wire follows command order).
+    pub(crate) enum Cmd {
+        /// Adopt a freshly handshaken socket and write its greeting
+        /// (the queued `WELCOME`).
+        Register {
+            sid: u32,
+            stream: TcpStream,
+            greeting: Vec<u8>,
+        },
+        /// Queue outbound bytes (frames, acks, stats replies).
+        Send { sid: u32, bytes: Vec<u8> },
+        /// Best-effort notice write, then shutdown and drop the socket.
+        Disconnect { sid: u32, notice: Vec<u8> },
+        /// Retry this shard's backlogged sockets.
+        Flush,
+        /// Drop all sockets and exit the thread.
+        Shutdown,
+    }
+
+    /// Shard → main per-session report, absorbed by the main thread at
+    /// every drain (bytes append to the session's `MsgReader`; flags
+    /// latch into its connection state).
+    #[derive(Default)]
+    pub(crate) struct SessionIn {
+        pub bytes: Vec<u8>,
+        /// Peer closed its write side (`read` returned 0).
+        pub eof: bool,
+        /// A socket error surfaced while reading or writing.
+        pub err: bool,
+        /// The shard disconnected the session for send-queue overflow
+        /// (socket already closed, notice already attempted).
+        pub overflow: bool,
+    }
+
+    pub(crate) type Inbox = FxHashMap<u32, SessionIn>;
+
+    /// Counters a shard publishes after every loop turn (cumulative).
+    #[derive(Default)]
+    pub(crate) struct ShardCounters {
+        pub waits: AtomicU64,
+        pub wakeups: AtomicU64,
+        pub wakeups_spurious: AtomicU64,
+        pub reads: AtomicU64,
+        pub writes: AtomicU64,
+        pub backlog: AtomicU64,
+        pub sessions: AtomicU64,
+    }
+
+    impl ShardCounters {
+        pub fn snapshot(&self) -> IoShardStats {
+            IoShardStats {
+                waits: self.waits.load(Ordering::Relaxed),
+                wakeups: self.wakeups.load(Ordering::Relaxed),
+                wakeups_spurious: self.wakeups_spurious.load(Ordering::Relaxed),
+                reads: self.reads.load(Ordering::Relaxed),
+                writes: self.writes.load(Ordering::Relaxed),
+                backlog_bytes: self.backlog.load(Ordering::Relaxed),
+                sessions: self.sessions.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Main-thread handle to one I/O shard.
+    pub(crate) struct ShardHandle {
+        pub cmds: Arc<Mutex<VecDeque<Cmd>>>,
+        pub inbox: Arc<Mutex<Inbox>>,
+        pub waker: Arc<Waker>,
+        pub counters: Arc<ShardCounters>,
+        join: Option<JoinHandle<()>>,
+    }
+
+    impl ShardHandle {
+        pub fn spawn(
+            index: usize,
+            backend: IoBackend,
+            max_queued: usize,
+            overflow_notice: Vec<u8>,
+        ) -> std::io::Result<ShardHandle> {
+            // Selector + waker are created on the caller so bind-time
+            // failures (e.g. epoll unsupported) surface as bind errors.
+            let mut selector = Selector::new(backend_of(backend))?;
+            let waker = Arc::new(Waker::new()?);
+            selector.register(waker.fd(), WAKE_TOKEN, Interest::READ)?;
+            let cmds: Arc<Mutex<VecDeque<Cmd>>> = Arc::default();
+            let inbox: Arc<Mutex<Inbox>> = Arc::default();
+            let counters: Arc<ShardCounters> = Arc::default();
+            let thread = ShardThread {
+                selector,
+                waker: waker.clone(),
+                cmds: cmds.clone(),
+                inbox: inbox.clone(),
+                counters: counters.clone(),
+                max_queued,
+                overflow_notice,
+                conns: FxHashMap::default(),
+                paused: FxHashSet::default(),
+                wakeups: 0,
+                wakeups_spurious: 0,
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("sgl-io-{index}"))
+                .spawn(move || thread.run())?;
+            Ok(ShardHandle {
+                cmds,
+                inbox,
+                waker,
+                counters,
+                join: Some(join),
+            })
+        }
+
+        /// Queue commands and nudge the shard once.
+        pub fn send(&self, batch: impl IntoIterator<Item = Cmd>) {
+            let mut q = self.cmds.lock().unwrap();
+            q.extend(batch);
+            drop(q);
+            self.waker.wake();
+        }
+    }
+
+    impl Drop for ShardHandle {
+        fn drop(&mut self) {
+            self.send([Cmd::Shutdown]);
+            if let Some(join) = self.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+
+    /// One session socket, shard side. Only bytes live here — all
+    /// protocol interpretation happens on the main thread.
+    struct ShardConn {
+        stream: TcpStream,
+        fd: RawFd,
+        /// Outbound bytes the kernel has not accepted yet.
+        wr: Vec<u8>,
+        /// Write interest currently armed (level-triggered: armed only
+        /// while `wr` is non-empty).
+        want_write: bool,
+        /// Read side retired (EOF or error already reported).
+        done_reading: bool,
+    }
+
+    struct ShardThread {
+        selector: Selector,
+        waker: Arc<Waker>,
+        cmds: Arc<Mutex<VecDeque<Cmd>>>,
+        inbox: Arc<Mutex<Inbox>>,
+        counters: Arc<ShardCounters>,
+        max_queued: usize,
+        overflow_notice: Vec<u8>,
+        conns: FxHashMap<u32, ShardConn>,
+        /// Sessions whose reads are paused on the inbox soft cap.
+        paused: FxHashSet<u32>,
+        wakeups: u64,
+        wakeups_spurious: u64,
+    }
+
+    impl ShardThread {
+        fn run(mut self) {
+            let mut ready: Vec<Ready> = Vec::new();
+            loop {
+                self.publish();
+                if self.selector.wait(-1, &mut ready).is_err() {
+                    // EINTR is retried inside the shim; anything else
+                    // is fatal for the shard (sockets close on drop).
+                    self.publish();
+                    return;
+                }
+                let mut woke = false;
+                let mut io_events = 0usize;
+                for &ev in &ready {
+                    if ev.token == WAKE_TOKEN {
+                        self.waker.drain();
+                        woke = true;
+                        self.wakeups += 1;
+                    } else {
+                        io_events += 1;
+                        self.handle_io(ev);
+                    }
+                }
+                let did_cmds = match self.drain_cmds() {
+                    Ok(n) => n,
+                    Err(()) => {
+                        self.publish();
+                        return; // Shutdown
+                    }
+                };
+                if woke && did_cmds == 0 && io_events == 0 {
+                    self.wakeups_spurious += 1;
+                }
+                self.resume_paused();
+            }
+        }
+
+        fn publish(&self) {
+            let s = shim::stats::snapshot();
+            let c = &self.counters;
+            c.waits.store(s.waits, Ordering::Relaxed);
+            c.reads.store(s.reads, Ordering::Relaxed);
+            c.writes.store(s.writes, Ordering::Relaxed);
+            c.wakeups.store(self.wakeups, Ordering::Relaxed);
+            c.wakeups_spurious
+                .store(self.wakeups_spurious, Ordering::Relaxed);
+            c.backlog.store(
+                self.conns.values().map(|c| c.wr.len() as u64).sum(),
+                Ordering::Relaxed,
+            );
+            c.sessions.store(self.conns.len() as u64, Ordering::Relaxed);
+        }
+
+        /// Returns how many commands ran, or `Err(())` on `Shutdown`.
+        fn drain_cmds(&mut self) -> Result<usize, ()> {
+            let mut did = 0;
+            loop {
+                let cmd = self.cmds.lock().unwrap().pop_front();
+                let Some(cmd) = cmd else { return Ok(did) };
+                did += 1;
+                match cmd {
+                    Cmd::Register {
+                        sid,
+                        stream,
+                        greeting,
+                    } => self.register(sid, stream, greeting),
+                    Cmd::Send { sid, bytes } => {
+                        if let Some(conn) = self.conns.get_mut(&sid) {
+                            conn.wr.extend_from_slice(&bytes);
+                            self.flush_conn(sid);
+                        }
+                    }
+                    Cmd::Disconnect { sid, notice } => self.close_conn(sid, Some(&notice)),
+                    Cmd::Flush => {
+                        let backlogged: Vec<u32> = self
+                            .conns
+                            .iter()
+                            .filter(|(_, c)| !c.wr.is_empty())
+                            .map(|(&sid, _)| sid)
+                            .collect();
+                        for sid in backlogged {
+                            self.flush_conn(sid);
+                        }
+                    }
+                    Cmd::Shutdown => return Err(()),
+                }
+            }
+        }
+
+        fn register(&mut self, sid: u32, stream: TcpStream, greeting: Vec<u8>) {
+            let fd = stream.as_raw_fd();
+            if self
+                .selector
+                .register(fd, sid as u64, Interest::READ)
+                .is_err()
+            {
+                self.inbox.lock().unwrap().entry(sid).or_default().err = true;
+                return;
+            }
+            self.conns.insert(
+                sid,
+                ShardConn {
+                    stream,
+                    fd,
+                    wr: greeting,
+                    want_write: false,
+                    done_reading: false,
+                },
+            );
+            self.flush_conn(sid);
+        }
+
+        fn handle_io(&mut self, ev: Ready) {
+            let sid = ev.token as u32;
+            if !self.conns.contains_key(&sid) {
+                return;
+            }
+            if ev.writable {
+                self.flush_conn(sid);
+            }
+            if ev.readable || ev.hangup {
+                self.read_conn(sid);
+            }
+        }
+
+        /// Read whatever the kernel has, up to the inbox soft cap.
+        fn read_conn(&mut self, sid: u32) {
+            let Some(conn) = self.conns.get_mut(&sid) else {
+                return;
+            };
+            if conn.done_reading || self.paused.contains(&sid) {
+                return;
+            }
+            let fd = conn.fd;
+            let mut chunk = [0u8; 8192];
+            loop {
+                match shim::read_fd(fd, &mut chunk) {
+                    Ok(0) => {
+                        self.inbox.lock().unwrap().entry(sid).or_default().eof = true;
+                        self.retire_read(sid);
+                        return;
+                    }
+                    Ok(n) => {
+                        let mut inbox = self.inbox.lock().unwrap();
+                        let entry = inbox.entry(sid).or_default();
+                        entry.bytes.extend_from_slice(&chunk[..n]);
+                        let pending = entry.bytes.len();
+                        drop(inbox);
+                        if pending >= INBOUND_SOFT_CAP {
+                            self.pause_read(sid);
+                            return;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.inbox.lock().unwrap().entry(sid).or_default().err = true;
+                        self.retire_read(sid);
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Write as much backlog as the kernel takes; manage write
+        /// interest and the overflow cap.
+        fn flush_conn(&mut self, sid: u32) {
+            let Some(conn) = self.conns.get_mut(&sid) else {
+                return;
+            };
+            let mut off = 0;
+            let mut broken = false;
+            while off < conn.wr.len() {
+                match shim::write_fd(conn.fd, &conn.wr[off..]) {
+                    Ok(0) => break,
+                    Ok(n) => off += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                }
+            }
+            conn.wr.drain(..off);
+            if broken {
+                // Surface like the sweep does: the error shows up as a
+                // failed session read on the next drain.
+                self.inbox.lock().unwrap().entry(sid).or_default().err = true;
+                self.retire_read(sid);
+                let Some(conn) = self.conns.get_mut(&sid) else {
+                    return;
+                };
+                conn.wr.clear();
+                return;
+            }
+            if conn.wr.len() > self.max_queued {
+                // Backpressure overflow: the client stopped reading.
+                // Close here (the notice is best-effort, like the
+                // sweep's) and report; the main thread detaches the
+                // replication session at its next absorb.
+                let notice = std::mem::take(&mut self.overflow_notice);
+                self.close_conn(sid, Some(&notice));
+                self.overflow_notice = notice;
+                self.inbox.lock().unwrap().entry(sid).or_default().overflow = true;
+                return;
+            }
+            let want = !conn.wr.is_empty();
+            if want != conn.want_write {
+                conn.want_write = want;
+                let read = !conn.done_reading && !self.paused.contains(&sid);
+                let interest = Interest {
+                    readable: read,
+                    writable: want,
+                };
+                let _ = self.selector.rearm(conn.fd, sid as u64, interest);
+            }
+        }
+
+        fn pause_read(&mut self, sid: u32) {
+            if let Some(conn) = self.conns.get(&sid) {
+                self.paused.insert(sid);
+                let _ = self.selector.rearm(
+                    conn.fd,
+                    sid as u64,
+                    Interest {
+                        readable: false,
+                        writable: conn.want_write,
+                    },
+                );
+            }
+        }
+
+        /// Re-arm reads for paused sessions whose inbox the main thread
+        /// has absorbed (runs every loop turn; the pump's wake is the
+        /// latest it can trigger, so the pause lasts at most a tick).
+        fn resume_paused(&mut self) {
+            if self.paused.is_empty() {
+                return;
+            }
+            let inbox = self.inbox.lock().unwrap();
+            let resumable: Vec<u32> = self
+                .paused
+                .iter()
+                .copied()
+                .filter(|sid| {
+                    inbox
+                        .get(sid)
+                        .map(|e| e.bytes.len() < INBOUND_SOFT_CAP)
+                        .unwrap_or(true)
+                })
+                .collect();
+            drop(inbox);
+            for sid in resumable {
+                self.paused.remove(&sid);
+                if let Some(conn) = self.conns.get(&sid) {
+                    if !conn.done_reading {
+                        let _ = self.selector.rearm(
+                            conn.fd,
+                            sid as u64,
+                            Interest {
+                                readable: true,
+                                writable: conn.want_write,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Stop reading a session (EOF/error reported) but keep the
+        /// socket until the main thread decides to disconnect.
+        fn retire_read(&mut self, sid: u32) {
+            self.paused.remove(&sid);
+            if let Some(conn) = self.conns.get_mut(&sid) {
+                if !conn.done_reading {
+                    conn.done_reading = true;
+                    let _ = self.selector.rearm(
+                        conn.fd,
+                        sid as u64,
+                        Interest {
+                            readable: false,
+                            writable: conn.want_write,
+                        },
+                    );
+                }
+            }
+        }
+
+        fn close_conn(&mut self, sid: u32, notice: Option<&[u8]>) {
+            self.paused.remove(&sid);
+            if let Some(conn) = self.conns.remove(&sid) {
+                if let Some(notice) = notice {
+                    let _ = shim::write_fd(conn.fd, notice);
+                }
+                let _ = self.selector.deregister(conn.fd);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    impl Drop for ShardThread {
+        fn drop(&mut self) {
+            let sids: Vec<u32> = self.conns.keys().copied().collect();
+            for sid in sids {
+                self.close_conn(sid, None);
+            }
+        }
+    }
+
+    /// The accept thread: blocks on the listening socket, queues raw
+    /// connections for the main thread's `accept_pending` (which still
+    /// runs every handshake itself). The queue is capped at the
+    /// listener's `max_pending` — a pre-handshake flood is shed here,
+    /// exactly like the sweep's accept loop.
+    pub(crate) struct AcceptThread {
+        pub queue: Arc<Mutex<VecDeque<TcpStream>>>,
+        waker: Arc<Waker>,
+        stop: Arc<AtomicBool>,
+        join: Option<JoinHandle<()>>,
+    }
+
+    impl AcceptThread {
+        pub fn spawn(
+            listener: TcpListener,
+            backend: IoBackend,
+            cap: usize,
+        ) -> std::io::Result<AcceptThread> {
+            let mut selector = Selector::new(backend_of(backend))?;
+            let waker = Arc::new(Waker::new()?);
+            selector.register(waker.fd(), WAKE_TOKEN, Interest::READ)?;
+            selector.register(listener.as_raw_fd(), 0, Interest::READ)?;
+            let queue: Arc<Mutex<VecDeque<TcpStream>>> = Arc::default();
+            let stop = Arc::new(AtomicBool::new(false));
+            let (q, w, s) = (queue.clone(), waker.clone(), stop.clone());
+            let join = std::thread::Builder::new()
+                .name("sgl-io-accept".into())
+                .spawn(move || {
+                    let mut ready = Vec::new();
+                    loop {
+                        if selector.wait(-1, &mut ready).is_err() {
+                            return;
+                        }
+                        if s.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        w.drain();
+                        loop {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    if stream.set_nonblocking(true).is_err() {
+                                        continue;
+                                    }
+                                    let _ = stream.set_nodelay(true);
+                                    let mut q = q.lock().unwrap();
+                                    if q.len() < cap {
+                                        q.push_back(stream);
+                                    }
+                                    // else: flood — close instead of queueing.
+                                }
+                                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                                // Transient accept failures (EMFILE &c):
+                                // back off instead of spinning on a
+                                // level-triggered listener.
+                                Err(_) => {
+                                    std::thread::sleep(Duration::from_millis(5));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })?;
+            Ok(AcceptThread {
+                queue,
+                waker,
+                stop,
+                join: Some(join),
+            })
+        }
+    }
+
+    impl Drop for AcceptThread {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::Relaxed);
+            self.waker.wake();
+            if let Some(join) = self.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_pure_in_sid_and_thread_count() {
+        #[cfg(unix)]
+        {
+            // Same sid → same owner for a fixed thread count, and the
+            // owner never exceeds the thread count.
+            for threads in [1usize, 2, 3, 4, 7] {
+                for sid in 0..200u32 {
+                    let a = owner_of(sid, threads);
+                    let b = owner_of(sid, threads);
+                    assert_eq!(a, b);
+                    assert!(a < threads);
+                }
+            }
+            // The virtual shard (sid % VSHARDS) is the only input: two
+            // sids in the same vshard land on the same thread always.
+            for threads in [1usize, 2, 4] {
+                for sid in 0..VSHARDS {
+                    assert_eq!(owner_of(sid, threads), owner_of(sid + VSHARDS, threads));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn env_config_parses_modes() {
+        // Constructors, not the env (tests must not mutate process env).
+        assert_eq!(IoConfig::sweep().mode, IoMode::Sweep);
+        let r = IoConfig::readiness(4);
+        assert_eq!(r.mode, IoMode::Readiness);
+        assert_eq!(r.threads, 4);
+        assert_eq!(IoConfig::readiness(0).threads, 1);
+        assert_eq!(IoConfig::poll_fallback(2).backend, IoBackend::Poll);
+        #[cfg(target_os = "linux")]
+        assert_eq!(IoConfig::readiness(1).backend, IoBackend::Epoll);
+    }
+}

@@ -84,6 +84,22 @@ pub struct NetStats {
     /// Sessions disconnected this tick (protocol violations, corrupt
     /// frames, send-queue overflow, or hangups).
     pub disconnects: u64,
+    /// I/O shard threads serving the transport (0 in sweep mode — the
+    /// readiness-vs-sweep discriminant in a stats dump).
+    pub io_shards: usize,
+    /// Readiness waits (`epoll_wait`/`poll` syscalls) the shards issued
+    /// since the previous pump. A mostly-idle node shows this staying
+    /// near `io_shards` per tick while `sessions` grows — the
+    /// linear-sweep cost the readiness loop deleted.
+    pub epoll_waits: u64,
+    /// Shard wakeups that found no commands and no socket events since
+    /// the previous pump (pipe self-wakes that raced with work already
+    /// done). Persistent growth means wake batching is broken.
+    pub wakeups_spurious: u64,
+    /// Empty delta frames skipped at the transport this tick
+    /// ([`ListenerConfig::elide_empty_frames`](crate::ListenerConfig);
+    /// always 0 with the protocol-default frame-per-tick contract).
+    pub frames_elided: u64,
 }
 
 impl NetStats {
@@ -114,6 +130,16 @@ impl NetStats {
         reg.counter_add("net.disconnects", self.disconnects);
         reg.gauge_set("net.sessions", self.sessions as f64);
         reg.observe("net.backlog_bytes", self.backlog_bytes);
+        // Readiness-transport plane: absent from sweep-mode dumps so the
+        // oracle's registry output stays byte-stable.
+        if self.io_shards > 0 {
+            reg.gauge_set("net.io_shards", self.io_shards as f64);
+            reg.counter_add("net.io_shard.epoll_waits", self.epoll_waits);
+            reg.counter_add("net.io_shard.wakeups_spurious", self.wakeups_spurious);
+        }
+        if self.frames_elided > 0 {
+            reg.counter_add("net.frames_elided", self.frames_elided);
+        }
     }
 }
 

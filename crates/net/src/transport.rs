@@ -130,6 +130,18 @@ impl MsgReader {
         self.max_msg = max_msg;
     }
 
+    /// Append bytes read elsewhere (an I/O shard's inbox) to the
+    /// decode buffer — the readiness-mode counterpart of
+    /// [`MsgReader::fill`].
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into messages.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Pull everything currently readable from a non-blocking stream.
     /// Returns `true` if the peer closed the connection (EOF).
     pub fn fill(&mut self, stream: &mut TcpStream) -> Result<bool, NetError> {

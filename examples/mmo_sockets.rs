@@ -5,27 +5,31 @@
 //! frame back.
 //!
 //! ```sh
-//! cargo run -p sgl-examples --release --bin mmo_sockets [players] [ticks]
+//! cargo run -p sgl-examples --release --bin mmo_sockets [players] [ticks] [clients]
 //! ```
 //!
-//! The world is the `mmo_shard` overworld. Four spectator clients each
-//! run on their own thread against a loopback `NetListener`; one of
-//! them also plays: it spawns a stationary pet via a `spawn` intent,
-//! nudges its hp every few frames via `set` intents, and despawns it
-//! near the end. The binary verifies, on a 1-node and a 4-node
-//! cluster, that after every one of ≥ 100 ticks each client's replica
-//! equals the authoritative subscribed region value for value, that
-//! every intent was validated and applied, and reports the wire
-//! traffic in both directions. The playing client also interrogates
-//! the live listener with a `MSG_STATS` request mid-run and the reply
-//! (the `net.*` metrics dump) is asserted on.
+//! The world is the `mmo_shard` overworld. Four full clients each run
+//! on their own thread against a loopback `NetListener`; one of them
+//! also plays: it spawns a stationary pet via a `spawn` intent, nudges
+//! its hp every few frames via `set` intents, and despawns it near the
+//! end. When `clients > 4` the remaining sessions are spectators that
+//! subscribe the same four windows cyclically, decode every frame, and
+//! keep only their latest mirror — the CI soak runs 256 of them to
+//! exercise the sharded readiness transport under a real connection
+//! storm. The binary verifies, on a 1-node and a 4-node cluster, that
+//! after every one of ≥ 100 ticks each client's replica equals the
+//! authoritative subscribed region value for value, that every intent
+//! was validated and applied, and reports the wire traffic in both
+//! directions. The playing client also interrogates the live listener
+//! with a `MSG_STATS` request mid-run and the reply (the `net.*`
+//! metrics dump) is asserted on.
 
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use sgl::{ClassId, EntityId, InterestSpec, Simulation, Value};
 use sgl_dist::{DistConfig, DistSim};
-use sgl_net::{ClientEvent, Intent, NetClient, NetListener};
+use sgl_net::{ClientEvent, Intent, ListenerConfig, NetClient, NetListener};
 use sgl_storage::FxHashMap;
 
 use sgl_examples::MMO_WORLD as WORLD;
@@ -136,6 +140,42 @@ fn client_thread(
     tx.send(run).expect("main thread collects");
 }
 
+/// What a spectator thread hands back: it decodes every frame but
+/// keeps only the newest mirror, so a 256-session storm stays cheap.
+struct SpectatorRun {
+    session: u32,
+    frames: u64,
+    last: Option<Snapshot>,
+}
+
+/// The spectator thread: receive until the server hangs up, retaining
+/// only the latest decoded snapshot.
+fn spectator_thread(
+    addr: std::net::SocketAddr,
+    catalog: sgl::Catalog,
+    spec: InterestSpec,
+    class: ClassId,
+    tx: mpsc::Sender<SpectatorRun>,
+) {
+    let mut client = NetClient::connect(addr, catalog, &spec).expect("spectator handshake");
+    let mut run = SpectatorRun {
+        session: client.session().0,
+        frames: 0,
+        last: None,
+    };
+    loop {
+        match client.recv() {
+            Ok(ClientEvent::Frame(_)) => {
+                run.frames += 1;
+                run.last = Some((client.tick(), mirror_of(&client, class)));
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    tx.send(run).expect("main thread collects spectators");
+}
+
 struct RunReport {
     frames: u64,
     delta_bytes: u64,
@@ -147,7 +187,7 @@ struct RunReport {
     stats_lines: u64,
 }
 
-fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
+fn run(players: usize, ticks: usize, shards: usize, span: f64, clients: usize) -> RunReport {
     let game = Simulation::builder()
         .source(WORLD)
         .build()
@@ -180,13 +220,22 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
 
     let catalog = cluster.game().catalog.clone();
     let class = catalog.class_by_name("Player").unwrap().id;
-    let mut listener = NetListener::bind("127.0.0.1:0", catalog.clone()).expect("bind loopback");
+    let mut listener = NetListener::bind_with_config(
+        "127.0.0.1:0",
+        catalog.clone(),
+        ListenerConfig {
+            max_pending: clients + 64,
+            ..ListenerConfig::default()
+        },
+    )
+    .expect("bind loopback");
     let addr = listener.local_addr().unwrap();
 
     // Four windows, all containing the pet at x = span/2; the second
     // straddles the 2-stripe seam on the 4-node run.
     let windows = [(0.05, 0.60), (0.40, 0.60), (0.15, 0.95), (0.00, 1.00)];
     let (tx, rx) = mpsc::channel();
+    let (spec_tx, spec_rx) = mpsc::channel();
     let mut handles = Vec::new();
     for (i, (a, b)) in windows.iter().enumerate() {
         let spec = InterestSpec::classes(&["Player"], "x", a * span, b * span);
@@ -198,14 +247,45 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
         }));
     }
     drop(tx);
+    // Spectators cycle through the same four windows; connecting them
+    // all at once is the connection storm the sharded transport must
+    // absorb (`max_pending` above is sized for it).
+    for i in 0..clients.saturating_sub(windows.len()) {
+        let (a, b) = windows[i % windows.len()];
+        let spec = InterestSpec::classes(&["Player"], "x", a * span, b * span);
+        let catalog = catalog.clone();
+        let tx = spec_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            spectator_thread(addr, catalog, spec, class, tx)
+        }));
+    }
+    drop(spec_tx);
 
     // Wait until every client handshook, then run the tick loop.
     let deadline = Instant::now() + Duration::from_secs(30);
-    while listener.session_count() < windows.len() {
+    while listener.session_count() < clients {
         listener.accept_pending().expect("accept");
         assert!(Instant::now() < deadline, "clients failed to connect");
         std::thread::sleep(Duration::from_millis(1));
     }
+
+    // Every session's interest is one of the four windows; resolve
+    // which, so authoritative regions are computed once per (window,
+    // tick) instead of per session.
+    let window_of: FxHashMap<u32, usize> = listener
+        .sessions()
+        .iter()
+        .map(|&sid| {
+            let spec = listener.session_interest(sid).unwrap();
+            let w = windows
+                .iter()
+                .position(|(a, b)| {
+                    (a * span - spec.lo).abs() < 1e-9 && (b * span - spec.hi).abs() < 1e-9
+                })
+                .expect("session interest matches a window");
+            (sid.0, w)
+        })
+        .collect();
 
     let mut report = RunReport {
         frames: 0,
@@ -216,8 +296,8 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
         checks: 0,
         stats_lines: 0,
     };
-    // Per (session, tick): the authoritative region the frame captured.
-    let mut expected: FxHashMap<(u32, u64), Region> = FxHashMap::default();
+    // Per (window, tick): the authoritative region the frame captured.
+    let mut expected: FxHashMap<(usize, u64), Region> = FxHashMap::default();
     // Intents travel on a real wire, so the loop runs `ticks` ticks and
     // then up to a bounded grace until the pet's despawn has landed
     // (the playing client sends it after its 60th frame; its arrival
@@ -236,16 +316,16 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
         report.inputs_applied += stats.inputs_applied;
         report.inputs_rejected += stats.inputs_rejected;
         let tick = cluster.node_world(0).tick();
-        for sid in listener.sessions() {
-            let spec = listener.session_interest(sid).unwrap();
+        for (w, (a, b)) in windows.iter().enumerate() {
+            let (lo, hi) = (a * span, b * span);
             let mut rows = Vec::new();
             for k in 0..shards {
                 let world = cluster.node_world(k);
                 let table = world.table(class);
-                let col = table.schema().index_of(&spec.attr).unwrap();
+                let col = table.schema().index_of("x").unwrap();
                 let xs = table.column(col).f64();
                 for (row, &id) in table.ids().iter().enumerate() {
-                    if spec.contains(xs[row]) && !world.is_ghost(class, id) {
+                    if (lo..=hi).contains(&xs[row]) && !world.is_ghost(class, id) {
                         let values = (0..table.schema().len())
                             .map(|ci| table.column(ci).get(row))
                             .collect();
@@ -254,7 +334,7 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
                 }
             }
             rows.sort_unstable_by_key(|(id, _)| *id);
-            expected.insert((sid.0, tick), rows);
+            expected.insert((w, tick), rows);
         }
         // Give client threads breathing room so frames interleave with
         // real concurrency rather than pure batching.
@@ -280,10 +360,19 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
     while let Ok(r) = rx.recv() {
         runs.push(r);
     }
+    let mut spectators: Vec<SpectatorRun> = Vec::new();
+    while let Ok(r) = spec_rx.recv() {
+        spectators.push(r);
+    }
     for h in handles {
         h.join().expect("client thread");
     }
     assert_eq!(runs.len(), windows.len(), "every client reported back");
+    assert_eq!(
+        spectators.len(),
+        clients - windows.len(),
+        "every spectator reported back"
+    );
 
     let mut pet_despawned = false;
     for r in &runs {
@@ -293,9 +382,10 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
             r.session,
             r.snapshots.len()
         );
+        let w = window_of[&r.session];
         for (tick, mirror) in &r.snapshots {
             let want = expected
-                .get(&(r.session, *tick))
+                .get(&(w, *tick))
                 .unwrap_or_else(|| panic!("no authoritative region for tick {tick}"));
             assert_eq!(
                 mirror, want,
@@ -307,6 +397,26 @@ fn run(players: usize, ticks: usize, shards: usize, span: f64) -> RunReport {
         if let Some(id) = r.pet {
             pet_despawned = cluster.class_of(id).is_none();
         }
+    }
+    // Spectators kept only their newest mirror; it must still be
+    // value-identical to the authoritative region at that tick.
+    for s in &spectators {
+        assert!(
+            s.frames >= 100,
+            "spectator {} decoded only {} frames",
+            s.session,
+            s.frames
+        );
+        let (tick, mirror) = s.last.as_ref().expect("spectator saw at least one frame");
+        let want = expected
+            .get(&(window_of[&s.session], *tick))
+            .unwrap_or_else(|| panic!("no authoritative region for spectator tick {tick}"));
+        assert_eq!(
+            mirror, want,
+            "spectator {} diverged from the server at tick {tick}",
+            s.session
+        );
+        report.checks += mirror.len() as u64;
     }
     assert!(report.inputs_applied > 10, "intent stream was applied");
     assert_eq!(report.inputs_rejected, 0, "all intents were valid");
@@ -329,10 +439,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let players: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(600);
     let ticks: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     assert!(ticks >= 100, "the identity check must cover ≥ 100 ticks");
+    assert!(clients >= 4, "the four full clients always run");
     let span = (players as f64 * 50.0).sqrt().max(200.0) * 4.0;
 
-    println!("{players} players, {ticks} ticks, 4 TCP clients over loopback\n");
+    println!("{players} players, {ticks} ticks, {clients} TCP clients over loopback\n");
     println!(
         "| cluster | frames | delta KB | input msgs | applied | rejected | checks | stats lines |"
     );
@@ -340,7 +452,7 @@ fn main() {
         "|---------|--------|----------|------------|---------|----------|--------|-------------|"
     );
     for shards in [1usize, 4] {
-        let r = run(players, ticks, shards, span);
+        let r = run(players, ticks, shards, span, clients);
         println!(
             "| {shards} node{} | {} | {:.1} | {} | {} | {} | {} | {} |",
             if shards == 1 { " " } else { "s" },

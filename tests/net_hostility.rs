@@ -1,0 +1,429 @@
+//! Hostile-network harness for the readiness transport: peers that
+//! stall mid-frame, vanish without FIN, storm the accept loop, or stop
+//! reading entirely. Every scenario runs on 1-node and 4-node clusters
+//! and over both readiness backends (epoll and the poll(2) fallback),
+//! and always asserts the blast radius is exactly the offender: every
+//! surviving client's replica stays value-identical to the server's
+//! subscribed region.
+#![cfg(unix)]
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use sgl::{ClassId, ClientReplica, EntityId, InterestSpec, Simulation, Value};
+use sgl_dist::{DistConfig, DistSim};
+use sgl_net::transport::{
+    frame_msg, hello_payload, read_msg, write_msg, MSG_ERROR, MSG_HELLO, PROTOCOL_VERSION,
+};
+use sgl_net::{IoConfig, ListenerConfig, NetClient, NetListener, ReplicationSource};
+
+const GAME: &str = r#"
+class Unit {
+state:
+  number x = 0;
+  number dx = 0;
+  number hp = 10;
+update:
+  x = x + dx;
+}
+"#;
+
+/// The (cluster size, I/O config) matrix every scenario runs over.
+fn matrix() -> Vec<(usize, IoConfig)> {
+    let mut m = Vec::new();
+    for shards in [1usize, 4] {
+        m.push((shards, IoConfig::readiness(2)));
+        m.push((shards, IoConfig::poll_fallback(2)));
+    }
+    m
+}
+
+struct Cluster {
+    sim: DistSim,
+    listener: NetListener,
+    ids: Vec<EntityId>,
+    class: ClassId,
+}
+
+/// A `rows`-entity cluster (x spread over [0, 200), dx = 0 so regions
+/// are stable) behind a listener in the given I/O mode.
+fn cluster(shards: usize, io: IoConfig, rows: usize, max_queued: usize) -> Cluster {
+    let game = Simulation::builder()
+        .source(GAME)
+        .build()
+        .unwrap()
+        .game()
+        .clone();
+    let mut sim = DistSim::new(game, DistConfig::new(shards, "x", (0.0, 200.0), 8.0)).unwrap();
+    let mut ids = Vec::new();
+    for i in 0..rows {
+        ids.push(
+            sim.spawn("Unit", &[("x", Value::Number((i % 200) as f64 + 0.5))])
+                .unwrap(),
+        );
+    }
+    let catalog = sim.game().catalog.clone();
+    let class = catalog.class_by_name("Unit").unwrap().id;
+    let cfg = ListenerConfig {
+        io,
+        max_queued,
+        ..ListenerConfig::default()
+    };
+    let listener = NetListener::bind_with_config("127.0.0.1:0", catalog, cfg).unwrap();
+    Cluster {
+        sim,
+        listener,
+        ids,
+        class,
+    }
+}
+
+/// Touch every row's hp so each tick ships a fat delta frame.
+fn churn(sim: &mut DistSim, ids: &[EntityId], round: usize) {
+    for (i, &id) in ids.iter().enumerate() {
+        sim.set(id, "hp", &Value::Number((round * 1000 + i) as f64))
+            .unwrap();
+    }
+}
+
+/// The authoritative subscribed region of `class` on any source.
+fn region<S: ReplicationSource>(
+    src: &S,
+    class: ClassId,
+    spec: &InterestSpec,
+) -> Vec<(EntityId, Vec<Value>)> {
+    let mut rows = Vec::new();
+    for k in 0..src.shards() {
+        let world = src.shard_world(k);
+        let table = world.table(class);
+        let col = table.schema().index_of(&spec.attr).unwrap();
+        let xs = table.column(col).f64();
+        for (row, &id) in table.ids().iter().enumerate() {
+            if spec.contains(xs[row]) && !world.is_ghost(class, id) {
+                let values = (0..table.schema().len())
+                    .map(|ci| table.column(ci).get(row))
+                    .collect();
+                rows.push((id, values));
+            }
+        }
+    }
+    rows.sort_unstable_by_key(|(id, _)| *id);
+    rows
+}
+
+fn assert_identical<S: ReplicationSource>(
+    replica: &ClientReplica,
+    src: &S,
+    class: ClassId,
+    spec: &InterestSpec,
+    ctx: &str,
+) {
+    let expected = region(src, class, spec);
+    assert_eq!(
+        replica.population(),
+        expected.len(),
+        "population diverged ({ctx})"
+    );
+    for (id, values) in &expected {
+        assert_eq!(
+            replica.row(class, *id),
+            Some(values.as_slice()),
+            "mirror of {id:?} diverged ({ctx})"
+        );
+    }
+}
+
+/// Open one client per spec and complete all handshakes from this
+/// thread.
+fn connect_all(listener: &mut NetListener, specs: &[InterestSpec]) -> Vec<NetClient> {
+    let addr = listener.local_addr().unwrap();
+    let catalog = listener.catalog().clone();
+    let before = listener.session_count();
+    let pending: Vec<_> = specs
+        .iter()
+        .map(|s| NetClient::start_connect(addr, catalog.clone(), s).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while listener.session_count() < before + specs.len() {
+        listener.accept_pending().unwrap();
+        assert!(Instant::now() < deadline, "handshakes stalled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    pending.into_iter().map(|p| p.finish().unwrap()).collect()
+}
+
+/// Handshake a raw socket into a session (the offender's side of every
+/// scenario) and swallow the WELCOME.
+fn raw_session(listener: &mut NetListener, spec: &InterestSpec) -> TcpStream {
+    let addr = listener.local_addr().unwrap();
+    let mut raw = TcpStream::connect(addr).unwrap();
+    write_msg(
+        &mut raw,
+        MSG_HELLO,
+        &hello_payload(PROTOCOL_VERSION, &spec.to_string()),
+    )
+    .unwrap();
+    let want = listener.session_count() + 1;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while listener.session_count() < want {
+        listener.accept_pending().unwrap();
+        assert!(Instant::now() < deadline, "raw handshake stalled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let (kind, _) = read_msg(&mut raw, 1 << 20).unwrap();
+    assert_eq!(kind, sgl_net::transport::MSG_WELCOME);
+    raw
+}
+
+/// One canonical server turn: churn, drain, step, pump.
+fn turn(c: &mut Cluster, round: usize) {
+    churn(&mut c.sim, &c.ids, round);
+    c.listener.accept_pending().unwrap();
+    c.listener.drain_inputs(&mut c.sim);
+    c.sim.step();
+    c.listener.pump_frames(&c.sim);
+}
+
+/// A reader that stalls mid-stream: the client stops reading while the
+/// server keeps shipping fat frames every tick, until the server's
+/// send queue visibly backs up (the stream is cut at an arbitrary byte
+/// — overwhelmingly inside a frame, partial length prefix included).
+/// The stalled session must not be dropped (it is under `max_queued`),
+/// the other clients must stream in lockstep throughout, and when the
+/// reader resumes it must decode every queued frame losslessly and
+/// converge on the authoritative region.
+#[test]
+fn slow_reader_stalls_only_itself_and_resumes_losslessly() {
+    for (shards, io) in matrix() {
+        let ctx = format!("{shards}-node, {io:?}");
+        let mut c = cluster(shards, io, 512, 256 * 1024 * 1024);
+        let specs: Vec<InterestSpec> = [
+            "Unit where x in [0, 200]",
+            "Unit where x in [20, 80]",
+            "Unit where x in [100, 180]",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let mut clients = connect_all(&mut c.listener, &specs);
+        // Client 0 never reads. Survivors stream in lockstep.
+        let mut rounds = 0usize;
+        let mut saw_backlog = false;
+        while rounds < 4000 && !saw_backlog {
+            turn(&mut c, rounds);
+            rounds += 1;
+            for (ci, client) in clients.iter_mut().enumerate().skip(1) {
+                client.recv_frame().unwrap();
+                if rounds.is_multiple_of(64) {
+                    assert_identical(client.replica(), &c.sim, c.class, &specs[ci], &ctx);
+                }
+            }
+            saw_backlog |= c.listener.last_stats().backlog_bytes > 0;
+        }
+        assert!(saw_backlog, "server never saw backpressure ({ctx})");
+        assert_eq!(
+            c.listener.session_count(),
+            3,
+            "a slow reader under max_queued must not be dropped ({ctx})"
+        );
+        // Resume: every queued frame decodes, in order, losslessly.
+        // (Readiness shards bleed the backlog on writability without
+        // the server calling flush.)
+        for _ in 0..rounds {
+            clients[0].recv_frame().unwrap();
+        }
+        assert_identical(clients[0].replica(), &c.sim, c.class, &specs[0], &ctx);
+        for (ci, client) in clients.iter_mut().enumerate().skip(1) {
+            assert_identical(client.replica(), &c.sim, c.class, &specs[ci], &ctx);
+        }
+    }
+}
+
+/// A peer that vanishes without FIN: SO_LINGER(0) turns the close into
+/// a RST, so the server sees a connection reset, never an orderly EOF.
+/// The reset session must be detected and detached; the survivors
+/// stream identically before, during, and after.
+#[test]
+fn half_open_peer_is_detected_and_only_it_is_dropped() {
+    for (shards, io) in matrix() {
+        let ctx = format!("{shards}-node, {io:?}");
+        let mut c = cluster(shards, io, 64, 8 * 1024 * 1024);
+        let specs: Vec<InterestSpec> = ["Unit where x in [0, 200]", "Unit where x in [50, 150]"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let mut clients = connect_all(&mut c.listener, &specs);
+        let victim_spec: InterestSpec = "Unit where x in [0, 200]".parse().unwrap();
+        let raw = raw_session(&mut c.listener, &victim_spec);
+        assert_eq!(c.listener.session_count(), 3);
+
+        // Vanish: RST instead of FIN.
+        epoll::shim::set_linger_rst(raw.as_raw_fd()).unwrap();
+        drop(raw);
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut round = 0;
+        while c.listener.session_count() > 2 {
+            assert!(
+                Instant::now() < deadline,
+                "reset session never detected ({ctx})"
+            );
+            turn(&mut c, round);
+            round += 1;
+            for client in clients.iter_mut() {
+                client.recv_frame().unwrap();
+            }
+        }
+        // Survivors unharmed, before and after the detection tick.
+        for _ in 0..5 {
+            turn(&mut c, round);
+            round += 1;
+            for (ci, client) in clients.iter_mut().enumerate() {
+                client.recv_frame().unwrap();
+                assert_identical(client.replica(), &c.sim, c.class, &specs[ci], &ctx);
+            }
+        }
+        assert_eq!(c.listener.session_count(), 2, "{ctx}");
+    }
+}
+
+/// A connect/disconnect storm riding the live tick loop: every round a
+/// wave of peers connects and dies in a different ugly way — silent
+/// close before HELLO, a partial HELLO then close, and a handshaken
+/// session killed by RST one round later — while two durable clients
+/// stream in lockstep. Nothing leaks: pending and session counts return
+/// to exactly the survivors, which never missed a beat.
+#[test]
+fn connect_disconnect_storm_leaves_survivors_untouched() {
+    for (shards, io) in matrix() {
+        let ctx = format!("{shards}-node, {io:?}");
+        let mut c = cluster(shards, io, 64, 8 * 1024 * 1024);
+        let addr = c.listener.local_addr().unwrap();
+        let specs: Vec<InterestSpec> = ["Unit where x in [0, 200]", "Unit where x in [30, 90]"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let mut clients = connect_all(&mut c.listener, &specs);
+        let hello = frame_msg(
+            MSG_HELLO,
+            &hello_payload(PROTOCOL_VERSION, "Unit where x in [0, 200]"),
+        );
+
+        let mut zombie: Option<TcpStream> = None;
+        for round in 0..40 {
+            // Wave 1: connects and closes without a word.
+            drop(TcpStream::connect(addr).unwrap());
+            // Wave 2: half a HELLO, then gone.
+            let mut partial = TcpStream::connect(addr).unwrap();
+            partial.write_all(&hello[..7]).unwrap();
+            drop(partial);
+            // Wave 3: a full handshake attempt left to rot; the
+            // previous round's is reset mid-whatever-it-was-doing.
+            if let Some(z) = zombie.take() {
+                epoll::shim::set_linger_rst(z.as_raw_fd()).unwrap();
+                drop(z);
+            }
+            let mut full = TcpStream::connect(addr).unwrap();
+            full.write_all(&hello).unwrap();
+            zombie = Some(full);
+
+            turn(&mut c, round);
+            for (ci, client) in clients.iter_mut().enumerate() {
+                client.recv_frame().unwrap();
+                assert_identical(client.replica(), &c.sim, c.class, &specs[ci], &ctx);
+            }
+        }
+        if let Some(z) = zombie.take() {
+            epoll::shim::set_linger_rst(z.as_raw_fd()).unwrap();
+            drop(z);
+        }
+        // Let the wreckage drain: exactly the two survivors remain.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut round = 40;
+        while c.listener.session_count() > 2 || c.listener.pending_count() > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "storm debris never drained: {} sessions, {} pending ({ctx})",
+                c.listener.session_count(),
+                c.listener.pending_count()
+            );
+            turn(&mut c, round);
+            round += 1;
+            for client in clients.iter_mut() {
+                client.recv_frame().unwrap();
+            }
+        }
+        for (ci, client) in clients.iter_mut().enumerate() {
+            assert_identical(client.replica(), &c.sim, c.class, &specs[ci], &ctx);
+        }
+    }
+}
+
+/// A client that stops reading entirely must be disconnected once its
+/// send queue crosses `max_queued` — and nobody else pays: survivors
+/// stream identically through the offender's entire decline.
+#[test]
+fn overflow_disconnects_exactly_the_non_reader() {
+    for (shards, io) in matrix() {
+        let ctx = format!("{shards}-node, {io:?}");
+        let mut c = cluster(shards, io, 512, 192 * 1024);
+        let specs: Vec<InterestSpec> = ["Unit where x in [0, 200]", "Unit where x in [10, 60]"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let mut clients = connect_all(&mut c.listener, &specs);
+        let mute_spec: InterestSpec = "Unit where x in [0, 200]".parse().unwrap();
+        // Handshakes, then never reads again.
+        let mute = raw_session(&mut c.listener, &mute_spec);
+        assert_eq!(c.listener.session_count(), 3);
+
+        let mut saw_backlog = false;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut round = 0;
+        while c.listener.session_count() > 2 {
+            assert!(
+                Instant::now() < deadline,
+                "overflowing session never dropped ({ctx})"
+            );
+            turn(&mut c, round);
+            round += 1;
+            saw_backlog |= c.listener.last_stats().backlog_bytes > 0;
+            for client in clients.iter_mut() {
+                client.recv_frame().unwrap();
+            }
+        }
+        assert!(
+            saw_backlog,
+            "queued bytes must be accounted before overflow ({ctx})"
+        );
+        // Survivors unharmed through and after the offender's removal.
+        for _ in 0..5 {
+            turn(&mut c, round);
+            round += 1;
+            for (ci, client) in clients.iter_mut().enumerate() {
+                client.recv_frame().unwrap();
+                assert_identical(client.replica(), &c.sim, c.class, &specs[ci], &ctx);
+            }
+        }
+        // The offender's stream ends (best-effort overflow notice, then
+        // the close) — it must not hang and must not see a 4th session.
+        let mut dead = mute;
+        dead.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        loop {
+            match read_msg(&mut dead, 1 << 24) {
+                Ok((kind, payload)) if kind == MSG_ERROR => {
+                    assert!(
+                        String::from_utf8_lossy(&payload).contains("overflow"),
+                        "{ctx}"
+                    );
+                    break;
+                }
+                Ok(_) => continue, // queued frames from before the cut
+                Err(_) => break,   // notice raced the close: fine
+            }
+        }
+    }
+}

@@ -16,7 +16,7 @@ use sgl_net::transport::{
     self, hello_payload, read_msg, write_msg, MSG_ERROR, MSG_HELLO, MSG_INPUT, PROTOCOL_VERSION,
 };
 use sgl_net::{
-    InputBatch, Intent, ListenerConfig, NetClient, NetConfig, NetError, NetListener,
+    InputBatch, Intent, IoConfig, ListenerConfig, NetClient, NetConfig, NetError, NetListener,
     ReplicationSource,
 };
 
@@ -354,13 +354,35 @@ fn invalid_inputs_are_rejected_without_collateral() {
 /// truncation, hostile counts, spoofed session ids, hostile length
 /// prefixes, non-input message kinds) disconnect exactly the offending
 /// session — with an ERROR notice, no panic, no world mutation, and no
-/// effect on a healthy neighbour.
+/// effect on a healthy neighbour. Parametrized over the transport I/O
+/// modes: the legacy sweep oracle and the readiness shards (epoll and
+/// the poll(2) fallback) must enforce the same protocol.
 #[test]
-fn malformed_wire_traffic_disconnects_only_the_offender() {
+fn malformed_wire_traffic_disconnects_only_the_offender_sweep() {
+    malformed_wire_run(IoConfig::sweep());
+}
+
+#[cfg(unix)]
+#[test]
+fn malformed_wire_traffic_disconnects_only_the_offender_epoll() {
+    malformed_wire_run(IoConfig::readiness(2));
+}
+
+#[cfg(unix)]
+#[test]
+fn malformed_wire_traffic_disconnects_only_the_offender_poll() {
+    malformed_wire_run(IoConfig::poll_fallback(2));
+}
+
+fn malformed_wire_run(io: IoConfig) {
     let mut sim = Simulation::builder().source(GAME).build().unwrap();
     sim.spawn("Unit", &[("x", Value::Number(5.0))]).unwrap();
     let catalog = sim.world().catalog().clone();
-    let mut listener = NetListener::bind("127.0.0.1:0", catalog.clone()).unwrap();
+    let cfg = ListenerConfig {
+        io,
+        ..ListenerConfig::default()
+    };
+    let mut listener = NetListener::bind_with_config("127.0.0.1:0", catalog.clone(), cfg).unwrap();
     let addr = listener.local_addr().unwrap();
     let spec: InterestSpec = "Unit where x in [0, 100]".parse().unwrap();
     let mut healthy = connect_all(&mut listener, std::slice::from_ref(&spec));
@@ -810,4 +832,193 @@ fn non_reading_clients_are_disconnected_on_queue_overflow() {
     );
     assert!(disconnected, "overflowing session must be dropped");
     assert_eq!(listener.session_count(), 0);
+}
+
+mod frame_determinism {
+    //! The shard-determinism contract, property-tested: for random
+    //! client arrival/departure schedules and random interest windows,
+    //! the frame byte-stream each client observes is **bit-identical**
+    //! across every transport — the legacy sweep oracle, epoll shards
+    //! at 1/2/4 I/O threads, and the poll(2) fallback. Readiness order
+    //! and thread count must never leak into frame content.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The windows a generated client may subscribe.
+    const WINDOWS: [&str; 4] = [
+        "Unit where x in [0, 200]",
+        "Unit where x in [20, 80]",
+        "Unit where x in [60, 140]",
+        "Unit where x in [0, 50]",
+    ];
+
+    /// Run one schedule against one transport and collect, per client,
+    /// the exact frame payload bytes it received while connected.
+    /// Arrivals are serialized (attach order fixes session ids);
+    /// departures just close the socket and stop reading — the server
+    /// notices whenever its transport does, which must not affect what
+    /// anyone else is sent.
+    fn run_plan(io: IoConfig, plan: &[(u8, u8, usize)], ticks: u8) -> Vec<Vec<Vec<u8>>> {
+        let mut sim = Simulation::builder().source(GAME).build().unwrap();
+        let mut ids = Vec::new();
+        for k in 0..24usize {
+            ids.push(
+                sim.spawn("Unit", &[("x", Value::Number((k * 7 % 200) as f64))])
+                    .unwrap(),
+            );
+        }
+        let catalog = sim.world().catalog().clone();
+        let cfg = ListenerConfig {
+            io,
+            ..ListenerConfig::default()
+        };
+        let mut listener = NetListener::bind_with_config("127.0.0.1:0", catalog, cfg).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut socks: Vec<Option<TcpStream>> = plan.iter().map(|_| None).collect();
+        let mut frames: Vec<Vec<Vec<u8>>> = plan.iter().map(|_| Vec::new()).collect();
+        for t in 0..ticks {
+            // Departures first: a client leaving at t collects nothing
+            // from tick t on.
+            for (i, &(join, life, _)) in plan.iter().enumerate() {
+                if join + life == t {
+                    socks[i] = None;
+                }
+            }
+            // Serialized arrivals in client order.
+            for (i, &(join, _, w)) in plan.iter().enumerate() {
+                if join != t {
+                    continue;
+                }
+                let mut raw = TcpStream::connect(addr).unwrap();
+                raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                write_msg(
+                    &mut raw,
+                    MSG_HELLO,
+                    &hello_payload(PROTOCOL_VERSION, WINDOWS[w]),
+                )
+                .unwrap();
+                let want = listener.session_count() + 1;
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while listener.session_count() < want {
+                    listener.accept_pending().unwrap();
+                    assert!(Instant::now() < deadline, "handshake stalled");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let (kind, _) = read_msg(&mut raw, 1 << 20).unwrap();
+                assert_eq!(kind, transport::MSG_WELCOME);
+                socks[i] = Some(raw);
+            }
+            // Deterministic churn marching entities across windows.
+            for (k, &id) in ids.iter().enumerate() {
+                let x = ((k * 37 + t as usize * 13) % 200) as f64;
+                sim.set(id, "x", &Value::Number(x)).unwrap();
+            }
+            listener.accept_pending().unwrap();
+            listener.drain_inputs(&mut sim);
+            sim.tick();
+            listener.pump_frames(&sim);
+            // One frame per live session per tick (elision off).
+            for (i, sock) in socks.iter_mut().enumerate() {
+                if let Some(raw) = sock {
+                    let (kind, payload) = read_msg(raw, 1 << 24).unwrap();
+                    assert_eq!(kind, transport::MSG_FRAME);
+                    frames[i].push(payload);
+                }
+            }
+        }
+        frames
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn frames_bit_identical_across_transports(
+            plan in prop::collection::vec((0u8..6, 1u8..6, 0usize..4), 1..5),
+            ticks in 6u8..10,
+        ) {
+            let reference = run_plan(IoConfig::sweep(), &plan, ticks);
+            for io in [
+                IoConfig::readiness(1),
+                IoConfig::readiness(2),
+                IoConfig::readiness(4),
+                IoConfig::poll_fallback(2),
+            ] {
+                let got = run_plan(io, &plan, ticks);
+                prop_assert_eq!(&reference, &got, "transport {:?} diverged from sweep", io);
+            }
+        }
+    }
+}
+
+/// Regression for the old `flush()` re-checking every socket: the
+/// backlog set is per-shard, so flushing a backlog that lives entirely
+/// on one shard must not wake — or cost a single syscall on — any
+/// other shard. The shim's instrumented per-thread counters
+/// (`NetListener::io_shard_stats`) are the proof.
+#[cfg(unix)]
+#[test]
+fn flush_leaves_untouched_shards_at_zero_syscalls() {
+    let mut sim = Simulation::builder().source(GAME).build().unwrap();
+    let mut ids = Vec::new();
+    for i in 0..512 {
+        ids.push(
+            sim.spawn("Unit", &[("x", Value::Number((i % 100) as f64))])
+                .unwrap(),
+        );
+    }
+    let catalog = sim.world().catalog().clone();
+    let cfg = ListenerConfig {
+        io: IoConfig::readiness(4),
+        max_queued: 1 << 30,
+        ..ListenerConfig::default()
+    };
+    let mut listener = NetListener::bind_with_config("127.0.0.1:0", catalog, cfg).unwrap();
+    let spec: InterestSpec = "Unit where x in [0, 100]".parse().unwrap();
+    // One session — its socket lives on exactly one of the 4 shards.
+    let _mute = connect_all(&mut listener, std::slice::from_ref(&spec));
+    let owner = listener
+        .io_shard_stats()
+        .iter()
+        .position(|s| s.sessions == 1)
+        .expect("one shard owns the session");
+
+    // Never read: churn until the owner shard holds visible backlog.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut round = 0;
+    while listener.io_shard_stats()[owner].backlog_bytes == 0 {
+        assert!(Instant::now() < deadline, "backlog never materialized");
+        for (i, &id) in ids.iter().enumerate() {
+            sim.set(id, "hp", &Value::Number((round * 1000 + i) as f64))
+                .unwrap();
+        }
+        sim.tick();
+        listener.pump_frames(&sim);
+        round += 1;
+    }
+    // Let the owner shard finish the wake it is processing and settle
+    // back into its wait.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let before = listener.io_shard_stats();
+    for _ in 0..3 {
+        listener.flush();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let after = listener.io_shard_stats();
+
+    for t in 0..4 {
+        if t == owner {
+            assert!(
+                after[t].waits > before[t].waits,
+                "the backlogged shard must be woken by flush"
+            );
+        } else {
+            assert_eq!(
+                after[t], before[t],
+                "shard {t} has no backlog and must do zero syscalls on flush"
+            );
+        }
+    }
 }
